@@ -1,0 +1,88 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's experiment index and
+   EXPERIMENTS.md for paper-vs-measured), plus bechamel microbenchmarks
+   of the toolchain itself.
+
+   Usage:
+     bench/main.exe             -- all paper experiments + microbenchmarks
+     bench/main.exe table1 | table2 | fig6 | fig7 | fig8 | fig9 | qcd
+     bench/main.exe micro       -- bechamel microbenchmarks only
+*)
+
+let micro () =
+  let open Bechamel in
+  let cg_src = (Workloads.Linalg.find "CG").Workloads.Workload.source 64 in
+  let cg_prog = Fortran.Parser.parse_program cg_src in
+  let cedar = Machine.Config.cedar_config1 in
+  let opts = Restructurer.Options.advanced cedar in
+  let restructured =
+    (Restructurer.Driver.restructure opts cg_prog).Restructurer.Driver.program
+  in
+  let small_cg =
+    Fortran.Parser.parse_program
+      ((Workloads.Linalg.find "CG").Workloads.Workload.source 24)
+  in
+  let tests =
+    Test.make_grouped ~name:"cedar"
+      [
+        Test.make ~name:"parse-cg-n64"
+          (Staged.stage (fun () -> ignore (Fortran.Parser.parse_program cg_src)));
+        Test.make ~name:"restructure-cg-advanced"
+          (Staged.stage (fun () ->
+               ignore (Restructurer.Driver.restructure opts cg_prog)));
+        Test.make ~name:"perfmodel-cg"
+          (Staged.stage (fun () ->
+               ignore (Perfmodel.Model.evaluate ~cfg:cedar restructured)));
+        Test.make ~name:"des-cdoall-10k-iters"
+          (Staged.stage (fun () ->
+               let sim = Machine.Sim.create () in
+               Machine.Sim.spawn sim (fun () ->
+                   Machine.Microtask.run_loop sim
+                     ~dispatch:{ Machine.Microtask.startup = 60.0; per_iter = 5.0 }
+                     ~proc_ids:(List.init 8 (fun p -> (p, 0)))
+                     ~lo:1 ~hi:10_000 ~step:1
+                     (fun _ -> Machine.Sim.delay sim 10.0));
+               ignore (Machine.Sim.run sim)));
+        Test.make ~name:"interpret-cg-n24-des"
+          (Staged.stage (fun () -> ignore (Interp.Exec.run ~cfg:cedar small_cg)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  print_newline ();
+  print_endline "Microbenchmarks (bechamel, monotonic clock)";
+  print_endline "===========================================";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-36s %14.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] ->
+      Experiments.print_all ();
+      Experiments.print_ablation ();
+      Experiments.print_synthetic ();
+      micro ()
+  | [ "table1" ] -> Experiments.print_table1 ()
+  | [ "table2" ] -> Experiments.print_table2 ()
+  | [ "fig6" ] -> Experiments.print_fig6 ()
+  | [ "fig7" ] -> Experiments.print_fig7 ()
+  | [ "fig8" ] -> Experiments.print_fig8 ()
+  | [ "fig9" ] -> Experiments.print_fig9 ()
+  | [ "qcd" ] -> Experiments.print_qcd_note ()
+  | [ "ablation" ] -> Experiments.print_ablation ()
+  | [ "synthetic" ] -> Experiments.print_synthetic ()
+  | [ "micro" ] -> micro ()
+  | _ ->
+      prerr_endline
+        "usage: main.exe [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro]";
+      exit 2

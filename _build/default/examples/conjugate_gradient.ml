@@ -1,0 +1,56 @@
+(* The Conjugate Gradient study (paper §4.1 Table 1, §4.2 Figures 6 & 8).
+
+     dune exec examples/conjugate_gradient.exe
+
+   CG is the paper's flagship workload: its dot products become calls to
+   the parallel Cedar library, its saxpy loops stripmine into XDOALLs, and
+   its memory behaviour drives both the prefetch figure and the
+   data-partitioning figure.  This example (1) validates the transformed
+   program bit-for-bit on the cycle-level simulator at a small size, then
+   (2) evaluates the paper-size instance under the analytic model,
+   sweeping prefetch and cluster count. *)
+
+module W = Workloads
+module Cfg = Machine.Config
+
+let () =
+  let cedar = Cfg.cedar_config1 in
+  let cg = W.Linalg.find "CG" in
+  let opts = Restructurer.Options.auto_1991 cedar in
+
+  (* 1. correctness at n = 32 on the discrete-event simulator *)
+  let small = Fortran.Parser.parse_program (cg.W.Workload.source 32) in
+  let restructured_small =
+    (Restructurer.Driver.restructure opts small).Restructurer.Driver.program
+  in
+  let s = Interp.Exec.run ~cfg:cedar small in
+  let p = Interp.Exec.run ~cfg:cedar restructured_small in
+  Printf.printf "DES validation (n=32):\n";
+  Printf.printf "  serial       %10.0f cycles  output: %s" s.Interp.Exec.cycles
+    s.Interp.Exec.output;
+  Printf.printf "  restructured %10.0f cycles  output: %s" p.Interp.Exec.cycles
+    p.Interp.Exec.output;
+  assert (s.Interp.Exec.output = p.Interp.Exec.output);
+  Printf.printf "  outputs identical; DES speedup %.1fx\n\n"
+    (s.Interp.Exec.cycles /. p.Interp.Exec.cycles);
+
+  (* 2. the paper-size instance (n = 400) under the analytic model *)
+  let prog = Fortran.Parser.parse_program (cg.W.Workload.source 400) in
+  let par = (Restructurer.Driver.restructure opts prog).Restructurer.Driver.program in
+  let cycles cfg p = (Perfmodel.Model.evaluate ~cfg p).Perfmodel.Model.cycles in
+  Printf.printf "Analytic model (n=400):\n";
+  let serial = cycles cedar prog in
+  let full = cycles cedar par in
+  Printf.printf "  serial                    %12.3e cycles\n" serial;
+  Printf.printf "  restructured              %12.3e cycles  (speedup %.0fx; paper: 163x)\n"
+    full (serial /. full);
+  let no_pf = cycles (Cfg.with_prefetch cedar false) par in
+  Printf.printf "  without prefetch          %12.3e cycles  (prefetch gain %.2fx; paper Fig 6: ~2x)\n"
+    no_pf (no_pf /. full);
+  Printf.printf "  cluster scaling (Fig 8, global placement):\n";
+  List.iter
+    (fun k ->
+      let t = cycles (Cfg.with_clusters cedar k) par in
+      Printf.printf "    %d cluster(s): %12.3e cycles (%.2fx vs 1 cluster)\n" k t
+        (cycles (Cfg.with_clusters cedar 1) par /. t))
+    [ 1; 2; 3; 4 ]

@@ -1,0 +1,55 @@
+(* DOACROSS with cascade synchronization (paper §2.1 Figure 4, §3.3).
+
+     dune exec examples/doacross_pipeline.exe
+
+   A loop with one carried dependence of distance 1 runs as an ordered
+   parallel loop: the independent statements overlap across processors
+   while await/advance serialize only the recurrence.  The example shows
+   the transformation and measures, on the cycle-level simulator, how the
+   DOACROSS version beats serial but not a true DOALL — the
+   synchronization delay factor at work. *)
+
+let source =
+  {|
+      program pipeline
+      real a(400), b(400), c(400), d(400), e(400), f(400), g(400), h(400)
+      do i = 1, 400
+        a(i) = i*0.5
+        d(i) = 1.0
+        e(i) = 2.0
+        f(i) = 0.5
+        h(i) = 2.0
+      enddo
+      b(1) = 1.0
+      do i = 2, 400
+        c(i) = d(i) + e(i)
+        g(i) = f(i)*h(i)
+        b(i) = a(i) + b(i - 1)
+      enddo
+      print *, b(400), c(200), g(200)
+      end
+|}
+
+let () =
+  let cfg = Machine.Config.cedar_config1 in
+  let prog = Fortran.Parser.parse_program source in
+  let opts = Restructurer.Options.auto_1991 cfg in
+  let result = Restructurer.Driver.restructure opts prog in
+
+  print_endline "=== restructured (note await/advance around the recurrence) ===";
+  print_string (Fortran.Printer.program_to_string result.Restructurer.Driver.program);
+
+  print_endline "\n=== decisions ===";
+  List.iter
+    (fun r -> print_endline ("  " ^ Restructurer.Driver.report_to_string r))
+    result.Restructurer.Driver.reports;
+
+  let serial = Interp.Exec.run ~cfg prog in
+  let par = Interp.Exec.run ~cfg result.Restructurer.Driver.program in
+  Printf.printf "\nserial   : %8.0f cycles   output: %s" serial.Interp.Exec.cycles
+    serial.Interp.Exec.output;
+  Printf.printf "doacross : %8.0f cycles   output: %s" par.Interp.Exec.cycles
+    par.Interp.Exec.output;
+  Printf.printf "speedup  : %.2fx (bounded by the synchronized region)\n"
+    (serial.Interp.Exec.cycles /. par.Interp.Exec.cycles);
+  assert (serial.Interp.Exec.output = par.Interp.Exec.output)

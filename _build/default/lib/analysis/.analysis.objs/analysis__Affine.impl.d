@@ -1,0 +1,1 @@
+lib/analysis/affine.pp.ml: Ast Ast_utils Format Fortran Int List Option Printf String

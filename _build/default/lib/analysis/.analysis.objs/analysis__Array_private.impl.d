@@ -1,0 +1,1 @@
+lib/analysis/array_private.pp.ml: Affine Ast Ast_utils Fortran List Option

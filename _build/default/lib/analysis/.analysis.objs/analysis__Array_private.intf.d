@@ -1,0 +1,1 @@
+lib/analysis/array_private.pp.mli: Fortran

@@ -1,0 +1,1 @@
+lib/analysis/array_reduction.pp.ml: Ast Ast_utils Fortran List Option Scalars String

@@ -1,0 +1,1 @@
+lib/analysis/array_reduction.pp.mli: Fortran Scalars

@@ -1,0 +1,1 @@
+lib/analysis/depend.pp.ml: Affine Array Ast Ast_utils Fortran List Loops Option Ppx_deriving_runtime

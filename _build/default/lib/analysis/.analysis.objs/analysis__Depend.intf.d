@@ -1,0 +1,1 @@
+lib/analysis/depend.pp.mli: Affine Fortran Loops

@@ -1,0 +1,1 @@
+lib/analysis/giv.pp.ml: Affine Ast Ast_utils Fortran List Loops Scalars

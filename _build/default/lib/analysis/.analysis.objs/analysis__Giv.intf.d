@@ -1,0 +1,1 @@
+lib/analysis/giv.pp.mli: Fortran Loops Scalars

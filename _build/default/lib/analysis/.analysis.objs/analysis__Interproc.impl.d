@@ -1,0 +1,1 @@
+lib/analysis/interproc.pp.ml: Array Ast Ast_utils Fortran Hashtbl List String Symbols

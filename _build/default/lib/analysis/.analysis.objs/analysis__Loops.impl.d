@@ -1,0 +1,1 @@
+lib/analysis/loops.pp.ml: Ast Ast_utils Fortran List Option

@@ -1,0 +1,1 @@
+lib/analysis/recurrence.pp.ml: Affine Ast Ast_utils Fortran List String

@@ -1,0 +1,1 @@
+lib/analysis/recurrence.pp.mli: Fortran

@@ -1,0 +1,1 @@
+lib/analysis/runtime_test.pp.ml: Ast Ast_utils Fortran Hashtbl List Loops Option

@@ -1,0 +1,1 @@
+lib/analysis/runtime_test.pp.mli: Fortran Loops

@@ -1,0 +1,1 @@
+lib/analysis/scalars.pp.ml: Ast Ast_utils Fortran Hashtbl List Loops Option Ppx_deriving_runtime String

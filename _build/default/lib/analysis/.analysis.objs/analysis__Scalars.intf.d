@@ -1,0 +1,1 @@
+lib/analysis/scalars.pp.mli: Fortran

@@ -1,0 +1,248 @@
+(** Generalized induction variables (GIVs) and their closed forms.
+
+    The paper (§4.1.4) distinguishes ordinary induction variables
+    ([v = v + k], arithmetic progression) from two generalized kinds found
+    in the Perfect codes: multiplicative updates (geometric progression,
+    OCEAN) and additive updates inside triangular inner loops (TRFD).
+    This module recognizes all three in a loop nest and produces closed
+    forms in terms of the loop indices, plus a monotonicity fact the
+    dependence tester uses to prove iterations access disjoint cells. *)
+
+open Fortran
+module SMap = Ast_utils.SMap
+module SSet = Ast_utils.SSet
+
+type closed_form = {
+  g_var : string;
+  g_at_use : Ast.expr;
+      (** value of the variable where it is used, right after its update,
+          in terms of the loop indices and the pre-loop value [v0] (spelled
+          as the variable name itself, to be bound before the loop) *)
+  g_final : Ast.expr;  (** value after the whole outer loop *)
+  g_monotonic : bool;  (** strictly monotonic over the iteration space *)
+  g_update_paths : int list list;  (** statements to delete *)
+}
+
+(* count updates of v along the body; returns the single update statement's
+   path and the loop structure above it *)
+type update_site = {
+  site_path : int list;
+  site_kind : Scalars.giv_kind;
+  site_inner : Ast.do_header list;  (** inner loops enclosing the update *)
+}
+
+let find_update_sites v (body : Ast.stmt list) : update_site list =
+  let sites = ref [] in
+  let rec stmt inner path i (s : Ast.stmt) =
+    let path = i :: path in
+    match s with
+    | Ast.Assign (Ast.LVar x, _) when x = v -> (
+        match Scalars.reduction_form v s with
+        | Some (Scalars.Rsum, k) ->
+            sites :=
+              {
+                site_path = List.rev path;
+                site_kind = Scalars.Additive k;
+                site_inner = List.rev inner;
+              }
+              :: !sites
+        | Some (Scalars.Rprod, k) ->
+            sites :=
+              {
+                site_path = List.rev path;
+                site_kind = Scalars.Multiplicative k;
+                site_inner = List.rev inner;
+              }
+              :: !sites
+        | _ ->
+            sites :=
+              {
+                site_path = List.rev path;
+                site_kind = Scalars.Additive (Ast.Var "?");
+                site_inner = List.rev inner;
+              }
+              :: !sites)
+    | Ast.If (_, t, e) ->
+        List.iteri (stmt inner path) t;
+        List.iteri (stmt inner path) e
+    | Ast.Do (h, blk) -> List.iteri (stmt (h :: inner) path) blk.body
+    | Ast.Where (_, b) -> List.iteri (stmt inner path) b
+    | Ast.Labeled (_, s) -> stmt inner (List.tl path) i s
+    | _ -> ()
+  in
+  List.iteri (stmt [] []) body;
+  List.rev !sites
+
+let int_const e = Ast_utils.const_eval [] e
+
+(** Iteration-count expression of the tested loop from its header:
+    number of completed iterations before index value [i] is
+    [(i - lo) / step]; we only handle step 1. *)
+let completed_iters (lvl : Loops.level) =
+  match lvl.l_step with
+  | Ast.Int 1 ->
+      Ast_utils.simplify (Ast.Bin (Ast.Sub, Ast.Var lvl.l_index, lvl.l_lo))
+  | _ -> Ast.Var "?" (* unused: callers reject non-unit steps *)
+
+(** Recognize [v] as a GIV of the loop [lvl] with [body]; returns its
+    closed form or [None]. *)
+let recognize ~(lvl : Loops.level) v (body : Ast.stmt list) :
+    closed_form option =
+  if lvl.l_step <> Ast.Int 1 then None
+  else
+    let sites = find_update_sites v body in
+    (* the step must be invariant: in particular it must not read the
+       analyzed loop's own index, which never appears in the body's write
+       set *)
+    let invariant_step k =
+      Loops.is_invariant_expr body k
+      && not (SSet.mem lvl.l_index (Ast_utils.expr_vars k))
+    in
+    match sites with
+    | [ { site_kind = Scalars.Additive k; site_inner = []; site_path } ]
+      when invariant_step k ->
+        (* flat additive: after the update in iteration i, v = v0 +
+           k*(i - lo + 1) *)
+        let iters_done =
+          Ast.Bin (Ast.Add, completed_iters lvl, Ast.Int 1)
+        in
+        let at_use =
+          Ast_utils.simplify
+            (Ast.Bin (Ast.Add, Ast.Var v, Ast.Bin (Ast.Mul, k, iters_done)))
+        in
+        let trip =
+          Ast_utils.simplify
+            (Ast.Bin
+               ( Ast.Add,
+                 Ast.Bin (Ast.Sub, lvl.l_hi, lvl.l_lo),
+                 Ast.Int 1 ))
+        in
+        let final =
+          Ast_utils.simplify
+            (Ast.Bin (Ast.Add, Ast.Var v, Ast.Bin (Ast.Mul, k, trip)))
+        in
+        let mono = match int_const k with Some n -> n <> 0 | None -> false in
+        Some
+          {
+            g_var = v;
+            g_at_use = at_use;
+            g_final = final;
+            g_monotonic = mono;
+            g_update_paths = [ site_path ];
+          }
+    | [ { site_kind = Scalars.Multiplicative k; site_inner = []; site_path } ]
+      when invariant_step k ->
+        (* geometric: after update in iteration i, v = v0 * k**(i - lo + 1) *)
+        let iters_done = Ast.Bin (Ast.Add, completed_iters lvl, Ast.Int 1) in
+        let at_use =
+          Ast.Bin (Ast.Mul, Ast.Var v, Ast.Bin (Ast.Pow, k, iters_done))
+        in
+        let trip =
+          Ast_utils.simplify
+            (Ast.Bin
+               (Ast.Add, Ast.Bin (Ast.Sub, lvl.l_hi, lvl.l_lo), Ast.Int 1))
+        in
+        let final =
+          Ast.Bin (Ast.Mul, Ast.Var v, Ast.Bin (Ast.Pow, k, trip))
+        in
+        let mono =
+          match int_const k with Some n -> n >= 2 | None -> false
+        in
+        Some
+          {
+            g_var = v;
+            g_at_use = at_use;
+            g_final = final;
+            g_monotonic = mono;
+            g_update_paths = [ site_path ];
+          }
+    | [ { site_kind = Scalars.Additive (Ast.Int k); site_inner = [ ih ]; site_path } ]
+      -> (
+        (* triangular: update inside one inner loop whose bound depends on
+           the outer index, e.g. DO i / DO j = 1, i / v = v + 1.
+           After the update at (i, j):
+             v = v0 + k * (sum of inner trips for outer 1..i-1) + k*j' where
+           j' = j - jlo + 1. We require jlo = 1 and the inner bound to be
+           affine in i: j = 1, a*i + b. *)
+        match (lvl.l_lo, ih.Ast.lo, ih.Ast.step) with
+        | Ast.Int 1, Ast.Int 1, (None | Some (Ast.Int 1)) -> (
+            match Affine.of_expr ih.Ast.hi with
+            | Some aff
+              when Affine.vars aff = [ lvl.l_index ]
+                   || Affine.is_const aff -> (
+                let a = Affine.coeff lvl.l_index aff in
+                let b = aff.Affine.const in
+                (* completed inner trips for outer index values 1..i-1:
+                   sum_{t=1}^{i-1} (a*t + b)
+                     = a*(i-1)*i/2 + b*(i-1) *)
+                let i = Ast.Var lvl.l_index in
+                let im1 = Ast.Bin (Ast.Sub, i, Ast.Int 1) in
+                let tri =
+                  Ast.Bin
+                    ( Ast.Div,
+                      Ast.Bin (Ast.Mul, im1, i),
+                      Ast.Int 2 )
+                in
+                let before_outer =
+                  Ast_utils.simplify
+                    (Ast.Bin
+                       ( Ast.Add,
+                         Ast.Bin (Ast.Mul, Ast.Int a, tri),
+                         Ast.Bin (Ast.Mul, Ast.Int b, im1) ))
+                in
+                let j = Ast.Var ih.Ast.index in
+                let at_use =
+                  Ast_utils.simplify
+                    (Ast.Bin
+                       ( Ast.Add,
+                         Ast.Var v,
+                         Ast.Bin
+                           ( Ast.Mul,
+                             Ast.Int k,
+                             Ast.Bin (Ast.Add, before_outer, j) ) ))
+                in
+                (* final value: all outer iterations done: substitute hi+1 *)
+                let n1 = Ast.Bin (Ast.Add, lvl.l_hi, Ast.Int 1) in
+                let total =
+                  Ast.Bin
+                    ( Ast.Add,
+                      Ast.Bin
+                        ( Ast.Mul,
+                          Ast.Int a,
+                          Ast.Bin
+                            ( Ast.Div,
+                              Ast.Bin (Ast.Mul, lvl.l_hi, n1),
+                              Ast.Int 2 ) ),
+                      Ast.Bin (Ast.Mul, Ast.Int b, lvl.l_hi) )
+                in
+                let final =
+                  Ast_utils.simplify
+                    (Ast.Bin
+                       (Ast.Add, Ast.Var v, Ast.Bin (Ast.Mul, Ast.Int k, total)))
+                in
+                match a >= 0 && k <> 0 with
+                | true ->
+                    Some
+                      {
+                        g_var = v;
+                        g_at_use = at_use;
+                        g_final = final;
+                        g_monotonic = true;
+                        g_update_paths = [ site_path ];
+                      }
+                | false -> None)
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+
+(** All GIVs of a loop, given the scalar classification. *)
+let recognize_all ~(lvl : Loops.level) (cls : Scalars.result)
+    (body : Ast.stmt list) : closed_form list =
+  SMap.fold
+    (fun v c acc ->
+      match c with
+      | Scalars.Induction _ -> (
+          match recognize ~lvl v body with Some cf -> cf :: acc | None -> acc)
+      | _ -> acc)
+    cls.Scalars.classes []
+  |> List.rev

@@ -1,0 +1,161 @@
+(** Run-time dependence test synthesis (paper §4.1.5).
+
+    OCEAN spends 65% of its serial time in loops over singly-dimensioned
+    arrays indexed by expressions with variable coefficients, e.g.
+
+    {v  a(k + (j-1)*ld + (i-1)*ld*n)  v}
+
+    where [ld], [n] are run-time values.  Static tests must assume a
+    dependence.  The hand technique — automated here — inserts a test,
+    executed before the loop, that the subscript is a {i linearized
+    multi-dimensional access}: each index's coefficient is at least the
+    span of the inner indices it multiplexes.  When the test passes at run
+    time, distinct index vectors touch distinct cells and the parallel
+    version runs; otherwise the sequential version does.
+
+    The synthesized condition for subscript
+    [c0 + c1*i1 + c2*i2 + ...] (i1 innermost) with index ranges
+    [lo_k..hi_k] is, writing span_k = (hi_k - lo_k) * c_k:
+
+    {v  |c_{k+1}| >= span_1 + ... + span_k + 1   for every k  v}
+
+    All quantities are loop-invariant expressions, so the test is cheap. *)
+
+open Fortran
+
+type candidate = {
+  rt_array : string;
+  rt_condition : Ast.expr;  (** run-time guard for the parallel version *)
+}
+
+let ( +: ) a b = Ast.Bin (Ast.Add, a, b)
+let ( -: ) a b = Ast.Bin (Ast.Sub, a, b)
+let ( *: ) a b = Ast.Bin (Ast.Mul, a, b)
+let ( >=: ) a b = Ast.Bin (Ast.Ge, a, b)
+let ( &&: ) a b = Ast.Bin (Ast.And, a, b)
+
+(** Decompose a subscript into per-index (coefficient expression) parts:
+    we accept sums of terms [e * idx], [idx * e], [idx], where [e] is
+    invariant; leftover invariant terms form the offset.  Returns
+    [(coefficients keyed by index, offset terms)] or None. *)
+let decompose ~(indices : string list) ~(invariant : Ast.expr -> bool)
+    (sub : Ast.expr) : (string * Ast.expr) list option =
+  let coeffs : (string, Ast.expr) Hashtbl.t = Hashtbl.create 4 in
+  let add_coeff idx e =
+    match Hashtbl.find_opt coeffs idx with
+    | None -> Hashtbl.replace coeffs idx e
+    | Some prev -> Hashtbl.replace coeffs idx (prev +: e)
+  in
+  let rec term sign (e : Ast.expr) : bool =
+    match e with
+    | Ast.Bin (Ast.Add, a, b) -> term sign a && term sign b
+    | Ast.Bin (Ast.Sub, a, b) -> term sign a && term (-sign) b
+    | Ast.Var v when List.mem v indices ->
+        add_coeff v (Ast.Int sign);
+        true
+    | Ast.Bin (Ast.Mul, a, b) -> (
+        (* find which factor is an index-affine part *)
+        let idx_of = function
+          | Ast.Var v when List.mem v indices -> Some (v, Ast.Int 0)
+          | Ast.Bin (Ast.Sub, Ast.Var v, off)
+            when List.mem v indices && invariant off ->
+              Some (v, Ast.Un (Ast.Neg, off))
+          | Ast.Bin (Ast.Add, Ast.Var v, off)
+            when List.mem v indices && invariant off ->
+              Some (v, off)
+          | _ -> None
+        in
+        match (idx_of a, idx_of b) with
+        | Some (v, _), None when invariant b ->
+            let c = if sign = 1 then b else Ast.Un (Ast.Neg, b) in
+            add_coeff v c;
+            true
+        | None, Some (v, _) when invariant a ->
+            let c = if sign = 1 then a else Ast.Un (Ast.Neg, a) in
+            add_coeff v c;
+            true
+        | _ -> invariant e)
+    | e -> invariant e
+  in
+  if term 1 sub then
+    Some (Hashtbl.fold (fun k v acc -> (k, v) :: acc) coeffs [])
+  else None
+
+(** Build the run-time independence condition for array [arr] accessed
+    with subscript [sub] under the loop nest [levels] (outermost first,
+    the parallel candidate being the outermost). *)
+let condition_for ~(levels : Loops.level list) ~(invariant : Ast.expr -> bool)
+    (sub : Ast.expr) : Ast.expr option =
+  let indices = List.map (fun l -> l.Loops.l_index) levels in
+  match decompose ~indices ~invariant sub with
+  | None -> None
+  | Some coeffs when List.length coeffs = List.length indices ->
+      (* order coefficients innermost-first *)
+      let ordered =
+        List.rev levels
+        |> List.filter_map (fun l ->
+               Option.map
+                 (fun c -> (l, c))
+                 (List.assoc_opt l.Loops.l_index coeffs))
+      in
+      if List.length ordered <> List.length levels then None
+      else
+        let rec build span_so_far conds = function
+          | [] -> conds
+          | (l, c) :: rest ->
+              let span =
+                Ast_utils.simplify ((l.Loops.l_hi -: l.Loops.l_lo) *: c)
+              in
+              let conds =
+                match span_so_far with
+                | None -> conds
+                | Some s -> (c >=: Ast_utils.simplify (s +: Ast.Int 1)) :: conds
+              in
+              let total =
+                match span_so_far with None -> span | Some s -> s +: span
+              in
+              build (Some total) conds rest
+        in
+        let conj order =
+          match build (Some (Ast.Int 0)) [] order with
+          | [] -> Ast.Bool true
+          | c :: rest -> List.fold_left ( &&: ) c rest
+        in
+        (* the dominance order of the coefficients is unknown statically:
+           each ordering's conjunction is independently sufficient, so
+           test both *)
+        let c1 = conj ordered in
+        if List.length ordered > 1 then
+          Some (Ast.Bin (Ast.Or, c1, conj (List.rev ordered)))
+        else Some c1
+  | Some _ -> None
+
+(** Find runtime-testable arrays among those blocked for [Symbolic]
+    reasons: every reference to the array must decompose with the same
+    coefficient structure, and we conservatively require write references
+    to use all loop indices. *)
+let candidate_for ~(levels : Loops.level list) ~(body : Ast.stmt list)
+    (arr : string) : candidate option =
+  let invariant = Loops.is_invariant_expr body in
+  let refs =
+    Loops.collect_refs body
+    |> List.filter (fun r -> r.Loops.r_array = arr)
+  in
+  let subs = List.map (fun r -> r.Loops.r_subs) refs in
+  match subs with
+  | [] -> None
+  | first :: _ ->
+      if List.length first <> 1 then None
+      else if
+        (* all references must share the same subscript expression shape:
+           identical up to structural equality *)
+        List.for_all
+          (fun s ->
+            match s with [ e ] -> Ast.equal_expr e (List.hd first) | _ -> false)
+          subs
+        |> not
+      then None
+      else
+        Option.map
+          (fun c -> { rt_array = arr; rt_condition = Ast_utils.simplify c })
+          (condition_for ~levels ~invariant (List.hd first))

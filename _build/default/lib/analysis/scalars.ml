@@ -1,0 +1,340 @@
+(** Scalar classification for one loop.
+
+    Every scalar written inside a candidate parallel loop creates a
+    memory-reuse dependence across iterations unless it can be handled
+    specially.  This pass classifies each written scalar as:
+
+    - an {b induction variable} ([v = v + k] / [v = v * k], [k] invariant);
+    - a {b reduction} ([v = v op e] with [op] associative-commutative, and
+      [v] not otherwise used);
+    - {b privatizable} (defined before every use in each iteration), with a
+      flag telling whether its last value is live after the loop;
+    - or a genuine {b shared dependence}, which blocks DOALL execution.
+
+    The walk is structural: definitions under IF/WHERE or inside inner DO
+    loops are treated as conditional (they may not execute), which keeps
+    the analysis sound for the programs in this repository. *)
+
+open Fortran
+module SSet = Ast_utils.SSet
+module SMap = Ast_utils.SMap
+
+type red_op = Rsum | Rprod | Rmin | Rmax
+[@@deriving show { with_path = false }, eq]
+
+type giv_kind =
+  | Additive of Ast.expr  (** v = v + k *)
+  | Multiplicative of Ast.expr  (** v = v * k *)
+[@@deriving show { with_path = false }, eq]
+
+type classification =
+  | Induction of giv_kind
+  | Reduction of red_op
+  | Privatizable of { live_out : bool }
+  | Shared_dep
+[@@deriving show { with_path = false }, eq]
+
+(* ------------------------------------------------------------------ *)
+(* Pattern recognition on single statements                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Is [s] of the form [v = v op e] (or [v = e op v])?  Returns the
+    reduction operator and the other operand. *)
+let reduction_form v (s : Ast.stmt) : (red_op * Ast.expr) option =
+  match s with
+  | Ast.Assign (Ast.LVar x, rhs) when x = v -> (
+      match rhs with
+      | Ast.Bin (Ast.Add, Ast.Var y, e) when y = v -> Some (Rsum, e)
+      | Ast.Bin (Ast.Add, e, Ast.Var y) when y = v -> Some (Rsum, e)
+      | Ast.Bin (Ast.Sub, Ast.Var y, e) when y = v ->
+          Some (Rsum, Ast.Un (Ast.Neg, e))
+      | Ast.Bin (Ast.Mul, Ast.Var y, e) when y = v -> Some (Rprod, e)
+      | Ast.Bin (Ast.Mul, e, Ast.Var y) when y = v -> Some (Rprod, e)
+      | Ast.Call (f, [ Ast.Var y; e ]) when String.lowercase_ascii f = "min" && y = v
+        ->
+          Some (Rmin, e)
+      | Ast.Call (f, [ e; Ast.Var y ]) when String.lowercase_ascii f = "min" && y = v
+        ->
+          Some (Rmin, e)
+      | Ast.Call (f, [ Ast.Var y; e ]) when String.lowercase_ascii f = "max" && y = v
+        ->
+          Some (Rmax, e)
+      | Ast.Call (f, [ e; Ast.Var y ]) when String.lowercase_ascii f = "max" && y = v
+        ->
+          Some (Rmax, e)
+      | _ -> None)
+  | _ -> None
+
+(** Does the reduction expression avoid reading [v] itself? *)
+let operand_free_of v e = not (SSet.mem v (Ast_utils.expr_vars e))
+
+(* ------------------------------------------------------------------ *)
+(* Occurrence census                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type occ = {
+  mutable writes : int;  (** assignments to v *)
+  mutable reduction_stmts : int;  (** assignments in reduction form *)
+  mutable other_reads : int;  (** reads outside the reduction statements *)
+  mutable red_ops : red_op list;
+  mutable induction_updates : giv_kind list;
+  mutable written_in_call : bool;
+}
+
+let census (body : Ast.stmt list) : (string, occ) Hashtbl.t =
+  let tbl : (string, occ) Hashtbl.t = Hashtbl.create 16 in
+  let get v =
+    match Hashtbl.find_opt tbl v with
+    | Some o -> o
+    | None ->
+        let o =
+          {
+            writes = 0;
+            reduction_stmts = 0;
+            other_reads = 0;
+            red_ops = [];
+            induction_updates = [];
+            written_in_call = false;
+          }
+        in
+        Hashtbl.add tbl v o;
+        o
+  in
+  let count_reads e =
+    Ast_utils.fold_expr
+      (fun () e ->
+        match e with Ast.Var v -> (get v).other_reads <- (get v).other_reads + 1 | _ -> ())
+      () e
+  in
+  let invariant = Loops.is_invariant_expr body in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (Ast.LVar v, rhs) -> (
+        let o = get v in
+        o.writes <- o.writes + 1;
+        match reduction_form v s with
+        | Some (op, operand) when operand_free_of v operand ->
+            o.reduction_stmts <- o.reduction_stmts + 1;
+            o.red_ops <- op :: o.red_ops;
+            (* also record as a candidate induction update when the
+               operand is loop invariant *)
+            (match op with
+            | Rsum when invariant operand ->
+                o.induction_updates <- Additive operand :: o.induction_updates
+            | Rprod when invariant operand ->
+                o.induction_updates <-
+                  Multiplicative operand :: o.induction_updates
+            | Rsum | Rprod | Rmin | Rmax -> ());
+            count_reads
+              (match s with Ast.Assign (_, r) -> r | _ -> assert false);
+            (* compensate: the self-read inside a reduction statement should
+               not count as an "other read" *)
+            o.other_reads <- o.other_reads - 1
+        | _ -> count_reads rhs)
+    | Ast.Assign (l, rhs) ->
+        (match l with
+        | Ast.LIdx (_, subs) -> List.iter count_reads subs
+        | Ast.LSection (_, dims) ->
+            List.iter
+              (function
+                | Ast.Elem e -> count_reads e
+                | Ast.Range (a, b, c) ->
+                    List.iter (Option.iter count_reads) [ a; b; c ])
+              dims
+        | Ast.LVar _ -> ());
+        count_reads rhs
+    | Ast.If (c, t, e) ->
+        count_reads c;
+        List.iter stmt t;
+        List.iter stmt e
+    | Ast.Do (h, blk) ->
+        (get h.index).writes <- (get h.index).writes + 1;
+        count_reads h.lo;
+        count_reads h.hi;
+        Option.iter count_reads h.step;
+        List.iter stmt blk.body
+    | Ast.Where (m, b) ->
+        count_reads m;
+        List.iter stmt b
+    | Ast.CallSt (_, args) ->
+        List.iter
+          (fun a ->
+            match a with
+            | Ast.Var v ->
+                let o = get v in
+                o.other_reads <- o.other_reads + 1;
+                o.written_in_call <- true;
+                o.writes <- o.writes + 1
+            | e -> count_reads e)
+          args
+    | Ast.Print args -> List.iter count_reads args
+    | Ast.Read ls ->
+        List.iter
+          (fun l ->
+            match l with
+            | Ast.LVar v -> (get v).writes <- (get v).writes + 1
+            | _ -> ())
+          ls
+    | Ast.Labeled (_, s) -> stmt s
+    | Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _ -> ()
+  in
+  List.iter stmt body;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Definite definition-before-use walk (for privatization)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Returns the set of scalars read before any definite write within one
+    iteration of [body] (the upward-exposed scalars). *)
+let upward_exposed (body : Ast.stmt list) : SSet.t =
+  let exposed = ref SSet.empty in
+  let read defined e =
+    SSet.iter
+      (fun v -> if not (SSet.mem v defined) then exposed := SSet.add v !exposed)
+      (Ast_utils.expr_vars e)
+  in
+  (* returns the definite definitions added by the statement *)
+  let rec stmt defined (s : Ast.stmt) : SSet.t =
+    match s with
+    | Ast.Assign (l, rhs) -> (
+        read defined rhs;
+        (match l with
+        | Ast.LIdx (_, subs) -> List.iter (read defined) subs
+        | Ast.LSection (_, dims) ->
+            List.iter
+              (function
+                | Ast.Elem e -> read defined e
+                | Ast.Range (a, b, c) ->
+                    List.iter (Option.iter (read defined)) [ a; b; c ])
+              dims
+        | Ast.LVar _ -> ());
+        match l with
+        | Ast.LVar v -> SSet.add v defined
+        | Ast.LIdx _ | Ast.LSection _ -> defined)
+    | Ast.If (c, t, e) ->
+        read defined c;
+        let dt = List.fold_left stmt defined t in
+        let de = List.fold_left stmt defined e in
+        (* only definitions on both branches are definite *)
+        SSet.union defined (SSet.inter dt de)
+    | Ast.Do (h, blk) ->
+        read defined h.lo;
+        read defined h.hi;
+        Option.iter (read defined) h.step;
+        let defined_in = SSet.add h.index defined in
+        let _ = List.fold_left stmt defined_in blk.body in
+        (* the inner loop may run zero times: its definitions are not
+           definite, but reads inside it that we recorded stand; the index
+           is written *)
+        SSet.add h.index defined
+    | Ast.Where (m, b) ->
+        read defined m;
+        let _ = List.fold_left stmt defined b in
+        defined
+    | Ast.CallSt (_, args) ->
+        List.iter (read defined) args;
+        defined
+    | Ast.Print args ->
+        List.iter (read defined) args;
+        defined
+    | Ast.Read ls ->
+        List.fold_left
+          (fun d l -> match l with Ast.LVar v -> SSet.add v d | _ -> d)
+          defined ls
+    | Ast.Labeled (_, s) -> stmt defined s
+    | Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _ -> defined
+  in
+  let _ = List.fold_left stmt SSet.empty body in
+  !exposed
+
+(* Is the LAST write to v in the body unconditional and at the top level?
+   (needed for a last-value assignment) *)
+let last_write_unconditional v (body : Ast.stmt list) =
+  let rec last acc (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (Ast.LVar x, _) when x = v -> Some true
+    | Ast.If (_, t, e) ->
+        let wt = List.fold_left last None t and we = List.fold_left last None e in
+        if wt <> None || we <> None then Some false else acc
+    | Ast.Do (_, blk) ->
+        let w = List.fold_left last None blk.body in
+        if w <> None then Some false else acc
+    | Ast.Where (_, b) ->
+        let w = List.fold_left last None b in
+        if w <> None then Some false else acc
+    | Ast.Labeled (_, s) -> last acc s
+    | _ -> acc
+  in
+  match List.fold_left last None body with Some b -> b | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  classes : classification SMap.t;  (** every scalar written in the body *)
+  exposed : SSet.t;
+}
+
+(** Classify the scalars of loop [index] with body [body].
+    [live_after] tells which variables are read after the loop. *)
+let classify ~(index : string) ~(live_after : string -> bool)
+    (body : Ast.stmt list) : result =
+  let tbl = census body in
+  let exposed = upward_exposed body in
+  let inner = Loops.inner_loops body in
+  let inner_indices = List.map (fun h -> h.Ast.index) inner in
+  let classes =
+    Hashtbl.fold
+      (fun v o acc ->
+        if o.writes = 0 then acc
+        else if v = index then acc (* the loop's own index *)
+        else if List.mem v inner_indices then
+          (* inner loop indices are trivially private *)
+          SMap.add v (Privatizable { live_out = false }) acc
+        else if o.written_in_call then SMap.add v Shared_dep acc
+        else
+          (* an induction variable is read before written and used beyond
+             its own update; an update never otherwise read is better
+             treated as a reduction (partial sums need no closed form) *)
+          let is_induction =
+            o.writes = 1
+            && List.length o.induction_updates = 1
+            && SSet.mem v exposed && o.other_reads > 0
+          in
+          let is_reduction =
+            o.writes >= 1
+            && o.reduction_stmts = o.writes
+            && o.other_reads <= 0
+            && match List.sort_uniq compare o.red_ops with
+               | [ _ ] -> true
+               | _ -> false
+          in
+          if is_induction then
+            SMap.add v (Induction (List.hd o.induction_updates)) acc
+          else if is_reduction then
+            SMap.add v (Reduction (List.hd o.red_ops)) acc
+          else if not (SSet.mem v exposed) then
+            SMap.add v (Privatizable { live_out = live_after v }) acc
+          else SMap.add v Shared_dep acc)
+      tbl SMap.empty
+  in
+  { classes; exposed }
+
+(** The scalars that block DOALL conversion outright. *)
+let blockers (r : result) =
+  SMap.fold
+    (fun v c acc -> match c with Shared_dep -> v :: acc | _ -> acc)
+    r.classes []
+  |> List.rev
+
+(** Privatizable scalars needing a last-value copy-out. *)
+let needs_last_value (r : result) (body : Ast.stmt list) =
+  SMap.fold
+    (fun v c acc ->
+      match c with
+      | Privatizable { live_out = true } ->
+          (v, last_write_unconditional v body) :: acc
+      | _ -> acc)
+    r.classes []

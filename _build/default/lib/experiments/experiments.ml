@@ -1,0 +1,511 @@
+(** The paper's experiments (§4): code that regenerates every table and
+    figure.  Each function returns structured results and can print the
+    same rows/series the paper reports; bench/main.ml drives them all.
+
+    Per DESIGN.md, the acceptance criterion is the {i shape} — who wins,
+    by roughly what factor, where the crossovers fall — not absolute 1991
+    hardware numbers. *)
+
+open Fortran
+module R = Restructurer
+module PM = Perfmodel.Model
+module W = Workloads
+module Cfg = Machine.Config
+
+let cedar = Cfg.cedar_config1
+let cedar2 = Cfg.cedar_config2
+let fx80 = Cfg.fx80
+let _ = cedar2
+
+let parse = Parser.parse_program
+
+let cycles cfg prog = (PM.evaluate ~cfg prog).PM.cycles
+
+let restructured opts prog = (R.Driver.restructure opts prog).R.Driver.program
+
+let speedup cfg opts prog =
+  cycles cfg prog /. cycles cfg (restructured opts prog)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type table1_row = {
+  t1_name : string;
+  t1_size : int;
+  t1_measured : float;
+  t1_paper : float;
+}
+
+(** Speedups of automatically restructured linear algebra routines on
+    Configuration 1 of the 32-processor Cedar. *)
+let table1 () : table1_row list =
+  List.map
+    (fun (w : W.Workload.t) ->
+      let prog = parse (w.W.Workload.source w.W.Workload.paper_size) in
+      {
+        t1_name = w.W.Workload.name;
+        t1_size = w.W.Workload.paper_size;
+        t1_measured = speedup cedar (R.Options.auto_1991 cedar) prog;
+        t1_paper = w.W.Workload.paper_speedup_cedar;
+      })
+    W.Linalg.all
+
+let print_table1 () =
+  Report.heading "Table 1: speedups of automatically restructured linear \
+                  algebra routines (Cedar, Configuration 1)";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.t1_name;
+          string_of_int r.t1_size;
+          Report.fnum r.t1_measured;
+          Report.fnum r.t1_paper;
+        ])
+      (table1 ())
+  in
+  Report.table [ "Routine"; "Data size"; "Speedup (ours)"; "Speedup (paper)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type table2_row = {
+  t2_name : string;
+  t2_auto_fx80 : float;
+  t2_auto_cedar : float;
+  t2_man_fx80 : float;
+  t2_man_cedar : float;
+  t2_paper : W.Perfect.paper_row;
+}
+
+(** Speedups versus serial for the Perfect-mini programs on the Alliant
+    FX/80 and Cedar, automatically compiled vs manually improved (=
+    the advanced technique set, §4.1). *)
+let table2 () : table2_row list =
+  List.map
+    (fun (w : W.Workload.t) ->
+      let prog = parse (w.W.Workload.source w.W.Workload.paper_size) in
+      let sp cfg opts = speedup cfg opts prog in
+      {
+        t2_name = w.W.Workload.name;
+        t2_auto_fx80 = sp fx80 (R.Options.auto_1991 fx80);
+        t2_auto_cedar = sp cedar (R.Options.auto_1991 cedar);
+        t2_man_fx80 = sp fx80 (R.Options.advanced fx80);
+        t2_man_cedar = sp cedar (R.Options.advanced cedar);
+        t2_paper = List.assoc w.W.Workload.name W.Perfect.paper_table2;
+      })
+    W.Perfect.all
+
+let print_table2 () =
+  Report.heading
+    "Table 2: speedups versus serial for Perfect-mini programs (auto vs \
+     manually-improved technique sets)";
+  let rows = table2 () in
+  Report.table
+    [
+      "Program"; "FX80 auto"; "FX80 manual"; "Cedar auto"; "Cedar manual";
+      "paper FX80 a/m"; "paper Cedar a/m";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.t2_name;
+           Report.fnum r.t2_auto_fx80;
+           Report.fnum r.t2_man_fx80;
+           Report.fnum r.t2_auto_cedar;
+           Report.fnum r.t2_man_cedar;
+           Printf.sprintf "%.1f / %.1f" r.t2_paper.W.Perfect.p_auto_fx80
+             r.t2_paper.W.Perfect.p_manual_fx80;
+           Printf.sprintf "%.1f / %.1f" r.t2_paper.W.Perfect.p_auto_cedar
+             r.t2_paper.W.Perfect.p_manual_cedar;
+         ])
+       rows);
+  (* the paper's summary statistic *)
+  let avg f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  let imp_fx = avg (fun r -> r.t2_man_fx80 /. r.t2_auto_fx80) in
+  let imp_cedar = avg (fun r -> r.t2_man_cedar /. r.t2_auto_cedar) in
+  Printf.printf
+    "Average manual improvement: FX/80 %.1fx (paper: 4.5x), Cedar %.1fx \
+     (paper: 17.2x)\n"
+    imp_fx imp_cedar
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: compiler-inserted prefetch                                *)
+(* ------------------------------------------------------------------ *)
+
+type fig6_bar = { f6_program : string; f6_no_prefetch : float; f6_prefetch : float }
+
+(** Effect of prefetch instructions on CG and TRFD (relative speed,
+    no-prefetch = 1).  Paper: CG gains up to 100%, TRFD only ~15%
+    (short vectors; most references privatized). *)
+let fig6 () : fig6_bar list =
+  let run ?(privatize_to_cluster = []) name prog_src opts =
+    let prog = parse prog_src in
+    let par = restructured opts prog in
+    (* the paper notes TRFD's manually optimized version had "a high
+       percentage of its references privatized (diverted to cluster
+       memory)", which is why prefetch gains it little: reproduce that
+       placement for the named arrays *)
+    let par =
+      List.map
+        (fun u ->
+          {
+            u with
+            Ast.u_decls =
+              List.map
+                (fun d ->
+                  if
+                    d.Ast.d_vis = Ast.Global
+                    && List.mem d.Ast.d_name privatize_to_cluster
+                  then { d with Ast.d_vis = Ast.Cluster }
+                  else d)
+                u.Ast.u_decls;
+          })
+        par
+    in
+    let off = cycles (Cfg.with_prefetch cedar false) par in
+    let on = cycles (Cfg.with_prefetch cedar true) par in
+    { f6_program = name; f6_no_prefetch = 1.0; f6_prefetch = off /. on }
+  in
+  [
+    run "Conjugate Gradient"
+      ((W.Linalg.find "CG").W.Workload.source 400)
+      (R.Options.auto_1991 cedar);
+    run "TRFD" ~privatize_to_cluster:[ "xint" ]
+      ((W.Perfect.find "TRFD").W.Workload.source 192)
+      (R.Options.advanced cedar);
+  ]
+
+let print_fig6 () =
+  Report.heading "Figure 6: effect of compiler-inserted prefetch instructions";
+  List.iter
+    (fun b ->
+      Printf.printf "%s:\n" b.f6_program;
+      Report.bars
+        [ ("no prefetch", b.f6_no_prefetch); ("prefetch", b.f6_prefetch) ])
+    (fig6 ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: privatization vs expansion in MDG                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Turn the advanced-restructured MDG's loop-local (privatized) work
+   arrays into globally expanded arrays (extra iteration dimension):
+   the paper's "expansion" variant of the same loop. *)
+let expansion_variant (prog : Ast.program) : Ast.program =
+  List.map
+    (fun u ->
+      let extra = ref [] in
+      let rec rewrite (s : Ast.stmt) : Ast.stmt =
+        match s with
+        | Ast.Do (h, blk) when Ast.is_parallel h.Ast.cls ->
+            let priv_arrays, keep =
+              List.partition (fun d -> d.Ast.d_dims <> []) h.Ast.locals
+            in
+            if priv_arrays = [] then
+              Ast.Do (h, { blk with Ast.body = List.map rewrite blk.Ast.body })
+            else begin
+              let exps =
+                List.map
+                  (fun d ->
+                    {
+                      Transform.Expand.e_name = d.Ast.d_name;
+                      e_type = d.Ast.d_type;
+                      e_dims = d.Ast.d_dims;
+                    })
+                  priv_arrays
+              in
+              let h = { h with Ast.locals = keep } in
+              let loop', decls = Transform.Expand.apply exps h blk in
+              extra := !extra @ decls;
+              loop'
+            end
+        | Ast.Do (h, blk) ->
+            Ast.Do (h, { blk with Ast.body = List.map rewrite blk.Ast.body })
+        | Ast.If (c, t, e) -> Ast.If (c, List.map rewrite t, List.map rewrite e)
+        | s -> s
+      in
+      let body = List.map rewrite u.Ast.u_body in
+      { u with Ast.u_body = body; u_decls = u.Ast.u_decls @ !extra })
+    prog
+
+type fig7_result = { f7_privatized : float; f7_expanded : float }
+
+(** MDG's major loop with privatized work arrays vs the same data expanded
+    into global memory.  Paper: the non-privatized version runs ~50%
+    slower. *)
+let fig7 () : fig7_result =
+  let prog = parse ((W.Perfect.find "MDG").W.Workload.source 256) in
+  let priv = restructured (R.Options.advanced cedar) prog in
+  let expanded = expansion_variant priv in
+  let t_priv = cycles cedar priv in
+  let t_exp = cycles cedar expanded in
+  { f7_privatized = 1.0; f7_expanded = t_priv /. t_exp }
+
+let print_fig7 () =
+  Report.heading "Figure 7: data privatization vs expansion in MDG";
+  let r = fig7 () in
+  Report.bars
+    [ ("privatization", r.f7_privatized); ("expansion", r.f7_expanded) ];
+  Printf.printf
+    "(paper: the expanded variant runs at ~0.5 of the privatized speed)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: data partitioning in CG                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* the data-distributed variant: the same restructured program with every
+   globalized object partitioned across the cluster memories *)
+let distributed_variant (prog : Ast.program) : Ast.program =
+  List.map
+    (fun u ->
+      {
+        u with
+        Ast.u_decls =
+          List.map
+            (fun d ->
+              if d.Ast.d_vis = Ast.Global then { d with Ast.d_vis = Ast.Cluster }
+              else d)
+            u.Ast.u_decls;
+      })
+    prog
+
+type fig8_result = {
+  f8_clusters : int list;
+  f8_global : float list;  (** speed relative to 1-cluster distributed *)
+  f8_distributed : float list;
+}
+
+(** CG speed vs number of clusters: global-memory placement saturates past
+    two clusters; the data-distributed variant scales nearly linearly
+    (both relative to a 1-cluster cluster-memory run). *)
+let fig8 () : fig8_result =
+  let prog = parse ((W.Linalg.find "CG").W.Workload.source 400) in
+  let par = restructured (R.Options.auto_1991 cedar) prog in
+  let dist = distributed_variant par in
+  let clusters = [ 1; 2; 3; 4 ] in
+  let base = cycles (Cfg.with_clusters cedar 1) dist in
+  {
+    f8_clusters = clusters;
+    f8_global =
+      List.map (fun k -> base /. cycles (Cfg.with_clusters cedar k) par) clusters;
+    f8_distributed =
+      List.map (fun k -> base /. cycles (Cfg.with_clusters cedar k) dist) clusters;
+  }
+
+let print_fig8 () =
+  Report.heading "Figure 8: data partitioning in the Conjugate Gradient \
+                  algorithm (speed relative to 1-cluster, cluster-memory run)";
+  let r = fig8 () in
+  Report.series
+    ~xlabels:(List.map (fun k -> Printf.sprintf "%d cluster(s)" k) r.f8_clusters)
+    [
+      ("global-memory placement", r.f8_global);
+      ("data distribution", r.f8_distributed);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: combining multiple parallel loops (FLO52)                 *)
+(* ------------------------------------------------------------------ *)
+
+type fig9_result = {
+  f9_machine : string;
+  f9_a : float;  (** inner loops parallel *)
+  f9_b : float;  (** outer loops parallel *)
+  f9_c : float;  (** outer loops fused *)
+}
+
+(** FLO52 variants: (a) inner loops parallel only (the 1991 compiler),
+    (b) outer loops parallelized (array privatization), (c) the two outer
+    loops fused into one parallel loop.  Paper: c gains ~50% over a on the
+    FX/80 and ~100% on Cedar (SDO startup amortization). *)
+let fig9 () : fig9_result list =
+  let src = (W.Perfect.find "FLO52").W.Workload.source 96 in
+  let prog = parse src in
+  let variant cfg techniques =
+    cycles cfg
+      (restructured (R.Options.make ~techniques cfg) prog)
+  in
+  let t_a cfg =
+    (* inner-only: no array privatization, so the outer loops block *)
+    variant cfg R.Options.base_techniques
+  in
+  let t_b cfg =
+    variant cfg
+      { R.Options.advanced_techniques with R.Options.loop_fusion = false }
+  in
+  let t_c cfg = variant cfg R.Options.advanced_techniques in
+  List.map
+    (fun (name, cfg) ->
+      let a = t_a cfg and b = t_b cfg and c = t_c cfg in
+      { f9_machine = name; f9_a = 1.0; f9_b = a /. b; f9_c = a /. c })
+    [ ("Alliant FX/80", fx80); ("Cedar", cedar) ]
+
+let print_fig9 () =
+  Report.heading
+    "Figure 9: combining multiple parallel loops into a single parallel \
+     loop (FLO52; speed relative to variant a)";
+  List.iter
+    (fun r ->
+      Printf.printf "%s:\n" r.f9_machine;
+      Report.bars
+        [
+          ("a: inner loops parallel", r.f9_a);
+          ("b: outer loops parallel", r.f9_b);
+          ("c: outer loops fused", r.f9_c);
+        ])
+    (fig9 ())
+
+(* ------------------------------------------------------------------ *)
+(* The QCD footnote                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type qcd_result = { q_serialized : float; q_critical : float; q_parallel_rng : float }
+
+(** The QCD random-number dependence cycle (paper footnote 1):
+    fully serialized (passes validation), forward-dependence-only
+    (critical section), and a parallel random number generator. *)
+let qcd_note () : qcd_result =
+  let n = 4096 in
+  let sp ?(opts = R.Options.advanced cedar) mode =
+    let prog = parse (W.Perfect.qcd_variant ~rng_mode:mode n) in
+    speedup cedar opts prog
+  in
+  (* "fully serialized" forbids splitting the update away from the RNG —
+     the only variant that passes the Perfect validation test *)
+  let no_distribution =
+    R.Options.make
+      ~techniques:
+        {
+          R.Options.advanced_techniques with
+          R.Options.loop_distribution = false;
+        }
+      cedar
+  in
+  {
+    q_serialized = sp ~opts:no_distribution 0;
+    q_critical = sp 1;
+    q_parallel_rng = sp 2;
+  }
+
+let print_qcd_note () =
+  Report.heading "QCD footnote: handling the random-number dependence cycle";
+  let r = qcd_note () in
+  Report.table
+    [ "Variant"; "Speedup (ours)"; "Speedup (paper)" ]
+    [
+      [ "cycle fully serialized"; Report.fnum r.q_serialized; "1.8" ];
+      [ "forward dep only (critical)"; Report.fnum r.q_critical; "4.5" ];
+      [ "parallel RNG"; Report.fnum r.q_parallel_rng; "20.8" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: per-technique contribution                                *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_flags :
+    (string * (R.Options.techniques -> R.Options.techniques)) list =
+  [
+    ("-array priv", fun t -> { t with R.Options.array_privatization = false });
+    ("-gen reduction", fun t -> { t with R.Options.generalized_reduction = false });
+    ("-giv", fun t -> { t with R.Options.giv_substitution = false });
+    ("-rt test", fun t -> { t with R.Options.runtime_dep_test = false });
+    ("-interproc", fun t -> { t with R.Options.interprocedural = false });
+    ("-fusion", fun t -> { t with R.Options.loop_fusion = false });
+    ("-distribution", fun t -> { t with R.Options.loop_distribution = false });
+  ]
+
+(** For each Perfect mini: the advanced-set Cedar speedup, and the speedup
+    with each §4.1 technique individually disabled — showing which
+    technique carries which code (the per-code attributions of §4.1). *)
+let ablation () :
+    (string * float * (string * float) list) list =
+  List.map
+    (fun (w : W.Workload.t) ->
+      let prog = parse (w.W.Workload.source w.W.Workload.paper_size) in
+      let serial = cycles cedar prog in
+      let sp techniques =
+        serial /. cycles cedar (restructured (R.Options.make ~techniques cedar) prog)
+      in
+      let full = sp R.Options.advanced_techniques in
+      let rows =
+        List.map
+          (fun (name, off) -> (name, sp (off R.Options.advanced_techniques)))
+          ablation_flags
+      in
+      (w.W.Workload.name, full, rows))
+    W.Perfect.all
+
+let print_ablation () =
+  Report.heading
+    "Ablation: Cedar speedup with each advanced technique disabled \
+     (advanced = all techniques on)";
+  let rows = ablation () in
+  Report.table
+    ("Program" :: "advanced" :: List.map fst ablation_flags)
+    (List.map
+       (fun (name, full, cols) ->
+         name :: Report.fnum full
+         :: List.map (fun (_, v) -> Report.fnum v) cols)
+       rows)
+
+(* ------------------------------------------------------------------ *)
+
+let print_all () =
+  print_table1 ();
+  print_table2 ();
+  print_fig6 ();
+  print_fig7 ();
+  print_fig8 ();
+  print_fig9 ();
+  print_qcd_note ()
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic kernel scoreboard                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** The 25-kernel synthetic suite (paper §4.1's "small routines and
+    synthetic loops"): the decision each technique set reaches on each
+    kernel's outermost loop. *)
+let print_synthetic () =
+  Report.heading
+    "Synthetic kernel suite: outermost-loop decisions (auto | advanced)";
+  let decision opts prog =
+    let res = R.Driver.restructure opts prog in
+    let tops =
+      List.filter (fun r -> r.R.Driver.r_depth = 0) res.R.Driver.reports
+    in
+    let has p = List.exists p tops in
+    if
+      has (fun r ->
+          r.R.Driver.r_decision = "library substitution"
+          || r.R.Driver.r_decision = "vector reduction intrinsic")
+    then "library"
+    else if has (fun r -> r.R.Driver.r_decision = "doacross") then "doacross"
+    else if
+      has (fun r ->
+          let d = r.R.Driver.r_decision in
+          String.length d >= 11 && String.sub d 0 11 = "two-version")
+    then "two-version"
+    else if has (fun r -> r.R.Driver.r_decision = "parallelized") then
+      "parallel"
+    else "serial"
+  in
+  Report.table
+    [ "Kernel"; "description"; "auto"; "advanced" ]
+    (List.map
+       (fun (k : W.Synthetic.kernel) ->
+         let prog = parse (W.Synthetic.classification_program_of k) in
+         [
+           k.W.Synthetic.k_name;
+           String.map (fun c -> if c = '\n' then ' ' else c) k.W.Synthetic.k_doc;
+           decision (R.Options.auto_1991 cedar) prog;
+           decision (R.Options.advanced cedar) prog;
+         ])
+       W.Synthetic.kernels)

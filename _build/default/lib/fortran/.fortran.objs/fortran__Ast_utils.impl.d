@@ -1,0 +1,1 @@
+lib/fortran/ast_utils.pp.ml: Ast List Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/fortran/parser.pp.ml: Array Ast Hashtbl Lexer List Option Printf String Token

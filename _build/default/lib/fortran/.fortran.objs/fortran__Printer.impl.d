@@ -1,0 +1,1 @@
+lib/fortran/printer.pp.ml: Ast Buffer Float List Printf String

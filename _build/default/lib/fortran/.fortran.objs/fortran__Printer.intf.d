@@ -1,0 +1,1 @@
+lib/fortran/printer.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/fortran/symbols.pp.ml: Ast Ast_utils Hashtbl List String

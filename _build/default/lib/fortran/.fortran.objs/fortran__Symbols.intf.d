@@ -1,0 +1,1 @@
+lib/fortran/symbols.pp.mli: Ast Ast_utils

@@ -1,0 +1,380 @@
+(** Traversals, substitutions and structural helpers over the AST. *)
+
+open Ast
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Expression traversal                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Int _ | Num _ | Str _ | Bool _ | Var _ -> e
+    | Idx (a, args) -> Idx (a, List.map (map_expr f) args)
+    | Section (a, dims) -> Section (a, List.map (map_section_dim f) dims)
+    | Call (n, args) -> Call (n, List.map (map_expr f) args)
+    | Bin (op, a, b) -> Bin (op, map_expr f a, map_expr f b)
+    | Un (op, a) -> Un (op, map_expr f a)
+  in
+  f e'
+
+and map_section_dim f = function
+  | Elem e -> Elem (map_expr f e)
+  | Range (lo, hi, step) ->
+      Range
+        ( Option.map (map_expr f) lo,
+          Option.map (map_expr f) hi,
+          Option.map (map_expr f) step )
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Num _ | Str _ | Bool _ | Var _ -> acc
+  | Idx (_, args) | Call (_, args) -> List.fold_left (fold_expr f) acc args
+  | Section (_, dims) ->
+      List.fold_left
+        (fun acc d ->
+          match d with
+          | Elem e -> fold_expr f acc e
+          | Range (lo, hi, step) ->
+              List.fold_left
+                (fun acc o ->
+                  match o with None -> acc | Some e -> fold_expr f acc e)
+                acc [ lo; hi; step ])
+        acc dims
+  | Bin (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Un (_, a) -> fold_expr f acc a
+
+(** All variable and array names read by an expression (array names include
+    the base of element references and sections; function call names are not
+    included, but their arguments are traversed). *)
+let expr_vars e =
+  fold_expr
+    (fun acc e ->
+      match e with
+      | Var v -> SSet.add v acc
+      | Idx (a, _) | Section (a, _) -> SSet.add a acc
+      | _ -> acc)
+    SSet.empty e
+
+let lhs_name = function LVar v | LIdx (v, _) | LSection (v, _) -> v
+
+(** Variables read on a left-hand side (the subscripts). *)
+let lhs_read_vars = function
+  | LVar _ -> SSet.empty
+  | LIdx (_, args) ->
+      List.fold_left (fun acc e -> SSet.union acc (expr_vars e)) SSet.empty args
+  | LSection (_, dims) ->
+      List.fold_left
+        (fun acc d ->
+          match d with
+          | Elem e -> SSet.union acc (expr_vars e)
+          | Range (lo, hi, step) ->
+              List.fold_left
+                (fun acc o ->
+                  match o with
+                  | None -> acc
+                  | Some e -> SSet.union acc (expr_vars e))
+                acc [ lo; hi; step ])
+        SSet.empty dims
+
+(** Substitute variable [v] by expression [r] everywhere in [e]. *)
+let subst_var v r e =
+  map_expr (function Var x when x = v -> r | x -> x) e
+
+let subst_var_lhs v r = function
+  | LVar x -> LVar x
+  | LIdx (a, args) -> LIdx (a, List.map (subst_var v r) args)
+  | LSection (a, dims) ->
+      LSection (a, List.map (map_section_dim (function Var x when x = v -> r | x -> x)) dims)
+
+(* ------------------------------------------------------------------ *)
+(* Statement traversal                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_stmt_exprs f s =
+  let fe = map_expr f in
+  let fl = function
+    | LVar v -> LVar v
+    | LIdx (a, args) -> LIdx (a, List.map fe args)
+    | LSection (a, dims) -> LSection (a, List.map (map_section_dim f) dims)
+  in
+  match s with
+  | Assign (l, e) -> Assign (fl l, fe e)
+  | If (c, t, e) ->
+      If (fe c, List.map (map_stmt_exprs f) t, List.map (map_stmt_exprs f) e)
+  | Do (hdr, blk) ->
+      Do
+        ( {
+            hdr with
+            lo = fe hdr.lo;
+            hi = fe hdr.hi;
+            step = Option.map fe hdr.step;
+          },
+          {
+            preamble = List.map (map_stmt_exprs f) blk.preamble;
+            body = List.map (map_stmt_exprs f) blk.body;
+            postamble = List.map (map_stmt_exprs f) blk.postamble;
+          } )
+  | Where (m, body) -> Where (fe m, List.map (map_stmt_exprs f) body)
+  | CallSt (n, args) -> CallSt (n, List.map fe args)
+  | Return | Stop | Continue | Goto _ -> s
+  | Labeled (l, s) -> Labeled (l, map_stmt_exprs f s)
+  | Print args -> Print (List.map fe args)
+  | Read ls -> Read (List.map fl ls)
+
+let rec fold_stmts f acc stmts = List.fold_left (fold_stmt f) acc stmts
+
+and fold_stmt f acc s =
+  let acc = f acc s in
+  match s with
+  | Assign _ | CallSt _ | Return | Stop | Continue | Goto _ | Print _ | Read _
+    ->
+      acc
+  | If (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+  | Do (_, blk) ->
+      fold_stmts f (fold_stmts f (fold_stmts f acc blk.preamble) blk.body)
+        blk.postamble
+  | Where (_, body) -> fold_stmts f acc body
+  | Labeled (_, s) -> fold_stmt f acc s
+
+(** Rewrite statements bottom-up: [f] sees each statement after its children
+    were rewritten and may return a replacement list. *)
+let rec rewrite_stmts (f : stmt -> stmt list) stmts =
+  List.concat_map (rewrite_stmt f) stmts
+
+and rewrite_stmt f s =
+  let s' =
+    match s with
+    | Assign _ | CallSt _ | Return | Stop | Continue | Goto _ | Print _
+    | Read _ ->
+        s
+    | If (c, t, e) -> If (c, rewrite_stmts f t, rewrite_stmts f e)
+    | Do (hdr, blk) ->
+        Do
+          ( hdr,
+            {
+              preamble = rewrite_stmts f blk.preamble;
+              body = rewrite_stmts f blk.body;
+              postamble = rewrite_stmts f blk.postamble;
+            } )
+    | Where (m, body) -> Where (m, rewrite_stmts f body)
+    | Labeled (l, s) -> Labeled (l, s)
+  in
+  match s' with
+  | Labeled (l, inner) -> (
+      (* keep the label on the first replacement statement *)
+      match rewrite_stmt f inner with
+      | [] -> [ Labeled (l, Continue) ]
+      | first :: rest -> Labeled (l, first) :: rest)
+  | _ -> f s'
+
+(** Strip Labeled wrappers (labels only matter for GOTO, which the
+    restructurer treats as a parallelization blocker anyway). *)
+let rec strip_labels_stmt s =
+  match s with
+  | Labeled (_, Continue) -> Continue
+  | Labeled (l, s) -> Labeled (l, strip_labels_stmt s)
+  | Assign _ | CallSt _ | Return | Stop | Continue | Goto _ | Print _ | Read _
+    ->
+      s
+  | If (c, t, e) ->
+      If (c, List.map strip_labels_stmt t, List.map strip_labels_stmt e)
+  | Do (hdr, blk) ->
+      Do
+        ( hdr,
+          {
+            preamble = List.map strip_labels_stmt blk.preamble;
+            body = List.map strip_labels_stmt blk.body;
+            postamble = List.map strip_labels_stmt blk.postamble;
+          } )
+  | Where (m, body) -> Where (m, List.map strip_labels_stmt body)
+
+(** Does any statement in the list satisfy [p]? *)
+let exists_stmt p stmts = fold_stmts (fun acc s -> acc || p s) false stmts
+
+let contains_goto stmts =
+  exists_stmt (function Goto _ -> true | _ -> false) stmts
+
+let contains_call stmts =
+  exists_stmt
+    (function
+      | CallSt _ -> true
+      | Assign (_, e) ->
+          fold_expr
+            (fun acc e ->
+              acc
+              || match e with Call (n, _) -> not (is_intrinsic n) | _ -> false)
+            false e
+      | _ -> false)
+    stmts
+
+let contains_io stmts =
+  exists_stmt (function Print _ | Read _ -> true | _ -> false) stmts
+
+(* ------------------------------------------------------------------ *)
+(* Reads / writes of statements                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Scalar and array names written by one statement (not recursing into
+    nested loop bodies' headers' index variables — those are included too,
+    since a DO writes its index). *)
+let rec stmt_writes acc s =
+  match s with
+  | Assign (l, _) -> SSet.add (lhs_name l) acc
+  | If (_, t, e) -> List.fold_left stmt_writes (List.fold_left stmt_writes acc t) e
+  | Do (hdr, blk) ->
+      let acc = SSet.add hdr.index acc in
+      List.fold_left stmt_writes
+        (List.fold_left stmt_writes
+           (List.fold_left stmt_writes acc blk.preamble)
+           blk.body)
+        blk.postamble
+  | Where (_, body) -> List.fold_left stmt_writes acc body
+  | CallSt (_, args) ->
+      (* conservatively: every variable or array argument may be written *)
+      List.fold_left
+        (fun acc e ->
+          match e with
+          | Var v -> SSet.add v acc
+          | Idx (a, _) | Section (a, _) -> SSet.add a acc
+          | _ -> acc)
+        acc args
+  | Read ls -> List.fold_left (fun acc l -> SSet.add (lhs_name l) acc) acc ls
+  | Labeled (_, s) -> stmt_writes acc s
+  | Return | Stop | Continue | Goto _ | Print _ -> acc
+
+let rec stmt_reads acc s =
+  match s with
+  | Assign (l, e) -> SSet.union acc (SSet.union (lhs_read_vars l) (expr_vars e))
+  | If (c, t, e) ->
+      let acc = SSet.union acc (expr_vars c) in
+      List.fold_left stmt_reads (List.fold_left stmt_reads acc t) e
+  | Do (hdr, blk) ->
+      let acc = SSet.union acc (expr_vars hdr.lo) in
+      let acc = SSet.union acc (expr_vars hdr.hi) in
+      let acc =
+        match hdr.step with None -> acc | Some s -> SSet.union acc (expr_vars s)
+      in
+      List.fold_left stmt_reads
+        (List.fold_left stmt_reads
+           (List.fold_left stmt_reads acc blk.preamble)
+           blk.body)
+        blk.postamble
+  | Where (m, body) ->
+      List.fold_left stmt_reads (SSet.union acc (expr_vars m)) body
+  | CallSt (_, args) ->
+      List.fold_left (fun acc e -> SSet.union acc (expr_vars e)) acc args
+  | Print args ->
+      List.fold_left (fun acc e -> SSet.union acc (expr_vars e)) acc args
+  | Read ls -> List.fold_left (fun acc l -> SSet.union acc (lhs_read_vars l)) acc ls
+  | Labeled (_, s) -> stmt_reads acc s
+  | Return | Stop | Continue | Goto _ -> acc
+
+let writes_of stmts = List.fold_left stmt_writes SSet.empty stmts
+let reads_of stmts = List.fold_left stmt_reads SSet.empty stmts
+
+(** The coefficient of [index] in an expression viewed structurally as a
+    sum of terms: terms free of the index may be arbitrarily nonlinear in
+    other variables; terms in the index must be [index] or [c*index].
+    [None] = not linear in the index. *)
+let rec index_coeff index (e : Ast.expr) : int option =
+  let free e = not (SSet.mem index (expr_vars e)) in
+  match e with
+  | _ when free e -> Some 0
+  | Ast.Var v when v = index -> Some 1
+  | Ast.Bin (Ast.Add, a, b) -> (
+      match (index_coeff index a, index_coeff index b) with
+      | Some x, Some y -> Some (x + y)
+      | _ -> None)
+  | Ast.Bin (Ast.Sub, a, b) -> (
+      match (index_coeff index a, index_coeff index b) with
+      | Some x, Some y -> Some (x - y)
+      | _ -> None)
+  | Ast.Bin (Ast.Mul, Ast.Int c, b) -> (
+      match index_coeff index b with Some y -> Some (c * y) | None -> None)
+  | Ast.Bin (Ast.Mul, a, Ast.Int c) -> (
+      match index_coeff index a with Some x -> Some (c * x) | None -> None)
+  | Ast.Un (Ast.Neg, a) -> (
+      match index_coeff index a with Some x -> Some (-x) | None -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fresh names                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_counter = ref 0
+
+let fresh_name prefix =
+  incr fresh_counter;
+  Printf.sprintf "%s%d" prefix !fresh_counter
+
+let reset_fresh () = fresh_counter := 0
+
+(* ------------------------------------------------------------------ *)
+(* Simple constant folding / simplification                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec simplify e =
+  match e with
+  | Bin (op, a, b) -> (
+      let a = simplify a and b = simplify b in
+      match (op, a, b) with
+      | Add, Int x, Int y -> Int (x + y)
+      | Sub, Int x, Int y -> Int (x - y)
+      | Mul, Int x, Int y -> Int (x * y)
+      | Div, Int x, Int y when y <> 0 && x mod y = 0 -> Int (x / y)
+      | Add, e, Int 0 | Add, Int 0, e -> e
+      | Sub, e, Int 0 -> e
+      | Mul, e, Int 1 | Mul, Int 1, e -> e
+      | Mul, _, Int 0 | Mul, Int 0, _ -> Int 0
+      | Div, e, Int 1 -> e
+      | Pow, e, Int 1 -> e
+      | _ -> Bin (op, a, b))
+  | Un (Neg, Int x) -> Int (-x)
+  | Un (op, a) -> Un (op, simplify a)
+  | Idx (n, args) -> Idx (n, List.map simplify args)
+  | Call (n, args) -> Call (n, List.map simplify args)
+  | Section (n, dims) ->
+      Section
+        ( n,
+          List.map
+            (function
+              | Elem e -> Elem (simplify e)
+              | Range (lo, hi, st) ->
+                  Range
+                    ( Option.map simplify lo,
+                      Option.map simplify hi,
+                      Option.map simplify st ))
+            dims )
+  | Int _ | Num _ | Str _ | Bool _ | Var _ -> e
+
+(** Try to evaluate an expression to an integer constant given PARAMETER
+    bindings. *)
+let rec const_eval params e =
+  match e with
+  | Int n -> Some n
+  | Var v -> (
+      match List.assoc_opt v params with
+      | Some e -> const_eval params e
+      | None -> None)
+  | Bin (op, a, b) -> (
+      match (const_eval params a, const_eval params b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div -> if y = 0 then None else Some (x / y)
+          | Pow ->
+              if y < 0 then None
+              else
+                let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+                Some (pow x y)
+          | _ -> None)
+      | _ -> None)
+  | Un (Neg, a) -> Option.map (fun x -> -x) (const_eval params a)
+  | _ -> None

@@ -1,0 +1,275 @@
+(** Cedar Fortran source printer.
+
+    Emits the whole AST back as (Cedar) Fortran source.  The output is
+    free-form-ish (leading six blanks, labels in the label field) and
+    re-parses with {!Parser.parse_program}, which the round-trip property
+    tests rely on. *)
+
+open Ast
+
+let buf_add = Buffer.add_string
+
+let prec_of = function
+  | Bin (Or, _, _) -> 1
+  | Bin (And, _, _) -> 2
+  | Un (Not, _) -> 3
+  | Bin ((Eq | Ne | Lt | Le | Gt | Ge), _, _) -> 4
+  | Bin ((Add | Sub), _, _) -> 5
+  | Un (Neg, _) -> 5
+  | Bin ((Mul | Div), _, _) -> 6
+  | Bin (Pow, _, _) -> 7
+  | Int _ | Num _ | Str _ | Bool _ | Var _ | Idx _ | Section _ | Call _ -> 9
+
+and binop_str = function
+  | Add -> " + "
+  | Sub -> " - "
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Eq -> " .eq. "
+  | Ne -> " .ne. "
+  | Lt -> " .lt. "
+  | Le -> " .le. "
+  | Gt -> " .gt. "
+  | Ge -> " .ge. "
+  | And -> " .and. "
+  | Or -> " .or. "
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.10g" f
+
+let rec expr_str e =
+  let paren child =
+    let s = expr_str child in
+    if prec_of child < prec_of e then "(" ^ s ^ ")" else s
+  in
+  match e with
+  | Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Num f -> if f < 0.0 then "(" ^ float_lit f ^ ")" else float_lit f
+  | Str s -> "'" ^ s ^ "'"
+  | Bool true -> ".true."
+  | Bool false -> ".false."
+  | Var v -> v
+  | Idx (a, args) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map expr_str args))
+  | Section (a, dims) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map section_dim_str dims))
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+  | Bin (op, a, b) ->
+      let sa = expr_str a and sb = expr_str b in
+      (* ** is right-associative: a left operand of equal precedence needs
+         parentheses ((x**y)**z prints as (x**y)**z, not x**y**z) *)
+      let need_lparen =
+        match op with
+        | Pow -> prec_of a <= prec_of e && prec_of a < 9
+        | _ -> prec_of a < prec_of e
+      in
+      let pa = if need_lparen then "(" ^ sa ^ ")" else sa in
+      (* right operand of a left-assoc op at equal precedence needs parens
+         for - and / ; Pow is right-assoc *)
+      let need_rparen =
+        match op with
+        | Pow -> prec_of b < prec_of e
+        | Sub | Div | Add | Mul -> prec_of b <= prec_of e && prec_of b < 9
+        | _ -> prec_of b < prec_of e
+      in
+      let pb = if need_rparen then "(" ^ sb ^ ")" else sb in
+      pa ^ binop_str op ^ pb
+  | Un (Neg, a) ->
+      (* a nested unary minus or additive child must be parenthesized:
+         "--c*a" would reparse with the inner minus binding tighter *)
+      let s = expr_str a in
+      if prec_of a <= prec_of e then "-(" ^ s ^ ")" else "-" ^ s
+  | Un (Not, a) -> ".not. " ^ paren a
+
+and section_dim_str = function
+  | Elem e -> expr_str e
+  | Range (lo, hi, step) ->
+      let s o = match o with None -> "" | Some e -> expr_str e in
+      let base = s lo ^ ":" ^ s hi in
+      (match step with None -> base | Some st -> base ^ ":" ^ expr_str st)
+
+let lhs_str = function
+  | LVar v -> v
+  | LIdx (a, args) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map expr_str args))
+  | LSection (a, dims) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map section_dim_str dims))
+
+let dtype_str = function
+  | Integer -> "integer"
+  | Real -> "real"
+  | Double -> "double precision"
+  | Logical -> "logical"
+  | Character -> "character"
+
+let dims_str dims =
+  if dims = [] then ""
+  else
+    "("
+    ^ String.concat ", "
+        (List.map
+           (fun (lo, hi) ->
+             match lo with
+             | Int 1 -> (match hi with Int -1 -> "*" | _ -> expr_str hi)
+             | _ -> expr_str lo ^ ":" ^ expr_str hi)
+           dims)
+    ^ ")"
+
+let decl_line d = dtype_str d.d_type ^ " " ^ d.d_name ^ dims_str d.d_dims
+
+let emit_line buf ?(label = 0) indent text =
+  if label <> 0 then buf_add buf (Printf.sprintf "%4d  " label)
+  else buf_add buf "      ";
+  buf_add buf (String.make (2 * indent) ' ');
+  buf_add buf text;
+  Buffer.add_char buf '\n'
+
+let rec emit_stmt buf indent = function
+  | Assign (l, e) -> emit_line buf indent (lhs_str l ^ " = " ^ expr_str e)
+  | If (c, [ s ], [])
+    when match s with
+         | Assign _ | CallSt _ | Goto _ | Return | Stop -> true
+         | _ -> false ->
+      let inner = Buffer.create 64 in
+      emit_stmt inner 0 s;
+      (* strip the 6-blank prefix and trailing newline of the inner emit *)
+      let text = Buffer.contents inner in
+      let text = String.trim text in
+      emit_line buf indent (Printf.sprintf "if (%s) %s" (expr_str c) text)
+  | If (c, t, e) ->
+      emit_line buf indent (Printf.sprintf "if (%s) then" (expr_str c));
+      List.iter (emit_stmt buf (indent + 1)) t;
+      if e <> [] then begin
+        emit_line buf indent "else";
+        List.iter (emit_stmt buf (indent + 1)) e
+      end;
+      emit_line buf indent "endif"
+  | Where (m, body) ->
+      emit_line buf indent (Printf.sprintf "where (%s)" (expr_str m));
+      List.iter (emit_stmt buf (indent + 1)) body;
+      emit_line buf indent "endwhere"
+  | Do (hdr, blk) ->
+      let step_str =
+        match hdr.step with None -> "" | Some s -> ", " ^ expr_str s
+      in
+      emit_line buf indent
+        (Printf.sprintf "%s %s = %s, %s%s" (loop_keyword hdr.cls) hdr.index
+           (expr_str hdr.lo) (expr_str hdr.hi) step_str);
+      if hdr.cls = Seq then begin
+        List.iter (emit_stmt buf (indent + 1)) blk.body;
+        emit_line buf indent "enddo"
+      end
+      else begin
+        List.iter (fun d -> emit_line buf (indent + 1) (decl_line d)) hdr.locals;
+        if blk.preamble <> [] || blk.postamble <> [] then begin
+          List.iter (emit_stmt buf (indent + 1)) blk.preamble;
+          emit_line buf indent "loop";
+          List.iter (emit_stmt buf (indent + 1)) blk.body;
+          emit_line buf indent "endloop";
+          List.iter (emit_stmt buf (indent + 1)) blk.postamble
+        end
+        else List.iter (emit_stmt buf (indent + 1)) blk.body;
+        emit_line buf indent ("end " ^ String.lowercase_ascii (loop_keyword hdr.cls))
+      end
+  | CallSt (n, []) -> emit_line buf indent ("call " ^ n)
+  | CallSt (n, args) ->
+      emit_line buf indent
+        (Printf.sprintf "call %s(%s)" n
+           (String.concat ", " (List.map expr_str args)))
+  | Return -> emit_line buf indent "return"
+  | Stop -> emit_line buf indent "stop"
+  | Continue -> emit_line buf indent "continue"
+  | Goto n -> emit_line buf indent (Printf.sprintf "goto %d" n)
+  | Labeled (l, s) ->
+      (* print the inner statement carrying the label *)
+      let inner = Buffer.create 64 in
+      emit_stmt inner indent s;
+      let text = Buffer.contents inner in
+      (* replace the first 4 chars with the label *)
+      let lbl = Printf.sprintf "%4d" l in
+      if String.length text > 4 then
+        buf_add buf (lbl ^ String.sub text 4 (String.length text - 4))
+      else buf_add buf text
+  | Print [] -> emit_line buf indent "print *"
+  | Print args ->
+      emit_line buf indent
+        ("print *, " ^ String.concat ", " (List.map expr_str args))
+  | Read ls ->
+      emit_line buf indent
+        ("read *, " ^ String.concat ", " (List.map lhs_str ls))
+
+let emit_unit buf (u : punit) =
+  (match u.u_kind with
+  | Program -> emit_line buf 0 ("program " ^ u.u_name)
+  | Subroutine ps ->
+      emit_line buf 0
+        (Printf.sprintf "subroutine %s(%s)" u.u_name (String.concat ", " ps))
+  | Function (ty, ps) ->
+      emit_line buf 0
+        (Printf.sprintf "%s function %s(%s)" (dtype_str ty) u.u_name
+           (String.concat ", " ps)));
+  List.iter
+    (fun (n, e) ->
+      emit_line buf 1 (Printf.sprintf "parameter (%s = %s)" n (expr_str e)))
+    u.u_params;
+  (* visibility-only decls print as GLOBAL/CLUSTER statements *)
+  let vis_decls, type_decls =
+    List.partition (fun d -> d.d_dims = [] && d.d_vis <> Default
+                             && d.d_type = Real) u.u_decls
+  in
+  List.iter (fun d -> emit_line buf 1 (decl_line d)) type_decls;
+  List.iter
+    (fun d ->
+      match d.d_vis with
+      | Global -> emit_line buf 1 ("global " ^ d.d_name)
+      | Cluster -> emit_line buf 1 ("cluster " ^ d.d_name)
+      | Default -> ())
+    vis_decls;
+  List.iter
+    (fun d ->
+      match d.d_vis with
+      | Global when d.d_dims <> [] || d.d_type <> Real ->
+          emit_line buf 1 ("global " ^ d.d_name)
+      | Cluster when d.d_dims <> [] || d.d_type <> Real ->
+          emit_line buf 1 ("cluster " ^ d.d_name)
+      | _ -> ())
+    type_decls;
+  List.iter
+    (fun cb ->
+      let kw = if cb.c_process then "process common" else "common" in
+      let blk = if cb.c_name = "" then "" else "/" ^ cb.c_name ^ "/ " in
+      emit_line buf 1 (kw ^ " " ^ blk ^ String.concat ", " cb.c_vars))
+    u.u_commons;
+  List.iter
+    (fun group ->
+      List.iter
+        (fun (a, b) ->
+          emit_line buf 1 (Printf.sprintf "equivalence (%s, %s)" a b))
+        group)
+    u.u_equivs;
+  List.iter (emit_stmt buf 1) u.u_body;
+  emit_line buf 0 "end"
+
+(** Print a whole program as Cedar Fortran source text. *)
+let program_to_string (p : program) =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i u ->
+      if i > 0 then Buffer.add_char buf '\n';
+      emit_unit buf u)
+    p;
+  Buffer.contents buf
+
+let stmt_to_string s =
+  let buf = Buffer.create 128 in
+  emit_stmt buf 0 s;
+  Buffer.contents buf
+
+let unit_to_string u =
+  let buf = Buffer.create 1024 in
+  emit_unit buf u;
+  Buffer.contents buf

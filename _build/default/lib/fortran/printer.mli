@@ -1,0 +1,14 @@
+(** Cedar Fortran source printer.
+
+    Output re-parses with {!Parser.parse_program}; the property tests
+    rely on the round trip. *)
+
+val expr_str : Ast.expr -> string
+val lhs_str : Ast.lhs -> string
+val decl_line : Ast.decl -> string
+
+val stmt_to_string : Ast.stmt -> string
+val unit_to_string : Ast.punit -> string
+
+val program_to_string : Ast.program -> string
+(** Print a whole program as Cedar Fortran source text. *)

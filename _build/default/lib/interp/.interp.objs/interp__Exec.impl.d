@@ -1,0 +1,1 @@
+lib/interp/exec.pp.ml: Array Ast Ast_utils Buffer Float Fortran Hashtbl List Machine Option Printer Printf Runtime_lib Store String Symbols

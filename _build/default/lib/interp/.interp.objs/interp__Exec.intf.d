@@ -1,0 +1,1 @@
+lib/interp/exec.pp.mli: Fortran Machine

@@ -1,0 +1,1 @@
+lib/interp/runtime_lib.pp.ml: Float Machine Store

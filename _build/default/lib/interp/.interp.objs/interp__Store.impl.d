@@ -1,0 +1,1 @@
+lib/interp/store.pp.ml: Array Ast Fortran Hashtbl List Machine Printf Symbols

@@ -1,0 +1,989 @@
+(** The Cedar Fortran executor: runs programs on the simulated machine.
+
+    Semantics and performance together: every fiber of the DES is one
+    Cedar processor's activity; parallel loops go through
+    {!Machine.Microtask}, cascade synchronization and locks through
+    {!Machine.Sync}, memory references charge latencies by placement
+    through {!Machine.Memory}.  Vector-section statements evaluate whole
+    strips at vector cost.  The executor is used by the examples, the
+    correctness tests (serial vs restructured results) and to validate
+    the analytic performance model at small sizes. *)
+
+open Fortran
+module Mach = Machine
+
+exception Stop_program
+exception Return_unit
+
+type ctx = {
+  sim : Mach.Sim.t;
+  mem : Mach.Memory.t;
+  cfg : Mach.Config.t;
+  prog : Ast.program;
+  commons : (string, Store.entry) Hashtbl.t;
+  locks : (int, Mach.Sync.Lock.t) Hashtbl.t;
+  events : (int, Mach.Sync.Event.t) Hashtbl.t;  (** post/wait events *)
+  mutable tasks_outstanding : int;  (** ctskstart/mtskstart threads *)
+  mutable task_done : Mach.Sync.Event.t option;  (** armed by tskwait *)
+  output : Buffer.t;
+  mutable input : float list;
+  mutable charging : bool;  (** false: pure evaluation (e.g. decl dims) *)
+}
+
+(** Per-fiber thread context: overlay scopes for loop-local data, the
+    processor/cluster identity, and the innermost DOACROSS cascade. *)
+type tctx = {
+  c : ctx;
+  frame : Store.frame;
+  mutable overlays : (string, Store.entry) Hashtbl.t list;
+  cluster : int;
+  mutable pending : float;  (** accumulated cycles not yet delayed *)
+  mutable doacross : (Mach.Sync.Cascade.t * int) option;
+}
+
+let charge t cycles = if t.c.charging then t.pending <- t.pending +. cycles
+
+let flush t =
+  if t.pending > 0.0 then begin
+    Mach.Sim.delay t.c.sim t.pending;
+    t.pending <- 0.0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Variable resolution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec lookup_overlays name = function
+  | [] -> None
+  | o :: rest -> (
+      match Hashtbl.find_opt o name with
+      | Some e -> Some e
+      | None -> lookup_overlays name rest)
+
+let placement_of (t : tctx) name : Mach.Memory.placement =
+  match Symbols.lookup t.frame.Store.f_syms name with
+  | Some s ->
+      if s.Symbols.s_vis = Ast.Global || s.Symbols.s_process_common then
+        Mach.Memory.Global_mem
+      else Mach.Memory.Cluster_mem
+  | None -> Mach.Memory.Cluster_mem
+
+let rec find_entry (t : tctx) name : Store.entry =
+  match lookup_overlays name t.overlays with
+  | Some e -> e
+  | None -> (
+      match Hashtbl.find_opt t.frame.Store.f_vars name with
+      | Some e -> e
+      | None -> (
+          (* common variables shared across units by name *)
+          match Symbols.lookup t.frame.Store.f_syms name with
+          | Some s when s.Symbols.s_common <> None -> (
+              match Hashtbl.find_opt t.c.commons name with
+              | Some e ->
+                  Hashtbl.replace t.frame.Store.f_vars name e;
+                  e
+              | None ->
+                  let e = alloc_entry t name in
+                  Hashtbl.replace t.c.commons name e;
+                  Hashtbl.replace t.frame.Store.f_vars name e;
+                  e)
+          | _ ->
+              let e = alloc_entry t name in
+              Hashtbl.replace t.frame.Store.f_vars name e;
+              e))
+
+and alloc_entry (t : tctx) name : Store.entry =
+  let placement = placement_of t name in
+  match Symbols.lookup t.frame.Store.f_syms name with
+  | Some s when s.Symbols.s_dims <> [] ->
+      let dims =
+        List.map
+          (fun (lo, hi) ->
+            let lo = eval_int t lo in
+            let hi = eval_int t hi in
+            (lo, hi - lo + 1))
+          s.Symbols.s_dims
+      in
+      Store.Array (Store.make_array ~placement dims)
+  | _ -> Store.Scalar { v = 0.0; placement }
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expression evaluation                                        *)
+(* ------------------------------------------------------------------ *)
+
+and eval_int t e =
+  let v = eval t e in
+  let r = Float.round v in
+  if Float.abs (v -. r) > 1e-6 then
+    Store.error "expected integer, got %g (%s)" v (Printer.expr_str e);
+  int_of_float r
+
+and eval (t : tctx) (e : Ast.expr) : float =
+  match e with
+  | Ast.Int n -> float_of_int n
+  | Ast.Num f -> f
+  | Ast.Bool b -> if b then 1.0 else 0.0
+  | Ast.Str _ -> 0.0
+  | Ast.Var v -> (
+      match List.assoc_opt v t.frame.Store.f_syms.Symbols.params with
+      | Some e -> eval t e
+      | None -> (
+          match find_entry t v with
+          | Store.Scalar s ->
+              charge t
+                (match s.placement with
+                | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
+                | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
+                | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+              s.v
+          | Store.Array _ -> Store.error "array %s used as scalar" v))
+  | Ast.Idx (a, subs) -> (
+      match find_entry t a with
+      | Store.Array arr ->
+          let is = List.map (eval_int t) subs in
+          charge t
+            (match arr.Store.a_placement with
+            | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
+            | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
+            | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+          Store.get_elem arr is
+      | Store.Scalar _ -> Store.error "scalar %s subscripted" a)
+  | Ast.Bin (op, a, b) -> (
+      let x = eval t a in
+      match op with
+      | Ast.And -> if x = 0.0 then 0.0 else eval t b
+      | Ast.Or -> if x <> 0.0 then 1.0 else eval t b
+      | _ -> (
+          let y = eval t b in
+          charge t t.c.cfg.Mach.Config.scalar_op;
+          match op with
+          | Ast.Add -> x +. y
+          | Ast.Sub -> x -. y
+          | Ast.Mul -> x *. y
+          | Ast.Div ->
+              (* Fortran: integer/integer truncates *)
+              if
+                Float.is_integer x && Float.is_integer y
+                && is_integer_expr t a && is_integer_expr t b
+              then Float.of_int (int_of_float x / int_of_float y)
+              else x /. y
+          | Ast.Pow ->
+              if Float.is_integer y then
+                let rec p acc n = if n = 0 then acc else p (acc *. x) (n - 1) in
+                if y >= 0.0 then p 1.0 (int_of_float y)
+                else 1.0 /. p 1.0 (-int_of_float y)
+              else Float.pow x y
+          | Ast.Eq -> if x = y then 1.0 else 0.0
+          | Ast.Ne -> if x <> y then 1.0 else 0.0
+          | Ast.Lt -> if x < y then 1.0 else 0.0
+          | Ast.Le -> if x <= y then 1.0 else 0.0
+          | Ast.Gt -> if x > y then 1.0 else 0.0
+          | Ast.Ge -> if x >= y then 1.0 else 0.0
+          | Ast.And | Ast.Or -> assert false))
+  | Ast.Un (Ast.Neg, a) -> -.eval t a
+  | Ast.Un (Ast.Not, a) -> if eval t a = 0.0 then 1.0 else 0.0
+  | Ast.Call (f, args) -> eval_call t f args
+  | Ast.Section _ -> Store.error "vector section in scalar context"
+
+and is_integer_expr t e =
+  (* static type of the expression, integer iff all leaves integer *)
+  match e with
+  | Ast.Int _ -> true
+  | Ast.Num _ -> false
+  | Ast.Var v | Ast.Idx (v, _) ->
+      Symbols.dtype_of t.frame.Store.f_syms v = Ast.Integer
+  | Ast.Bin ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow), a, b) ->
+      is_integer_expr t a && is_integer_expr t b
+  | Ast.Un (_, a) -> is_integer_expr t a
+  | Ast.Call (f, _) ->
+      List.mem (String.lowercase_ascii f) [ "int"; "nint"; "mod"; "min"; "max" ]
+  | _ -> false
+
+and eval_call t f args =
+  let fl = String.lowercase_ascii f in
+  match fl with
+  | "sqrt" | "exp" | "log" | "sin" | "cos" | "tan" | "atan" ->
+      charge t t.c.cfg.Mach.Config.intrinsic_op;
+      let x = eval t (List.hd args) in
+      (match fl with
+      | "sqrt" -> sqrt x
+      | "exp" -> exp x
+      | "log" -> log x
+      | "sin" -> sin x
+      | "cos" -> cos x
+      | "tan" -> tan x
+      | _ -> atan x)
+  | "abs" ->
+      charge t t.c.cfg.Mach.Config.scalar_op;
+      Float.abs (eval t (List.hd args))
+  | "min" | "max" ->
+      charge t t.c.cfg.Mach.Config.scalar_op;
+      let vs = List.map (eval t) args in
+      List.fold_left (if fl = "min" then Float.min else Float.max)
+        (List.hd vs) (List.tl vs)
+  | "mod" -> (
+      charge t t.c.cfg.Mach.Config.scalar_op;
+      match List.map (eval t) args with
+      | [ a; b ] ->
+          if Float.is_integer a && Float.is_integer b then
+            float_of_int (int_of_float a mod int_of_float b)
+          else Float.rem a b
+      | _ -> Store.error "mod arity")
+  | "int" -> Float.of_int (int_of_float (eval t (List.hd args)))
+  | "nint" -> Float.round (eval t (List.hd args))
+  | "float" | "real" | "dble" -> eval t (List.hd args)
+  | "sign" -> (
+      match List.map (eval t) args with
+      | [ a; b ] -> if b >= 0.0 then Float.abs a else -.Float.abs a
+      | _ -> Store.error "sign arity")
+  | "cedar_dotp" -> Runtime_lib.dotp t.c.sim t.c.cfg t.c.mem (array_arg t args 0)
+                      (array_arg t args 1) (eval_int t (List.nth args 2))
+                      (eval_int t (List.nth args 3))
+  | "cedar_maxval" | "cedar_minval" ->
+      Runtime_lib.minmax t.c.sim t.c.cfg t.c.mem ~is_max:(fl = "cedar_maxval")
+        (array_arg t args 0)
+        (eval_int t (List.nth args 1))
+        (eval_int t (List.nth args 2))
+  | "sum" -> (
+      (* fortran90 SUM over a section *)
+      match args with
+      | [ arg ] ->
+          let v = eval_vec t arg in
+          charge t
+            (t.c.cfg.Mach.Config.vector_startup
+            +. (t.c.cfg.Mach.Config.vector_op *. float_of_int (Array.length v)));
+          Array.fold_left ( +. ) 0.0 v
+      | _ -> Store.error "sum arity")
+  | "maxval" | "minval" -> (
+      match args with
+      | [ arg ] ->
+          let v = eval_vec t arg in
+          if Array.length v = 0 then Store.error "%s of empty section" fl;
+          charge t
+            (t.c.cfg.Mach.Config.vector_startup
+            +. (t.c.cfg.Mach.Config.vector_op *. float_of_int (Array.length v)));
+          Array.fold_left
+            (if fl = "maxval" then Float.max else Float.min)
+            v.(0) v
+      | _ -> Store.error "%s arity" fl)
+  | "dotproduct" -> (
+      match args with
+      | [ a; b ] ->
+          let va = eval_vec t a and vb = eval_vec t b in
+          if Array.length va <> Array.length vb then
+            Store.error "dotproduct length mismatch";
+          charge t
+            (t.c.cfg.Mach.Config.vector_startup
+            +. (2.0 *. t.c.cfg.Mach.Config.vector_op *. float_of_int (Array.length va)));
+          let s = ref 0.0 in
+          Array.iteri (fun i x -> s := !s +. (x *. vb.(i))) va;
+          !s
+      | _ -> Store.error "dotproduct arity")
+  | _ -> (
+      (* user-defined function *)
+      match find_unit t.c f with
+      | Some u -> call_unit t u args ~want_result:true
+      | None -> Store.error "unknown function %s" f)
+
+and array_arg t args k =
+  match List.nth_opt args k with
+  | Some (Ast.Var v) -> (
+      match find_entry t v with
+      | Store.Array a -> a
+      | Store.Scalar _ -> Store.error "%s: expected array" v)
+  | _ -> Store.error "expected array argument"
+
+(* ------------------------------------------------------------------ *)
+(* Vector evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* expand a section into the list of element index vectors, and charge a
+   vector stream; returns values *)
+and section_indices t (arr : Store.arr) (dims : Ast.expr Ast.section_dim list) :
+    int list list =
+  (* per-dimension index lists *)
+  let per_dim =
+    List.mapi
+      (fun k d ->
+        match d with
+        | Ast.Elem e -> [ eval_int t e ]
+        | Ast.Range (lo, hi, step) ->
+            let dlo, dext = arr.Store.a_dims.(k) in
+            let lo = match lo with Some e -> eval_int t e | None -> dlo in
+            let hi =
+              match hi with Some e -> eval_int t e | None -> dlo + dext - 1
+            in
+            let step = match step with Some e -> eval_int t e | None -> 1 in
+            if step = 0 then Store.error "zero section stride";
+            let rec gen i acc =
+              if (step > 0 && i > hi) || (step < 0 && i < hi) then List.rev acc
+              else gen (i + step) (i :: acc)
+            in
+            gen lo [])
+      dims
+  in
+  (* cartesian product, first dimension fastest (column major order) *)
+  let rec cart = function
+    | [] -> [ [] ]
+    | d :: rest ->
+        let tails = cart rest in
+        List.concat_map (fun tl -> List.map (fun i -> i :: tl) d) tails
+  in
+  cart per_dim
+
+and vector_charge t (placement : Mach.Memory.placement) n =
+  let cfg = t.c.cfg in
+  Mach.Memory.count t.c.mem placement (float_of_int n);
+  charge t
+    (match placement with
+    | Mach.Memory.Private ->
+        cfg.Mach.Config.vector_startup
+        +. (cfg.Mach.Config.cache_hit *. float_of_int n)
+    | Mach.Memory.Cluster_mem -> Mach.Config.vector_stream_cost cfg ~global:false n
+    | Mach.Memory.Global_mem -> Mach.Config.vector_stream_cost cfg ~global:true n)
+
+(** Evaluate an expression in vector context: returns an array of values.
+    Scalars broadcast (length -1 sentinel handled by caller via [length]). *)
+and eval_vec (t : tctx) (e : Ast.expr) : float array =
+  match e with
+  | Ast.Call (f, [ lo; hi ]) when String.lowercase_ascii f = "cedar_iota" ->
+      let lo = eval_int t lo and hi = eval_int t hi in
+      let n = max 0 (hi - lo + 1) in
+      charge t (t.c.cfg.Mach.Config.vector_op *. float_of_int n);
+      Array.init n (fun k -> float_of_int (lo + k))
+  | Ast.Section (a, dims) -> (
+      match find_entry t a with
+      | Store.Array arr ->
+          let idxs = section_indices t arr dims in
+          vector_charge t arr.Store.a_placement (List.length idxs);
+          Array.of_list (List.map (Store.get_elem arr) idxs)
+      | Store.Scalar _ -> Store.error "scalar %s sectioned" a)
+  | Ast.Bin (op, a, b) ->
+      let va = eval_vec_or_scalar t a and vb = eval_vec_or_scalar t b in
+      combine_vec t op va vb
+  | Ast.Un (Ast.Neg, a) -> (
+      match eval_vec_or_scalar t a with
+      | `Vec v ->
+          charge t (t.c.cfg.Mach.Config.vector_op *. float_of_int (Array.length v));
+          Array.map (fun x -> -.x) v
+      | `Scalar x -> [| -.x |])
+  | Ast.Call (f, args)
+    when Ast.is_intrinsic f
+         && not
+              (List.mem
+                 (String.lowercase_ascii f)
+                 [ "sum"; "dotproduct"; "maxval"; "minval" ]
+              || String.length f > 6
+                 && String.lowercase_ascii (String.sub f 0 6) = "cedar_") ->
+      (* elementwise intrinsic over vector operands (with broadcast) *)
+      let vs = List.map (eval_vec_or_scalar t) args in
+      let n =
+        List.fold_left
+          (fun acc v ->
+            match v with `Vec a -> max acc (Array.length a) | `Scalar _ -> acc)
+          1 vs
+      in
+      charge t (2.0 *. t.c.cfg.Mach.Config.vector_op *. float_of_int n);
+      Array.init n (fun k ->
+          let elem_args =
+            List.map
+              (fun v ->
+                match v with
+                | `Vec a ->
+                    if Array.length a <> n then
+                      Store.error "vector intrinsic length mismatch in %s" f;
+                    Ast.Num a.(k)
+                | `Scalar x -> Ast.Num x)
+              vs
+          in
+          let saved = t.c.charging in
+          t.c.charging <- false;
+          let r = eval t (Ast.Call (f, elem_args)) in
+          t.c.charging <- saved;
+          r)
+  | e -> [| eval t e |]
+
+and eval_vec_or_scalar t e : [ `Vec of float array | `Scalar of float ] =
+  match e with
+  | Ast.Section _ -> `Vec (eval_vec t e)
+  | Ast.Bin _ | Ast.Un _ | Ast.Call _ ->
+      if expr_has_section e then `Vec (eval_vec t e) else `Scalar (eval t e)
+  | _ -> `Scalar (eval t e)
+
+and expr_has_section e =
+  Ast_utils.fold_expr
+    (fun acc e ->
+      acc
+      ||
+      match e with
+      | Ast.Section _ -> true
+      | Ast.Call (f, _) -> String.lowercase_ascii f = "cedar_iota"
+      | _ -> false)
+    false e
+
+and combine_vec t op va vb : float array =
+  let apply x y =
+    match op with
+    | Ast.Add -> x +. y
+    | Ast.Sub -> x -. y
+    | Ast.Mul -> x *. y
+    | Ast.Div -> x /. y
+    | Ast.Pow -> Float.pow x y
+    | Ast.Eq -> if x = y then 1.0 else 0.0
+    | Ast.Ne -> if x <> y then 1.0 else 0.0
+    | Ast.Lt -> if x < y then 1.0 else 0.0
+    | Ast.Le -> if x <= y then 1.0 else 0.0
+    | Ast.Gt -> if x > y then 1.0 else 0.0
+    | Ast.Ge -> if x >= y then 1.0 else 0.0
+    | Ast.And -> if x <> 0.0 && y <> 0.0 then 1.0 else 0.0
+    | Ast.Or -> if x <> 0.0 || y <> 0.0 then 1.0 else 0.0
+  in
+  match (va, vb) with
+  | `Vec a, `Vec b ->
+      if Array.length a <> Array.length b then
+        Store.error "vector length mismatch %d vs %d" (Array.length a)
+          (Array.length b);
+      charge t (t.c.cfg.Mach.Config.vector_op *. float_of_int (Array.length a));
+      Array.mapi (fun i x -> apply x b.(i)) a
+  | `Vec a, `Scalar y ->
+      charge t (t.c.cfg.Mach.Config.vector_op *. float_of_int (Array.length a));
+      Array.map (fun x -> apply x y) a
+  | `Scalar x, `Vec b ->
+      charge t (t.c.cfg.Mach.Config.vector_op *. float_of_int (Array.length b));
+      Array.map (fun y -> apply x y) b
+  | `Scalar x, `Scalar y -> [| apply x y |]
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and assign_scalar t (l : Ast.lhs) (v : float) =
+  match l with
+  | Ast.LVar name -> (
+      match find_entry t name with
+      | Store.Scalar s ->
+          charge t
+            (match s.placement with
+            | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
+            | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
+            | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+          s.v <- v
+      | Store.Array _ -> Store.error "array %s assigned as scalar" name)
+  | Ast.LIdx (name, subs) -> (
+      match find_entry t name with
+      | Store.Array arr ->
+          let is = List.map (eval_int t) subs in
+          charge t
+            (match arr.Store.a_placement with
+            | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
+            | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
+            | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+          Store.set_elem arr is v
+      | Store.Scalar _ -> Store.error "scalar %s subscripted in assignment" name)
+  | Ast.LSection _ -> Store.error "section assigned a scalar"
+
+and exec_stmt (t : tctx) (s : Ast.stmt) : unit =
+  (match s with
+  | Ast.Assign (Ast.LSection (a, dims), rhs) -> (
+      (* vector assignment *)
+      match find_entry t a with
+      | Store.Array arr -> (
+          let idxs = section_indices t arr dims in
+          let n = List.length idxs in
+          vector_charge t arr.Store.a_placement n;
+          match eval_vec_or_scalar t rhs with
+          | `Vec v ->
+              if Array.length v <> n then
+                Store.error "vector assignment length mismatch %d vs %d"
+                  (Array.length v) n;
+              List.iteri (fun k is -> Store.set_elem arr is v.(k)) idxs
+          | `Scalar x -> List.iter (fun is -> Store.set_elem arr is x) idxs)
+      | Store.Scalar _ -> Store.error "scalar %s sectioned" a)
+  | Ast.Assign (l, rhs) ->
+      if expr_has_section rhs then
+        match eval_vec t rhs with
+        | [| v |] -> assign_scalar t l v
+        | _ -> Store.error "vector value assigned to scalar"
+      else assign_scalar t l (eval t rhs)
+  | Ast.If (c, th, el) ->
+      charge t t.c.cfg.Mach.Config.scalar_op;
+      if eval t c <> 0.0 then exec_stmts t th else exec_stmts t el
+  | Ast.Where (mask, body) ->
+      (* masked vector assignments; a scalar mask broadcasts *)
+      let mv = eval_vec t mask in
+      let mv =
+        if Array.length mv = 1 then
+          (* broadcast to the first assignment's length *)
+          let n =
+            List.fold_left
+              (fun acc s ->
+                match Ast_utils.strip_labels_stmt s with
+                | Ast.Assign (Ast.LSection (a, dims), _) -> (
+                    match find_entry t a with
+                    | Store.Array arr ->
+                        max acc (List.length (section_indices t arr dims))
+                    | Store.Scalar _ -> acc)
+                | _ -> acc)
+              1 body
+          in
+          Array.make n mv.(0)
+        else mv
+      in
+      List.iter
+        (fun s ->
+          match Ast_utils.strip_labels_stmt s with
+          | Ast.Assign (Ast.LSection (a, dims), rhs) -> (
+              match find_entry t a with
+              | Store.Array arr -> (
+                  let idxs = section_indices t arr dims in
+                  let n = List.length idxs in
+                  if Array.length mv <> n then
+                    Store.error "WHERE mask length mismatch";
+                  vector_charge t arr.Store.a_placement n;
+                  match eval_vec_or_scalar t rhs with
+                  | `Vec v ->
+                      List.iteri
+                        (fun k is ->
+                          if mv.(k) <> 0.0 then Store.set_elem arr is v.(k))
+                        idxs
+                  | `Scalar x ->
+                      List.iteri
+                        (fun k is -> if mv.(k) <> 0.0 then Store.set_elem arr is x)
+                        idxs)
+              | Store.Scalar _ -> Store.error "scalar sectioned in WHERE")
+          | _ -> Store.error "non-vector statement under WHERE")
+        body
+  | Ast.Do (h, blk) -> exec_do t h blk
+  | Ast.CallSt (name, args) -> exec_call t name args
+  | Ast.Return -> raise Return_unit
+  | Ast.Stop -> raise Stop_program
+  | Ast.Continue -> ()
+  | Ast.Goto _ -> Store.error "GOTO is not executable in this interpreter"
+  | Ast.Labeled (_, s) -> exec_stmt t s
+  | Ast.Print args ->
+      List.iter
+        (fun e ->
+          match e with
+          | Ast.Str s -> Buffer.add_string t.c.output (s ^ " ")
+          | e -> Buffer.add_string t.c.output (Printf.sprintf "%.6g " (eval t e)))
+        args;
+      Buffer.add_char t.c.output '\n'
+  | Ast.Read ls ->
+      List.iter
+        (fun l ->
+          match t.c.input with
+          | [] -> Store.error "READ past end of input"
+          | v :: rest ->
+              t.c.input <- rest;
+              assign_scalar t l v)
+        ls);
+  flush t
+
+and exec_stmts t stmts = List.iter (exec_stmt t) stmts
+
+(* ------------------------------------------------------------------ *)
+(* Loops                                                               *)
+(* ------------------------------------------------------------------ *)
+
+and exec_do t (h : Ast.do_header) (blk : Ast.block) =
+  let lo = eval_int t h.Ast.lo in
+  let hi = eval_int t h.Ast.hi in
+  let step = match h.Ast.step with None -> 1 | Some e -> eval_int t e in
+  if step = 0 then Store.error "zero DO step";
+  match h.Ast.cls with
+  | Ast.Seq ->
+      (* a DO index lives in a register: inside a parallel worker it must
+         be private to the worker, never a shared cell *)
+      (match t.overlays with
+      | top :: _ when lookup_overlays h.Ast.index t.overlays = None ->
+          Hashtbl.replace top h.Ast.index
+            (Store.Scalar { v = 0.0; placement = Mach.Memory.Private })
+      | _ -> ());
+      let i = ref lo in
+      let continue_ () = if step > 0 then !i <= hi else !i >= hi in
+      while continue_ () do
+        assign_scalar t (Ast.LVar h.Ast.index) (float_of_int !i);
+        charge t t.c.cfg.Mach.Config.scalar_op;
+        exec_stmts t blk.Ast.body;
+        i := !i + step
+      done;
+      flush t
+  | cls ->
+      flush t;
+      exec_parallel_do t h blk ~lo ~hi ~step ~cls
+
+and exec_parallel_do t h blk ~lo ~hi ~step ~cls =
+  let cfg = t.c.cfg in
+  let proc_ids, dispatch =
+    match cls with
+    | Ast.Cdoall | Ast.Cdoacross ->
+        (Mach.Microtask.procs_cdo cfg ~cluster:t.cluster, Mach.Microtask.dispatch_cdo cfg)
+    | Ast.Sdoall | Ast.Sdoacross ->
+        (Mach.Microtask.procs_sdo cfg, Mach.Microtask.dispatch_sdo cfg)
+    | Ast.Xdoall | Ast.Xdoacross ->
+        (Mach.Microtask.procs_xdo cfg, Mach.Microtask.dispatch_sdo cfg)
+    | Ast.Seq -> assert false
+  in
+  let cascade =
+    if Ast.is_doacross cls then
+      Some (Mach.Sync.Cascade.create ~cost:cfg.Mach.Config.await_cost ~first:lo t.c.sim)
+    else None
+  in
+  (* worker-local environments are created per processor *)
+  let worker_tctx (ctx0 : Mach.Microtask.worker_ctx) =
+    let overlay = Hashtbl.create 8 in
+    let wt =
+      {
+        t with
+        overlays = overlay :: t.overlays;
+        cluster = ctx0.Mach.Microtask.w_cluster;
+        pending = 0.0;
+        doacross = None;
+      }
+    in
+    (* loop-local declarations: private storage *)
+    List.iter
+      (fun d ->
+        let entry =
+          if d.Ast.d_dims = [] then
+            Store.Scalar { v = 0.0; placement = Mach.Memory.Private }
+          else
+            let dims =
+              List.map
+                (fun (lo, hi) -> (eval_int wt lo, eval_int wt hi - eval_int wt lo + 1))
+                d.Ast.d_dims
+            in
+            Store.Array (Store.make_array ~placement:Mach.Memory.Private dims)
+        in
+        Hashtbl.replace overlay d.Ast.d_name entry)
+      h.Ast.locals;
+    (* the loop index is private to the worker *)
+    Hashtbl.replace overlay h.Ast.index
+      (Store.Scalar { v = 0.0; placement = Mach.Memory.Private });
+    wt
+  in
+  let table : (int, tctx) Hashtbl.t = Hashtbl.create 8 in
+  let get_wt ctx0 =
+    match Hashtbl.find_opt table ctx0.Mach.Microtask.w_proc with
+    | Some wt -> wt
+    | None ->
+        let wt = worker_tctx ctx0 in
+        Hashtbl.replace table ctx0.Mach.Microtask.w_proc wt;
+        wt
+  in
+  Mach.Microtask.run_loop t.c.sim ~dispatch ~proc_ids ~lo ~hi ~step
+    ~preamble:(fun ctx0 ->
+      let wt = get_wt ctx0 in
+      exec_stmts wt blk.Ast.preamble;
+      flush wt)
+    ~postamble:(fun ctx0 ->
+      let wt = get_wt ctx0 in
+      exec_stmts wt blk.Ast.postamble;
+      flush wt)
+    (fun ctx0 ->
+      let wt = get_wt ctx0 in
+      let i = ctx0.Mach.Microtask.w_iter in
+      assign_scalar wt (Ast.LVar h.Ast.index) (float_of_int i);
+      wt.doacross <- Option.map (fun c -> (c, i)) cascade;
+      exec_stmts wt blk.Ast.body;
+      (* an ordered loop iteration that never reached its await/advance
+         still must advance so successors are not blocked *)
+      (match cascade with
+      | Some c when not (Hashtbl.mem c.Mach.Sync.Cascade.advanced i) ->
+          Mach.Sync.Cascade.advance c i
+      | _ -> ());
+      flush wt)
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                               *)
+(* ------------------------------------------------------------------ *)
+
+and find_unit c name =
+  List.find_opt
+    (fun u -> String.lowercase_ascii u.Ast.u_name = String.lowercase_ascii name)
+    c.prog
+
+and exec_call t name args =
+  match String.lowercase_ascii name with
+  | "await" -> (
+      flush t;
+      match (t.doacross, args) with
+      | Some (casc, iter), [ _; d ] ->
+          Mach.Sync.Cascade.await casc ~iter ~dist:(eval_int t d)
+      | None, _ -> Store.error "await outside DOACROSS"
+      | _ -> Store.error "await arity")
+  | "advance" -> (
+      flush t;
+      match t.doacross with
+      | Some (casc, iter) -> Mach.Sync.Cascade.advance casc iter
+      | None -> Store.error "advance outside DOACROSS")
+  | "post" | "wait" | "clearevent" -> (
+      flush t;
+      let id = match args with [ e ] -> eval_int t e | _ -> 1 in
+      let ev =
+        match Hashtbl.find_opt t.c.events id with
+        | Some e -> e
+        | None ->
+            let e = Mach.Sync.Event.create t.c.sim in
+            Hashtbl.replace t.c.events id e;
+            e
+      in
+      Mach.Sim.delay t.c.sim t.c.cfg.Mach.Config.await_cost;
+      match String.lowercase_ascii name with
+      | "post" -> Mach.Sync.Event.post ev
+      | "wait" -> Mach.Sync.Event.wait ev
+      | _ -> Mach.Sync.Event.clear ev)
+  | "ctskstart" | "mtskstart" -> (
+      (* subroutine-level tasking (paper §2.2.2): spawn a new thread
+         running the named subroutine.  ctskstart builds a new cluster
+         task through the operating system (expensive, unrestricted
+         synchronization); mtskstart reuses a helper task (cheap). *)
+      flush t;
+      match args with
+      | Ast.Var sub :: actuals -> (
+          match find_unit t.c sub with
+          | None -> Store.error "%s: unknown task subroutine %s" name sub
+          | Some u ->
+              let cost =
+                if String.lowercase_ascii name = "ctskstart" then
+                  t.c.cfg.Mach.Config.task_start_ctsk
+                else t.c.cfg.Mach.Config.task_start_mtsk
+              in
+              (* bind the actuals NOW (by reference for arrays/scalars) by
+                 evaluating them in the parent, then run the callee in a
+                 fresh fiber *)
+              t.c.tasks_outstanding <- t.c.tasks_outstanding + 1;
+              let parent = { t with pending = 0.0 } in
+              Mach.Sim.delay t.c.sim cost;
+              Mach.Sim.spawn t.c.sim (fun () ->
+                  ignore (call_unit parent u actuals ~want_result:false);
+                  t.c.tasks_outstanding <- t.c.tasks_outstanding - 1;
+                  if t.c.tasks_outstanding = 0 then
+                    match t.c.task_done with
+                    | Some ev -> Mach.Sync.Event.post ev
+                    | None -> ()))
+      | _ -> Store.error "%s: first argument must be a subroutine name" name)
+  | "tskwait" ->
+      (* wait for all outstanding subroutine-level tasks *)
+      flush t;
+      if t.c.tasks_outstanding > 0 then begin
+        let ev = Mach.Sync.Event.create t.c.sim in
+        t.c.task_done <- Some ev;
+        Mach.Sync.Event.wait ev;
+        t.c.task_done <- None
+      end
+  | "lock" | "unlock" -> (
+      flush t;
+      let id = match args with [ e ] -> eval_int t e | _ -> 1 in
+      let lock =
+        match Hashtbl.find_opt t.c.locks id with
+        | Some l -> l
+        | None ->
+            let l =
+              Mach.Sync.Lock.create ~cost:t.c.cfg.Mach.Config.lock_cost t.c.sim
+            in
+            Hashtbl.replace t.c.locks id l;
+            l
+      in
+      if String.lowercase_ascii name = "lock" then Mach.Sync.Lock.acquire lock
+      else Mach.Sync.Lock.release lock)
+  | "cedar_slr1" -> (
+      (* first-order linear recurrence library routine *)
+      match args with
+      | [ x; b; c; lo; hi ] ->
+          let xa = array_arg t [ x ] 0 in
+          let get_vec e i =
+            match e with
+            | Ast.Var _ -> Store.get_elem (array_arg t [ e ] 0) [ i ]
+            | Ast.Int n -> float_of_int n
+            | _ -> Store.error "cedar_slr1 operand"
+          in
+          let lo = eval_int t lo and hi = eval_int t hi in
+          flush t;
+          Runtime_lib.slr1 t.c.sim t.c.cfg ~lo ~hi
+            ~get_b:(fun i -> get_vec b i)
+            ~get_c:(fun i -> get_vec c i)
+            ~get_x:(fun i -> Store.get_elem xa [ i ])
+            ~set_x:(fun i v -> Store.set_elem xa [ i ] v)
+      | _ -> Store.error "cedar_slr1 arity")
+  | _ -> (
+      match find_unit t.c name with
+      | Some u -> ignore (call_unit t u args ~want_result:false)
+      | None -> Store.error "unknown subroutine %s" name)
+
+and call_unit (t : tctx) (callee : Ast.punit) (args : Ast.expr list)
+    ~want_result : float =
+  charge t (4.0 *. t.c.cfg.Mach.Config.scalar_op);
+  let formals =
+    match callee.Ast.u_kind with
+    | Ast.Subroutine ps | Ast.Function (_, ps) -> ps
+    | Ast.Program -> Store.error "cannot CALL a PROGRAM"
+  in
+  if List.length formals <> List.length args then
+    Store.error "arity mismatch calling %s" callee.Ast.u_name;
+  let frame = Store.fresh_frame callee in
+  let ct = { t with frame; overlays = []; pending = t.pending } in
+  t.pending <- 0.0;
+  (* bind formals: arrays by reference (views with callee dims), scalars by
+     reference when the actual is a variable, else by value *)
+  let writebacks = ref [] in
+  List.iter2
+    (fun formal actual ->
+      let fsym = Symbols.lookup frame.Store.f_syms formal in
+      let formal_is_array =
+        match fsym with Some s -> s.Symbols.s_dims <> [] | None -> false
+      in
+      if formal_is_array then begin
+        let base, off =
+          match actual with
+          | Ast.Var v -> (
+              match find_entry t v with
+              | Store.Array a -> (a, a.Store.a_off)
+              | Store.Scalar _ -> Store.error "scalar %s passed to array formal" v)
+          | Ast.Idx (v, subs) -> (
+              match find_entry t v with
+              | Store.Array a ->
+                  let is = List.map (eval_int t) subs in
+                  (a, Store.linear_index a is)
+              | Store.Scalar _ -> Store.error "scalar %s subscripted" v)
+          | _ -> Store.error "bad array actual for %s" formal
+        in
+        (* callee-side dims; evaluated after scalar formals are bound, so
+           declare lazily via a thunk evaluated below *)
+        let dims_exprs = (Option.get fsym).Symbols.s_dims in
+        let entry_thunk () =
+          let dims =
+            List.map
+              (fun (lo, hi) ->
+                let l = eval_int ct lo in
+                let h =
+                  match hi with
+                  | Ast.Int -1 ->
+                      (* assumed size: rest of the actual *)
+                      l + (Array.length base.Store.a_data - off) - 1
+                  | e -> eval_int ct e
+                in
+                (l, h - l + 1))
+              dims_exprs
+          in
+          Store.Array
+            {
+              Store.a_data = base.Store.a_data;
+              a_off = off;
+              a_dims = Array.of_list dims;
+              a_placement = base.Store.a_placement;
+            }
+        in
+        writebacks := (formal, `Array entry_thunk) :: !writebacks
+      end
+      else
+        match actual with
+        | Ast.Var v
+          when List.mem_assoc v t.frame.Store.f_syms.Symbols.params ->
+            (* a PARAMETER constant passed as actual: bind by value *)
+            Hashtbl.replace frame.Store.f_vars formal
+              (Store.Scalar
+                 { v = eval t actual; placement = Mach.Memory.Private })
+        | Ast.Var v -> (
+            match find_entry t v with
+            | Store.Scalar _ as e -> Hashtbl.replace frame.Store.f_vars formal e
+            | Store.Array _ -> Store.error "array %s passed to scalar formal" v)
+        | Ast.Idx (v, subs) -> (
+            (* element by reference: copy-in/copy-out *)
+            match find_entry t v with
+            | Store.Array a ->
+                let is = List.map (eval_int t) subs in
+                let cell =
+                  Store.Scalar
+                    { v = Store.get_elem a is; placement = a.Store.a_placement }
+                in
+                Hashtbl.replace frame.Store.f_vars formal cell;
+                writebacks := (formal, `Cell (a, is)) :: !writebacks
+            | Store.Scalar _ -> Store.error "scalar %s subscripted" v)
+        | e ->
+            let v = eval t e in
+            Hashtbl.replace frame.Store.f_vars formal
+              (Store.Scalar { v; placement = Mach.Memory.Private }))
+    formals args;
+  (* now allocate array views (scalar formals are bound) *)
+  List.iter
+    (fun (formal, wb) ->
+      match wb with
+      | `Array thunk -> Hashtbl.replace frame.Store.f_vars formal (thunk ())
+      | `Cell _ -> ())
+    !writebacks;
+  (try exec_stmts ct callee.Ast.u_body with Return_unit -> ());
+  flush ct;
+  (* copy-out element actuals *)
+  List.iter
+    (fun (formal, wb) ->
+      match wb with
+      | `Cell (a, is) -> (
+          match Hashtbl.find_opt frame.Store.f_vars formal with
+          | Some (Store.Scalar s) -> Store.set_elem a is s.v
+          | _ -> ())
+      | `Array _ -> ())
+    !writebacks;
+  if want_result then
+    match Hashtbl.find_opt frame.Store.f_vars callee.Ast.u_name with
+    | Some (Store.Scalar s) -> s.v
+    | _ -> Store.error "function %s returned no value" callee.Ast.u_name
+  else 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  cycles : float;
+  output : string;
+  global_words : float;
+  cluster_words : float;
+  busy : float;
+}
+
+(** Run a whole program on configuration [cfg]; the PROGRAM unit is the
+    entry.  [input] feeds READ statements. *)
+let run ?(input = []) ~(cfg : Mach.Config.t) (prog : Ast.program) : result =
+  let main =
+    match List.find_opt (fun u -> u.Ast.u_kind = Ast.Program) prog with
+    | Some u -> u
+    | None -> Store.error "no PROGRAM unit"
+  in
+  let sim = Mach.Sim.create () in
+  let c =
+    {
+      sim;
+      mem = Mach.Memory.create cfg;
+      cfg;
+      prog;
+      commons = Hashtbl.create 32;
+      locks = Hashtbl.create 4;
+      events = Hashtbl.create 4;
+      tasks_outstanding = 0;
+      task_done = None;
+      output = Buffer.create 256;
+      input;
+      charging = true;
+    }
+  in
+  Mach.Sim.spawn sim (fun () ->
+      let t =
+        {
+          c;
+          frame = Store.fresh_frame main;
+          overlays = [];
+          cluster = 0;
+          pending = 0.0;
+          doacross = None;
+        }
+      in
+      try exec_stmts t main.Ast.u_body with Stop_program -> ());
+  let cycles = Mach.Sim.run sim in
+  {
+    cycles;
+    output = Buffer.contents c.output;
+    global_words = c.mem.Mach.Memory.global_words;
+    cluster_words = c.mem.Mach.Memory.cluster_words;
+    busy = sim.Mach.Sim.total_busy;
+  }

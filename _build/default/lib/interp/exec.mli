@@ -1,0 +1,25 @@
+(** The Cedar Fortran executor: cycle-level execution of programs on the
+    simulated machine.  Parallel loops self-schedule across simulated
+    processors (each a DES fiber), cascade synchronization and locks
+    block and wake fibers, memory references charge latencies by
+    placement.  Supports the full Cedar Fortran runtime interface:
+    [await]/[advance], [lock]/[unlock], [post]/[wait]/[clearevent],
+    [ctskstart]/[mtskstart]/[tskwait], and the [cedar_*] library. *)
+
+exception Stop_program
+exception Return_unit
+
+type result = {
+  cycles : float;  (** simulated run time *)
+  output : string;  (** everything PRINTed *)
+  global_words : float;  (** traffic counters *)
+  cluster_words : float;
+  busy : float;  (** Σ busy cycles across all processors *)
+}
+
+val run :
+  ?input:float list -> cfg:Machine.Config.t -> Fortran.Ast.program -> result
+(** Execute the PROGRAM unit; [input] feeds READ statements.
+    @raise Store.Runtime_error on invalid programs (bad subscripts,
+    unknown routines, executed GOTOs)
+    @raise Machine.Sim.Deadlock if synchronization deadlocks *)

@@ -1,0 +1,91 @@
+(** The Cedar-optimized runtime library (paper §3.3).
+
+    These are the routines the restructurer substitutes for recognized
+    patterns.  Semantically they compute the exact result; their cost
+    model reflects the library's two-level parallel algorithms: partial
+    results within each cluster, then a combine across clusters — e.g. the
+    parallel dot product that halved the Conjugate Gradient run time. *)
+
+module Mach = Machine
+
+(** Parallel dot product of x(lo..hi) · y(lo..hi). *)
+let dotp sim (cfg : Mach.Config.t) (mem : Mach.Memory.t) (x : Store.arr)
+    (y : Store.arr) lo hi : float =
+  let n = hi - lo + 1 in
+  if n <= 0 then 0.0
+  else begin
+    let p = Mach.Config.total_processors cfg in
+    let chunk = (n + p - 1) / p in
+    let global =
+      x.Store.a_placement = Mach.Memory.Global_mem
+      || y.Store.a_placement = Mach.Memory.Global_mem
+    in
+    (* each processor streams two chunks and multiplies-accumulates *)
+    let stream = Mach.Config.vector_stream_cost cfg ~global chunk in
+    let compute = cfg.Mach.Config.vector_op *. 2.0 *. float_of_int chunk in
+    (* two-step combine: within cluster (log2 8 = 3 bus ops), then across
+       clusters through global memory *)
+    let combine =
+      (3.0 *. cfg.Mach.Config.await_cost)
+      +. (float_of_int cfg.Mach.Config.clusters *. cfg.Mach.Config.global_scalar)
+    in
+    Mach.Memory.count mem
+      (if global then Mach.Memory.Global_mem else Mach.Memory.Cluster_mem)
+      (2.0 *. float_of_int n);
+    Mach.Sim.delay sim
+      (cfg.Mach.Config.sdo_startup +. (2.0 *. stream) +. compute +. combine);
+    let s = ref 0.0 in
+    for i = lo to hi do
+      s := !s +. (Store.get_elem x [ i ] *. Store.get_elem y [ i ])
+    done;
+    !s
+  end
+
+(** Parallel min/max search. *)
+let minmax sim (cfg : Mach.Config.t) (mem : Mach.Memory.t) ~is_max
+    (x : Store.arr) lo hi : float =
+  let n = hi - lo + 1 in
+  if n <= 0 then if is_max then neg_infinity else infinity
+  else begin
+    let p = Mach.Config.total_processors cfg in
+    let chunk = (n + p - 1) / p in
+    let global = x.Store.a_placement = Mach.Memory.Global_mem in
+    let stream = Mach.Config.vector_stream_cost cfg ~global chunk in
+    let compute = cfg.Mach.Config.vector_op *. float_of_int chunk in
+    let combine =
+      (3.0 *. cfg.Mach.Config.await_cost)
+      +. (float_of_int cfg.Mach.Config.clusters *. cfg.Mach.Config.global_scalar)
+    in
+    Mach.Memory.count mem
+      (if global then Mach.Memory.Global_mem else Mach.Memory.Cluster_mem)
+      (float_of_int n);
+    Mach.Sim.delay sim (cfg.Mach.Config.sdo_startup +. stream +. compute +. combine);
+    let best = ref (Store.get_elem x [ lo ]) in
+    for i = lo + 1 to hi do
+      let v = Store.get_elem x [ i ] in
+      if (is_max && v > !best) || ((not is_max) && v < !best) then best := v
+    done;
+    !best
+  end
+
+(** First-order linear recurrence x(i) = x(i-1)*b(i) + c(i), lo..hi, by
+    the parallel cyclic-reduction-style library algorithm: O(n/p + log n)
+    steps of vector work (Chen & Kuck bounds). *)
+let slr1 sim (cfg : Mach.Config.t) ~lo ~hi ~get_b ~get_c ~get_x ~set_x : unit =
+  let n = hi - lo + 1 in
+  if n > 0 then begin
+    let p = Mach.Config.total_processors cfg in
+    let chunk = (n + p - 1) / p in
+    (* each phase: local solve (2 flops/elem), then log(p) combine of
+       per-chunk (product, offset) pairs, then local fix-up *)
+    let local = 4.0 *. cfg.Mach.Config.vector_op *. float_of_int chunk in
+    let logp = Float.log (float_of_int p) /. Float.log 2.0 in
+    let combine = logp *. (cfg.Mach.Config.global_scalar +. cfg.Mach.Config.await_cost) in
+    let stream = Mach.Config.vector_stream_cost cfg ~global:true chunk in
+    Mach.Sim.delay sim
+      (cfg.Mach.Config.sdo_startup +. (3.0 *. stream) +. (2.0 *. local) +. combine);
+    for i = lo to hi do
+      let prev = if i = lo then get_x (i - 1) else get_x (i - 1) in
+      set_x i ((prev *. get_b i) +. get_c i)
+    done
+  end

@@ -1,0 +1,65 @@
+(** Runtime storage for the Cedar Fortran interpreter.
+
+    All numeric values are held as OCaml floats (Fortran INTEGERs in the
+    workloads stay far below 2^53, so arithmetic is exact); LOGICALs are
+    0/1.  Arrays carry their dimension descriptors for subscript
+    linearization and bounds checking.  Each object knows its memory
+    placement so the executor can charge the right latencies. *)
+
+open Fortran
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type arr = {
+  a_data : float array;
+  a_off : int;  (** start offset into [a_data] (element-anchored actuals) *)
+  a_dims : (int * int) array;  (** (lower bound, extent) per dimension *)
+  a_placement : Machine.Memory.placement;
+}
+
+type entry =
+  | Scalar of { mutable v : float; placement : Machine.Memory.placement }
+  | Array of arr
+
+type frame = {
+  f_unit : Ast.punit;
+  f_syms : Symbols.t;
+  f_vars : (string, entry) Hashtbl.t;
+}
+
+(** Linearize subscripts; bounds-checked. *)
+let linear_index (a : arr) (subs : int list) =
+  let n = Array.length a.a_dims in
+  if List.length subs <> n then
+    error "rank mismatch: %d subscripts for rank %d" (List.length subs) n;
+  let idx = ref a.a_off and mult = ref 1 in
+  List.iteri
+    (fun k s ->
+      let lo, ext = a.a_dims.(k) in
+      if ext >= 0 && (s < lo || s >= lo + ext) then
+        error "subscript %d out of bounds [%d..%d] in dim %d" s lo (lo + ext - 1) k;
+      idx := !idx + ((s - lo) * !mult);
+      mult := !mult * max ext 1)
+    subs;
+  if !idx < 0 || !idx >= Array.length a.a_data then
+    error "linearized index %d out of storage %d" !idx (Array.length a.a_data);
+  !idx
+
+let get_elem a subs = a.a_data.(linear_index a subs)
+let set_elem a subs v = a.a_data.(linear_index a subs) <- v
+
+let total_elems dims =
+  Array.fold_left (fun acc (_, ext) -> acc * max ext 1) 1 dims
+
+let make_array ~placement dims =
+  let dims = Array.of_list dims in
+  {
+    a_data = Array.make (total_elems dims) 0.0;
+    a_off = 0;
+    a_dims = dims;
+    a_placement = placement;
+  }
+
+let fresh_frame u = { f_unit = u; f_syms = Symbols.of_unit u; f_vars = Hashtbl.create 32 }

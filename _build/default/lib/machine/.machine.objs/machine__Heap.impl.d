@@ -1,0 +1,1 @@
+lib/machine/heap.pp.ml: Array

@@ -1,0 +1,1 @@
+lib/machine/memory.pp.ml: Config Ppx_deriving_runtime Sim

@@ -1,0 +1,1 @@
+lib/machine/microtask.pp.ml: Config List Sim Sync

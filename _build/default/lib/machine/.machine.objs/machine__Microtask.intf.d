@@ -1,0 +1,1 @@
+lib/machine/microtask.pp.mli: Config Sim

@@ -1,0 +1,1 @@
+lib/machine/sync.pp.ml: Hashtbl List Sim

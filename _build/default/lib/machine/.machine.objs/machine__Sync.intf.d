@@ -1,0 +1,1 @@
+lib/machine/sync.pp.mli: Hashtbl Sim

@@ -1,0 +1,131 @@
+(** Machine descriptions: Cedar (Configurations 1 and 2 of the paper) and
+    the Alliant FX/80 baseline.
+
+    All costs are in processor clock cycles.  Absolute values are chosen
+    to match the {i ratios} published for Cedar and the FX/8-class
+    machines (cache : cluster memory : global memory ≈ 1 : 4 : 40 per
+    scalar word; prefetched global vector streams at near-cache speed;
+    intra-cluster concurrency startup is tens of cycles via the
+    concurrency control bus, while spread/cross-cluster loops start
+    through the runtime library in thousands of cycles), not to match any
+    absolute microsecond figures — the benchmarks reproduce shapes and
+    factors, as DESIGN.md states. *)
+
+type t = {
+  name : string;
+  clusters : int;
+  ces_per_cluster : int;
+  (* -- memory system, cycles per word -- *)
+  cache_hit : float;
+  cluster_scalar : float;  (** scalar access to cluster memory *)
+  global_scalar : float;  (** scalar access to global memory (via network) *)
+  cluster_vector : float;  (** per element, vector access to cluster memory *)
+  global_vector : float;  (** per element, vector from global, no prefetch *)
+  global_vector_prefetched : float;  (** per element with prefetch *)
+  vector_startup : float;  (** pipeline fill per vector operation *)
+  prefetch_depth : int;  (** elements per prefetch trigger (32 on Cedar) *)
+  prefetch : bool;  (** prefetch hardware enabled (Fig 6 toggles this) *)
+  cache_bytes : int;
+  (* -- concurrency -- *)
+  cdo_startup : float;  (** CDO loop start via concurrency bus *)
+  cdo_dispatch : float;  (** per-iteration self-schedule cost, CDO *)
+  sdo_startup : float;  (** SDO/XDO loop start via runtime library *)
+  sdo_dispatch : float;  (** per-iteration cost, spread/cross loops *)
+  await_cost : float;  (** await/advance through the CCB *)
+  lock_cost : float;  (** lock/unlock in global memory *)
+  task_start_ctsk : float;  (** ctskstart: new OS cluster task *)
+  task_start_mtsk : float;  (** mtskstart: reuse helper task *)
+  (* -- computation -- *)
+  scalar_op : float;  (** scalar flop *)
+  vector_op : float;  (** per-element flop in vector mode *)
+  intrinsic_op : float;  (** sqrt/exp/log *)
+  (* -- capacity / paging -- *)
+  cluster_mem_bytes : int;
+  global_mem_bytes : int;
+  page_bytes : int;
+  page_fault_cycles : float;
+  (* -- bandwidth, words per cycle -- *)
+  global_bw : float;  (** aggregate global-memory bandwidth *)
+  cluster_bw : float;  (** per-cluster memory bandwidth *)
+}
+
+let mb n = n * 1024 * 1024
+let kb n = n * 1024
+
+let cedar_config1 =
+  {
+    name = "Cedar (Configuration 1)";
+    clusters = 4;
+    ces_per_cluster = 8;
+    cache_hit = 1.0;
+    cluster_scalar = 4.0;
+    global_scalar = 40.0;
+    cluster_vector = 2.0;
+    global_vector = 8.0;
+    global_vector_prefetched = 1.2;
+    vector_startup = 25.0;
+    prefetch_depth = 32;
+    prefetch = true;
+    cache_bytes = kb 512;
+    cdo_startup = 60.0;
+    cdo_dispatch = 5.0;
+    sdo_startup = 3000.0;
+    sdo_dispatch = 120.0;
+    await_cost = 20.0;
+    lock_cost = 150.0;
+    task_start_ctsk = 200000.0;
+    task_start_mtsk = 4000.0;
+    scalar_op = 2.0;
+    vector_op = 0.5;
+    intrinsic_op = 20.0;
+    cluster_mem_bytes = mb 16;
+    global_mem_bytes = mb 64;
+    page_bytes = kb 4;
+    page_fault_cycles = 200000.0;
+    global_bw = 6.0;
+    cluster_bw = 8.0;
+  }
+
+let cedar_config2 =
+  { cedar_config1 with name = "Cedar (Configuration 2)"; cluster_mem_bytes = mb 64 }
+
+(** The Alliant FX/80: one Cedar-like cluster with enough memory to hold
+    the whole job; no global level, no prefetch question. *)
+let fx80 =
+  {
+    cedar_config1 with
+    name = "Alliant FX/80";
+    clusters = 1;
+    cluster_mem_bytes = mb 256;
+    global_mem_bytes = 0;
+    (* on the FX/80 "global" accesses do not exist; map them to cluster *)
+    global_scalar = 4.0;
+    global_vector = 1.0;
+    global_vector_prefetched = 1.0;
+    prefetch = false;
+    sdo_startup = 600.0;
+    (* spread loops degenerate to cluster loops on one cluster, but keep a
+       library-start premium *)
+    sdo_dispatch = 20.0;
+    global_bw = 8.0;
+  }
+
+let with_clusters cfg n = { cfg with clusters = n }
+let with_prefetch cfg b = { cfg with prefetch = b }
+
+let total_processors cfg = cfg.clusters * cfg.ces_per_cluster
+
+(** Cost of one scalar memory reference by placement. *)
+let scalar_ref_cost cfg ~global ~cached =
+  if cached then cfg.cache_hit
+  else if global then cfg.global_scalar
+  else cfg.cluster_scalar
+
+(** Cost of an [n]-element vector memory stream by placement. *)
+let vector_stream_cost cfg ~global n =
+  let per =
+    if global then
+      if cfg.prefetch then cfg.global_vector_prefetched else cfg.global_vector
+    else cfg.cluster_vector
+  in
+  cfg.vector_startup +. (per *. float_of_int n)

@@ -1,0 +1,64 @@
+(** Memory-system cost charging and traffic accounting for the DES
+    interpreter.
+
+    Placement follows Cedar's three levels: processor-private (loop
+    locals, registers/cache-resident), cluster memory (default for data,
+    backed by the shared cluster cache), and global memory behind the
+    interconnection network (optionally prefetched for vector streams).
+    Costs come from {!Config}; traffic counters feed the statistics the
+    benchmarks report. *)
+
+type placement = Private | Cluster_mem | Global_mem
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  cfg : Config.t;
+  mutable global_words : float;
+  mutable cluster_words : float;
+  mutable private_words : float;
+  mutable prefetch_triggers : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    global_words = 0.0;
+    cluster_words = 0.0;
+    private_words = 0.0;
+    prefetch_triggers = 0;
+  }
+
+let count t placement words =
+  match placement with
+  | Global_mem -> t.global_words <- t.global_words +. words
+  | Cluster_mem -> t.cluster_words <- t.cluster_words +. words
+  | Private -> t.private_words <- t.private_words +. words
+
+(** Charge one scalar reference. *)
+let scalar t sim placement =
+  count t placement 1.0;
+  let c =
+    match placement with
+    | Private -> t.cfg.Config.cache_hit
+    | Cluster_mem -> t.cfg.Config.cluster_scalar
+    | Global_mem -> t.cfg.Config.global_scalar
+  in
+  Sim.delay sim c
+
+(** Charge an [n]-element vector stream (load or store). *)
+let vector t sim placement n =
+  count t placement (float_of_int n);
+  let cost =
+    match placement with
+    | Private ->
+        t.cfg.Config.vector_startup
+        +. (t.cfg.Config.cache_hit *. float_of_int n)
+    | Cluster_mem -> Config.vector_stream_cost t.cfg ~global:false n
+    | Global_mem ->
+        if t.cfg.Config.prefetch then
+          t.prefetch_triggers <-
+            t.prefetch_triggers + ((n + t.cfg.Config.prefetch_depth - 1)
+                                   / t.cfg.Config.prefetch_depth);
+        Config.vector_stream_cost t.cfg ~global:true n
+  in
+  Sim.delay sim cost

@@ -1,0 +1,81 @@
+(** Microtasking: self-scheduled parallel loop execution (paper §2.2.1).
+
+    CDO loops dispatch iterations through the Alliant concurrency
+    hardware (cheap); SDOALL/XDOALL loops dispatch through the runtime
+    library's helper tasks against a shared counter in global memory
+    (expensive).  [parallel_for] spawns one fiber per participating
+    processor; each repeatedly grabs the next undone iteration, runs the
+    preamble once on first join, and runs the postamble after the loop's
+    iterations are exhausted.  [run_loop] blocks the calling fiber until
+    all workers finish (the Cedar join). *)
+
+type dispatch = { startup : float; per_iter : float }
+
+type worker_ctx = {
+  w_proc : int;  (** global processor id, 0-based *)
+  w_cluster : int;
+  w_iter : int;  (** iteration index value *)
+}
+
+(** Execute iterations [lo, lo+step, .., hi] on [procs] processors of the
+    simulated machine.  [proc_ids] gives (global processor id, cluster) of
+    each participant.  The body, preamble and postamble callbacks run
+    inside worker fibers and may Delay/Suspend freely. *)
+let run_loop (sim : Sim.t) ~(dispatch : dispatch)
+    ~(proc_ids : (int * int) list) ~(lo : int) ~(hi : int) ~(step : int)
+    ?(preamble = fun (_ : worker_ctx) -> ())
+    ?(postamble = fun (_ : worker_ctx) -> ())
+    (body : worker_ctx -> unit) : unit =
+  assert (step <> 0);
+  let next = ref lo in
+  let remaining = ref (List.length proc_ids) in
+  let done_ev = Sync.Event.create sim in
+  let grab () =
+    let i = !next in
+    let have = if step > 0 then i <= hi else i >= hi in
+    if have then begin
+      next := i + step;
+      Some i
+    end
+    else None
+  in
+  Sim.delay sim dispatch.startup;
+  List.iter
+    (fun (proc, cluster) ->
+      Sim.spawn sim (fun () ->
+          let ctx0 = { w_proc = proc; w_cluster = cluster; w_iter = lo } in
+          preamble ctx0;
+          let rec work () =
+            Sim.delay sim dispatch.per_iter;
+            match grab () with
+            | Some i ->
+                body { w_proc = proc; w_cluster = cluster; w_iter = i };
+                work ()
+            | None -> ()
+          in
+          work ();
+          postamble ctx0;
+          remaining := !remaining - 1;
+          if !remaining = 0 then Sync.Event.post done_ev))
+    proc_ids;
+  Sync.Event.wait done_ev
+
+(** Processor sets for the three Cedar loop classes. *)
+let procs_cdo (cfg : Config.t) ~cluster =
+  List.init cfg.Config.ces_per_cluster (fun p ->
+      ((cluster * cfg.Config.ces_per_cluster) + p, cluster))
+
+let procs_sdo (cfg : Config.t) =
+  List.init cfg.Config.clusters (fun c -> (c * cfg.Config.ces_per_cluster, c))
+
+let procs_xdo (cfg : Config.t) =
+  List.concat
+    (List.init cfg.Config.clusters (fun c ->
+         List.init cfg.Config.ces_per_cluster (fun p ->
+             ((c * cfg.Config.ces_per_cluster) + p, c))))
+
+let dispatch_cdo (cfg : Config.t) =
+  { startup = cfg.Config.cdo_startup; per_iter = cfg.Config.cdo_dispatch }
+
+let dispatch_sdo (cfg : Config.t) =
+  { startup = cfg.Config.sdo_startup; per_iter = cfg.Config.sdo_dispatch }

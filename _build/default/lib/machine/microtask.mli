@@ -1,0 +1,32 @@
+(** Microtasking: self-scheduled parallel loop execution (paper §2.2.1).
+    CDO loops dispatch through the concurrency bus (cheap); SDO/XDO loops
+    through the runtime library's helper tasks (expensive). *)
+
+type dispatch = { startup : float; per_iter : float }
+
+type worker_ctx = {
+  w_proc : int;  (** global processor id, 0-based *)
+  w_cluster : int;
+  w_iter : int;  (** iteration index value *)
+}
+
+val run_loop :
+  Sim.t ->
+  dispatch:dispatch ->
+  proc_ids:(int * int) list ->
+  lo:int ->
+  hi:int ->
+  step:int ->
+  ?preamble:(worker_ctx -> unit) ->
+  ?postamble:(worker_ctx -> unit) ->
+  (worker_ctx -> unit) ->
+  unit
+(** Execute the iterations on the given processors; each worker runs the
+    preamble once before taking iterations and the postamble after its
+    share; blocks the calling fiber until all workers finish. *)
+
+val procs_cdo : Config.t -> cluster:int -> (int * int) list
+val procs_sdo : Config.t -> (int * int) list
+val procs_xdo : Config.t -> (int * int) list
+val dispatch_cdo : Config.t -> dispatch
+val dispatch_sdo : Config.t -> dispatch

@@ -1,0 +1,86 @@
+(** Discrete-event simulation core built on OCaml 5 effect handlers.
+
+    Every simulated activity (a Cedar processor, a helper task) is a
+    fiber.  Fibers perform [Delay] to consume simulated time and [Block]
+    to suspend on a condition; the scheduler resumes continuations in
+    global time order from a binary-heap event queue, so execution is
+    deterministic and independent of host scheduling.
+
+    This is the substrate the Cedar Fortran interpreter runs on: loop
+    microtasking, cascade synchronization and locks are all built from
+    these two effects (see {!Sync} and {!Microtask}). *)
+
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable now : float;
+  mutable live_fibers : int;
+  mutable total_busy : float;  (** Σ of Delay across fibers *)
+}
+
+type _ Effect.t += Delay : (t * float) -> unit Effect.t
+type _ Effect.t += Suspend : (t * ((unit -> unit) -> unit)) -> unit Effect.t
+
+let create () = { queue = Heap.create (); now = 0.0; live_fibers = 0; total_busy = 0.0 }
+
+let now sim = sim.now
+
+(** Consume [cycles] of simulated time (callable only inside a fiber). *)
+let delay sim cycles =
+  if cycles > 0.0 then Effect.perform (Delay (sim, cycles))
+
+(** Suspend the current fiber; [register resume] is called with a resume
+    thunk that re-queues the fiber (at the then-current time). *)
+let suspend sim register = Effect.perform (Suspend (sim, register))
+
+let schedule sim ~after thunk = Heap.push sim.queue ~time:(sim.now +. after) thunk
+
+(** Start a new fiber running [f] at the current simulation time. *)
+let rec spawn sim (f : unit -> unit) =
+  sim.live_fibers <- sim.live_fibers + 1;
+  schedule sim ~after:0.0 (fun () -> run_fiber sim f)
+
+and run_fiber sim f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> sim.live_fibers <- sim.live_fibers - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (s, cycles) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  s.total_busy <- s.total_busy +. cycles;
+                  Heap.push s.queue ~time:(s.now +. cycles) (fun () ->
+                      continue k ()))
+          | Suspend (s, register) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  (* the resume thunk schedules rather than runs the
+                     continuation, so wakers never nest fiber stacks *)
+                  register (fun () ->
+                      Heap.push s.queue ~time:s.now (fun () -> continue k ())))
+          | _ -> None);
+    }
+
+exception Deadlock of float * int
+(** raised when fibers remain but no event is pending *)
+
+(** Run until all fibers finish.  Returns the final simulated time. *)
+let run sim =
+  let rec loop () =
+    match Heap.pop sim.queue with
+    | Some (time, thunk) ->
+        assert (time >= sim.now -. 1e-9);
+        sim.now <- max sim.now time;
+        thunk ();
+        loop ()
+    | None ->
+        if sim.live_fibers > 0 then raise (Deadlock (sim.now, sim.live_fibers))
+  in
+  if Heap.is_empty sim.queue && sim.live_fibers = 0 then sim.now
+  else begin
+    loop ();
+    sim.now
+  end

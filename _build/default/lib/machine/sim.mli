@@ -1,0 +1,39 @@
+(** Discrete-event simulation core built on OCaml 5 effect handlers.
+
+    Every simulated activity is a fiber; fibers consume simulated time
+    with {!delay} and block with {!suspend}; the scheduler resumes
+    continuations in global time order, deterministically. *)
+
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable now : float;
+  mutable live_fibers : int;
+  mutable total_busy : float;  (** Σ of delay across fibers *)
+}
+
+exception Deadlock of float * int
+(** Raised by {!run} when fibers remain but no event is pending:
+    [(time, live_fibers)]. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (cycles). *)
+
+val delay : t -> float -> unit
+(** Consume simulated cycles.  Callable only inside a fiber. *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** Suspend the current fiber; the callback receives a resume thunk that
+    re-queues the fiber at the then-current time.  Wakers never nest
+    fiber stacks: resumption is always scheduled, not run inline. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Start a new fiber at the current simulation time. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> unit
+(** Enqueue a raw event thunk. *)
+
+val run : t -> float
+(** Run until all fibers finish; returns the final simulated time.
+    @raise Deadlock if blocked fibers remain *)

@@ -1,0 +1,117 @@
+(** Cedar synchronization primitives on the DES: cascade synchronization
+    (await/advance over the concurrency control bus), locks, and
+    post/wait events (paper §2.1, §2.2). *)
+
+(* ------------------------------------------------------------------ *)
+(* Cascade synchronization                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** One synchronization sequence of a DOACROSS: [advance seq i] marks
+    iteration [i]'s synchronized region complete; [await seq i d] blocks
+    until iteration [i - d] has advanced (iterations below the loop's
+    first are implicitly complete). *)
+module Cascade = struct
+  type t = {
+    sim : Sim.t;
+    cost : float;
+    mutable completed : int;  (** highest iteration h with all ≤ h advanced *)
+    advanced : (int, unit) Hashtbl.t;
+    mutable waiters : (int * (unit -> unit)) list;
+    first : int;  (** first iteration of the loop *)
+  }
+
+  let create ?(cost = 0.0) ~first sim =
+    { sim; cost; completed = first - 1; advanced = Hashtbl.create 64; waiters = []; first }
+
+  let wake t =
+    let ready, rest =
+      List.partition (fun (need, _) -> t.completed >= need) t.waiters
+    in
+    t.waiters <- rest;
+    List.iter (fun (_, resume) -> resume ()) ready
+
+  let advance t i =
+    Sim.delay t.sim t.cost;
+    Hashtbl.replace t.advanced i ();
+    let rec bump () =
+      if Hashtbl.mem t.advanced (t.completed + 1) then begin
+        t.completed <- t.completed + 1;
+        bump ()
+      end
+    in
+    bump ();
+    wake t
+
+  let await t ~iter ~dist =
+    Sim.delay t.sim t.cost;
+    let need = iter - dist in
+    if need < t.first then ()
+    else if t.completed >= need then ()
+    else Sim.suspend t.sim (fun resume -> t.waiters <- (need, resume) :: t.waiters)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Locks (unordered critical sections)                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Lock = struct
+  type t = {
+    sim : Sim.t;
+    cost : float;
+    mutable held : bool;
+    mutable waiters : (unit -> unit) list;  (** FIFO via rev *)
+  }
+
+  let create ?(cost = 0.0) sim = { sim; cost; held = false; waiters = [] }
+
+  let rec acquire t =
+    Sim.delay t.sim t.cost;
+    if not t.held then t.held <- true
+    else begin
+      Sim.suspend t.sim (fun resume -> t.waiters <- resume :: t.waiters);
+      (* after wake-up, contend again (the waker released the lock) *)
+      acquire_nocost t
+    end
+
+  and acquire_nocost t =
+    if not t.held then t.held <- true
+    else begin
+      Sim.suspend t.sim (fun resume -> t.waiters <- resume :: t.waiters);
+      acquire_nocost t
+    end
+
+  let release t =
+    Sim.delay t.sim t.cost;
+    t.held <- false;
+    match List.rev t.waiters with
+    | [] -> ()
+    | first :: rest ->
+        t.waiters <- List.rev rest;
+        first ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Post/wait events                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Event = struct
+  type t = {
+    sim : Sim.t;
+    mutable posted : bool;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create sim = { sim; posted = false; waiters = [] }
+
+  let post t =
+    t.posted <- true;
+    let ws = t.waiters in
+    t.waiters <- [];
+    List.iter (fun w -> w ()) ws
+
+  let wait t =
+    if not t.posted then
+      Sim.suspend t.sim (fun resume -> t.waiters <- resume :: t.waiters)
+
+  let clear t = t.posted <- false
+end

@@ -1,0 +1,40 @@
+(** Cedar synchronization primitives on the DES (paper §2): cascade
+    synchronization (await/advance), locks for unordered critical
+    sections, and post/wait events. *)
+
+module Cascade : sig
+  type t = {
+    sim : Sim.t;
+    cost : float;
+    mutable completed : int;
+    advanced : (int, unit) Hashtbl.t;
+    mutable waiters : (int * (unit -> unit)) list;
+    first : int;
+  }
+
+  val create : ?cost:float -> first:int -> Sim.t -> t
+
+  val advance : t -> int -> unit
+  (** Mark iteration [i]'s synchronized region complete. *)
+
+  val await : t -> iter:int -> dist:int -> unit
+  (** Block until iteration [iter - dist] has advanced (iterations below
+      the loop's first are implicitly complete). *)
+end
+
+module Lock : sig
+  type t
+
+  val create : ?cost:float -> Sim.t -> t
+  val acquire : t -> unit
+  val release : t -> unit
+end
+
+module Event : sig
+  type t
+
+  val create : Sim.t -> t
+  val post : t -> unit
+  val wait : t -> unit
+  val clear : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/perfmodel/model.pp.ml: Ast Ast_utils Float Fortran Hashtbl List Machine Option String Symbols

@@ -1,0 +1,1 @@
+lib/perfmodel/model.pp.mli: Fortran Machine

@@ -1,0 +1,34 @@
+(** Analytic performance model for (Cedar) Fortran programs at
+    paper-scale problem sizes.
+
+    Evaluates the cost structure of a program without element-by-element
+    execution: loop bodies are sampled at their first and last iteration
+    (trapezoid — exact for costs affine in the index), parallel loops get
+    self-scheduled makespans bounded by memory bandwidth, and a paging
+    model reproduces the paper's superlinear serial-vs-parallel ratios.
+    Validated against the cycle-level interpreter at small sizes in
+    [test/test_perfmodel.ml]. *)
+
+type run = {
+  cycles : float;
+  global_words : float;  (** traffic to global memory *)
+  cluster_words : float;
+  private_words : float;
+  strided_words : float;  (** column-major sweeps along trailing dims *)
+  page_faults : float;
+  cluster_bytes_used : float;  (** working set placed in cluster memory *)
+  global_bytes_used : float;
+}
+
+exception Unknown of string
+(** A value the static environment cannot resolve (internal; callers of
+    {!evaluate} never see it). *)
+
+val evaluate :
+  ?serial_memory:float option ->
+  cfg:Machine.Config.t ->
+  Fortran.Ast.program ->
+  run
+(** Estimate the run time of the program's PROGRAM unit on [cfg].
+    [serial_memory] overrides the capacity available to cluster-placed
+    data (e.g. the serial baseline confined to one 16 MB cluster). *)

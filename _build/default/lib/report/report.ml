@@ -1,0 +1,89 @@
+(** ASCII tables and bar "figures" for the experiment harness. *)
+
+(** Print a table: header row + data rows, columns padded to content. *)
+let table ?(out = print_string) (header : string list)
+    (rows : string list list) : unit =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r ->
+        match List.nth_opt r c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line ch =
+    out
+      ("+"
+      ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths)
+      ^ "+\n")
+  in
+  let row cells =
+    out
+      ("|"
+      ^ String.concat "|"
+          (List.mapi
+             (fun c w ->
+               let cell = Option.value (List.nth_opt cells c) ~default:"" in
+               Printf.sprintf " %*s " w cell)
+             widths)
+      ^ "|\n")
+  in
+  line '-';
+  row header;
+  line '=';
+  List.iter row rows;
+  line '-'
+
+(** Horizontal bar chart: one bar per (label, value); scaled to [width]. *)
+let bars ?(out = print_string) ?(width = 48) (items : (string * float) list) :
+    unit =
+  let vmax = List.fold_left (fun m (_, v) -> Float.max m v) 1e-9 items in
+  let lmax =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 items
+  in
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+      out
+        (Printf.sprintf "  %-*s | %-*s %.2f\n" lmax label width
+           (String.make (max 0 n) '#')
+           v))
+    items
+
+(** Grouped series chart: x labels with one value per series. *)
+let series ?(out = print_string) ?(width = 40) ~(xlabels : string list)
+    (lines : (string * float list) list) : unit =
+  let vmax =
+    List.fold_left
+      (fun m (_, vs) -> List.fold_left Float.max m vs)
+      1e-9 lines
+  in
+  List.iteri
+    (fun i x ->
+      out (Printf.sprintf "  %s:\n" x);
+      List.iter
+        (fun (name, vs) ->
+          match List.nth_opt vs i with
+          | Some v ->
+              let n =
+                int_of_float (Float.round (v /. vmax *. float_of_int width))
+              in
+              out
+                (Printf.sprintf "    %-24s %-*s %.2f\n" name width
+                   (String.make (max 0 n) '*')
+                   v)
+          | None -> ())
+        lines)
+    xlabels
+
+let fnum v =
+  if v >= 100.0 then Printf.sprintf "%.0f" v
+  else if v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let heading ?(out = print_string) title =
+  let bar = String.make (String.length title) '=' in
+  out (Printf.sprintf "\n%s\n%s\n" title bar)

@@ -1,0 +1,20 @@
+(** ASCII tables and bar "figures" for the experiment harness. *)
+
+val table : ?out:(string -> unit) -> string list -> string list list -> unit
+(** [table header rows] — fixed-width bordered table. *)
+
+val bars : ?out:(string -> unit) -> ?width:int -> (string * float) list -> unit
+(** Horizontal bar chart, scaled to the maximum value. *)
+
+val series :
+  ?out:(string -> unit) ->
+  ?width:int ->
+  xlabels:string list ->
+  (string * float list) list ->
+  unit
+(** Grouped series: one block per x label, one starred bar per series. *)
+
+val fnum : float -> string
+(** Compact numeric formatting (3 significant-ish digits). *)
+
+val heading : ?out:(string -> unit) -> string -> unit

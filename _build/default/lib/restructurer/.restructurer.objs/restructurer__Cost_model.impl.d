@@ -1,0 +1,1 @@
+lib/restructurer/cost_model.pp.ml: Analysis Ast Ast_utils Float Fortran List Machine Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/restructurer/cost_model.pp.mli: Analysis Fortran Machine

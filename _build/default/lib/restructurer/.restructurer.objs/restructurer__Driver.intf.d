@@ -1,0 +1,1 @@
+lib/restructurer/driver.pp.mli: Cost_model Fortran Options Transform

@@ -1,0 +1,1 @@
+lib/restructurer/options.pp.ml: Machine Ppx_deriving_runtime Transform

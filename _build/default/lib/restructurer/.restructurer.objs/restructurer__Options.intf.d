@@ -1,0 +1,1 @@
+lib/restructurer/options.pp.mli: Machine Transform

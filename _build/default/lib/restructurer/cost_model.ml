@@ -1,0 +1,237 @@
+(** The restructurer's static cost model (paper §3.3–3.4).
+
+    Estimates the benefit of each candidate execution mode of a loop so
+    the central coordinator can rank versions.  This is deliberately a
+    {i compile-time} model with default assumptions (unknown trip counts
+    use [assumed_trip]); the analytic performance model in [lib/perfmodel]
+    is the measurement instrument — this one only has to rank versions
+    the way KAP's heuristics did, including lowering DOACROSS benefit by
+    the synchronization delay factor. *)
+
+open Fortran
+module Cfg = Machine.Config
+
+type mode =
+  | Serial
+  | Vector  (** innermost loop as vector statements *)
+  | Cdoall_mode of { vector_inner : bool }
+  | Sdo_cdo_mode of { vector_inner : bool }
+  | Xdoall_strip
+  | Xdoall_plain
+  | Doacross_mode of { sync_fraction : float; distance : int }
+[@@deriving show { with_path = false }, eq]
+
+type body_profile = {
+  flops : float;  (** arithmetic per iteration *)
+  intrinsics : float;
+  mem_refs : float;  (** memory references per iteration *)
+  trip : int;  (** (assumed) iteration count of this loop *)
+  inner_trip : int;  (** iterations of the nested loop(s), 1 if none *)
+}
+
+(** Count per-iteration operation profile of a body (inner loops weighted
+    by their assumed trips). *)
+let profile ~assumed_trip (lvl : Analysis.Loops.level) (body : Ast.stmt list) :
+    body_profile =
+  let trip_of lo hi =
+    match (Ast_utils.const_eval [] lo, Ast_utils.const_eval [] hi) with
+    | Some l, Some h when h >= l -> h - l + 1
+    | _ -> assumed_trip
+  in
+  let rec expr_cost (e : Ast.expr) =
+    (* (flops, intrinsics, mem_refs) *)
+    match e with
+    | Ast.Int _ | Ast.Num _ | Ast.Str _ | Ast.Bool _ -> (0.0, 0.0, 0.0)
+    | Ast.Var _ -> (0.0, 0.0, 1.0)
+    | Ast.Idx (_, subs) ->
+        List.fold_left
+          (fun (f, i, m) s ->
+            let f', i', m' = expr_cost s in
+            (f +. f', i +. i', m +. m'))
+          (0.0, 0.0, 1.0) subs
+    | Ast.Section (_, _) -> (0.0, 0.0, 1.0)
+    | Ast.Call (f, args) ->
+        let base =
+          if Ast.is_intrinsic f then (0.0, 1.0, 0.0) else (0.0, 5.0, 2.0)
+        in
+        List.fold_left
+          (fun (f, i, m) a ->
+            let f', i', m' = expr_cost a in
+            (f +. f', i +. i', m +. m'))
+          base args
+    | Ast.Bin (_, a, b) ->
+        let f1, i1, m1 = expr_cost a and f2, i2, m2 = expr_cost b in
+        (f1 +. f2 +. 1.0, i1 +. i2, m1 +. m2)
+    | Ast.Un (_, a) ->
+        let f, i, m = expr_cost a in
+        (f +. 1.0, i, m)
+  in
+  let rec stmt_cost (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (l, e) ->
+        let f, i, m = expr_cost e in
+        let lm =
+          match l with
+          | Ast.LVar _ -> 1.0
+          | Ast.LIdx (_, subs) ->
+              List.fold_left (fun acc s -> let _, _, m = expr_cost s in acc +. m) 1.0 subs
+          | Ast.LSection _ -> 1.0
+        in
+        (f, i, m +. lm)
+    | Ast.If (c, t, e) ->
+        let f, i, m = expr_cost c in
+        let sum =
+          List.fold_left
+            (fun (f, i, m) s ->
+              let f', i', m' = stmt_cost s in
+              (f +. f', i +. i', m +. m'))
+            (f +. 1.0, i, m)
+            (t @ e)
+        in
+        sum
+    | Ast.Do (h, blk) ->
+        let t = float_of_int (trip_of h.Ast.lo h.Ast.hi) in
+        List.fold_left
+          (fun (f, i, m) s ->
+            let f', i', m' = stmt_cost s in
+            (f +. (t *. f'), i +. (t *. i'), m +. (t *. m')))
+          (1.0, 0.0, 0.0) blk.Ast.body
+    | Ast.Where (mask, b) ->
+        let f, i, m = expr_cost mask in
+        List.fold_left
+          (fun (f, i, m) s ->
+            let f', i', m' = stmt_cost s in
+            (f +. f', i +. i', m +. m'))
+          (f, i, m) b
+    | Ast.CallSt (_, args) ->
+        List.fold_left
+          (fun (f, i, m) a ->
+            let f', i', m' = expr_cost a in
+            (f +. f', i +. i', m +. m'))
+          (0.0, 5.0, 2.0) args
+    | Ast.Labeled (_, s) -> stmt_cost s
+    | Ast.Print _ | Ast.Read _ -> (0.0, 10.0, 5.0)
+    | Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _ -> (0.0, 0.0, 0.0)
+  in
+  let f, i, m =
+    List.fold_left
+      (fun (f, i, m) s ->
+        let f', i', m' = stmt_cost s in
+        (f +. f', i +. i', m +. m'))
+      (0.0, 0.0, 0.0) body
+  in
+  let inner = Analysis.Loops.inner_loops body in
+  let inner_trip =
+    match inner with
+    | [] -> 1
+    | h :: _ -> trip_of h.Ast.lo h.Ast.hi
+  in
+  {
+    flops = f;
+    intrinsics = i;
+    mem_refs = m;
+    trip = trip_of lvl.Analysis.Loops.l_lo lvl.Analysis.Loops.l_hi;
+    inner_trip;
+  }
+
+(** Estimated cycles for the whole loop under [mode].
+
+    Data placement follows the mode (paper §3.2's dilemma made explicit):
+    spread/cross modes force the loop's data into global memory — cheap
+    for prefetched vector streams, ruinous for scalar references through
+    the network — while cluster/vector modes keep it in cluster memory.
+    [inner_vector] tells whether the body's inner loops will vectorize
+    (the recursion vectorizes them afterwards). *)
+let estimate ?(inner_vector = false) (cfg : Cfg.t) (p : body_profile)
+    (mode : mode) : float =
+  let iter_scalar =
+    (p.flops *. cfg.Cfg.scalar_op)
+    +. (p.intrinsics *. cfg.Cfg.intrinsic_op)
+    +. (p.mem_refs *. cfg.Cfg.cluster_scalar)
+  in
+  let iter_vector =
+    (* per-iteration work executed in vector mode from cluster memory *)
+    (p.flops *. cfg.Cfg.vector_op)
+    +. (p.intrinsics *. (cfg.Cfg.intrinsic_op /. 4.0))
+    +. (p.mem_refs *. cfg.Cfg.cluster_vector)
+  in
+  let global_vec_elem =
+    if cfg.Cfg.prefetch then cfg.Cfg.global_vector_prefetched
+    else cfg.Cfg.global_vector
+  in
+  let iter_scalar_global =
+    (p.flops *. cfg.Cfg.scalar_op)
+    +. (p.intrinsics *. cfg.Cfg.intrinsic_op)
+    +. (p.mem_refs *. cfg.Cfg.global_scalar)
+  in
+  let iter_vector_global =
+    (p.flops *. cfg.Cfg.vector_op)
+    +. (p.intrinsics *. (cfg.Cfg.intrinsic_op /. 4.0))
+    +. (p.mem_refs *. global_vec_elem)
+  in
+  let t = float_of_int p.trip in
+  let ces = float_of_int cfg.Cfg.ces_per_cluster in
+  let cls = float_of_int cfg.Cfg.clusters in
+  match mode with
+  | Serial -> t *. iter_scalar
+  | Vector -> cfg.Cfg.vector_startup +. (t *. iter_vector)
+  | Cdoall_mode { vector_inner } ->
+      let iter =
+        if vector_inner || inner_vector then iter_vector else iter_scalar
+      in
+      cfg.Cfg.cdo_startup
+      +. ((t /. ces) *. (iter +. cfg.Cfg.cdo_dispatch))
+      +. iter
+  | Sdo_cdo_mode { vector_inner } ->
+      let iter =
+        if vector_inner || inner_vector then iter_vector_global
+        else iter_scalar_global
+      in
+      (* outer spread over clusters; inner cluster loop inside each spread
+         iteration pays its own startup *)
+      cfg.Cfg.sdo_startup
+      +. ((t /. cls)
+          *. ((iter /. ces) +. cfg.Cfg.sdo_dispatch +. cfg.Cfg.cdo_startup))
+      +. (iter /. ces)
+  | Xdoall_strip ->
+      let procs = ces *. cls in
+      let strips = Float.max 1.0 (t /. 32.0) in
+      let strip_cost = (32.0 *. iter_vector_global) +. cfg.Cfg.vector_startup in
+      cfg.Cfg.sdo_startup
+      +. ((strips /. procs) *. (strip_cost +. cfg.Cfg.sdo_dispatch))
+      +. strip_cost
+  | Xdoall_plain ->
+      let procs = ces *. cls in
+      let iter = if inner_vector then iter_vector_global else iter_scalar_global in
+      cfg.Cfg.sdo_startup
+      +. ((t /. procs) *. (iter +. cfg.Cfg.sdo_dispatch))
+      +. iter
+  | Doacross_mode { sync_fraction; distance } ->
+      let procs = ces in
+      (* the synchronized region serializes in chains of length trip/dist;
+         the benefit estimate is lowered by the synchronization delay
+         factor = region size / processors that may wait (paper §3.3) *)
+      let region = sync_fraction *. iter_scalar in
+      let par_part = t *. iter_scalar /. procs in
+      let chain = t /. float_of_int (max 1 distance) *. region in
+      cfg.Cfg.cdo_startup
+      +. Float.max par_part chain
+      +. (t /. procs *. (cfg.Cfg.cdo_dispatch +. (2.0 *. cfg.Cfg.await_cost)))
+
+(** Rank candidate modes; returns them best-first with estimates.
+    [parallel_overhead] is added to every parallel mode's estimate —
+    reduction-merge and privatization copy-in/out costs that serial
+    execution does not pay. *)
+let rank ?(inner_vector = false) ?(parallel_overhead = 0.0) (cfg : Cfg.t)
+    (p : body_profile) (modes : mode list) : (mode * float) list =
+  List.map
+    (fun m ->
+      let base = estimate ~inner_vector cfg p m in
+      let c =
+        match m with
+        | Serial | Vector -> base
+        | _ -> base +. parallel_overhead
+      in
+      (m, c))
+    modes
+  |> List.sort (fun (_, a) (_, b) -> compare a b)

@@ -1,0 +1,29 @@
+(** The restructurer driver: fortran77 in, Cedar Fortran out.
+
+    For every loop nest: run the analyses, decide which dependences each
+    enabled technique removes, rank the legal execution modes with the
+    cost model (bounded by the candidate-version limit), apply the
+    winner's transformations, and record a report.  See the paper's
+    §3–§4 and DESIGN.md. *)
+
+type loop_report = {
+  r_unit : string;  (** program unit name *)
+  r_index : string;  (** the loop's index variable *)
+  r_depth : int;  (** nesting depth at analysis time *)
+  r_decision : string;  (** e.g. "parallelized", "serial (blocked)" *)
+  r_mode : Cost_model.mode option;
+  r_techniques : string list;  (** techniques that contributed *)
+  r_blockers : string list;  (** why the loop stayed serial *)
+  r_versions : int;  (** candidate versions considered *)
+}
+
+type result = {
+  program : Fortran.Ast.program;  (** the Cedar Fortran output *)
+  reports : loop_report list;
+  inline_failures : Transform.Inline.failure list;
+}
+
+val restructure : Options.t -> Fortran.Ast.program -> result
+(** Restructure a whole program under the given technique set/machine. *)
+
+val report_to_string : loop_report -> string

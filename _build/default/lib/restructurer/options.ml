@@ -1,0 +1,93 @@
+(** Restructurer configuration: which analyses/transformations are enabled
+    and for which machine.
+
+    Two named technique sets replay the paper's §4 comparison:
+    {!auto_1991} is the parallelizer as it stood in March 1991 (the
+    "Automatically compiled" columns); {!advanced} adds every technique
+    the authors applied by hand and declared automatable (the "Manually
+    improved" columns): array privatization, generalized reductions,
+    generalized induction variables, run-time dependence testing,
+    unordered critical sections, interprocedural summaries, and loop
+    fusion with replication. *)
+
+type techniques = {
+  scalar_privatization : bool;
+  scalar_expansion : bool;
+  simple_induction : bool;  (** V = V + k, flat loops *)
+  simple_reduction : bool;  (** single-statement scalar reductions *)
+  doacross : bool;
+  stripmining : bool;
+  if_to_where : bool;
+  inline_expansion : bool;
+  loop_interchange : bool;
+  recurrence_substitution : bool;
+  (* --- §4.1 advanced techniques --- *)
+  array_privatization : bool;
+  generalized_reduction : bool;  (** multi-statement & array-element *)
+  giv_substitution : bool;  (** geometric & triangular closed forms *)
+  runtime_dep_test : bool;
+  critical_sections : bool;
+  interprocedural : bool;
+  loop_fusion : bool;
+  loop_distribution : bool;  (** split blocked loops to expose parallel parts *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  techniques : techniques;
+  machine : Machine.Config.t;
+  max_versions : int;  (** candidate-version limit; the paper's default 50 *)
+  strip : int;
+  inline_limits : Transform.Inline.limits;
+  placement_default : Transform.Globalize.placement_default;
+  assumed_trip : int;  (** trip-count guess when bounds are symbolic *)
+}
+
+let base_techniques =
+  {
+    scalar_privatization = true;
+    scalar_expansion = true;
+    simple_induction = true;
+    simple_reduction = true;
+    doacross = true;
+    stripmining = true;
+    if_to_where = true;
+    inline_expansion = true;
+    loop_interchange = true;
+    recurrence_substitution = true;
+    array_privatization = false;
+    generalized_reduction = false;
+    giv_substitution = false;
+    runtime_dep_test = false;
+    critical_sections = false;
+    interprocedural = false;
+    loop_fusion = false;
+    loop_distribution = false;
+  }
+
+let advanced_techniques =
+  {
+    base_techniques with
+    array_privatization = true;
+    generalized_reduction = true;
+    giv_substitution = true;
+    runtime_dep_test = true;
+    critical_sections = true;
+    interprocedural = true;
+    loop_fusion = true;
+    loop_distribution = true;
+  }
+
+let make ~techniques machine =
+  {
+    techniques;
+    machine;
+    max_versions = 50;
+    strip = 32;
+    inline_limits = Transform.Inline.default_limits;
+    placement_default = Transform.Globalize.Default_cluster;
+    assumed_trip = 100;
+  }
+
+let auto_1991 machine = make ~techniques:base_techniques machine
+let advanced machine = make ~techniques:advanced_techniques machine

@@ -1,0 +1,1 @@
+lib/transform/distribution.pp.ml: Analysis Ast Ast_utils Fortran List

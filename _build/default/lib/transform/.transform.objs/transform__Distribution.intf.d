@@ -1,0 +1,1 @@
+lib/transform/distribution.pp.mli: Fortran

@@ -1,0 +1,1 @@
+lib/transform/doacross.pp.ml: Analysis Array Ast Ast_utils Depend Fortran List Option

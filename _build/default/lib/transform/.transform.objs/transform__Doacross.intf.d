@@ -1,0 +1,1 @@
+lib/transform/doacross.pp.mli: Analysis Fortran

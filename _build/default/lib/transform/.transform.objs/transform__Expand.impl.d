@@ -1,0 +1,1 @@
+lib/transform/expand.pp.ml: Ast Ast_utils Fortran List Option

@@ -1,0 +1,1 @@
+lib/transform/fusion.pp.ml: Analysis Ast Ast_utils Fortran List Loops Option Scalars

@@ -1,0 +1,1 @@
+lib/transform/fusion.pp.mli: Fortran

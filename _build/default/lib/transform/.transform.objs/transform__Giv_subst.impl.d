@@ -1,0 +1,1 @@
+lib/transform/giv_subst.pp.ml: Analysis Ast Ast_utils Fortran Giv List Option Scalars

@@ -1,0 +1,1 @@
+lib/transform/globalize.pp.ml: Ast Ast_utils Fortran List Symbols

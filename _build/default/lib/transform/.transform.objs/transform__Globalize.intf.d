@@ -1,0 +1,1 @@
+lib/transform/globalize.pp.mli: Fortran

@@ -1,0 +1,1 @@
+lib/transform/inline.pp.ml: Ast Ast_utils Fortran List Option Ppx_deriving_runtime String Symbols

@@ -1,0 +1,1 @@
+lib/transform/interchange.pp.ml: Ast Ast_utils Fortran List

@@ -1,0 +1,1 @@
+lib/transform/privatize.pp.ml: Ast Ast_utils Fortran List Option

@@ -1,0 +1,1 @@
+lib/transform/privatize.pp.mli: Fortran

@@ -1,0 +1,1 @@
+lib/transform/recurrence_sub.pp.ml: Analysis Ast Ast_utils Fortran List Recurrence Vectorize

@@ -1,0 +1,1 @@
+lib/transform/recurrence_sub.pp.mli: Fortran

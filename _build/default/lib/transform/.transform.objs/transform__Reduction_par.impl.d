@@ -1,0 +1,1 @@
+lib/transform/reduction_par.pp.ml: Analysis Ast Ast_utils Fortran List Option Scalars

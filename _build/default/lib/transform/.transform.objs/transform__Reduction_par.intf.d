@@ -1,0 +1,1 @@
+lib/transform/reduction_par.pp.mli: Analysis Fortran

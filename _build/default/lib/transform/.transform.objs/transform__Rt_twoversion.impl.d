@@ -1,0 +1,1 @@
+lib/transform/rt_twoversion.pp.ml: Ast Fortran

@@ -1,0 +1,1 @@
+lib/transform/stripmine.pp.ml: Ast Ast_utils Fortran List Vectorize

@@ -1,0 +1,1 @@
+lib/transform/stripmine.pp.mli: Fortran

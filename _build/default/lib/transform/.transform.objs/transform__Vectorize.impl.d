@@ -1,0 +1,1 @@
+lib/transform/vectorize.pp.ml: Ast Ast_utils Fortran List Printf

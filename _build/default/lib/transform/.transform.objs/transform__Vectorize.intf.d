@@ -1,0 +1,1 @@
+lib/transform/vectorize.pp.mli: Fortran

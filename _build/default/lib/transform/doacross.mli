@@ -1,0 +1,24 @@
+(** DOACROSS conversion with cascade synchronization (paper §3.3,
+    §4.1.6): bracket the span between the first dependence sink and the
+    last source with [await]/[advance], serializing only that region. *)
+
+type plan = {
+  dx_first_sink : int;  (** top-level index of the first dependence sink *)
+  dx_last_source : int;
+  dx_distance : int;  (** minimal carried distance *)
+}
+
+val plan_of_deps : Analysis.Depend.dep list -> plan option
+(** [None] unless every carried dependence has a known positive
+    distance. *)
+
+val sync_fraction : plan -> Fortran.Ast.stmt list -> float
+(** Fraction of one iteration inside the synchronized region — the
+    numerator of the paper's synchronization delay factor. *)
+
+val apply :
+  cls:Fortran.Ast.loop_class ->
+  plan ->
+  Fortran.Ast.do_header ->
+  Fortran.Ast.block ->
+  Fortran.Ast.stmt

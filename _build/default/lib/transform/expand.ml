@@ -1,0 +1,109 @@
+(** Scalar/array expansion into global storage — the {i alternative} to
+    privatization measured in Figure 7 of the paper.
+
+    Instead of giving each processor a private copy in cluster memory,
+    expansion adds an iteration dimension and stores the expanded object
+    in global memory: [t] becomes [t_x(i)], [w(j)] becomes [w_x(j, i)].
+    This removes the carried dependence just as privatization does, but
+    pays global-memory latency and a costlier addressing mode — the
+    paper measures a ~50% slowdown for MDG.  We implement it to
+    reproduce that comparison. *)
+
+open Fortran
+
+type expansion = {
+  e_name : string;
+  e_type : Ast.dtype;
+  e_dims : (Ast.expr * Ast.expr) list;  (** original dims, [] for scalars *)
+}
+
+(** Expand [names] in loop [h]/[blk] by the iteration dimension.
+    Returns [(loop, new global decls)]. *)
+let apply (exps : expansion list) (h : Ast.do_header) (blk : Ast.block) :
+    Ast.stmt * Ast.decl list =
+  let i = Ast.Var h.Ast.index in
+  let renames =
+    List.map (fun e -> (e.e_name, Ast_utils.fresh_name (e.e_name ^ "_x"))) exps
+  in
+  let rename v = List.assoc_opt v renames in
+  let rec rewrite_expr (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Var v -> (
+        match rename v with
+        | Some nv -> Ast.Idx (nv, [ i ])
+        | None -> e)
+    | Ast.Idx (a, subs) -> (
+        let subs = List.map rewrite_expr subs in
+        match rename a with
+        | Some na -> Ast.Idx (na, subs @ [ i ])
+        | None -> Ast.Idx (a, subs))
+    | Ast.Section (a, dims) -> (
+        let dims =
+          List.map
+            (function
+              | Ast.Elem e -> Ast.Elem (rewrite_expr e)
+              | Ast.Range (x, y, z) ->
+                  Ast.Range
+                    ( Option.map rewrite_expr x,
+                      Option.map rewrite_expr y,
+                      Option.map rewrite_expr z ))
+            dims
+        in
+        match rename a with
+        | Some na -> Ast.Section (na, dims @ [ Ast.Elem i ])
+        | None -> Ast.Section (a, dims))
+    | Ast.Call (f, args) -> Ast.Call (f, List.map rewrite_expr args)
+    | Ast.Bin (op, a, b) -> Ast.Bin (op, rewrite_expr a, rewrite_expr b)
+    | Ast.Un (op, a) -> Ast.Un (op, rewrite_expr a)
+    | Ast.Int _ | Ast.Num _ | Ast.Str _ | Ast.Bool _ -> e
+  in
+  let rewrite_lhs = function
+    | Ast.LVar v -> (
+        match rename v with
+        | Some nv -> Ast.LIdx (nv, [ i ])
+        | None -> Ast.LVar v)
+    | Ast.LIdx (a, subs) -> (
+        let subs = List.map rewrite_expr subs in
+        match rename a with
+        | Some na -> Ast.LIdx (na, subs @ [ i ])
+        | None -> Ast.LIdx (a, subs))
+    | Ast.LSection (a, dims) -> (
+        match rewrite_expr (Ast.Section (a, dims)) with
+        | Ast.Section (a, dims) -> Ast.LSection (a, dims)
+        | _ -> assert false)
+  in
+  let rec rewrite_stmt (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Ast.Assign (l, e) -> Ast.Assign (rewrite_lhs l, rewrite_expr e)
+    | Ast.If (c, t, f) ->
+        Ast.If (rewrite_expr c, List.map rewrite_stmt t, List.map rewrite_stmt f)
+    | Ast.Do (hd, b) ->
+        Ast.Do
+          ( {
+              hd with
+              Ast.lo = rewrite_expr hd.Ast.lo;
+              hi = rewrite_expr hd.Ast.hi;
+              step = Option.map rewrite_expr hd.Ast.step;
+            },
+            { b with Ast.body = List.map rewrite_stmt b.Ast.body } )
+    | Ast.Where (m, b) -> Ast.Where (rewrite_expr m, List.map rewrite_stmt b)
+    | Ast.CallSt (n, args) -> Ast.CallSt (n, List.map rewrite_expr args)
+    | Ast.Print args -> Ast.Print (List.map rewrite_expr args)
+    | Ast.Read ls -> Ast.Read (List.map rewrite_lhs ls)
+    | Ast.Labeled (l, s) -> Ast.Labeled (l, rewrite_stmt s)
+    | Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _ -> s
+  in
+  let body = List.map rewrite_stmt blk.Ast.body in
+  let decls =
+    List.map
+      (fun e ->
+        let nv = Option.get (rename e.e_name) in
+        {
+          Ast.d_name = nv;
+          d_type = e.e_type;
+          d_dims = e.e_dims @ [ (h.Ast.lo, h.Ast.hi) ];
+          d_vis = Ast.Global;
+        })
+      exps
+  in
+  (Ast.Do (h, { blk with Ast.body }), decls)

@@ -1,0 +1,11 @@
+(** Globalization pass (paper §3.2): data used by spread/cross-cluster
+    loops must be GLOBAL; the rest is CLUSTER; interface data follows the
+    user-settable default. *)
+
+type placement_default = Default_global | Default_cluster
+
+val cross_cluster_uses : Fortran.Ast.stmt list -> Fortran.Ast_utils.SSet.t
+(** Names used under any SDO/XDO loop, excluding loop indices and
+    loop-local data at every level. *)
+
+val apply : ?default:placement_default -> Fortran.Ast.punit -> Fortran.Ast.punit

@@ -1,0 +1,96 @@
+(** Privatization transform: attach loop-local declarations for
+    privatizable scalars and arrays of a concurrent loop, renaming the
+    body's uses, and emit last-value copies where the value is live after
+    the loop (paper §3.2, §4.1.2). *)
+
+open Fortran
+
+type plan = {
+  p_scalars : (string * Ast.dtype) list;
+  p_arrays : (string * Ast.dtype * (Ast.expr * Ast.expr) list) list;
+  p_last_value : string list;  (** scalars needing a copy-out *)
+}
+
+(** Apply privatization to a concurrent loop [h]/[blk]: each privatized
+    name [v] becomes a loop-local [v_p]; uses in the body are renamed;
+    last-value scalars get [IF (i .EQ. hi) v = v_p] appended to the body.
+    Returns the rewritten loop. *)
+let apply (plan : plan) (h : Ast.do_header) (blk : Ast.block) : Ast.stmt =
+  let renames =
+    List.map (fun (v, _) -> (v, Ast_utils.fresh_name (v ^ "_p"))) plan.p_scalars
+    @ List.map (fun (a, _, _) -> (a, Ast_utils.fresh_name (a ^ "_p"))) plan.p_arrays
+  in
+  let rename_name v =
+    match List.assoc_opt v renames with Some r -> r | None -> v
+  in
+  let rename_expr =
+    Ast_utils.map_expr (function
+      | Ast.Var v -> Ast.Var (rename_name v)
+      | Ast.Idx (a, subs) -> Ast.Idx (rename_name a, subs)
+      | Ast.Section (a, dims) -> Ast.Section (rename_name a, dims)
+      | e -> e)
+  in
+  let rec rename_stmt (s : Ast.stmt) : Ast.stmt =
+    let rl = function
+      | Ast.LVar v -> Ast.LVar (rename_name v)
+      | Ast.LIdx (a, subs) -> Ast.LIdx (rename_name a, List.map rename_expr subs)
+      | Ast.LSection (a, dims) ->
+          Ast.LSection
+            ( rename_name a,
+              List.map
+                (function
+                  | Ast.Elem e -> Ast.Elem (rename_expr e)
+                  | Ast.Range (x, y, z) ->
+                      Ast.Range
+                        ( Option.map rename_expr x,
+                          Option.map rename_expr y,
+                          Option.map rename_expr z ))
+                dims )
+    in
+    match s with
+    | Ast.Assign (l, e) -> Ast.Assign (rl l, rename_expr e)
+    | Ast.If (c, t, e) ->
+        Ast.If (rename_expr c, List.map rename_stmt t, List.map rename_stmt e)
+    | Ast.Do (hdr, b) ->
+        Ast.Do
+          ( {
+              hdr with
+              Ast.lo = rename_expr hdr.Ast.lo;
+              hi = rename_expr hdr.Ast.hi;
+              step = Option.map rename_expr hdr.Ast.step;
+            },
+            {
+              Ast.preamble = List.map rename_stmt b.Ast.preamble;
+              body = List.map rename_stmt b.Ast.body;
+              postamble = List.map rename_stmt b.Ast.postamble;
+            } )
+    | Ast.Where (m, b) -> Ast.Where (rename_expr m, List.map rename_stmt b)
+    | Ast.CallSt (n, args) -> Ast.CallSt (n, List.map rename_expr args)
+    | Ast.Print args -> Ast.Print (List.map rename_expr args)
+    | Ast.Read ls -> Ast.Read (List.map rl ls)
+    | Ast.Labeled (l, s) -> Ast.Labeled (l, rename_stmt s)
+    | Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _ -> s
+  in
+  let body = List.map rename_stmt blk.Ast.body in
+  let last_values =
+    List.map
+      (fun v ->
+        Ast.If
+          ( Ast.Bin (Ast.Eq, Ast.Var h.Ast.index, h.Ast.hi),
+            [ Ast.Assign (Ast.LVar v, Ast.Var (rename_name v)) ],
+            [] ))
+      plan.p_last_value
+  in
+  let locals =
+    List.map
+      (fun (v, ty) ->
+        { Ast.d_name = rename_name v; d_type = ty; d_dims = []; d_vis = Ast.Default })
+      plan.p_scalars
+    @ List.map
+        (fun (a, ty, dims) ->
+          { Ast.d_name = rename_name a; d_type = ty; d_dims = dims; d_vis = Ast.Default })
+        plan.p_arrays
+  in
+  Ast.Do
+    ( { h with Ast.locals = h.Ast.locals @ locals },
+      { blk with Ast.body = body @ last_values } )

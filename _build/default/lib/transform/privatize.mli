@@ -1,0 +1,14 @@
+(** Privatization transform (paper §3.2, §4.1.2): loop-local declarations
+    for privatizable scalars and arrays of a concurrent loop, renamed
+    uses, and last-value copies where the value is live after the loop. *)
+
+type plan = {
+  p_scalars : (string * Fortran.Ast.dtype) list;
+  p_arrays :
+    (string * Fortran.Ast.dtype * (Fortran.Ast.expr * Fortran.Ast.expr) list)
+    list;
+  p_last_value : string list;  (** scalars needing a copy-out *)
+}
+
+val apply :
+  plan -> Fortran.Ast.do_header -> Fortran.Ast.block -> Fortran.Ast.stmt

@@ -1,0 +1,208 @@
+(** Parallel reduction transformation (paper §3.3, §4.1.3).
+
+    Each processor accumulates into a private partial location initialized
+    to the operator's identity in the loop preamble; partials are combined
+    into the shared location in the postamble inside an unordered critical
+    section ([lock]/[unlock]).  Works for scalar reductions and for
+    array-element reductions ([a(j) = a(j) + e]) with multiple
+    accumulation statements. *)
+
+open Fortran
+open Analysis
+
+let identity_of (op : Scalars.red_op) ~(ty : Ast.dtype) : Ast.expr =
+  let num f i = if ty = Ast.Integer then Ast.Int i else Ast.Num f in
+  match op with
+  | Scalars.Rsum -> num 0.0 0
+  | Scalars.Rprod -> num 1.0 1
+  | Scalars.Rmin -> num 1e30 1073741823
+  | Scalars.Rmax -> num (-1e30) (-1073741823)
+
+let combine_expr (op : Scalars.red_op) a b : Ast.expr =
+  match op with
+  | Scalars.Rsum -> Ast.Bin (Ast.Add, a, b)
+  | Scalars.Rprod -> Ast.Bin (Ast.Mul, a, b)
+  | Scalars.Rmin -> Ast.Call ("min", [ a; b ])
+  | Scalars.Rmax -> Ast.Call ("max", [ a; b ])
+
+type scalar_red = { sr_var : string; sr_op : Scalars.red_op; sr_type : Ast.dtype }
+
+type array_red = {
+  arr_name : string;
+  arr_op : Scalars.red_op;
+  arr_type : Ast.dtype;
+  arr_dims : (Ast.expr * Ast.expr) list;
+}
+
+(** Rewrite a concurrent loop to use private partial accumulators.
+    Returns the transformed loop statement. *)
+let apply ~(scalars : scalar_red list) ~(arrays : array_red list)
+    (h : Ast.do_header) (blk : Ast.block) : Ast.stmt =
+  let sc_renames =
+    List.map (fun r -> (r.sr_var, Ast_utils.fresh_name (r.sr_var ^ "_r"))) scalars
+  in
+  let ar_renames =
+    List.map (fun r -> (r.arr_name, Ast_utils.fresh_name (r.arr_name ^ "_r"))) arrays
+  in
+  let renames = sc_renames @ ar_renames in
+  let rename v = match List.assoc_opt v renames with Some r -> r | None -> v in
+  let rename_expr =
+    Ast_utils.map_expr (function
+      | Ast.Var v -> Ast.Var (rename v)
+      | Ast.Idx (a, s) -> Ast.Idx (rename a, s)
+      | Ast.Section (a, d) -> Ast.Section (rename a, d)
+      | e -> e)
+  in
+  let body =
+    List.map
+      (Ast_utils.map_stmt_exprs (fun e -> e))
+      blk.Ast.body
+    |> List.map
+         (fun s ->
+           let rec go s =
+             match s with
+             | Ast.Assign (Ast.LVar v, e) -> Ast.Assign (Ast.LVar (rename v), rename_expr e)
+             | Ast.Assign (Ast.LIdx (a, subs), e) ->
+                 Ast.Assign (Ast.LIdx (rename a, List.map rename_expr subs), rename_expr e)
+             | Ast.Assign (Ast.LSection (a, dims), e) ->
+                 let dims =
+                   List.map
+                     (function
+                       | Ast.Elem e -> Ast.Elem (rename_expr e)
+                       | Ast.Range (x, y, z) ->
+                           Ast.Range
+                             ( Option.map rename_expr x,
+                               Option.map rename_expr y,
+                               Option.map rename_expr z ))
+                     dims
+                 in
+                 Ast.Assign (Ast.LSection (rename a, dims), rename_expr e)
+             | Ast.If (c, t, f) -> Ast.If (rename_expr c, List.map go t, List.map go f)
+             | Ast.Do (hd, b) ->
+                 Ast.Do (hd, { b with Ast.body = List.map go b.Ast.body })
+             | Ast.Where (m, b) -> Ast.Where (rename_expr m, List.map go b)
+             | Ast.Labeled (l, s) -> Ast.Labeled (l, go s)
+             | s -> s
+           in
+           go s)
+  in
+  (* preamble: initialize partials *)
+  let pre_scalars =
+    List.map
+      (fun r ->
+        Ast.Assign (Ast.LVar (rename r.sr_var), identity_of r.sr_op ~ty:r.sr_type))
+      scalars
+  in
+  let pre_arrays =
+    List.concat_map
+      (fun r ->
+        match r.arr_dims with
+        | [ (lo, hi) ] ->
+            (* rank-1: vector initialization *)
+            [
+              Ast.Assign
+                ( Ast.LSection
+                    (rename r.arr_name, [ Ast.Range (Some lo, Some hi, None) ]),
+                  identity_of r.arr_op ~ty:r.arr_type );
+            ]
+        | _ ->
+            (* multi-dimensional: initialize with a section assignment *)
+            [
+              Ast.Assign
+                ( Ast.LSection
+                    ( rename r.arr_name,
+                      List.map (fun (lo, hi) -> Ast.Range (Some lo, Some hi, None)) r.arr_dims
+                    ),
+                  identity_of r.arr_op ~ty:r.arr_type );
+            ])
+      arrays
+  in
+  (* postamble: combine partials under an unordered critical section *)
+  let post_scalars =
+    List.map
+      (fun r ->
+        Ast.Assign
+          ( Ast.LVar r.sr_var,
+            combine_expr r.sr_op (Ast.Var r.sr_var) (Ast.Var (rename r.sr_var)) ))
+      scalars
+  in
+  let post_arrays =
+    List.concat_map
+      (fun r ->
+        match r.arr_dims with
+        | [ (lo, hi) ] when r.arr_op = Scalars.Rsum || r.arr_op = Scalars.Rprod
+          ->
+            (* rank-1: vector merge under the lock *)
+            let range = [ Ast.Range (Some lo, Some hi, None) ] in
+            [
+              Ast.Assign
+                ( Ast.LSection (r.arr_name, range),
+                  combine_expr r.arr_op
+                    (Ast.Section (r.arr_name, range))
+                    (Ast.Section (rename r.arr_name, range)) );
+            ]
+        | [ (lo, hi) ] ->
+            let idx = Ast_utils.fresh_name "jr_" in
+            [
+              Ast.Do
+                ( { Ast.index = idx; lo; hi; step = None; cls = Ast.Seq; locals = [] },
+                  Ast.seq_block
+                    [
+                      Ast.Assign
+                        ( Ast.LIdx (r.arr_name, [ Ast.Var idx ]),
+                          combine_expr r.arr_op
+                            (Ast.Idx (r.arr_name, [ Ast.Var idx ]))
+                            (Ast.Idx (rename r.arr_name, [ Ast.Var idx ])) );
+                    ] );
+            ]
+        | _ ->
+            [
+              Ast.Assign
+                ( Ast.LSection
+                    ( r.arr_name,
+                      List.map (fun (lo, hi) -> Ast.Range (Some lo, Some hi, None)) r.arr_dims
+                    ),
+                  combine_expr r.arr_op
+                    (Ast.Section
+                       ( r.arr_name,
+                         List.map
+                           (fun (lo, hi) -> Ast.Range (Some lo, Some hi, None))
+                           r.arr_dims ))
+                    (Ast.Section
+                       ( rename r.arr_name,
+                         List.map
+                           (fun (lo, hi) -> Ast.Range (Some lo, Some hi, None))
+                           r.arr_dims )) );
+            ])
+      arrays
+  in
+  let postamble =
+    if scalars = [] && arrays = [] then blk.Ast.postamble
+    else
+      blk.Ast.postamble
+      @ [ Ast.CallSt ("lock", [ Ast.Int 1 ]) ]
+      @ post_scalars @ post_arrays
+      @ [ Ast.CallSt ("unlock", [ Ast.Int 1 ]) ]
+  in
+  let locals =
+    List.map
+      (fun r ->
+        { Ast.d_name = rename r.sr_var; d_type = r.sr_type; d_dims = []; d_vis = Ast.Default })
+      scalars
+    @ List.map
+        (fun r ->
+          {
+            Ast.d_name = rename r.arr_name;
+            d_type = r.arr_type;
+            d_dims = r.arr_dims;
+            d_vis = Ast.Default;
+          })
+        arrays
+  in
+  Ast.Do
+    ( { h with Ast.locals = h.Ast.locals @ locals },
+      {
+        Ast.preamble = blk.Ast.preamble @ pre_scalars @ pre_arrays;
+        body;
+        postamble;
+      } )

@@ -1,0 +1,34 @@
+(** Parallel reduction transformation (paper §3.3, §4.1.3): private
+    partial accumulators initialized in the loop preamble, combined into
+    the shared location in the postamble inside an unordered critical
+    section.  Rank-1 array partials initialize and merge as vector
+    statements. *)
+
+val identity_of :
+  Analysis.Scalars.red_op -> ty:Fortran.Ast.dtype -> Fortran.Ast.expr
+
+val combine_expr :
+  Analysis.Scalars.red_op ->
+  Fortran.Ast.expr ->
+  Fortran.Ast.expr ->
+  Fortran.Ast.expr
+
+type scalar_red = {
+  sr_var : string;
+  sr_op : Analysis.Scalars.red_op;
+  sr_type : Fortran.Ast.dtype;
+}
+
+type array_red = {
+  arr_name : string;
+  arr_op : Analysis.Scalars.red_op;
+  arr_type : Fortran.Ast.dtype;
+  arr_dims : (Fortran.Ast.expr * Fortran.Ast.expr) list;
+}
+
+val apply :
+  scalars:scalar_red list ->
+  arrays:array_red list ->
+  Fortran.Ast.do_header ->
+  Fortran.Ast.block ->
+  Fortran.Ast.stmt

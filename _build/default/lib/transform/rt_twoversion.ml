@@ -1,0 +1,8 @@
+(** Two-version loops guarded by a run-time dependence test
+    (paper §4.1.5): [IF (test) parallel-version ELSE serial-version]. *)
+
+open Fortran
+
+let apply ~(condition : Ast.expr) ~(parallel : Ast.stmt list)
+    ~(serial : Ast.stmt list) : Ast.stmt =
+  Ast.If (condition, parallel, serial)

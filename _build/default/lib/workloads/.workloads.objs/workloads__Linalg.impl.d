@@ -1,0 +1,1 @@
+lib/workloads/linalg.ml: List Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/perfect.ml: List Printf Workload

@@ -1,0 +1,594 @@
+(** Table 1 workloads: a conjugate-gradient code and linear algebra
+    routines re-implemented after Numerical Recipes (FORTRAN edition),
+    preserving each routine's loop/recurrence structure — which is what
+    the restructuring results depend on.  Every generator takes the
+    problem size [n] and emits a self-contained program (data setup, the
+    routine, a checksum PRINT used by the correctness tests). *)
+
+let pf = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+
+let cg_src n =
+  pf
+    {|
+      program cg
+      parameter (n = %d)
+      real a(n, n), x(n), b(n), r(n), p(n), q(n)
+      real rho, rho0, alpha, beta, pq, s
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = 1.0/(i + j - 1.0)
+        enddo
+      enddo
+      do i = 1, n
+        a(i, i) = a(i, i) + n
+        b(i) = 1.0
+        x(i) = 0.0
+        r(i) = 1.0
+        p(i) = 1.0
+      enddo
+      rho = 0.0
+      do i = 1, n
+        rho = rho + r(i)*r(i)
+      enddo
+      do it = 1, 10
+        do i = 1, n
+          s = 0.0
+          do j = 1, n
+            s = s + a(i, j)*p(j)
+          enddo
+          q(i) = s
+        enddo
+        pq = 0.0
+        do i = 1, n
+          pq = pq + p(i)*q(i)
+        enddo
+        alpha = rho/pq
+        do i = 1, n
+          x(i) = x(i) + alpha*p(i)
+          r(i) = r(i) - alpha*q(i)
+        enddo
+        rho0 = rho
+        rho = 0.0
+        do i = 1, n
+          rho = rho + r(i)*r(i)
+        enddo
+        beta = rho/rho0
+        do i = 1, n
+          p(i) = r(i) + beta*p(i)
+        enddo
+      enddo
+      print *, x(1), x(n), rho
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+(* Crout decomposition with partial pivoting, following NR's LUDCMP: the
+   column sweep is dotproduct-structured (only the inner sums vectorize;
+   the row loop carries a dependence through the just-computed column), and
+   the pivot search with index bookkeeping serializes each step — the
+   reasons the paper's speedup stops at 9.2. *)
+let ludcmp_src n =
+  pf
+    {|
+      program ludcmp
+      parameter (n = %d)
+      real a(n, n), vv(n)
+      real s, big, dum
+      integer imax
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = 1.0/(i + j - 1.0)
+        enddo
+      enddo
+      do i = 1, n
+        a(i, i) = a(i, i) + n
+      enddo
+      do i = 1, n
+        big = 0.0
+        do j = 1, n
+          if (abs(a(i, j)) .ge. big) then
+            big = abs(a(i, j))
+          endif
+        enddo
+        vv(i) = 1.0/big
+      enddo
+      do j = 1, n
+        do i = 1, j - 1
+          s = a(i, j)
+          do k = 1, i - 1
+            s = s - a(i, k)*a(k, j)
+          enddo
+          a(i, j) = s
+        enddo
+        big = 0.0
+        imax = j
+        do i = j, n
+          s = a(i, j)
+          do k = 1, j - 1
+            s = s - a(i, k)*a(k, j)
+          enddo
+          a(i, j) = s
+          dum = vv(i)*abs(s)
+          if (dum .ge. big) then
+            big = dum
+            imax = i
+          endif
+        enddo
+        if (j .ne. imax) then
+          do k = 1, n
+            dum = a(imax, k)
+            a(imax, k) = a(j, k)
+            a(j, k) = dum
+          enddo
+          vv(imax) = vv(j)
+        endif
+        if (j .lt. n) then
+          dum = 1.0/a(j, j)
+          do i = j + 1, n
+            a(i, j) = a(i, j)*dum
+          enddo
+        endif
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + a(i, i)
+      enddo
+      print *, s
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+let lubksb_src n =
+  pf
+    {|
+      program lubksb
+      parameter (n = %d)
+      real a(n, n), b(n), x(n)
+      real s
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = 1.0/(i + j - 1.0)
+        enddo
+      enddo
+      do i = 1, n
+        a(i, i) = a(i, i) + n
+        b(i) = 1.0
+      enddo
+      do i = 1, n
+        s = b(i)
+        do j = 1, i - 1
+          s = s - a(i, j)*x(j)
+        enddo
+        x(i) = s
+      enddo
+      do i = n, 1, -1
+        s = x(i)
+        do j = i + 1, n
+          s = s - a(i, j)*x(j)
+        enddo
+        x(i) = s/a(i, i)
+      enddo
+      print *, x(1), x(n)
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+(* Sparse linear system by conjugate gradient on a pentadiagonal matrix
+   stored as vectors (the structure of NR's SPARSE). *)
+let sparse_src n =
+  pf
+    {|
+      program sparse
+      parameter (n = %d)
+      real d(n), e(n), f(n), x(n), b(n), r(n), p(n), q(n)
+      real rho, rho0, alpha, beta, pq
+      do i = 1, n
+        d(i) = 4.0
+        e(i) = -1.0
+        f(i) = -0.5
+        b(i) = 1.0
+        x(i) = 0.0
+        r(i) = 1.0
+        p(i) = 1.0
+      enddo
+      rho = 0.0
+      do i = 1, n
+        rho = rho + r(i)*r(i)
+      enddo
+      do it = 1, 10
+        do i = 1, n
+          q(i) = d(i)*p(i)
+        enddo
+        do i = 2, n
+          q(i) = q(i) + e(i)*p(i - 1)
+        enddo
+        do i = 1, n - 1
+          q(i) = q(i) + e(i)*p(i + 1)
+        enddo
+        do i = 3, n
+          q(i) = q(i) + f(i)*p(i - 2)
+        enddo
+        pq = 0.0
+        do i = 1, n
+          pq = pq + p(i)*q(i)
+        enddo
+        alpha = rho/pq
+        do i = 1, n
+          x(i) = x(i) + alpha*p(i)
+          r(i) = r(i) - alpha*q(i)
+        enddo
+        rho0 = rho
+        rho = 0.0
+        do i = 1, n
+          rho = rho + r(i)*r(i)
+        enddo
+        beta = rho/rho0
+        do i = 1, n
+          p(i) = r(i) + beta*p(i)
+        enddo
+      enddo
+      print *, x(1), x(n), rho
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+(* Gauss-Jordan elimination with NR GAUSSJ's pivot search and row
+   interchange.  The search and swap keep the elimination's outer row loop
+   sequential (the paper's 10x rather than full O(n^3) parallelism); the
+   inner row-operation loops parallelize under the i<>k guard. *)
+let gaussj_src n =
+  pf
+    {|
+      program gaussj
+      parameter (n = %d)
+      real a(n, n), b(n)
+      real piv, factor, big, dum, t
+      integer irow
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = 1.0/(i + j - 1.0)
+        enddo
+      enddo
+      do i = 1, n
+        a(i, i) = a(i, i) + n
+        b(i) = 1.0
+      enddo
+      do k = 1, n
+        big = 0.0
+        irow = k
+        do j = k, n
+          do l = k, n
+            if (abs(a(j, l)) .ge. big) then
+              big = abs(a(j, l))
+              irow = j
+            endif
+          enddo
+        enddo
+        if (irow .ne. k) then
+          do l = 1, n
+            t = a(irow, l)
+            a(irow, l) = a(k, l)
+            a(k, l) = t
+          enddo
+          t = b(irow)
+          b(irow) = b(k)
+          b(k) = t
+        endif
+        piv = 1.0/a(k, k)
+        do j = 1, n
+          a(k, j) = a(k, j)*piv
+        enddo
+        b(k) = b(k)*piv
+        do i = 1, n
+          dum = a(i, k)
+          if (i .ne. k) then
+            do l = 1, n
+              a(i, l) = a(i, l) - dum*a(k, l)
+            enddo
+            b(i) = b(i) - dum*b(k)
+          endif
+        enddo
+      enddo
+      print *, b(1), b(n)
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+let svbksb_src n =
+  pf
+    {|
+      program svbksb
+      parameter (n = %d)
+      real u(n, n), w(n), v(n, n), b(n), x(n), tmp(n)
+      real s
+      do j = 1, n
+        do i = 1, n
+          u(i, j) = 1.0/(i + j - 1.0)
+          v(i, j) = 1.0/(i + 2.0*j)
+        enddo
+      enddo
+      do i = 1, n
+        w(i) = 1.0 + i*0.5
+        b(i) = 1.0
+      enddo
+      do j = 1, n
+        s = 0.0
+        do i = 1, n
+          s = s + u(i, j)*b(i)
+        enddo
+        tmp(j) = s/w(j)
+      enddo
+      do j = 1, n
+        s = 0.0
+        do i = 1, n
+          s = s + v(j, i)*tmp(i)
+        enddo
+        x(j) = s
+      enddo
+      print *, x(1), x(n)
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+(* Householder reduction sweep + iterative diagonal refinement: keeps
+   SVDCMP's pattern of mixed parallel inner loops and sequential outer
+   sweeps.  Written as a SUBROUTINE like the original: its arrays are
+   interface data, so under the cluster placement default the
+   restructurer must keep them cluster-resident (paper §3.2) and use
+   cluster-level parallelism only. *)
+let svdcmp_src n =
+  pf
+    {|
+      program svdrun
+      parameter (n = %d)
+      real a(n, n), w(n), rv1(n)
+      real s
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = 1.0/(i + j - 1.0)
+        enddo
+      enddo
+      call svdcmp(a, n, w, rv1)
+      s = 0.0
+      do i = 1, n
+        s = s + w(i) + rv1(i)
+      enddo
+      print *, s
+      end
+
+      subroutine svdcmp(a, n, w, rv1)
+      real a(n, n), w(n), rv1(n)
+      real scale, s, f, g, h
+      if (n .lt. 1) goto 99
+      g = 0.0
+      do i = 1, n
+        rv1(i) = g
+        scale = 0.0
+        do k = i, n
+          scale = scale + abs(a(k, i))
+        enddo
+        if (scale .gt. 0.0) then
+          s = 0.0
+          do k = i, n
+            a(k, i) = a(k, i)/scale
+            s = s + a(k, i)*a(k, i)
+          enddo
+          f = a(i, i)
+          g = -sign(sqrt(s), f)
+          h = f*g - s
+          a(i, i) = f - g
+          do j = i + 1, n
+            s = 0.0
+            do k = i, n
+              s = s + a(k, i)*a(k, j)
+            enddo
+            f = s/h
+            do k = i, n
+              a(k, j) = a(k, j) + f*a(k, i)
+            enddo
+          enddo
+          do k = i, n
+            a(k, i) = scale*a(k, i)
+          enddo
+        endif
+        w(i) = scale*g
+      enddo
+  99  continue
+      return
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+(* Iterative improvement of a linear-system solution.  DOUBLE PRECISION
+   accumulation over two n x n matrices is what pushes the serial working
+   set past one cluster's 16 MB at n = 1000 — the thrashing behind the
+   paper's 1079x entry. *)
+let mprove_src n =
+  pf
+    {|
+      program mprove
+      parameter (n = %d)
+      double precision a(n, n), alud(n, n)
+      double precision b(n), x(n), r(n)
+      double precision sdp
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = 1.0/(i + j - 1.0)
+          alud(i, j) = a(i, j)
+        enddo
+      enddo
+      do i = 1, n
+        a(i, i) = a(i, i) + n
+        alud(i, i) = a(i, i)
+        b(i) = 1.0
+        x(i) = 1.0/n
+      enddo
+      do it = 1, 3
+        do i = 1, n
+          sdp = -b(i)
+          do j = 1, n
+            sdp = sdp + a(i, j)*x(j)
+          enddo
+          r(i) = sdp
+        enddo
+        do i = 1, n
+          sdp = r(i)
+          do j = 1, i - 1
+            sdp = sdp - alud(i, j)*r(j)
+          enddo
+          r(i) = sdp
+        enddo
+        do i = n, 1, -1
+          sdp = r(i)
+          do j = i + 1, n
+            sdp = sdp - alud(i, j)*r(j)
+          enddo
+          r(i) = sdp/alud(i, i)
+        enddo
+        do i = 1, n
+          x(i) = x(i) - r(i)
+        enddo
+      enddo
+      print *, x(1), x(n)
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+(* Levinson's method for a symmetric Toeplitz system: the outer recursion
+   is inherently sequential with short inner loops — the paper's 1.3x. *)
+let toeplz_src n =
+  pf
+    {|
+      program toeplz
+      parameter (n = %d)
+      real rr(2*n - 1), y(n), x(n), g(n), h(n)
+      real sxn, sd, sgn, shn, sgd, t1, t2
+      do i = 1, 2*n - 1
+        rr(i) = 1.0/(1.0 + abs(i - n)*0.5)
+      enddo
+      do i = 1, n
+        y(i) = 1.0 + 0.1*i
+      enddo
+      x(1) = y(1)/rr(n)
+      g(1) = rr(n - 1)/rr(n)
+      h(1) = rr(n + 1)/rr(n)
+      do m = 1, n - 1
+        sxn = -y(m + 1)
+        sd = -rr(n)
+        do j = 1, m
+          sxn = sxn + rr(n + m + 1 - j)*x(j)
+          sd = sd + rr(n + m + 1 - j)*g(m - j + 1)
+        enddo
+        x(m + 1) = sxn/sd
+        do j = 1, m
+          x(j) = x(j) - x(m + 1)*g(m - j + 1)
+        enddo
+        if (m + 1 .lt. n) then
+          sgn = -rr(n - m - 1)
+          shn = -rr(n + m + 1)
+          sgd = -rr(n)
+          do j = 1, m
+            sgn = sgn + rr(n + j - m - 1)*g(j)
+            shn = shn + rr(n + m + 1 - j)*h(j)
+            sgd = sgd + rr(n + j - m - 1)*h(m - j + 1)
+          enddo
+          g(m + 1) = sgn/sgd
+          h(m + 1) = shn/sgd
+          k = m
+          do j = 1, (m + 1)/2
+            t1 = g(j)
+            t2 = h(k)
+            g(j) = g(j) - g(m + 1)*h(k)
+            h(k) = h(k) - h(m + 1)*t1
+            if (j .ne. k) then
+              g(k) = g(k) - g(m + 1)*h(j)
+              h(j) = h(j) - h(m + 1)*t2
+            endif
+            k = k - 1
+          enddo
+        endif
+      enddo
+      print *, x(1), x(n)
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+(* Tridiagonal solve: the forward/backward first-order recurrences are
+   exactly what the Cedar recurrence library handles. *)
+let tridag_src n =
+  pf
+    {|
+      program tridag
+      parameter (n = %d)
+      real a(n), b(n), c(n), r(n), u(n), gam(n), bet(n)
+      do i = 1, n
+        a(i) = -1.0
+        b(i) = 4.0
+        c(i) = -1.0
+        r(i) = 1.0 + 0.01*i
+      enddo
+      bet(1) = b(1)
+      u(1) = r(1)/bet(1)
+      do i = 2, n
+        gam(i) = c(i - 1)/bet(i - 1)
+        bet(i) = b(i) - a(i)*gam(i)
+        u(i) = (r(i) - a(i)*u(i - 1))/bet(i)
+      enddo
+      do i = n - 1, 1, -1
+        u(i) = u(i) - gam(i + 1)*u(i + 1)
+      enddo
+      print *, u(1), u(n)
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+let all : Workload.t list =
+  [
+    Workload.make ~name:"CG"
+      ~description:"conjugate gradient, dense matrix (Meier & Eigenmann)"
+      ~paper_size:400 ~small_size:24 ~paper_speedup_cedar:163.0
+      ~techniques_expected:[ "reduction library"; "scalar privatization" ]
+      cg_src;
+    Workload.make ~name:"ludcmp" ~description:"LU decomposition (Crout)"
+      ~paper_size:1000 ~small_size:16 ~paper_speedup_cedar:9.2 ludcmp_src;
+    Workload.make ~name:"lubksb" ~description:"LU back substitution"
+      ~paper_size:1000 ~small_size:16 ~paper_speedup_cedar:6.8 lubksb_src;
+    Workload.make ~name:"sparse" ~description:"sparse CG (pentadiagonal)"
+      ~paper_size:800 ~small_size:24 ~paper_speedup_cedar:29.0 sparse_src;
+    Workload.make ~name:"gaussj" ~description:"Gauss-Jordan elimination"
+      ~paper_size:600 ~small_size:12 ~paper_speedup_cedar:10.0 gaussj_src;
+    Workload.make ~name:"svbksb" ~description:"SVD back substitution"
+      ~paper_size:200 ~small_size:16 ~paper_speedup_cedar:32.0 svbksb_src;
+    Workload.make ~name:"svdcmp" ~description:"SVD (Householder sweep)"
+      ~paper_size:200 ~small_size:10 ~paper_speedup_cedar:7.2 svdcmp_src;
+    Workload.make ~name:"mprove" ~description:"iterative improvement (dp)"
+      ~paper_size:1000 ~small_size:12 ~paper_speedup_cedar:1079.0 mprove_src;
+    Workload.make ~name:"toeplz" ~description:"Toeplitz solver (Levinson)"
+      ~paper_size:800 ~small_size:10 ~paper_speedup_cedar:1.3 toeplz_src;
+    Workload.make ~name:"tridag" ~description:"tridiagonal solver"
+      ~paper_size:800 ~small_size:16 ~paper_speedup_cedar:2.1 tridag_src;
+  ]
+
+let find name = List.find (fun w -> w.Workload.name = name) all

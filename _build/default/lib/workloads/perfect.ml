@@ -1,0 +1,651 @@
+(** Miniature Perfect Benchmarks (Table 2 workloads).
+
+    The real Perfect Club codes are thousand-line 1989 applications; what
+    Table 2 and §4.1 of the paper actually depend on is {i which obstacle
+    blocks each code's dominant loops} and {i which technique removes it}.
+    Each mini below is a compact fortran77 program exhibiting exactly the
+    obstacles the paper documents for that code:
+
+    - ARC2D: clean 2-D sweeps (auto-parallelizable) + one privatizable
+      work array;
+    - FLO52: two outer loops of many small inner loops (Figure 9) —
+      needs array privatization and fusion with replication;
+    - BDNA, DYFESM, SPEC77: multi-statement and array-element reductions;
+    - ADM, MG3D: parallelism hidden behind CALLs (interprocedural
+      summaries), with the global/cluster placement dilemma punishing the
+      automatic version;
+    - MDG: privatizable work arrays + array reductions + a call —
+      the paper's Figure 7 loop;
+    - OCEAN: multiplicative generalized induction variables and run-time
+      dependence tests on linearized subscripts;
+    - TRACK: a DOACROSS-able recurrence plus unprofitable small loops;
+    - TRFD: triangular generalized induction variables;
+    - QCD: a random-number-generator dependence cycle that serializes
+      half the computation (the paper's footnote). *)
+
+let pf = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* ARC2D: implicit finite-difference fluid code                        *)
+(* ------------------------------------------------------------------ *)
+
+let arc2d_src n =
+  pf
+    {|
+      program arc2d
+      parameter (n = %d)
+      real q(n, n), dq(n, n), rsd(n, n), prss(n, n), work(n)
+      real c
+      do j = 1, n
+        do i = 1, n
+          q(i, j) = 1.0 + 0.01*i + 0.02*j
+          rsd(i, j) = 0.0
+        enddo
+      enddo
+      do it = 1, 4
+        do j = 2, n - 1
+          do i = 2, n - 1
+            prss(i, j) = 0.25*(q(i - 1, j) + q(i + 1, j) + q(i, j - 1) +
+     &                   q(i, j + 1))
+          enddo
+        enddo
+        do j = 2, n - 1
+          do i = 2, n - 1
+            dq(i, j) = prss(i, j) - q(i, j)
+          enddo
+        enddo
+        do j = 2, n - 1
+          do i = 2, n - 1
+            rsd(i, j) = rsd(i, j) + abs(dq(i, j))
+          enddo
+        enddo
+        do j = 2, n - 1
+          do i = 2, n - 1
+            work(i) = dq(i, j)*0.5
+          enddo
+          do i = 2, n - 1
+            q(i, j) = q(i, j) + work(i) + work(2)*0.001
+          enddo
+        enddo
+      enddo
+      c = 0.0
+      do j = 1, n
+        do i = 1, n
+          c = c + q(i, j)
+        enddo
+      enddo
+      print *, c
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* FLO52: transonic flow — the Figure 9 subject                        *)
+(* ------------------------------------------------------------------ *)
+
+let flo52_src n =
+  pf
+    {|
+      program flo52
+      parameter (n = %d)
+      real w(n, n), wn(n, n), fs(n, n), dw(n, n), rad(n), rd2(n)
+      real cfl, eps
+      do j = 1, n
+        do i = 1, n
+          w(i, j) = 1.0 + 0.003*i + 0.001*j
+          wn(i, j) = w(i, j)
+        enddo
+      enddo
+      cfl = 0.8
+      do it = 1, 4
+        do j = 2, n - 1
+          do i = 1, n
+            rad(i) = w(i, j)*0.25 + w(i, j - 1)*0.125
+          enddo
+          do i = 2, n - 1
+            fs(i, j) = rad(i)*(w(i + 1, j) - w(i, j))
+          enddo
+          do i = 2, n - 1
+            dw(i, j) = fs(i, j) - fs(i - 1, j)
+          enddo
+        enddo
+        eps = cfl*0.25
+        do j = 2, n - 1
+          do i = 1, n
+            rd2(i) = w(i, j)*0.5
+          enddo
+          do i = 2, n - 1
+            wn(i, j) = w(i, j) - eps*dw(i, j) + rd2(i)*0.001
+          enddo
+        enddo
+        do j = 2, n - 1
+          do i = 2, n - 1
+            w(i, j) = wn(i, j)
+          enddo
+        enddo
+      enddo
+      s = 0.0
+      do j = 1, n
+        do i = 1, n
+          s = s + w(i, j)
+        enddo
+      enddo
+      print *, s
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* BDNA: molecular dynamics of DNA in water                            *)
+(* ------------------------------------------------------------------ *)
+
+let bdna_src n =
+  pf
+    {|
+      program bdna
+      parameter (n = %d)
+      real x(n), f(n), xdt(n), fpair(n)
+      integer nbr(n)
+      do i = 1, n
+        x(i) = 0.01*i
+        f(i) = 0.0
+        nbr(i) = mod(i*13, n) + 1
+      enddo
+      do it = 1, 4
+        do i = 1, n
+          do j = 1, n
+            xdt(j) = x(i) - x(j)
+          enddo
+          do j = 1, n
+            fpair(j) = xdt(j)*0.001 + xdt(1)*0.0001
+          enddo
+          do j = 1, n
+            f(nbr(j)) = f(nbr(j)) + fpair(j)
+            f(nbr(j)) = f(nbr(j)) + xdt(j)*0.0005
+          enddo
+        enddo
+        do i = 2, n
+          x(i) = x(i)*0.9 + x(i - 1)*0.1 + f(i)*0.0001
+        enddo
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + x(i)
+      enddo
+      print *, s
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* DYFESM: 2-D dynamic finite elements — gather/accumulate             *)
+(* ------------------------------------------------------------------ *)
+
+let dyfesm_src n =
+  pf
+    {|
+      program dyfesm
+      parameter (n = %d)
+      real xd(n), force(n), disp(n)
+      integer lnode(n)
+      do i = 1, n
+        disp(i) = 0.01*i
+        force(i) = 0.0
+        lnode(i) = mod(i*7, n) + 1
+      enddo
+      do it = 1, 4
+        do ie = 1, n
+          ek = 0.0
+          do kq = 1, 24
+            ek = ek + disp(ie)*0.01*kq + sqrt(disp(ie)*kq + 1.0)
+          enddo
+          force(lnode(ie)) = force(lnode(ie)) + ek*0.5
+          force(lnode(ie)) = force(lnode(ie)) + ek*ek*0.001
+        enddo
+        do i = 1, n
+          xd(i) = force(i)*0.002
+        enddo
+        do i = 1, n
+          disp(i) = disp(i) + xd(i)
+        enddo
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + disp(i)
+      enddo
+      print *, s
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* ADM: air-pollution model — parallelism behind CALLs                 *)
+(* ------------------------------------------------------------------ *)
+
+let adm_src n =
+  pf
+    {|
+      program adm
+      parameter (n = %d)
+      real conc(n, n), flux(n, n)
+      do j = 1, n
+        do i = 1, n
+          conc(i, j) = 0.001*(i + j)
+          flux(i, j) = 0.0
+        enddo
+      enddo
+      do it = 1, 4
+        do j = 1, n
+          call colcalc(conc(1, j), flux(1, j), n)
+        enddo
+      enddo
+      s = 0.0
+      do j = 1, n
+        do i = 1, n
+          s = s + flux(i, j)
+        enddo
+      enddo
+      print *, s
+      end
+
+      subroutine colcalc(c, f, m)
+      real c(m), f(m)
+      if (m .lt. 2) goto 99
+      do k = 2, m
+        c(k) = c(k - 1)*0.2 + c(k)*0.8
+      enddo
+      do k = 2, m - 1
+        f(k) = f(k) + 0.5*(c(k + 1) - c(k - 1)) + f(k - 1)*0.1
+      enddo
+  99  continue
+      return
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* MDG: molecular dynamics of water — the Figure 7 loop                *)
+(* ------------------------------------------------------------------ *)
+
+let mdg_src n =
+  pf
+    {|
+      program mdg
+      parameter (n = %d)
+      real xm(n), fm(n), rs(n), gg(n)
+      integer mol(n)
+      do i = 1, n
+        xm(i) = 0.01*i
+        fm(i) = 0.0
+        mol(i) = mod(i*11, n) + 1
+      enddo
+      do it = 1, 4
+        do i = 1, n
+          do k = 1, n
+            rs(k) = xm(i) - xm(k)
+          enddo
+          do k = 1, n
+            gg(k) = rs(k)*rs(k) + 0.1 + rs(1)*0.001
+          enddo
+          do k = 1, n
+            fm(mol(k)) = fm(mol(k)) + rs(k)/gg(k)
+            fm(mol(k)) = fm(mol(k)) + rs(k)*0.0001
+          enddo
+        enddo
+        do i = 2, n
+          xm(i) = xm(i)*0.95 + xm(i - 1)*0.05 + fm(i)*0.00001
+        enddo
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + xm(i)
+      enddo
+      print *, s
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* MG3D: seismic depth migration — deep call chain                     *)
+(* ------------------------------------------------------------------ *)
+
+let mg3d_src n =
+  pf
+    {|
+      program mg3d
+      parameter (n = %d)
+      real trace(n, n), image(n, n), vel(n)
+      do i = 1, n
+        vel(i) = 1500.0 + 2.0*i
+      enddo
+      do j = 1, n
+        do i = 1, n
+          trace(i, j) = 0.001*i + 0.002*j
+          image(i, j) = 0.0
+        enddo
+      enddo
+      do it = 1, 2
+        do j = 1, n
+          call migrate(trace(1, j), image(1, j), vel, n)
+        enddo
+      enddo
+      s = 0.0
+      do j = 1, n
+        do i = 1, n
+          s = s + image(i, j)
+        enddo
+      enddo
+      print *, s
+      end
+
+      subroutine migrate(tr, im, vel, m)
+      real tr(m), im(m), vel(m)
+      im(1) = im(1) + tr(1)*vel(1)*0.0001
+      do k = 2, m
+        im(k) = im(k - 1)*0.05 + im(k) + extrap(tr(k), vel(k))
+      enddo
+      return
+      end
+
+      real function extrap(t, v)
+      extrap = t*v*0.0001 + t*t*0.01
+      return
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* OCEAN: 2-D ocean dynamics — GIVs + linearized subscripts            *)
+(* ------------------------------------------------------------------ *)
+
+let ocean_src n =
+  let ilog =
+    (* largest p with 2^p <= n*n *)
+    let rec go p v = if v * 2 > n * n then p else go (p + 1) (v * 2) in
+    go 0 1
+  in
+  pf
+    {|
+      program ocean
+      parameter (n = %d)
+      real a(n*n + 2*n), u(n)
+      integer ld, m, kk
+      ld = n + 2
+      m = n
+      do k = 1, n*n + 2*n
+        a(k) = 0.001*k
+      enddo
+      do i = 1, n
+        u(i) = 0.01*i
+      enddo
+      do it = 1, 4
+        do j = 1, m
+          do i = 1, m
+            a(j + (i - 1)*ld) = a(j + (i - 1)*ld)*0.99 + u(j)*0.01
+          enddo
+        enddo
+        kk = 1
+        do i = 1, %d
+          kk = kk*2
+          a(kk) = a(kk) + u(1)*0.001
+        enddo
+      enddo
+      s = 0.0
+      do k = 1, n*n
+        s = s + a(k)
+      enddo
+      print *, s
+      end
+|}
+    n ilog
+
+(* ------------------------------------------------------------------ *)
+(* TRACK: missile tracking — DOACROSS and small loops                  *)
+(* ------------------------------------------------------------------ *)
+
+let track_src n =
+  pf
+    {|
+      program track
+      parameter (n = %d)
+      real obs(n), pred(n), smth(n), gate(n), hist(64)
+      integer ng
+      do i = 1, n
+        obs(i) = 0.5 + 0.001*i
+        gate(i) = 1.0
+      enddo
+      do k = 1, 64
+        hist(k) = 0.0
+      enddo
+      do it = 1, 4
+        pred(1) = obs(1)
+        do i = 2, n
+          gate(i) = obs(i)*0.25 + obs(i - 1)*0.125
+          smth(i) = obs(i)*0.5
+          ng = int(gate(i)*8.0) + 1
+          hist(ng) = hist(ng) + 1.0
+          pred(i) = pred(i - 1)*0.9 + smth(i)*0.1 + gate(i)*0.01
+        enddo
+        do i = 1, n
+          obs(i) = obs(i) + pred(i)*0.001
+        enddo
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + pred(i)
+      enddo
+      print *, s, hist(3)
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* TRFD: two-electron integral transformation — triangular GIVs        *)
+(* ------------------------------------------------------------------ *)
+
+let trfd_src n =
+  pf
+    {|
+      program trfd
+      parameter (n = %d)
+      real xint(n*(n + 1)/2), val(n)
+      integer kk
+      do i = 1, n
+        val(i) = 0.01*i
+      enddo
+      do k = 1, n*(n + 1)/2
+        xint(k) = 0.0
+      enddo
+      do it = 1, 4
+        kk = 0
+        do i = 1, n
+          do j = 1, i
+            kk = kk + 1
+            xint(kk) = xint(kk) + val(i)*val(j)
+          enddo
+        enddo
+      enddo
+      s = 0.0
+      do k = 1, n*(n + 1)/2
+        s = s + xint(k)
+      enddo
+      print *, s
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* QCD: lattice gauge theory — the RNG dependence cycle                *)
+(* ------------------------------------------------------------------ *)
+
+(* rng_mode selects the footnote's three variants:
+   0 = the dependence cycle fully serialized (validates),
+   1 = the RNG isolated in its own serial loop, the update parallel
+       (the paper's critical-section variant), and
+   2 = a parallel (reproducible, index-seeded) random number generator. *)
+let qcd_variant ~rng_mode n =
+  let rng_loop =
+    match rng_mode with
+    | 0 ->
+        {|
+        do i = 1, n
+          seed = mod(seed*1103 + 12345, 100000)
+          rnd(i) = seed/100000.0
+          link(i) = link(i)*0.99 + rnd(i)*0.01
+        enddo
+|}
+    | 1 ->
+        {|
+        do i = 1, n
+          seed = mod(seed*1103 + 12345, 100000)
+          rnd(i) = seed/100000.0
+        enddo
+        do i = 1, n
+          link(i) = link(i)*0.99 + rnd(i)*0.01
+        enddo
+|}
+    | _ ->
+        {|
+        do i = 1, n
+          rnd(i) = mod(i*1103 + 12345, 100000)/100000.0
+        enddo
+        do i = 1, n
+          link(i) = link(i)*0.99 + rnd(i)*0.01
+        enddo
+|}
+  in
+  pf
+    {|
+      program qcd
+      parameter (n = %d)
+      real link(n), plaq(n), rnd(n)
+      integer seed
+      seed = 12345
+      do i = 1, n
+        link(i) = 1.0 + 0.0001*i
+      enddo
+      do it = 1, 4
+%s
+        do i = 2, n - 1
+          plaq(i) = link(i)*link(i + 1) + link(i)*link(i - 1)
+        enddo
+        plaq(1) = 0.0
+        plaq(n) = 0.0
+        do i = 1, n
+          link(i) = link(i) + plaq(i)*0.0001
+        enddo
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + plaq(i)
+      enddo
+      print *, s
+      end
+|}
+    n rng_loop
+
+let qcd_src n = qcd_variant ~rng_mode:0 n
+
+(* ------------------------------------------------------------------ *)
+(* SPEC77: spectral weather simulation — reductions + fusion           *)
+(* ------------------------------------------------------------------ *)
+
+let spec77_src n =
+  pf
+    {|
+      program spec77
+      parameter (n = %d)
+      parameter (nw = 24)
+      real coef(nw), grid(nw, n), leg(nw, n), tend(nw)
+      do j = 1, n
+        do k = 1, nw
+          grid(k, j) = 0.01*k + 0.001*j
+          leg(k, j) = 1.0/(k + j)
+        enddo
+      enddo
+      do it = 1, 4
+        do k = 1, nw
+          coef(k) = 0.0
+        enddo
+        do j = 1, n
+          do k = 1, nw
+            coef(k) = coef(k) + leg(k, j)*grid(k, j)
+            coef(k) = coef(k) + leg(k, j)*grid(k, j)*0.5
+          enddo
+        enddo
+        do j = 1, n
+          do k = 1, nw
+            grid(k, j) = grid(k, j) + leg(k, j)*coef(k)*0.001
+          enddo
+        enddo
+        do k = 1, nw
+          tend(k) = coef(k)*0.01
+        enddo
+        do k = 1, nw
+          coef(k) = coef(k) - tend(k)
+        enddo
+      enddo
+      s = 0.0
+      do k = 1, nw
+        s = s + coef(k)
+      enddo
+      print *, s
+      end
+|}
+    n
+
+(* ------------------------------------------------------------------ *)
+
+type paper_row = {
+  p_auto_fx80 : float;
+  p_auto_cedar : float;
+  p_manual_fx80 : float;
+  p_manual_cedar : float;
+}
+
+let paper_table2 =
+  [
+    ("ARC2D", { p_auto_fx80 = 8.7; p_auto_cedar = 13.5; p_manual_fx80 = 10.6; p_manual_cedar = 20.8 });
+    ("FLO52", { p_auto_fx80 = 9.0; p_auto_cedar = 5.5; p_manual_fx80 = 14.6; p_manual_cedar = 15.3 });
+    ("BDNA", { p_auto_fx80 = 1.9; p_auto_cedar = 1.8; p_manual_fx80 = 5.6; p_manual_cedar = 8.5 });
+    ("DYFESM", { p_auto_fx80 = 3.9; p_auto_cedar = 2.2; p_manual_fx80 = 10.3; p_manual_cedar = 11.4 });
+    ("ADM", { p_auto_fx80 = 1.2; p_auto_cedar = 0.6; p_manual_fx80 = 7.1; p_manual_cedar = 10.1 });
+    ("MDG", { p_auto_fx80 = 1.0; p_auto_cedar = 1.0; p_manual_fx80 = 7.3; p_manual_cedar = 20.6 });
+    ("MG3D", { p_auto_fx80 = 1.5; p_auto_cedar = 0.9; p_manual_fx80 = 13.3; p_manual_cedar = 48.8 });
+    ("OCEAN", { p_auto_fx80 = 1.4; p_auto_cedar = 0.7; p_manual_fx80 = 8.9; p_manual_cedar = 16.7 });
+    ("TRACK", { p_auto_fx80 = 1.0; p_auto_cedar = 0.4; p_manual_fx80 = 4.0; p_manual_cedar = 5.2 });
+    ("TRFD", { p_auto_fx80 = 2.2; p_auto_cedar = 0.8; p_manual_fx80 = 16.0; p_manual_cedar = 43.2 });
+    ("QCD", { p_auto_fx80 = 1.1; p_auto_cedar = 0.5; p_manual_fx80 = 2.0; p_manual_cedar = 1.81 });
+    ("SPEC77", { p_auto_fx80 = 2.4; p_auto_cedar = 2.4; p_manual_fx80 = 10.2; p_manual_cedar = 15.7 });
+  ]
+
+let all : Workload.t list =
+  let mk name desc src small paper techniques =
+    Workload.make ~name ~description:desc ~paper_size:paper ~small_size:small
+      ~paper_speedup_cedar:
+        (try (List.assoc name paper_table2).p_manual_cedar with Not_found -> 0.0)
+      ~techniques_expected:techniques src
+  in
+  [
+    mk "ARC2D" "implicit FD fluid dynamics" arc2d_src 12 192
+      [ "array privatization" ];
+    mk "FLO52" "transonic flow (Figure 9)" flo52_src 12 192
+      [ "array privatization" ];
+    mk "BDNA" "molecular dynamics of DNA" bdna_src 14 256
+      [ "array privatization"; "array reduction" ];
+    mk "DYFESM" "dynamic finite elements" dyfesm_src 16 512
+      [ "array reduction" ];
+    mk "ADM" "air pollution model" adm_src 12 192 [ "interprocedural" ];
+    mk "MDG" "molecular dynamics of water" mdg_src 14 256
+      [ "array privatization"; "array reduction" ];
+    mk "MG3D" "seismic migration" mg3d_src 12 192 [ "interprocedural" ];
+    mk "OCEAN" "ocean dynamics" ocean_src 12 128
+      [ "run-time dependence test" ];
+    mk "TRACK" "missile tracking" track_src 16 2048 [ "doacross sync" ];
+    mk "TRFD" "two-electron integrals" trfd_src 12 256
+      [ "generalized induction variable" ];
+    mk "QCD" "lattice gauge theory" qcd_src 16 1024 [];
+    mk "SPEC77" "spectral weather" spec77_src 12 256 [ "array reduction" ];
+  ]
+
+let find name = List.find (fun w -> w.Workload.name = name) all

@@ -1,0 +1,423 @@
+(** Synthetic loop kernels (paper §4.1: "we started to study its
+    effectiveness on small routines and synthetic loops").
+
+    A TSVC-style suite: each kernel isolates one analysis or
+    transformation capability and carries the decision the restructurer
+    is expected to reach under the automatic and the advanced technique
+    sets.  The tests check both the decisions and output preservation;
+    [bench] can report a coverage scoreboard. *)
+
+type expectation =
+  | Parallel  (** some loop of the kernel is parallelized / vectorized *)
+  | Serial  (** every loop stays serial *)
+  | Doacross
+  | Library  (** replaced by a library call or vector reduction *)
+  | Two_version  (** run-time dependence test *)
+
+type kernel = {
+  k_name : string;
+  k_doc : string;
+  k_body : string;  (** statements; arrays a,b,c(2d),idx and scalars ready *)
+  k_auto : expectation;
+  k_advanced : expectation;
+}
+
+let kernels : kernel list =
+  [
+    {
+      k_name = "s000_copy";
+      k_doc = "elementwise copy";
+      k_body = {|
+      do i = 1, n
+        a(i) = b(i)
+      enddo
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s001_saxpy";
+      k_doc = "scale and add";
+      k_body = {|
+      do i = 1, n
+        a(i) = b(i)*2.0 + a(i)
+      enddo
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s002_stencil";
+      k_doc = "read-only neighbourhood";
+      k_body =
+        {|
+      do i = 2, n - 1
+        a(i) = b(i - 1) + b(i) + b(i + 1)
+      enddo
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s003_recurrence";
+      k_doc = "first-order recurrence with extra parallel work";
+      k_body =
+        {|
+      do i = 2, n
+        b(i) = b(i)*1.01
+        a(i) = a(i - 1)*0.5 + b(i)
+      enddo
+|};
+      k_auto = Doacross;
+      k_advanced = Doacross;
+    };
+    {
+      k_name = "s004_sum";
+      k_doc = "scalar sum reduction";
+      k_body = {|
+      do i = 1, n
+        s = s + a(i)
+      enddo
+|};
+      k_auto = Library;
+      k_advanced = Library;
+    };
+    {
+      k_name = "s005_dotp";
+      k_doc = "dot product";
+      k_body = {|
+      do i = 1, n
+        s = s + a(i)*b(i)
+      enddo
+|};
+      k_auto = Library;
+      k_advanced = Library;
+    };
+    {
+      k_name = "s006_maxsearch";
+      k_doc = "max search with index bookkeeping";
+      k_body =
+        {|
+      do i = 1, n
+        if (abs(a(i)) .ge. s) then
+          s = abs(a(i))
+          l1 = j
+        endif
+      enddo
+|};
+      k_auto = Library;
+      k_advanced = Library;
+    };
+    {
+      k_name = "s007_private";
+      k_doc = "privatizable scalar temporary";
+      k_body = {|
+      do i = 1, n
+        t = b(i)*3.0
+        a(i) = t + t*t
+      enddo
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s008_conditional_scalar";
+      k_doc = "conditionally assigned scalar used later in the iteration";
+      k_body =
+        {|
+      do i = 1, n
+        if (b(i) .gt. 0.5) then
+          t = b(i)
+        endif
+        a(i) = t
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Serial;
+    };
+    {
+      k_name = "s009_induction";
+      k_doc = "flat additive induction variable";
+      k_body =
+        {|
+      kk = 0
+      do i = 1, n
+        kk = kk + 2
+        a(kk) = b(i)
+      enddo
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s010_triangular_giv";
+      k_doc = "triangular generalized induction variable (TRFD)";
+      k_body =
+        {|
+      kk = 0
+      do i = 1, 19
+        do j = 1, i
+          kk = kk + 1
+          a(kk) = a(kk) + b(j)
+        enddo
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s011_geometric_giv";
+      k_doc = "multiplicative induction variable (OCEAN)";
+      k_body =
+        {|
+      kk = 1
+      do i = 1, 6
+        kk = kk*2
+        a(kk) = a(kk) + 1.0
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s012_wavefront";
+      k_doc = "2-D wavefront: outer carried, inner parallel (the kernel's
+         outermost loop stays serial)";
+      k_body =
+        {|
+      do i = 2, 20
+        do j = 1, 20
+          c(i, j) = c(i - 1, j)*0.5 + 1.0
+        enddo
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Serial;
+    };
+    {
+      k_name = "s013_reverse";
+      k_doc = "backward elementwise loop";
+      k_body = {|
+      do i = n, 1, -1
+        a(i) = b(i) + 1.0
+      enddo
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s014_coupled";
+      k_doc = "coupled subscripts a(i+j)";
+      k_body =
+        {|
+      do i = 1, 20
+        do j = 1, 20
+          a(i + j) = a(i + j + 1) + 1.0
+        enddo
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Serial;
+    };
+    {
+      k_name = "s015_symbolic_offset";
+      k_doc = "write and read separated by a symbolic offset";
+      k_body =
+        {|
+      do i = 1, 30
+        a(i + m) = a(i) + 1.0
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Serial;
+    };
+    {
+      k_name = "s016_histogram";
+      k_doc = "indirect accumulation (unordered critical section)";
+      k_body =
+        {|
+      do i = 1, 200
+        hst(idx(i)) = hst(idx(i)) + b(i)*b(i) + sqrt(b(i)) + sqrt(b(i) + 1.0)
+        hst(idx(i)) = hst(idx(i)) + sqrt(b(i) + 2.0)
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s017_work_array";
+      k_doc = "privatizable work array (MDG/BDNA)";
+      k_body =
+        {|
+      do i = 1, 20
+        do j = 1, 20
+          w(j) = c(i, j)*2.0
+        enddo
+        do j = 1, 20
+          c(i, j) = w(j) + w(1)
+        enddo
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s018_if_to_where";
+      k_doc = "guarded elementwise assignment (IF to WHERE)";
+      k_body =
+        {|
+      do i = 1, n
+        if (b(i) .gt. 0.5) then
+          a(i) = b(i)*2.0
+        endif
+      enddo
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s019_linearized";
+      k_doc = "linearized 2-D subscript with a variable leading dimension";
+      k_body =
+        {|
+      do i = 1, 10
+        do j = 1, 10
+          a(j + (i - 1)*m) = a(j + (i - 1)*m)*0.5 + 1.0
+        enddo
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Two_version;
+    };
+    {
+      k_name = "s020_goto";
+      k_doc = "GOTO in the body blocks everything";
+      k_body =
+        {|
+      do i = 1, n
+        if (b(i) .lt. 0.0) goto 10
+        a(i) = b(i)
+  10    continue
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Serial;
+    };
+    {
+      k_name = "s021_io";
+      k_doc = "I/O in the body blocks everything";
+      k_body = {|
+      do i = 1, 3
+        print *, a(i)
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Serial;
+    };
+    {
+      k_name = "s022_multi_accum";
+      k_doc = "multiple accumulation statements onto array elements";
+      k_body =
+        {|
+      do i = 1, 200
+        do j = 1, 16
+          hst(j) = hst(j) + b(i)*0.01
+          hst(j) = hst(j) + sqrt(b(i) + j)
+        enddo
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s023_lastvalue";
+      k_doc = "privatizable scalar whose final value is live";
+      k_body =
+        {|
+      do i = 1, n
+        t = b(i)*2.0
+        a(i) = t
+      enddo
+      s = s + t
+|};
+      k_auto = Parallel;
+      k_advanced = Parallel;
+    };
+    {
+      k_name = "s024_scalar_carried";
+      k_doc = "true scalar recurrence";
+      k_body =
+        {|
+      do i = 1, n
+        t = t*0.5 + b(i)
+        a(i) = t
+      enddo
+|};
+      k_auto = Serial;
+      k_advanced = Serial;
+    };
+  ]
+
+(* decls shared by both wrappers *)
+let prelude =
+  {|
+      parameter (n = 64)
+      real a(200), b(200), w(200), hst(16)
+      real c(20, 20)
+      integer idx(200)
+      integer m, kk, l1
+|}
+
+(** The kernel alone (plus declarations): used to classify the
+    restructurer's decision on the kernel's own loops, without the
+    harness's initialization and checksum loops. *)
+let classification_program_of (k : kernel) =
+  Printf.sprintf "      program syn
+%s      m = 12
+%s      end
+" prelude
+    k.k_body
+
+(* wrap a kernel body into a runnable program *)
+let program_of (k : kernel) =
+  Printf.sprintf
+    {|
+      program syn
+      parameter (n = 64)
+      real a(200), b(200), w(200), hst(16)
+      real c(20, 20)
+      integer idx(200)
+      integer m, kk, l1
+      m = 12
+      s = 1.0
+      t = 0.5
+      do i = 1, 200
+        a(i) = 1.0 + mod(i*7, 13)
+        b(i) = 0.5 + mod(i*5, 11)*0.125
+        w(i) = 0.0
+        idx(i) = mod(i*3, 16) + 1
+      enddo
+      do i = 1, 20
+        do j = 1, 20
+          c(i, j) = i + j*0.25
+        enddo
+      enddo
+%s
+      ck = s + t + kk + l1
+      do i = 1, 200
+        ck = ck + a(i) + b(i) + w(i)
+      enddo
+      do i = 1, 16
+        ck = ck + hst(i)
+      enddo
+      do i = 1, 20
+        do j = 1, 20
+          ck = ck + c(i, j)
+        enddo
+      enddo
+      print *, ck
+      end
+|}
+    k.k_body
+
+let find name = List.find (fun k -> k.k_name = name) kernels

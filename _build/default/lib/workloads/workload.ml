@@ -1,0 +1,28 @@
+(** Common shape of a benchmark workload: a fortran77 source generator
+    parameterized by problem size, plus the paper's reference numbers. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : int -> string;  (** problem size -> fortran77 source *)
+  paper_size : int;  (** the data size column of the paper's table *)
+  small_size : int;  (** size used by the correctness tests *)
+  paper_speedup_cedar : float;  (** reference value from the paper *)
+  paper_speedup_fx80 : float;  (** 0.0 when the paper gives none *)
+  techniques_expected : string list;
+      (** technique names (from the restructurer reports) this workload is
+          designed to require *)
+}
+
+let make ?(paper_speedup_fx80 = 0.0) ?(techniques_expected = []) ~name
+    ~description ~paper_size ~small_size ~paper_speedup_cedar source =
+  {
+    name;
+    description;
+    source;
+    paper_size;
+    small_size;
+    paper_speedup_cedar;
+    paper_speedup_fx80;
+    techniques_expected;
+  }

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Ast_utils Fortran Lexer List Parser Printer QCheck QCheck_alcotest Symbols

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Ast Ast_utils Fortran Interp List Machine Parser Perfmodel Printer Printf QCheck QCheck_alcotest Restructurer

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Fortran Interp Machine Parser Printf

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Config Heap List Machine Microtask Option QCheck QCheck_alcotest Sim Sync

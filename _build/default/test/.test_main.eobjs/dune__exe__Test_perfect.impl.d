@@ -1,0 +1,1 @@
+test/test_perfect.ml: Alcotest Fortran Interp List Machine Parser Printer Printexc Printf Restructurer Workloads

@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Fortran Interp Machine Parser Perfmodel Printf

@@ -1,0 +1,1 @@
+test/test_restructurer.ml: Alcotest Ast Ast_utils Fortran Interp List Machine Parser Printer Printexc Restructurer String

@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Fortran Interp List Machine Parser Printer Printexc Restructurer String Workloads

@@ -1,0 +1,1 @@
+test/test_tasking.ml: Alcotest Fortran Interp List Machine Parser Printf Restructurer String

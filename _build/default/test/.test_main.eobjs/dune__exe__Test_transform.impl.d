@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Analysis Ast Ast_utils Fortran List Parser Printf String Transform

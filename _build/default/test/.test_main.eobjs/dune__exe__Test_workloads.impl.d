@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fortran Interp List Machine Parser Printer Printexc Printf Restructurer Workloads

@@ -1,0 +1,1 @@
+test/soak/soak.ml: Array Ast_utils Fortran List Machine Printer Printexc Printf QCheck Random Restructurer Sys Test_gen

@@ -1,0 +1,1 @@
+test/soak/soak.mli:

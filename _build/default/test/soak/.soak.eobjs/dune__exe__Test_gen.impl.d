@@ -1,0 +1,1 @@
+test/soak/test_gen.ml: Ast Fortran Interp List Machine Parser Printer Printf QCheck Restructurer

@@ -1,0 +1,41 @@
+(* Long-running differential soak test (not part of `dune runtest`):
+
+     dune exec test/soak/soak.exe [cases]
+
+   Generates [cases] random structured fortran77 programs (default 1500)
+   and checks, for BOTH technique sets, that restructuring preserves the
+   interpreted output via the printed Cedar Fortran.  Exits non-zero on
+   any mismatch. *)
+
+open Fortran
+module R = Restructurer
+
+let cedar = Machine.Config.cedar_config1
+
+let () =
+  let cases =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1500
+  in
+  let seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2026
+  in
+  Ast_utils.reset_fresh ();
+  let rand = Random.State.make [| seed |] in
+  let bad = ref 0 in
+  for i = 1 to cases do
+    let prog = QCheck.Gen.generate1 ~rand Test_gen.gen_program in
+    List.iter
+      (fun opts ->
+        try
+          if not (Test_gen.preserves opts prog) then begin
+            incr bad;
+            Printf.printf "MISMATCH at case %d\n" i
+          end
+        with e ->
+          incr bad;
+          Printf.printf "EXN at case %d: %s\n%s\n" i (Printexc.to_string e)
+            (Printer.program_to_string prog))
+      [ R.Options.auto_1991 cedar; R.Options.advanced cedar ]
+  done;
+  Printf.printf "soak done: %d failures / %d runs\n" !bad (2 * cases);
+  exit (if !bad = 0 then 0 else 1)

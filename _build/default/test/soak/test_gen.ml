@@ -1,0 +1,245 @@
+(* Differential fuzzing of the restructurer.
+
+   Generates random structured fortran77 programs (nested loops, guarded
+   blocks, affine subscripts, accumulations) whose arithmetic stays on
+   exactly-representable integers — so any reduction reordering still
+   produces bit-identical results — and checks that restructuring under
+   BOTH technique sets preserves the interpreted output, via the printed
+   Cedar Fortran (print → reparse → execute). *)
+
+open Fortran
+module R = Restructurer
+module G = QCheck.Gen
+
+let cedar = Machine.Config.cedar_config1
+
+(* ------------------------------------------------------------------ *)
+(* Program generator                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* arrays a..e of size 40; loops range within 3..12 with offsets in
+   [-2, 2], so subscripts stay in [1, 14] *)
+let arrays = [ "a"; "b"; "c"; "d"; "e" ]
+let scalars = [ "s"; "t"; "u" ]
+
+let gen_subscript idx : Ast.expr G.t =
+  G.oneof
+    [
+      G.return (Ast.Var idx);
+      G.map
+        (fun k -> Ast.Bin (Ast.Add, Ast.Var idx, Ast.Int k))
+        (G.int_range 1 2);
+      G.map
+        (fun k -> Ast.Bin (Ast.Sub, Ast.Var idx, Ast.Int k))
+        (G.int_range 1 2);
+      G.map (fun k -> Ast.Int k) (G.int_range 1 14);
+    ]
+
+let ( let* ) x f = G.( >>= ) x f
+
+(* integer-valued expressions over array elements / scalars / constants *)
+let rec gen_expr idxs depth : Ast.expr G.t =
+  let leaf =
+    G.oneof
+      ([
+         G.map (fun k -> Ast.Int k) (G.int_range 0 9);
+         G.map (fun v -> Ast.Var v) (G.oneofl scalars);
+       ]
+      @
+      match idxs with
+      | [] -> []
+      | _ ->
+          [
+            (let* arr = G.oneofl arrays in
+             let* idx = G.oneofl idxs in
+             let* sub = gen_subscript idx in
+             G.return (Ast.Idx (arr, [ sub ])));
+            G.map (fun i -> Ast.Var i) (G.oneofl idxs);
+          ])
+  in
+  if depth <= 0 then leaf
+  else
+    G.oneof
+      [
+        leaf;
+        (let* op = G.oneofl [ Ast.Add; Ast.Sub; Ast.Mul ] in
+         let* a = gen_expr idxs (depth - 1) in
+         let* b = gen_expr idxs (depth - 1) in
+         G.return (Ast.Bin (op, a, b)));
+        (let* a = gen_expr idxs (depth - 1) in
+         let* b = gen_expr idxs (depth - 1) in
+         G.return (Ast.Call ("max", [ a; b ])));
+      ]
+
+let gen_cond idxs : Ast.expr G.t =
+  let* rel = G.oneofl [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Ne; Ast.Eq ] in
+  let* a = gen_expr idxs 1 in
+  let* b = gen_expr idxs 1 in
+  G.return (Ast.Bin (rel, a, b))
+
+let rec gen_stmt idxs depth : Ast.stmt G.t =
+  let assign =
+    let* rhs = gen_expr idxs 2 in
+    let* target =
+      match idxs with
+      | [] -> G.map (fun v -> `S v) (G.oneofl scalars)
+      | _ ->
+          G.oneof
+            [
+              G.map (fun v -> `S v) (G.oneofl scalars);
+              (let* arr = G.oneofl arrays in
+               let* idx = G.oneofl idxs in
+               let* sub = gen_subscript idx in
+               G.return (`A (arr, sub)));
+            ]
+    in
+    G.return
+      (match target with
+      | `S v -> Ast.Assign (Ast.LVar v, rhs)
+      | `A (arr, sub) -> Ast.Assign (Ast.LIdx (arr, [ sub ]), rhs))
+  in
+  let accum =
+    (* x = x + e: reduction fodder *)
+    match idxs with
+    | [] ->
+        let* e = gen_expr idxs 1 in
+        G.return
+          (Ast.Assign (Ast.LVar "s", Ast.Bin (Ast.Add, Ast.Var "s", e)))
+    | _ ->
+        let* arr = G.oneofl arrays in
+        let* idx = G.oneofl idxs in
+        let* sub = gen_subscript idx in
+        let* e = gen_expr idxs 1 in
+        let cell = Ast.Idx (arr, [ sub ]) in
+        G.return (Ast.Assign (Ast.LIdx (arr, [ sub ]), Ast.Bin (Ast.Add, cell, e)))
+  in
+  if depth <= 0 then G.oneof [ assign; accum ]
+  else
+    G.oneof
+      [
+        assign;
+        accum;
+        (let* c = gen_cond idxs in
+         let* t = gen_stmts idxs (depth - 1) 2 in
+         let* e = G.oneof [ G.return []; gen_stmts idxs (depth - 1) 1 ] in
+         G.return (Ast.If (c, t, e)));
+        (let* lo = G.int_range 3 4 in
+         let* hi = G.int_range 6 12 in
+         let idx = Printf.sprintf "i%d" (List.length idxs + 1) in
+         let* body = gen_stmts (idx :: idxs) (depth - 1) 3 in
+         G.return
+           (Ast.Do
+              ( {
+                  Ast.index = idx;
+                  lo = Ast.Int lo;
+                  hi = Ast.Int hi;
+                  step = None;
+                  cls = Ast.Seq;
+                  locals = [];
+                },
+                Ast.seq_block body )));
+      ]
+
+and gen_stmts idxs depth n : Ast.stmt list G.t =
+  let* k = G.int_range 1 n in
+  let rec go k acc =
+    if k = 0 then G.return (List.rev acc)
+    else
+      let* s = gen_stmt idxs depth in
+      go (k - 1) (s :: acc)
+  in
+  go k []
+
+let gen_program : Ast.program G.t =
+  let* body = gen_stmts [] 3 5 in
+  (* initialize arrays and scalars deterministically, then dump checksums *)
+  let init =
+    List.concat_map
+      (fun (k, arr) ->
+        [
+          Ast.Do
+            ( {
+                Ast.index = "i0";
+                lo = Ast.Int 1;
+                hi = Ast.Int 40;
+                step = None;
+                cls = Ast.Seq;
+                locals = [];
+              },
+              Ast.seq_block
+                [
+                  Ast.Assign
+                    ( Ast.LIdx (arr, [ Ast.Var "i0" ]),
+                      Ast.Bin
+                        (Ast.Add, Ast.Bin (Ast.Mul, Ast.Var "i0", Ast.Int (k + 1)), Ast.Int k)
+                    );
+                ] );
+        ])
+      (List.mapi (fun k a -> (k, a)) arrays)
+    @ List.map (fun (k, v) -> Ast.Assign (Ast.LVar v, Ast.Int (k + 3)))
+        (List.mapi (fun k v -> (k, v)) scalars)
+  in
+  let dump =
+    [
+      Ast.Do
+        ( {
+            Ast.index = "i0";
+            lo = Ast.Int 1;
+            hi = Ast.Int 40;
+            step = None;
+            cls = Ast.Seq;
+            locals = [];
+          },
+          Ast.seq_block
+            (List.map
+               (fun arr ->
+                 Ast.Assign
+                   ( Ast.LVar "t",
+                     Ast.Bin (Ast.Add, Ast.Var "t", Ast.Idx (arr, [ Ast.Var "i0" ]))
+                   ))
+               arrays) );
+      Ast.Print [ Ast.Var "s"; Ast.Var "t"; Ast.Var "u" ];
+    ]
+  in
+  let decls =
+    List.map
+      (fun a ->
+        {
+          Ast.d_name = a;
+          d_type = Ast.Real;
+          d_dims = [ (Ast.Int 1, Ast.Int 40) ];
+          d_vis = Ast.Default;
+        })
+      arrays
+  in
+  G.return
+    [
+      {
+        Ast.u_name = "fuzz";
+        u_kind = Ast.Program;
+        u_decls = decls;
+        u_commons = [];
+        u_equivs = [];
+        u_params = [];
+        u_body = init @ body @ dump;
+      };
+    ]
+
+
+(* ------------------------------------------------------------------ *)
+
+let run_prog prog = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.output
+
+let preserves opts prog =
+  let orig = run_prog prog in
+  let res = R.Driver.restructure opts prog in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  let reparsed = Parser.parse_program printed in
+  let out = run_prog reparsed in
+  if orig <> out then begin
+    Printf.printf "--- fuzz mismatch ---\noriginal: %srestructured: %s\n--- original program ---\n%s\n--- restructured ---\n%s\n"
+      orig out (Printer.program_to_string prog) printed;
+    false
+  end
+  else true
+

@@ -1,0 +1,668 @@
+(* Analysis tests: affine forms, dependence testing (incl. brute-force
+   soundness), scalar classification, GIVs, array privatization,
+   array reductions, recurrences, interprocedural summaries, runtime test. *)
+
+open Fortran
+open Analysis
+module SMap = Ast_utils.SMap
+
+let expr = Parser.parse_expr_string
+
+let body_of_loop src =
+  match Parser.parse_program src with
+  | [ u ] -> (
+      let rec find = function
+        | [] -> Alcotest.fail "no loop in unit"
+        | Ast.Do (h, blk) :: _ -> (h, blk.Ast.body)
+        | Ast.Labeled (_, s) :: rest -> find (s :: rest)
+        | _ :: rest -> find rest
+      in
+      find u.Ast.u_body)
+  | _ -> Alcotest.fail "expected one unit"
+
+(* ---------------- affine ---------------- *)
+
+let test_affine_basic () =
+  let a = Option.get (Affine.of_expr (expr "2*i + 3*j - 4")) in
+  Alcotest.(check int) "coeff i" 2 (Affine.coeff "i" a);
+  Alcotest.(check int) "coeff j" 3 (Affine.coeff "j" a);
+  Alcotest.(check int) "const" (-4) a.Affine.const;
+  Alcotest.(check bool) "nonlinear fails" true
+    (Affine.of_expr (expr "i*j") = None);
+  Alcotest.(check bool) "div exact" true
+    (match Affine.of_expr (expr "(4*i + 8)/4") with
+    | Some x -> Affine.coeff "i" x = 1 && x.Affine.const = 2
+    | None -> false);
+  Alcotest.(check bool) "div inexact fails" true
+    (Affine.of_expr (expr "(4*i + 7)/4") = None)
+
+let test_affine_roundtrip () =
+  let e = expr "3*i - 2*j + 7" in
+  let a = Option.get (Affine.of_expr e) in
+  let e2 = Affine.to_expr a in
+  let a2 = Option.get (Affine.of_expr e2) in
+  Alcotest.(check bool) "roundtrip" true (Affine.equal a a2)
+
+(* ---------------- dependence: unit cases ---------------- *)
+
+let deps_of ?(inner = []) ?(trip = None) ~index refs =
+  Depend.dependences ~env:SMap.empty ~index ~inner ~trip refs
+
+let mkref array subs access path =
+  {
+    Loops.r_array = array;
+    r_subs = List.map expr subs;
+    r_access = access;
+    r_path = path;
+    r_conditional = false;
+  }
+
+let test_dep_independent () =
+  (* a(i) = b(i): write a(i), no other ref to a *)
+  let refs = [ mkref "a" [ "i" ] Loops.Write [ 0 ] ] in
+  let deps = deps_of ~index:"i" refs in
+  Alcotest.(check int) "self write a(i) no carried dep" 0
+    (List.length (Depend.carried deps))
+
+let test_dep_flow_distance () =
+  (* b(i) = a(i) + b(i-1): write b(i) stmt0, read b(i-1) stmt0 *)
+  let refs =
+    [ mkref "b" [ "i" ] Loops.Write [ 0 ]; mkref "b" [ "i - 1" ] Loops.Read [ 0 ] ]
+  in
+  let deps = deps_of ~index:"i" refs in
+  let carried = Depend.carried deps in
+  Alcotest.(check int) "one carried dep" 1 (List.length carried);
+  let d = List.hd carried in
+  Alcotest.(check bool) "flow" true (d.Depend.d_kind = Depend.Flow);
+  Alcotest.(check bool) "distance 1" true (d.Depend.d_distance = Depend.Dist 1)
+
+let test_dep_anti () =
+  (* a(i) = a(i+1): anti distance 1 *)
+  let refs =
+    [ mkref "a" [ "i" ] Loops.Write [ 0 ]; mkref "a" [ "i + 1" ] Loops.Read [ 0 ] ]
+  in
+  let carried = Depend.carried (deps_of ~index:"i" refs) in
+  Alcotest.(check int) "one carried" 1 (List.length carried);
+  let d = List.hd carried in
+  Alcotest.(check bool) "anti" true (d.Depend.d_kind = Depend.Anti)
+
+let test_dep_ziv () =
+  (* write a(1) every iteration: carried output dep *)
+  let refs = [ mkref "a" [ "1" ] Loops.Write [ 0 ] ] in
+  let carried = Depend.carried (deps_of ~index:"i" refs) in
+  Alcotest.(check int) "ziv carried output" 1 (List.length carried);
+  (* a(1) vs a(2): independent (ignore a(1)'s self output dep) *)
+  let refs =
+    [ mkref "a" [ "1" ] Loops.Write [ 0 ]; mkref "a" [ "2" ] Loops.Read [ 1 ] ]
+  in
+  Alcotest.(check int) "ziv different" 0
+    (List.length
+       (List.filter
+          (fun d -> d.Depend.d_src <> d.Depend.d_dst)
+          (deps_of ~index:"i" refs)))
+
+let test_dep_gcd () =
+  (* a(2*i) vs a(2*i+1): gcd proves independence *)
+  let refs =
+    [
+      mkref "a" [ "2*i" ] Loops.Write [ 0 ];
+      mkref "a" [ "2*i + 1" ] Loops.Read [ 1 ];
+    ]
+  in
+  Alcotest.(check int) "gcd independent" 0
+    (List.length (deps_of ~index:"i" refs))
+
+let test_dep_trip_bound () =
+  (* a(i) vs a(i+100) in a loop of 10 iterations *)
+  let refs =
+    [
+      mkref "a" [ "i" ] Loops.Write [ 0 ];
+      mkref "a" [ "i + 100" ] Loops.Read [ 1 ];
+    ]
+  in
+  Alcotest.(check int) "distance beyond trip" 0
+    (List.length (deps_of ~index:"i" ~trip:(Some 10) refs));
+  Alcotest.(check bool) "without trip: dependent" true
+    (List.length (deps_of ~index:"i" refs) > 0)
+
+let test_dep_symbolic () =
+  (* a(i + k) vs a(i): symbolic k blocks *)
+  let refs =
+    [
+      mkref "a" [ "i + k" ] Loops.Write [ 0 ]; mkref "a" [ "i" ] Loops.Read [ 1 ];
+    ]
+  in
+  let deps = deps_of ~index:"i" refs in
+  Alcotest.(check bool) "symbolic reason" true
+    (List.exists
+       (fun d -> match d.Depend.d_reason with Depend.Symbolic _ -> true | _ -> false)
+       deps)
+
+let test_dep_2d () =
+  (* c(i,j) = c(i,j) elementwise: no carried dep on i *)
+  let refs =
+    [
+      mkref "c" [ "i"; "j" ] Loops.Write [ 0 ];
+      mkref "c" [ "i"; "j" ] Loops.Read [ 0 ];
+    ]
+  in
+  Alcotest.(check int) "2d elementwise" 0
+    (List.length (Depend.carried (deps_of ~index:"i" ~inner:[ "j" ] refs)));
+  (* c(i+1,j) read vs c(i,j) write: carried *)
+  let refs =
+    [
+      mkref "c" [ "i"; "j" ] Loops.Write [ 0 ];
+      mkref "c" [ "i - 1"; "j" ] Loops.Read [ 0 ];
+    ]
+  in
+  Alcotest.(check int) "2d carried" 1
+    (List.length (Depend.carried (deps_of ~index:"i" ~inner:[ "j" ] refs)))
+
+(* ---------------- dependence: brute-force soundness ---------------- *)
+
+(* random 1-d subscript: c1*i + c2*j + c0 *)
+let gen_sub =
+  QCheck.Gen.(
+    map3
+      (fun c1 c2 c0 -> (c1 - 2, c2 - 2, c0 - 5))
+      (int_bound 4) (int_bound 4) (int_bound 10))
+
+let eval_sub (c1, c2, c0) i j = (c1 * i) + (c2 * j) + c0
+
+let sub_to_expr (c1, c2, c0) =
+  expr (Printf.sprintf "%d*i + %d*j + (%d)" c1 c2 c0)
+
+(* brute force: does there exist i1<>i2 in [1..n], j1,j2 in [1..m] with
+   sub1(i1,j1) = sub2(i2,j2)? *)
+let brute_force_carried s1 s2 n m =
+  let found = ref false in
+  for i1 = 1 to n do
+    for i2 = 1 to n do
+      if i1 <> i2 then
+        for j1 = 1 to m do
+          for j2 = 1 to m do
+            if eval_sub s1 i1 j1 = eval_sub s2 i2 j2 then found := true
+          done
+        done
+    done
+  done;
+  !found
+
+let prop_dep_sound =
+  QCheck.Test.make ~name:"dependence test is sound vs brute force" ~count:300
+    QCheck.(make (QCheck.Gen.pair gen_sub gen_sub))
+    (fun (s1, s2) ->
+      let n = 8 and m = 4 in
+      let refs =
+        [
+          mkref "a" [ Printer.expr_str (sub_to_expr s1) ] Loops.Write [ 0 ];
+          mkref "a" [ Printer.expr_str (sub_to_expr s2) ] Loops.Read [ 1 ];
+        ]
+      in
+      let deps =
+        Depend.dependences ~env:SMap.empty ~index:"i" ~inner:[ "j" ]
+          ~trip:(Some n) refs
+      in
+      let claimed_carried = Depend.carried deps <> [] in
+      let actual = brute_force_carried s1 s2 n m in
+      (* soundness: actual dependence must be reported *)
+      (not actual) || claimed_carried)
+
+(* ---------------- scalar classification ---------------- *)
+
+let classify_loop src =
+  let h, body = body_of_loop src in
+  (h, body, Scalars.classify ~index:h.Ast.index ~live_after:(fun _ -> false) body)
+
+let test_scalar_private () =
+  let _, _, r =
+    classify_loop
+      {|
+      subroutine s(a, b, n)
+      real a(n), b(n)
+      do i = 1, n
+        t = b(i)
+        a(i) = sqrt(t)
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "t privatizable" true
+    (SMap.find_opt "t" r.Scalars.classes
+    = Some (Scalars.Privatizable { live_out = false }))
+
+let test_scalar_shared () =
+  let _, _, r =
+    classify_loop
+      {|
+      subroutine s(a, n)
+      real a(n)
+      do i = 1, n
+        a(i) = t
+        t = a(i) + 1.0
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "t shared" true
+    (SMap.find_opt "t" r.Scalars.classes = Some Scalars.Shared_dep)
+
+let test_scalar_reduction () =
+  let _, _, r =
+    classify_loop
+      {|
+      subroutine s(a, n, sum)
+      real a(n)
+      do i = 1, n
+        sum = sum + a(i)
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "sum reduction" true
+    (SMap.find_opt "sum" r.Scalars.classes = Some (Scalars.Reduction Scalars.Rsum))
+
+let test_scalar_minmax_reduction () =
+  let _, _, r =
+    classify_loop
+      {|
+      subroutine s(a, n, big)
+      real a(n)
+      do i = 1, n
+        big = max(big, a(i))
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "max reduction" true
+    (SMap.find_opt "big" r.Scalars.classes = Some (Scalars.Reduction Scalars.Rmax))
+
+let test_scalar_induction () =
+  let _, _, r =
+    classify_loop
+      {|
+      subroutine s(a, n)
+      real a(2*n)
+      kk = 0
+      do i = 1, n
+        kk = kk + 2
+        a(kk) = 1.0
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "kk induction" true
+    (match SMap.find_opt "kk" r.Scalars.classes with
+    | Some (Scalars.Induction (Scalars.Additive (Ast.Int 2))) -> true
+    | _ -> false)
+
+let test_inner_sum_private () =
+  (* accumulator of an inner loop is privatizable at the outer level *)
+  let _, _, r =
+    classify_loop
+      {|
+      subroutine s(a, b, n)
+      real a(n, n), b(n)
+      do i = 1, n
+        s1 = 0.0
+        do j = 1, n
+          s1 = s1 + a(i, j)
+        enddo
+        b(i) = s1
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "inner accumulator privatizable at outer" true
+    (SMap.find_opt "s1" r.Scalars.classes
+    = Some (Scalars.Privatizable { live_out = false }))
+
+let test_conditional_def_not_private () =
+  let _, _, r =
+    classify_loop
+      {|
+      subroutine s(a, b, n)
+      real a(n), b(n)
+      do i = 1, n
+        if (b(i) .gt. 0.0) then
+          t = b(i)
+        endif
+        a(i) = t
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "conditional def blocks privatization" true
+    (SMap.find_opt "t" r.Scalars.classes = Some Scalars.Shared_dep)
+
+(* ---------------- GIV ---------------- *)
+
+let test_giv_flat () =
+  let h, body = body_of_loop
+      {|
+      subroutine s(a, n)
+      real a(3*n)
+      kk = 0
+      do i = 1, n
+        kk = kk + 3
+        a(kk) = 1.0
+      enddo
+      end
+|}
+  in
+  let lvl = Loops.level_of_header h in
+  match Giv.recognize ~lvl "kk" body with
+  | Some cf ->
+      Alcotest.(check bool) "monotonic" true cf.Giv.g_monotonic;
+      (* at i, after update: kk0 + 3*(i - 1 + 1) = kk0 + 3*i *)
+      let expect = expr "kk + 3*(i - 1 + 1)" in
+      let a1 = Option.get (Affine.of_expr cf.Giv.g_at_use) in
+      let a2 = Option.get (Affine.of_expr expect) in
+      Alcotest.(check bool) "closed form" true (Affine.equal a1 a2)
+  | None -> Alcotest.fail "kk not recognized as giv"
+
+let test_giv_triangular () =
+  let h, body = body_of_loop
+      {|
+      subroutine s(a, n)
+      real a(n*n)
+      kk = 0
+      do i = 1, n
+        do j = 1, i
+          kk = kk + 1
+          a(kk) = 1.0
+        enddo
+      enddo
+      end
+|}
+  in
+  let lvl = Loops.level_of_header h in
+  match Giv.recognize ~lvl "kk" body with
+  | Some cf ->
+      Alcotest.(check bool) "triangular monotonic" true cf.Giv.g_monotonic;
+      (* check closed form numerically: kk(i,j) = (i-1)*i/2 + j for kk0=0 *)
+      let check i j =
+        let e =
+          Ast_utils.subst_var "kk" (Ast.Int 0)
+            (Ast_utils.subst_var "i" (Ast.Int i)
+               (Ast_utils.subst_var "j" (Ast.Int j) cf.Giv.g_at_use))
+        in
+        match Ast_utils.const_eval [] (Ast_utils.simplify e) with
+        | Some v -> v
+        | None -> Alcotest.failf "not const: %s" (Printer.expr_str e)
+      in
+      Alcotest.(check int) "kk(1,1)" 1 (check 1 1);
+      Alcotest.(check int) "kk(3,2)" 5 (check 3 2);
+      Alcotest.(check int) "kk(4,4)" 10 (check 4 4)
+  | None -> Alcotest.fail "triangular giv not recognized"
+
+let test_giv_multiplicative () =
+  let h, body = body_of_loop
+      {|
+      subroutine s(a, n)
+      real a(1000)
+      m = 1
+      do i = 1, n
+        m = m*2
+        a(m) = 1.0
+      enddo
+      end
+|}
+  in
+  let lvl = Loops.level_of_header h in
+  match Giv.recognize ~lvl "m" body with
+  | Some cf -> Alcotest.(check bool) "geometric monotonic" true cf.Giv.g_monotonic
+  | None -> Alcotest.fail "multiplicative giv not recognized"
+
+(* ---------------- array privatization ---------------- *)
+
+let test_array_private_yes () =
+  let h, body = body_of_loop
+      {|
+      subroutine s(a, b, n, m)
+      real a(n, m), b(n, m), w(100)
+      do i = 1, n
+        do j = 1, m
+          w(j) = a(i, j)*2.0
+        enddo
+        do j = 1, m
+          b(i, j) = w(j) + w(1)
+        enddo
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "w privatizable" true
+    (Array_private.privatizable ~outer_index:h.Ast.index "w" body)
+
+let test_array_private_no () =
+  let h, body = body_of_loop
+      {|
+      subroutine s(a, b, n, m)
+      real a(n, m), b(n, m), w(100)
+      do i = 1, n
+        do j = 1, m
+          b(i, j) = w(j)
+        enddo
+        do j = 1, m
+          w(j) = a(i, j)
+        enddo
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "read-before-write not privatizable" false
+    (Array_private.privatizable ~outer_index:h.Ast.index "w" body)
+
+let test_array_private_conditional_write () =
+  let h, body = body_of_loop
+      {|
+      subroutine s(a, b, n, m)
+      real a(n, m), b(n, m), w(100)
+      do i = 1, n
+        do j = 1, m
+          if (a(i, j) .gt. 0.0) then
+            w(j) = a(i, j)
+          endif
+        enddo
+        do j = 1, m
+          b(i, j) = w(j)
+        enddo
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "conditional write not privatizable" false
+    (Array_private.privatizable ~outer_index:h.Ast.index "w" body)
+
+(* ---------------- array reduction ---------------- *)
+
+let test_array_reduction () =
+  let _, body = body_of_loop
+      {|
+      subroutine s(a, f, n, m)
+      real a(m), f(n, m)
+      do i = 1, n
+        do j = 1, m
+          a(j) = a(j) + f(i, j)
+          a(j) = a(j) + f(i, j)*2.0
+        enddo
+      enddo
+      end
+|}
+  in
+  match Array_reduction.recognize "a" body with
+  | Some r ->
+      Alcotest.(check bool) "sum op" true (r.Array_reduction.ar_op = Scalars.Rsum);
+      Alcotest.(check int) "two sites" 2 r.Array_reduction.ar_sites
+  | None -> Alcotest.fail "array reduction not recognized"
+
+let test_array_reduction_mixed_refused () =
+  let _, body = body_of_loop
+      {|
+      subroutine s(a, f, n, m)
+      real a(m), f(n, m)
+      do i = 1, n
+        do j = 1, m
+          a(j) = a(j) + f(i, j)
+          f(i, j) = a(j)
+        enddo
+      enddo
+      end
+|}
+  in
+  Alcotest.(check bool) "plain read blocks reduction" true
+    (Array_reduction.recognize "a" body = None)
+
+(* ---------------- recurrence ---------------- *)
+
+let test_recurrence () =
+  let _, body = body_of_loop
+      {|
+      subroutine s(x, b, c, n)
+      real x(n), b(n), c(n)
+      do i = 2, n
+        x(i) = x(i - 1)*b(i) + c(i)
+      enddo
+      end
+|}
+  in
+  match Recurrence.recognize "i" body with
+  | Some (Recurrence.Linear_recurrence { x; _ }) ->
+      Alcotest.(check string) "recurrence var" "x" x
+  | _ -> Alcotest.fail "linear recurrence not recognized"
+
+let test_dotproduct () =
+  let _, body = body_of_loop
+      {|
+      subroutine s(x, y, n, d)
+      real x(n), y(n)
+      do i = 1, n
+        d = d + x(i)*y(i)
+      enddo
+      end
+|}
+  in
+  match Recurrence.recognize "i" body with
+  | Some (Recurrence.Dotproduct { acc; _ }) ->
+      Alcotest.(check string) "dot acc" "d" acc
+  | _ -> Alcotest.fail "dotproduct not recognized"
+
+(* ---------------- interprocedural ---------------- *)
+
+let test_interproc () =
+  let prog =
+    Parser.parse_program
+      {|
+      program main
+      common /shared/ s(100)
+      real a(100)
+      do i = 1, 100
+        call work(a(i))
+      enddo
+      call touch
+      end
+
+      subroutine work(x)
+      x = x*2.0
+      return
+      end
+
+      subroutine touch
+      common /shared/ s(100)
+      s(1) = 0.0
+      call work(s(2))
+      return
+      end
+|}
+  in
+  let t = Interproc.analyze prog in
+  let w = Option.get (Interproc.find t "work") in
+  Alcotest.(check bool) "work defines formal 0" true w.Interproc.s_formal_def.(0);
+  Alcotest.(check bool) "work is pure" true w.Interproc.s_pure;
+  let tch = Option.get (Interproc.find t "touch") in
+  Alcotest.(check bool) "touch defines common s" true
+    (Ast_utils.SSet.mem "s" tch.Interproc.s_common_def);
+  Alcotest.(check bool) "touch not pure" false tch.Interproc.s_pure
+
+(* ---------------- runtime test ---------------- *)
+
+let test_runtime_condition () =
+  let h, body = body_of_loop
+      {|
+      subroutine s(a, n, m, ld)
+      real a(1)
+      do i = 1, n
+        do j = 1, m
+          a(j + (i - 1)*ld) = a(j + (i - 1)*ld) + 1.0
+        enddo
+      enddo
+      end
+|}
+  in
+  let inner = List.hd (Loops.inner_loops body) in
+  let levels = [ Loops.level_of_header h; Loops.level_of_header inner ] in
+  match Runtime_test.candidate_for ~levels ~body "a" with
+  | Some c ->
+      (* condition should be satisfied when ld >= m, violated when ld < m *)
+      let eval ld m =
+        let e =
+          Ast_utils.subst_var "n" (Ast.Int 20)
+            (Ast_utils.subst_var "ld" (Ast.Int ld)
+               (Ast_utils.subst_var "m" (Ast.Int m) c.Runtime_test.rt_condition))
+        in
+        let rec ev e =
+          match Ast_utils.simplify e with
+          | Ast.Bool b -> b
+          | Ast.Bin (Ast.And, a, b) -> ev a && ev b
+          | Ast.Bin (Ast.Or, a, b) -> ev a || ev b
+          | Ast.Bin (Ast.Ge, a, b) -> (
+              match
+                (Ast_utils.const_eval [] a, Ast_utils.const_eval [] b)
+              with
+              | Some x, Some y -> x >= y
+              | _ -> Alcotest.failf "unexpected cond %s" (Printer.expr_str e))
+          | e -> Alcotest.failf "unexpected cond %s" (Printer.expr_str e)
+        in
+        ev e
+      in
+      Alcotest.(check bool) "ld = m passes" true (eval 64 64);
+      Alcotest.(check bool) "ld > m passes" true (eval 100 64);
+      Alcotest.(check bool) "ld < m fails" false (eval 10 64)
+  | None -> Alcotest.fail "no runtime test candidate"
+
+let tests =
+  [
+    Alcotest.test_case "affine basic" `Quick test_affine_basic;
+    Alcotest.test_case "affine roundtrip" `Quick test_affine_roundtrip;
+    Alcotest.test_case "dep independent" `Quick test_dep_independent;
+    Alcotest.test_case "dep flow distance" `Quick test_dep_flow_distance;
+    Alcotest.test_case "dep anti" `Quick test_dep_anti;
+    Alcotest.test_case "dep ziv" `Quick test_dep_ziv;
+    Alcotest.test_case "dep gcd" `Quick test_dep_gcd;
+    Alcotest.test_case "dep trip bound" `Quick test_dep_trip_bound;
+    Alcotest.test_case "dep symbolic" `Quick test_dep_symbolic;
+    Alcotest.test_case "dep 2d" `Quick test_dep_2d;
+    QCheck_alcotest.to_alcotest prop_dep_sound;
+    Alcotest.test_case "scalar private" `Quick test_scalar_private;
+    Alcotest.test_case "scalar shared" `Quick test_scalar_shared;
+    Alcotest.test_case "scalar reduction" `Quick test_scalar_reduction;
+    Alcotest.test_case "scalar minmax" `Quick test_scalar_minmax_reduction;
+    Alcotest.test_case "scalar induction" `Quick test_scalar_induction;
+    Alcotest.test_case "inner sum private" `Quick test_inner_sum_private;
+    Alcotest.test_case "conditional def" `Quick test_conditional_def_not_private;
+    Alcotest.test_case "giv flat" `Quick test_giv_flat;
+    Alcotest.test_case "giv triangular" `Quick test_giv_triangular;
+    Alcotest.test_case "giv multiplicative" `Quick test_giv_multiplicative;
+    Alcotest.test_case "array private yes" `Quick test_array_private_yes;
+    Alcotest.test_case "array private no" `Quick test_array_private_no;
+    Alcotest.test_case "array private conditional" `Quick
+      test_array_private_conditional_write;
+    Alcotest.test_case "array reduction" `Quick test_array_reduction;
+    Alcotest.test_case "array reduction refused" `Quick
+      test_array_reduction_mixed_refused;
+    Alcotest.test_case "recurrence" `Quick test_recurrence;
+    Alcotest.test_case "dotproduct" `Quick test_dotproduct;
+    Alcotest.test_case "interproc" `Quick test_interproc;
+    Alcotest.test_case "runtime condition" `Quick test_runtime_condition;
+  ]

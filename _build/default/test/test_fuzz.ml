@@ -1,0 +1,354 @@
+(* Differential fuzzing of the restructurer.
+
+   Generates random structured fortran77 programs (nested loops, guarded
+   blocks, affine subscripts, accumulations) whose arithmetic stays on
+   exactly-representable integers — so any reduction reordering still
+   produces bit-identical results — and checks that restructuring under
+   BOTH technique sets preserves the interpreted output, via the printed
+   Cedar Fortran (print → reparse → execute). *)
+
+open Fortran
+module R = Restructurer
+module G = QCheck.Gen
+
+let cedar = Machine.Config.cedar_config1
+
+(* ------------------------------------------------------------------ *)
+(* Program generator                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* arrays a..e of size 40; loops range within 3..12 with offsets in
+   [-2, 2], so subscripts stay in [1, 14] *)
+let arrays = [ "a"; "b"; "c"; "d"; "e" ]
+let scalars = [ "s"; "t"; "u" ]
+
+let gen_subscript idx : Ast.expr G.t =
+  G.oneof
+    [
+      G.return (Ast.Var idx);
+      G.map
+        (fun k -> Ast.Bin (Ast.Add, Ast.Var idx, Ast.Int k))
+        (G.int_range 1 2);
+      G.map
+        (fun k -> Ast.Bin (Ast.Sub, Ast.Var idx, Ast.Int k))
+        (G.int_range 1 2);
+      G.map (fun k -> Ast.Int k) (G.int_range 1 14);
+    ]
+
+let ( let* ) x f = G.( >>= ) x f
+
+(* integer-valued expressions over array elements / scalars / constants *)
+let rec gen_expr idxs depth : Ast.expr G.t =
+  let leaf =
+    G.oneof
+      ([
+         G.map (fun k -> Ast.Int k) (G.int_range 0 9);
+         G.map (fun v -> Ast.Var v) (G.oneofl scalars);
+       ]
+      @
+      match idxs with
+      | [] -> []
+      | _ ->
+          [
+            (let* arr = G.oneofl arrays in
+             let* idx = G.oneofl idxs in
+             let* sub = gen_subscript idx in
+             G.return (Ast.Idx (arr, [ sub ])));
+            G.map (fun i -> Ast.Var i) (G.oneofl idxs);
+          ])
+  in
+  if depth <= 0 then leaf
+  else
+    G.oneof
+      [
+        leaf;
+        (let* op = G.oneofl [ Ast.Add; Ast.Sub; Ast.Mul ] in
+         let* a = gen_expr idxs (depth - 1) in
+         let* b = gen_expr idxs (depth - 1) in
+         G.return (Ast.Bin (op, a, b)));
+        (let* a = gen_expr idxs (depth - 1) in
+         let* b = gen_expr idxs (depth - 1) in
+         G.return (Ast.Call ("max", [ a; b ])));
+      ]
+
+let gen_cond idxs : Ast.expr G.t =
+  let* rel = G.oneofl [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Ne; Ast.Eq ] in
+  let* a = gen_expr idxs 1 in
+  let* b = gen_expr idxs 1 in
+  G.return (Ast.Bin (rel, a, b))
+
+let rec gen_stmt idxs depth : Ast.stmt G.t =
+  let assign =
+    let* rhs = gen_expr idxs 2 in
+    let* target =
+      match idxs with
+      | [] -> G.map (fun v -> `S v) (G.oneofl scalars)
+      | _ ->
+          G.oneof
+            [
+              G.map (fun v -> `S v) (G.oneofl scalars);
+              (let* arr = G.oneofl arrays in
+               let* idx = G.oneofl idxs in
+               let* sub = gen_subscript idx in
+               G.return (`A (arr, sub)));
+            ]
+    in
+    G.return
+      (match target with
+      | `S v -> Ast.Assign (Ast.LVar v, rhs)
+      | `A (arr, sub) -> Ast.Assign (Ast.LIdx (arr, [ sub ]), rhs))
+  in
+  let accum =
+    (* x = x + e: reduction fodder *)
+    match idxs with
+    | [] ->
+        let* e = gen_expr idxs 1 in
+        G.return
+          (Ast.Assign (Ast.LVar "s", Ast.Bin (Ast.Add, Ast.Var "s", e)))
+    | _ ->
+        let* arr = G.oneofl arrays in
+        let* idx = G.oneofl idxs in
+        let* sub = gen_subscript idx in
+        let* e = gen_expr idxs 1 in
+        let cell = Ast.Idx (arr, [ sub ]) in
+        G.return (Ast.Assign (Ast.LIdx (arr, [ sub ]), Ast.Bin (Ast.Add, cell, e)))
+  in
+  if depth <= 0 then G.oneof [ assign; accum ]
+  else
+    G.oneof
+      [
+        assign;
+        accum;
+        (let* c = gen_cond idxs in
+         let* t = gen_stmts idxs (depth - 1) 2 in
+         let* e = G.oneof [ G.return []; gen_stmts idxs (depth - 1) 1 ] in
+         G.return (Ast.If (c, t, e)));
+        (let* lo = G.int_range 3 4 in
+         let* hi = G.int_range 6 12 in
+         let idx = Printf.sprintf "i%d" (List.length idxs + 1) in
+         let* body = gen_stmts (idx :: idxs) (depth - 1) 3 in
+         G.return
+           (Ast.Do
+              ( {
+                  Ast.index = idx;
+                  lo = Ast.Int lo;
+                  hi = Ast.Int hi;
+                  step = None;
+                  cls = Ast.Seq;
+                  locals = [];
+                },
+                Ast.seq_block body )));
+      ]
+
+and gen_stmts idxs depth n : Ast.stmt list G.t =
+  let* k = G.int_range 1 n in
+  let rec go k acc =
+    if k = 0 then G.return (List.rev acc)
+    else
+      let* s = gen_stmt idxs depth in
+      go (k - 1) (s :: acc)
+  in
+  go k []
+
+let gen_program : Ast.program G.t =
+  let* body = gen_stmts [] 3 5 in
+  (* initialize arrays and scalars deterministically, then dump checksums *)
+  let init =
+    List.concat_map
+      (fun (k, arr) ->
+        [
+          Ast.Do
+            ( {
+                Ast.index = "i0";
+                lo = Ast.Int 1;
+                hi = Ast.Int 40;
+                step = None;
+                cls = Ast.Seq;
+                locals = [];
+              },
+              Ast.seq_block
+                [
+                  Ast.Assign
+                    ( Ast.LIdx (arr, [ Ast.Var "i0" ]),
+                      Ast.Bin
+                        (Ast.Add, Ast.Bin (Ast.Mul, Ast.Var "i0", Ast.Int (k + 1)), Ast.Int k)
+                    );
+                ] );
+        ])
+      (List.mapi (fun k a -> (k, a)) arrays)
+    @ List.map (fun (k, v) -> Ast.Assign (Ast.LVar v, Ast.Int (k + 3)))
+        (List.mapi (fun k v -> (k, v)) scalars)
+  in
+  let dump =
+    [
+      Ast.Do
+        ( {
+            Ast.index = "i0";
+            lo = Ast.Int 1;
+            hi = Ast.Int 40;
+            step = None;
+            cls = Ast.Seq;
+            locals = [];
+          },
+          Ast.seq_block
+            (List.map
+               (fun arr ->
+                 Ast.Assign
+                   ( Ast.LVar "t",
+                     Ast.Bin (Ast.Add, Ast.Var "t", Ast.Idx (arr, [ Ast.Var "i0" ]))
+                   ))
+               arrays) );
+      Ast.Print [ Ast.Var "s"; Ast.Var "t"; Ast.Var "u" ];
+    ]
+  in
+  let decls =
+    List.map
+      (fun a ->
+        {
+          Ast.d_name = a;
+          d_type = Ast.Real;
+          d_dims = [ (Ast.Int 1, Ast.Int 40) ];
+          d_vis = Ast.Default;
+        })
+      arrays
+  in
+  G.return
+    [
+      {
+        Ast.u_name = "fuzz";
+        u_kind = Ast.Program;
+        u_decls = decls;
+        u_commons = [];
+        u_equivs = [];
+        u_params = [];
+        u_body = init @ body @ dump;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential property                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_prog prog = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.output
+
+let preserves opts prog =
+  let orig = run_prog prog in
+  let res = R.Driver.restructure opts prog in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  let reparsed = Parser.parse_program printed in
+  let out = run_prog reparsed in
+  if orig <> out then begin
+    Printf.eprintf "--- fuzz mismatch ---\noriginal: %srestructured: %s\n%s\n"
+      orig out printed;
+    false
+  end
+  else true
+
+let arbitrary_program =
+  QCheck.make gen_program ~print:Printer.program_to_string
+
+let prop_auto =
+  QCheck.Test.make ~name:"fuzz: auto restructuring preserves semantics"
+    ~count:120 arbitrary_program (fun prog ->
+      preserves (R.Options.auto_1991 cedar) prog)
+
+let prop_advanced =
+  QCheck.Test.make ~name:"fuzz: advanced restructuring preserves semantics"
+    ~count:120 arbitrary_program (fun prog ->
+      preserves (R.Options.advanced cedar) prog)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"fuzz: printed programs reparse equal" ~count:120
+    arbitrary_program (fun prog ->
+      let printed = Printer.program_to_string prog in
+      let p2 = Parser.parse_program printed in
+      let strip u =
+        { u with Ast.u_body = List.map Ast_utils.strip_labels_stmt u.Ast.u_body }
+      in
+      Ast.equal_program (List.map strip prog) (List.map strip p2))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_auto;
+    QCheck_alcotest.to_alcotest prop_advanced;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine agreement: perfmodel vs DES on straight-line/loop programs   *)
+(* ------------------------------------------------------------------ *)
+
+(* no IFs: the analytic model averages unknown branches, which would make
+   the comparison meaningless; loops and assignments track closely *)
+let rec gen_stmt_noif idxs depth : Ast.stmt G.t =
+  if depth <= 0 then gen_plain_assign idxs
+  else
+    G.oneof
+      [
+        gen_plain_assign idxs;
+        (let* lo = G.int_range 3 4 in
+         let* hi = G.int_range 8 14 in
+         let idx = Printf.sprintf "i%d" (List.length idxs + 1) in
+         let* body = gen_stmts_noif (idx :: idxs) (depth - 1) 3 in
+         G.return
+           (Ast.Do
+              ( {
+                  Ast.index = idx;
+                  lo = Ast.Int lo;
+                  hi = Ast.Int hi;
+                  step = None;
+                  cls = Ast.Seq;
+                  locals = [];
+                },
+                Ast.seq_block body )));
+      ]
+
+and gen_plain_assign idxs =
+  let* rhs = gen_expr idxs 2 in
+  match idxs with
+  | [] -> G.return (Ast.Assign (Ast.LVar "s", rhs))
+  | _ ->
+      let* arr = G.oneofl arrays in
+      let* idx = G.oneofl idxs in
+      let* sub = gen_subscript idx in
+      G.return (Ast.Assign (Ast.LIdx (arr, [ sub ]), rhs))
+
+and gen_stmts_noif idxs depth n =
+  let* k = G.int_range 1 n in
+  let rec go k acc =
+    if k = 0 then G.return (List.rev acc)
+    else
+      let* s = gen_stmt_noif idxs depth in
+      go (k - 1) (s :: acc)
+  in
+  go k []
+
+let gen_loop_program : Ast.program G.t =
+  let* body = gen_stmts_noif [] 3 4 in
+  let* prog = gen_program in
+  (* reuse gen_program's init/checksum harness, swap the middle *)
+  match prog with
+  | [ u ] ->
+      let n = List.length u.Ast.u_body in
+      let init = List.filteri (fun i _ -> i < 8) u.Ast.u_body in
+      let dump = List.filteri (fun i _ -> i >= n - 2) u.Ast.u_body in
+      G.return [ { u with Ast.u_body = init @ body @ dump } ]
+  | _ -> assert false
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"perfmodel tracks the DES within 3x on loop programs"
+    ~count:60
+    (QCheck.make gen_loop_program ~print:Printer.program_to_string)
+    (fun prog ->
+      let des = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.cycles in
+      let model = (Perfmodel.Model.evaluate ~cfg:cedar prog).Perfmodel.Model.cycles in
+      let ratio = model /. des in
+      if ratio < 0.33 || ratio > 3.0 then begin
+        Printf.eprintf "engine divergence: model %.0f vs des %.0f (%.2fx)\n%s\n"
+          model des ratio
+          (Printer.program_to_string prog);
+        false
+      end
+      else true)
+
+let tests = tests @ [ QCheck_alcotest.to_alcotest prop_engines_agree ]

@@ -1,0 +1,373 @@
+(* Interpreter tests: semantics of serial and Cedar-parallel execution. *)
+
+open Fortran
+module Mach = Machine
+
+let cfg = Mach.Config.cedar_config1
+
+let run ?(input = []) ?(config = cfg) src =
+  Interp.Exec.run ~input ~cfg:config (Parser.parse_program src)
+
+let out ?input ?config src = (run ?input ?config src).Interp.Exec.output
+
+let check_out name expected src =
+  Alcotest.(check string) name expected (out src)
+
+let test_arith () =
+  check_out "arith"
+    "7 \n2.5 \n8 \n1 \n"
+    {|
+      program p
+      i = 3
+      j = 4
+      print *, i + j
+      x = 10.0
+      print *, x/4.0
+      print *, 2**3
+      print *, 7/4
+      end
+|}
+
+let test_do_loop () =
+  check_out "sum 1..10" "55 \n"
+    {|
+      program p
+      s = 0.0
+      do i = 1, 10
+        s = s + i
+      enddo
+      print *, s
+      end
+|}
+
+let test_arrays_and_functions () =
+  check_out "function call" "20 \n"
+    {|
+      program p
+      real a(10)
+      do i = 1, 10
+        a(i) = i
+      enddo
+      print *, total(a, 4)
+
+      end
+
+      real function total(x, n)
+      real x(n)
+      total = 0.0
+      do i = 1, n
+        total = total + x(i)*2.0
+      enddo
+      return
+      end
+|}
+
+let test_subroutine_byref () =
+  check_out "by reference" "5 7 \n"
+    {|
+      program p
+      real a(3)
+      a(2) = 5.0
+      call bump(a, x)
+      print *, a(2), x
+      end
+
+      subroutine bump(v, y)
+      real v(3)
+      v(2) = v(2)
+      y = v(2) + 2.0
+      return
+      end
+|}
+
+let test_common () =
+  check_out "common block" "42 \n"
+    {|
+      program p
+      common /blk/ s
+      s = 42.0
+      call show
+      end
+
+      subroutine show
+      common /blk/ s
+      print *, s
+      return
+      end
+|}
+
+let test_vector_sections () =
+  check_out "sections" "5 7 9 \n"
+    {|
+      program p
+      real a(10), b(10), c(10)
+      do i = 1, 10
+        a(i) = i
+        b(i) = i + 2
+      enddo
+      c(1:3) = a(1:3) + b(2:4)
+      print *, c(1), c(2), c(3)
+      end
+|}
+
+let test_where () =
+  check_out "where mask" "0 2 0 4 \n"
+    {|
+      program p
+      real a(4), b(4)
+      do i = 1, 4
+        a(i) = i
+        b(i) = 0.0
+      enddo
+      where (a(1:4) .gt. 1.5)
+        b(1:4) = a(1:4)
+      endwhere
+      b(3) = 0.0
+      print *, b(1), b(2), b(3), b(4)
+      end
+|}
+
+let test_xdoall () =
+  let r =
+    run
+      {|
+      program p
+      real a(1000), b(1000)
+      global a, b
+      do i = 1, 1000
+        b(i) = i
+      enddo
+      xdoall i = 1, 1000, 32
+        integer i3, up
+      loop
+        i3 = min(32, 1000 - i + 1)
+        up = i + i3 - 1
+        a(i:up) = b(i:up)*2.0
+      endloop
+      end xdoall
+      s = 0.0
+      do i = 1, 1000
+        s = s + a(i)
+      enddo
+      print *, s
+      end
+|}
+  in
+  Alcotest.(check string) "xdoall result" "1.001e+06 \n" r.Interp.Exec.output
+
+let test_parallel_speedup () =
+  (* the same work serial vs CDOALL: the parallel one must be faster *)
+  let serial =
+    {|
+      program p
+      real a(400)
+      cluster a
+      do i = 1, 400
+        a(i) = sqrt(1.0*i) + sqrt(2.0*i)
+      enddo
+      print *, a(400)
+      end
+|}
+  in
+  let par =
+    {|
+      program p
+      real a(400)
+      cluster a
+      cdoall i = 1, 400
+        a(i) = sqrt(1.0*i) + sqrt(2.0*i)
+      end cdoall
+      print *, a(400)
+      end
+|}
+  in
+  let rs = run serial and rp = run par in
+  Alcotest.(check string) "same result" rs.Interp.Exec.output rp.Interp.Exec.output;
+  let speedup = rs.Interp.Exec.cycles /. rp.Interp.Exec.cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "cdoall speedup %.2f in (3,10)" speedup)
+    true
+    (speedup > 3.0 && speedup < 10.0)
+
+let test_sdoall_cdoall_nest () =
+  let r =
+    run
+      {|
+      program p
+      real c(8, 8)
+      global c
+      sdoall i = 1, 8
+      loop
+        cdoall j = 1, 8
+          c(i, j) = i*10.0 + j
+        end cdoall
+      endloop
+      end sdoall
+      print *, c(3, 4), c(8, 8)
+      end
+|}
+  in
+  Alcotest.(check string) "nested spread/cluster" "34 88 \n" r.Interp.Exec.output
+
+let test_doacross () =
+  let r =
+    run
+      {|
+      program p
+      real a(50), b(50), c(50), d(50)
+      cluster a, b, c, d
+      b(1) = 1.0
+      do i = 1, 50
+        a(i) = i
+        c(i) = 2.0
+      enddo
+      cdoacross i = 2, 50
+        d(i) = a(i)*c(i)
+        call await(1, 1)
+        b(i) = b(i - 1) + a(i)
+        call advance(1)
+      end cdoacross
+      print *, b(50), d(17)
+      end
+|}
+  in
+  (* b(50) = 1 + sum(2..50) = 1275; d(17) = 34 *)
+  Alcotest.(check string) "doacross cascade" "1275 34 \n" r.Interp.Exec.output
+
+let test_reduction_with_lock () =
+  let r =
+    run
+      {|
+      program p
+      real a(100)
+      global a, s
+      do i = 1, 100
+        a(i) = 1.0
+      enddo
+      s = 0.0
+      xdoall i = 1, 100
+        real sp
+      sp = 0.0
+      loop
+        sp = sp + a(i)
+      endloop
+        call lock(1)
+        s = s + sp
+        call unlock(1)
+      end xdoall
+      print *, s
+      end
+|}
+  in
+  Alcotest.(check string) "locked reduction" "100 \n" r.Interp.Exec.output
+
+let test_global_slower_than_cluster () =
+  let prog vis =
+    Printf.sprintf
+      {|
+      program p
+      real a(2000)
+      %s a
+      do i = 1, 2000
+        a(i) = i*2.0
+      enddo
+      print *, a(2000)
+      end
+|}
+      vis
+  in
+  let rg = run (prog "global") and rc = run (prog "cluster") in
+  Alcotest.(check string) "same output" rc.Interp.Exec.output rg.Interp.Exec.output;
+  Alcotest.(check bool) "global scalar access slower" true
+    (rg.Interp.Exec.cycles > 1.5 *. rc.Interp.Exec.cycles)
+
+let test_prefetch_effect () =
+  (* vector reads from global memory: prefetch on vs off *)
+  let src =
+    {|
+      program p
+      real a(4096), b(4096)
+      global a, b
+      b(1:4096) = 1.0
+      do k = 1, 20
+        a(1:4096) = b(1:4096)*2.0
+      enddo
+      print *, a(5)
+      end
+|}
+  in
+  let on = run ~config:(Mach.Config.with_prefetch cfg true) src in
+  let off = run ~config:(Mach.Config.with_prefetch cfg false) src in
+  Alcotest.(check string) "same result" on.Interp.Exec.output off.Interp.Exec.output;
+  let gain = off.Interp.Exec.cycles /. on.Interp.Exec.cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "prefetch gain %.2f > 1.5" gain)
+    true (gain > 1.5)
+
+let test_read_input () =
+  Alcotest.(check string) "read" "12 \n"
+    (out ~input:[ 5.0; 7.0 ]
+       {|
+      program p
+      read *, x, y
+      print *, x + y
+      end
+|})
+
+let test_cedar_slr1 () =
+  let r =
+    run
+      {|
+      program p
+      real x(10), b(10), c(10)
+      do i = 1, 10
+        b(i) = 1.0
+        c(i) = 2.0
+      enddo
+      x(1) = 1.0
+      call cedar_slr1(x, b, c, 2, 10)
+      print *, x(10)
+      end
+|}
+  in
+  (* x(i) = x(i-1)*1 + 2, from 1: x(10) = 1 + 9*2 = 19 *)
+  Alcotest.(check string) "slr1" "19 \n" r.Interp.Exec.output
+
+let test_cedar_dotp () =
+  let r =
+    run
+      {|
+      program p
+      real x(100), y(100)
+      do i = 1, 100
+        x(i) = 1.0
+        y(i) = 2.0
+      enddo
+      d = 0.0
+      d = d + cedar_dotp(x, y, 1, 100)
+      print *, d
+      end
+|}
+  in
+  Alcotest.(check string) "dotp" "200 \n" r.Interp.Exec.output
+
+let tests =
+  [
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "do loop" `Quick test_do_loop;
+    Alcotest.test_case "arrays and functions" `Quick test_arrays_and_functions;
+    Alcotest.test_case "subroutine byref" `Quick test_subroutine_byref;
+    Alcotest.test_case "common" `Quick test_common;
+    Alcotest.test_case "vector sections" `Quick test_vector_sections;
+    Alcotest.test_case "where" `Quick test_where;
+    Alcotest.test_case "xdoall" `Quick test_xdoall;
+    Alcotest.test_case "parallel speedup" `Quick test_parallel_speedup;
+    Alcotest.test_case "sdoall/cdoall nest" `Quick test_sdoall_cdoall_nest;
+    Alcotest.test_case "doacross" `Quick test_doacross;
+    Alcotest.test_case "reduction with lock" `Quick test_reduction_with_lock;
+    Alcotest.test_case "global slower" `Quick test_global_slower_than_cluster;
+    Alcotest.test_case "prefetch effect" `Quick test_prefetch_effect;
+    Alcotest.test_case "read input" `Quick test_read_input;
+    Alcotest.test_case "cedar_slr1" `Quick test_cedar_slr1;
+    Alcotest.test_case "cedar_dotp" `Quick test_cedar_dotp;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "cedar"
+    [
+      ("frontend", Test_frontend.tests);
+      ("analysis", Test_analysis.tests);
+      ("transform", Test_transform.tests);
+      ("machine", Test_machine.tests);
+      ("interp", Test_interp.tests);
+      ("restructurer", Test_restructurer.tests);
+      ("perfmodel", Test_perfmodel.tests);
+      ("workloads", Test_workloads.tests);
+      ("perfect", Test_perfect.tests);
+      ("synthetic", Test_synthetic.tests);
+      ("tasking", Test_tasking.tests);
+      ("fuzz", Test_fuzz.tests);
+    ]

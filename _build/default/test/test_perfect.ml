@@ -1,0 +1,71 @@
+(* Perfect-mini tests: semantics preservation under both technique sets,
+   and each mini requires its designed technique. *)
+
+open Fortran
+module R = Restructurer
+module W = Workloads
+
+let cedar = Machine.Config.cedar_config1
+
+let run_prog prog = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.output
+
+let check opts_name opts (w : W.Workload.t) =
+  let src = w.W.Workload.source w.W.Workload.small_size in
+  let prog =
+    try Parser.parse_program src
+    with Parser.Error (m, l) ->
+      Alcotest.failf "%s: parse error line %d: %s" w.W.Workload.name l m
+  in
+  let orig = run_prog prog in
+  let res = R.Driver.restructure opts prog in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  let reparsed =
+    try Parser.parse_program printed
+    with Parser.Error (m, l) ->
+      Alcotest.failf "%s [%s]: unparsable at %d: %s\n%s" w.W.Workload.name
+        opts_name l m printed
+  in
+  let xf =
+    try run_prog reparsed
+    with e ->
+      Alcotest.failf "%s [%s]: run failed: %s\n%s" w.W.Workload.name opts_name
+        (Printexc.to_string e) printed
+  in
+  if orig <> xf then
+    Alcotest.failf "%s [%s]: output changed\noriginal:     %srestructured: %s\n%s"
+      w.W.Workload.name opts_name orig xf printed;
+  res
+
+let semantics_case (w : W.Workload.t) =
+  Alcotest.test_case w.W.Workload.name `Quick (fun () ->
+      ignore (check "auto" (R.Options.auto_1991 cedar) w);
+      ignore (check "advanced" (R.Options.advanced cedar) w))
+
+let technique_case (w : W.Workload.t) =
+  Alcotest.test_case (w.W.Workload.name ^ " techniques") `Quick (fun () ->
+      let res = check "advanced" (R.Options.advanced cedar) w in
+      List.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s uses %s" w.W.Workload.name t)
+            true
+            (List.exists
+               (fun r -> List.mem t r.R.Driver.r_techniques)
+               res.R.Driver.reports))
+        w.W.Workload.techniques_expected)
+
+let qcd_variants_agree () =
+  (* modes 0 and 1 must compute the same result *)
+  let out mode =
+    run_prog (Parser.parse_program (W.Perfect.qcd_variant ~rng_mode:mode 32))
+  in
+  Alcotest.(check string) "serialized vs distributed rng" (out 0) (out 1)
+
+let tests =
+  List.map semantics_case W.Perfect.all
+  @ List.filter_map
+      (fun (w : W.Workload.t) ->
+        if w.W.Workload.techniques_expected = [] then None
+        else Some (technique_case w))
+      W.Perfect.all
+  @ [ Alcotest.test_case "qcd variants agree" `Quick qcd_variants_agree ]

@@ -1,0 +1,477 @@
+(* Restructurer integration tests: decisions per technique set, and
+   semantics preservation (original vs restructured outputs must match
+   under the DES interpreter). *)
+
+open Fortran
+module R = Restructurer
+module Mach = Machine
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let cedar = Mach.Config.cedar_config1
+let auto = R.Options.auto_1991 cedar
+let adv = R.Options.advanced cedar
+
+let restructure opts src = R.Driver.restructure opts (Parser.parse_program src)
+
+let run_src ?(input = []) src =
+  (Interp.Exec.run ~input ~cfg:cedar (Parser.parse_program src)).Interp.Exec.output
+
+let run_prog ?(input = []) prog =
+  (Interp.Exec.run ~input ~cfg:cedar prog).Interp.Exec.output
+
+(** The central property: restructuring must preserve program output. *)
+let check_semantics ?(opts = adv) name src =
+  let res = restructure opts src in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  let reparsed =
+    try Parser.parse_program printed
+    with Parser.Error (m, l) ->
+      Alcotest.failf "%s: restructured source unparsable at %d: %s\n%s" name l m
+        printed
+  in
+  let orig = run_src src in
+  let xformed =
+    try run_prog reparsed
+    with e ->
+      Alcotest.failf "%s: restructured program failed: %s\n%s" name
+        (Printexc.to_string e) printed
+  in
+  if orig <> xformed then
+    Alcotest.failf "%s: output changed\noriginal : %srestructured: %s\n%s" name
+      orig xformed printed;
+  res
+
+let decision_of res index =
+  match
+    List.find_opt
+      (fun r -> r.R.Driver.r_index = index)
+      res.R.Driver.reports
+  with
+  | Some r -> r.R.Driver.r_decision
+  | None -> "no report"
+
+let has_parallel_loop prog =
+  List.exists
+    (fun u ->
+      Ast_utils.exists_stmt
+        (function
+          | Ast.Do (h, _) -> Ast.is_parallel h.Ast.cls
+          | _ -> false)
+        u.Ast.u_body)
+    prog
+
+(* ---------- the paper's running example (§3.2) ---------- *)
+
+let paper_example =
+  {|
+      program p
+      real a(200), b(200)
+      do i = 1, 200
+        b(i) = i*0.5
+      enddo
+      do i = 1, 200
+        t = b(i)
+        a(i) = sqrt(t)
+      enddo
+      s = 0.0
+      do i = 1, 200
+        s = s + a(i)
+      enddo
+      print *, s
+      end
+|}
+
+let test_paper_example () =
+  let res = check_semantics "paper example" ~opts:auto paper_example in
+  (* the privatization loop must become an XDOALL with expanded t *)
+  let printed = Printer.program_to_string res.R.Driver.program in
+  Alcotest.(check bool) "contains xdoall" true
+    (contains ~affix:"xdoall" (String.lowercase_ascii printed)
+     ||
+     (* fall back: any parallel loop *)
+     has_parallel_loop res.R.Driver.program)
+
+(* ---------- privatization ---------- *)
+
+let test_scalar_privatization_required () =
+  (* without scalar privatization the loop must stay serial *)
+  let src =
+    {|
+      program p
+      real a(100), b(100)
+      do i = 1, 100
+        b(i) = i*1.0
+      enddo
+      do i = 1, 100
+        t = b(i)*2.0
+        a(i) = t + 1.0
+      enddo
+      print *, a(100)
+      end
+|}
+  in
+  let no_priv =
+    R.Options.make
+      ~techniques:
+        { R.Options.base_techniques with R.Options.scalar_privatization = false }
+      cedar
+  in
+  let res = restructure no_priv src in
+  Alcotest.(check bool) "t blocks without privatization" true
+    (List.exists
+       (fun r ->
+         List.exists
+           (fun b -> contains ~affix:"scalar t" b)
+           r.R.Driver.r_blockers)
+       res.R.Driver.reports);
+  ignore (check_semantics "privatization" ~opts:auto src)
+
+(* ---------- array privatization (advanced only) ---------- *)
+
+let array_priv_src =
+  {|
+      program p
+      real a(20, 30), b(20, 30), w(30)
+      do i = 1, 20
+        do j = 1, 30
+          a(i, j) = i + j*0.5
+        enddo
+      enddo
+      do i = 1, 20
+        do j = 1, 30
+          w(j) = a(i, j)*2.0
+        enddo
+        do j = 1, 30
+          b(i, j) = w(j) + w(1)
+        enddo
+      enddo
+      print *, b(20, 30), b(1, 1)
+      end
+|}
+
+let test_array_privatization () =
+  let res_auto = restructure auto array_priv_src in
+  let res_adv = check_semantics "array privatization" array_priv_src in
+  (* auto blocks on w; advanced privatizes it *)
+  let blocked_auto =
+    List.exists
+      (fun r ->
+        List.exists
+          (fun b -> contains ~affix:"array w" b)
+          r.R.Driver.r_blockers)
+      res_auto.R.Driver.reports
+  in
+  Alcotest.(check bool) "auto blocks on w" true blocked_auto;
+  let priv_adv =
+    List.exists
+      (fun r ->
+        List.mem "array privatization" r.R.Driver.r_techniques
+        && r.R.Driver.r_decision = "parallelized")
+      res_adv.R.Driver.reports
+  in
+  Alcotest.(check bool) "advanced privatizes w" true priv_adv
+
+(* ---------- array reductions (MDG/BDNA pattern) ---------- *)
+
+let array_red_src =
+  {|
+      program p
+      real a(30), f(20, 30)
+      do i = 1, 20
+        do j = 1, 30
+          f(i, j) = i*0.1 + j
+        enddo
+      enddo
+      do j = 1, 30
+        a(j) = 0.0
+      enddo
+      do i = 1, 20
+        do j = 1, 30
+          a(j) = a(j) + f(i, j)
+          a(j) = a(j) + f(i, j)*0.5
+        enddo
+      enddo
+      s = 0.0
+      do j = 1, 30
+        s = s + a(j)
+      enddo
+      print *, s
+      end
+|}
+
+let test_array_reduction () =
+  let res_auto = restructure auto array_red_src in
+  let res_adv = check_semantics "array reduction" array_red_src in
+  let blocked_auto =
+    List.exists
+      (fun r ->
+        List.exists
+          (fun b -> contains ~affix:"array a" b)
+          r.R.Driver.r_blockers)
+      res_auto.R.Driver.reports
+  in
+  Alcotest.(check bool) "auto blocks multi-statement array reduction" true
+    blocked_auto;
+  Alcotest.(check bool) "advanced recognizes array reduction" true
+    (List.exists
+       (fun r -> List.mem "array reduction" r.R.Driver.r_techniques)
+       res_adv.R.Driver.reports)
+
+(* ---------- generalized induction variables (TRFD pattern) ---------- *)
+
+let giv_src =
+  {|
+      program p
+      real a(210)
+      kk = 0
+      do i = 1, 20
+        do j = 1, i
+          kk = kk + 1
+          a(kk) = i*100.0 + j
+        enddo
+      enddo
+      print *, a(1), a(210), kk
+      end
+|}
+
+let test_giv_triangular () =
+  let res_auto = restructure auto giv_src in
+  let res_adv = check_semantics "triangular giv" giv_src in
+  let auto_blocked =
+    List.exists
+      (fun r -> r.R.Driver.r_blockers <> [])
+      res_auto.R.Driver.reports
+  in
+  Alcotest.(check bool) "auto blocks triangular giv" true auto_blocked;
+  Alcotest.(check bool) "advanced uses giv" true
+    (List.exists
+       (fun r ->
+         List.mem "generalized induction variable" r.R.Driver.r_techniques)
+       res_adv.R.Driver.reports)
+
+(* ---------- run-time dependence test (OCEAN pattern) ---------- *)
+
+let rt_src =
+  {|
+      program p
+      real a(4000)
+      integer n, m, ld
+      n = 20
+      m = 30
+      ld = 40
+      do k = 1, 4000
+        a(k) = 0.0
+      enddo
+      do i = 1, n
+        do j = 1, m
+          a(j + (i - 1)*ld) = a(j + (i - 1)*ld)*0.99 + i + j*0.5
+        enddo
+      enddo
+      s = 0.0
+      do k = 1, 4000
+        s = s + a(k)
+      enddo
+      print *, s
+      end
+|}
+
+let test_runtime_test () =
+  let res_adv = check_semantics "runtime dep test" rt_src in
+  Alcotest.(check bool) "advanced inserts run-time test" true
+    (List.exists
+       (fun r ->
+         contains ~affix:"two-version" r.R.Driver.r_decision)
+       res_adv.R.Driver.reports);
+  (* the generated program must contain an IF over the condition *)
+  let printed = Printer.program_to_string res_adv.R.Driver.program in
+  Alcotest.(check bool) "emits guard" true
+    (contains ~affix:".ge." printed)
+
+(* ---------- doacross ---------- *)
+
+let doacross_src =
+  {|
+      program p
+      real a(60), b(60), c(60), d(60), e(60), f(60), g(60), h(60)
+      do i = 1, 60
+        a(i) = i*0.5
+        d(i) = 1.0
+        e(i) = 2.0
+        f(i) = 0.5
+        h(i) = 2.0
+      enddo
+      b(1) = 1.0
+      do i = 2, 60
+        c(i) = d(i) + e(i)
+        g(i) = f(i)*h(i)
+        b(i) = a(i) + b(i - 1)
+      enddo
+      print *, b(60), c(30), g(30)
+      end
+|}
+
+let test_doacross () =
+  let res = check_semantics "doacross" ~opts:auto doacross_src in
+  Alcotest.(check bool) "doacross chosen" true
+    (List.exists
+       (fun r -> r.R.Driver.r_decision = "doacross")
+       res.R.Driver.reports);
+  let printed = Printer.program_to_string res.R.Driver.program in
+  Alcotest.(check bool) "await emitted" true
+    (contains ~affix:"await" printed)
+
+(* ---------- recurrence library substitution ---------- *)
+
+let recurrence_src =
+  {|
+      program p
+      real x(100), b(100), c(100)
+      do i = 1, 100
+        b(i) = 0.99
+        c(i) = 0.01
+      enddo
+      x(1) = 1.0
+      do i = 2, 100
+        x(i) = x(i - 1)*b(i) + c(i)
+      enddo
+      print *, x(100)
+      end
+|}
+
+let test_recurrence_substitution () =
+  let res = check_semantics "recurrence library" ~opts:auto recurrence_src in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  Alcotest.(check bool) "library call emitted" true
+    (contains ~affix:"cedar_slr1" printed)
+
+(* ---------- dotproduct substitution ---------- *)
+
+let dotp_src =
+  {|
+      program p
+      real x(500), y(500)
+      do i = 1, 500
+        x(i) = 0.5
+        y(i) = 2.0
+      enddo
+      d = 0.0
+      do i = 1, 500
+        d = d + x(i)*y(i)
+      enddo
+      print *, d
+      end
+|}
+
+let test_dotp_substitution () =
+  let res = check_semantics "dotp library" ~opts:auto dotp_src in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  Alcotest.(check bool) "cedar_dotp emitted" true
+    (contains ~affix:"cedar_dotp" printed)
+
+(* ---------- fusion (FLO52 pattern) ---------- *)
+
+let fusion_src =
+  {|
+      program p
+      real a(100), b(100), c(100)
+      do i = 1, 100
+        c(i) = i*1.0
+      enddo
+      do i = 1, 100
+        a(i) = c(i)*2.0
+      enddo
+      scale = 3.0
+      do i = 1, 100
+        b(i) = a(i) + scale
+      enddo
+      print *, b(100)
+      end
+|}
+
+let test_fusion () =
+  let res = check_semantics "fusion" fusion_src in
+  (* count parallel loops in output: fusion should have merged bodies *)
+  let count_loops prog =
+    List.fold_left
+      (fun acc u ->
+        Ast_utils.fold_stmts
+          (fun acc s -> match s with Ast.Do _ -> acc + 1 | _ -> acc)
+          acc u.Ast.u_body)
+      0 prog
+  in
+  let res_nofuse = restructure auto fusion_src in
+  Alcotest.(check bool) "fusion reduces loop count" true
+    (count_loops res.R.Driver.program
+     < count_loops res_nofuse.R.Driver.program)
+
+(* ---------- nested loops become SDOALL/CDOALL ---------- *)
+
+let nest_src =
+  {|
+      program p
+      real c(200, 200), d(200, 200)
+      do i = 1, 200
+        do j = 1, 200
+          d(i, j) = i + j*0.1
+        enddo
+      enddo
+      do i = 1, 200
+        do j = 1, 200
+          c(i, j) = d(i, j)*2.0
+        enddo
+      enddo
+      print *, c(200, 200)
+      end
+|}
+
+let test_nest_modes () =
+  let res = check_semantics "nest modes" ~opts:auto nest_src in
+  let printed = String.lowercase_ascii (Printer.program_to_string res.R.Driver.program) in
+  Alcotest.(check bool) "spread loop used" true
+    (contains ~affix:"sdoall" printed
+    || contains ~affix:"xdoall" printed)
+
+(* ---------- semantics preservation corpus ---------- *)
+
+let corpus =
+  [
+    ("paper example", paper_example);
+    ("array priv", array_priv_src);
+    ("array red", array_red_src);
+    ("giv", giv_src);
+    ("runtime", rt_src);
+    ("doacross", doacross_src);
+    ("recurrence", recurrence_src);
+    ("dotp", dotp_src);
+    ("fusion", fusion_src);
+    ("nest", nest_src);
+  ]
+
+let test_corpus_auto () =
+  List.iter (fun (n, src) -> ignore (check_semantics (n ^ " [auto]") ~opts:auto src)) corpus
+
+let test_corpus_advanced () =
+  List.iter (fun (n, src) -> ignore (check_semantics (n ^ " [adv]") src)) corpus
+
+let tests =
+  [
+    Alcotest.test_case "paper example" `Quick test_paper_example;
+    Alcotest.test_case "scalar privatization gate" `Quick
+      test_scalar_privatization_required;
+    Alcotest.test_case "array privatization" `Quick test_array_privatization;
+    Alcotest.test_case "array reduction" `Quick test_array_reduction;
+    Alcotest.test_case "giv triangular" `Quick test_giv_triangular;
+    Alcotest.test_case "runtime test" `Quick test_runtime_test;
+    Alcotest.test_case "doacross" `Quick test_doacross;
+    Alcotest.test_case "recurrence substitution" `Quick
+      test_recurrence_substitution;
+    Alcotest.test_case "dotp substitution" `Quick test_dotp_substitution;
+    Alcotest.test_case "fusion" `Quick test_fusion;
+    Alcotest.test_case "nest modes" `Quick test_nest_modes;
+    Alcotest.test_case "corpus semantics [auto]" `Quick test_corpus_auto;
+    Alcotest.test_case "corpus semantics [advanced]" `Quick test_corpus_advanced;
+  ]

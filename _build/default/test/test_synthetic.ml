@@ -1,0 +1,88 @@
+(* The synthetic kernel suite: each kernel must (1) preserve output under
+   both technique sets and (2) reach its expected decision class. *)
+
+open Fortran
+module R = Restructurer
+module W = Workloads
+module S = Workloads.Synthetic
+
+let cedar = Machine.Config.cedar_config1
+
+let run_prog prog = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.output
+
+(* judge the decision on the kernel's outermost loop(s) only *)
+let classify (res : R.Driver.result) : S.expectation =
+  let tops =
+    List.filter (fun r -> r.R.Driver.r_depth = 0) res.R.Driver.reports
+  in
+  let has pred = List.exists pred tops in
+  if
+    has (fun r ->
+        r.R.Driver.r_decision = "library substitution"
+        || r.R.Driver.r_decision = "vector reduction intrinsic")
+  then S.Library
+  else if has (fun r -> r.R.Driver.r_decision = "doacross") then S.Doacross
+  else if
+    has (fun r ->
+        let d = r.R.Driver.r_decision in
+        String.length d >= 11 && String.sub d 0 11 = "two-version")
+  then S.Two_version
+  else if has (fun r -> r.R.Driver.r_decision = "parallelized") then S.Parallel
+  else S.Serial
+
+let expectation_name = function
+  | S.Parallel -> "parallel"
+  | S.Serial -> "serial"
+  | S.Doacross -> "doacross"
+  | S.Library -> "library"
+  | S.Two_version -> "two-version"
+
+(* decision subsumption: a kernel expected Parallel may legitimately be
+   solved by a stronger means (library, two-version); Serial means no
+   parallelism of any kind may appear *)
+let satisfies ~expected actual =
+  match (expected, actual) with
+  | S.Serial, S.Serial -> true
+  | S.Serial, _ -> false
+  | S.Parallel, (S.Parallel | S.Library | S.Two_version) -> true
+  | S.Parallel, _ -> false
+  | S.Doacross, S.Doacross -> true
+  | S.Doacross, _ -> false
+  | S.Library, S.Library -> true
+  | S.Library, _ -> false
+  | S.Two_version, S.Two_version -> true
+  | S.Two_version, _ -> false
+
+let check_kernel (k : S.kernel) =
+  Alcotest.test_case k.S.k_name `Quick (fun () ->
+      let prog = Parser.parse_program (S.program_of k) in
+      let cls_prog = Parser.parse_program (S.classification_program_of k) in
+      let orig = run_prog prog in
+      List.iter
+        (fun (lbl, opts, expected) ->
+          let res = R.Driver.restructure opts prog in
+          let cls_res = R.Driver.restructure opts cls_prog in
+          (* semantics *)
+          let printed = Printer.program_to_string res.R.Driver.program in
+          let out =
+            try run_prog (Parser.parse_program printed)
+            with e ->
+              Alcotest.failf "%s [%s]: run failed: %s\n%s" k.S.k_name lbl
+                (Printexc.to_string e) printed
+          in
+          if orig <> out then
+            Alcotest.failf "%s [%s]: output changed (%s vs %s)\n%s" k.S.k_name
+              lbl orig out printed;
+          (* decision, judged on the kernel-only program *)
+          let actual = classify cls_res in
+          if not (satisfies ~expected actual) then
+            Alcotest.failf "%s [%s]: expected %s, got %s\n%s" k.S.k_name lbl
+              (expectation_name expected) (expectation_name actual)
+              (String.concat "\n"
+                 (List.map R.Driver.report_to_string cls_res.R.Driver.reports)))
+        [
+          ("auto", R.Options.auto_1991 cedar, k.S.k_auto);
+          ("advanced", R.Options.advanced cedar, k.S.k_advanced);
+        ])
+
+let tests = List.map check_kernel S.kernels

@@ -1,0 +1,132 @@
+(* Subroutine-level tasking (paper §2.2.2) and post/wait events, plus the
+   EQUIVALENCE conservatism of the restructurer. *)
+
+open Fortran
+module Mach = Machine
+
+let cfg = Mach.Config.cedar_config1
+
+let run src = Interp.Exec.run ~cfg (Parser.parse_program src)
+
+let test_tasking_basic () =
+  let r =
+    run
+      {|
+      program p
+      real a(10), b(10)
+      call ctskstart(filla, a, 10)
+      call mtskstart(fillb, b, 10)
+      call tskwait
+      print *, a(10), b(10)
+      end
+
+      subroutine filla(x, n)
+      real x(n)
+      do i = 1, n
+        x(i) = i*2.0
+      enddo
+      return
+      end
+
+      subroutine fillb(x, n)
+      real x(n)
+      do i = 1, n
+        x(i) = i*3.0
+      enddo
+      return
+      end
+|}
+  in
+  Alcotest.(check string) "both tasks completed" "20 30 \n" r.Interp.Exec.output
+
+let test_ctsk_costlier_than_mtsk () =
+  let prog kind =
+    Printf.sprintf
+      {|
+      program p
+      real a(10)
+      call %s(filla, a, 10)
+      call tskwait
+      print *, a(5)
+      end
+
+      subroutine filla(x, n)
+      real x(n)
+      do i = 1, n
+        x(i) = i*2.0
+      enddo
+      return
+      end
+|}
+      kind
+  in
+  let c = run (prog "ctskstart") and m = run (prog "mtskstart") in
+  Alcotest.(check string) "same result" c.Interp.Exec.output m.Interp.Exec.output;
+  Alcotest.(check bool) "ctskstart pays the OS task-build cost" true
+    (c.Interp.Exec.cycles > m.Interp.Exec.cycles +. 100000.0)
+
+let test_post_wait () =
+  (* producer task posts; the main program waits *)
+  let r =
+    run
+      {|
+      program p
+      common /shared/ v
+      call mtskstart(produce)
+      call wait(7)
+      print *, v
+      call tskwait
+      end
+
+      subroutine produce
+      common /shared/ v
+      v = 42.0
+      call post(7)
+      return
+      end
+|}
+  in
+  Alcotest.(check string) "consumer saw the posted value" "42 \n"
+    r.Interp.Exec.output
+
+let test_equivalence_blocks () =
+  let src =
+    {|
+      program p
+      real x(50), y(50)
+      equivalence (x(1), y(1))
+      do i = 1, 50
+        x(i) = i*1.0
+      enddo
+      print *, x(7)
+      end
+|}
+  in
+  let res =
+    Restructurer.Driver.restructure
+      (Restructurer.Options.advanced cfg)
+      (Parser.parse_program src)
+  in
+  Alcotest.(check bool) "equivalenced write stays serial" true
+    (List.exists
+       (fun r ->
+         List.exists
+           (fun b ->
+             let n = String.length "EQUIVALENCEd" in
+             String.length b >= n
+             &&
+             let rec has i =
+               i + n <= String.length b
+               && (String.sub b i n = "EQUIVALENCEd" || has (i + 1))
+             in
+             has 0)
+           r.Restructurer.Driver.r_blockers)
+       res.Restructurer.Driver.reports)
+
+let tests =
+  [
+    Alcotest.test_case "ctsk/mtsk tasks" `Quick test_tasking_basic;
+    Alcotest.test_case "ctsk cost" `Quick test_ctsk_costlier_than_mtsk;
+    Alcotest.test_case "post/wait" `Quick test_post_wait;
+    Alcotest.test_case "equivalence blocks" `Quick test_equivalence_blocks;
+  ]

@@ -1,0 +1,74 @@
+(* Workload tests: every benchmark program parses, runs, and keeps its
+   output unchanged under both restructurer technique sets. *)
+
+open Fortran
+module R = Restructurer
+module W = Workloads
+
+let cedar = Machine.Config.cedar_config1
+
+let run_prog prog = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.output
+
+let check_workload opts_name opts (w : W.Workload.t) =
+  let src = w.W.Workload.source w.W.Workload.small_size in
+  let prog =
+    try Parser.parse_program src
+    with Parser.Error (m, l) ->
+      Alcotest.failf "%s: parse error line %d: %s" w.W.Workload.name l m
+  in
+  let orig =
+    try run_prog prog
+    with e ->
+      Alcotest.failf "%s: original run failed: %s" w.W.Workload.name
+        (Printexc.to_string e)
+  in
+  let res = R.Driver.restructure opts prog in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  let reparsed =
+    try Parser.parse_program printed
+    with Parser.Error (m, l) ->
+      Alcotest.failf "%s [%s]: restructured unparsable at line %d: %s\n%s"
+        w.W.Workload.name opts_name l m printed
+  in
+  let xf =
+    try run_prog reparsed
+    with e ->
+      Alcotest.failf "%s [%s]: restructured run failed: %s\n%s"
+        w.W.Workload.name opts_name (Printexc.to_string e) printed
+  in
+  if orig <> xf then
+    Alcotest.failf "%s [%s]: output changed\noriginal:     %srestructured: %s\n%s"
+      w.W.Workload.name opts_name orig xf printed;
+  res
+
+let semantics_case (w : W.Workload.t) =
+  Alcotest.test_case w.W.Workload.name `Quick (fun () ->
+      ignore (check_workload "auto" (R.Options.auto_1991 cedar) w);
+      ignore (check_workload "advanced" (R.Options.advanced cedar) w))
+
+let test_parallelism_found (w : W.Workload.t) min_parallel_reports =
+  Alcotest.test_case (w.W.Workload.name ^ " parallelism") `Quick (fun () ->
+      let res = check_workload "auto" (R.Options.auto_1991 cedar) w in
+      let par =
+        List.filter
+          (fun r ->
+            r.R.Driver.r_decision = "parallelized"
+            || r.R.Driver.r_decision = "library substitution"
+            || r.R.Driver.r_decision = "vector reduction intrinsic")
+          res.R.Driver.reports
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d parallel loops >= %d" w.W.Workload.name
+           (List.length par) min_parallel_reports)
+        true
+        (List.length par >= min_parallel_reports))
+
+let tests =
+  List.map semantics_case W.Linalg.all
+  @ [
+      test_parallelism_found (W.Linalg.find "CG") 4;
+      test_parallelism_found (W.Linalg.find "sparse") 4;
+      test_parallelism_found (W.Linalg.find "ludcmp") 2;
+      test_parallelism_found (W.Linalg.find "gaussj") 1;
+      test_parallelism_found (W.Linalg.find "svbksb") 2;
+    ]

@@ -1,0 +1,144 @@
+(* cedard — the Cedar restructuring service, driven by its built-in
+   closed-loop traffic generator.
+
+   Starts a Server with --workers domains, replays --requests jobs drawn
+   from the workloads corpus by a seeded RNG (--seed, --clients
+   outstanding at a time), then replays request #0 once more to
+   demonstrate the content-addressed cache short-circuit, and prints the
+   Service.Stats summary on shutdown.  Exit status 1 if any job failed,
+   timed out, or was cancelled. *)
+
+open Cmdliner
+
+let run workers cache_size timeout_ms requests clients seed jitter batch
+    oversubscribe verbose =
+  let server =
+    Service.Server.create ~workers ~cache_capacity:cache_size ~timeout_ms
+      ~oversubscribe ()
+  in
+  let cfg =
+    {
+      Service.Traffic.requests;
+      clients = max 1 clients;
+      seed;
+      size_jitter = max 0 jitter;
+      batch = max 1 batch;
+    }
+  in
+  Printf.printf
+    "cedard: %d workers, cache %d, timeout %s, %d requests (%d clients, seed %d, batch %d)\n%!"
+    workers cache_size
+    (if timeout_ms > 0.0 then Printf.sprintf "%.0f ms" timeout_ms else "none")
+    requests cfg.Service.Traffic.clients seed cfg.Service.Traffic.batch;
+  let effective = Service.Server.effective_workers server in
+  if effective <> workers then
+    Printf.printf
+      "note: pool capped at %d worker(s) — host has %d available core(s); \
+       pass --oversubscribe to force %d domains\n%!"
+      effective
+      (Domain.recommended_domain_count ())
+      workers;
+  let summary = Service.Traffic.run server cfg in
+  print_endline (Service.Traffic.summary_to_string summary);
+  (* replay the first request verbatim: it must come back from the cache
+     without re-running the restructurer *)
+  let replay_ok =
+    if requests > 0 && cache_size > 0 then begin
+      let req =
+        Service.Traffic.nth_request ~seed
+          ~size_jitter:cfg.Service.Traffic.size_jitter
+          ~batch:cfg.Service.Traffic.batch 0
+      in
+      match Service.Server.run server req with
+      | Service.Server.Done { cached = true; payload } ->
+          if verbose then
+            Printf.printf "replay %s: served from cache (%d loop reports%s)\n"
+              req.Service.Server.req_name
+              (List.length payload.Service.Server.p_reports)
+              (match payload.Service.Server.p_cycles with
+              | Some c -> Printf.sprintf ", %.3g estimated cycles" c
+              | None -> "");
+          true
+      | Service.Server.Done { cached = false; _ } ->
+          (* only wrong if the entry should still be resident *)
+          Printf.printf "replay: re-ran the restructurer (entry evicted?)\n";
+          requests > cache_size
+      | _ ->
+          print_endline "replay: request did not complete";
+          false
+    end
+    else true
+  in
+  let stats = Service.Server.shutdown server in
+  print_endline "--- service stats ---";
+  print_endline (Service.Stats.to_string stats);
+  let clean =
+    summary.Service.Traffic.s_failed = 0
+    && summary.Service.Traffic.s_timeout = 0
+    && summary.Service.Traffic.s_cancelled = 0
+    && replay_ok
+  in
+  if clean then 0 else 1
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "w"; "workers" ] ~docv:"N" ~doc:"worker domains in the pool")
+
+let cache_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"result-cache capacity in entries (0 disables caching)")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:"per-job wall-clock deadline in milliseconds (0 = none)")
+
+let requests_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "n"; "requests" ] ~docv:"N" ~doc:"jobs the traffic generator issues")
+
+let clients_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "c"; "clients" ] ~docv:"N"
+        ~doc:"closed-loop clients (outstanding jobs kept in flight)")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"traffic RNG seed")
+
+let jitter_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "size-jitter" ] ~docv:"J"
+        ~doc:"problem-size spread per workload (0 maximizes cache hits)")
+
+let batch_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "batch" ] ~docv:"K"
+        ~doc:"corpus sources concatenated per request (compile-job size)")
+
+let oversubscribe_arg =
+  Arg.(
+    value & flag
+    & info [ "oversubscribe" ]
+        ~doc:"spawn more worker domains than the host has cores")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print extra detail")
+
+let cmd =
+  let doc = "serve fortran77-to-Cedar restructuring jobs on a domain pool" in
+  Cmd.v
+    (Cmd.info "cedard" ~doc)
+    Term.(
+      const run $ workers_arg $ cache_arg $ timeout_arg $ requests_arg
+      $ clients_arg $ seed_arg $ jitter_arg $ batch_arg $ oversubscribe_arg
+      $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

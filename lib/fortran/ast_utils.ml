@@ -306,13 +306,19 @@ let rec index_coeff index (e : Ast.expr) : int option =
 (* Fresh names                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let fresh_counter = ref 0
+(* Domain-local so concurrent restructuring jobs (one per worker domain)
+   never race on the counter: each domain numbers its own temporaries, and
+   [reset_fresh] at every program-unit boundary keeps the generated names
+   a function of the unit alone — identical whichever domain runs it. *)
+let fresh_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_name prefix =
-  incr fresh_counter;
-  Printf.sprintf "%s%d" prefix !fresh_counter
+  let c = Domain.DLS.get fresh_counter in
+  incr c;
+  Printf.sprintf "%s%d" prefix !c
 
-let reset_fresh () = fresh_counter := 0
+let reset_fresh () = Domain.DLS.get fresh_counter := 0
 
 (* ------------------------------------------------------------------ *)
 (* Simple constant folding / simplification                            *)

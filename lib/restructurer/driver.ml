@@ -57,11 +57,14 @@ type loop_analysis = {
   a_techniques : string list;
 }
 
+exception Interrupted
+
 type ctx = {
   opts : Options.t;
   syms : Symbols.t;
   interproc : Interproc.t;
   unit_name : string;
+  interrupt : unit -> bool;  (** polled per loop nest; true aborts the job *)
   mutable reports : loop_report list;
 }
 
@@ -526,6 +529,7 @@ let inner_doallable ctx ~live_after ~facts (body : Ast.stmt list) : bool =
 let rec transform_loop (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
     ~(facts : (string * string) list) ~depth (h : Ast.do_header)
     (blk : Ast.block) : Ast.stmt list =
+  if ctx.interrupt () then raise Interrupted;
   let opts = ctx.opts in
   let tech = opts.Options.techniques in
   let body = blk.Ast.body in
@@ -1020,9 +1024,10 @@ and fuse_pass stmts =
 (* Unit / program entry points                                         *)
 (* ------------------------------------------------------------------ *)
 
-let restructure_unit (opts : Options.t) (interproc : Interproc.t)
-    (prog : Ast.program) (u : Ast.punit) :
+let restructure_unit ~(interrupt : unit -> bool) (opts : Options.t)
+    (interproc : Interproc.t) (prog : Ast.program) (u : Ast.punit) :
     Ast.punit * loop_report list * Transform.Inline.failure list =
+  if interrupt () then raise Interrupted;
   Ast_utils.reset_fresh ();
   let u, inline_failures =
     if opts.Options.techniques.Options.inline_expansion then
@@ -1035,6 +1040,7 @@ let restructure_unit (opts : Options.t) (interproc : Interproc.t)
       syms = Symbols.of_unit u;
       interproc;
       unit_name = u.Ast.u_name;
+      interrupt;
       reports = [];
     }
   in
@@ -1048,14 +1054,15 @@ let restructure_unit (opts : Options.t) (interproc : Interproc.t)
   (u, List.rev ctx.reports, inline_failures)
 
 (** Restructure a whole program. *)
-let restructure (opts : Options.t) (prog : Ast.program) : result =
+let restructure ?(interrupt = fun () -> false) (opts : Options.t)
+    (prog : Ast.program) : result =
   let interproc = Interproc.analyze prog in
   let units, reports, fails =
     List.fold_left
       (fun (us, rs, fs) u ->
         match u.Ast.u_kind with
         | Ast.Program | Ast.Subroutine _ | Ast.Function _ ->
-            let u', r, f = restructure_unit opts interproc prog u in
+            let u', r, f = restructure_unit ~interrupt opts interproc prog u in
             (u' :: us, rs @ r, fs @ f))
       ([], [], []) prog
   in

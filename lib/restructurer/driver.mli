@@ -23,7 +23,15 @@ type result = {
   inline_failures : Transform.Inline.failure list;
 }
 
-val restructure : Options.t -> Fortran.Ast.program -> result
-(** Restructure a whole program under the given technique set/machine. *)
+exception Interrupted
+(** Raised out of {!restructure} when the [interrupt] poll answers [true]
+    — the caller (e.g. a service worker enforcing a deadline) abandons
+    the job without wedging. *)
+
+val restructure :
+  ?interrupt:(unit -> bool) -> Options.t -> Fortran.Ast.program -> result
+(** Restructure a whole program under the given technique set/machine.
+    [interrupt] is polled at every program unit and loop nest; returning
+    [true] aborts with {!Interrupted}.  Default: never. *)
 
 val report_to_string : loop_report -> string

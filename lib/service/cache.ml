@@ -1,0 +1,93 @@
+(* LRU via lazy deletion: every access stamps the entry with a fresh tick
+   and appends (key, tick) to a recency queue.  Eviction pops the queue
+   until it finds a pair whose tick still matches the entry's — stale
+   pairs (the entry was touched again later, or already evicted) are
+   discarded.  Amortized O(1); the queue never exceeds one pair per
+   table operation. *)
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  table : (string, 'a entry) Hashtbl.t;
+  recency : (string * int) Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: capacity < 0";
+  {
+    table = Hashtbl.create (max 16 capacity);
+    recency = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let digest content = Digest.to_hex (Digest.string content)
+
+let with_lock c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let touch c key e =
+  c.tick <- c.tick + 1;
+  e.stamp <- c.tick;
+  Queue.push (key, c.tick) c.recency
+
+let find c key =
+  with_lock c (fun () ->
+      match Hashtbl.find_opt c.table key with
+      | Some e ->
+          c.hits <- c.hits + 1;
+          touch c key e;
+          Some e.value
+      | None ->
+          c.misses <- c.misses + 1;
+          None)
+
+let evict_lru c =
+  let rec go () =
+    match Queue.take_opt c.recency with
+    | None -> ()
+    | Some (key, stamp) -> (
+        match Hashtbl.find_opt c.table key with
+        | Some e when e.stamp = stamp ->
+            Hashtbl.remove c.table key;
+            c.evictions <- c.evictions + 1
+        | _ -> go () (* stale pair: entry touched since, or gone *))
+  in
+  go ()
+
+let add c key value =
+  if c.capacity > 0 then
+    with_lock c (fun () ->
+        (match Hashtbl.find_opt c.table key with
+        | Some _ -> Hashtbl.remove c.table key
+        | None ->
+            if Hashtbl.length c.table >= c.capacity then evict_lru c);
+        let e = { value; stamp = 0 } in
+        touch c key e;
+        Hashtbl.add c.table key e)
+
+let stats c =
+  with_lock c (fun () ->
+      {
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+        entries = Hashtbl.length c.table;
+      })
+
+let hit_rate (s : stats) =
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups

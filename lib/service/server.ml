@@ -1,0 +1,216 @@
+(* Worker-pool restructuring server.  See server.mli for the contract.
+
+   Concurrency structure: submitters and workers meet at a
+   Bounded_queue of tickets; each ticket carries its own mutex/condition
+   pair for the await rendezvous; service-wide counters live behind one
+   stats mutex.  Workers poll their job's deadline between loop nests
+   (via Driver.restructure's [interrupt] hook), so a runaway job is
+   abandoned at the next nest boundary rather than wedging its domain. *)
+
+type request = {
+  req_name : string;
+  req_source : string;
+  req_options : Restructurer.Options.t;
+}
+
+type payload = {
+  p_name : string;
+  p_text : string;
+  p_reports : Restructurer.Driver.loop_report list;
+  p_cycles : float option;
+  p_global_words : float option;
+}
+
+type outcome =
+  | Done of { payload : payload; cached : bool }
+  | Failed of string
+  | Timeout
+  | Cancelled
+
+type ticket = {
+  tk_request : request;
+  tk_submitted : float;
+  tk_deadline : float;
+  tk_mutex : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_outcome : outcome option;
+}
+
+type t = {
+  queue : ticket Bounded_queue.t;
+  cache : payload Cache.t;
+  timeout_s : float;  (** infinity = no deadline *)
+  started_at : float;
+  stat_mutex : Mutex.t;
+  mutable workers : unit Domain.t list;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable timed_out : int;
+  mutable cancelled : int;
+  mutable latencies_ms : float list;
+}
+
+(* Options.t is closure-free (records, variants, scalars), so Marshal
+   gives a canonical byte string for the digest.  Two equal requests
+   always produce the same key; distinct machine configs or technique
+   sets never collide with each other's results. *)
+let cache_key (r : request) =
+  Cache.digest (Marshal.to_string (r.req_source, r.req_options) [])
+
+let now () = Unix.gettimeofday ()
+
+let resolve t ticket outcome =
+  let latency_ms = (now () -. ticket.tk_submitted) *. 1000.0 in
+  Mutex.lock t.stat_mutex;
+  (match outcome with
+  | Done _ -> t.completed <- t.completed + 1
+  | Failed _ -> t.failed <- t.failed + 1
+  | Timeout -> t.timed_out <- t.timed_out + 1
+  | Cancelled -> t.cancelled <- t.cancelled + 1);
+  t.latencies_ms <- latency_ms :: t.latencies_ms;
+  Mutex.unlock t.stat_mutex;
+  Mutex.lock ticket.tk_mutex;
+  ticket.tk_outcome <- Some outcome;
+  Condition.broadcast ticket.tk_cond;
+  Mutex.unlock ticket.tk_mutex
+
+let execute t ticket =
+  let r = ticket.tk_request in
+  let over_deadline () = now () > ticket.tk_deadline in
+  try
+    let prog = Fortran.Parser.parse_program r.req_source in
+    let result =
+      Restructurer.Driver.restructure ~interrupt:over_deadline r.req_options
+        prog
+    in
+    if over_deadline () then Timeout
+    else
+      let text =
+        Fortran.Printer.program_to_string result.Restructurer.Driver.program
+      in
+      let cycles, words =
+        match
+          Perfmodel.Model.evaluate
+            ~cfg:r.req_options.Restructurer.Options.machine
+            result.Restructurer.Driver.program
+        with
+        | run ->
+            ( Some run.Perfmodel.Model.cycles,
+              Some run.Perfmodel.Model.global_words )
+        | exception _ -> (None, None)
+      in
+      let payload =
+        {
+          p_name = r.req_name;
+          p_text = text;
+          p_reports = result.Restructurer.Driver.reports;
+          p_cycles = cycles;
+          p_global_words = words;
+        }
+      in
+      Cache.add t.cache (cache_key r) payload;
+      Done { payload; cached = false }
+  with
+  | Restructurer.Driver.Interrupted -> Timeout
+  | Fortran.Parser.Error (msg, line) ->
+      Failed (Printf.sprintf "parse error, line %d: %s" line msg)
+  | e -> Failed (Printexc.to_string e)
+
+let process t ticket =
+  let outcome =
+    if now () > ticket.tk_deadline then Cancelled
+    else
+      match Cache.find t.cache (cache_key ticket.tk_request) with
+      | Some payload -> Done { payload; cached = true }
+      | None -> execute t ticket
+  in
+  resolve t ticket outcome
+
+let rec worker_loop t =
+  match Bounded_queue.pop t.queue with
+  | None -> ()
+  | Some ticket ->
+      process t ticket;
+      worker_loop t
+
+let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
+    ~workers ~cache_capacity () =
+  let workers =
+    if oversubscribe then max 1 workers
+    else max 1 (min workers (Domain.recommended_domain_count ()))
+  in
+  let t =
+    {
+      queue = Bounded_queue.create ~capacity:queue_capacity;
+      cache = Cache.create ~capacity:cache_capacity;
+      timeout_s =
+        (if timeout_ms > 0.0 then timeout_ms /. 1000.0 else infinity);
+      started_at = now ();
+      stat_mutex = Mutex.create ();
+      workers = [];
+      submitted = 0;
+      completed = 0;
+      failed = 0;
+      timed_out = 0;
+      cancelled = 0;
+      latencies_ms = [];
+    }
+  in
+  t.workers <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let effective_workers t = List.length t.workers
+
+let submit t request =
+  let submitted = now () in
+  let ticket =
+    {
+      tk_request = request;
+      tk_submitted = submitted;
+      tk_deadline = submitted +. t.timeout_s;
+      tk_mutex = Mutex.create ();
+      tk_cond = Condition.create ();
+      tk_outcome = None;
+    }
+  in
+  Mutex.lock t.stat_mutex;
+  t.submitted <- t.submitted + 1;
+  Mutex.unlock t.stat_mutex;
+  if not (Bounded_queue.push t.queue ticket) then
+    resolve t ticket Cancelled;
+  ticket
+
+let await ticket =
+  Mutex.lock ticket.tk_mutex;
+  let rec wait () =
+    match ticket.tk_outcome with
+    | Some o -> o
+    | None ->
+        Condition.wait ticket.tk_cond ticket.tk_mutex;
+        wait ()
+  in
+  let o = wait () in
+  Mutex.unlock ticket.tk_mutex;
+  o
+
+let run t request = await (submit t request)
+
+let stats t =
+  Mutex.lock t.stat_mutex;
+  let s =
+    Stats.make ~submitted:t.submitted ~completed:t.completed ~failed:t.failed
+      ~timed_out:t.timed_out ~cancelled:t.cancelled
+      ~queue_high_water:(Bounded_queue.high_water t.queue)
+      ~cache:(Cache.stats t.cache) ~latencies_ms:t.latencies_ms
+      ~wall_s:(now () -. t.started_at)
+  in
+  Mutex.unlock t.stat_mutex;
+  s
+
+let shutdown t =
+  Bounded_queue.close t.queue;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  stats t

@@ -1,0 +1,75 @@
+(** The restructuring server: a pool of OCaml 5 [Domain] workers fed by a
+    bounded job queue.
+
+    A job carries fortran77 source plus a {!Restructurer.Options.t};
+    workers parse, restructure, print, and attach a {!Perfmodel} cycle
+    estimate.  Results land in a content-addressed LRU cache keyed by
+    (source, options, machine), so an identical request short-circuits
+    without re-running the restructurer.  Every job has a wall-clock
+    deadline: jobs that expire while queued come back [Cancelled] without
+    running; jobs that exceed it while running are abandoned at the next
+    loop-nest boundary and come back [Timeout] — one pathological program
+    cannot wedge a worker. *)
+
+type request = {
+  req_name : string;  (** label for reporting, e.g. the workload name *)
+  req_source : string;  (** fortran77 source text *)
+  req_options : Restructurer.Options.t;
+}
+
+type payload = {
+  p_name : string;
+  p_text : string;  (** printed Cedar Fortran *)
+  p_reports : Restructurer.Driver.loop_report list;
+  p_cycles : float option;  (** perfmodel estimate; [None] if the model
+                                does not apply (e.g. no PROGRAM unit) *)
+  p_global_words : float option;
+}
+
+type outcome =
+  | Done of { payload : payload; cached : bool }
+  | Failed of string  (** parse or restructure error *)
+  | Timeout  (** started, but exceeded the deadline *)
+  | Cancelled  (** expired in the queue (or queue closed): never ran *)
+
+type ticket
+(** Handle to one submitted job. *)
+
+type t
+
+val cache_key : request -> string
+(** The content address: digest of source + options + machine config. *)
+
+val create :
+  ?queue_capacity:int ->
+  ?timeout_ms:float ->
+  ?oversubscribe:bool ->
+  workers:int ->
+  cache_capacity:int ->
+  unit ->
+  t
+(** Start [workers] domains ([>= 1] enforced).  Unless [oversubscribe]
+    is set, the pool is capped at [Domain.recommended_domain_count] —
+    extra domains on an oversubscribed host only add stop-the-world GC
+    barrier cost.  [queue_capacity] bounds the backlog (default 64).
+    [timeout_ms <= 0] (the default) means no deadline. *)
+
+val effective_workers : t -> int
+(** Domains actually running (after the oversubscription cap). *)
+
+val submit : t -> request -> ticket
+(** Enqueue a job; blocks while the queue is full (closed-loop
+    backpressure).  On a closed server the ticket resolves [Cancelled]. *)
+
+val await : ticket -> outcome
+(** Block until the job resolves. *)
+
+val run : t -> request -> outcome
+(** [submit] then [await]: the synchronous client. *)
+
+val stats : t -> Stats.t
+(** Snapshot of the counters so far. *)
+
+val shutdown : t -> Stats.t
+(** Stop accepting jobs, drain the queue, join every worker domain, and
+    return the final statistics. *)

@@ -1,0 +1,62 @@
+type t = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  timed_out : int;
+  cancelled : int;
+  queue_high_water : int;
+  cache : Cache.stats;
+  cache_hit_rate : float;
+  p50_latency_ms : float;
+  p95_latency_ms : float;
+  max_latency_ms : float;
+  wall_s : float;
+  throughput : float;
+}
+
+(* nearest-rank: the ceil(p/100 * n)-th smallest value *)
+let percentile p xs =
+  match xs with
+  | [] -> 0.0
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n))
+      in
+      a.(max 0 (min (n - 1) (rank - 1)))
+
+let make ~submitted ~completed ~failed ~timed_out ~cancelled ~queue_high_water
+    ~cache ~latencies_ms ~wall_s =
+  {
+    submitted;
+    completed;
+    failed;
+    timed_out;
+    cancelled;
+    queue_high_water;
+    cache;
+    cache_hit_rate = Cache.hit_rate cache;
+    p50_latency_ms = percentile 50.0 latencies_ms;
+    p95_latency_ms = percentile 95.0 latencies_ms;
+    max_latency_ms =
+      List.fold_left max 0.0 latencies_ms;
+    wall_s;
+    throughput =
+      (if wall_s > 0.0 then float_of_int completed /. wall_s else 0.0);
+  }
+
+let to_string s =
+  String.concat "\n"
+    [
+      Printf.sprintf "jobs        submitted %d  completed %d  failed %d  timeout %d  cancelled %d"
+        s.submitted s.completed s.failed s.timed_out s.cancelled;
+      Printf.sprintf "queue       high-water depth %d" s.queue_high_water;
+      Printf.sprintf "cache       %d hits  %d misses  %d evictions  %d resident  (hit rate %.1f%%)"
+        s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.evictions
+        s.cache.Cache.entries (100.0 *. s.cache_hit_rate);
+      Printf.sprintf "latency     p50 %.2f ms  p95 %.2f ms  max %.2f ms"
+        s.p50_latency_ms s.p95_latency_ms s.max_latency_ms;
+      Printf.sprintf "throughput  %.1f jobs/s over %.2f s" s.throughput s.wall_s;
+    ]

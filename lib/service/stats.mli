@@ -1,0 +1,36 @@
+(** Service-lifetime statistics, assembled at shutdown. *)
+
+type t = {
+  submitted : int;
+  completed : int;  (** finished with a result (fresh or cached) *)
+  failed : int;  (** parse/restructure/model errors *)
+  timed_out : int;  (** started but exceeded the deadline *)
+  cancelled : int;  (** expired in the queue, never started *)
+  queue_high_water : int;
+  cache : Cache.stats;
+  cache_hit_rate : float;  (** hits over lookups, in [0,1] *)
+  p50_latency_ms : float;  (** submit-to-result, all outcomes *)
+  p95_latency_ms : float;
+  max_latency_ms : float;
+  wall_s : float;  (** service lifetime, create to shutdown *)
+  throughput : float;  (** completed jobs per wall-clock second *)
+}
+
+val percentile : float -> float list -> float
+(** [percentile p xs]: the [p]-th percentile ([0..100]) of [xs] by
+    nearest-rank; 0 on the empty list. *)
+
+val make :
+  submitted:int ->
+  completed:int ->
+  failed:int ->
+  timed_out:int ->
+  cancelled:int ->
+  queue_high_water:int ->
+  cache:Cache.stats ->
+  latencies_ms:float list ->
+  wall_s:float ->
+  t
+
+val to_string : t -> string
+(** Multi-line human-readable summary, printed on shutdown. *)

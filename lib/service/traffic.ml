@@ -1,0 +1,137 @@
+type cfg = {
+  requests : int;
+  clients : int;
+  seed : int;
+  size_jitter : int;
+  batch : int;
+}
+
+type summary = {
+  s_requests : int;
+  s_fresh : int;
+  s_cached : int;
+  s_failed : int;
+  s_timeout : int;
+  s_cancelled : int;
+  s_wall_s : float;
+  s_errors : (string * string) list;
+}
+
+let default_cfg =
+  { requests = 200; clients = 8; seed = 42; size_jitter = 4; batch = 4 }
+
+let corpus () = Workloads.Linalg.all @ Workloads.Perfect.all
+
+(* Each request index gets its own RNG state seeded by (seed, i): the
+   sequence is deterministic and any single index can be replayed in
+   isolation, hitting the cache entry of the original. *)
+let nth_request ~seed ~size_jitter ~batch i =
+  let rng = Random.State.make [| seed; i |] in
+  let corpus = Array.of_list (corpus ()) in
+  (* draw [batch] distinct workloads: partial Fisher-Yates over a copy
+     (distinct program-unit names keep the interprocedural pass honest) *)
+  let k = max 1 (min batch (Array.length corpus)) in
+  let pool = Array.copy corpus in
+  for j = 0 to k - 1 do
+    let pick = j + Random.State.int rng (Array.length pool - j) in
+    let tmp = pool.(j) in
+    pool.(j) <- pool.(pick);
+    pool.(pick) <- tmp
+  done;
+  let picks = Array.to_list (Array.sub pool 0 k) in
+  let sized =
+    List.map
+      (fun w ->
+        ( w,
+          w.Workloads.Workload.small_size
+          + Random.State.int rng (size_jitter + 1) ))
+      picks
+  in
+  let machine, mlabel =
+    if Random.State.bool rng then (Machine.Config.cedar_config1, "c1")
+    else (Machine.Config.cedar_config2, "c2")
+  in
+  let options, tlabel =
+    if Random.State.bool rng then (Restructurer.Options.advanced machine, "adv")
+    else (Restructurer.Options.auto_1991 machine, "auto")
+  in
+  let head_w, head_n = List.hd sized in
+  let name =
+    if k = 1 then
+      Printf.sprintf "%s/n%d/%s/%s" head_w.Workloads.Workload.name head_n
+        tlabel mlabel
+    else
+      Printf.sprintf "%s+%d/n%d/%s/%s" head_w.Workloads.Workload.name (k - 1)
+        head_n tlabel mlabel
+  in
+  {
+    Server.req_name = name;
+    req_source =
+      String.concat "\n"
+        (List.map (fun (w, n) -> w.Workloads.Workload.source n) sized);
+    req_options = options;
+  }
+
+let run server (cfg : cfg) =
+  let t0 = Unix.gettimeofday () in
+  let fresh = ref 0
+  and cached = ref 0
+  and failed = ref 0
+  and timeout = ref 0
+  and cancelled = ref 0
+  and errors = ref [] in
+  let record name = function
+    | Server.Done { cached = true; _ } -> incr cached
+    | Server.Done { cached = false; _ } -> incr fresh
+    | Server.Failed msg ->
+        incr failed;
+        if List.length !errors < 10 then errors := (name, msg) :: !errors
+    | Server.Timeout -> incr timeout
+    | Server.Cancelled -> incr cancelled
+  in
+  (* closed loop: keep [clients] tickets in flight; awaiting the oldest
+     and submitting its replacement holds the window size constant *)
+  let window = Queue.create () in
+  let next = ref 0 in
+  let submit_one () =
+    let req =
+      nth_request ~seed:cfg.seed ~size_jitter:cfg.size_jitter ~batch:cfg.batch
+        !next
+    in
+    incr next;
+    Queue.push (req.Server.req_name, Server.submit server req) window
+  in
+  while !next < cfg.requests && Queue.length window < cfg.clients do
+    submit_one ()
+  done;
+  while not (Queue.is_empty window) do
+    let name, ticket = Queue.pop window in
+    record name (Server.await ticket);
+    if !next < cfg.requests then submit_one ()
+  done;
+  {
+    s_requests = cfg.requests;
+    s_fresh = !fresh;
+    s_cached = !cached;
+    s_failed = !failed;
+    s_timeout = !timeout;
+    s_cancelled = !cancelled;
+    s_wall_s = Unix.gettimeofday () -. t0;
+    s_errors = List.rev !errors;
+  }
+
+let summary_to_string s =
+  let base =
+    Printf.sprintf
+      "%d requests in %.2f s (%.1f jobs/s): %d fresh, %d cached, %d failed, %d timeout, %d cancelled"
+      s.s_requests s.s_wall_s
+      (if s.s_wall_s > 0.0 then float_of_int s.s_requests /. s.s_wall_s
+       else 0.0)
+      s.s_fresh s.s_cached s.s_failed s.s_timeout s.s_cancelled
+  in
+  match s.s_errors with
+  | [] -> base
+  | errs ->
+      base ^ "\n"
+      ^ String.concat "\n"
+          (List.map (fun (n, m) -> Printf.sprintf "  FAIL %s: %s" n m) errs)

@@ -1,0 +1,49 @@
+(** Closed-loop traffic generator over the [lib/workloads] corpus.
+
+    Replays the linear-algebra and Perfect-club sources against a running
+    {!Server}: a seeded RNG draws (workload, problem size, technique set,
+    machine) per request, and [clients] requests are kept outstanding at
+    all times — each completion immediately triggers the next submission,
+    the classic closed-loop client model.  The same seed yields the same
+    request sequence, making A/B runs (e.g. 1 worker vs 4) comparable. *)
+
+type cfg = {
+  requests : int;  (** total jobs to issue *)
+  clients : int;  (** outstanding jobs kept in flight *)
+  seed : int;
+  size_jitter : int;
+      (** problem sizes are drawn from [small_size .. small_size+jitter];
+          0 maximizes cache hits, larger values spread the key space *)
+  batch : int;
+      (** corpus sources concatenated per request (a whole-application
+          compile job); larger batches mean heavier, better-parallelizing
+          jobs *)
+}
+
+type summary = {
+  s_requests : int;
+  s_fresh : int;  (** completed by running the restructurer *)
+  s_cached : int;  (** completed from the result cache *)
+  s_failed : int;
+  s_timeout : int;
+  s_cancelled : int;
+  s_wall_s : float;
+  s_errors : (string * string) list;  (** (request name, message), capped *)
+}
+
+val default_cfg : cfg
+(** 200 requests, 8 clients, seed 42, jitter 4, batch 4. *)
+
+val corpus : unit -> Workloads.Workload.t list
+(** The replayed programs: all of [Workloads.Linalg] and
+    [Workloads.Perfect]. *)
+
+val nth_request :
+  seed:int -> size_jitter:int -> batch:int -> int -> Server.request
+(** The [i]-th request of the sequence for [seed] — deterministic, so a
+    replayed index collides with the original in the cache. *)
+
+val run : Server.t -> cfg -> summary
+(** Drive the server; returns when all [requests] have resolved. *)
+
+val summary_to_string : summary -> string

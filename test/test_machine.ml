@@ -138,6 +138,69 @@ let test_deadlock_detection () =
   Alcotest.check_raises "deadlock raised" (Sim.Deadlock (0.0, 1)) (fun () ->
       ignore (Sim.run sim))
 
+let test_deadlock_fiber_count () =
+  (* 5 fibers: 3 finish at t=10, 2 block forever on an un-posted event at
+     t=5.  The Deadlock payload must carry the time the simulation went
+     quiet and exactly the number of fibers still blocked. *)
+  let sim = Sim.create () in
+  let ev = Sync.Event.create sim in
+  for _ = 1 to 2 do
+    Sim.spawn sim (fun () ->
+        Sim.delay sim 5.0;
+        Sync.Event.wait ev)
+  done;
+  for _ = 1 to 3 do
+    Sim.spawn sim (fun () -> Sim.delay sim 10.0)
+  done;
+  Alcotest.check_raises "deadlock time + blocked-fiber count"
+    (Sim.Deadlock (10.0, 2)) (fun () -> ignore (Sim.run sim))
+
+(* random push/pop interleavings against a sorted-stable reference model:
+   pops always come out in ascending time, FIFO within a tie, and the
+   heap never invents or loses elements.  Times are drawn from 0..9 so
+   ties are common. *)
+let prop_heap_ordering_stability =
+  QCheck.Test.make ~name:"heap: random push/pop sorted with FIFO ties"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 80) (pair bool (int_range 0 9)))
+       ~print:QCheck.Print.(list (pair bool int)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      (* insert keeping ascending time, new entry after its ties *)
+      let insert time v =
+        let rec ins = function
+          | (t, w) :: rest when t <= time -> (t, w) :: ins rest
+          | rest -> (time, v) :: rest
+        in
+        model := ins !model
+      in
+      let seq = ref 0 in
+      let ok = ref true in
+      let check_pop () =
+        match (Heap.pop h, !model) with
+        | None, [] -> ()
+        | Some (ht, hv), (mt, mv) :: rest ->
+            model := rest;
+            if ht <> mt || hv <> mv then ok := false
+        | Some _, [] | None, _ :: _ -> ok := false
+      in
+      List.iter
+        (fun (is_push, t) ->
+          if is_push then begin
+            Heap.push h ~time:(float_of_int t) !seq;
+            insert (float_of_int t) !seq;
+            incr seq
+          end
+          else check_pop ();
+          if Heap.length h <> List.length !model then ok := false)
+        ops;
+      while (not (Heap.is_empty h)) || !model <> [] do
+        check_pop ()
+      done;
+      !ok)
+
 let test_nested_parallel () =
   (* SDO over 2 clusters, CDO over 4 procs each: 2*4 leaf iterations *)
   let sim = Sim.create () in
@@ -196,6 +259,8 @@ let tests =
       test_microtask_selfschedule_imbalance;
     Alcotest.test_case "event post/wait" `Quick test_event;
     Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "deadlock fiber count" `Quick test_deadlock_fiber_count;
     Alcotest.test_case "nested parallel" `Quick test_nested_parallel;
     QCheck_alcotest.to_alcotest prop_greedy_bounds;
+    QCheck_alcotest.to_alcotest prop_heap_ordering_stability;
   ]

@@ -12,5 +12,6 @@ let () =
       ("perfect", Test_perfect.tests);
       ("synthetic", Test_synthetic.tests);
       ("tasking", Test_tasking.tests);
+      ("service", Test_service.tests);
       ("fuzz", Test_fuzz.tests);
     ]

@@ -1,0 +1,272 @@
+(* The restructuring service: bounded queue, content-addressed LRU cache,
+   domain pool, timeouts, and traffic generator.
+
+   The multi-domain tests pass ~oversubscribe:true so the pool really
+   spawns several domains even on a single-core CI host — the point is
+   exercising the concurrent paths, not wall-clock scaling. *)
+
+open Service
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_fifo () =
+  let q = Bounded_queue.create ~capacity:8 in
+  List.iter (fun i -> assert (Bounded_queue.push q i)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "length" 5 (Bounded_queue.length q);
+  Alcotest.(check int) "high water" 5 (Bounded_queue.high_water q);
+  let popped = List.init 5 (fun _ -> Option.get (Bounded_queue.pop q)) in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3; 4; 5 ] popped;
+  Bounded_queue.close q;
+  Alcotest.(check bool) "push after close" false (Bounded_queue.push q 6);
+  Alcotest.(check (option int)) "pop after close+drain" None (Bounded_queue.pop q)
+
+let test_queue_close_drains () =
+  let q = Bounded_queue.create ~capacity:8 in
+  ignore (Bounded_queue.push q 1);
+  ignore (Bounded_queue.push q 2);
+  Bounded_queue.close q;
+  Alcotest.(check (option int)) "drain 1" (Some 1) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "drain 2" (Some 2) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "drained" None (Bounded_queue.pop q)
+
+let test_queue_blocking_handoff () =
+  (* producer domain pushes 100 items through a capacity-2 queue while
+     the main domain consumes: backpressure blocks the producer, the
+     consumer blocks on empty, and order survives *)
+  let q = Bounded_queue.create ~capacity:2 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to 99 do
+          ignore (Bounded_queue.push q i)
+        done;
+        Bounded_queue.close q)
+  in
+  let received = ref [] in
+  let rec drain () =
+    match Bounded_queue.pop q with
+    | Some x ->
+        received := x :: !received;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check (list int)) "all items in order" (List.init 100 Fun.id)
+    (List.rev !received);
+  Alcotest.(check bool) "capacity respected"
+    true
+    (Bounded_queue.high_water q <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~capacity:4 in
+  let k = Cache.digest "some content" in
+  Alcotest.(check (option string)) "cold miss" None (Cache.find c k);
+  Cache.add c k "value";
+  Alcotest.(check (option string)) "hit" (Some "value") (Cache.find c k);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "entries" 1 s.Cache.entries;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Cache.hit_rate s)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "k1" 1;
+  Cache.add c "k2" 2;
+  (* touch k1 so k2 becomes the LRU entry *)
+  ignore (Cache.find c "k1");
+  Cache.add c "k3" 3;
+  Alcotest.(check (option int)) "k2 evicted" None (Cache.find c "k2");
+  Alcotest.(check (option int)) "k1 survives" (Some 1) (Cache.find c "k1");
+  Alcotest.(check (option int)) "k3 resident" (Some 3) (Cache.find c "k3");
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "two resident" 2 s.Cache.entries
+
+let test_cache_overwrite_no_evict () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "k1" 1;
+  Cache.add c "k1" 10;
+  Cache.add c "k2" 2;
+  Alcotest.(check (option int)) "overwritten" (Some 10) (Cache.find c "k1");
+  Alcotest.(check int) "no eviction" 0 (Cache.stats c).Cache.evictions
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "k" 1;
+  Alcotest.(check (option int)) "nothing stored" None (Cache.find c "k")
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentiles () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile 95.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.percentile 50.0 []);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.percentile 95.0 [ 7.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let direct_text req =
+  let prog = Fortran.Parser.parse_program req.Server.req_source in
+  let r = Restructurer.Driver.restructure req.Server.req_options prog in
+  Fortran.Printer.program_to_string r.Restructurer.Driver.program
+
+let payload_exn name = function
+  | Server.Done { payload; cached } -> (payload, cached)
+  | Server.Failed m -> Alcotest.failf "%s failed: %s" name m
+  | Server.Timeout -> Alcotest.failf "%s timed out" name
+  | Server.Cancelled -> Alcotest.failf "%s cancelled" name
+
+let test_server_matches_direct () =
+  (* results through the pool must be byte-identical to a direct
+     single-threaded Driver.restructure of the same request *)
+  let server =
+    Server.create ~workers:4 ~oversubscribe:true ~cache_capacity:64 ()
+  in
+  let reqs =
+    List.init 12 (fun i -> Traffic.nth_request ~seed:7 ~size_jitter:3 ~batch:2 i)
+  in
+  let tickets = List.map (fun r -> (r, Server.submit server r)) reqs in
+  List.iter
+    (fun (req, ticket) ->
+      let payload, _ = payload_exn req.Server.req_name (Server.await ticket) in
+      Alcotest.(check string)
+        (req.Server.req_name ^ " byte-identical")
+        (direct_text req) payload.Server.p_text)
+    tickets;
+  let stats = Server.shutdown server in
+  Alcotest.(check int) "all completed" 12 stats.Stats.completed;
+  Alcotest.(check int) "no failures" 0 stats.Stats.failed
+
+let test_server_cache_short_circuit () =
+  let server = Server.create ~workers:2 ~cache_capacity:16 () in
+  let req = Traffic.nth_request ~seed:3 ~size_jitter:0 ~batch:1 0 in
+  let p1, cached1 = payload_exn "first" (Server.run server req) in
+  let p2, cached2 = payload_exn "second" (Server.run server req) in
+  Alcotest.(check bool) "first is fresh" false cached1;
+  Alcotest.(check bool) "second from cache" true cached2;
+  Alcotest.(check string) "identical text" p1.Server.p_text p2.Server.p_text;
+  let stats = Server.shutdown server in
+  Alcotest.(check int) "one cache hit counted" 1 stats.Stats.cache.Cache.hits;
+  Alcotest.(check bool) "hit rate positive" true (stats.Stats.cache_hit_rate > 0.0)
+
+let test_server_parse_error_fails () =
+  let server = Server.create ~workers:1 ~cache_capacity:4 () in
+  let req =
+    {
+      Server.req_name = "garbage";
+      req_source = "      this is not fortran\n";
+      req_options = Restructurer.Options.auto_1991 Machine.Config.cedar_config1;
+    }
+  in
+  (match Server.run server req with
+  | Server.Failed _ -> ()
+  | _ -> Alcotest.fail "expected Failed");
+  let stats = Server.shutdown server in
+  Alcotest.(check int) "failure counted" 1 stats.Stats.failed
+
+let test_server_expired_job_cancelled () =
+  (* a deadline far in the past: the job expires in the queue and must
+     come back Cancelled without running; the server stays usable *)
+  let server = Server.create ~workers:1 ~cache_capacity:4 ~timeout_ms:1e-6 () in
+  let req = Traffic.nth_request ~seed:1 ~size_jitter:0 ~batch:1 0 in
+  (match Server.run server req with
+  | Server.Cancelled -> ()
+  | Server.Timeout -> () (* raced past the queue check, then expired *)
+  | o ->
+      Alcotest.failf "expected Cancelled/Timeout, got %s"
+        (match o with
+        | Server.Done _ -> "Done"
+        | Server.Failed m -> "Failed " ^ m
+        | _ -> "?"));
+  let stats = Server.shutdown server in
+  Alcotest.(check int) "nothing completed" 0 stats.Stats.completed;
+  Alcotest.(check int) "expiry counted" 1
+    (stats.Stats.cancelled + stats.Stats.timed_out)
+
+let test_driver_interrupt () =
+  (* the hook the worker deadline rides on: an always-true interrupt
+     aborts restructuring instead of running to completion *)
+  let src = (Workloads.Linalg.find "CG").Workloads.Workload.source 16 in
+  let prog = Fortran.Parser.parse_program src in
+  let opts = Restructurer.Options.advanced Machine.Config.cedar_config1 in
+  match
+    Restructurer.Driver.restructure ~interrupt:(fun () -> true) opts prog
+  with
+  | _ -> Alcotest.fail "expected Interrupted"
+  | exception Restructurer.Driver.Interrupted -> ()
+
+let test_traffic_deterministic () =
+  let a = Traffic.nth_request ~seed:11 ~size_jitter:4 ~batch:3 5 in
+  let b = Traffic.nth_request ~seed:11 ~size_jitter:4 ~batch:3 5 in
+  Alcotest.(check string) "same name" a.Server.req_name b.Server.req_name;
+  Alcotest.(check string) "same source" a.Server.req_source b.Server.req_source;
+  Alcotest.(check bool) "same options" true
+    (Restructurer.Options.equal_techniques
+       a.Server.req_options.Restructurer.Options.techniques
+       b.Server.req_options.Restructurer.Options.techniques);
+  Alcotest.(check string) "same cache key" (Server.cache_key a)
+    (Server.cache_key b);
+  let c = Traffic.nth_request ~seed:12 ~size_jitter:4 ~batch:3 5 in
+  Alcotest.(check bool) "different seed, different key" true
+    (Server.cache_key a <> Server.cache_key c)
+
+let test_traffic_closed_loop () =
+  let server =
+    Server.create ~workers:3 ~oversubscribe:true ~cache_capacity:32 ()
+  in
+  let cfg =
+    { Traffic.requests = 30; clients = 4; seed = 5; size_jitter = 2; batch = 1 }
+  in
+  let s = Traffic.run server cfg in
+  Alcotest.(check int) "all resolved" 30
+    (s.Traffic.s_fresh + s.Traffic.s_cached + s.Traffic.s_failed
+   + s.Traffic.s_timeout + s.Traffic.s_cancelled);
+  Alcotest.(check int) "no failures" 0 s.Traffic.s_failed;
+  Alcotest.(check int) "no timeouts" 0 s.Traffic.s_timeout;
+  let stats = Server.shutdown server in
+  Alcotest.(check int) "completed all" 30 stats.Stats.completed;
+  Alcotest.(check bool) "queue bounded by clients" true
+    (stats.Stats.queue_high_water <= 4);
+  Alcotest.(check bool) "p95 >= p50" true
+    (stats.Stats.p95_latency_ms >= stats.Stats.p50_latency_ms)
+
+let tests =
+  [
+    Alcotest.test_case "queue: fifo + high water + close" `Quick test_queue_fifo;
+    Alcotest.test_case "queue: close drains" `Quick test_queue_close_drains;
+    Alcotest.test_case "queue: blocking handoff across domains" `Quick
+      test_queue_blocking_handoff;
+    Alcotest.test_case "cache: hit/miss counters" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache: LRU eviction order" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache: overwrite does not evict" `Quick
+      test_cache_overwrite_no_evict;
+    Alcotest.test_case "cache: capacity 0 disables" `Quick test_cache_disabled;
+    Alcotest.test_case "stats: nearest-rank percentiles" `Quick test_percentiles;
+    Alcotest.test_case "server: pool results byte-identical to direct" `Quick
+      test_server_matches_direct;
+    Alcotest.test_case "server: cache short-circuits identical request" `Quick
+      test_server_cache_short_circuit;
+    Alcotest.test_case "server: parse error -> Failed" `Quick
+      test_server_parse_error_fails;
+    Alcotest.test_case "server: expired job -> Cancelled" `Quick
+      test_server_expired_job_cancelled;
+    Alcotest.test_case "driver: interrupt hook aborts" `Quick
+      test_driver_interrupt;
+    Alcotest.test_case "traffic: deterministic request sequence" `Quick
+      test_traffic_deterministic;
+    Alcotest.test_case "traffic: closed loop drains cleanly" `Quick
+      test_traffic_closed_loop;
+  ]

@@ -10,8 +10,65 @@
 
 open Cmdliner
 
+(* --validate acceptance sweep: restructure the whole corpus under both
+   technique sets with the validator on, then hold the shipped output to
+   the paper's standard — the independent static checker must accept the
+   printed text, and an instrumented interpreter run must observe zero
+   data races. *)
+let sweep_validate verbose =
+  let corpus = Service.Traffic.corpus () in
+  let static_rej = ref 0 and dynamic_races = ref 0 and runs = ref 0 in
+  List.iter
+    (fun w ->
+      let n = w.Workloads.Workload.small_size in
+      let prog =
+        Fortran.Parser.parse_program (w.Workloads.Workload.source n)
+      in
+      List.iter
+        (fun (tlabel, opts) ->
+          let opts = { opts with Restructurer.Options.validate = true } in
+          let result = Restructurer.Driver.restructure opts prog in
+          incr runs;
+          let tag =
+            Printf.sprintf "%s/n%d/%s" w.Workloads.Workload.name n tlabel
+          in
+          (match Validate.reverify result.Restructurer.Driver.program with
+          | Ok [] ->
+              if verbose then Printf.printf "  %-28s static ok\n" tag
+          | Ok issues ->
+              static_rej := !static_rej + List.length issues;
+              List.iter
+                (fun i ->
+                  Printf.printf "  %-28s STATIC %s\n" tag
+                    (Validate.issue_to_string i))
+                issues
+          | Error msg ->
+              incr static_rej;
+              Printf.printf "  %-28s STATIC emitted text does not reparse: %s\n"
+                tag msg);
+          let races, _out =
+            Validate.check_dynamic
+              ~cfg:opts.Restructurer.Options.machine
+              result.Restructurer.Driver.program
+          in
+          dynamic_races := !dynamic_races + List.length races;
+          List.iter
+            (fun r ->
+              Printf.printf "  %-28s RACE %s\n" tag
+                (Interp.Race.issue_to_string r))
+            races)
+        [
+          ("auto", Restructurer.Options.auto_1991 Machine.Config.cedar_config1);
+          ("adv", Restructurer.Options.advanced Machine.Config.cedar_config1);
+        ])
+    corpus;
+  Printf.printf
+    "validate sweep: %d restructured programs, %d static rejections, %d dynamic races\n%!"
+    !runs !static_rej !dynamic_races;
+  !static_rej = 0 && !dynamic_races = 0
+
 let run workers cache_size timeout_ms requests clients seed jitter batch
-    oversubscribe verbose =
+    oversubscribe validate verbose =
   let server =
     Service.Server.create ~workers ~cache_capacity:cache_size ~timeout_ms
       ~oversubscribe ()
@@ -23,13 +80,15 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
       seed;
       size_jitter = max 0 jitter;
       batch = max 1 batch;
+      validate;
     }
   in
   Printf.printf
-    "cedard: %d workers, cache %d, timeout %s, %d requests (%d clients, seed %d, batch %d)\n%!"
+    "cedard: %d workers, cache %d, timeout %s, %d requests (%d clients, seed %d, batch %d%s)\n%!"
     workers cache_size
     (if timeout_ms > 0.0 then Printf.sprintf "%.0f ms" timeout_ms else "none")
-    requests cfg.Service.Traffic.clients seed cfg.Service.Traffic.batch;
+    requests cfg.Service.Traffic.clients seed cfg.Service.Traffic.batch
+    (if validate then ", validated" else "");
   let effective = Service.Server.effective_workers server in
   if effective <> workers then
     Printf.printf
@@ -45,7 +104,7 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
   let replay_ok =
     if requests > 0 && cache_size > 0 then begin
       let req =
-        Service.Traffic.nth_request ~seed
+        Service.Traffic.nth_request ~validate ~seed
           ~size_jitter:cfg.Service.Traffic.size_jitter
           ~batch:cfg.Service.Traffic.batch 0
       in
@@ -72,11 +131,18 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
   let stats = Service.Server.shutdown server in
   print_endline "--- service stats ---";
   print_endline (Service.Stats.to_string stats);
+  let sweep_ok =
+    if not validate then true
+    else begin
+      print_endline "--- validate sweep (full corpus, both technique sets) ---";
+      sweep_validate verbose
+    end
+  in
   let clean =
     summary.Service.Traffic.s_failed = 0
     && summary.Service.Traffic.s_timeout = 0
     && summary.Service.Traffic.s_cancelled = 0
-    && replay_ok
+    && replay_ok && sweep_ok
   in
   if clean then 0 else 1
 
@@ -129,6 +195,17 @@ let oversubscribe_arg =
     & info [ "oversubscribe" ]
         ~doc:"spawn more worker domains than the host has cores")
 
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:
+          "re-verify every job's emitted code with the independent static \
+           checker (unverified output is never cached or returned), then \
+           sweep the whole corpus under both technique sets and fail unless \
+           the shipped output has zero static rejections and zero dynamic \
+           races")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print extra detail")
 
@@ -139,6 +216,6 @@ let cmd =
     Term.(
       const run $ workers_arg $ cache_arg $ timeout_arg $ requests_arg
       $ clients_arg $ seed_arg $ jitter_arg $ batch_arg $ oversubscribe_arg
-      $ verbose_arg)
+      $ validate_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -15,7 +15,7 @@ let read_file path =
   close_in ic;
   s
 
-let run input output techniques machine report_flag placement =
+let run input output techniques machine report_flag placement validate =
   let src = if input = "-" then In_channel.input_all stdin else read_file input in
   let prog =
     try Fortran.Parser.parse_program src
@@ -56,6 +56,7 @@ let run input output techniques machine report_flag placement =
             exit 1);
     }
   in
+  let opts = { opts with Restructurer.Options.validate } in
   let result = Restructurer.Driver.restructure opts prog in
   let text = Fortran.Printer.program_to_string result.Restructurer.Driver.program in
   (match output with
@@ -105,12 +106,19 @@ let placement_arg =
     & info [ "placement-default" ] ~docv:"P"
         ~doc:"default placement for interface data: cluster or global")
 
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "V"; "validate" ]
+        ~doc:"re-verify every transformed loop with the independent \
+              checker; loops that fail are demoted to serial")
+
 let cmd =
   let doc = "restructure fortran77 into Cedar Fortran" in
   Cmd.v
     (Cmd.info "cfc" ~doc)
     Term.(
       const run $ input_arg $ output_arg $ tech_arg $ machine_arg $ report_arg
-      $ placement_arg)
+      $ placement_arg $ validate_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -29,11 +29,14 @@ type update_site = {
   site_path : int list;
   site_kind : Scalars.giv_kind;
   site_inner : Ast.do_header list;  (** inner loops enclosing the update *)
+  site_guarded : bool;
+      (** the update sits under an IF or WHERE: it does not execute every
+          iteration, so no closed form exists *)
 }
 
 let find_update_sites v (body : Ast.stmt list) : update_site list =
   let sites = ref [] in
-  let rec stmt inner path i (s : Ast.stmt) =
+  let rec stmt inner guarded path i (s : Ast.stmt) =
     let path = i :: path in
     match s with
     | Ast.Assign (Ast.LVar x, _) when x = v -> (
@@ -44,6 +47,7 @@ let find_update_sites v (body : Ast.stmt list) : update_site list =
                 site_path = List.rev path;
                 site_kind = Scalars.Additive k;
                 site_inner = List.rev inner;
+                site_guarded = guarded;
               }
               :: !sites
         | Some (Scalars.Rprod, k) ->
@@ -52,6 +56,7 @@ let find_update_sites v (body : Ast.stmt list) : update_site list =
                 site_path = List.rev path;
                 site_kind = Scalars.Multiplicative k;
                 site_inner = List.rev inner;
+                site_guarded = guarded;
               }
               :: !sites
         | _ ->
@@ -60,17 +65,18 @@ let find_update_sites v (body : Ast.stmt list) : update_site list =
                 site_path = List.rev path;
                 site_kind = Scalars.Additive (Ast.Var "?");
                 site_inner = List.rev inner;
+                site_guarded = guarded;
               }
               :: !sites)
     | Ast.If (_, t, e) ->
-        List.iteri (stmt inner path) t;
-        List.iteri (stmt inner path) e
-    | Ast.Do (h, blk) -> List.iteri (stmt (h :: inner) path) blk.body
-    | Ast.Where (_, b) -> List.iteri (stmt inner path) b
-    | Ast.Labeled (_, s) -> stmt inner (List.tl path) i s
+        List.iteri (stmt inner true path) t;
+        List.iteri (stmt inner true path) e
+    | Ast.Do (h, blk) -> List.iteri (stmt (h :: inner) guarded path) blk.body
+    | Ast.Where (_, b) -> List.iteri (stmt inner true path) b
+    | Ast.Labeled (_, s) -> stmt inner guarded (List.tl path) i s
     | _ -> ()
   in
-  List.iteri (stmt [] []) body;
+  List.iteri (stmt [] false []) body;
   List.rev !sites
 
 let int_const e = Ast_utils.const_eval [] e
@@ -99,7 +105,14 @@ let recognize ~(lvl : Loops.level) v (body : Ast.stmt list) :
       && not (SSet.mem lvl.l_index (Ast_utils.expr_vars k))
     in
     match sites with
-    | [ { site_kind = Scalars.Additive k; site_inner = []; site_path } ]
+    | [
+     {
+       site_kind = Scalars.Additive k;
+       site_inner = [];
+       site_path;
+       site_guarded = false;
+     };
+    ]
       when invariant_step k ->
         (* flat additive: after the update in iteration i, v = v0 +
            k*(i - lo + 1) *)
@@ -130,7 +143,14 @@ let recognize ~(lvl : Loops.level) v (body : Ast.stmt list) :
             g_monotonic = mono;
             g_update_paths = [ site_path ];
           }
-    | [ { site_kind = Scalars.Multiplicative k; site_inner = []; site_path } ]
+    | [
+     {
+       site_kind = Scalars.Multiplicative k;
+       site_inner = [];
+       site_path;
+       site_guarded = false;
+     };
+    ]
       when invariant_step k ->
         (* geometric: after update in iteration i, v = v0 * k**(i - lo + 1) *)
         let iters_done = Ast.Bin (Ast.Add, completed_iters lvl, Ast.Int 1) in
@@ -156,8 +176,14 @@ let recognize ~(lvl : Loops.level) v (body : Ast.stmt list) :
             g_monotonic = mono;
             g_update_paths = [ site_path ];
           }
-    | [ { site_kind = Scalars.Additive (Ast.Int k); site_inner = [ ih ]; site_path } ]
-      -> (
+    | [
+     {
+       site_kind = Scalars.Additive (Ast.Int k);
+       site_inner = [ ih ];
+       site_path;
+       site_guarded = false;
+     };
+    ] -> (
         (* triangular: update inside one inner loop whose bound depends on
            the outer index, e.g. DO i / DO j = 1, i / v = v + 1.
            After the update at (i, j):

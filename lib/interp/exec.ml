@@ -28,6 +28,7 @@ type ctx = {
   output : Buffer.t;
   mutable input : float list;
   mutable charging : bool;  (** false: pure evaluation (e.g. decl dims) *)
+  detector : Race.t option;  (** log parallel-loop accesses when set *)
 }
 
 (** Per-fiber thread context: overlay scopes for loop-local data, the
@@ -39,7 +40,26 @@ type tctx = {
   cluster : int;
   mutable pending : float;  (** accumulated cycles not yet delayed *)
   mutable doacross : (Mach.Sync.Cascade.t * int) option;
+  mutable rmon : (Race.loopctx * Race.state) option;
+      (** innermost monitored parallel loop + this iteration's sync state *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Race-detector hooks (pure observers: no cycles, no scheduling)      *)
+(* ------------------------------------------------------------------ *)
+
+let monitor_scalar t kind name placement id =
+  match t.rmon with
+  | Some (lc, st) when placement <> Mach.Memory.Private ->
+      Race.note lc st kind ~id ~off:0 ~loc:(fun () -> name)
+  | _ -> ()
+
+let monitor_elem t kind (arr : Store.arr) is =
+  match t.rmon with
+  | Some (lc, st) when arr.Store.a_placement <> Mach.Memory.Private ->
+      Race.note lc st kind ~id:arr.Store.a_id ~off:(Store.linear_index arr is)
+        ~loc:(fun () -> Store.ref_str arr.Store.a_name is)
+  | _ -> ()
 
 let charge t cycles = if t.c.charging then t.pending <- t.pending +. cycles
 
@@ -104,8 +124,8 @@ and alloc_entry (t : tctx) name : Store.entry =
             (lo, hi - lo + 1))
           s.Symbols.s_dims
       in
-      Store.Array (Store.make_array ~placement dims)
-  | _ -> Store.Scalar { v = 0.0; placement }
+      Store.Array (Store.make_array ~placement ~name dims)
+  | _ -> Store.scalar ~placement 0.0
 
 (* ------------------------------------------------------------------ *)
 (* Scalar expression evaluation                                        *)
@@ -135,6 +155,7 @@ and eval (t : tctx) (e : Ast.expr) : float =
                 | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
                 | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
                 | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+              monitor_scalar t Race.ARead v s.placement s.id;
               s.v
           | Store.Array _ -> Store.error "array %s used as scalar" v))
   | Ast.Idx (a, subs) -> (
@@ -146,6 +167,7 @@ and eval (t : tctx) (e : Ast.expr) : float =
             | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
             | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
             | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+          monitor_elem t Race.ARead arr is;
           Store.get_elem arr is
       | Store.Scalar _ -> Store.error "scalar %s subscripted" a)
   | Ast.Bin (op, a, b) -> (
@@ -356,6 +378,8 @@ and eval_vec (t : tctx) (e : Ast.expr) : float array =
       | Store.Array arr ->
           let idxs = section_indices t arr dims in
           vector_charge t arr.Store.a_placement (List.length idxs);
+          if t.rmon <> None then
+            List.iter (monitor_elem t Race.ARead arr) idxs;
           Array.of_list (List.map (Store.get_elem arr) idxs)
       | Store.Scalar _ -> Store.error "scalar %s sectioned" a)
   | Ast.Bin (op, a, b) ->
@@ -467,6 +491,7 @@ and assign_scalar t (l : Ast.lhs) (v : float) =
             | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
             | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
             | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+          monitor_scalar t Race.AWrite name s.placement s.id;
           s.v <- v
       | Store.Array _ -> Store.error "array %s assigned as scalar" name)
   | Ast.LIdx (name, subs) -> (
@@ -478,6 +503,7 @@ and assign_scalar t (l : Ast.lhs) (v : float) =
             | Mach.Memory.Private -> t.c.cfg.Mach.Config.cache_hit
             | Mach.Memory.Cluster_mem -> t.c.cfg.Mach.Config.cluster_scalar
             | Mach.Memory.Global_mem -> t.c.cfg.Mach.Config.global_scalar);
+          monitor_elem t Race.AWrite arr is;
           Store.set_elem arr is v
       | Store.Scalar _ -> Store.error "scalar %s subscripted in assignment" name)
   | Ast.LSection _ -> Store.error "section assigned a scalar"
@@ -491,6 +517,8 @@ and exec_stmt (t : tctx) (s : Ast.stmt) : unit =
           let idxs = section_indices t arr dims in
           let n = List.length idxs in
           vector_charge t arr.Store.a_placement n;
+          if t.rmon <> None then
+            List.iter (monitor_elem t Race.AWrite arr) idxs;
           match eval_vec_or_scalar t rhs with
           | `Vec v ->
               if Array.length v <> n then
@@ -540,6 +568,11 @@ and exec_stmt (t : tctx) (s : Ast.stmt) : unit =
                   if Array.length mv <> n then
                     Store.error "WHERE mask length mismatch";
                   vector_charge t arr.Store.a_placement n;
+                  if t.rmon <> None then
+                    List.iteri
+                      (fun k is ->
+                        if mv.(k) <> 0.0 then monitor_elem t Race.AWrite arr is)
+                      idxs;
                   match eval_vec_or_scalar t rhs with
                   | `Vec v ->
                       List.iteri
@@ -597,7 +630,7 @@ and exec_do t (h : Ast.do_header) (blk : Ast.block) =
       (match t.overlays with
       | top :: _ when lookup_overlays h.Ast.index t.overlays = None ->
           Hashtbl.replace top h.Ast.index
-            (Store.Scalar { v = 0.0; placement = Mach.Memory.Private })
+            (Store.scalar ~placement:Mach.Memory.Private 0.0)
       | _ -> ());
       let i = ref lo in
       let continue_ () = if step > 0 then !i <= hi else !i >= hi in
@@ -629,6 +662,14 @@ and exec_parallel_do t h blk ~lo ~hi ~step ~cls =
       Some (Mach.Sync.Cascade.create ~cost:cfg.Mach.Config.await_cost ~first:lo t.c.sim)
     else None
   in
+  (* each parallel loop (including parallel loops nested inside monitored
+     ones) gets its own race-detector context; accesses in its iteration
+     bodies are attributed to its iterations *)
+  let mon =
+    Option.map
+      (fun det -> Race.enter_loop det ~index:h.Ast.index ~cls)
+      t.c.detector
+  in
   (* worker-local environments are created per processor *)
   let worker_tctx (ctx0 : Mach.Microtask.worker_ctx) =
     let overlay = Hashtbl.create 8 in
@@ -639,6 +680,7 @@ and exec_parallel_do t h blk ~lo ~hi ~step ~cls =
         cluster = ctx0.Mach.Microtask.w_cluster;
         pending = 0.0;
         doacross = None;
+        rmon = None;
       }
     in
     (* loop-local declarations: private storage *)
@@ -646,20 +688,22 @@ and exec_parallel_do t h blk ~lo ~hi ~step ~cls =
       (fun d ->
         let entry =
           if d.Ast.d_dims = [] then
-            Store.Scalar { v = 0.0; placement = Mach.Memory.Private }
+            Store.scalar ~placement:Mach.Memory.Private 0.0
           else
             let dims =
               List.map
                 (fun (lo, hi) -> (eval_int wt lo, eval_int wt hi - eval_int wt lo + 1))
                 d.Ast.d_dims
             in
-            Store.Array (Store.make_array ~placement:Mach.Memory.Private dims)
+            Store.Array
+              (Store.make_array ~placement:Mach.Memory.Private
+                 ~name:d.Ast.d_name dims)
         in
         Hashtbl.replace overlay d.Ast.d_name entry)
       h.Ast.locals;
     (* the loop index is private to the worker *)
     Hashtbl.replace overlay h.Ast.index
-      (Store.Scalar { v = 0.0; placement = Mach.Memory.Private });
+      (Store.scalar ~placement:Mach.Memory.Private 0.0);
     wt
   in
   let table : (int, tctx) Hashtbl.t = Hashtbl.create 8 in
@@ -685,7 +729,9 @@ and exec_parallel_do t h blk ~lo ~hi ~step ~cls =
       let i = ctx0.Mach.Microtask.w_iter in
       assign_scalar wt (Ast.LVar h.Ast.index) (float_of_int i);
       wt.doacross <- Option.map (fun c -> (c, i)) cascade;
+      wt.rmon <- Option.map (fun lc -> (lc, Race.fresh_state i)) mon;
       exec_stmts wt blk.Ast.body;
+      wt.rmon <- None;
       (* an ordered loop iteration that never reached its await/advance
          still must advance so successors are not blocked *)
       (match cascade with
@@ -709,13 +755,21 @@ and exec_call t name args =
       flush t;
       match (t.doacross, args) with
       | Some (casc, iter), [ _; d ] ->
-          Mach.Sync.Cascade.await casc ~iter ~dist:(eval_int t d)
+          let dist = eval_int t d in
+          Mach.Sync.Cascade.await casc ~iter ~dist;
+          (match t.rmon with
+          | Some (_, st) -> Race.note_await st dist
+          | None -> ())
       | None, _ -> Store.error "await outside DOACROSS"
       | _ -> Store.error "await arity")
   | "advance" -> (
       flush t;
       match t.doacross with
-      | Some (casc, iter) -> Mach.Sync.Cascade.advance casc iter
+      | Some (casc, iter) ->
+          Mach.Sync.Cascade.advance casc iter;
+          (match t.rmon with
+          | Some (_, st) -> Race.note_advance st
+          | None -> ())
       | None -> Store.error "advance outside DOACROSS")
   | "post" | "wait" | "clearevent" -> (
       flush t;
@@ -785,8 +839,18 @@ and exec_call t name args =
             Hashtbl.replace t.c.locks id l;
             l
       in
-      if String.lowercase_ascii name = "lock" then Mach.Sync.Lock.acquire lock
-      else Mach.Sync.Lock.release lock)
+      if String.lowercase_ascii name = "lock" then begin
+        Mach.Sync.Lock.acquire lock;
+        match t.rmon with
+        | Some (_, st) -> Race.note_lock st id
+        | None -> ()
+      end
+      else begin
+        (match t.rmon with
+        | Some (_, st) -> Race.note_unlock st id
+        | None -> ());
+        Mach.Sync.Lock.release lock
+      end)
   | "cedar_slr1" -> (
       (* first-order linear recurrence library routine *)
       match args with
@@ -868,7 +932,9 @@ and call_unit (t : tctx) (callee : Ast.punit) (args : Ast.expr list)
           in
           Store.Array
             {
-              Store.a_data = base.Store.a_data;
+              Store.a_name = formal;
+              a_id = base.Store.a_id;  (* a view: same storage identity *)
+              a_data = base.Store.a_data;
               a_off = off;
               a_dims = Array.of_list dims;
               a_placement = base.Store.a_placement;
@@ -882,8 +948,7 @@ and call_unit (t : tctx) (callee : Ast.punit) (args : Ast.expr list)
           when List.mem_assoc v t.frame.Store.f_syms.Symbols.params ->
             (* a PARAMETER constant passed as actual: bind by value *)
             Hashtbl.replace frame.Store.f_vars formal
-              (Store.Scalar
-                 { v = eval t actual; placement = Mach.Memory.Private })
+              (Store.scalar ~placement:Mach.Memory.Private (eval t actual))
         | Ast.Var v -> (
             match find_entry t v with
             | Store.Scalar _ as e -> Hashtbl.replace frame.Store.f_vars formal e
@@ -893,17 +958,16 @@ and call_unit (t : tctx) (callee : Ast.punit) (args : Ast.expr list)
             match find_entry t v with
             | Store.Array a ->
                 let is = List.map (eval_int t) subs in
-                let cell =
-                  Store.Scalar
-                    { v = Store.get_elem a is; placement = a.Store.a_placement }
-                in
+                monitor_elem t Race.ARead a is;
+                let v0 = Store.get_elem a is in
+                let cell = Store.scalar ~placement:a.Store.a_placement v0 in
                 Hashtbl.replace frame.Store.f_vars formal cell;
-                writebacks := (formal, `Cell (a, is)) :: !writebacks
+                writebacks := (formal, `Cell (a, is, v0)) :: !writebacks
             | Store.Scalar _ -> Store.error "scalar %s subscripted" v)
         | e ->
             let v = eval t e in
             Hashtbl.replace frame.Store.f_vars formal
-              (Store.Scalar { v; placement = Mach.Memory.Private }))
+              (Store.scalar ~placement:Mach.Memory.Private v))
     formals args;
   (* now allocate array views (scalar formals are bound) *)
   List.iter
@@ -914,13 +978,18 @@ and call_unit (t : tctx) (callee : Ast.punit) (args : Ast.expr list)
     !writebacks;
   (try exec_stmts ct callee.Ast.u_body with Return_unit -> ());
   flush ct;
-  (* copy-out element actuals *)
+  (* copy-out element actuals — but only when the callee actually stored
+     into the formal: genuine by-reference passing performs no store for a
+     read-only argument, so an unconditional write-back would manufacture
+     writes (and spurious races) the program never makes *)
   List.iter
     (fun (formal, wb) ->
       match wb with
-      | `Cell (a, is) -> (
+      | `Cell (a, is, v0) -> (
           match Hashtbl.find_opt frame.Store.f_vars formal with
-          | Some (Store.Scalar s) -> Store.set_elem a is s.v
+          | Some (Store.Scalar s) when s.v <> v0 ->
+              monitor_elem t Race.AWrite a is;
+              Store.set_elem a is s.v
           | _ -> ())
       | `Array _ -> ())
     !writebacks;
@@ -943,8 +1012,11 @@ type result = {
 }
 
 (** Run a whole program on configuration [cfg]; the PROGRAM unit is the
-    entry.  [input] feeds READ statements. *)
-let run ?(input = []) ~(cfg : Mach.Config.t) (prog : Ast.program) : result =
+    entry.  [input] feeds READ statements.  When [detector] is given,
+    parallel loop bodies run with per-location access logging and any
+    data races found are recorded in it (see {!Race}). *)
+let run ?(input = []) ?detector ~(cfg : Mach.Config.t) (prog : Ast.program) :
+    result =
   let main =
     match List.find_opt (fun u -> u.Ast.u_kind = Ast.Program) prog with
     | Some u -> u
@@ -965,6 +1037,7 @@ let run ?(input = []) ~(cfg : Mach.Config.t) (prog : Ast.program) : result =
       output = Buffer.create 256;
       input;
       charging = true;
+      detector;
     }
   in
   Mach.Sim.spawn sim (fun () ->
@@ -976,6 +1049,7 @@ let run ?(input = []) ~(cfg : Mach.Config.t) (prog : Ast.program) : result =
           cluster = 0;
           pending = 0.0;
           doacross = None;
+          rmon = None;
         }
       in
       try exec_stmts t main.Ast.u_body with Stop_program -> ());

@@ -18,8 +18,15 @@ type result = {
 }
 
 val run :
-  ?input:float list -> cfg:Machine.Config.t -> Fortran.Ast.program -> result
-(** Execute the PROGRAM unit; [input] feeds READ statements.
+  ?input:float list ->
+  ?detector:Race.t ->
+  cfg:Machine.Config.t ->
+  Fortran.Ast.program ->
+  result
+(** Execute the PROGRAM unit; [input] feeds READ statements.  When
+    [detector] is given, parallel loop bodies run with per-location
+    access logging and data races between iterations are recorded in it
+    (a pure observer: cycle counts and results are unchanged).
     @raise Store.Runtime_error on invalid programs (bad subscripts,
     unknown routines, executed GOTOs)
     @raise Machine.Sim.Deadlock if synchronization deadlocks *)

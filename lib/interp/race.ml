@@ -1,0 +1,177 @@
+(** Dynamic data-race detection for parallel Cedar Fortran loops.
+
+    While a monitored parallel loop executes, every read and write the
+    iteration bodies make to non-private storage is logged per memory
+    location (storage id + element offset), tagged with the iteration
+    number and the synchronization state at the time of the access:
+
+    - for DOACROSS loops, whether the access happened after the
+      iteration's [await] (and with what delay factor) and whether it
+      happened after the iteration's [advance];
+    - the set of locks held (unordered critical sections).
+
+    Two accesses to the same location from distinct iterations, at
+    least one a write, form a race unless the cascade orders them —
+    iteration [j] is ordered after an access of iteration [i < j] iff
+    the access of [i] precedes [i]'s [advance] and the access of [j]
+    follows [j]'s [await(d)] with [j - d >= i] (the cascade completes
+    iterations in order, so awaiting [j - d] also awaits [i]) — or both
+    accesses hold a common lock (mutual exclusion: no data race, though
+    the outcome may still be order-dependent).
+
+    The detector is a pure observer: it charges no cycles and never
+    changes scheduling, so a monitored run computes exactly what an
+    unmonitored run computes. *)
+
+type access = ARead | AWrite
+
+let show_access = function ARead -> "read" | AWrite -> "write"
+
+type issue = {
+  i_unit : string;  (** reserved; the executor does not track unit names *)
+  i_loop : string;  (** index variable of the monitored loop *)
+  i_cls : Fortran.Ast.loop_class;
+  i_location : string;  (** e.g. ["a(7)"] or ["t"] *)
+  i_iter_a : int;
+  i_kind_a : access;
+  i_iter_b : int;
+  i_kind_b : access;
+}
+
+let issue_to_string i =
+  Printf.sprintf "%s %s: %s/%s race on %s between iterations %d and %d"
+    (Fortran.Ast.loop_keyword i.i_cls)
+    i.i_loop (show_access i.i_kind_a) (show_access i.i_kind_b) i.i_location
+    i.i_iter_a i.i_iter_b
+
+type t = {
+  mutable issues : issue list;  (** newest first *)
+  mutable dropped : int;  (** issues beyond [limit] *)
+  limit : int;
+}
+
+let create ?(limit = 64) () = { issues = []; dropped = 0; limit }
+let issues t = List.rev t.issues
+
+(** Per-worker, per-iteration synchronization state. *)
+type state = {
+  st_iter : int;
+  mutable st_await : int option;
+      (** smallest delay factor awaited so far in this iteration *)
+  mutable st_advanced : bool;  (** past this iteration's [advance] *)
+  mutable st_locks : int list;  (** lock ids currently held *)
+}
+
+let fresh_state iter =
+  { st_iter = iter; st_await = None; st_advanced = false; st_locks = [] }
+
+let note_await st dist =
+  st.st_await <-
+    (match st.st_await with None -> Some dist | Some d -> Some (min d dist))
+
+let note_advance st = st.st_advanced <- true
+let note_lock st id = st.st_locks <- id :: st.st_locks
+
+let note_unlock st id =
+  let rec drop = function
+    | [] -> []
+    | l :: rest -> if l = id then rest else l :: drop rest
+  in
+  st.st_locks <- drop st.st_locks
+
+(* one recorded access *)
+type summary = {
+  m_iter : int;
+  m_kind : access;
+  m_await : int option;
+  m_advanced : bool;
+  m_locks : int list;
+}
+
+type cell = {
+  mutable c_accesses : summary list;
+  mutable c_reported : bool;  (** one issue per location is enough *)
+}
+
+(* bound the per-location log; beyond this we may miss a race on an
+   extremely hot location, which the issue count already dwarfs *)
+let max_summaries = 4096
+
+type loopctx = {
+  lc_det : t;
+  lc_index : string;
+  lc_cls : Fortran.Ast.loop_class;
+  lc_cells : (int * int, cell) Hashtbl.t;  (** (storage id, offset) *)
+}
+
+let enter_loop det ~index ~cls =
+  { lc_det = det; lc_index = index; lc_cls = cls; lc_cells = Hashtbl.create 64 }
+
+(* is [a] (earlier iteration) ordered before [b] by the cascade? *)
+let ordered a b =
+  (not a.m_advanced)
+  &&
+  match b.m_await with
+  | Some d -> b.m_iter - d >= a.m_iter
+  | None -> false
+
+let mutual_lock a b = List.exists (fun l -> List.mem l b.m_locks) a.m_locks
+
+let conflict a b =
+  a.m_iter <> b.m_iter
+  && (a.m_kind = AWrite || b.m_kind = AWrite)
+  && (not (mutual_lock a b))
+  &&
+  let early, late = if a.m_iter < b.m_iter then (a, b) else (b, a) in
+  not (ordered early late)
+
+let report lc loc a b =
+  let det = lc.lc_det in
+  if List.length det.issues >= det.limit then det.dropped <- det.dropped + 1
+  else
+    det.issues <-
+      {
+        i_unit = "";
+        i_loop = lc.lc_index;
+        i_cls = lc.lc_cls;
+        i_location = loc ();
+        i_iter_a = min a.m_iter b.m_iter;
+        i_kind_a = (if a.m_iter <= b.m_iter then a.m_kind else b.m_kind);
+        i_iter_b = max a.m_iter b.m_iter;
+        i_kind_b = (if a.m_iter <= b.m_iter then b.m_kind else a.m_kind);
+      }
+      :: det.issues
+
+(** Log one access to location (storage id [id], element offset [off]).
+    [loc] renders the location lazily — only evaluated when a race is
+    actually found. *)
+let note lc (st : state) (kind : access) ~id ~off ~(loc : unit -> string) =
+  let key = (id, off) in
+  let cell =
+    match Hashtbl.find_opt lc.lc_cells key with
+    | Some c -> c
+    | None ->
+        let c = { c_accesses = []; c_reported = false } in
+        Hashtbl.replace lc.lc_cells key c;
+        c
+  in
+  if not cell.c_reported then begin
+    let here =
+      {
+        m_iter = st.st_iter;
+        m_kind = kind;
+        m_await = st.st_await;
+        m_advanced = st.st_advanced;
+        m_locks = st.st_locks;
+      }
+    in
+    match List.find_opt (fun prev -> conflict prev here) cell.c_accesses with
+    | Some prev ->
+        cell.c_reported <- true;
+        report lc loc prev here
+    | None ->
+        if
+          List.length cell.c_accesses < max_summaries
+          && not (List.mem here cell.c_accesses)
+        then cell.c_accesses <- here :: cell.c_accesses
+  end

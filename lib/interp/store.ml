@@ -3,8 +3,12 @@
     All numeric values are held as OCaml floats (Fortran INTEGERs in the
     workloads stay far below 2^53, so arithmetic is exact); LOGICALs are
     0/1.  Arrays carry their dimension descriptors for subscript
-    linearization and bounds checking.  Each object knows its memory
-    placement so the executor can charge the right latencies. *)
+    linearization and bounds checking, plus the source-level name for
+    diagnostics.  Each object knows its memory placement so the executor
+    can charge the right latencies, and carries a process-unique storage
+    id so the race detector can identify a memory location across
+    aliases (array views passed by reference share the id of their
+    base). *)
 
 open Fortran
 
@@ -12,7 +16,14 @@ exception Runtime_error of string
 
 let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
 
+(* storage ids are drawn from one atomic counter so concurrent service
+   workers (separate domains) never hand out the same id *)
+let id_counter = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add id_counter 1
+
 type arr = {
+  a_name : string;  (** source-level name (the callee formal for views) *)
+  a_id : int;  (** storage identity; shared by views of the same data *)
   a_data : float array;
   a_off : int;  (** start offset into [a_data] (element-anchored actuals) *)
   a_dims : (int * int) array;  (** (lower bound, extent) per dimension *)
@@ -20,8 +31,14 @@ type arr = {
 }
 
 type entry =
-  | Scalar of { mutable v : float; placement : Machine.Memory.placement }
+  | Scalar of {
+      mutable v : float;
+      placement : Machine.Memory.placement;
+      id : int;
+    }
   | Array of arr
+
+let scalar ~placement v = Scalar { v; placement; id = fresh_id () }
 
 type frame = {
   f_unit : Ast.punit;
@@ -29,22 +46,40 @@ type frame = {
   f_vars : (string, entry) Hashtbl.t;
 }
 
-(** Linearize subscripts; bounds-checked. *)
+let ref_str name subs =
+  Printf.sprintf "%s(%s)" name (String.concat "," (List.map string_of_int subs))
+
+let bounds_str (a : arr) =
+  a.a_dims |> Array.to_list
+  |> List.map (fun (lo, ext) ->
+         if ext >= 0 then Printf.sprintf "%d:%d" lo (lo + ext - 1)
+         else Printf.sprintf "%d:*" lo)
+  |> String.concat ","
+
+(** Linearize subscripts; bounds-checked.  Errors name the array, the
+    full offending index vector and the declared bounds. *)
 let linear_index (a : arr) (subs : int list) =
   let n = Array.length a.a_dims in
   if List.length subs <> n then
-    error "rank mismatch: %d subscripts for rank %d" (List.length subs) n;
+    error "rank mismatch: %s has %d subscript(s) but %s is declared rank %d (%s)"
+      (ref_str a.a_name subs) (List.length subs) a.a_name n (bounds_str a);
   let idx = ref a.a_off and mult = ref 1 in
   List.iteri
     (fun k s ->
       let lo, ext = a.a_dims.(k) in
       if ext >= 0 && (s < lo || s >= lo + ext) then
-        error "subscript %d out of bounds [%d..%d] in dim %d" s lo (lo + ext - 1) k;
+        error
+          "subscript out of bounds: %s — index %d of dimension %d is outside \
+           the declared bounds %s(%s)"
+          (ref_str a.a_name subs) s (k + 1) a.a_name (bounds_str a);
       idx := !idx + ((s - lo) * !mult);
       mult := !mult * max ext 1)
     subs;
   if !idx < 0 || !idx >= Array.length a.a_data then
-    error "linearized index %d out of storage %d" !idx (Array.length a.a_data);
+    error "subscript out of bounds: %s — linearized offset %d exceeds the %d \
+           element(s) of storage behind %s(%s)"
+      (ref_str a.a_name subs) !idx (Array.length a.a_data) a.a_name
+      (bounds_str a);
   !idx
 
 let get_elem a subs = a.a_data.(linear_index a subs)
@@ -53,9 +88,11 @@ let set_elem a subs v = a.a_data.(linear_index a subs) <- v
 let total_elems dims =
   Array.fold_left (fun acc (_, ext) -> acc * max ext 1) 1 dims
 
-let make_array ~placement dims =
+let make_array ~placement ~name dims =
   let dims = Array.of_list dims in
   {
+    a_name = name;
+    a_id = fresh_id ();
     a_data = Array.make (total_elems dims) 0.0;
     a_off = 0;
     a_dims = dims;

@@ -525,8 +525,40 @@ let inner_doallable ctx ~live_after ~facts (body : Ast.stmt list) : bool =
   | _ -> false
 
 (** Transform one sequential loop according to the analysis and the cost
-    model; returns replacement statements. *)
+    model, then (under [Options.validate]) re-verify the emitted
+    statements with the independent checker — a loop that fails is
+    demoted back to serial with the validator's findings recorded as
+    blockers in its report.  Returns replacement statements. *)
 let rec transform_loop (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
+    ~(facts : (string * string) list) ~depth (h : Ast.do_header)
+    (blk : Ast.block) : Ast.stmt list =
+  let stmts = transform_loop_raw ctx ~avail ~after_reads ~facts ~depth h blk in
+  if not ctx.opts.Options.validate then stmts
+  else
+    match validator_issues ctx ~facts stmts with
+    | [] -> stmts
+    | issues ->
+        ctx.reports <-
+          {
+            r_unit = ctx.unit_name;
+            r_index = h.Ast.index;
+            r_depth = depth;
+            r_decision = "demoted (validator)";
+            r_mode = None;
+            r_techniques = [];
+            r_blockers = List.map (fun i -> i.Validate.v_what) issues;
+            r_versions = 1;
+          }
+          :: ctx.reports;
+        (* rebuild from the untransformed loop; inner loops re-transform
+           (and re-validate) individually *)
+        serial_with_inner ctx ~avail ~after_reads ~facts ~depth h blk
+
+and validator_issues ctx ~facts stmts =
+  Validate.check_stmts_in ~syms:ctx.syms ~interproc:ctx.interproc
+    ~unit_name:ctx.unit_name ~facts stmts
+
+and transform_loop_raw (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
     ~(facts : (string * string) list) ~depth (h : Ast.do_header)
     (blk : Ast.block) : Ast.stmt list =
   if ctx.interrupt () then raise Interrupted;
@@ -829,6 +861,30 @@ and back_edge_live ctx (h : Ast.do_header) (body : Ast.stmt list) : SSet.t =
       else true)
     exposed
 
+(* serial-semantics rewrite of a parallel loop that failed validation:
+   preamble once, body as an ordinary DO with the cascade synchronization
+   stripped, postamble once.  Loop-local declarations become ordinary
+   unit variables (their fresh names cannot collide). *)
+and serialize_parallel_loop (h : Ast.do_header) (blk : Ast.block) :
+    Ast.stmt list =
+  let strip stmts =
+    Ast_utils.rewrite_stmts
+      (fun s ->
+        match s with
+        | Ast.CallSt (n, _)
+          when List.mem (String.lowercase_ascii n) [ "await"; "advance" ] ->
+            []
+        | s -> [ s ])
+      stmts
+  in
+  strip blk.Ast.preamble
+  @ [
+      Ast.Do
+        ( { h with Ast.cls = Ast.Seq; locals = [] },
+          Ast.seq_block (strip blk.Ast.body) );
+    ]
+  @ strip blk.Ast.postamble
+
 (* keep this loop serial but restructure inside it *)
 and serial_with_inner ctx ~avail ~after_reads ~facts ~depth h blk =
   let facts = facts @ bound_facts h in
@@ -994,6 +1050,27 @@ and transform_stmts ctx ~avail ~after_reads ?(facts = []) ~depth
                       ~facts:(facts @ ne_facts_of_cond false c)
                       ~depth e );
               ]
+          | Ast.Do (h, blk)
+            when h.Ast.cls <> Ast.Seq && ctx.opts.Options.validate -> (
+              (* an input (already-parallel) loop: verify it as written;
+                 a failed check serializes it *)
+              match validator_issues ctx ~facts [ s ] with
+              | [] -> [ s ]
+              | issues ->
+                  ctx.reports <-
+                    {
+                      r_unit = ctx.unit_name;
+                      r_index = h.Ast.index;
+                      r_depth = depth;
+                      r_decision = "demoted (validator)";
+                      r_mode = None;
+                      r_techniques = [];
+                      r_blockers =
+                        List.map (fun i -> i.Validate.v_what) issues;
+                      r_versions = 1;
+                    }
+                    :: ctx.reports;
+                  serialize_parallel_loop h blk)
           | s -> [ s ]
         in
         (s' @ rest', here_after)

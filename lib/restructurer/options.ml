@@ -41,6 +41,9 @@ type t = {
   inline_limits : Transform.Inline.limits;
   placement_default : Transform.Globalize.placement_default;
   assumed_trip : int;  (** trip-count guess when bounds are symbolic *)
+  validate : bool;
+      (** re-verify every emitted parallel loop with the independent
+          static checker; loops that fail are demoted to serial *)
 }
 
 let base_techniques =
@@ -87,6 +90,7 @@ let make ~techniques machine =
     inline_limits = Transform.Inline.default_limits;
     placement_default = Transform.Globalize.Default_cluster;
     assumed_trip = 100;
+    validate = false;
   }
 
 let auto_1991 machine = make ~techniques:base_techniques machine

@@ -34,6 +34,9 @@ type t = {
   inline_limits : Transform.Inline.limits;
   placement_default : Transform.Globalize.placement_default;
   assumed_trip : int;  (** trip-count guess for symbolic bounds *)
+  validate : bool;
+      (** re-verify every emitted parallel loop with the independent
+          static checker; loops that fail are demoted to serial *)
 }
 
 val base_techniques : techniques

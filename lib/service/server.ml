@@ -89,6 +89,25 @@ let execute t ticket =
       let text =
         Fortran.Printer.program_to_string result.Restructurer.Driver.program
       in
+      (* under --validate, re-verify the emitted text (print → reparse →
+         independent dependence re-analysis); unverified output is
+         neither cached nor returned *)
+      let rejected =
+        if not r.req_options.Restructurer.Options.validate then None
+        else
+          match Validate.check_source text with
+          | Ok [] -> None
+          | Ok issues ->
+              Some
+                (Printf.sprintf "validator rejected emitted code: %s"
+                   (String.concat "; "
+                      (List.map Validate.issue_to_string issues)))
+          | Error msg ->
+              Some (Printf.sprintf "emitted code does not reparse: %s" msg)
+      in
+      match rejected with
+      | Some msg -> Failed msg
+      | None ->
       let cycles, words =
         match
           Perfmodel.Model.evaluate

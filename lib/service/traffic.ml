@@ -4,6 +4,7 @@ type cfg = {
   seed : int;
   size_jitter : int;
   batch : int;
+  validate : bool;
 }
 
 type summary = {
@@ -18,14 +19,21 @@ type summary = {
 }
 
 let default_cfg =
-  { requests = 200; clients = 8; seed = 42; size_jitter = 4; batch = 4 }
+  {
+    requests = 200;
+    clients = 8;
+    seed = 42;
+    size_jitter = 4;
+    batch = 4;
+    validate = false;
+  }
 
 let corpus () = Workloads.Linalg.all @ Workloads.Perfect.all
 
 (* Each request index gets its own RNG state seeded by (seed, i): the
    sequence is deterministic and any single index can be replayed in
    isolation, hitting the cache entry of the original. *)
-let nth_request ~seed ~size_jitter ~batch i =
+let nth_request ?(validate = false) ~seed ~size_jitter ~batch i =
   let rng = Random.State.make [| seed; i |] in
   let corpus = Array.of_list (corpus ()) in
   (* draw [batch] distinct workloads: partial Fisher-Yates over a copy
@@ -55,6 +63,7 @@ let nth_request ~seed ~size_jitter ~batch i =
     if Random.State.bool rng then (Restructurer.Options.advanced machine, "adv")
     else (Restructurer.Options.auto_1991 machine, "auto")
   in
+  let options = { options with Restructurer.Options.validate } in
   let head_w, head_n = List.hd sized in
   let name =
     if k = 1 then
@@ -95,8 +104,8 @@ let run server (cfg : cfg) =
   let next = ref 0 in
   let submit_one () =
     let req =
-      nth_request ~seed:cfg.seed ~size_jitter:cfg.size_jitter ~batch:cfg.batch
-        !next
+      nth_request ~validate:cfg.validate ~seed:cfg.seed
+        ~size_jitter:cfg.size_jitter ~batch:cfg.batch !next
     in
     incr next;
     Queue.push (req.Server.req_name, Server.submit server req) window

@@ -18,6 +18,10 @@ type cfg = {
       (** corpus sources concatenated per request (a whole-application
           compile job); larger batches mean heavier, better-parallelizing
           jobs *)
+  validate : bool;
+      (** request [Options.validate] on every job: the driver demotes
+          loops the independent checker rejects and the server refuses
+          to cache or return unverified output *)
 }
 
 type summary = {
@@ -32,14 +36,15 @@ type summary = {
 }
 
 val default_cfg : cfg
-(** 200 requests, 8 clients, seed 42, jitter 4, batch 4. *)
+(** 200 requests, 8 clients, seed 42, jitter 4, batch 4, no validation. *)
 
 val corpus : unit -> Workloads.Workload.t list
 (** The replayed programs: all of [Workloads.Linalg] and
     [Workloads.Perfect]. *)
 
 val nth_request :
-  seed:int -> size_jitter:int -> batch:int -> int -> Server.request
+  ?validate:bool -> seed:int -> size_jitter:int -> batch:int -> int ->
+  Server.request
 (** The [i]-th request of the sequence for [seed] — deterministic, so a
     replayed index collides with the original in the cache. *)
 

@@ -1,0 +1,31 @@
+(* Golden-output generator: prints the emitted Cedar Fortran for every
+   workload in the corpus under one technique set ("auto" or "advanced").
+
+   The runtest alias diffs this against test/golden_<set>.expected, so any
+   change to what the restructurer emits shows up as a reviewable diff;
+   intentional changes are accepted with `dune promote`. *)
+
+let cedar = Machine.Config.cedar_config1
+
+let () =
+  let opts =
+    match Sys.argv with
+    | [| _; "auto" |] -> Restructurer.Options.auto_1991 cedar
+    | [| _; "advanced" |] -> Restructurer.Options.advanced cedar
+    | _ ->
+        prerr_endline "usage: golden_gen (auto|advanced)";
+        exit 2
+  in
+  let corpus = Workloads.Linalg.all @ Workloads.Perfect.all in
+  List.iter
+    (fun w ->
+      let n = w.Workloads.Workload.small_size in
+      let prog =
+        Fortran.Parser.parse_program (w.Workloads.Workload.source n)
+      in
+      let result = Restructurer.Driver.restructure opts prog in
+      Printf.printf "===== %s (n = %d) =====\n" w.Workloads.Workload.name n;
+      print_string
+        (Fortran.Printer.program_to_string result.Restructurer.Driver.program);
+      print_newline ())
+    corpus

@@ -150,9 +150,12 @@ and gen_stmts idxs depth n : Ast.stmt list G.t =
   in
   go k []
 
-let gen_program : Ast.program G.t =
-  let* body = gen_stmts [] 3 5 in
-  (* initialize arrays and scalars deterministically, then dump checksums *)
+(* ------------------------------------------------------------------ *)
+(* Shared harness: deterministic init, checksum dump                   *)
+(* ------------------------------------------------------------------ *)
+
+(* initialize arrays and scalars deterministically, then dump checksums *)
+let harness body =
   let init =
     List.concat_map
       (fun (k, arr) ->
@@ -212,18 +215,179 @@ let gen_program : Ast.program G.t =
         })
       arrays
   in
+  [
+    {
+      Ast.u_name = "fuzz";
+      u_kind = Ast.Program;
+      u_decls = decls;
+      u_commons = [];
+      u_equivs = [];
+      u_params = [];
+      u_body = init @ body @ dump;
+    };
+  ]
+
+let gen_program : Ast.program G.t =
+  let* body = gen_stmts [] 3 5 in
+  G.return (harness body)
+
+(* ------------------------------------------------------------------ *)
+(* Hardened generators: loop shapes aimed at the trickiest transforms  *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_idx idxs = Printf.sprintf "i%d" (List.length idxs + 1)
+
+(* subscripts valid from iteration 1 on (no negative offsets) *)
+let gen_fwd_subscript idx : Ast.expr G.t =
+  G.oneof
+    [
+      G.return (Ast.Var idx);
+      G.map
+        (fun k -> Ast.Bin (Ast.Add, Ast.Var idx, Ast.Int k))
+        (G.int_range 1 2);
+      G.map (fun k -> Ast.Int k) (G.int_range 1 14);
+    ]
+
+(* expressions that only READ: array elements from [reads], scalars,
+   constants — safe inside bodies whose write sets we control exactly *)
+let rec gen_rexpr ?(subs = gen_subscript) reads idx depth : Ast.expr G.t =
+  let leaf =
+    G.oneof
+      [
+        G.map (fun k -> Ast.Int k) (G.int_range 0 9);
+        G.map (fun v -> Ast.Var v) (G.oneofl scalars);
+        (let* arr = G.oneofl reads in
+         let* sub = subs idx in
+         G.return (Ast.Idx (arr, [ sub ])));
+      ]
+  in
+  if depth <= 0 then leaf
+  else
+    G.oneof
+      [
+        leaf;
+        (let* op = G.oneofl [ Ast.Add; Ast.Sub; Ast.Mul ] in
+         let* a = gen_rexpr ~subs reads idx (depth - 1) in
+         let* b = gen_rexpr ~subs reads idx (depth - 1) in
+         G.return (Ast.Bin (op, a, b)));
+      ]
+
+(* a(i) = a(i-d) + e with d in 1..2: a distance-d carried dependence the
+   advanced driver synchronizes with a CDOACROSS await/advance cascade;
+   a second, independent write gives the loop parallel work worth
+   pipelining *)
+let gen_carried_loop idxs : Ast.stmt G.t =
+  let idx = fresh_idx idxs in
+  let* arr = G.oneofl arrays in
+  let reads = List.filter (fun a -> a <> arr) arrays in
+  let* d = G.int_range 1 2 in
+  let* lo = G.int_range 3 4 in
+  let* hi = G.int_range 8 14 in
+  let* e = gen_rexpr reads idx 1 in
+  let* extra_w = G.oneofl reads in
+  let* e2 = gen_rexpr (List.filter (fun a -> a <> extra_w) reads) idx 1 in
+  let body =
+    [
+      Ast.Assign
+        ( Ast.LIdx (arr, [ Ast.Var idx ]),
+          Ast.Bin
+            ( Ast.Add,
+              Ast.Idx (arr, [ Ast.Bin (Ast.Sub, Ast.Var idx, Ast.Int d) ]),
+              e ) );
+      Ast.Assign (Ast.LIdx (extra_w, [ Ast.Var idx ]), e2);
+    ]
+  in
+  G.return
+    (Ast.Do
+       ( {
+           Ast.index = idx;
+           lo = Ast.Int lo;
+           hi = Ast.Int hi;
+           step = None;
+           cls = Ast.Seq;
+           locals = [];
+         },
+         Ast.seq_block body ))
+
+(* a(j0 + (i-1)*u) with u assigned at run time: the coefficient is
+   symbolic, so static analysis must assume a dependence and the driver
+   emits a two-version loop under a run-time independence test *)
+let gen_twoversion_stmts idxs : Ast.stmt list G.t =
+  let idx = fresh_idx idxs in
+  let* arr = G.oneofl arrays in
+  let reads = List.filter (fun a -> a <> arr) arrays in
+  let* j0 = G.int_range 1 3 in
+  let* m = G.int_range 3 4 in
+  let* hi = G.int_range 4 9 in
+  (* the loop starts at 1: only offset-free subscripts are in bounds *)
+  let* e = gen_rexpr ~subs:gen_fwd_subscript reads idx 1 in
+  let sub =
+    Ast.Bin
+      ( Ast.Add,
+        Ast.Int j0,
+        Ast.Bin
+          (Ast.Mul, Ast.Bin (Ast.Sub, Ast.Var idx, Ast.Int 1), Ast.Var "u") )
+  in
   G.return
     [
-      {
-        Ast.u_name = "fuzz";
-        u_kind = Ast.Program;
-        u_decls = decls;
-        u_commons = [];
-        u_equivs = [];
-        u_params = [];
-        u_body = init @ body @ dump;
-      };
+      Ast.Assign (Ast.LVar "u", Ast.Int m);
+      Ast.Do
+        ( {
+            Ast.index = idx;
+            lo = Ast.Int 1;
+            hi = Ast.Int hi;
+            step = None;
+            cls = Ast.Seq;
+            locals = [];
+          },
+          Ast.seq_block [ Ast.Assign (Ast.LIdx (arr, [ sub ]), e) ] );
     ]
+
+(* assignments guarded by element-wise IFs over a distinct read array:
+   vectorization IF-converts these into WHERE blocks *)
+let gen_ifwhere_loop idxs : Ast.stmt G.t =
+  let idx = fresh_idx idxs in
+  let* w = G.oneofl arrays in
+  let reads = List.filter (fun a -> a <> w) arrays in
+  let* lo = G.int_range 3 4 in
+  let* hi = G.int_range 8 14 in
+  let* e1 = gen_rexpr reads idx 1 in
+  let* cr = G.oneofl reads in
+  let* k = G.int_range 5 200 in
+  let* e2 = gen_rexpr reads idx 1 in
+  let body =
+    [
+      Ast.Assign (Ast.LIdx (w, [ Ast.Var idx ]), e1);
+      Ast.If
+        ( Ast.Bin (Ast.Gt, Ast.Idx (cr, [ Ast.Var idx ]), Ast.Int k),
+          [ Ast.Assign (Ast.LIdx (w, [ Ast.Var idx ]), e2) ],
+          [] );
+    ]
+  in
+  G.return
+    (Ast.Do
+       ( {
+           Ast.index = idx;
+           lo = Ast.Int lo;
+           hi = Ast.Int hi;
+           step = None;
+           cls = Ast.Seq;
+           locals = [];
+         },
+         Ast.seq_block body ))
+
+let gen_special_stmts : Ast.stmt list G.t =
+  let* kind = G.oneofl [ `Carried; `TwoVersion; `IfWhere ] in
+  match kind with
+  | `Carried -> G.map (fun l -> [ l ]) (gen_carried_loop [])
+  | `TwoVersion -> gen_twoversion_stmts []
+  | `IfWhere -> G.map (fun l -> [ l ]) (gen_ifwhere_loop [])
+
+let gen_program_hard : Ast.program G.t =
+  let* pre = gen_stmts [] 2 2 in
+  let* specials = G.list_size (G.int_range 1 2) gen_special_stmts in
+  let* post = gen_stmts [] 2 2 in
+  G.return (harness (pre @ List.concat specials @ post))
 
 (* ------------------------------------------------------------------ *)
 (* The differential property                                           *)
@@ -231,35 +395,135 @@ let gen_program : Ast.program G.t =
 
 let run_prog prog = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.output
 
-let preserves opts prog =
+(* One seed for all fuzz properties, so a failure anywhere is replayed
+   with a single environment variable.  Mirrors qcheck-alcotest's own
+   QCHECK_SEED handling, but keeps the value in our hands so failure
+   reports can embed the repro command. *)
+let seed =
+  lazy
+    (let s =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some s -> ( try int_of_string s with _ -> 0)
+       | None ->
+           Random.self_init ();
+           Random.int 1_000_000_000
+     in
+     Printf.printf "fuzz: seed %d (repro: QCHECK_SEED=%d dune runtest)\n%!" s s;
+     s)
+
+let rand () = Random.State.make [| Lazy.force seed |]
+
+(* Called on every failing candidate, including during shrinking — the
+   artifact file is overwritten each time, so what survives on disk is
+   the most-shrunk counterexample. *)
+let report_failure ~prop prog detail =
+  let s = Lazy.force seed in
+  let text = Printer.program_to_string prog in
+  Printf.eprintf
+    "--- fuzz failure: %s (seed %d) ---\n%s--- program ---\n%s\nrepro: QCHECK_SEED=%d dune runtest\n%!"
+    prop s detail text s;
+  (match Sys.getenv_opt "FUZZ_ARTIFACT_DIR" with
+  | Some dir when dir <> "" -> (
+      try
+        let file = Filename.concat dir (Printf.sprintf "%s-seed%d.f" prop s) in
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.eprintf "fuzz: counterexample saved to %s\n%!" file
+      with Sys_error _ -> ())
+  | _ -> ());
+  false
+
+let preserves ~prop opts prog =
   let orig = run_prog prog in
   let res = R.Driver.restructure opts prog in
   let printed = Printer.program_to_string res.R.Driver.program in
   let reparsed = Parser.parse_program printed in
   let out = run_prog reparsed in
-  if orig <> out then begin
-    Printf.eprintf "--- fuzz mismatch ---\noriginal: %srestructured: %s\n%s\n"
-      orig out printed;
-    false
-  end
+  if orig <> out then
+    report_failure ~prop prog
+      (Printf.sprintf
+         "original output: %srestructured output: %s--- emitted ---\n%s" orig
+         out printed)
   else true
+
+(* the full trust-but-verify pipeline: restructure with the validator on,
+   then require (a) semantics preserved, (b) the independent static
+   checker accepts the printed text, (c) an instrumented run sees no
+   races *)
+let validated ~prop prog =
+  let opts =
+    { (R.Options.advanced cedar) with R.Options.validate = true }
+  in
+  let orig = run_prog prog in
+  let res = R.Driver.restructure opts prog in
+  let printed = Printer.program_to_string res.R.Driver.program in
+  let reparsed = Parser.parse_program printed in
+  let out = run_prog reparsed in
+  if orig <> out then
+    report_failure ~prop prog
+      (Printf.sprintf
+         "original output: %srestructured output: %s--- emitted ---\n%s" orig
+         out printed)
+  else
+    match Validate.check_source printed with
+    | Error msg ->
+        report_failure ~prop prog
+          (Printf.sprintf "emitted text does not reparse: %s\n" msg)
+    | Ok (_ :: _ as issues) ->
+        report_failure ~prop prog
+          (Printf.sprintf "static validator rejected the emitted code:\n%s\n"
+             (String.concat "\n"
+                (List.map Validate.issue_to_string issues)))
+    | Ok [] ->
+        let races, _ = Validate.check_dynamic ~cfg:cedar reparsed in
+        if races <> [] then
+          report_failure ~prop prog
+            (Printf.sprintf "dynamic races in the emitted code:\n%s\n%s\n"
+               (String.concat "\n"
+                  (List.map Interp.Race.issue_to_string races))
+               printed)
+        else true
 
 let arbitrary_program =
   QCheck.make gen_program ~print:Printer.program_to_string
 
+let arbitrary_hard =
+  QCheck.make gen_program_hard ~print:Printer.program_to_string
+
+(* long_factor 50: the nightly job (QCHECK_LONG=1) runs each property at
+   50x the PR-gate count *)
 let prop_auto =
   QCheck.Test.make ~name:"fuzz: auto restructuring preserves semantics"
-    ~count:120 arbitrary_program (fun prog ->
-      preserves (R.Options.auto_1991 cedar) prog)
+    ~count:120 ~long_factor:50 arbitrary_program (fun prog ->
+      preserves ~prop:"auto" (R.Options.auto_1991 cedar) prog)
 
 let prop_advanced =
   QCheck.Test.make ~name:"fuzz: advanced restructuring preserves semantics"
-    ~count:120 arbitrary_program (fun prog ->
-      preserves (R.Options.advanced cedar) prog)
+    ~count:120 ~long_factor:50 arbitrary_program (fun prog ->
+      preserves ~prop:"advanced" (R.Options.advanced cedar) prog)
+
+let prop_hard_auto =
+  QCheck.Test.make
+    ~name:"fuzz: hardened shapes preserve semantics (auto)" ~count:80
+    ~long_factor:50 arbitrary_hard (fun prog ->
+      preserves ~prop:"hard-auto" (R.Options.auto_1991 cedar) prog)
+
+let prop_hard_advanced =
+  QCheck.Test.make
+    ~name:"fuzz: hardened shapes preserve semantics (advanced)" ~count:80
+    ~long_factor:50 arbitrary_hard (fun prog ->
+      preserves ~prop:"hard-advanced" (R.Options.advanced cedar) prog)
+
+let prop_validated =
+  QCheck.Test.make
+    ~name:"fuzz: validated output passes the checker and is race-free"
+    ~count:60 ~long_factor:50 arbitrary_hard (fun prog ->
+      validated ~prop:"validated" prog)
 
 let prop_roundtrip =
   QCheck.Test.make ~name:"fuzz: printed programs reparse equal" ~count:120
-    arbitrary_program (fun prog ->
+    ~long_factor:50 arbitrary_program (fun prog ->
       let printed = Printer.program_to_string prog in
       let p2 = Parser.parse_program printed in
       let strip u =
@@ -269,9 +533,12 @@ let prop_roundtrip =
 
 let tests =
   [
-    QCheck_alcotest.to_alcotest prop_roundtrip;
-    QCheck_alcotest.to_alcotest prop_auto;
-    QCheck_alcotest.to_alcotest prop_advanced;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_roundtrip;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_auto;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_advanced;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_hard_auto;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_hard_advanced;
+    QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_validated;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -325,19 +592,11 @@ and gen_stmts_noif idxs depth n =
 
 let gen_loop_program : Ast.program G.t =
   let* body = gen_stmts_noif [] 3 4 in
-  let* prog = gen_program in
-  (* reuse gen_program's init/checksum harness, swap the middle *)
-  match prog with
-  | [ u ] ->
-      let n = List.length u.Ast.u_body in
-      let init = List.filteri (fun i _ -> i < 8) u.Ast.u_body in
-      let dump = List.filteri (fun i _ -> i >= n - 2) u.Ast.u_body in
-      G.return [ { u with Ast.u_body = init @ body @ dump } ]
-  | _ -> assert false
+  G.return (harness body)
 
 let prop_engines_agree =
   QCheck.Test.make ~name:"perfmodel tracks the DES within 3x on loop programs"
-    ~count:60
+    ~count:60 ~long_factor:50
     (QCheck.make gen_loop_program ~print:Printer.program_to_string)
     (fun prog ->
       let des = (Interp.Exec.run ~cfg:cedar prog).Interp.Exec.cycles in
@@ -351,4 +610,4 @@ let prop_engines_agree =
       end
       else true)
 
-let tests = tests @ [ QCheck_alcotest.to_alcotest prop_engines_agree ]
+let tests = tests @ [ QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_engines_agree ]

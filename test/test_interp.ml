@@ -351,6 +351,31 @@ let test_cedar_dotp () =
   in
   Alcotest.(check string) "dotp" "200 \n" r.Interp.Exec.output
 
+(* out-of-bounds diagnostics must name the array, the offending index
+   vector, and the declared bounds *)
+let test_oob_diagnostic () =
+  let src = {|
+      program p
+      real a(10, 5)
+      i = 11
+      a(i, 3) = 1.0
+      end
+|} in
+  match run src with
+  | _ -> Alcotest.fail "expected out-of-bounds error"
+  | exception Interp.Store.Runtime_error msg ->
+      let contains affix =
+        let n = String.length affix and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = affix || go (i + 1)) in
+        n = 0 || go 0
+      in
+      if not (contains "a(11,3)") then
+        Alcotest.failf "message lacks the index vector: %s" msg;
+      if not (contains "a(1:10,1:5)") then
+        Alcotest.failf "message lacks the declared bounds: %s" msg;
+      if not (contains "dimension 1") then
+        Alcotest.failf "message lacks the offending dimension: %s" msg
+
 let tests =
   [
     Alcotest.test_case "arith" `Quick test_arith;
@@ -370,4 +395,5 @@ let tests =
     Alcotest.test_case "read input" `Quick test_read_input;
     Alcotest.test_case "cedar_slr1" `Quick test_cedar_slr1;
     Alcotest.test_case "cedar_dotp" `Quick test_cedar_dotp;
+    Alcotest.test_case "out-of-bounds diagnostic" `Quick test_oob_diagnostic;
   ]

@@ -13,5 +13,6 @@ let () =
       ("synthetic", Test_synthetic.tests);
       ("tasking", Test_tasking.tests);
       ("service", Test_service.tests);
+      ("validate", Test_validate.tests);
       ("fuzz", Test_fuzz.tests);
     ]

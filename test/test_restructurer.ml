@@ -253,6 +253,40 @@ let test_giv_triangular () =
          List.mem "generalized induction variable" r.R.Driver.r_techniques)
        res_adv.R.Driver.reports)
 
+(* A v = v + k update under an IF executes a data-dependent number of
+   times: it has no closed form and must NOT be recognized as a GIV
+   (regression: the substitution used to hoist the guarded update out of
+   its IF and drop the variable's final value). *)
+let guarded_giv_src =
+  {|
+      program p
+      real a(40)
+      do i0 = 1, 40
+        a(i0) = i0*2.0
+      enddo
+      t = 4
+      do i = 4, 11
+        do j = 3, 10
+          if (a(i - 2) .le. a(j + 2)) then
+            t = i + 2 + t
+          endif
+          do k = 4, 7
+            s = max(s, t)
+          enddo
+        enddo
+      enddo
+      print *, s, t
+      end
+|}
+
+let test_giv_guarded_update () =
+  let res = check_semantics "guarded giv" guarded_giv_src in
+  Alcotest.(check bool) "guarded update is not substituted" false
+    (List.exists
+       (fun r ->
+         List.mem "generalized induction variable" r.R.Driver.r_techniques)
+       res.R.Driver.reports)
+
 (* ---------- run-time dependence test (OCEAN pattern) ---------- *)
 
 let rt_src =
@@ -465,6 +499,7 @@ let tests =
     Alcotest.test_case "array privatization" `Quick test_array_privatization;
     Alcotest.test_case "array reduction" `Quick test_array_reduction;
     Alcotest.test_case "giv triangular" `Quick test_giv_triangular;
+    Alcotest.test_case "giv guarded update" `Quick test_giv_guarded_update;
     Alcotest.test_case "runtime test" `Quick test_runtime_test;
     Alcotest.test_case "doacross" `Quick test_doacross;
     Alcotest.test_case "recurrence substitution" `Quick

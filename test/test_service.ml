@@ -228,7 +228,14 @@ let test_traffic_closed_loop () =
     Server.create ~workers:3 ~oversubscribe:true ~cache_capacity:32 ()
   in
   let cfg =
-    { Traffic.requests = 30; clients = 4; seed = 5; size_jitter = 2; batch = 1 }
+    {
+      Traffic.requests = 30;
+      clients = 4;
+      seed = 5;
+      size_jitter = 2;
+      batch = 1;
+      validate = false;
+    }
   in
   let s = Traffic.run server cfg in
   Alcotest.(check int) "all resolved" 30

@@ -80,11 +80,26 @@ let service_bench () =
   let warm = Service.Traffic.run server cfg in
   let effective = Service.Server.effective_workers server in
   let stats = Service.Server.shutdown server in
+  (* chaos pass on a fresh pool: every fault site at 10%, fixed seed —
+     measures the survival overhead of the self-healing machinery *)
+  let fault =
+    Service.Fault.create ~seed:cfg.Service.Traffic.seed
+      (List.map (fun s -> (s, 0.1)) Service.Fault.all_sites)
+  in
+  let chaos_server =
+    Service.Server.create ~workers ~cache_capacity:256 ~timeout_ms:30_000.0
+      ~fault ()
+  in
+  let chaos = Service.Traffic.run chaos_server cfg in
+  let chaos_stats = Service.Server.shutdown chaos_server in
   print_endline "Service throughput (closed-loop traffic generator)";
   print_endline "==================================================";
-  print_endline ("cold: " ^ Service.Traffic.summary_to_string cold);
-  print_endline ("warm: " ^ Service.Traffic.summary_to_string warm);
+  print_endline ("cold:  " ^ Service.Traffic.summary_to_string cold);
+  print_endline ("warm:  " ^ Service.Traffic.summary_to_string warm);
+  print_endline ("chaos: " ^ Service.Traffic.summary_to_string chaos);
   print_endline (Service.Stats.to_string stats);
+  print_endline "--- chaos pass (all sites at 10%) ---";
+  print_endline (Service.Stats.to_string chaos_stats);
   let throughput (s : Service.Traffic.summary) =
     if s.Service.Traffic.s_wall_s > 0.0 then
       float_of_int s.Service.Traffic.s_requests /. s.Service.Traffic.s_wall_s
@@ -109,7 +124,17 @@ let service_bench () =
   "wall_s": %.3f,
   "failed": %d,
   "timed_out": %d,
-  "cancelled": %d
+  "cancelled": %d,
+  "chaos_throughput_jobs_per_s": %.2f,
+  "chaos_resolved": %d,
+  "chaos_rung_full": %d,
+  "chaos_rung_conservative": %d,
+  "chaos_rung_passthrough": %d,
+  "chaos_retries": %d,
+  "chaos_respawns": %d,
+  "chaos_degraded": %d,
+  "chaos_corrupt_dropped": %d,
+  "chaos_faults_injected": %d
 }
 |}
       cfg.Service.Traffic.requests workers effective
@@ -122,6 +147,17 @@ let service_bench () =
       (cold.Service.Traffic.s_failed + warm.Service.Traffic.s_failed)
       (cold.Service.Traffic.s_timeout + warm.Service.Traffic.s_timeout)
       (cold.Service.Traffic.s_cancelled + warm.Service.Traffic.s_cancelled)
+      (throughput chaos)
+      (chaos.Service.Traffic.s_fresh + chaos.Service.Traffic.s_cached
+     + chaos.Service.Traffic.s_failed + chaos.Service.Traffic.s_timeout
+     + chaos.Service.Traffic.s_cancelled)
+      chaos_stats.Service.Stats.rung_full
+      chaos_stats.Service.Stats.rung_conservative
+      chaos_stats.Service.Stats.rung_passthrough
+      chaos_stats.Service.Stats.retries chaos_stats.Service.Stats.respawns
+      chaos_stats.Service.Stats.degraded
+      chaos_stats.Service.Stats.corrupt_dropped
+      chaos_stats.Service.Stats.faults_injected
   in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;

@@ -68,10 +68,28 @@ let sweep_validate verbose =
   !static_rej = 0 && !dynamic_races = 0
 
 let run workers cache_size timeout_ms requests clients seed jitter batch
-    oversubscribe validate verbose =
+    oversubscribe validate chaos chaos_seed chaos_stealth chaos_delay_ms
+    verbose =
+  let fault =
+    match chaos with
+    | None -> Ok Service.Fault.none
+    | Some spec -> (
+        match Service.Fault.parse_spec spec with
+        | Error msg -> Error msg
+        | Ok sites ->
+            Ok
+              (Service.Fault.create ~seed:chaos_seed ~stealth:chaos_stealth
+                 ~delay_ms:chaos_delay_ms sites))
+  in
+  match fault with
+  | Error msg ->
+      Printf.eprintf "cedard: bad --chaos spec: %s\n" msg;
+      2
+  | Ok fault ->
+  let chaotic = Service.Fault.active fault in
   let server =
     Service.Server.create ~workers ~cache_capacity:cache_size ~timeout_ms
-      ~oversubscribe ()
+      ~oversubscribe ~fault ()
   in
   let cfg =
     {
@@ -88,7 +106,12 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
     workers cache_size
     (if timeout_ms > 0.0 then Printf.sprintf "%.0f ms" timeout_ms else "none")
     requests cfg.Service.Traffic.clients seed cfg.Service.Traffic.batch
-    (if validate then ", validated" else "");
+    ((if validate then ", validated" else "")
+    ^
+    if chaotic then
+      Printf.sprintf ", chaos seed %d%s" chaos_seed
+        (if chaos_stealth then " stealth" else "")
+    else "");
   let effective = Service.Server.effective_workers server in
   if effective <> workers then
     Printf.printf
@@ -119,18 +142,24 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
               | None -> "");
           true
       | Service.Server.Done { cached = false; _ } ->
-          (* only wrong if the entry should still be resident *)
+          (* only wrong if the entry should still be resident; under
+             chaos the entry may have been corrupted and dropped, or the
+             original may never have completed at the full rung *)
           Printf.printf "replay: re-ran the restructurer (entry evicted?)\n";
-          requests > cache_size
+          chaotic || requests > cache_size
       | _ ->
           print_endline "replay: request did not complete";
-          false
+          chaotic
     end
     else true
   in
   let stats = Service.Server.shutdown server in
   print_endline "--- service stats ---";
   print_endline (Service.Stats.to_string stats);
+  if chaotic then begin
+    print_endline "--- fault log ---";
+    print_endline (Service.Fault.log_to_string fault)
+  end;
   let sweep_ok =
     if not validate then true
     else begin
@@ -138,11 +167,22 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
       sweep_validate verbose
     end
   in
+  (* under chaos, individual failures and timeouts are the point; the
+     survival criterion is that every submitted job resolved and the
+     pool stayed alive to the end *)
+  let resolved =
+    summary.Service.Traffic.s_fresh + summary.Service.Traffic.s_cached
+    + summary.Service.Traffic.s_failed + summary.Service.Traffic.s_timeout
+    + summary.Service.Traffic.s_cancelled
+  in
   let clean =
-    summary.Service.Traffic.s_failed = 0
-    && summary.Service.Traffic.s_timeout = 0
-    && summary.Service.Traffic.s_cancelled = 0
-    && replay_ok && sweep_ok
+    if chaotic then
+      resolved = summary.Service.Traffic.s_requests && replay_ok && sweep_ok
+    else
+      summary.Service.Traffic.s_failed = 0
+      && summary.Service.Traffic.s_timeout = 0
+      && summary.Service.Traffic.s_cancelled = 0
+      && replay_ok && sweep_ok
   in
   if clean then 0 else 1
 
@@ -206,6 +246,38 @@ let validate_arg =
            the shipped output has zero static rejections and zero dynamic \
            races")
 
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "inject faults: comma-separated site=prob with sites raise, \
+           delay, kill, corrupt, reject, or all — e.g. --chaos all=0.1 or \
+           --chaos raise=0.2,kill=0.05.  Under chaos the exit criterion \
+           becomes survival: every job must resolve, but failures and \
+           timeouts are expected")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:"fault-schedule seed (same seed = same per-site schedule)")
+
+let chaos_stealth_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos-stealth" ]
+        ~doc:
+          "suppress the chaos-taint marker so injected faults count \
+           toward the circuit breaker like real ones")
+
+let chaos_delay_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "chaos-delay-ms" ] ~docv:"MS"
+        ~doc:"latency injected at the delay site")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print extra detail")
 
@@ -216,6 +288,7 @@ let cmd =
     Term.(
       const run $ workers_arg $ cache_arg $ timeout_arg $ requests_arg
       $ clients_arg $ seed_arg $ jitter_arg $ batch_arg $ oversubscribe_arg
-      $ validate_arg $ verbose_arg)
+      $ validate_arg $ chaos_arg $ chaos_seed_arg $ chaos_stealth_arg
+      $ chaos_delay_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -217,6 +217,9 @@ let dependences ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
   let arr = Array.of_list refs in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
+      (* quadratic in the reference count: poll the fuel hook so a huge
+         nest cannot hold a worker domain past its deadline *)
+      Fuel.tick ();
       if i <> j || arr.(i).Loops.r_access = Loops.Write then begin
         let a = arr.(i) and b = arr.(j) in
         (* consider each unordered pair once, plus self-pairs of writes *)

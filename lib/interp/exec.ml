@@ -635,6 +635,7 @@ and exec_do t (h : Ast.do_header) (blk : Ast.block) =
       let i = ref lo in
       let continue_ () = if step > 0 then !i <= hi else !i >= hi in
       while continue_ () do
+        Fuel.tick ();
         assign_scalar t (Ast.LVar h.Ast.index) (float_of_int !i);
         charge t t.c.cfg.Mach.Config.scalar_op;
         exec_stmts t blk.Ast.body;

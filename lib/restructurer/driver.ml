@@ -1130,9 +1130,14 @@ let restructure_unit ~(interrupt : unit -> bool) (opts : Options.t)
   let u = Transform.Globalize.apply ~default:opts.Options.placement_default u in
   (u, List.rev ctx.reports, inline_failures)
 
-(** Restructure a whole program. *)
+(** Restructure a whole program.  Besides the per-nest poll in
+    [transform_loop_raw], the deadline hook rides the {!Fortran.Fuel}
+    counter ticked inside the dependence tester's pair loop, so even one
+    pathological nest (quadratic in references) aborts promptly. *)
 let restructure ?(interrupt = fun () -> false) (opts : Options.t)
     (prog : Ast.program) : result =
+  Fuel.with_hook (fun () -> if interrupt () then raise Interrupted)
+  @@ fun () ->
   let interproc = Interproc.analyze prog in
   let units, reports, fails =
     List.fold_left

@@ -40,6 +40,16 @@ let push q x =
         true
       end)
 
+let try_push q x =
+  with_lock q (fun () ->
+      if q.closed || Queue.length q.items >= q.capacity then false
+      else begin
+        Queue.push x q.items;
+        q.high_water <- max q.high_water (Queue.length q.items);
+        Condition.signal q.not_empty;
+        true
+      end)
+
 let pop q =
   with_lock q (fun () ->
       while Queue.is_empty q.items && not q.closed do

@@ -15,6 +15,11 @@ val push : 'a t -> 'a -> bool
 (** Enqueue, blocking while the queue is at capacity.  Returns [false]
     (without enqueuing) if the queue was closed. *)
 
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking enqueue: [false] when full or closed.  Used by the
+    supervisor to requeue a dead worker's job — the supervisor must never
+    block on backpressure while it is the only thing healing the pool. *)
+
 val pop : 'a t -> 'a option
 (** Dequeue, blocking while the queue is empty.  Returns [None] once the
     queue is closed {e and} drained — the worker-shutdown signal. *)

@@ -79,6 +79,13 @@ let add c key value =
         touch c key e;
         Hashtbl.add c.table key e)
 
+let remove c key =
+  with_lock c (fun () ->
+      (* the recency queue's pairs for this key go stale and are skipped
+         by evict_lru; not counted as an eviction (the caller dropped it
+         deliberately, e.g. on a checksum mismatch) *)
+      Hashtbl.remove c.table key)
+
 let stats c =
   with_lock c (fun () ->
       {

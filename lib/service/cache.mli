@@ -33,6 +33,10 @@ val add : 'a t -> string -> 'a -> unit
 (** Insert (or overwrite) an entry, evicting the LRU entry if the cache
     is full. *)
 
+val remove : 'a t -> string -> unit
+(** Drop an entry (no-op when absent).  Used by the server when an
+    entry fails its integrity check; not counted as an eviction. *)
+
 val stats : 'a t -> stats
 
 val hit_rate : stats -> float

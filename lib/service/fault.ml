@@ -1,0 +1,179 @@
+(* Seeded, deterministic fault injector.  See fault.mli.
+
+   Determinism without coordination: each site keeps its own atomic draw
+   counter, and decision [n] for a site is a pure function of
+   (seed, site, n) via a splitmix64-style mixer — so the schedule of
+   decisions per site is reproducible for a given seed no matter how
+   worker domains interleave, and a single-worker run is fully
+   deterministic end to end. *)
+
+type site =
+  | Exec_raise  (** exception from deep inside the restructure stage *)
+  | Exec_delay  (** artificial latency before restructuring *)
+  | Worker_kill  (** domain death: escapes the job's exception barrier *)
+  | Cache_corrupt  (** flip a byte of the payload text stored in the cache *)
+  | Validator_reject  (** spurious rejection of a correct result *)
+
+exception Injected of site
+(** Raised by the server at a site the injector told to fire. *)
+
+let all_sites =
+  [ Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Validator_reject ]
+
+let site_index = function
+  | Exec_raise -> 0
+  | Exec_delay -> 1
+  | Worker_kill -> 2
+  | Cache_corrupt -> 3
+  | Validator_reject -> 4
+
+let site_name = function
+  | Exec_raise -> "raise"
+  | Exec_delay -> "delay"
+  | Worker_kill -> "kill"
+  | Cache_corrupt -> "corrupt"
+  | Validator_reject -> "reject"
+
+let site_of_name = function
+  | "raise" -> Some Exec_raise
+  | "delay" -> Some Exec_delay
+  | "kill" -> Some Worker_kill
+  | "corrupt" -> Some Cache_corrupt
+  | "reject" -> Some Validator_reject
+  | _ -> None
+
+type t = {
+  seed : int;
+  stealth : bool;
+  delay_s : float;
+  probs : float array;  (* indexed by site_index; 0 = site disabled *)
+  draws : int Atomic.t array;
+  fired : int Atomic.t array;
+}
+
+let none =
+  {
+    seed = 0;
+    stealth = false;
+    delay_s = 0.0;
+    probs = Array.make 5 0.0;
+    draws = Array.init 5 (fun _ -> Atomic.make 0);
+    fired = Array.init 5 (fun _ -> Atomic.make 0);
+  }
+
+let create ?(seed = 42) ?(stealth = false) ?(delay_ms = 5.0) sites =
+  let probs = Array.make 5 0.0 in
+  List.iter
+    (fun (s, p) ->
+      if p < 0.0 || p > 1.0 then
+        invalid_arg "Fault.create: probability outside [0,1]";
+      probs.(site_index s) <- p)
+    sites;
+  {
+    seed;
+    stealth;
+    delay_s = Float.max 0.0 delay_ms /. 1000.0;
+    probs;
+    draws = Array.init 5 (fun _ -> Atomic.make 0);
+    fired = Array.init 5 (fun _ -> Atomic.make 0);
+  }
+
+let active t = Array.exists (fun p -> p > 0.0) t.probs
+let stealth t = t.stealth
+let delay_s t = t.delay_s
+let set_prob t site p = t.probs.(site_index site) <- p
+
+(* splitmix64 finalizer over (seed, site, draw number) *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float ~seed ~site ~n =
+  let z =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+         (Int64.of_int ((site * 0x3c6ef372) + n)))
+  in
+  (* top 53 bits to [0,1) *)
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let fire t site =
+  let i = site_index site in
+  let p = t.probs.(i) in
+  if p <= 0.0 then false
+  else begin
+    let n = Atomic.fetch_and_add t.draws.(i) 1 in
+    let hit = unit_float ~seed:t.seed ~site:i ~n < p in
+    if hit then Atomic.incr t.fired.(i);
+    hit
+  end
+
+let log t =
+  List.map
+    (fun s ->
+      let i = site_index s in
+      (s, Atomic.get t.draws.(i), Atomic.get t.fired.(i)))
+    all_sites
+
+let total_fired t =
+  Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.fired
+
+let log_to_string t =
+  let lines =
+    List.filter_map
+      (fun (s, draws, fired) ->
+        if t.probs.(site_index s) <= 0.0 && draws = 0 then None
+        else
+          Some
+            (Printf.sprintf "  %-8s p=%-5.2f draws %-6d fired %d" (site_name s)
+               t.probs.(site_index s) draws fired))
+      (log t)
+  in
+  match lines with
+  | [] -> "fault injector: inactive"
+  | lines ->
+      Printf.sprintf "fault injector: seed %d%s\n%s" t.seed
+        (if t.stealth then ", stealth" else "")
+        (String.concat "\n" lines)
+
+(* spec grammar: "raise=0.1,delay=0.05,kill=0.01,corrupt=0.1,reject=0.1";
+   "all=P" sets every site at once *)
+let parse_spec spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match String.split_on_char '=' part with
+        | [ name; p ] -> (
+            match float_of_string_opt (String.trim p) with
+            | None -> Error (Printf.sprintf "bad probability %S" p)
+            | Some p when p < 0.0 || p > 1.0 ->
+                Error (Printf.sprintf "probability %g outside [0,1]" p)
+            | Some p -> (
+                match String.trim name with
+                | "all" ->
+                    go
+                      (List.rev_append (List.map (fun s -> (s, p)) all_sites)
+                         acc)
+                      rest
+                | name -> (
+                    match site_of_name name with
+                    | Some s -> go ((s, p) :: acc) rest
+                    | None ->
+                        Error
+                          (Printf.sprintf
+                             "unknown fault site %S (want raise, delay, kill, \
+                              corrupt, reject, or all)"
+                             name))))
+        | _ -> Error (Printf.sprintf "bad fault spec part %S (want site=prob)" part)
+      )
+  in
+  go [] parts

@@ -1,0 +1,36 @@
+(* Algorithm R reservoir sampling.  See reservoir.mli. *)
+
+type t = {
+  rng : Random.State.t;
+  sample : float array;
+  mutable filled : int;  (* slots in use, <= capacity *)
+  mutable count : int;  (* values ever offered *)
+  mutable max_v : float;
+}
+
+let create ?(seed = 42) ~capacity () =
+  if capacity < 1 then invalid_arg "Reservoir.create: capacity < 1";
+  {
+    rng = Random.State.make [| seed; capacity |];
+    sample = Array.make capacity 0.0;
+    filled = 0;
+    count = 0;
+    max_v = 0.0;
+  }
+
+let add r x =
+  let n = r.count in
+  r.count <- n + 1;
+  if x > r.max_v then r.max_v <- x;
+  let k = Array.length r.sample in
+  if r.filled < k then begin
+    r.sample.(r.filled) <- x;
+    r.filled <- r.filled + 1
+  end
+  else
+    let j = Random.State.int r.rng (n + 1) in
+    if j < k then r.sample.(j) <- x
+
+let count r = r.count
+let max_value r = r.max_v
+let sample r = Array.to_list (Array.sub r.sample 0 r.filled)

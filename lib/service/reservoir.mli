@@ -1,0 +1,26 @@
+(** Fixed-size uniform reservoir sample (Vitter's Algorithm R), seeded.
+
+    The server's latency record: a soak run of millions of jobs keeps a
+    bounded, uniformly drawn sample for the percentile estimates instead
+    of an ever-growing list, so service memory stays flat.  The exact
+    observation count and maximum are tracked separately (the max would
+    otherwise be lost to sampling).  Not thread-safe — callers serialize
+    behind their own lock, as the server does with its stats mutex. *)
+
+type t
+
+val create : ?seed:int -> capacity:int -> unit -> t
+(** @raise Invalid_argument when [capacity < 1] *)
+
+val add : t -> float -> unit
+(** Offer one observation: kept outright while the reservoir is filling,
+    then replaces a random slot with probability [capacity/count]. *)
+
+val count : t -> int
+(** Observations ever offered (not the sample size). *)
+
+val max_value : t -> float
+(** Exact maximum of every observation offered; 0 before the first. *)
+
+val sample : t -> float list
+(** The current sample, at most [capacity] values, unordered. *)

@@ -3,9 +3,25 @@
    Concurrency structure: submitters and workers meet at a
    Bounded_queue of tickets; each ticket carries its own mutex/condition
    pair for the await rendezvous; service-wide counters live behind one
-   stats mutex.  Workers poll their job's deadline between loop nests
-   (via Driver.restructure's [interrupt] hook), so a runaway job is
-   abandoned at the next nest boundary rather than wedging its domain. *)
+   stats mutex; the worker slots and orphan list behind a pool mutex.
+
+   Robustness structure (inside-out):
+   - every job attempt runs under an exception barrier, so an
+     [assert false] deep in a transform becomes [Failed] with a captured
+     backtrace instead of a dead domain;
+   - a failed/timed-out/validator-rejected attempt retries down a
+     degradation ladder (full techniques -> conservative set ->
+     parse-and-print serial passthrough) with exponential backoff, each
+     payload tagged with the rung that produced it;
+   - an exception that escapes the barrier anyway (deliberately:
+     injected domain death) unwinds the worker; a supervisor domain
+     watching per-worker heartbeats joins the corpse, requeues or fails
+     its in-flight ticket (never leaks it), and respawns the slot;
+   - a circuit breaker counts consecutive real (non-chaos) restructure
+     failures and, once open, serves serial passthrough directly —
+     degraded but alive — half-opening on a timer to probe recovery;
+   - cache entries carry a digest of their payload text; a corrupted
+     entry is detected on hit, dropped, and recomputed. *)
 
 type request = {
   req_name : string;
@@ -13,12 +29,20 @@ type request = {
   req_options : Restructurer.Options.t;
 }
 
+type rung = Full | Conservative | Passthrough
+
+let rung_name = function
+  | Full -> "full"
+  | Conservative -> "conservative"
+  | Passthrough -> "passthrough"
+
 type payload = {
   p_name : string;
   p_text : string;
   p_reports : Restructurer.Driver.loop_report list;
   p_cycles : float option;
   p_global_words : float option;
+  p_rung : rung;
 }
 
 type outcome =
@@ -30,25 +54,69 @@ type outcome =
 type ticket = {
   tk_request : request;
   tk_submitted : float;
-  tk_deadline : float;
+  mutable tk_deadline : float;  (* refreshed when a retry starts *)
   tk_mutex : Mutex.t;
   tk_cond : Condition.t;
   mutable tk_outcome : outcome option;
+  mutable tk_tainted : bool;  (* a visible injected fault touched this job *)
+  mutable tk_requeues : int;  (* times requeued after a worker death *)
 }
+
+(* One spawn of one worker.  Fresh per (re)spawn, so a replaced or
+   orphaned worker can never scribble on its successor's bookkeeping. *)
+type wstate = {
+  mutable w_ticket : ticket option;  (* in flight *)
+  mutable w_heartbeat : float;
+  mutable w_crashed : bool;  (* exited via an escaping exception *)
+  mutable w_done : bool;  (* exited (normally or not) *)
+}
+
+type slot = {
+  mutable s_domain : unit Domain.t option;
+  mutable s_state : wstate;
+}
+
+type breaker_state = Br_closed | Br_open | Br_half_open
+
+(* cache entries are self-checking: [e_digest] is the digest of the
+   payload text at insertion; a mismatch on lookup means the bytes rotted
+   (or chaos flipped them) and the entry must not be served *)
+type entry = { e_digest : string; e_payload : payload }
 
 type t = {
   queue : ticket Bounded_queue.t;
-  cache : payload Cache.t;
+  cache : entry Cache.t;
+  fault : Fault.t;
   timeout_s : float;  (** infinity = no deadline *)
+  retry_base_s : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  wedge_after_s : float;  (** infinity = wedge detection off *)
   started_at : float;
   stat_mutex : Mutex.t;
-  mutable workers : unit Domain.t list;
+  pool_mutex : Mutex.t;
+  mutable slots : slot array;
+  mutable orphans : (unit Domain.t * wstate) list;
+  mutable supervisor : unit Domain.t option;
+  mutable stopping : bool;
+  (* counters, under stat_mutex *)
   mutable submitted : int;
   mutable completed : int;
   mutable failed : int;
   mutable timed_out : int;
   mutable cancelled : int;
-  mutable latencies_ms : float list;
+  mutable retries : int;
+  mutable rung_full : int;
+  mutable rung_conservative : int;
+  mutable rung_passthrough : int;
+  mutable degraded : int;  (* jobs served passthrough because breaker open *)
+  mutable respawns : int;
+  mutable corrupt_dropped : int;
+  mutable breaker_opened : int;
+  mutable br_state : breaker_state;
+  mutable br_failures : int;  (* consecutive real restructure failures *)
+  mutable br_opened_at : float;
+  latencies : Reservoir.t;
 }
 
 (* Options.t is closure-free (records, variants, scalars), so Marshal
@@ -60,101 +128,454 @@ let cache_key (r : request) =
 
 let now () = Unix.gettimeofday ()
 
-let resolve t ticket outcome =
-  let latency_ms = (now () -. ticket.tk_submitted) *. 1000.0 in
-  Mutex.lock t.stat_mutex;
-  (match outcome with
-  | Done _ -> t.completed <- t.completed + 1
-  | Failed _ -> t.failed <- t.failed + 1
-  | Timeout -> t.timed_out <- t.timed_out + 1
-  | Cancelled -> t.cancelled <- t.cancelled + 1);
-  t.latencies_ms <- latency_ms :: t.latencies_ms;
-  Mutex.unlock t.stat_mutex;
-  Mutex.lock ticket.tk_mutex;
-  ticket.tk_outcome <- Some outcome;
-  Condition.broadcast ticket.tk_cond;
-  Mutex.unlock ticket.tk_mutex
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let execute t ticket =
+(* Idempotent: the supervisor may fail a wedged worker's ticket while the
+   abandoned worker later finishes and tries to resolve it too; only the
+   first resolution counts and wakes the submitter. *)
+let resolve t ticket outcome =
+  let won =
+    with_lock ticket.tk_mutex (fun () ->
+        match ticket.tk_outcome with
+        | Some _ -> false
+        | None ->
+            ticket.tk_outcome <- Some outcome;
+            Condition.broadcast ticket.tk_cond;
+            true)
+  in
+  if won then begin
+    let latency_ms = (now () -. ticket.tk_submitted) *. 1000.0 in
+    with_lock t.stat_mutex (fun () ->
+        (match outcome with
+        | Done { payload; _ } -> (
+            t.completed <- t.completed + 1;
+            match payload.p_rung with
+            | Full -> t.rung_full <- t.rung_full + 1
+            | Conservative -> t.rung_conservative <- t.rung_conservative + 1
+            | Passthrough -> t.rung_passthrough <- t.rung_passthrough + 1)
+        | Failed _ -> t.failed <- t.failed + 1
+        | Timeout -> t.timed_out <- t.timed_out + 1
+        | Cancelled -> t.cancelled <- t.cancelled + 1);
+        Reservoir.add t.latencies latency_ms)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The degradation ladder                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* conservative rung: drop the techniques whose failures are the most
+   intricate to diagnose — DOACROSS synchronization, generalized
+   induction substitution, and the run-time-tested two-version loops —
+   mirroring the paper's "generate code in a conservative way" fallback *)
+let ladder_options rung (opts : Restructurer.Options.t) =
+  match rung with
+  | Full | Passthrough -> opts
+  | Conservative ->
+      {
+        opts with
+        Restructurer.Options.techniques =
+          {
+            opts.Restructurer.Options.techniques with
+            Restructurer.Options.doacross = false;
+            giv_substitution = false;
+            runtime_dep_test = false;
+          };
+      }
+
+type attempt =
+  | A_done of payload
+  | A_failed of string  (* retryable on a lower rung *)
+  | A_permanent of string  (* no rung can help (e.g. parse error) *)
+  | A_timeout
+
+let flip_middle_byte s =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = n / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  end
+
+let cache_put t key payload =
+  let digest = Cache.digest payload.p_text in
+  let stored =
+    if Fault.fire t.fault Fault.Cache_corrupt then
+      { payload with p_text = flip_middle_byte payload.p_text }
+    else payload
+  in
+  Cache.add t.cache key { e_digest = digest; e_payload = stored }
+
+let cache_find t key =
+  match Cache.find t.cache key with
+  | None -> None
+  | Some e ->
+      if Cache.digest e.e_payload.p_text = e.e_digest then Some e.e_payload
+      else begin
+        (* bytes rotted while resident: drop, recompute fresh *)
+        Cache.remove t.cache key;
+        with_lock t.stat_mutex (fun () ->
+            t.corrupt_dropped <- t.corrupt_dropped + 1);
+        None
+      end
+
+let backtrace_hint () =
+  match String.split_on_char '\n' (Printexc.get_backtrace ()) with
+  | [] | [ "" ] -> ""
+  | lines ->
+      let head =
+        List.filteri (fun i _ -> i < 3) lines
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "")
+      in
+      if head = [] then "" else " [" ^ String.concat " ; " head ^ "]"
+
+(* One attempt at one rung, under the exception barrier.  The only
+   exception allowed to escape is the injected domain death — that is its
+   entire point. *)
+let execute_attempt t (ws : wstate) ticket rung : attempt =
   let r = ticket.tk_request in
-  let over_deadline () = now () > ticket.tk_deadline in
+  let taint () =
+    if not (Fault.stealth t.fault) then ticket.tk_tainted <- true
+  in
+  if Fault.fire t.fault Fault.Exec_delay then begin
+    taint ();
+    Unix.sleepf (Fault.delay_s t.fault)
+  end;
+  if Fault.fire t.fault Fault.Worker_kill then begin
+    taint ();
+    raise (Fault.Injected Fault.Worker_kill)
+  end;
+  let over_deadline () =
+    ws.w_heartbeat <- now ();
+    now () > ticket.tk_deadline
+  in
   try
     let prog = Fortran.Parser.parse_program r.req_source in
-    let result =
-      Restructurer.Driver.restructure ~interrupt:over_deadline r.req_options
-        prog
-    in
-    if over_deadline () then Timeout
-    else
-      let text =
-        Fortran.Printer.program_to_string result.Restructurer.Driver.program
-      in
-      (* under --validate, re-verify the emitted text (print → reparse →
-         independent dependence re-analysis); unverified output is
-         neither cached nor returned *)
-      let rejected =
-        if not r.req_options.Restructurer.Options.validate then None
+    match rung with
+    | Passthrough ->
+        (* parse-and-print identity: serial semantics by construction,
+           so it needs no validation — the reliable floor of the ladder *)
+        let text = Fortran.Printer.program_to_string prog in
+        let cycles, words =
+          match Perfmodel.Model.evaluate
+                  ~cfg:r.req_options.Restructurer.Options.machine prog
+          with
+          | run ->
+              ( Some run.Perfmodel.Model.cycles,
+                Some run.Perfmodel.Model.global_words )
+          | exception _ -> (None, None)
+        in
+        A_done
+          {
+            p_name = r.req_name;
+            p_text = text;
+            p_reports = [];
+            p_cycles = cycles;
+            p_global_words = words;
+            p_rung = Passthrough;
+          }
+    | Full | Conservative -> (
+        if Fault.fire t.fault Fault.Exec_raise then begin
+          taint ();
+          raise (Fault.Injected Fault.Exec_raise)
+        end;
+        let opts = ladder_options rung r.req_options in
+        let result =
+          Restructurer.Driver.restructure ~interrupt:over_deadline opts prog
+        in
+        if over_deadline () then A_timeout
         else
-          match Validate.check_source text with
-          | Ok [] -> None
-          | Ok issues ->
-              Some
-                (Printf.sprintf "validator rejected emitted code: %s"
-                   (String.concat "; "
-                      (List.map Validate.issue_to_string issues)))
-          | Error msg ->
-              Some (Printf.sprintf "emitted code does not reparse: %s" msg)
-      in
-      match rejected with
-      | Some msg -> Failed msg
-      | None ->
-      let cycles, words =
-        match
-          Perfmodel.Model.evaluate
-            ~cfg:r.req_options.Restructurer.Options.machine
-            result.Restructurer.Driver.program
-        with
-        | run ->
-            ( Some run.Perfmodel.Model.cycles,
-              Some run.Perfmodel.Model.global_words )
-        | exception _ -> (None, None)
-      in
-      let payload =
-        {
-          p_name = r.req_name;
-          p_text = text;
-          p_reports = result.Restructurer.Driver.reports;
-          p_cycles = cycles;
-          p_global_words = words;
-        }
-      in
-      Cache.add t.cache (cache_key r) payload;
-      Done { payload; cached = false }
+          let text =
+            Fortran.Printer.program_to_string
+              result.Restructurer.Driver.program
+          in
+          (* under --validate, re-verify the emitted text (print ->
+             reparse -> independent dependence re-analysis); unverified
+             output is neither cached nor returned *)
+          let rejected =
+            if not opts.Restructurer.Options.validate then None
+            else
+              match Validate.check_source text with
+              | Ok [] -> None
+              | Ok issues ->
+                  Some
+                    (Printf.sprintf "validator rejected emitted code: %s"
+                       (String.concat "; "
+                          (List.map Validate.issue_to_string issues)))
+              | Error msg ->
+                  Some
+                    (Printf.sprintf "emitted code does not reparse: %s" msg)
+          in
+          let rejected =
+            match rejected with
+            | Some _ -> rejected
+            | None ->
+                if Fault.fire t.fault Fault.Validator_reject then begin
+                  taint ();
+                  Some "validator rejected emitted code: injected spurious \
+                        rejection"
+                end
+                else None
+          in
+          match rejected with
+          | Some msg -> A_failed msg
+          | None ->
+              let cycles, words =
+                match
+                  Perfmodel.Model.evaluate
+                    ~cfg:opts.Restructurer.Options.machine
+                    result.Restructurer.Driver.program
+                with
+                | run ->
+                    ( Some run.Perfmodel.Model.cycles,
+                      Some run.Perfmodel.Model.global_words )
+                | exception _ -> (None, None)
+              in
+              let payload =
+                {
+                  p_name = r.req_name;
+                  p_text = text;
+                  p_reports = result.Restructurer.Driver.reports;
+                  p_cycles = cycles;
+                  p_global_words = words;
+                  p_rung = rung;
+                }
+              in
+              (* only full-fidelity results are cached: a degraded result
+                 must not outlive the incident that forced it *)
+              if rung = Full then cache_put t (cache_key r) payload;
+              A_done payload)
   with
-  | Restructurer.Driver.Interrupted -> Timeout
+  | Fault.Injected Fault.Worker_kill as e -> raise e
+  | Restructurer.Driver.Interrupted -> A_timeout
   | Fortran.Parser.Error (msg, line) ->
-      Failed (Printf.sprintf "parse error, line %d: %s" line msg)
-  | e -> Failed (Printexc.to_string e)
+      A_permanent (Printf.sprintf "parse error, line %d: %s" line msg)
+  | e ->
+      A_failed
+        (Printf.sprintf "%s rung raised: %s%s" (rung_name rung)
+           (Printexc.to_string e) (backtrace_hint ()))
 
-let process t ticket =
-  let outcome =
-    if now () > ticket.tk_deadline then Cancelled
-    else
-      match Cache.find t.cache (cache_key ticket.tk_request) with
-      | Some payload -> Done { payload; cached = true }
-      | None -> execute t ticket
+(* Walk the ladder.  Returns the final outcome plus whether the
+   restructure stage (non-passthrough rungs) genuinely succeeded — the
+   circuit breaker's health signal. *)
+let run_ladder t ws ticket : outcome * bool =
+  let rungs = [| Full; Conservative; Passthrough |] in
+  let rec go idx =
+    match execute_attempt t ws ticket rungs.(idx) with
+    | A_done payload ->
+        (Done { payload; cached = false }, payload.p_rung <> Passthrough)
+    | A_permanent msg -> (Failed msg, false)
+    | (A_failed _ | A_timeout) as a when idx + 1 < Array.length rungs ->
+        with_lock t.stat_mutex (fun () -> t.retries <- t.retries + 1);
+        ignore a;
+        (* exponential backoff, then a fresh deadline budget for the
+           cheaper rung — the original deadline died with the attempt *)
+        Unix.sleepf (t.retry_base_s *. (2.0 ** float_of_int idx));
+        ticket.tk_deadline <- now () +. t.timeout_s;
+        go (idx + 1)
+    | A_failed msg -> (Failed msg, false)
+    | A_timeout -> (Timeout, false)
   in
-  resolve t ticket outcome
+  go 0
 
-let rec worker_loop t =
-  match Bounded_queue.pop t.queue with
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_route t =
+  with_lock t.stat_mutex (fun () ->
+      match t.br_state with
+      | Br_closed -> `Normal
+      | Br_half_open -> `Degraded  (* a probe is already in flight *)
+      | Br_open ->
+          if now () -. t.br_opened_at >= t.breaker_cooldown_s then begin
+            t.br_state <- Br_half_open;
+            `Probe
+          end
+          else `Degraded)
+
+let breaker_note t ~probe ~restructure_ok ~tainted =
+  with_lock t.stat_mutex (fun () ->
+      if tainted then begin
+        (* chaos-injected failure: never counts against real capability;
+           a tainted probe is inconclusive, so re-open and re-arm the
+           timer rather than concluding anything *)
+        if probe then begin
+          t.br_state <- Br_open;
+          t.br_opened_at <- now ()
+        end
+      end
+      else if restructure_ok then begin
+        t.br_failures <- 0;
+        if probe then t.br_state <- Br_closed
+      end
+      else if probe then begin
+        t.br_state <- Br_open;
+        t.br_opened_at <- now ();
+        t.breaker_opened <- t.breaker_opened + 1
+      end
+      else begin
+        t.br_failures <- t.br_failures + 1;
+        if t.br_state = Br_closed && t.br_failures >= t.breaker_threshold
+        then begin
+          t.br_state <- Br_open;
+          t.br_opened_at <- now ();
+          t.breaker_opened <- t.breaker_opened + 1;
+          t.br_failures <- 0
+        end
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Job lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let process t (ws : wstate) ticket =
+  if ticket.tk_outcome <> None then ()  (* already resolved; defensive *)
+  else if now () > ticket.tk_deadline then resolve t ticket Cancelled
+  else
+    match cache_find t (cache_key ticket.tk_request) with
+    | Some payload -> resolve t ticket (Done { payload; cached = true })
+    | None -> (
+        match breaker_route t with
+        | `Degraded -> (
+            (* restructure stage is sick: serve the serial floor directly,
+               degraded but alive *)
+            match execute_attempt t ws ticket Passthrough with
+            | A_done payload ->
+                with_lock t.stat_mutex (fun () ->
+                    t.degraded <- t.degraded + 1);
+                resolve t ticket (Done { payload; cached = false })
+            | A_permanent msg | A_failed msg -> resolve t ticket (Failed msg)
+            | A_timeout -> resolve t ticket Timeout)
+        | (`Normal | `Probe) as route ->
+            let outcome, restructure_ok = run_ladder t ws ticket in
+            breaker_note t ~probe:(route = `Probe) ~restructure_ok
+              ~tainted:ticket.tk_tainted;
+            resolve t ticket outcome)
+
+let rec worker_loop t (slot : slot) (ws : wstate) =
+  (* an orphaned worker (its slot was reassigned after a wedge) must
+     stop competing for jobs *)
+  if not (slot.s_state == ws) then ()
+  else
+    match Bounded_queue.pop t.queue with
+    | None -> ()
+    | Some ticket ->
+        ws.w_ticket <- Some ticket;
+        ws.w_heartbeat <- now ();
+        process t ws ticket;
+        ws.w_ticket <- None;
+        worker_loop t slot ws
+
+let worker_main t slot ws =
+  (try worker_loop t slot ws
+   with _ -> ws.w_crashed <- true (* the barrier never lets real errors
+                                     escape; this is a (injected) death *));
+  ws.w_done <- true
+
+let spawn_worker t slot =
+  let ws =
+    { w_ticket = None; w_heartbeat = now (); w_crashed = false; w_done = false }
+  in
+  slot.s_state <- ws;
+  slot.s_domain <- Some (Domain.spawn (fun () -> worker_main t slot ws))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fail-or-requeue the in-flight ticket of a worker that will never
+   finish it.  One requeue per ticket: a job must not ping-pong between
+   dying workers forever. *)
+let salvage_ticket t ?(outcome = Failed "worker domain died while running \
+                                         this job")
+    (ws : wstate) =
+  match ws.w_ticket with
   | None -> ()
   | Some ticket ->
-      process t ticket;
-      worker_loop t
+      ws.w_ticket <- None;
+      if
+        ticket.tk_outcome = None
+        && ticket.tk_requeues < 1
+        && not t.stopping
+      then begin
+        ticket.tk_requeues <- ticket.tk_requeues + 1;
+        ticket.tk_deadline <- now () +. t.timeout_s;
+        with_lock t.stat_mutex (fun () -> t.retries <- t.retries + 1);
+        (* never block the one thread healing the pool on backpressure *)
+        if not (Bounded_queue.try_push t.queue ticket) then
+          resolve t ticket outcome
+      end
+      else resolve t ticket outcome
+
+let supervisor_sweep t =
+  with_lock t.pool_mutex (fun () ->
+      Array.iter
+        (fun slot ->
+          let ws = slot.s_state in
+          if ws.w_crashed then begin
+            (* the domain has exited: join is immediate *)
+            (match slot.s_domain with
+            | Some d -> Domain.join d
+            | None -> ());
+            slot.s_domain <- None;
+            salvage_ticket t ws;
+            if not t.stopping then begin
+              spawn_worker t slot;
+              with_lock t.stat_mutex (fun () ->
+                  t.respawns <- t.respawns + 1)
+            end
+          end
+          else if
+            (* heartbeat wedge detection: alive but silent long past its
+               job's deadline.  The domain cannot be killed, so it is
+               orphaned (it exits on its own at the next fuel poll) and
+               the slot respawned; its ticket resolves Timeout now *)
+            t.wedge_after_s < infinity
+            && (not ws.w_done)
+            && ws.w_ticket <> None
+            && now () -. ws.w_heartbeat > t.wedge_after_s
+            &&
+            match ws.w_ticket with
+            | Some tk -> now () > tk.tk_deadline
+            | None -> false
+          then begin
+            salvage_ticket t ~outcome:Timeout ws;
+            (match slot.s_domain with
+            | Some d -> t.orphans <- (d, ws) :: t.orphans
+            | None -> ());
+            slot.s_domain <- None;
+            if not t.stopping then begin
+              spawn_worker t slot;
+              with_lock t.stat_mutex (fun () ->
+                  t.respawns <- t.respawns + 1)
+            end
+          end)
+        t.slots;
+      (* an orphan that later crashes still must not leak its ticket *)
+      List.iter
+        (fun (_, ws) -> if ws.w_crashed then salvage_ticket t ws)
+        t.orphans)
+
+let supervisor_loop t =
+  while not t.stopping do
+    Unix.sleepf 0.002;
+    supervisor_sweep t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Construction / client API                                           *)
+(* ------------------------------------------------------------------ *)
 
 let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
-    ~workers ~cache_capacity () =
+    ?(fault = Fault.none) ?(retry_base_ms = 1.0) ?(breaker_threshold = 5)
+    ?(breaker_cooldown_ms = 250.0) ?(wedge_after_ms = 0.0)
+    ?(latency_reservoir = 1024) ~workers ~cache_capacity () =
+  Printexc.record_backtrace true;
   let workers =
     if oversubscribe then max 1 workers
     else max 1 (min workers (Domain.recommended_domain_count ()))
@@ -163,24 +584,60 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
     {
       queue = Bounded_queue.create ~capacity:queue_capacity;
       cache = Cache.create ~capacity:cache_capacity;
+      fault;
       timeout_s =
         (if timeout_ms > 0.0 then timeout_ms /. 1000.0 else infinity);
+      retry_base_s = Float.max 0.0 retry_base_ms /. 1000.0;
+      breaker_threshold = max 1 breaker_threshold;
+      breaker_cooldown_s = Float.max 0.0 breaker_cooldown_ms /. 1000.0;
+      wedge_after_s =
+        (if wedge_after_ms > 0.0 then wedge_after_ms /. 1000.0 else infinity);
       started_at = now ();
       stat_mutex = Mutex.create ();
-      workers = [];
+      pool_mutex = Mutex.create ();
+      slots = [||];
+      orphans = [];
+      supervisor = None;
+      stopping = false;
       submitted = 0;
       completed = 0;
       failed = 0;
       timed_out = 0;
       cancelled = 0;
-      latencies_ms = [];
+      retries = 0;
+      rung_full = 0;
+      rung_conservative = 0;
+      rung_passthrough = 0;
+      degraded = 0;
+      respawns = 0;
+      corrupt_dropped = 0;
+      breaker_opened = 0;
+      br_state = Br_closed;
+      br_failures = 0;
+      br_opened_at = 0.0;
+      latencies = Reservoir.create ~capacity:(max 1 latency_reservoir) ();
     }
   in
-  t.workers <-
-    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.slots <-
+    Array.init workers (fun _ ->
+        let slot =
+          {
+            s_domain = None;
+            s_state =
+              {
+                w_ticket = None;
+                w_heartbeat = now ();
+                w_crashed = false;
+                w_done = false;
+              };
+          }
+        in
+        spawn_worker t slot;
+        slot);
+  t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t));
   t
 
-let effective_workers t = List.length t.workers
+let effective_workers t = Array.length t.slots
 
 let submit t request =
   let submitted = now () in
@@ -192,13 +649,12 @@ let submit t request =
       tk_mutex = Mutex.create ();
       tk_cond = Condition.create ();
       tk_outcome = None;
+      tk_tainted = false;
+      tk_requeues = 0;
     }
   in
-  Mutex.lock t.stat_mutex;
-  t.submitted <- t.submitted + 1;
-  Mutex.unlock t.stat_mutex;
-  if not (Bounded_queue.push t.queue ticket) then
-    resolve t ticket Cancelled;
+  with_lock t.stat_mutex (fun () -> t.submitted <- t.submitted + 1);
+  if not (Bounded_queue.push t.queue ticket) then resolve t ticket Cancelled;
   ticket
 
 let await ticket =
@@ -216,20 +672,64 @@ let await ticket =
 
 let run t request = await (submit t request)
 
+let breaker_state_name t =
+  match t.br_state with
+  | Br_closed -> "closed"
+  | Br_open -> "open"
+  | Br_half_open -> "half-open"
+
 let stats t =
-  Mutex.lock t.stat_mutex;
-  let s =
-    Stats.make ~submitted:t.submitted ~completed:t.completed ~failed:t.failed
-      ~timed_out:t.timed_out ~cancelled:t.cancelled
-      ~queue_high_water:(Bounded_queue.high_water t.queue)
-      ~cache:(Cache.stats t.cache) ~latencies_ms:t.latencies_ms
-      ~wall_s:(now () -. t.started_at)
-  in
-  Mutex.unlock t.stat_mutex;
-  s
+  with_lock t.stat_mutex (fun () ->
+      Stats.make ~submitted:t.submitted ~completed:t.completed
+        ~failed:t.failed ~timed_out:t.timed_out ~cancelled:t.cancelled
+        ~retries:t.retries ~rung_full:t.rung_full
+        ~rung_conservative:t.rung_conservative
+        ~rung_passthrough:t.rung_passthrough ~degraded:t.degraded
+        ~respawns:t.respawns ~corrupt_dropped:t.corrupt_dropped
+        ~breaker_opened:t.breaker_opened
+        ~breaker_state:(breaker_state_name t)
+        ~faults_injected:(Fault.total_fired t.fault)
+        ~queue_high_water:(Bounded_queue.high_water t.queue)
+        ~cache:(Cache.stats t.cache)
+        ~latencies_ms:(Reservoir.sample t.latencies)
+        ~latency_count:(Reservoir.count t.latencies)
+        ~max_latency_ms:(Reservoir.max_value t.latencies)
+        ~wall_s:(now () -. t.started_at))
 
 let shutdown t =
+  with_lock t.pool_mutex (fun () -> t.stopping <- true);
+  (match t.supervisor with
+  | Some d ->
+      Domain.join d;
+      t.supervisor <- None
+  | None -> ());
   Bounded_queue.close t.queue;
-  List.iter Domain.join t.workers;
-  t.workers <- [];
+  Array.iter
+    (fun slot ->
+      match slot.s_domain with
+      | Some d ->
+          Domain.join d;
+          slot.s_domain <- None
+      | None -> ())
+    t.slots;
+  (* the pool is gone: salvage what the dead left behind — crashed
+     workers' in-flight tickets, then whatever is still queued (possible
+     when every worker died before the close) *)
+  Array.iter
+    (fun slot -> if slot.s_state.w_crashed then salvage_ticket t slot.s_state)
+    t.slots;
+  let rec drain () =
+    match Bounded_queue.pop t.queue with
+    | Some ticket ->
+        resolve t ticket Cancelled;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  List.iter
+    (fun (d, ws) ->
+      Domain.join d;
+      if ws.w_crashed then salvage_ticket t ws)
+    t.orphans;
+  t.orphans <- [];
   stats t

@@ -1,15 +1,48 @@
-(** The restructuring server: a pool of OCaml 5 [Domain] workers fed by a
-    bounded job queue.
+(** The restructuring server: a self-healing pool of OCaml 5 [Domain]
+    workers fed by a bounded job queue.
 
     A job carries fortran77 source plus a {!Restructurer.Options.t};
     workers parse, restructure, print, and attach a {!Perfmodel} cycle
     estimate.  Results land in a content-addressed LRU cache keyed by
-    (source, options, machine), so an identical request short-circuits
-    without re-running the restructurer.  Every job has a wall-clock
-    deadline: jobs that expire while queued come back [Cancelled] without
-    running; jobs that exceed it while running are abandoned at the next
-    loop-nest boundary and come back [Timeout] — one pathological program
-    cannot wedge a worker. *)
+    (source, options, machine) — entries are checksummed at insertion
+    and verified on every hit, so a corrupted entry is dropped and
+    recomputed rather than served.  Every job has a wall-clock deadline:
+    jobs that expire while queued come back [Cancelled] without running;
+    jobs that exceed it while running are abandoned at the next
+    interrupt poll and come back [Timeout].
+
+    The pool survives its own failures:
+
+    - {b Exception barrier}: any exception raised while executing a job
+      (an [assert false] deep in a transform, a model error) resolves
+      that job [Failed] with a captured backtrace; it never unwinds the
+      worker.
+    - {b Degradation ladder}: a failed, timed-out, or
+      validator-rejected attempt is retried with exponential backoff at
+      a cheaper rung — full techniques, then a conservative set (no
+      DOACROSS, no generalized-induction substitution, no two-version
+      run-time tests), then parse-and-print serial passthrough.  Each
+      [Done] payload is tagged with the rung that produced it; only
+      full-rung results are cached.
+    - {b Supervision}: a supervisor domain watches per-worker
+      heartbeats.  A worker killed by an escaping exception (chaos
+      injection is the only source) is joined and respawned; its
+      in-flight job is requeued once, or resolved [Failed] — never
+      leaked.  Optionally, a worker silent long past its job's deadline
+      is declared wedged: its job resolves [Timeout], the slot is
+      respawned, and the stuck domain is orphaned until it exits on its
+      own (the fuel counter in the analysis hot loops guarantees it
+      does).
+    - {b Circuit breaker}: after [breaker_threshold] consecutive {e
+      real} (non-injected) restructure failures the breaker opens and
+      jobs are served serial passthrough directly — degraded but alive.
+      After [breaker_cooldown_ms] one probe job runs the full ladder;
+      success closes the breaker, failure re-opens it.
+
+    Chaos faults from an attached {!Fault} injector taint the jobs they
+    strike (unless the injector is in stealth mode), and tainted
+    failures never count toward the breaker — injected chaos must not
+    convince the service that its restructurer is broken. *)
 
 type request = {
   req_name : string;  (** label for reporting, e.g. the workload name *)
@@ -17,19 +50,31 @@ type request = {
   req_options : Restructurer.Options.t;
 }
 
+type rung =
+  | Full  (** every configured technique *)
+  | Conservative
+      (** techniques minus DOACROSS / GIV substitution / run-time
+          dependence tests *)
+  | Passthrough  (** parse-and-print serial identity: the reliable floor *)
+
+val rung_name : rung -> string
+(** ["full" | "conservative" | "passthrough"] *)
+
 type payload = {
   p_name : string;
   p_text : string;  (** printed Cedar Fortran *)
   p_reports : Restructurer.Driver.loop_report list;
+      (** empty for passthrough payloads *)
   p_cycles : float option;  (** perfmodel estimate; [None] if the model
                                 does not apply (e.g. no PROGRAM unit) *)
   p_global_words : float option;
+  p_rung : rung;  (** the ladder rung that produced this payload *)
 }
 
 type outcome =
   | Done of { payload : payload; cached : bool }
-  | Failed of string  (** parse or restructure error *)
-  | Timeout  (** started, but exceeded the deadline *)
+  | Failed of string  (** parse or restructure error (after the ladder) *)
+  | Timeout  (** started, but exceeded the deadline (after retries) *)
   | Cancelled  (** expired in the queue (or queue closed): never ran *)
 
 type ticket
@@ -44,25 +89,43 @@ val create :
   ?queue_capacity:int ->
   ?timeout_ms:float ->
   ?oversubscribe:bool ->
+  ?fault:Fault.t ->
+  ?retry_base_ms:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_ms:float ->
+  ?wedge_after_ms:float ->
+  ?latency_reservoir:int ->
   workers:int ->
   cache_capacity:int ->
   unit ->
   t
-(** Start [workers] domains ([>= 1] enforced).  Unless [oversubscribe]
-    is set, the pool is capped at [Domain.recommended_domain_count] —
-    extra domains on an oversubscribed host only add stop-the-world GC
-    barrier cost.  [queue_capacity] bounds the backlog (default 64).
-    [timeout_ms <= 0] (the default) means no deadline. *)
+(** Start [workers] domains ([>= 1] enforced) plus one supervisor
+    domain.  Unless [oversubscribe] is set, the pool is capped at
+    [Domain.recommended_domain_count] — extra domains on an
+    oversubscribed host only add stop-the-world GC barrier cost.
+    [queue_capacity] bounds the backlog (default 64).  [timeout_ms <= 0]
+    (the default) means no deadline.
+
+    [fault] attaches a chaos injector (default {!Fault.none}: no
+    overhead beyond one branch per site).  [retry_base_ms] (default 1)
+    is the backoff unit: descent [k] of the ladder sleeps
+    [retry_base_ms * 2^k] before retrying.  [breaker_threshold]
+    (default 5) consecutive real restructure failures open the breaker;
+    [breaker_cooldown_ms] (default 250) is the open-to-half-open timer.
+    [wedge_after_ms <= 0] (the default) disables heartbeat wedge
+    detection.  [latency_reservoir] (default 1024) bounds the latency
+    sample size. *)
 
 val effective_workers : t -> int
-(** Domains actually running (after the oversubscription cap). *)
+(** Worker slots in the pool (after the oversubscription cap). *)
 
 val submit : t -> request -> ticket
 (** Enqueue a job; blocks while the queue is full (closed-loop
     backpressure).  On a closed server the ticket resolves [Cancelled]. *)
 
 val await : ticket -> outcome
-(** Block until the job resolves. *)
+(** Block until the job resolves.  Every submitted ticket resolves,
+    whatever happens to the worker that picked it up. *)
 
 val run : t -> request -> outcome
 (** [submit] then [await]: the synchronous client. *)
@@ -71,5 +134,7 @@ val stats : t -> Stats.t
 (** Snapshot of the counters so far. *)
 
 val shutdown : t -> Stats.t
-(** Stop accepting jobs, drain the queue, join every worker domain, and
-    return the final statistics. *)
+(** Stop the supervisor, stop accepting jobs, drain the queue
+    (resolving leftovers [Cancelled]), join every worker and orphan
+    domain, salvage any job a dead worker left behind, and return the
+    final statistics. *)

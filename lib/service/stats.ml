@@ -4,12 +4,23 @@ type t = {
   failed : int;
   timed_out : int;
   cancelled : int;
+  retries : int;
+  rung_full : int;
+  rung_conservative : int;
+  rung_passthrough : int;
+  degraded : int;
+  respawns : int;
+  corrupt_dropped : int;
+  breaker_opened : int;
+  breaker_state : string;
+  faults_injected : int;
   queue_high_water : int;
   cache : Cache.stats;
   cache_hit_rate : float;
   p50_latency_ms : float;
   p95_latency_ms : float;
   max_latency_ms : float;
+  latency_count : int;
   wall_s : float;
   throughput : float;
 }
@@ -27,36 +38,68 @@ let percentile p xs =
       in
       a.(max 0 (min (n - 1) (rank - 1)))
 
-let make ~submitted ~completed ~failed ~timed_out ~cancelled ~queue_high_water
-    ~cache ~latencies_ms ~wall_s =
+let make ~submitted ~completed ~failed ~timed_out ~cancelled ~retries
+    ~rung_full ~rung_conservative ~rung_passthrough ~degraded ~respawns
+    ~corrupt_dropped ~breaker_opened ~breaker_state ~faults_injected
+    ~queue_high_water ~cache ~latencies_ms ~latency_count ~max_latency_ms
+    ~wall_s =
   {
     submitted;
     completed;
     failed;
     timed_out;
     cancelled;
+    retries;
+    rung_full;
+    rung_conservative;
+    rung_passthrough;
+    degraded;
+    respawns;
+    corrupt_dropped;
+    breaker_opened;
+    breaker_state;
+    faults_injected;
     queue_high_water;
     cache;
     cache_hit_rate = Cache.hit_rate cache;
     p50_latency_ms = percentile 50.0 latencies_ms;
     p95_latency_ms = percentile 95.0 latencies_ms;
-    max_latency_ms =
-      List.fold_left max 0.0 latencies_ms;
+    max_latency_ms;
+    latency_count;
     wall_s;
     throughput =
       (if wall_s > 0.0 then float_of_int completed /. wall_s else 0.0);
   }
 
 let to_string s =
-  String.concat "\n"
+  let lines =
     [
       Printf.sprintf "jobs        submitted %d  completed %d  failed %d  timeout %d  cancelled %d"
         s.submitted s.completed s.failed s.timed_out s.cancelled;
+      Printf.sprintf "rungs       full %d  conservative %d  passthrough %d  (retries %d)"
+        s.rung_full s.rung_conservative s.rung_passthrough s.retries;
       Printf.sprintf "queue       high-water depth %d" s.queue_high_water;
       Printf.sprintf "cache       %d hits  %d misses  %d evictions  %d resident  (hit rate %.1f%%)"
         s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.evictions
         s.cache.Cache.entries (100.0 *. s.cache_hit_rate);
-      Printf.sprintf "latency     p50 %.2f ms  p95 %.2f ms  max %.2f ms"
-        s.p50_latency_ms s.p95_latency_ms s.max_latency_ms;
+      Printf.sprintf "latency     p50 %.2f ms  p95 %.2f ms  max %.2f ms  (%d samples)"
+        s.p50_latency_ms s.p95_latency_ms s.max_latency_ms s.latency_count;
       Printf.sprintf "throughput  %.1f jobs/s over %.2f s" s.throughput s.wall_s;
     ]
+  in
+  (* the survival line only appears when something needed surviving *)
+  let survival =
+    if
+      s.respawns > 0 || s.degraded > 0 || s.corrupt_dropped > 0
+      || s.breaker_opened > 0 || s.faults_injected > 0
+      || s.breaker_state <> "closed"
+    then
+      [
+        Printf.sprintf
+          "survival    respawns %d  degraded %d  corrupt-dropped %d  breaker opened %d (now %s)  faults injected %d"
+          s.respawns s.degraded s.corrupt_dropped s.breaker_opened
+          s.breaker_state s.faults_injected;
+      ]
+    else []
+  in
+  String.concat "\n" (lines @ survival)

@@ -3,15 +3,28 @@
 type t = {
   submitted : int;
   completed : int;  (** finished with a result (fresh or cached) *)
-  failed : int;  (** parse/restructure/model errors *)
-  timed_out : int;  (** started but exceeded the deadline *)
+  failed : int;  (** parse/restructure/model errors, after the ladder *)
+  timed_out : int;  (** started but exceeded the deadline, after retries *)
   cancelled : int;  (** expired in the queue, never started *)
+  retries : int;  (** ladder descents plus dead-worker requeues *)
+  rung_full : int;  (** [Done] payloads produced with full techniques *)
+  rung_conservative : int;  (** [Done] payloads from the conservative rung *)
+  rung_passthrough : int;  (** [Done] payloads that are serial passthrough *)
+  degraded : int;  (** jobs served passthrough because the breaker was open *)
+  respawns : int;  (** worker domains replaced by the supervisor *)
+  corrupt_dropped : int;  (** cache entries failing their integrity check *)
+  breaker_opened : int;  (** closed/half-open -> open transitions *)
+  breaker_state : string;  (** "closed" / "open" / "half-open" at snapshot *)
+  faults_injected : int;  (** total chaos faults fired, all sites *)
   queue_high_water : int;
   cache : Cache.stats;
   cache_hit_rate : float;  (** hits over lookups, in [0,1] *)
-  p50_latency_ms : float;  (** submit-to-result, all outcomes *)
+  p50_latency_ms : float;
+      (** submit-to-result, all outcomes; estimated from a fixed-size
+          reservoir sample, so memory stays bounded at any job count *)
   p95_latency_ms : float;
-  max_latency_ms : float;
+  max_latency_ms : float;  (** exact (tracked outside the sample) *)
+  latency_count : int;  (** exact number of latencies observed *)
   wall_s : float;  (** service lifetime, create to shutdown *)
   throughput : float;  (** completed jobs per wall-clock second *)
 }
@@ -26,11 +39,28 @@ val make :
   failed:int ->
   timed_out:int ->
   cancelled:int ->
+  retries:int ->
+  rung_full:int ->
+  rung_conservative:int ->
+  rung_passthrough:int ->
+  degraded:int ->
+  respawns:int ->
+  corrupt_dropped:int ->
+  breaker_opened:int ->
+  breaker_state:string ->
+  faults_injected:int ->
   queue_high_water:int ->
   cache:Cache.stats ->
   latencies_ms:float list ->
+  latency_count:int ->
+  max_latency_ms:float ->
   wall_s:float ->
   t
+(** [latencies_ms] is a (possibly sampled) list used for the
+    percentiles; [latency_count] and [max_latency_ms] are the exact
+    values tracked alongside the sample. *)
 
 val to_string : t -> string
-(** Multi-line human-readable summary, printed on shutdown. *)
+(** Multi-line human-readable summary, printed on shutdown.  A
+    "survival" line is appended only when faults were injected or any
+    self-healing machinery engaged. *)

@@ -14,6 +14,9 @@ type summary = {
   s_failed : int;
   s_timeout : int;
   s_cancelled : int;
+  s_full : int;
+  s_conservative : int;
+  s_passthrough : int;
   s_wall_s : float;
   s_errors : (string * string) list;
 }
@@ -88,8 +91,19 @@ let run server (cfg : cfg) =
   and failed = ref 0
   and timeout = ref 0
   and cancelled = ref 0
+  and full = ref 0
+  and conservative = ref 0
+  and passthrough = ref 0
   and errors = ref [] in
-  let record name = function
+  let record name outcome =
+    (match outcome with
+    | Server.Done { payload; _ } -> (
+        match payload.Server.p_rung with
+        | Server.Full -> incr full
+        | Server.Conservative -> incr conservative
+        | Server.Passthrough -> incr passthrough)
+    | _ -> ());
+    match outcome with
     | Server.Done { cached = true; _ } -> incr cached
     | Server.Done { cached = false; _ } -> incr fresh
     | Server.Failed msg ->
@@ -125,6 +139,9 @@ let run server (cfg : cfg) =
     s_failed = !failed;
     s_timeout = !timeout;
     s_cancelled = !cancelled;
+    s_full = !full;
+    s_conservative = !conservative;
+    s_passthrough = !passthrough;
     s_wall_s = Unix.gettimeofday () -. t0;
     s_errors = List.rev !errors;
   }
@@ -137,6 +154,13 @@ let summary_to_string s =
       (if s.s_wall_s > 0.0 then float_of_int s.s_requests /. s.s_wall_s
        else 0.0)
       s.s_fresh s.s_cached s.s_failed s.s_timeout s.s_cancelled
+  in
+  let base =
+    if s.s_conservative > 0 || s.s_passthrough > 0 then
+      base
+      ^ Printf.sprintf "\nrungs: %d full, %d conservative, %d passthrough"
+          s.s_full s.s_conservative s.s_passthrough
+    else base
   in
   match s.s_errors with
   | [] -> base

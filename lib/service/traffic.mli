@@ -31,6 +31,9 @@ type summary = {
   s_failed : int;
   s_timeout : int;
   s_cancelled : int;
+  s_full : int;  (** [Done] payloads produced at the full rung *)
+  s_conservative : int;  (** [Done] payloads from the conservative rung *)
+  s_passthrough : int;  (** [Done] payloads that are serial passthrough *)
   s_wall_s : float;
   s_errors : (string * string) list;  (** (request name, message), capped *)
 }

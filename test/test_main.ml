@@ -15,4 +15,5 @@ let () =
       ("service", Test_service.tests);
       ("validate", Test_validate.tests);
       ("fuzz", Test_fuzz.tests);
+      ("chaos", Test_chaos.tests);
     ]

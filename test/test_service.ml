@@ -115,6 +115,123 @@ let test_percentiles () =
   Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.percentile 95.0 [ 7.0 ])
 
 (* ------------------------------------------------------------------ *)
+(* Reservoir sample                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_reservoir_basics () =
+  let r = Reservoir.create ~capacity:4 () in
+  Alcotest.(check int) "empty count" 0 (Reservoir.count r);
+  Alcotest.(check (float 1e-9)) "empty max" 0.0 (Reservoir.max_value r);
+  List.iter (Reservoir.add r) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check int) "filling keeps all" 3 (List.length (Reservoir.sample r));
+  List.iter (Reservoir.add r) [ 9.0; 4.0; 5.0; 6.0 ];
+  Alcotest.(check int) "exact count" 7 (Reservoir.count r);
+  Alcotest.(check (float 1e-9)) "exact max survives sampling" 9.0
+    (Reservoir.max_value r);
+  Alcotest.(check int) "sample bounded" 4 (List.length (Reservoir.sample r));
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Reservoir.create: capacity < 1") (fun () ->
+      ignore (Reservoir.create ~capacity:0 ()))
+
+let test_reservoir_percentile_accuracy () =
+  (* the regression the reservoir replaces the unbounded latency list
+     with: p50/p95 estimated from a 1024-slot sample of 10_000 skewed
+     observations must stay within a few percent of the exact values *)
+  let rng = Random.State.make [| 2024 |] in
+  let values =
+    List.init 10_000 (fun _ ->
+        (* long-tailed, like service latencies *)
+        let u = Random.State.float rng 1.0 in
+        1.0 +. (100.0 *. u *. u *. u))
+  in
+  let r = Reservoir.create ~capacity:1024 () in
+  List.iter (Reservoir.add r) values;
+  let exact p = Stats.percentile p values in
+  let sampled p = Stats.percentile p (Reservoir.sample r) in
+  let rel_err p = abs_float (sampled p -. exact p) /. exact p in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 within 10%% (err %.3f)" (rel_err 50.0))
+    true
+    (rel_err 50.0 < 0.10);
+  Alcotest.(check bool)
+    (Printf.sprintf "p95 within 10%% (err %.3f)" (rel_err 95.0))
+    true
+    (rel_err 95.0 < 0.10);
+  Alcotest.(check int) "exact count kept" 10_000 (Reservoir.count r);
+  Alcotest.(check (float 1e-9)) "exact max kept"
+    (List.fold_left Float.max 0.0 values)
+    (Reservoir.max_value r)
+
+(* ------------------------------------------------------------------ *)
+(* Fuel counter                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a single loop nest with enough statements that the dependence test's
+   pairwise reference scan runs tens of thousands of iterations — the
+   between-nest interrupt poll alone would fire at most a couple of
+   times over this program *)
+let huge_nest_source n =
+  let body =
+    List.init n (fun i ->
+        Printf.sprintf "      A(I) = A(I) + B(I) * %d.0" (i + 1))
+  in
+  String.concat "\n"
+    ([ "      PROGRAM HUGE"; "      DIMENSION A(100), B(100)";
+       "      DO 10 I = 1, 100" ]
+    @ body
+    @ [ "   10 CONTINUE"; "      END" ])
+  ^ "\n"
+
+let test_fuel_polls_inside_dependence_analysis () =
+  let prog = Fortran.Parser.parse_program (huge_nest_source 100) in
+  let opts = Restructurer.Options.advanced Machine.Config.cedar_config1 in
+  let polls = ref 0 in
+  (* demand several polls before aborting: only the fuel ticks inside
+     the pairwise dependence scan can get the count that high within a
+     single nest *)
+  let interrupt () =
+    incr polls;
+    !polls >= 4
+  in
+  (match Restructurer.Driver.restructure ~interrupt opts prog with
+  | _ -> Alcotest.fail "expected Interrupted mid-nest"
+  | exception Restructurer.Driver.Interrupted -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "fuel fired repeatedly inside one nest (%d polls)" !polls)
+    true (!polls >= 4)
+
+exception Stop_interp
+
+let test_fuel_polls_inside_interpreter () =
+  let src =
+    String.concat "\n"
+      [
+        "      PROGRAM SPIN";
+        "      S = 0.0";
+        "      DO 10 I = 1, 100000";
+        "      S = S + 1.0";
+        "   10 CONTINUE";
+        "      PRINT *, S";
+        "      END";
+      ]
+    ^ "\n"
+  in
+  let prog = Fortran.Parser.parse_program src in
+  let ticks = ref 0 in
+  let hook () =
+    incr ticks;
+    if !ticks > 3 then raise Stop_interp
+  in
+  (match
+     Fortran.Fuel.with_hook hook (fun () ->
+         Interp.Exec.run ~cfg:Machine.Config.cedar_config1 prog)
+   with
+  | _ -> Alcotest.fail "expected the fuel hook to abort the run"
+  | exception Stop_interp -> ());
+  Alcotest.(check bool) "hook ran from the serial-loop hot path" true
+    (!ticks > 3)
+
+(* ------------------------------------------------------------------ *)
 (* Server                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -250,6 +367,113 @@ let test_traffic_closed_loop () =
   Alcotest.(check bool) "p95 >= p50" true
     (stats.Stats.p95_latency_ms >= stats.Stats.p50_latency_ms)
 
+(* ------------------------------------------------------------------ *)
+(* Cold paths: closing, expiring, racing, shutting down                *)
+(* ------------------------------------------------------------------ *)
+
+(* an injector whose only effect is slowing jobs down — the lever that
+   makes "stuck in the queue" scenarios deterministic *)
+let slow_fault ms = Fault.create ~delay_ms:ms [ (Fault.Exec_delay, 1.0) ]
+
+let test_submit_after_shutdown_cancelled () =
+  let server = Server.create ~workers:1 ~cache_capacity:4 () in
+  ignore (Server.shutdown server);
+  let req = Traffic.nth_request ~seed:1 ~size_jitter:0 ~batch:1 0 in
+  match Server.run server req with
+  | Server.Cancelled -> ()
+  | _ -> Alcotest.fail "submit on a closed server must resolve Cancelled"
+
+let test_submit_racing_shutdown () =
+  (* submitters blocked on a full queue while the server shuts down:
+     every ticket must still resolve (Cancelled or otherwise), nothing
+     may hang *)
+  let server =
+    Server.create ~workers:1 ~queue_capacity:1 ~cache_capacity:4
+      ~fault:(slow_fault 30.0) ()
+  in
+  let outcomes = Array.make 6 None in
+  let submitter =
+    Domain.spawn (fun () ->
+        for i = 0 to 5 do
+          let req = Traffic.nth_request ~seed:31 ~size_jitter:0 ~batch:1 i in
+          outcomes.(i) <- Some (Server.run server req)
+        done)
+  in
+  Unix.sleepf 0.05;
+  ignore (Server.shutdown server);
+  Domain.join submitter;
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ticket %d resolved" i)
+        true (o <> None))
+    outcomes
+
+let test_expire_while_queued () =
+  (* one slow job occupies the single worker; the job queued behind it
+     outlives its own deadline without ever starting -> Cancelled *)
+  let server =
+    Server.create ~workers:1 ~cache_capacity:4 ~timeout_ms:40.0
+      ~fault:(slow_fault 120.0) ()
+  in
+  let blocker =
+    Server.submit server (Traffic.nth_request ~seed:8 ~size_jitter:0 ~batch:1 0)
+  in
+  let stuck =
+    Server.submit server (Traffic.nth_request ~seed:8 ~size_jitter:0 ~batch:1 1)
+  in
+  (match Server.await stuck with
+  | Server.Cancelled -> ()
+  | o ->
+      Alcotest.failf "expected Cancelled for the queued job, got %s"
+        (match o with
+        | Server.Done _ -> "Done"
+        | Server.Failed m -> "Failed " ^ m
+        | Server.Timeout -> "Timeout"
+        | Server.Cancelled -> "Cancelled"));
+  ignore (Server.await blocker);
+  let stats = Server.shutdown server in
+  Alcotest.(check bool) "cancellation counted" true (stats.Stats.cancelled >= 1)
+
+let test_duplicate_submission_races_cache_fill () =
+  (* the same request in flight twice at once: both must resolve Done
+     with byte-identical text whether or not the second one caught the
+     first one's cache fill; afterwards the entry is resident *)
+  let server =
+    Server.create ~workers:2 ~oversubscribe:true ~cache_capacity:16 ()
+  in
+  let req = Traffic.nth_request ~seed:21 ~size_jitter:0 ~batch:1 0 in
+  let t1 = Server.submit server req in
+  let t2 = Server.submit server req in
+  let p1, _ = payload_exn "dup 1" (Server.await t1) in
+  let p2, _ = payload_exn "dup 2" (Server.await t2) in
+  Alcotest.(check string) "identical text" p1.Server.p_text p2.Server.p_text;
+  let p3, cached3 = payload_exn "replay" (Server.run server req) in
+  Alcotest.(check bool) "entry resident afterwards" true cached3;
+  Alcotest.(check string) "replay identical" p1.Server.p_text p3.Server.p_text;
+  ignore (Server.shutdown server)
+
+let test_shutdown_with_full_queue () =
+  (* shutdown while the queue is full of unstarted slow jobs: close
+     rejects new work but drains what was accepted, so every ticket
+     resolves Done and none hangs or leaks *)
+  let server =
+    Server.create ~workers:1 ~queue_capacity:8 ~cache_capacity:16
+      ~fault:(slow_fault 10.0) ()
+  in
+  let tickets =
+    List.init 6 (fun i ->
+        Server.submit server (Traffic.nth_request ~seed:17 ~size_jitter:0 ~batch:1 i))
+  in
+  let stats = Server.shutdown server in
+  List.iteri
+    (fun i t ->
+      match Server.await t with
+      | Server.Done _ -> ()
+      | _ -> Alcotest.failf "queued job %d did not complete at shutdown" i)
+    tickets;
+  Alcotest.(check int) "all completed" 6 stats.Stats.completed
+
 let tests =
   [
     Alcotest.test_case "queue: fifo + high water + close" `Quick test_queue_fifo;
@@ -262,6 +486,14 @@ let tests =
       test_cache_overwrite_no_evict;
     Alcotest.test_case "cache: capacity 0 disables" `Quick test_cache_disabled;
     Alcotest.test_case "stats: nearest-rank percentiles" `Quick test_percentiles;
+    Alcotest.test_case "reservoir: exact count/max, bounded sample" `Quick
+      test_reservoir_basics;
+    Alcotest.test_case "reservoir: p50/p95 within tolerance of exact" `Quick
+      test_reservoir_percentile_accuracy;
+    Alcotest.test_case "fuel: polls inside the dependence pair scan" `Quick
+      test_fuel_polls_inside_dependence_analysis;
+    Alcotest.test_case "fuel: polls inside the interpreter serial loop" `Quick
+      test_fuel_polls_inside_interpreter;
     Alcotest.test_case "server: pool results byte-identical to direct" `Quick
       test_server_matches_direct;
     Alcotest.test_case "server: cache short-circuits identical request" `Quick
@@ -276,4 +508,14 @@ let tests =
       test_traffic_deterministic;
     Alcotest.test_case "traffic: closed loop drains cleanly" `Quick
       test_traffic_closed_loop;
+    Alcotest.test_case "cold: submit after shutdown -> Cancelled" `Quick
+      test_submit_after_shutdown_cancelled;
+    Alcotest.test_case "cold: submits racing shutdown all resolve" `Quick
+      test_submit_racing_shutdown;
+    Alcotest.test_case "cold: ticket expires while queued" `Quick
+      test_expire_while_queued;
+    Alcotest.test_case "cold: duplicate submission races cache fill" `Quick
+      test_duplicate_submission_races_cache_fill;
+    Alcotest.test_case "cold: shutdown drains a full queue" `Quick
+      test_shutdown_with_full_queue;
   ]

@@ -68,6 +68,38 @@ let micro () =
 
 (* End-to-end service throughput: drive the domain pool with the seeded
    traffic generator and leave a machine-readable record. *)
+
+(* per-phase time accounting rides the service's own phase histograms;
+   deltas of the cumulative sums bracket one traffic pass *)
+let phase_names = [ "parse"; "restructure"; "validate"; "perfmodel" ]
+
+let phase_hists =
+  List.map
+    (fun n ->
+      ( n,
+        Obs.Metrics.histogram Obs.Metrics.global
+          (Printf.sprintf "service_phase_%s_seconds" n) ))
+    phase_names
+
+let phase_snapshot () =
+  List.map (fun (n, h) -> (n, Obs.Metrics.histogram_sum h)) phase_hists
+
+let phase_delta before after =
+  List.map2
+    (fun (n, s0) (_, s1) -> (n, s1 -. s0))
+    before after
+
+let phase_json breakdown =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (n, s) -> Printf.sprintf {|"%s": %.4f|} n s) breakdown)
+  ^ "}"
+
+let phase_line label breakdown =
+  Printf.printf "%s phase seconds:%s\n" label
+    (String.concat ""
+       (List.map (fun (n, s) -> Printf.sprintf "  %s %.3f" n s) breakdown))
+
 let service_bench () =
   let workers = 4 in
   let cfg = Service.Traffic.default_cfg in
@@ -76,8 +108,56 @@ let service_bench () =
   in
   (* cold pass fills the cache; the warm pass replays the identical
      request sequence, so it measures pure cache-hit serving *)
+  let snap0 = phase_snapshot () in
   let cold = Service.Traffic.run server cfg in
+  let snap1 = phase_snapshot () in
+  (* discard one warm pass so the measured warm passes below are both
+     steady-state (first-touch effects would otherwise bias whichever
+     pass runs first) *)
+  ignore (Service.Traffic.run server cfg);
+  let snap2 = phase_snapshot () in
   let warm = Service.Traffic.run server cfg in
+  let snap3 = phase_snapshot () in
+  (* traced warm passes measure what turning the span tracer on costs
+     relative to the disabled-tracer fast path.  Alternate the two modes
+     and take the best pass of each: sequential ordering alone can swing
+     warm cache-hit throughput by tens of percent (allocator/GC warm-up,
+     especially on single-core hosts), so an A-then-B comparison would
+     mostly measure run order, not tracing. *)
+  let tracer = Obs.Trace.memory () in
+  let warm_pass traced =
+    Obs.Trace.install (if traced then tracer else Obs.Trace.disabled);
+    let s = Service.Traffic.run server cfg in
+    Obs.Trace.install Obs.Trace.disabled;
+    s
+  in
+  let throughput (s : Service.Traffic.summary) =
+    if s.Service.Traffic.s_wall_s > 0.0 then
+      float_of_int s.Service.Traffic.s_requests /. s.Service.Traffic.s_wall_s
+    else 0.0
+  in
+  let warm_traced = warm_pass true in
+  (* one sample = five back-to-back passes, so a single scheduler hiccup
+     can't dominate the measured wall time *)
+  let measure traced =
+    Obs.Trace.install (if traced then tracer else Obs.Trace.disabled);
+    let reqs = ref 0 and wall = ref 0.0 in
+    for _ = 1 to 5 do
+      let s = Service.Traffic.run server cfg in
+      reqs := !reqs + s.Service.Traffic.s_requests;
+      wall := !wall +. s.Service.Traffic.s_wall_s
+    done;
+    Obs.Trace.install Obs.Trace.disabled;
+    if !wall > 0.0 then float_of_int !reqs /. !wall else 0.0
+  in
+  let best_plain = ref 0.0 and best_traced = ref 0.0 in
+  for _ = 1 to 3 do
+    best_plain := max !best_plain (measure false);
+    best_traced := max !best_traced (measure true)
+  done;
+  let best_plain = !best_plain and best_traced = !best_traced in
+  let cold_phases = phase_delta snap0 snap1 in
+  let warm_phases = phase_delta snap2 snap3 in
   let effective = Service.Server.effective_workers server in
   let stats = Service.Server.shutdown server in
   (* chaos pass on a fresh pool: every fault site at 10%, fixed seed —
@@ -96,15 +176,13 @@ let service_bench () =
   print_endline "==================================================";
   print_endline ("cold:  " ^ Service.Traffic.summary_to_string cold);
   print_endline ("warm:  " ^ Service.Traffic.summary_to_string warm);
+  print_endline ("warm+trace: " ^ Service.Traffic.summary_to_string warm_traced);
   print_endline ("chaos: " ^ Service.Traffic.summary_to_string chaos);
+  phase_line "cold" cold_phases;
+  phase_line "warm" warm_phases;
   print_endline (Service.Stats.to_string stats);
   print_endline "--- chaos pass (all sites at 10%) ---";
   print_endline (Service.Stats.to_string chaos_stats);
-  let throughput (s : Service.Traffic.summary) =
-    if s.Service.Traffic.s_wall_s > 0.0 then
-      float_of_int s.Service.Traffic.s_requests /. s.Service.Traffic.s_wall_s
-    else 0.0
-  in
   let json =
     Printf.sprintf
       {|{
@@ -117,6 +195,10 @@ let service_bench () =
   "batch": %d,
   "cold_throughput_jobs_per_s": %.2f,
   "warm_throughput_jobs_per_s": %.2f,
+  "warm_traced_throughput_jobs_per_s": %.2f,
+  "tracing_overhead_pct": %.2f,
+  "cold_phase_seconds": %s,
+  "warm_phase_seconds": %s,
   "warm_cached": %d,
   "cache_hit_rate": %.4f,
   "p50_latency_ms": %.3f,
@@ -140,7 +222,11 @@ let service_bench () =
       cfg.Service.Traffic.requests workers effective
       (Domain.recommended_domain_count ())
       cfg.Service.Traffic.clients cfg.Service.Traffic.seed
-      cfg.Service.Traffic.batch (throughput cold) (throughput warm)
+      cfg.Service.Traffic.batch (throughput cold) best_plain best_traced
+      (if best_plain > 0.0 then
+         (best_plain -. best_traced) /. best_plain *. 100.0
+       else 0.0)
+      (phase_json cold_phases) (phase_json warm_phases)
       warm.Service.Traffic.s_cached stats.Service.Stats.cache_hit_rate
       stats.Service.Stats.p50_latency_ms stats.Service.Stats.p95_latency_ms
       stats.Service.Stats.wall_s

@@ -69,7 +69,15 @@ let sweep_validate verbose =
 
 let run workers cache_size timeout_ms requests clients seed jitter batch
     oversubscribe validate chaos chaos_seed chaos_stealth chaos_delay_ms
-    verbose =
+    trace_file metrics verbose =
+  let tracer =
+    match trace_file with
+    | None -> None
+    | Some path ->
+        let tr = Obs.Trace.chrome ~path in
+        Obs.Trace.install tr;
+        Some tr
+  in
   let fault =
     match chaos with
     | None -> Ok Service.Fault.none
@@ -156,6 +164,20 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
   let stats = Service.Server.shutdown server in
   print_endline "--- service stats ---";
   print_endline (Service.Stats.to_string stats);
+  (match tracer with
+  | Some tr ->
+      Obs.Trace.flush tr;
+      (match trace_file with
+      | Some path ->
+          Printf.printf
+            "trace: wrote %s (load in chrome://tracing or ui.perfetto.dev)\n"
+            path
+      | None -> ())
+  | None -> ());
+  if metrics then begin
+    print_endline "--- metrics ---";
+    print_string (Obs.Metrics.dump Obs.Metrics.global)
+  end;
   if chaotic then begin
     print_endline "--- fault log ---";
     print_endline (Service.Fault.log_to_string fault)
@@ -278,6 +300,26 @@ let chaos_delay_arg =
     & info [ "chaos-delay-ms" ] ~docv:"MS"
         ~doc:"latency injected at the delay site")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "record a span trace of every job (queue wait, attempts per \
+           rung, restructurer passes, validation, cache fills) and write \
+           it to $(docv) in Chrome trace-event JSON on shutdown — open in \
+           chrome://tracing or ui.perfetto.dev")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "print the process metrics registry (queue, cache, breaker, \
+           degradation-rung, fault-injection, and dependence-test \
+           counters) in Prometheus text format at shutdown")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print extra detail")
 
@@ -289,6 +331,6 @@ let cmd =
       const run $ workers_arg $ cache_arg $ timeout_arg $ requests_arg
       $ clients_arg $ seed_arg $ jitter_arg $ batch_arg $ oversubscribe_arg
       $ validate_arg $ chaos_arg $ chaos_seed_arg $ chaos_stealth_arg
-      $ chaos_delay_arg $ verbose_arg)
+      $ chaos_delay_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,10 +39,51 @@ type dep = {
 (* Single-dimension test                                               *)
 (* ------------------------------------------------------------------ *)
 
+(** Which test proved a dimension (or pair) independent — exported to the
+    metrics registry so a corpus run shows where the analysis earns its
+    keep (cf. the paper's per-technique accounting in Tables 1–2). *)
+type indep_proof =
+  | P_ziv  (** constant subscripts differ *)
+  | P_gcd  (** GCD test: the dependence equation has no integer solution *)
+  | P_siv  (** strong SIV: non-integral or out-of-range distance *)
+  | P_trip  (** Banerjee-style bound: distance exceeds the trip count *)
+  | P_disequal  (** a guard/bound disequality separates the cells *)
+  | P_distance  (** two dimensions demand conflicting distances *)
+
+let proof_name = function
+  | P_ziv -> "ziv"
+  | P_gcd -> "gcd"
+  | P_siv -> "siv"
+  | P_trip -> "trip"
+  | P_disequal -> "disequal"
+  | P_distance -> "distance"
+
+let all_proofs = [ P_ziv; P_gcd; P_siv; P_trip; P_disequal; P_distance ]
+
+(* registered once; incremented in one batch per [dependences] call so
+   the quadratic pair scan never touches a shared cache line per pair *)
+let pairs_counter =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"reference pairs run through the subscript tests"
+    "depend_pairs_tested_total"
+
+let deps_counter =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"pairs where a dependence was assumed or proven"
+    "depend_deps_found_total"
+
+let proof_counter p =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"pairs proven independent, by deciding test"
+    (Printf.sprintf "depend_indep_%s_total" (proof_name p))
+
+let proof_counters = List.map (fun p -> (p, proof_counter p)) all_proofs
+
 (** Feasible set of iteration distances d = i(sink) - i(source) allowed by
     one subscript dimension: empty, a singleton, or all of Z. *)
 type dim_result =
-  | Independent  (** empty: this dimension proves there is no dependence *)
+  | Independent of indep_proof
+      (** empty: this dimension proves there is no dependence *)
   | Distance of int  (** satisfied exactly at this iteration distance *)
   | Any  (** satisfiable at any distance (no constraint on tested index) *)
   | Unknown of reason  (** treated as Any, with a diagnosis *)
@@ -78,30 +119,30 @@ let test_dim ~index ~inner ~trip (s1 : Affine.t) (s2 : Affine.t) : dim_result =
       if a1 = 0 && a2 = 0 && inner_coeffs = [] then
         (* ZIV: the cell does not depend on the tested index, so equal
            constants conflict at every iteration distance *)
-        if c = 0 then Any else Independent
+        if c = 0 then Any else Independent P_ziv
       else if inner_coeffs <> [] then begin
         (* coupled with inner indices: GCD feasibility only *)
         let g =
           List.fold_left gcd (gcd a1 a2) inner_coeffs
         in
-        if g <> 0 && c mod g <> 0 then Independent else Any
+        if g <> 0 && c mod g <> 0 then Independent P_gcd else Any
       end
       else if a1 = a2 then
         (* strong SIV: a*i1 + c = a*i2  =>  d = i2 - i1 = c/a *)
         let a = a1 in
-        if a = 0 then if c = 0 then Any else Independent
-        else if c mod a <> 0 then Independent
+        if a = 0 then if c = 0 then Any else Independent P_ziv
+        else if c mod a <> 0 then Independent P_siv
         else
           let d = c / a in
           let out_of_range =
             match trip with Some t -> abs d >= t | None -> false
           in
-          if out_of_range then Independent else Distance d
+          if out_of_range then Independent P_trip else Distance d
       else
         (* weak SIV / MIV in the tested index: GCD then give up on
            direction *)
         let g = gcd a1 a2 in
-        if g <> 0 && c mod g <> 0 then Independent else Unknown Affine)
+        if g <> 0 && c mod g <> 0 then Independent P_gcd else Unknown Affine)
 
 (* ------------------------------------------------------------------ *)
 (* Reference-pair test                                                 *)
@@ -111,18 +152,27 @@ let test_dim ~index ~inner ~trip (s1 : Affine.t) (s2 : Affine.t) : dim_result =
 let combine_dims results =
   let rec go acc = function
     | [] -> acc
-    | Independent :: _ -> Independent
+    | (Independent _ as r) :: _ -> r
     | r :: rest -> (
         match (acc, r) with
-        | Independent, _ | _, Independent -> Independent
+        | (Independent _ as x), _ | _, (Independent _ as x) -> x
         | Any, x -> go x rest
         | Unknown r0, (Any | Unknown _) -> go (Unknown r0) rest
         | Unknown _, Distance d -> go (Distance d) rest
         | Distance d, (Any | Unknown _) -> go (Distance d) rest
         | Distance d1, Distance d2 ->
-            if d1 = d2 then go (Distance d1) rest else Independent)
+            if d1 = d2 then go (Distance d1) rest
+            else Independent P_distance)
   in
   go Any results
+
+(** Outcome of testing one reference pair, keeping the deciding proof when
+    the pair is shown independent (for the metrics flush in
+    [dependences]). *)
+type pair_verdict =
+  | V_skip  (** different arrays: never a candidate pair *)
+  | V_indep of indep_proof
+  | V_dep of bool * distance * reason
 
 (** Does a dependence exist between two references, and is it carried by
     the tested loop?  [env] substitutes recognized induction variables by
@@ -131,14 +181,13 @@ let combine_dims results =
     (strictly monotonic generalized induction variables): a dimension
     subscripted by exactly such a variable on both sides can only conflict
     within one iteration. *)
-let test_pair ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
+let test_pair_v ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
     ?(invariant = fun _ -> false) ~env ~index ~inner ~trip
-    (r1 : Loops.ref_info) (r2 : Loops.ref_info) :
-    (bool * distance * reason) option =
-  if r1.r_array <> r2.r_array then None
+    (r1 : Loops.ref_info) (r2 : Loops.ref_info) : pair_verdict =
+  if r1.r_array <> r2.r_array then V_skip
   else if List.length r1.r_subs <> List.length r2.r_subs then
     (* reshaped access: give up *)
-    Some (true, Star, Non_affine)
+    V_dep (true, Star, Non_affine)
   else
     let dim_override s1 s2 =
       match (s1, s2) with
@@ -166,7 +215,7 @@ let test_pair ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
           (* a known disequality (from an enclosing IF guard or from the
              loop bounds, e.g. DO j = k+1, n  =>  j <> k) separates the
              cells in this dimension *)
-          Some Independent
+          Some (Independent P_disequal)
       | _ -> None
     in
     let affs1 = List.map (Affine.of_expr ~env) r1.r_subs in
@@ -179,7 +228,7 @@ let test_pair ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
       || List.exists2
            (fun a o -> Option.is_none a && Option.is_none o)
            affs2 overrides
-    then Some (true, Star, Non_affine)
+    then V_dep (true, Star, Non_affine)
     else
       let dims =
         List.map2
@@ -192,11 +241,11 @@ let test_pair ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
           overrides
       in
       match combine_dims dims with
-      | Independent -> None
-      | Distance 0 -> Some (false, Dist 0, Affine)
-      | Distance d -> Some (true, Dist d, Affine)
-      | Any -> Some (true, Star, Affine)
-      | Unknown r -> Some (true, Star, r)
+      | Independent p -> V_indep p
+      | Distance 0 -> V_dep (false, Dist 0, Affine)
+      | Distance d -> V_dep (true, Dist d, Affine)
+      | Any -> V_dep (true, Star, Affine)
+      | Unknown r -> V_dep (true, Star, r)
 
 let kind_of (a : Loops.ref_info) (b : Loops.ref_info) =
   match (a.r_access, b.r_access) with
@@ -213,6 +262,14 @@ let dependences ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
     ?(invariant = fun _ -> false) ~env ~index ~inner ~trip
     (refs : Loops.ref_info list) : dep list =
   let deps = ref [] in
+  (* tallied locally and flushed to the registry once per call: the pair
+     scan is quadratic and runs on every worker domain, so per-pair
+     shared-cacheline atomics would contend *)
+  let pairs_tested = ref 0 and deps_found = ref 0 in
+  let indep_tallies = List.map (fun (p, c) -> (p, ref 0, c)) proof_counters in
+  let note_indep p =
+    List.iter (fun (q, r, _) -> if q = p then incr r) indep_tallies
+  in
   let n = List.length refs in
   let arr = Array.of_list refs in
   for i = 0 to n - 1 do
@@ -228,15 +285,20 @@ let dependences ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
           | None -> ()
           | Some _ -> (
               match
-                test_pair ~injective ~disequal ~invariant ~env ~index ~inner
-                  ~trip a b
+                test_pair_v ~injective ~disequal ~invariant ~env ~index
+                  ~inner ~trip a b
               with
-              | None -> ()
-              | Some (false, Dist 0, _) when i = j ->
+              | V_skip -> ()
+              | V_indep p ->
+                  incr pairs_tested;
+                  note_indep p
+              | V_dep (false, Dist 0, _) when i = j ->
                   (* a reference trivially "depends" on itself in the same
                      iteration: not a dependence *)
-                  ()
-              | Some (carried, dist, reason) ->
+                  incr pairs_tested
+              | V_dep (carried, dist, reason) ->
+                  incr pairs_tested;
+                  incr deps_found;
                   let src, dst, dist =
                     match dist with
                     | Dist d when d < 0 -> (b, a, Dist (-d))
@@ -273,6 +335,11 @@ let dependences ?(injective = Ast_utils.SSet.empty) ?(disequal = [])
       end
     done
   done;
+  if !pairs_tested > 0 then Obs.Metrics.incr ~by:!pairs_tested pairs_counter;
+  if !deps_found > 0 then Obs.Metrics.incr ~by:!deps_found deps_counter;
+  List.iter
+    (fun (_, r, c) -> if !r > 0 then Obs.Metrics.incr ~by:!r c)
+    indep_tallies;
   List.rev !deps
 
 (** Dependences that prevent running the tested loop as a DOALL. *)

@@ -1016,8 +1016,23 @@ type result = {
     entry.  [input] feeds READ statements.  When [detector] is given,
     parallel loop bodies run with per-location access logging and any
     data races found are recorded in it (see {!Race}). *)
+let m_runs =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"simulated executions" "interp_runs_total"
+
+let m_race_issues =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"data races recorded by the dynamic detector"
+    "interp_race_issues_total"
+
 let run ?(input = []) ?detector ~(cfg : Mach.Config.t) (prog : Ast.program) :
     result =
+  Obs.Trace.with_span "interp_run" @@ fun sp ->
+  Obs.Metrics.incr m_runs;
+  (* a detector may be shared across runs: count only this run's issues *)
+  let issues_before =
+    match detector with Some d -> List.length (Race.issues d) | None -> 0
+  in
   let main =
     match List.find_opt (fun u -> u.Ast.u_kind = Ast.Program) prog with
     | Some u -> u
@@ -1055,6 +1070,12 @@ let run ?(input = []) ?detector ~(cfg : Mach.Config.t) (prog : Ast.program) :
       in
       try exec_stmts t main.Ast.u_body with Stop_program -> ());
   let cycles = Mach.Sim.run sim in
+  (match detector with
+  | Some d ->
+      let n = List.length (Race.issues d) - issues_before in
+      if n > 0 then Obs.Metrics.incr ~by:n m_race_issues;
+      Obs.Trace.count sp "races" (max 0 n)
+  | None -> ());
   {
     cycles;
     output = Buffer.contents c.output;

@@ -68,6 +68,63 @@ type ctx = {
   mutable reports : loop_report list;
 }
 
+(* one metrics counter per driver verdict:
+   "serial (cost model)" -> driver_decision_serial_cost_model_total *)
+let decision_slug s =
+  let b = Buffer.create (String.length s) in
+  let last_us = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' ->
+          Buffer.add_char b c;
+          last_us := false
+      | 'A' .. 'Z' ->
+          Buffer.add_char b (Char.lowercase_ascii c);
+          last_us := false
+      | _ ->
+          if not !last_us then begin
+            Buffer.add_char b '_';
+            last_us := true
+          end)
+    s;
+  let s = Buffer.contents b in
+  if String.length s > 0 && s.[String.length s - 1] = '_' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+(* every decision goes through here: prepends the report and bumps the
+   per-verdict counter (loop granularity, so registry lookup cost is
+   immaterial) *)
+let record (ctx : ctx) (r : loop_report) =
+  ctx.reports <- r :: ctx.reports;
+  Obs.Metrics.incr
+    (Obs.Metrics.counter Obs.Metrics.global
+       ~help:"loops decided, by driver verdict"
+       (Printf.sprintf "driver_decision_%s_total" (decision_slug r.r_decision)))
+
+(* after the fact, stamp the loop span with the newest report recorded for
+   (index, depth) since [before] — the driver's verdict for this nest *)
+let annotate_decision sp ~before (ctx : ctx) ~index ~depth =
+  if Obs.Trace.enabled () then begin
+    let rec find l =
+      if l == before then None
+      else
+        match l with
+        | [] -> None
+        | r :: tl ->
+            if r.r_index = index && r.r_depth = depth then Some r else find tl
+    in
+    match find ctx.reports with
+    | None -> ()
+    | Some r ->
+        Obs.Trace.attr sp "decision" r.r_decision;
+        (match r.r_mode with
+        | Some m -> Obs.Trace.attr sp "mode" (Cost_model.show_mode m)
+        | None -> ());
+        Obs.Trace.count sp "versions" r.r_versions
+  end
+
 let reduction_site_count v body =
   Ast_utils.fold_stmts
     (fun n s ->
@@ -160,8 +217,8 @@ let bound_facts (h : Ast.do_header) : (string * string) list =
   else []
 
 (** Analyze one loop for parallelizability under the enabled techniques. *)
-let analyze_loop (ctx : ctx) ~(live_after : string -> bool)
-    ?(facts = []) (h : Ast.do_header) (body : Ast.stmt list) : loop_analysis =
+let analyze_loop_inner (ctx : ctx) ~(live_after : string -> bool)
+    ~facts (h : Ast.do_header) (body : Ast.stmt list) : loop_analysis =
   let tech = ctx.opts.Options.techniques in
   let used = ref [] in
   let use t = if not (List.mem t !used) then used := t :: !used in
@@ -509,6 +566,17 @@ let analyze_loop (ctx : ctx) ~(live_after : string -> bool)
     a_techniques = List.rev !used;
   }
 
+let analyze_loop (ctx : ctx) ~(live_after : string -> bool) ?(facts = [])
+    (h : Ast.do_header) (body : Ast.stmt list) : loop_analysis =
+  Obs.Trace.with_span "analyze"
+    ~attrs:[ ("unit", ctx.unit_name); ("index", h.Ast.index) ]
+    (fun sp ->
+      let a = analyze_loop_inner ctx ~live_after ~facts h body in
+      if a.a_techniques <> [] then
+        Obs.Trace.attr sp "techniques" (String.concat "," a.a_techniques);
+      Obs.Trace.count sp "blockers" (List.length a.a_blockers);
+      a)
+
 (* ------------------------------------------------------------------ *)
 (* Loop transformation                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -532,31 +600,50 @@ let inner_doallable ctx ~live_after ~facts (body : Ast.stmt list) : bool =
 let rec transform_loop (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
     ~(facts : (string * string) list) ~depth (h : Ast.do_header)
     (blk : Ast.block) : Ast.stmt list =
-  let stmts = transform_loop_raw ctx ~avail ~after_reads ~facts ~depth h blk in
-  if not ctx.opts.Options.validate then stmts
-  else
-    match validator_issues ctx ~facts stmts with
-    | [] -> stmts
-    | issues ->
-        ctx.reports <-
-          {
-            r_unit = ctx.unit_name;
-            r_index = h.Ast.index;
-            r_depth = depth;
-            r_decision = "demoted (validator)";
-            r_mode = None;
-            r_techniques = [];
-            r_blockers = List.map (fun i -> i.Validate.v_what) issues;
-            r_versions = 1;
-          }
-          :: ctx.reports;
-        (* rebuild from the untransformed loop; inner loops re-transform
-           (and re-validate) individually *)
-        serial_with_inner ctx ~avail ~after_reads ~facts ~depth h blk
+  Obs.Trace.with_span "loop"
+    ~attrs:
+      [
+        ("unit", ctx.unit_name);
+        ("index", h.Ast.index);
+        ("depth", string_of_int depth);
+      ]
+    (fun sp ->
+      let before = ctx.reports in
+      let stmts =
+        transform_loop_raw ctx ~avail ~after_reads ~facts ~depth h blk
+      in
+      let result =
+        if not ctx.opts.Options.validate then stmts
+        else
+          match validator_issues ctx ~facts stmts with
+          | [] -> stmts
+          | issues ->
+              record ctx
+                {
+                  r_unit = ctx.unit_name;
+                  r_index = h.Ast.index;
+                  r_depth = depth;
+                  r_decision = "demoted (validator)";
+                  r_mode = None;
+                  r_techniques = [];
+                  r_blockers = List.map (fun i -> i.Validate.v_what) issues;
+                  r_versions = 1;
+                };
+              (* rebuild from the untransformed loop; inner loops
+                 re-transform (and re-validate) individually *)
+              serial_with_inner ctx ~avail ~after_reads ~facts ~depth h blk
+      in
+      annotate_decision sp ~before ctx ~index:h.Ast.index ~depth;
+      result)
 
 and validator_issues ctx ~facts stmts =
-  Validate.check_stmts_in ~syms:ctx.syms ~interproc:ctx.interproc
-    ~unit_name:ctx.unit_name ~facts stmts
+  Obs.Trace.with_span "validate" (fun sp ->
+      let issues =
+        Validate.check_stmts_in ~syms:ctx.syms ~interproc:ctx.interproc
+          ~unit_name:ctx.unit_name ~facts stmts
+      in
+      Obs.Trace.count sp "issues" (List.length issues);
+      issues)
 
 and transform_loop_raw (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
     ~(facts : (string * string) list) ~depth (h : Ast.do_header)
@@ -573,7 +660,7 @@ and transform_loop_raw (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
   let lvl = Loops.level_of_header h in
   let profile = Cost_model.profile ~assumed_trip:opts.Options.assumed_trip lvl body in
   let report decision mode techniques versions =
-    ctx.reports <-
+    record ctx
       {
         r_unit = ctx.unit_name;
         r_index = h.Ast.index;
@@ -584,7 +671,6 @@ and transform_loop_raw (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
         r_blockers = a.a_blockers;
         r_versions = versions;
       }
-      :: ctx.reports
   in
   (* library substitution wins outright when available; the cross-machine
      library routines only make sense at the top parallel level — inside a
@@ -706,7 +792,10 @@ and transform_loop_raw (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
         let versions = List.length candidates in
         let techniques = a.a_techniques in
         let parallel_stmts =
-          apply_doall ctx ~avail ~after_reads ~facts ~depth a h blk best
+          Obs.Trace.with_span "apply"
+            ~attrs:[ ("mode", Cost_model.show_mode best) ]
+            (fun _ ->
+              apply_doall ctx ~avail ~after_reads ~facts ~depth a h blk best)
         in
         (* a parallelized loop no longer leaves its index variable with
            the sequential exit value; restore it when later code reads it
@@ -1051,26 +1140,35 @@ and transform_stmts ctx ~avail ~after_reads ?(facts = []) ~depth
                       ~depth e );
               ]
           | Ast.Do (h, blk)
-            when h.Ast.cls <> Ast.Seq && ctx.opts.Options.validate -> (
+            when h.Ast.cls <> Ast.Seq && ctx.opts.Options.validate ->
               (* an input (already-parallel) loop: verify it as written;
                  a failed check serializes it *)
-              match validator_issues ctx ~facts [ s ] with
-              | [] -> [ s ]
-              | issues ->
-                  ctx.reports <-
-                    {
-                      r_unit = ctx.unit_name;
-                      r_index = h.Ast.index;
-                      r_depth = depth;
-                      r_decision = "demoted (validator)";
-                      r_mode = None;
-                      r_techniques = [];
-                      r_blockers =
-                        List.map (fun i -> i.Validate.v_what) issues;
-                      r_versions = 1;
-                    }
-                    :: ctx.reports;
-                  serialize_parallel_loop h blk)
+              Obs.Trace.with_span "loop"
+                ~attrs:
+                  [
+                    ("unit", ctx.unit_name);
+                    ("index", h.Ast.index);
+                    ("depth", string_of_int depth);
+                  ]
+                (fun sp ->
+                  match validator_issues ctx ~facts [ s ] with
+                  | [] -> [ s ]
+                  | issues ->
+                      record ctx
+                        {
+                          r_unit = ctx.unit_name;
+                          r_index = h.Ast.index;
+                          r_depth = depth;
+                          r_decision = "demoted (validator)";
+                          r_mode = None;
+                          r_techniques = [];
+                          r_blockers =
+                            List.map (fun i -> i.Validate.v_what) issues;
+                          r_versions = 1;
+                        };
+                      Obs.Trace.attr sp "decision" "demoted (validator)";
+                      Obs.Trace.count sp "versions" 1;
+                      serialize_parallel_loop h blk)
           | s -> [ s ]
         in
         (s' @ rest', here_after)
@@ -1105,30 +1203,38 @@ let restructure_unit ~(interrupt : unit -> bool) (opts : Options.t)
     (interproc : Interproc.t) (prog : Ast.program) (u : Ast.punit) :
     Ast.punit * loop_report list * Transform.Inline.failure list =
   if interrupt () then raise Interrupted;
-  Ast_utils.reset_fresh ();
-  let u, inline_failures =
-    if opts.Options.techniques.Options.inline_expansion then
-      Transform.Inline.inline_unit ~limits:opts.Options.inline_limits prog u
-    else (u, [])
-  in
-  let ctx =
-    {
-      opts;
-      syms = Symbols.of_unit u;
-      interproc;
-      unit_name = u.Ast.u_name;
-      interrupt;
-      reports = [];
-    }
-  in
-  let body =
-    transform_stmts ctx
-      ~avail:{ spread = true; cluster = true }
-      ~after_reads:SSet.empty ~depth:0 u.Ast.u_body
-  in
-  let u = { u with Ast.u_body = body } in
-  let u = Transform.Globalize.apply ~default:opts.Options.placement_default u in
-  (u, List.rev ctx.reports, inline_failures)
+  Obs.Trace.with_span "unit"
+    ~attrs:[ ("name", u.Ast.u_name) ]
+    (fun _ ->
+      Ast_utils.reset_fresh ();
+      let u, inline_failures =
+        if opts.Options.techniques.Options.inline_expansion then
+          Obs.Trace.with_span "inline" (fun _ ->
+              Transform.Inline.inline_unit ~limits:opts.Options.inline_limits
+                prog u)
+        else (u, [])
+      in
+      let ctx =
+        {
+          opts;
+          syms = Symbols.of_unit u;
+          interproc;
+          unit_name = u.Ast.u_name;
+          interrupt;
+          reports = [];
+        }
+      in
+      let body =
+        transform_stmts ctx
+          ~avail:{ spread = true; cluster = true }
+          ~after_reads:SSet.empty ~depth:0 u.Ast.u_body
+      in
+      let u = { u with Ast.u_body = body } in
+      let u =
+        Obs.Trace.with_span "globalize" (fun _ ->
+            Transform.Globalize.apply ~default:opts.Options.placement_default u)
+      in
+      (u, List.rev ctx.reports, inline_failures))
 
 (** Restructure a whole program.  Besides the per-nest poll in
     [transform_loop_raw], the deadline hook rides the {!Fortran.Fuel}
@@ -1138,7 +1244,10 @@ let restructure ?(interrupt = fun () -> false) (opts : Options.t)
     (prog : Ast.program) : result =
   Fuel.with_hook (fun () -> if interrupt () then raise Interrupted)
   @@ fun () ->
-  let interproc = Interproc.analyze prog in
+  Obs.Trace.with_span "restructure" @@ fun _ ->
+  let interproc =
+    Obs.Trace.with_span "interproc" (fun _ -> Interproc.analyze prog)
+  in
   let units, reports, fails =
     List.fold_left
       (fun (us, rs, fs) u ->

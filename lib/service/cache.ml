@@ -20,6 +20,21 @@ type 'a t = {
 
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
+(* mirrored into the process-wide registry so `--metrics` sees cache
+   behaviour without a Server.stats call *)
+let m_hits =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"cache lookups served from the table" "service_cache_hits_total"
+
+let m_misses =
+  Obs.Metrics.counter Obs.Metrics.global ~help:"cache lookups that missed"
+    "service_cache_misses_total"
+
+let m_evictions =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"entries evicted to stay under capacity"
+    "service_cache_evictions_total"
+
 let create ~capacity =
   if capacity < 0 then invalid_arg "Cache.create: capacity < 0";
   {
@@ -49,10 +64,12 @@ let find c key =
       match Hashtbl.find_opt c.table key with
       | Some e ->
           c.hits <- c.hits + 1;
+          Obs.Metrics.incr m_hits;
           touch c key e;
           Some e.value
       | None ->
           c.misses <- c.misses + 1;
+          Obs.Metrics.incr m_misses;
           None)
 
 let evict_lru c =
@@ -63,7 +80,8 @@ let evict_lru c =
         match Hashtbl.find_opt c.table key with
         | Some e when e.stamp = stamp ->
             Hashtbl.remove c.table key;
-            c.evictions <- c.evictions + 1
+            c.evictions <- c.evictions + 1;
+            Obs.Metrics.incr m_evictions
         | _ -> go () (* stale pair: entry touched since, or gone *))
   in
   go ()

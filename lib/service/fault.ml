@@ -83,6 +83,21 @@ let stealth t = t.stealth
 let delay_s t = t.delay_s
 let set_prob t site p = t.probs.(site_index site) <- p
 
+(* injection activity is also visible through the metrics registry; the
+   handles are resolved once (fire runs on every attempt's hot path) *)
+let m_draws =
+  Obs.Metrics.counter Obs.Metrics.global
+    ~help:"fault-site decisions drawn" "service_fault_draws_total"
+
+let m_fired_by_site =
+  Array.of_list
+    (List.map
+       (fun s ->
+         Obs.Metrics.counter Obs.Metrics.global
+           ~help:"injected faults fired, by site"
+           (Printf.sprintf "service_fault_fired_%s_total" (site_name s)))
+       all_sites)
+
 (* splitmix64 finalizer over (seed, site, draw number) *)
 let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
@@ -107,8 +122,12 @@ let fire t site =
   if p <= 0.0 then false
   else begin
     let n = Atomic.fetch_and_add t.draws.(i) 1 in
+    Obs.Metrics.incr m_draws;
     let hit = unit_float ~seed:t.seed ~site:i ~n < p in
-    if hit then Atomic.incr t.fired.(i);
+    if hit then begin
+      Atomic.incr t.fired.(i);
+      Obs.Metrics.incr m_fired_by_site.(i)
+    end;
     hit
   end
 

@@ -53,6 +53,7 @@ type outcome =
 
 type ticket = {
   tk_request : request;
+  tk_trace : int;  (* trace id minted at submission, 0 when tracing is off *)
   tk_submitted : float;
   mutable tk_deadline : float;  (* refreshed when a retry starts *)
   tk_mutex : Mutex.t;
@@ -132,6 +133,98 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* ------------------------------------------------------------------ *)
+(* Registry instruments (process-wide; handles resolved once)          *)
+(* ------------------------------------------------------------------ *)
+
+module M = Obs.Metrics
+
+let m_submitted =
+  M.counter M.global ~help:"jobs submitted" "service_jobs_submitted_total"
+
+let m_completed =
+  M.counter M.global ~help:"jobs completed" "service_jobs_completed_total"
+
+let m_failed = M.counter M.global ~help:"jobs failed" "service_jobs_failed_total"
+
+let m_timeout =
+  M.counter M.global ~help:"jobs timed out" "service_jobs_timeout_total"
+
+let m_cancelled =
+  M.counter M.global ~help:"jobs cancelled" "service_jobs_cancelled_total"
+
+let m_retries =
+  M.counter M.global ~help:"ladder retries and requeues"
+    "service_retries_total"
+
+let m_rung rung =
+  M.counter M.global ~help:"completed jobs, by producing rung"
+    (Printf.sprintf "service_rung_%s_total" (rung_name rung))
+
+let m_rung_full = m_rung Full
+let m_rung_conservative = m_rung Conservative
+let m_rung_passthrough = m_rung Passthrough
+
+let m_degraded =
+  M.counter M.global ~help:"jobs served passthrough because the breaker was open"
+    "service_degraded_total"
+
+let m_respawns =
+  M.counter M.global ~help:"worker domains respawned by the supervisor"
+    "service_worker_respawns_total"
+
+let m_corrupt_dropped =
+  M.counter M.global ~help:"cache entries dropped on digest mismatch"
+    "service_cache_corrupt_dropped_total"
+
+let m_breaker_opened =
+  M.counter M.global ~help:"circuit breaker open transitions"
+    "service_breaker_opened_total"
+
+let m_breaker_state =
+  M.gauge M.global ~help:"breaker state (0 closed, 1 half-open, 2 open)"
+    "service_breaker_state"
+
+let m_queue_depth =
+  M.gauge M.global ~help:"tickets waiting in the queue" "service_queue_depth"
+
+let m_workers_busy =
+  M.gauge M.global ~help:"worker domains currently running a job"
+    "service_workers_busy"
+
+let m_job_seconds =
+  M.histogram M.global ~help:"job latency, submit to resolve"
+    "service_job_seconds"
+
+let m_phase_parse =
+  M.histogram M.global ~help:"parse phase duration"
+    "service_phase_parse_seconds"
+
+let m_phase_restructure =
+  M.histogram M.global ~help:"restructure phase duration"
+    "service_phase_restructure_seconds"
+
+let m_phase_validate =
+  M.histogram M.global ~help:"validate phase duration"
+    "service_phase_validate_seconds"
+
+let m_phase_perfmodel =
+  M.histogram M.global ~help:"performance-model phase duration"
+    "service_phase_perfmodel_seconds"
+
+let breaker_gauge_value = function
+  | Br_closed -> 0.0
+  | Br_half_open -> 1.0
+  | Br_open -> 2.0
+
+(* span + phase histogram around one pipeline stage *)
+let timed name hist f =
+  Obs.Trace.with_span name (fun _ ->
+      let t0 = now () in
+      let r = f () in
+      M.observe hist (now () -. t0);
+      r)
+
 (* Idempotent: the supervisor may fail a wedged worker's ticket while the
    abandoned worker later finishes and tries to resolve it too; only the
    first resolution counts and wakes the submitter. *)
@@ -147,6 +240,17 @@ let resolve t ticket outcome =
   in
   if won then begin
     let latency_ms = (now () -. ticket.tk_submitted) *. 1000.0 in
+    (match outcome with
+    | Done { payload; _ } -> (
+        M.incr m_completed;
+        match payload.p_rung with
+        | Full -> M.incr m_rung_full
+        | Conservative -> M.incr m_rung_conservative
+        | Passthrough -> M.incr m_rung_passthrough)
+    | Failed _ -> M.incr m_failed
+    | Timeout -> M.incr m_timeout
+    | Cancelled -> M.incr m_cancelled);
+    M.observe m_job_seconds (latency_ms /. 1000.0);
     with_lock t.stat_mutex (fun () ->
         (match outcome with
         | Done { payload; _ } -> (
@@ -201,6 +305,7 @@ let flip_middle_byte s =
   end
 
 let cache_put t key payload =
+  Obs.Trace.with_span "cache_fill" @@ fun _ ->
   let digest = Cache.digest payload.p_text in
   let stored =
     if Fault.fire t.fault Fault.Cache_corrupt then
@@ -217,6 +322,7 @@ let cache_find t key =
       else begin
         (* bytes rotted while resident: drop, recompute fresh *)
         Cache.remove t.cache key;
+        M.incr m_corrupt_dropped;
         with_lock t.stat_mutex (fun () ->
             t.corrupt_dropped <- t.corrupt_dropped + 1);
         None
@@ -237,6 +343,8 @@ let backtrace_hint () =
    exception allowed to escape is the injected domain death — that is its
    entire point. *)
 let execute_attempt t (ws : wstate) ticket rung : attempt =
+  Obs.Trace.with_span "attempt" ~attrs:[ ("rung", rung_name rung) ]
+  @@ fun asp ->
   let r = ticket.tk_request in
   let taint () =
     if not (Fault.stealth t.fault) then ticket.tk_tainted <- true
@@ -253,21 +361,27 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
     ws.w_heartbeat <- now ();
     now () > ticket.tk_deadline
   in
+  let a =
   try
-    let prog = Fortran.Parser.parse_program r.req_source in
+    let prog =
+      timed "parse" m_phase_parse (fun () ->
+          Fortran.Parser.parse_program r.req_source)
+    in
     match rung with
     | Passthrough ->
         (* parse-and-print identity: serial semantics by construction,
            so it needs no validation — the reliable floor of the ladder *)
         let text = Fortran.Printer.program_to_string prog in
         let cycles, words =
-          match Perfmodel.Model.evaluate
+          timed "perfmodel" m_phase_perfmodel (fun () ->
+              match
+                Perfmodel.Model.evaluate
                   ~cfg:r.req_options.Restructurer.Options.machine prog
-          with
-          | run ->
-              ( Some run.Perfmodel.Model.cycles,
-                Some run.Perfmodel.Model.global_words )
-          | exception _ -> (None, None)
+              with
+              | run ->
+                  ( Some run.Perfmodel.Model.cycles,
+                    Some run.Perfmodel.Model.global_words )
+              | exception _ -> (None, None))
         in
         A_done
           {
@@ -284,9 +398,13 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
           raise (Fault.Injected Fault.Exec_raise)
         end;
         let opts = ladder_options rung r.req_options in
+        (* no extra span: the driver opens its own "restructure" span as a
+           child of this attempt *)
+        let t0 = now () in
         let result =
           Restructurer.Driver.restructure ~interrupt:over_deadline opts prog
         in
+        M.observe m_phase_restructure (now () -. t0);
         if over_deadline () then A_timeout
         else
           let text =
@@ -299,16 +417,17 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
           let rejected =
             if not opts.Restructurer.Options.validate then None
             else
-              match Validate.check_source text with
-              | Ok [] -> None
-              | Ok issues ->
-                  Some
-                    (Printf.sprintf "validator rejected emitted code: %s"
-                       (String.concat "; "
-                          (List.map Validate.issue_to_string issues)))
-              | Error msg ->
-                  Some
-                    (Printf.sprintf "emitted code does not reparse: %s" msg)
+              timed "validate" m_phase_validate (fun () ->
+                  match Validate.check_source text with
+                  | Ok [] -> None
+                  | Ok issues ->
+                      Some
+                        (Printf.sprintf "validator rejected emitted code: %s"
+                           (String.concat "; "
+                              (List.map Validate.issue_to_string issues)))
+                  | Error msg ->
+                      Some
+                        (Printf.sprintf "emitted code does not reparse: %s" msg))
           in
           let rejected =
             match rejected with
@@ -325,15 +444,16 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
           | Some msg -> A_failed msg
           | None ->
               let cycles, words =
-                match
-                  Perfmodel.Model.evaluate
-                    ~cfg:opts.Restructurer.Options.machine
-                    result.Restructurer.Driver.program
-                with
-                | run ->
-                    ( Some run.Perfmodel.Model.cycles,
-                      Some run.Perfmodel.Model.global_words )
-                | exception _ -> (None, None)
+                timed "perfmodel" m_phase_perfmodel (fun () ->
+                    match
+                      Perfmodel.Model.evaluate
+                        ~cfg:opts.Restructurer.Options.machine
+                        result.Restructurer.Driver.program
+                    with
+                    | run ->
+                        ( Some run.Perfmodel.Model.cycles,
+                          Some run.Perfmodel.Model.global_words )
+                    | exception _ -> (None, None))
               in
               let payload =
                 {
@@ -358,6 +478,14 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
       A_failed
         (Printf.sprintf "%s rung raised: %s%s" (rung_name rung)
            (Printexc.to_string e) (backtrace_hint ()))
+  in
+  Obs.Trace.attr asp "result"
+    (match a with
+    | A_done _ -> "done"
+    | A_failed _ -> "failed"
+    | A_permanent _ -> "permanent"
+    | A_timeout -> "timeout");
+  a
 
 (* Walk the ladder.  Returns the final outcome plus whether the
    restructure stage (non-passthrough rungs) genuinely succeeded — the
@@ -371,10 +499,13 @@ let run_ladder t ws ticket : outcome * bool =
     | A_permanent msg -> (Failed msg, false)
     | (A_failed _ | A_timeout) as a when idx + 1 < Array.length rungs ->
         with_lock t.stat_mutex (fun () -> t.retries <- t.retries + 1);
+        M.incr m_retries;
         ignore a;
         (* exponential backoff, then a fresh deadline budget for the
            cheaper rung — the original deadline died with the attempt *)
-        Unix.sleepf (t.retry_base_s *. (2.0 ** float_of_int idx));
+        Obs.Trace.with_span "retry"
+          ~attrs:[ ("next_rung", rung_name rungs.(idx + 1)) ]
+          (fun _ -> Unix.sleepf (t.retry_base_s *. (2.0 ** float_of_int idx)));
         ticket.tk_deadline <- now () +. t.timeout_s;
         go (idx + 1)
     | A_failed msg -> (Failed msg, false)
@@ -387,20 +518,25 @@ let run_ladder t ws ticket : outcome * bool =
 (* ------------------------------------------------------------------ *)
 
 let breaker_route t =
-  with_lock t.stat_mutex (fun () ->
-      match t.br_state with
-      | Br_closed -> `Normal
-      | Br_half_open -> `Degraded  (* a probe is already in flight *)
-      | Br_open ->
-          if now () -. t.br_opened_at >= t.breaker_cooldown_s then begin
-            t.br_state <- Br_half_open;
-            `Probe
-          end
-          else `Degraded)
+  let route =
+    with_lock t.stat_mutex (fun () ->
+        match t.br_state with
+        | Br_closed -> `Normal
+        | Br_half_open -> `Degraded  (* a probe is already in flight *)
+        | Br_open ->
+            if now () -. t.br_opened_at >= t.breaker_cooldown_s then begin
+              t.br_state <- Br_half_open;
+              `Probe
+            end
+            else `Degraded)
+  in
+  M.set_gauge m_breaker_state (breaker_gauge_value t.br_state);
+  route
 
 let breaker_note t ~probe ~restructure_ok ~tainted =
   with_lock t.stat_mutex (fun () ->
-      if tainted then begin
+      let opened_before = t.breaker_opened in
+      (if tainted then begin
         (* chaos-injected failure: never counts against real capability;
            a tainted probe is inconclusive, so re-open and re-arm the
            timer rather than concluding anything *)
@@ -427,18 +563,46 @@ let breaker_note t ~probe ~restructure_ok ~tainted =
           t.breaker_opened <- t.breaker_opened + 1;
           t.br_failures <- 0
         end
-      end)
+      end);
+      if t.breaker_opened > opened_before then
+        M.incr ~by:(t.breaker_opened - opened_before) m_breaker_opened;
+      M.set_gauge m_breaker_state (breaker_gauge_value t.br_state))
 
 (* ------------------------------------------------------------------ *)
 (* Job lifecycle                                                       *)
 (* ------------------------------------------------------------------ *)
 
+let outcome_name = function
+  | Done { cached = true; _ } -> "cached"
+  | Done { cached = false; _ } -> "done"
+  | Failed _ -> "failed"
+  | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
+
 let process t (ws : wstate) ticket =
+  (* the submitter's trace id rides the ticket across the queue; every
+     span below lands in that job's trace even though it runs on a worker
+     domain *)
+  Obs.Trace.with_trace_id ticket.tk_trace @@ fun () ->
+  Obs.Trace.with_span "job"
+    ~attrs:[ ("name", ticket.tk_request.req_name) ]
+  @@ fun jsp ->
+  let finish outcome =
+    Obs.Trace.attr jsp "outcome" (outcome_name outcome);
+    resolve t ticket outcome
+  in
+  Obs.Trace.completed ~start_s:ticket.tk_submitted ~stop_s:(now ())
+    "queue_wait";
   if ticket.tk_outcome <> None then ()  (* already resolved; defensive *)
-  else if now () > ticket.tk_deadline then resolve t ticket Cancelled
+  else if now () > ticket.tk_deadline then finish Cancelled
   else
-    match cache_find t (cache_key ticket.tk_request) with
-    | Some payload -> resolve t ticket (Done { payload; cached = true })
+    match
+      Obs.Trace.with_span "cache_lookup" (fun csp ->
+          let r = cache_find t (cache_key ticket.tk_request) in
+          Obs.Trace.attr csp "hit" (if r = None then "false" else "true");
+          r)
+    with
+    | Some payload -> finish (Done { payload; cached = true })
     | None -> (
         match breaker_route t with
         | `Degraded -> (
@@ -446,16 +610,18 @@ let process t (ws : wstate) ticket =
                degraded but alive *)
             match execute_attempt t ws ticket Passthrough with
             | A_done payload ->
+                M.incr m_degraded;
                 with_lock t.stat_mutex (fun () ->
                     t.degraded <- t.degraded + 1);
-                resolve t ticket (Done { payload; cached = false })
-            | A_permanent msg | A_failed msg -> resolve t ticket (Failed msg)
-            | A_timeout -> resolve t ticket Timeout)
+                Obs.Trace.attr jsp "degraded" "true";
+                finish (Done { payload; cached = false })
+            | A_permanent msg | A_failed msg -> finish (Failed msg)
+            | A_timeout -> finish Timeout)
         | (`Normal | `Probe) as route ->
             let outcome, restructure_ok = run_ladder t ws ticket in
             breaker_note t ~probe:(route = `Probe) ~restructure_ok
               ~tainted:ticket.tk_tainted;
-            resolve t ticket outcome)
+            finish outcome)
 
 let rec worker_loop t (slot : slot) (ws : wstate) =
   (* an orphaned worker (its slot was reassigned after a wedge) must
@@ -467,7 +633,11 @@ let rec worker_loop t (slot : slot) (ws : wstate) =
     | Some ticket ->
         ws.w_ticket <- Some ticket;
         ws.w_heartbeat <- now ();
-        process t ws ticket;
+        M.set_gauge m_queue_depth (float_of_int (Bounded_queue.length t.queue));
+        M.add_gauge m_workers_busy 1.0;
+        Fun.protect
+          ~finally:(fun () -> M.add_gauge m_workers_busy (-1.0))
+          (fun () -> process t ws ticket);
         ws.w_ticket <- None;
         worker_loop t slot ws
 
@@ -505,6 +675,7 @@ let salvage_ticket t ?(outcome = Failed "worker domain died while running \
       then begin
         ticket.tk_requeues <- ticket.tk_requeues + 1;
         ticket.tk_deadline <- now () +. t.timeout_s;
+        M.incr m_retries;
         with_lock t.stat_mutex (fun () -> t.retries <- t.retries + 1);
         (* never block the one thread healing the pool on backpressure *)
         if not (Bounded_queue.try_push t.queue ticket) then
@@ -527,7 +698,8 @@ let supervisor_sweep t =
             if not t.stopping then begin
               spawn_worker t slot;
               with_lock t.stat_mutex (fun () ->
-                  t.respawns <- t.respawns + 1)
+                  t.respawns <- t.respawns + 1);
+              M.incr m_respawns
             end
           end
           else if
@@ -552,7 +724,8 @@ let supervisor_sweep t =
             if not t.stopping then begin
               spawn_worker t slot;
               with_lock t.stat_mutex (fun () ->
-                  t.respawns <- t.respawns + 1)
+                  t.respawns <- t.respawns + 1);
+              M.incr m_respawns
             end
           end)
         t.slots;
@@ -644,6 +817,8 @@ let submit t request =
   let ticket =
     {
       tk_request = request;
+      tk_trace =
+        (if Obs.Trace.enabled () then Obs.Trace.fresh_trace_id () else 0);
       tk_submitted = submitted;
       tk_deadline = submitted +. t.timeout_s;
       tk_mutex = Mutex.create ();
@@ -653,8 +828,11 @@ let submit t request =
       tk_requeues = 0;
     }
   in
+  M.incr m_submitted;
   with_lock t.stat_mutex (fun () -> t.submitted <- t.submitted + 1);
-  if not (Bounded_queue.push t.queue ticket) then resolve t ticket Cancelled;
+  if not (Bounded_queue.push t.queue ticket) then resolve t ticket Cancelled
+  else
+    M.set_gauge m_queue_depth (float_of_int (Bounded_queue.length t.queue));
   ticket
 
 let await ticket =

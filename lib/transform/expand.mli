@@ -1,0 +1,23 @@
+(** Scalar/array expansion into global storage — the {i alternative} to
+    privatization measured in Figure 7 of the paper.
+
+    Instead of giving each processor a private copy in cluster memory,
+    expansion adds an iteration dimension and stores the expanded object
+    in global memory: [t] becomes [t_x(i)], [w(j)] becomes [w_x(j, i)].
+    This removes the carried dependence just as privatization does, but
+    pays global-memory latency and a costlier addressing mode — the
+    paper measures a ~50% slowdown for MDG.  We implement it to
+    reproduce that comparison. *)
+
+open Fortran
+
+type expansion = {
+  e_name : string;
+  e_type : Ast.dtype;
+  e_dims : (Ast.expr * Ast.expr) list;  (** original dims, [] for scalars *)
+}
+
+val apply :
+  expansion list -> Ast.do_header -> Ast.block -> Ast.stmt * Ast.decl list
+(** Expand the named objects in the loop by the iteration dimension.
+    Returns [(loop, new global decls)]. *)

@@ -1,0 +1,12 @@
+(** Two-version loops guarded by a run-time dependence test
+    (paper §4.1.5): [IF (test) parallel-version ELSE serial-version]. *)
+
+open Fortran
+
+val apply :
+  condition:Ast.expr ->
+  parallel:Ast.stmt list ->
+  serial:Ast.stmt list ->
+  Ast.stmt
+(** The guarded statement; [condition] true selects the parallel
+    version at run time. *)

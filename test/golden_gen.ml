@@ -1,21 +1,17 @@
 (* Golden-output generator: prints the emitted Cedar Fortran for every
-   workload in the corpus under one technique set ("auto" or "advanced").
+   workload in the corpus under one technique set ("auto" or "advanced"),
+   or — in "trace" mode — the restructurer's span tree for one small
+   corpus program (names, attributes and counters in completion order;
+   no timings or domain ids, which would not be reproducible).
 
    The runtest alias diffs this against test/golden_<set>.expected, so any
-   change to what the restructurer emits shows up as a reviewable diff;
-   intentional changes are accepted with `dune promote`. *)
+   change to what the restructurer emits (or which passes run, for the
+   trace) shows up as a reviewable diff; intentional changes are accepted
+   with `dune promote`. *)
 
 let cedar = Machine.Config.cedar_config1
 
-let () =
-  let opts =
-    match Sys.argv with
-    | [| _; "auto" |] -> Restructurer.Options.auto_1991 cedar
-    | [| _; "advanced" |] -> Restructurer.Options.advanced cedar
-    | _ ->
-        prerr_endline "usage: golden_gen (auto|advanced)";
-        exit 2
-  in
+let print_corpus opts =
   let corpus = Workloads.Linalg.all @ Workloads.Perfect.all in
   List.iter
     (fun w ->
@@ -29,3 +25,45 @@ let () =
         (Fortran.Printer.program_to_string result.Restructurer.Driver.program);
       print_newline ())
     corpus
+
+let rec print_tree depth (t : Obs.Trace.tree) =
+  let attrs =
+    t.Obs.Trace.t_attrs
+    |> List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v)
+    |> String.concat ""
+  in
+  let counts =
+    t.Obs.Trace.t_counts
+    |> List.map (fun (k, n) -> Printf.sprintf " %s:%d" k n)
+    |> String.concat ""
+  in
+  Printf.printf "%s%s%s%s\n"
+    (String.make (2 * depth) ' ')
+    t.Obs.Trace.t_name attrs counts;
+  List.iter (print_tree (depth + 1)) t.Obs.Trace.t_children
+
+let print_trace () =
+  let w = Workloads.Linalg.find "CG" in
+  let n = w.Workloads.Workload.small_size in
+  let prog = Fortran.Parser.parse_program (w.Workloads.Workload.source n) in
+  let opts =
+    { (Restructurer.Options.advanced cedar) with
+      Restructurer.Options.validate = true
+    }
+  in
+  let tracer = Obs.Trace.memory () in
+  Obs.Trace.install tracer;
+  ignore (Restructurer.Driver.restructure opts prog);
+  Obs.Trace.install Obs.Trace.disabled;
+  Printf.printf "===== %s (n = %d) restructure span tree =====\n"
+    w.Workloads.Workload.name n;
+  List.iter (print_tree 0) (Obs.Trace.roots tracer)
+
+let () =
+  match Sys.argv with
+  | [| _; "auto" |] -> print_corpus (Restructurer.Options.auto_1991 cedar)
+  | [| _; "advanced" |] -> print_corpus (Restructurer.Options.advanced cedar)
+  | [| _; "trace" |] -> print_trace ()
+  | _ ->
+      prerr_endline "usage: golden_gen (auto|advanced|trace)";
+      exit 2

@@ -631,6 +631,72 @@ let test_runtime_condition () =
       Alcotest.(check bool) "ld < m fails" false (eval 10 64)
   | None -> Alcotest.fail "no runtime test candidate"
 
+(* ---------------- dependence-test metrics ---------------- *)
+
+let counter_value name =
+  match Obs.Metrics.find Obs.Metrics.global name with
+  | `Counter n -> n
+  | _ -> 0
+
+let test_depend_counters_advance () =
+  let pairs0 = counter_value "depend_pairs_tested_total" in
+  let deps0 = counter_value "depend_deps_found_total" in
+  let deps =
+    deps_of ~index:"i"
+      [
+        mkref "a" [ "i" ] Loops.Write [];
+        mkref "a" [ "i - 1" ] Loops.Read [];
+      ]
+  in
+  Alcotest.(check bool) "a dependence was found" true
+    (Depend.carried deps <> []);
+  Alcotest.(check bool) "pairs-tested counter advanced" true
+    (counter_value "depend_pairs_tested_total" > pairs0);
+  Alcotest.(check bool) "deps-found counter advanced" true
+    (counter_value "depend_deps_found_total" > deps0)
+
+let test_depend_proof_counters () =
+  (* a(1) vs a(2): constant subscripts differ — the ZIV proof; a(2i) vs
+     a(2i+1): non-integral distance — the SIV proof; a(2i) vs a(4i+1):
+     parity via gcd(2,4)=2 — the GCD proof.  Each independence verdict
+     must be attributed to its proof's counter *)
+  let ziv0 = counter_value "depend_indep_ziv_total" in
+  let siv0 = counter_value "depend_indep_siv_total" in
+  let gcd0 = counter_value "depend_indep_gcd_total" in
+  let d1 =
+    deps_of ~index:"i"
+      [ mkref "a" [ "1" ] Loops.Write []; mkref "a" [ "2" ] Loops.Read [] ]
+  in
+  Alcotest.(check int) "constant subscripts independent" 0
+    (List.length
+       (List.filter
+          (fun d -> d.Depend.d_src <> d.Depend.d_dst)
+          (Depend.carried d1)));
+  Alcotest.(check bool) "ziv proof counted" true
+    (counter_value "depend_indep_ziv_total" > ziv0);
+  let d2 =
+    deps_of ~index:"i"
+      [
+        mkref "a" [ "2*i" ] Loops.Write [];
+        mkref "a" [ "2*i + 1" ] Loops.Read [];
+      ]
+  in
+  Alcotest.(check int) "parity-disjoint subscripts independent" 0
+    (List.length (Depend.carried d2));
+  Alcotest.(check bool) "siv proof counted" true
+    (counter_value "depend_indep_siv_total" > siv0);
+  let d3 =
+    deps_of ~index:"i"
+      [
+        mkref "a" [ "2*i" ] Loops.Write [];
+        mkref "a" [ "4*i + 1" ] Loops.Read [];
+      ]
+  in
+  Alcotest.(check int) "gcd-disjoint subscripts independent" 0
+    (List.length (Depend.carried d3));
+  Alcotest.(check bool) "gcd proof counted" true
+    (counter_value "depend_indep_gcd_total" > gcd0)
+
 let tests =
   [
     Alcotest.test_case "affine basic" `Quick test_affine_basic;
@@ -643,6 +709,9 @@ let tests =
     Alcotest.test_case "dep trip bound" `Quick test_dep_trip_bound;
     Alcotest.test_case "dep symbolic" `Quick test_dep_symbolic;
     Alcotest.test_case "dep 2d" `Quick test_dep_2d;
+    Alcotest.test_case "dep counters advance" `Quick
+      test_depend_counters_advance;
+    Alcotest.test_case "dep proof counters" `Quick test_depend_proof_counters;
     QCheck_alcotest.to_alcotest prop_dep_sound;
     Alcotest.test_case "scalar private" `Quick test_scalar_private;
     Alcotest.test_case "scalar shared" `Quick test_scalar_shared;

@@ -93,6 +93,82 @@ let test_server_runs_reproducible () =
       Alcotest.(check int) "fired" f1 f2)
     l1 l2
 
+let test_traffic_replay_deterministic () =
+  (* the full end-to-end loop — seeded traffic generator driving a
+     chaotic single-worker pool — replayed twice: the rendered fault log
+     must be byte-identical and every per-rung job count must match *)
+  let cfg =
+    {
+      Traffic.requests = 40;
+      clients = 4;
+      seed = 2024;
+      size_jitter = 0;
+      batch = 1;
+      validate = false;
+    }
+  in
+  let run_pass () =
+    let fault =
+      Fault.create ~seed:7 (List.map (fun s -> (s, 0.15)) Fault.all_sites)
+    in
+    let server =
+      Server.create ~workers:1 ~cache_capacity:32 ~timeout_ms:30_000.0 ~fault
+        ()
+    in
+    let summary = Traffic.run server cfg in
+    ignore (Server.shutdown server);
+    (summary, Fault.log_to_string fault)
+  in
+  let s1, log1 = run_pass () in
+  let s2, log2 = run_pass () in
+  Alcotest.(check string) "byte-identical fault logs" log1 log2;
+  Alcotest.(check int) "same full-rung count" s1.Traffic.s_full
+    s2.Traffic.s_full;
+  Alcotest.(check int) "same conservative-rung count"
+    s1.Traffic.s_conservative s2.Traffic.s_conservative;
+  Alcotest.(check int) "same passthrough-rung count"
+    s1.Traffic.s_passthrough s2.Traffic.s_passthrough;
+  Alcotest.(check int) "same failure count" s1.Traffic.s_failed
+    s2.Traffic.s_failed;
+  Alcotest.(check int) "same cache-hit count" s1.Traffic.s_cached
+    s2.Traffic.s_cached;
+  Alcotest.(check bool) "the schedule actually injected" true
+    (String.length log1 > 0)
+
+let test_fault_metrics_track_ledger () =
+  (* the injector's global metrics counters must advance exactly in step
+     with its own per-site ledger *)
+  let read name =
+    match Obs.Metrics.find Obs.Metrics.global name with
+    | `Counter n -> n
+    | _ -> 0
+  in
+  let site_counter s =
+    Printf.sprintf "service_fault_fired_%s_total" (Fault.site_name s)
+  in
+  let draws0 = read "service_fault_draws_total" in
+  let fired0 = List.map (fun s -> read (site_counter s)) Fault.all_sites in
+  let fault =
+    Fault.create ~seed:3 (List.map (fun s -> (s, 0.5)) Fault.all_sites)
+  in
+  List.iter
+    (fun s -> for _ = 1 to 40 do ignore (Fault.fire fault s) done)
+    Fault.all_sites;
+  let draws = read "service_fault_draws_total" - draws0 in
+  Alcotest.(check int) "every draw counted"
+    (List.fold_left (fun acc (_, d, _) -> acc + d) 0 (Fault.log fault))
+    draws;
+  List.iter2
+    (fun s f0 ->
+      let _, _, fired_ledger =
+        List.find (fun (s', _, _) -> s' = s) (Fault.log fault)
+      in
+      Alcotest.(check int)
+        (Fault.site_name s ^ " fired counter matches ledger")
+        fired_ledger
+        (read (site_counter s) - f0))
+    Fault.all_sites fired0
+
 (* ------------------------------------------------------------------ *)
 (* One fault class at a time, at probability 1                         *)
 (* ------------------------------------------------------------------ *)
@@ -398,6 +474,10 @@ let tests =
       test_schedule_deterministic;
     Alcotest.test_case "fault: same seed, same run" `Quick
       test_server_runs_reproducible;
+    Alcotest.test_case "replay: seeded traffic is fully deterministic" `Quick
+      test_traffic_replay_deterministic;
+    Alcotest.test_case "fault: metrics counters match the ledger" `Quick
+      test_fault_metrics_track_ledger;
     Alcotest.test_case "survive: raise=1.0 -> passthrough for all" `Quick
       test_raise_always_lands_on_passthrough;
     Alcotest.test_case "survive: kill=1.0 -> pool respawns, no leaks" `Quick

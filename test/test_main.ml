@@ -15,5 +15,6 @@ let () =
       ("service", Test_service.tests);
       ("validate", Test_validate.tests);
       ("fuzz", Test_fuzz.tests);
+      ("obs", Test_obs.tests);
       ("chaos", Test_chaos.tests);
     ]

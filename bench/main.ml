@@ -100,6 +100,115 @@ let phase_line label breakdown =
     (String.concat ""
        (List.map (fun (n, s) -> Printf.sprintf "  %s %.3f" n s) breakdown))
 
+(* Socket pass: the same closed-loop workload through the cedarnet TCP
+   front-end.  The cache is warmed with the identical request sequence
+   first, so — like the warm in-process passes — these numbers measure
+   serving, framing, and socket transport, not restructuring.  The
+   in-process twin runs with the same client counts for an
+   apples-to-apples socket tax. *)
+let net_pass () =
+  let workers = 4 in
+  let base = Service.Traffic.default_cfg in
+  let server =
+    Service.Server.create ~workers ~cache_capacity:256 ~timeout_ms:30_000.0 ()
+  in
+  ignore (Service.Traffic.run server base) (* warm the cache *);
+  let inproc_tp c =
+    let s = Service.Traffic.run server { base with Service.Traffic.clients = c } in
+    if s.Service.Traffic.s_wall_s > 0.0 then
+      float_of_int s.Service.Traffic.s_requests /. s.Service.Traffic.s_wall_s
+    else 0.0
+  in
+  let net = Net.Server.create Net.Server.default_cfg server in
+  let ccfg = Net.Client.default_cfg ~port:(Net.Server.port net) in
+  let sock_pass c =
+    let s =
+      Net.Client.drive ccfg
+        {
+          Net.Client.requests = base.Service.Traffic.requests;
+          conns = c;
+          seed = base.Service.Traffic.seed;
+          size_jitter = base.Service.Traffic.size_jitter;
+          batch = base.Service.Traffic.batch;
+          validate = false;
+        }
+    in
+    Printf.printf "net c=%-2d %s\n%!" c (Net.Client.drive_summary_to_string s);
+    let tp =
+      if s.Net.Client.d_wall_s > 0.0 then
+        float_of_int s.Net.Client.d_requests /. s.Net.Client.d_wall_s
+      else 0.0
+    in
+    ( tp,
+      1e3 *. Net.Client.percentile 50.0 s.Net.Client.d_latencies,
+      1e3 *. Net.Client.percentile 95.0 s.Net.Client.d_latencies )
+  in
+  let conns = [ 1; 4; 16 ] in
+  let socket = List.map sock_pass conns in
+  let inproc = List.map inproc_tp conns in
+  Net.Server.drain net;
+  ignore (Service.Server.shutdown server);
+  (* overload: a 1-worker pool behind a 2-submit budget, hit by 16
+     closed-loop connections on a cold cache — the shed rate and the
+     in-flight high water show admission control holding the line *)
+  let budget = 2 in
+  let oserver =
+    Service.Server.create ~workers:1 ~cache_capacity:0 ~timeout_ms:30_000.0 ()
+  in
+  let onet =
+    Net.Server.create
+      { Net.Server.default_cfg with Net.Server.max_inflight = budget }
+      oserver
+  in
+  let ocfg = Net.Client.default_cfg ~port:(Net.Server.port onet) in
+  let osum =
+    Net.Client.drive ocfg
+      {
+        Net.Client.requests = 100;
+        conns = 16;
+        seed = base.Service.Traffic.seed;
+        size_jitter = base.Service.Traffic.size_jitter;
+        batch = base.Service.Traffic.batch;
+        validate = false;
+      }
+  in
+  let shed_rate =
+    float_of_int osum.Net.Client.d_overloaded
+    /. float_of_int osum.Net.Client.d_requests
+  in
+  let high_water = Net.Server.inflight_high_water onet in
+  Printf.printf
+    "net overload: budget %d, 16 conns: %s\n  shed rate %.2f, in-flight \
+     high water %d\n%!"
+    budget
+    (Net.Client.drive_summary_to_string osum)
+    shed_rate high_water;
+  Net.Server.drain onet;
+  ignore (Service.Server.shutdown oserver);
+  let fl xs = String.concat ", " (List.map (Printf.sprintf "%.2f") xs) in
+  Printf.sprintf
+    {|{
+    "conns": [%s],
+    "socket_jobs_per_s": [%s],
+    "socket_rtt_p50_ms": [%s],
+    "socket_rtt_p95_ms": [%s],
+    "inproc_jobs_per_s": [%s],
+    "overload": {
+      "inflight_budget": %d,
+      "burst_conns": 16,
+      "requests": %d,
+      "overloaded": %d,
+      "shed_rate": %.4f,
+      "inflight_high_water": %d
+    }
+  }|}
+    (String.concat ", " (List.map string_of_int conns))
+    (fl (List.map (fun (tp, _, _) -> tp) socket))
+    (fl (List.map (fun (_, p50, _) -> p50) socket))
+    (fl (List.map (fun (_, _, p95) -> p95) socket))
+    (fl inproc) budget osum.Net.Client.d_requests
+    osum.Net.Client.d_overloaded shed_rate high_water
+
 let service_bench () =
   let workers = 4 in
   let cfg = Service.Traffic.default_cfg in
@@ -164,7 +273,7 @@ let service_bench () =
      measures the survival overhead of the self-healing machinery *)
   let fault =
     Service.Fault.create ~seed:cfg.Service.Traffic.seed
-      (List.map (fun s -> (s, 0.1)) Service.Fault.all_sites)
+      (List.map (fun s -> (s, 0.1)) Service.Fault.service_sites)
   in
   let chaos_server =
     Service.Server.create ~workers ~cache_capacity:256 ~timeout_ms:30_000.0
@@ -181,8 +290,10 @@ let service_bench () =
   phase_line "cold" cold_phases;
   phase_line "warm" warm_phases;
   print_endline (Service.Stats.to_string stats);
-  print_endline "--- chaos pass (all sites at 10%) ---";
+  print_endline "--- chaos pass (service sites at 10%) ---";
   print_endline (Service.Stats.to_string chaos_stats);
+  print_endline "--- net pass (cedarnet TCP front-end) ---";
+  let net_json = net_pass () in
   let json =
     Printf.sprintf
       {|{
@@ -216,7 +327,8 @@ let service_bench () =
   "chaos_respawns": %d,
   "chaos_degraded": %d,
   "chaos_corrupt_dropped": %d,
-  "chaos_faults_injected": %d
+  "chaos_faults_injected": %d,
+  "net": %s
 }
 |}
       cfg.Service.Traffic.requests workers effective
@@ -243,7 +355,7 @@ let service_bench () =
       chaos_stats.Service.Stats.retries chaos_stats.Service.Stats.respawns
       chaos_stats.Service.Stats.degraded
       chaos_stats.Service.Stats.corrupt_dropped
-      chaos_stats.Service.Stats.faults_injected
+      chaos_stats.Service.Stats.faults_injected net_json
   in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;

@@ -1,0 +1,328 @@
+(* cedarctl — command-line client for a cedard --serve instance.
+
+   ping      round-trip a Ping frame (repeatable, prints RTT)
+   submit    restructure a fortran77 file over the wire
+   stats     fetch the human-readable service stats
+   metrics   fetch the Prometheus text dump
+   shutdown  ask the server to drain and exit
+   drive     closed-loop socket load generator (Traffic over TCP)
+
+   Exit status: 0 success, 1 the server answered with a failure
+   (Failed/Timeout/Overloaded/TooLarge/...), 2 usage, 3 transport
+   error (could not connect or complete the request). *)
+
+open Cmdliner
+
+let client_cfg host port timeout_s =
+  {
+    (Net.Client.default_cfg ~port) with
+    Net.Client.host;
+    request_timeout_s = timeout_s;
+  }
+
+let with_client cfg f =
+  match Net.Client.connect cfg with
+  | Error msg ->
+      Printf.eprintf "cedarctl: %s\n" msg;
+      3
+  | Ok c ->
+      let code = f c in
+      Net.Client.close c;
+      code
+
+let transport msg =
+  Printf.eprintf "cedarctl: %s\n" msg;
+  3
+
+(* ---- common options ---- *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"server address")
+
+let port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"server port")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 120.0
+    & info [ "timeout-s" ] ~docv:"S" ~doc:"request timeout in seconds")
+
+(* ---- ping ---- *)
+
+let ping host port timeout_s count =
+  with_client (client_cfg host port timeout_s) @@ fun c ->
+  let rec go i worst =
+    if i > count then begin
+      if count > 1 then Printf.printf "worst of %d: %.3f ms\n" count worst;
+      0
+    end
+    else
+      match Net.Client.ping c with
+      | Ok rtt ->
+          Printf.printf "pong from %s:%d: %.3f ms\n" host port (1e3 *. rtt);
+          go (i + 1) (Float.max worst (1e3 *. rtt))
+      | Error msg -> transport msg
+  in
+  go 1 0.0
+
+let count_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "n"; "count" ] ~docv:"N" ~doc:"pings to send")
+
+let ping_cmd =
+  Cmd.v
+    (Cmd.info "ping" ~doc:"round-trip a Ping frame")
+    Term.(const ping $ host_arg $ port_arg $ timeout_arg $ count_arg)
+
+(* ---- submit ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let submit host port timeout_s file name advanced validate trace_id output
+    quiet =
+  match read_file file with
+  | exception Sys_error msg ->
+      Printf.eprintf "cedarctl: %s\n" msg;
+      2
+  | source -> (
+      let options =
+        let base =
+          if advanced then
+            Restructurer.Options.advanced Machine.Config.cedar_config1
+          else Restructurer.Options.auto_1991 Machine.Config.cedar_config1
+        in
+        { base with Restructurer.Options.validate }
+      in
+      let name =
+        match name with Some n -> n | None -> Filename.basename file
+      in
+      with_client (client_cfg host port timeout_s) @@ fun c ->
+      match Net.Client.submit ~trace:trace_id c ~name ~options source with
+      | Error msg -> transport msg
+      | Ok
+          (Net.Wire.R_done
+             {
+               r_cached;
+               r_rung;
+               r_text;
+               r_cycles;
+               r_global_words;
+               r_notes;
+               r_trace;
+             }) ->
+          if not quiet then begin
+            Printf.printf "done%s rung=%s%s%s trace=%#x\n"
+              (if r_cached then " (cached)" else "")
+              (match r_rung with
+              | Service.Server.Full -> "full"
+              | Service.Server.Conservative -> "conservative"
+              | Service.Server.Passthrough -> "passthrough")
+              (match r_cycles with
+              | Some cy -> Printf.sprintf " cycles=%.3g" cy
+              | None -> "")
+              (match r_global_words with
+              | Some w -> Printf.sprintf " global-words=%.3g" w
+              | None -> "")
+              r_trace;
+            List.iter
+              (fun n ->
+                Printf.printf "  %s/%s depth %d: %s%s\n" n.Net.Wire.n_unit
+                  n.Net.Wire.n_index n.Net.Wire.n_depth n.Net.Wire.n_decision
+                  (match n.Net.Wire.n_techniques with
+                  | [] -> ""
+                  | ts -> " [" ^ String.concat ", " ts ^ "]"))
+              r_notes
+          end;
+          (match output with
+          | Some "-" -> print_string r_text
+          | Some path ->
+              let oc = open_out_bin path in
+              output_string oc r_text;
+              close_out oc;
+              if not quiet then Printf.printf "wrote %s\n" path
+          | None -> ());
+          0
+      | Ok (Net.Wire.R_failed msg) ->
+          Printf.eprintf "cedarctl: restructuring failed: %s\n" msg;
+          1
+      | Ok Net.Wire.R_timeout ->
+          Printf.eprintf "cedarctl: job timed out at the server\n";
+          1
+      | Ok Net.Wire.R_cancelled ->
+          Printf.eprintf "cedarctl: job cancelled (server shutting down)\n";
+          1
+      | Ok Net.Wire.R_overloaded ->
+          Printf.eprintf "cedarctl: server overloaded, retry later\n";
+          1
+      | Ok (Net.Wire.R_too_large { limit; got }) ->
+          Printf.eprintf
+            "cedarctl: source too large: %d bytes exceeds the server's \
+             %d-byte cap\n"
+            got limit;
+          1
+      | Ok (Net.Wire.R_error msg) ->
+          Printf.eprintf "cedarctl: protocol error: %s\n" msg;
+          1)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"fortran77 source file")
+
+let name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"NAME" ~doc:"job label (default: the file name)")
+
+let advanced_arg =
+  Arg.(
+    value & flag
+    & info [ "advanced" ]
+        ~doc:"use the advanced technique set instead of auto_1991")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ] ~doc:"ask the server to verify the output")
+
+let trace_id_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-id" ] ~docv:"ID"
+        ~doc:"propagate this trace id (0 = let the server mint one)")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"write the restructured text to $(docv) (- for stdout)")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress the job report")
+
+let submit_cmd =
+  Cmd.v
+    (Cmd.info "submit" ~doc:"restructure a fortran77 file over the wire")
+    Term.(
+      const submit $ host_arg $ port_arg $ timeout_arg $ file_arg $ name_arg
+      $ advanced_arg $ validate_arg $ trace_id_arg $ output_arg $ quiet_arg)
+
+(* ---- stats / metrics / shutdown ---- *)
+
+let fetch_text what host port timeout_s =
+  with_client (client_cfg host port timeout_s) @@ fun c ->
+  match what c with
+  | Ok text ->
+      print_string text;
+      if String.length text > 0 && text.[String.length text - 1] <> '\n'
+      then print_newline ();
+      0
+  | Error msg -> transport msg
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"fetch the service stats summary")
+    Term.(
+      const (fetch_text Net.Client.stats) $ host_arg $ port_arg $ timeout_arg)
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"fetch the Prometheus metrics dump")
+    Term.(
+      const (fetch_text Net.Client.metrics)
+      $ host_arg $ port_arg $ timeout_arg)
+
+let shutdown host port timeout_s =
+  with_client (client_cfg host port timeout_s) @@ fun c ->
+  match Net.Client.shutdown c with
+  | Ok () ->
+      print_endline "server acknowledged shutdown";
+      0
+  | Error msg -> transport msg
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"ask the server to drain and exit")
+    Term.(const shutdown $ host_arg $ port_arg $ timeout_arg)
+
+(* ---- drive ---- *)
+
+let drive host port timeout_s requests conns seed jitter batch validate =
+  let cfg = client_cfg host port timeout_s in
+  let dcfg =
+    {
+      Net.Client.requests;
+      conns = max 1 conns;
+      seed;
+      size_jitter = max 0 jitter;
+      batch = max 1 batch;
+      validate;
+    }
+  in
+  let s = Net.Client.drive cfg dcfg in
+  print_endline (Net.Client.drive_summary_to_string s);
+  let resolved =
+    s.Net.Client.d_done + s.Net.Client.d_failed + s.Net.Client.d_timeout
+    + s.Net.Client.d_cancelled + s.Net.Client.d_overloaded
+    + s.Net.Client.d_too_large + s.Net.Client.d_errors
+  in
+  if resolved = s.Net.Client.d_requests && s.Net.Client.d_errors = 0 then 0
+  else 1
+
+let requests_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "n"; "requests" ] ~docv:"N" ~doc:"total jobs to issue")
+
+let conns_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "c"; "conns" ] ~docv:"N" ~doc:"concurrent connections")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"traffic seed")
+
+let jitter_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "size-jitter" ] ~docv:"J" ~doc:"problem-size spread")
+
+let batch_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "batch" ] ~docv:"K" ~doc:"sources concatenated per request")
+
+let drive_validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ] ~doc:"request validation on every job")
+
+let drive_cmd =
+  Cmd.v
+    (Cmd.info "drive"
+       ~doc:"closed-loop socket load generator over the workloads corpus")
+    Term.(
+      const drive $ host_arg $ port_arg $ timeout_arg $ requests_arg
+      $ conns_arg $ seed_arg $ jitter_arg $ batch_arg $ drive_validate_arg)
+
+(* ---- entry ---- *)
+
+let cmd =
+  let doc = "client for a cedard --serve instance" in
+  Cmd.group (Cmd.info "cedarctl" ~doc)
+    [ ping_cmd; submit_cmd; stats_cmd; metrics_cmd; shutdown_cmd; drive_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -67,9 +67,71 @@ let sweep_validate verbose =
     !runs !static_rej !dynamic_races;
   !static_rej = 0 && !dynamic_races = 0
 
+(* --serve mode: put the pool on the network behind the cedarnet
+   front-end and run until a Shutdown frame or SIGINT/SIGTERM arrives.
+   Both stop paths converge on the same deterministic drain: stop
+   accepting, reject new work, finish in-flight replies, join the
+   connection threads, then Service.Server.shutdown flushes stats. *)
+let serve server fault ~host ~port ~max_conns ~max_inflight
+    ~max_source_bytes ~net_timeout_s ~metrics_port ~metrics =
+  let net_cfg =
+    {
+      Net.Server.host;
+      port;
+      max_conns;
+      max_inflight;
+      max_source_bytes;
+      read_timeout_s = net_timeout_s;
+      write_timeout_s = net_timeout_s;
+    }
+  in
+  let net = Net.Server.create ~fault net_cfg server in
+  let scrape =
+    match metrics_port with
+    | None -> None
+    | Some p ->
+        let ep =
+          Net.Metrics_http.start ~host ~port:p (fun () ->
+              Obs.Metrics.dump Obs.Metrics.global)
+        in
+        Printf.printf "cedard: metrics on http://%s:%d/metrics\n%!" host
+          (Net.Metrics_http.port ep);
+        Some ep
+  in
+  (* signal-safe: request_stop only flips an atomic flag *)
+  let on_signal _ = Net.Server.request_stop net in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Printf.printf
+    "cedard: serving on %s:%d (max %d connections, %d in flight, source \
+     cap %d bytes)\n%!"
+    host (Net.Server.port net) max_conns max_inflight max_source_bytes;
+  Net.Server.wait_stop net;
+  Printf.printf "cedard: draining...\n%!";
+  Net.Server.drain net;
+  (match scrape with Some ep -> Net.Metrics_http.stop ep | None -> ());
+  let stats = Service.Server.shutdown server in
+  Printf.printf
+    "cedard: served %d connection(s), in-flight high water %d, shed %d\n"
+    (Net.Server.connections_seen net)
+    (Net.Server.inflight_high_water net)
+    (Net.Server.shed_total net);
+  print_endline "--- service stats ---";
+  print_endline (Service.Stats.to_string stats);
+  if metrics then begin
+    print_endline "--- metrics ---";
+    print_string (Obs.Metrics.dump Obs.Metrics.global)
+  end;
+  if Service.Fault.active fault then begin
+    print_endline "--- fault log ---";
+    print_endline (Service.Fault.log_to_string fault)
+  end;
+  0
+
 let run workers cache_size timeout_ms requests clients seed jitter batch
     oversubscribe validate chaos chaos_seed chaos_stealth chaos_delay_ms
-    trace_file metrics verbose =
+    trace_file metrics serve_port host max_conns max_inflight
+    max_source_bytes net_timeout_s metrics_port verbose =
   let tracer =
     match trace_file with
     | None -> None
@@ -97,8 +159,21 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
   let chaotic = Service.Fault.active fault in
   let server =
     Service.Server.create ~workers ~cache_capacity:cache_size ~timeout_ms
-      ~oversubscribe ~fault ()
+      ~oversubscribe ~fault ~max_source_bytes ()
   in
+  match serve_port with
+  | Some port ->
+      let code =
+        serve server fault ~host ~port ~max_conns ~max_inflight
+          ~max_source_bytes ~net_timeout_s ~metrics_port ~metrics
+      in
+      (match (tracer, trace_file) with
+      | Some tr, Some path ->
+          Obs.Trace.flush tr;
+          Printf.printf "trace: wrote %s\n" path
+      | _ -> ());
+      code
+  | None ->
   let cfg =
     {
       Service.Traffic.requests;
@@ -275,10 +350,12 @@ let chaos_arg =
     & info [ "chaos" ] ~docv:"SPEC"
         ~doc:
           "inject faults: comma-separated site=prob with sites raise, \
-           delay, kill, corrupt, reject, or all — e.g. --chaos all=0.1 or \
-           --chaos raise=0.2,kill=0.05.  Under chaos the exit criterion \
-           becomes survival: every job must resolve, but failures and \
-           timeouts are expected")
+           delay, kill, corrupt, reject, accept-drop, read-stall, \
+           trunc-write, garbage-frame, or the groups all (service sites) \
+           and net (wire sites) — e.g. --chaos all=0.1 or --chaos \
+           net=0.05,kill=0.05.  Under chaos the exit criterion becomes \
+           survival: every job must resolve, but failures and timeouts \
+           are expected")
 
 let chaos_seed_arg =
   Arg.(
@@ -320,6 +397,66 @@ let metrics_arg =
            degradation-rung, fault-injection, and dependence-test \
            counters) in Prometheus text format at shutdown")
 
+let serve_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "serve the cedarnet wire protocol on TCP $(docv) (0 picks an \
+           ephemeral port) instead of running the built-in traffic \
+           generator; runs until a Shutdown frame, SIGINT, or SIGTERM, \
+           then drains gracefully")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"bind address for --serve")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "accepted-connection budget; excess connections get one \
+           Overloaded frame and are closed")
+
+let max_inflight_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "outstanding-submit budget across all connections; excess \
+           submits are answered Overloaded immediately")
+
+let max_source_arg =
+  Arg.(
+    value
+    & opt int (8 * 1024 * 1024)
+    & info [ "max-source-bytes" ] ~docv:"N"
+        ~doc:
+          "reject submits whose source exceeds $(docv) bytes with a typed \
+           TooLarge reply before any parsing (0 = unlimited); also caps \
+           jobs submitted in process")
+
+let net_timeout_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "net-timeout-s" ] ~docv:"S"
+        ~doc:
+          "per-request read and per-reply write deadline on each \
+           connection (0 = none); a stalled sender is dropped, an idle \
+           connection is not")
+
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "with --serve, also serve the Prometheus text dump over HTTP \
+           on $(docv) (0 picks an ephemeral port)")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print extra detail")
 
@@ -331,6 +468,8 @@ let cmd =
       const run $ workers_arg $ cache_arg $ timeout_arg $ requests_arg
       $ clients_arg $ seed_arg $ jitter_arg $ batch_arg $ oversubscribe_arg
       $ validate_arg $ chaos_arg $ chaos_seed_arg $ chaos_stealth_arg
-      $ chaos_delay_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ chaos_delay_arg $ trace_arg $ metrics_arg $ serve_arg $ host_arg
+      $ max_conns_arg $ max_inflight_arg $ max_source_arg $ net_timeout_arg
+      $ metrics_port_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,405 @@
+type cfg = {
+  host : string;
+  port : int;
+  connect_timeout_s : float;
+  request_timeout_s : float;
+  max_attempts : int;
+  backoff_s : float;
+}
+
+let default_cfg ~port =
+  {
+    host = "127.0.0.1";
+    port;
+    connect_timeout_s = 5.0;
+    request_timeout_s = 120.0;
+    max_attempts = 5;
+    backoff_s = 0.1;
+  }
+
+type t = {
+  cfg : cfg;
+  mutable fd : Unix.file_descr option;
+  mutable next_id : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Connection establishment                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-blocking connect + select: a down host fails within
+   [connect_timeout_s] instead of the kernel's minutes-long default. *)
+let connect_once cfg =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fail msg =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error msg
+  in
+  match Unix.inet_addr_of_string cfg.host with
+  | exception Failure _ -> fail (Printf.sprintf "bad host %S" cfg.host)
+  | addr -> (
+      let sockaddr = Unix.ADDR_INET (addr, cfg.port) in
+      Unix.set_nonblock fd;
+      let pending =
+        match Unix.connect fd sockaddr with
+        | () -> Ok false
+        | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> Ok true
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e)
+      in
+      match pending with
+      | Error msg ->
+          fail
+            (Printf.sprintf "connect %s:%d: %s" cfg.host cfg.port msg)
+      | Ok wait -> (
+          let ready =
+            if not wait then true
+            else
+              match Unix.select [] [ fd ] [] cfg.connect_timeout_s with
+              | _, [ _ ], _ -> true
+              | _ -> false
+              | exception Unix.Unix_error _ -> false
+          in
+          if not ready then
+            fail
+              (Printf.sprintf "connect %s:%d: timed out after %.1fs"
+                 cfg.host cfg.port cfg.connect_timeout_s)
+          else
+            match Unix.getsockopt_error fd with
+            | Some e ->
+                fail
+                  (Printf.sprintf "connect %s:%d: %s" cfg.host cfg.port
+                     (Unix.error_message e))
+            | None ->
+                Unix.clear_nonblock fd;
+                (try Unix.setsockopt fd Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ -> ());
+                if cfg.request_timeout_s > 0.0 then begin
+                  (try
+                     Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+                       cfg.request_timeout_s
+                   with Unix.Unix_error _ -> ());
+                  try
+                    Unix.setsockopt_float fd Unix.SO_SNDTIMEO
+                      cfg.request_timeout_s
+                  with Unix.Unix_error _ -> ()
+                end;
+                Ok fd))
+
+let connect_with_backoff cfg =
+  let rec go attempt delay last_err =
+    if attempt > cfg.max_attempts then
+      Error
+        (Printf.sprintf "giving up after %d attempts: %s" cfg.max_attempts
+           last_err)
+    else
+      match connect_once cfg with
+      | Ok fd -> Ok fd
+      | Error msg ->
+          if attempt = cfg.max_attempts then
+            Error
+              (Printf.sprintf "giving up after %d attempts: %s"
+                 cfg.max_attempts msg)
+          else begin
+            Thread.delay delay;
+            go (attempt + 1) (delay *. 2.0) msg
+          end
+  in
+  go 1 cfg.backoff_s "no attempt made"
+
+let connect cfg =
+  match connect_with_backoff cfg with
+  | Ok fd -> Ok { cfg; fd = Some fd; next_id = 1 }
+  | Error _ as e -> e
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Request/reply                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let current_fd t =
+  match t.fd with
+  | Some fd -> Ok fd
+  | None -> (
+      match connect_with_backoff t.cfg with
+      | Ok fd ->
+          t.fd <- Some fd;
+          Ok fd
+      | Error _ as e -> e)
+
+let drop_connection t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* One attempt: send the frame, wait for the frame echoing [id] (or an
+   unsolicited id-0 reply such as the accept-time Overloaded shed).
+   [`Retry] means the connection is dead and the request may be resent
+   on a fresh one; [`Fatal] means retrying cannot help. *)
+let attempt t fd ~id msg =
+  match Wire.write_frame fd ~id msg with
+  | exception Unix.Unix_error (e, _, _) ->
+      `Retry (Printf.sprintf "send: %s" (Unix.error_message e))
+  | () ->
+      let rec await () =
+        match Wire.read_frame fd with
+        | Wire.Frame (rid, reply) when rid = id || rid = 0 -> `Ok reply
+        | Wire.Frame (_, _) -> await () (* stale reply from a past id *)
+        | Wire.Idle | Wire.Stalled ->
+            `Fatal
+              (Printf.sprintf "request timed out after %.1fs"
+                 t.cfg.request_timeout_s)
+        | Wire.Eof -> `Retry "connection closed by server"
+        | Wire.Oversized (_, got) ->
+            `Fatal (Printf.sprintf "reply too large: %d bytes" got)
+        | Wire.Fail err -> `Retry (Wire.error_to_string err)
+      in
+      await ()
+
+let request t msg =
+  match current_fd t with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let id = fresh_id t in
+      match attempt t fd ~id msg with
+      | `Ok reply -> Ok reply
+      | `Fatal msg -> Error msg
+      | `Retry why -> (
+          (* reconnect with backoff and resend exactly once: the server
+             side is idempotent (content-addressed cache) *)
+          drop_connection t;
+          match current_fd t with
+          | Error msg ->
+              Error (Printf.sprintf "%s; reconnect failed: %s" why msg)
+          | Ok fd -> (
+              match attempt t fd ~id msg with
+              | `Ok reply -> Ok reply
+              | `Fatal msg -> Error msg
+              | `Retry msg ->
+                  drop_connection t;
+                  Error
+                    (Printf.sprintf "%s; after reconnect: %s" why msg))))
+
+let unexpected what got =
+  Error
+    (Printf.sprintf "expected %s, got %s frame" what
+       (Wire.message_kind_name got))
+
+let ping t =
+  let t0 = Unix.gettimeofday () in
+  match request t Wire.Ping with
+  | Ok Wire.Pong -> Ok (Unix.gettimeofday () -. t0)
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Pong" other
+  | Error _ as e -> e
+
+let submit ?(trace = 0) t ~name ~options source =
+  let msg =
+    Wire.Submit
+      {
+        Wire.sub_name = name;
+        sub_source = source;
+        sub_options = options;
+        sub_trace = trace;
+      }
+  in
+  match request t msg with
+  | Ok (Wire.Result reply) -> Ok reply
+  | Ok other -> unexpected "Result" other
+  | Error _ as e -> e
+
+let stats t =
+  match request t Wire.Stats_req with
+  | Ok (Wire.Stats_text s) -> Ok s
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Stats_text" other
+  | Error _ as e -> e
+
+let metrics t =
+  match request t Wire.Metrics_req with
+  | Ok (Wire.Metrics_text s) -> Ok s
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Metrics_text" other
+  | Error _ as e -> e
+
+let shutdown t =
+  match request t Wire.Shutdown_req with
+  | Ok Wire.Shutdown_ack -> Ok ()
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Shutdown_ack" other
+  | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop socket driver                                           *)
+(* ------------------------------------------------------------------ *)
+
+type drive_cfg = {
+  requests : int;
+  conns : int;
+  seed : int;
+  size_jitter : int;
+  batch : int;
+  validate : bool;
+}
+
+let default_drive_cfg =
+  { requests = 200; conns = 4; seed = 42; size_jitter = 4; batch = 4;
+    validate = false }
+
+type drive_summary = {
+  d_requests : int;
+  d_done : int;
+  d_cached : int;
+  d_failed : int;
+  d_timeout : int;
+  d_cancelled : int;
+  d_overloaded : int;
+  d_too_large : int;
+  d_errors : int;
+  d_latencies : float array;
+  d_wall_s : float;
+}
+
+type acc = {
+  mutable a_done : int;
+  mutable a_cached : int;
+  mutable a_failed : int;
+  mutable a_timeout : int;
+  mutable a_cancelled : int;
+  mutable a_overloaded : int;
+  mutable a_too_large : int;
+  mutable a_errors : int;
+  mutable a_latencies : float list;
+}
+
+let drive cfg dcfg =
+  let acc =
+    {
+      a_done = 0;
+      a_cached = 0;
+      a_failed = 0;
+      a_timeout = 0;
+      a_cancelled = 0;
+      a_overloaded = 0;
+      a_too_large = 0;
+      a_errors = 0;
+      a_latencies = [];
+    }
+  in
+  let acc_mutex = Mutex.create () in
+  let record f =
+    Mutex.lock acc_mutex;
+    f acc;
+    Mutex.unlock acc_mutex
+  in
+  let next = Atomic.make 0 in
+  let worker () =
+    match connect cfg with
+    | Error _ ->
+        (* count every request this connection would have taken as a
+           transport error, so the totals still add up *)
+        let rec burn () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < dcfg.requests then begin
+            record (fun a -> a.a_errors <- a.a_errors + 1);
+            burn ()
+          end
+        in
+        burn ()
+    | Ok client ->
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < dcfg.requests then begin
+            let req =
+              Service.Traffic.nth_request ~validate:dcfg.validate
+                ~seed:dcfg.seed ~size_jitter:dcfg.size_jitter
+                ~batch:dcfg.batch i
+            in
+            let t0 = Unix.gettimeofday () in
+            (match
+               submit client ~name:req.Service.Server.req_name
+                 ~options:req.Service.Server.req_options
+                 req.Service.Server.req_source
+             with
+            | Ok reply ->
+                let dt = Unix.gettimeofday () -. t0 in
+                record (fun a ->
+                    a.a_latencies <- dt :: a.a_latencies;
+                    match reply with
+                    | Wire.R_done { r_cached; _ } ->
+                        a.a_done <- a.a_done + 1;
+                        if r_cached then a.a_cached <- a.a_cached + 1
+                    | Wire.R_failed _ -> a.a_failed <- a.a_failed + 1
+                    | Wire.R_timeout -> a.a_timeout <- a.a_timeout + 1
+                    | Wire.R_cancelled -> a.a_cancelled <- a.a_cancelled + 1
+                    | Wire.R_overloaded ->
+                        a.a_overloaded <- a.a_overloaded + 1
+                    | Wire.R_too_large _ ->
+                        a.a_too_large <- a.a_too_large + 1
+                    | Wire.R_error _ -> a.a_errors <- a.a_errors + 1)
+            | Error _ -> record (fun a -> a.a_errors <- a.a_errors + 1));
+            loop ()
+          end
+        in
+        loop ();
+        close client
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init (max 1 dcfg.conns) (fun _ -> Thread.create worker ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let lat = Array.of_list acc.a_latencies in
+  Array.sort compare lat;
+  {
+    d_requests = dcfg.requests;
+    d_done = acc.a_done;
+    d_cached = acc.a_cached;
+    d_failed = acc.a_failed;
+    d_timeout = acc.a_timeout;
+    d_cancelled = acc.a_cancelled;
+    d_overloaded = acc.a_overloaded;
+    d_too_large = acc.a_too_large;
+    d_errors = acc.a_errors;
+    d_latencies = lat;
+    d_wall_s = wall;
+  }
+
+let percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+    in
+    sorted.(max 0 (min (n - 1) rank))
+
+let drive_summary_to_string s =
+  let thr =
+    if s.d_wall_s > 0.0 then
+      float_of_int (Array.length s.d_latencies) /. s.d_wall_s
+    else 0.0
+  in
+  Printf.sprintf
+    "requests=%d done=%d (cached=%d) failed=%d timeout=%d cancelled=%d \
+     overloaded=%d too_large=%d transport_errors=%d | wall=%.2fs \
+     %.1f req/s | rtt p50=%.1fms p95=%.1fms p99=%.1fms"
+    s.d_requests s.d_done s.d_cached s.d_failed s.d_timeout s.d_cancelled
+    s.d_overloaded s.d_too_large s.d_errors s.d_wall_s thr
+    (1e3 *. percentile 50.0 s.d_latencies)
+    (1e3 *. percentile 95.0 s.d_latencies)
+    (1e3 *. percentile 99.0 s.d_latencies)

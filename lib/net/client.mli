@@ -1,0 +1,105 @@
+(** Blocking cedarnet client: one TCP connection, synchronous
+    request/reply, reconnect with exponential backoff.
+
+    Every call times out rather than hangs: connection establishment is
+    bounded by [connect_timeout_s] (non-blocking connect + select) and
+    each request by [request_timeout_s] ([SO_RCVTIMEO]/[SO_SNDTIMEO] on
+    the socket).  When the connection is found dead — send failure, EOF,
+    a frame that does not decode — the client reconnects with doubling
+    backoff up to [max_attempts] and resends the request once on the
+    fresh connection.  Requests are idempotent at the server (the result
+    cache is content-addressed), so a resend after an ambiguous failure
+    is safe.
+
+    {!drive} is the closed-loop load generator over real sockets: the
+    socket-side twin of {!Service.Traffic.run}, drawing the {e same}
+    deterministic request sequence ({!Service.Traffic.nth_request}) so
+    in-process and over-the-wire runs are comparable A/B. *)
+
+type cfg = {
+  host : string;
+  port : int;
+  connect_timeout_s : float;  (** bound on TCP connection establishment *)
+  request_timeout_s : float;  (** bound on each request round trip; 0 = none *)
+  max_attempts : int;  (** connection attempts, first one included *)
+  backoff_s : float;  (** first retry delay; doubles per attempt *)
+}
+
+val default_cfg : port:int -> cfg
+(** 127.0.0.1, 5 s connect, 120 s request, 5 attempts, 100 ms backoff. *)
+
+type t
+
+val connect : cfg -> (t, string) result
+(** Establish the connection (with retries/backoff per [cfg]). *)
+
+val close : t -> unit
+(** Close the socket.  Idempotent; the handle is dead afterwards. *)
+
+val request : t -> Wire.message -> (Wire.message, string) result
+(** Send one message and wait for its reply (matched by request id).
+    Reconnects and resends once if the connection proves dead. *)
+
+val ping : t -> (float, string) result
+(** Round-trip a {!Wire.Ping}; returns the RTT in seconds. *)
+
+val submit :
+  ?trace:int ->
+  t ->
+  name:string ->
+  options:Restructurer.Options.t ->
+  string ->
+  (Wire.reply, string) result
+(** Submit source text for restructuring.  [Ok] carries the server's
+    typed reply — including [R_overloaded] and [R_too_large]; [Error]
+    means the request could not be completed at all. *)
+
+val stats : t -> (string, string) result
+(** Fetch the human-readable {!Service.Stats} summary. *)
+
+val metrics : t -> (string, string) result
+(** Fetch the Prometheus text dump. *)
+
+val shutdown : t -> (unit, string) result
+(** Ask the server to shut down; [Ok] once the ack frame arrives. *)
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop socket driver                                           *)
+(* ------------------------------------------------------------------ *)
+
+type drive_cfg = {
+  requests : int;  (** total jobs to issue *)
+  conns : int;  (** concurrent connections, one outstanding job each *)
+  seed : int;
+  size_jitter : int;
+  batch : int;
+  validate : bool;
+}
+
+val default_drive_cfg : drive_cfg
+(** 200 requests, 4 connections, seed 42, jitter 4, batch 4. *)
+
+type drive_summary = {
+  d_requests : int;
+  d_done : int;  (** [R_done] replies *)
+  d_cached : int;  (** subset of [d_done] served from the cache *)
+  d_failed : int;
+  d_timeout : int;
+  d_cancelled : int;
+  d_overloaded : int;  (** shed by admission control *)
+  d_too_large : int;
+  d_errors : int;  (** transport failures (no typed reply at all) *)
+  d_latencies : float array;  (** per-request round trip, seconds, sorted *)
+  d_wall_s : float;
+}
+
+val drive : cfg -> drive_cfg -> drive_summary
+(** Run the closed-loop generator: [conns] threads, each with its own
+    connection, racing through the shared request sequence.  Returns
+    when every request has a final disposition. *)
+
+val percentile : float -> float array -> float
+(** [percentile 95.0 sorted] — nearest-rank percentile of a sorted
+    latency array; 0 on empty input. *)
+
+val drive_summary_to_string : drive_summary -> string

@@ -1,0 +1,495 @@
+(* cedarnet TCP front-end.  See server.mli for the contract.
+
+   Thread structure: one accept thread (woken for shutdown through a
+   self-pipe, because closing a listening socket does not reliably wake
+   a blocked accept), and per connection a reader thread plus a
+   responder thread meeting at a bounded pending queue.  The reader
+   decodes frames and admits submits into the service pool without
+   waiting for earlier replies (pipelining); the responder awaits each
+   ticket in order and streams the replies back.  The pending queue's
+   capacity exceeds the in-flight budget, so the reader never blocks on
+   it and the drain path cannot deadlock.
+
+   Budget accounting: [inflight] counts submits admitted into the
+   service and not yet replied to, across all connections.  The reader
+   increments it (with a CAS loop against the budget — excess submits
+   are shed with R_overloaded, never queued), the responder decrements
+   it after the reply is on the wire.  The high-water mark proves the
+   bound held. *)
+
+module M = Obs.Metrics
+module Fault = Service.Fault
+module Bq = Service.Bounded_queue
+
+type cfg = {
+  host : string;
+  port : int;
+  max_conns : int;
+  max_inflight : int;
+  max_source_bytes : int;
+  read_timeout_s : float;
+  write_timeout_s : float;
+}
+
+let default_cfg =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_conns = 64;
+    max_inflight = 256;
+    max_source_bytes = 8 * 1024 * 1024;
+    read_timeout_s = 30.0;
+    write_timeout_s = 30.0;
+  }
+
+type pending = {
+  pd_id : int;  (* request id to echo *)
+  pd_ticket : Service.Server.ticket;
+  pd_trace : int;
+  pd_start : float;
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_wmutex : Mutex.t;
+  c_pending : pending Bq.t;
+  c_alive : int Atomic.t;  (* reader + responder still running *)
+  mutable c_dead : bool;  (* stop writing: write fault or IO error *)
+  mutable c_rthread : Thread.t option;
+  mutable c_wthread : Thread.t option;
+}
+
+type t = {
+  svc : Service.Server.t;
+  cfg : cfg;
+  fault : Fault.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  wake_r : Unix.file_descr;  (* self-pipe: read side, in the accept select *)
+  wake_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  draining : bool Atomic.t;
+  inflight : int Atomic.t;
+  inflight_hw : int Atomic.t;
+  shed : int Atomic.t;
+  conns_seen : int Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable accept_thread : Thread.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Registry instruments                                                *)
+(* ------------------------------------------------------------------ *)
+
+let m_conns_total =
+  M.counter M.global ~help:"connections accepted" "net_connections_total"
+
+let m_conns_active =
+  M.gauge M.global ~help:"connections currently served" "net_connections_active"
+
+let m_requests =
+  M.counter M.global ~help:"wire requests received" "net_requests_total"
+
+let m_shed =
+  M.counter M.global
+    ~help:"requests and connections answered Overloaded (load shed)"
+    "net_shed_total"
+
+let m_too_large =
+  M.counter M.global ~help:"submits rejected by the source-size cap"
+    "net_too_large_total"
+
+let m_bad_frames =
+  M.counter M.global ~help:"frames that failed to decode" "net_frames_bad_total"
+
+let m_inflight =
+  M.gauge M.global ~help:"submits admitted and not yet replied to"
+    "net_requests_inflight"
+
+let m_request_seconds =
+  M.histogram M.global ~help:"wire request latency, admit to reply written"
+    "net_request_seconds"
+
+let now () = Unix.gettimeofday ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------------------------------------------ *)
+(* Writing (single point, so the chaos write faults cover every reply)  *)
+(* ------------------------------------------------------------------ *)
+
+let kill_conn conn =
+  conn.c_dead <- true;
+  try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let send t conn ~id msg =
+  with_lock conn.c_wmutex (fun () ->
+      if not conn.c_dead then
+        if Fault.fire t.fault Fault.Trunc_write then begin
+          (* cut the frame in half and drop the connection: the client
+             must fail typed (Truncated/Eof), never hang or crash *)
+          let s = Wire.encode ~id msg in
+          (try Wire.write_raw conn.c_fd (String.sub s 0 (String.length s / 2))
+           with Unix.Unix_error _ -> ());
+          kill_conn conn
+        end
+        else if Fault.fire t.fault Fault.Garbage_frame then begin
+          (try Wire.write_raw conn.c_fd (String.make Wire.header_bytes '\xa5')
+           with Unix.Unix_error _ -> ());
+          kill_conn conn
+        end
+        else
+          try Wire.write_frame conn.c_fd ~id msg
+          with Unix.Unix_error _ -> kill_conn conn)
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let note_of_report (r : Restructurer.Driver.loop_report) =
+  {
+    Wire.n_unit = r.Restructurer.Driver.r_unit;
+    n_index = r.Restructurer.Driver.r_index;
+    n_depth = r.Restructurer.Driver.r_depth;
+    n_decision = r.Restructurer.Driver.r_decision;
+    n_techniques = r.Restructurer.Driver.r_techniques;
+  }
+
+let reply_of_outcome trace (outcome : Service.Server.outcome) =
+  match outcome with
+  | Service.Server.Done { payload; cached } ->
+      Wire.R_done
+        {
+          r_cached = cached;
+          r_rung = payload.Service.Server.p_rung;
+          r_text = payload.Service.Server.p_text;
+          r_cycles = payload.Service.Server.p_cycles;
+          r_global_words = payload.Service.Server.p_global_words;
+          r_notes = List.map note_of_report payload.Service.Server.p_reports;
+          r_trace = trace;
+        }
+  | Service.Server.Failed msg -> Wire.R_failed msg
+  | Service.Server.Timeout -> Wire.R_timeout
+  | Service.Server.Cancelled -> Wire.R_cancelled
+
+let shed_request t conn ~id =
+  Atomic.incr t.shed;
+  M.incr m_shed;
+  send t conn ~id (Wire.Result Wire.R_overloaded)
+
+(* CAS admission against the in-flight budget *)
+let rec try_reserve t =
+  let cur = Atomic.get t.inflight in
+  if cur >= t.cfg.max_inflight then false
+  else if Atomic.compare_and_set t.inflight cur (cur + 1) then begin
+    let rec bump_hw () =
+      let hw = Atomic.get t.inflight_hw in
+      if cur + 1 > hw then
+        if Atomic.compare_and_set t.inflight_hw hw (cur + 1) then ()
+        else bump_hw ()
+    in
+    bump_hw ();
+    M.set_gauge m_inflight (float_of_int (Atomic.get t.inflight));
+    true
+  end
+  else try_reserve t
+
+let release t =
+  Atomic.decr t.inflight;
+  M.set_gauge m_inflight (float_of_int (Atomic.get t.inflight))
+
+let admit_submit t conn ~id (s : Wire.submit) =
+  let got = String.length s.Wire.sub_source in
+  if t.cfg.max_source_bytes > 0 && got > t.cfg.max_source_bytes then begin
+    (* request hygiene: typed rejection before the source reaches a
+       parser — and before it reaches the service at all *)
+    M.incr m_too_large;
+    send t conn ~id
+      (Wire.Result (Wire.R_too_large { limit = t.cfg.max_source_bytes; got }))
+  end
+  else if not (try_reserve t) then shed_request t conn ~id
+  else begin
+    let trace =
+      if s.Wire.sub_trace <> 0 then s.Wire.sub_trace
+      else if Obs.Trace.enabled () then Obs.Trace.fresh_trace_id ()
+      else 0
+    in
+    let request =
+      {
+        Service.Server.req_name = s.Wire.sub_name;
+        req_source = s.Wire.sub_source;
+        req_options = s.Wire.sub_options;
+      }
+    in
+    match Service.Server.try_submit ~trace t.svc request with
+    | None ->
+        (* the service queue itself had no room: shed, don't block *)
+        release t;
+        shed_request t conn ~id
+    | Some ticket ->
+        ignore
+          (Bq.push conn.c_pending
+             { pd_id = id; pd_ticket = ticket; pd_trace = trace;
+               pd_start = now () })
+  end
+
+let dispatch t conn ~id msg =
+  match msg with
+  | Wire.Ping ->
+      send t conn ~id Wire.Pong;
+      `Continue
+  | Wire.Submit s ->
+      M.incr m_requests;
+      admit_submit t conn ~id s;
+      `Continue
+  | Wire.Stats_req ->
+      send t conn ~id
+        (Wire.Stats_text (Service.Stats.to_string (Service.Server.stats t.svc)));
+      `Continue
+  | Wire.Metrics_req ->
+      send t conn ~id (Wire.Metrics_text (M.dump M.global));
+      `Continue
+  | Wire.Shutdown_req ->
+      send t conn ~id Wire.Shutdown_ack;
+      Atomic.set t.stop true;
+      (* wake the accept select so the stop is noticed immediately *)
+      (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+       with Unix.Unix_error _ -> ());
+      `Close
+  | Wire.Pong | Wire.Result _ | Wire.Stats_text _ | Wire.Metrics_text _
+  | Wire.Shutdown_ack ->
+      send t conn ~id
+        (Wire.Result
+           (Wire.R_error
+              (Printf.sprintf "unexpected %s frame from a client"
+                 (Wire.message_kind_name msg))));
+      `Close
+
+(* ------------------------------------------------------------------ *)
+(* Connection threads                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let thread_finished t conn =
+  if Atomic.fetch_and_add conn.c_alive (-1) = 1 then begin
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    M.add_gauge m_conns_active (-1.0);
+    with_lock t.conns_mutex (fun () ->
+        t.conns <- List.filter (fun c -> not (c == conn)) t.conns)
+  end
+
+let reader t conn =
+  let cap =
+    if t.cfg.max_source_bytes > 0 then t.cfg.max_source_bytes + 4096
+    else Wire.hard_max_payload
+  in
+  let rec loop () =
+    if conn.c_dead || Atomic.get t.draining then ()
+    else begin
+      if Fault.fire t.fault Fault.Read_stall then
+        Thread.delay (Fault.delay_s t.fault);
+      match Wire.read_frame ~max_payload:cap conn.c_fd with
+      | Wire.Idle -> loop () (* quiet connection; deadlines are per request *)
+      | Wire.Frame (id, msg) -> (
+          match dispatch t conn ~id msg with
+          | `Continue -> loop ()
+          | `Close -> ())
+      | Wire.Oversized (id, got) ->
+          (* drained in constant memory: reject typed, keep the stream *)
+          M.incr m_requests;
+          M.incr m_too_large;
+          send t conn ~id
+            (Wire.Result (Wire.R_too_large { limit = cap; got }));
+          loop ()
+      | Wire.Stalled ->
+          (* read deadline expired mid-request: drop the sender *)
+          kill_conn conn
+      | Wire.Eof -> ()
+      | Wire.Fail err ->
+          (* a frame that does not decode leaves the stream position
+             unknowable; answer typed and drop the connection *)
+          M.incr m_bad_frames;
+          send t conn ~id:0
+            (Wire.Result (Wire.R_error (Wire.error_to_string err)))
+    end
+  in
+  (try loop () with _ -> ());
+  (* no more requests will be admitted: let the responder finish the
+     pending replies, then it closes the socket *)
+  Bq.close conn.c_pending;
+  thread_finished t conn
+
+let responder t conn =
+  let rec loop () =
+    match Bq.pop conn.c_pending with
+    | None -> ()
+    | Some p ->
+        let outcome = Service.Server.await p.pd_ticket in
+        let reply = reply_of_outcome p.pd_trace outcome in
+        send t conn ~id:p.pd_id (Wire.Result reply);
+        release t;
+        M.observe m_request_seconds (now () -. p.pd_start);
+        if p.pd_trace <> 0 then
+          Obs.Trace.with_trace_id p.pd_trace (fun () ->
+              Obs.Trace.completed ~start_s:p.pd_start ~stop_s:(now ())
+                ~attrs:[ ("request_id", string_of_int p.pd_id) ]
+                "net_request");
+        loop ()
+  in
+  (try loop () with _ -> ());
+  thread_finished t conn
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle_accept t fd =
+  Atomic.incr t.conns_seen;
+  M.incr m_conns_total;
+  if Fault.fire t.fault Fault.Accept_drop then (
+    try Unix.close fd with Unix.Unix_error _ -> ())
+  else begin
+    let active = with_lock t.conns_mutex (fun () -> List.length t.conns) in
+    if active >= t.cfg.max_conns then begin
+      (* connection budget exhausted: one explicit Overloaded frame,
+         then the door closes — nothing queues *)
+      Atomic.incr t.shed;
+      M.incr m_shed;
+      (try Wire.write_frame fd ~id:0 (Wire.Result Wire.R_overloaded)
+       with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+    else begin
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      if t.cfg.read_timeout_s > 0.0 then
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout_s
+         with Unix.Unix_error _ -> ());
+      if t.cfg.write_timeout_s > 0.0 then
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout_s
+         with Unix.Unix_error _ -> ());
+      let conn =
+        {
+          c_fd = fd;
+          c_wmutex = Mutex.create ();
+          c_pending = Bq.create ~capacity:(t.cfg.max_inflight + 4);
+          c_alive = Atomic.make 2;
+          c_dead = false;
+          c_rthread = None;
+          c_wthread = None;
+        }
+      in
+      with_lock t.conns_mutex (fun () -> t.conns <- conn :: t.conns);
+      M.add_gauge m_conns_active 1.0;
+      conn.c_wthread <- Some (Thread.create (fun () -> responder t conn) ());
+      conn.c_rthread <- Some (Thread.create (fun () -> reader t conn) ())
+    end
+  end
+
+let accept_loop t =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
+    | ready, _, _ ->
+        if List.mem t.wake_r ready then () (* woken: loop re-checks stop *)
+        else if List.mem t.listen_fd ready then begin
+          match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
+          | fd, _addr -> handle_accept t fd
+        end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(fault = Fault.none) cfg svc =
+  (* a peer that disappears mid-write must surface as EPIPE, not kill
+     the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+  (try Unix.bind listen_fd addr
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listen_fd 64;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      svc;
+      cfg;
+      fault;
+      listen_fd;
+      bound_port;
+      wake_r;
+      wake_w;
+      stop = Atomic.make false;
+      draining = Atomic.make false;
+      inflight = Atomic.make 0;
+      inflight_hw = Atomic.make 0;
+      shed = Atomic.make 0;
+      conns_seen = Atomic.make 0;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+
+let request_stop t =
+  Atomic.set t.stop true;
+  (* wake the accept select; a single byte suffices and a full pipe
+     means a wake-up is already pending *)
+  try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+  with Unix.Unix_error _ -> ()
+
+let stop_requested t = Atomic.get t.stop
+
+let wait_stop t =
+  while not (Atomic.get t.stop) do
+    Thread.delay 0.05
+  done
+
+let drain t =
+  if not (Atomic.exchange t.draining true) then begin
+    request_stop t;
+    (match t.accept_thread with
+    | Some th ->
+        Thread.join th;
+        t.accept_thread <- None
+    | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    (* stop the readers (no new requests), keep the writers: in-flight
+       requests finish and their replies flush before the join *)
+    let conns = with_lock t.conns_mutex (fun () -> t.conns) in
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      conns;
+    List.iter
+      (fun c ->
+        (match c.c_rthread with Some th -> Thread.join th | None -> ());
+        match c.c_wthread with Some th -> Thread.join th | None -> ())
+      conns
+  end
+
+let connections_seen t = Atomic.get t.conns_seen
+let inflight_high_water t = Atomic.get t.inflight_hw
+let shed_total t = Atomic.get t.shed

@@ -1,0 +1,81 @@
+(** The cedarnet TCP front-end: puts a {!Service.Server} on the network.
+
+    One accept thread plus a reader/responder thread pair per
+    connection.  Requests on one connection may be pipelined: the reader
+    admits each {!Wire.Submit} into the service pool without waiting for
+    earlier replies, and the responder streams results back in
+    submission order, each echoing its request id.
+
+    {b Admission control.}  Two budgets shed load explicitly instead of
+    queuing without bound: at most [max_conns] connections are served at
+    once (excess connections receive one [R_overloaded] frame and are
+    closed), and at most [max_inflight] submits may be outstanding
+    inside the service across all connections (excess submits are
+    answered [R_overloaded] immediately).  A submit the service queue
+    itself cannot take (bounded queue full) is also shed.
+
+    {b Deadlines and hygiene.}  [read_timeout_s] bounds how long a
+    request may take to arrive once its first byte is seen (a stalled
+    sender is dropped; a merely idle connection is not), and
+    [write_timeout_s] bounds each reply write.  Submits whose source
+    exceeds [max_source_bytes] are rejected with a typed
+    [R_too_large] before any parsing — oversized frames are drained in
+    constant memory, so the connection survives the rejection.
+
+    {b Observability.}  Every submit carries (or is minted) an
+    {!Obs.Trace} id that rides the job end to end and returns in the
+    reply; connection/request/shed/bytes counters land in
+    {!Obs.Metrics.global}.
+
+    {b Chaos.}  An attached {!Service.Fault} injector with network
+    sites armed attacks the wire itself: accepted connections dropped,
+    reads stalled, replies truncated mid-frame or replaced with
+    garbage. *)
+
+type cfg = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 = ephemeral (read it back with {!port}) *)
+  max_conns : int;  (** accepted-connection budget *)
+  max_inflight : int;  (** outstanding-submit budget, all connections *)
+  max_source_bytes : int;  (** submit-source cap; 0 = unlimited *)
+  read_timeout_s : float;  (** per-request read deadline; 0 = none *)
+  write_timeout_s : float;  (** per-reply write deadline; 0 = none *)
+}
+
+val default_cfg : cfg
+(** 127.0.0.1:0, 64 connections, 256 in flight, 8 MiB source cap,
+    30 s read and write deadlines. *)
+
+type t
+
+val create : ?fault:Service.Fault.t -> cfg -> Service.Server.t -> t
+(** Bind, listen, and start accepting.  The service pool is {e not}
+    owned: shutting it down is the caller's job (after {!drain}).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port (resolves [port = 0]). *)
+
+val request_stop : t -> unit
+(** Ask the server to stop — callable from a signal handler (it only
+    sets an atomic flag).  {!wait_stop} returns shortly after. *)
+
+val stop_requested : t -> bool
+
+val wait_stop : t -> unit
+(** Block until {!request_stop} is called (signal path) or a
+    {!Wire.Shutdown_req} frame arrives (wire path). *)
+
+val drain : t -> unit
+(** Graceful drain: stop accepting, shut the read side of every
+    connection (no new requests), let every in-flight request finish
+    and its reply flush, then join all connection threads.  Idempotent.
+    The caller then runs {!Service.Server.shutdown} to flush stats. *)
+
+val connections_seen : t -> int
+val inflight_high_water : t -> int
+(** Most submits ever outstanding at once — proves the in-flight budget
+    held under overload. *)
+
+val shed_total : t -> int
+(** Requests/connections answered [R_overloaded]. *)

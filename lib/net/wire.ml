@@ -1,0 +1,621 @@
+(* cedarnet wire protocol.  See wire.mli for the frame layout.
+
+   The decoder is written against adversarial input: every read goes
+   through a bounds-checked cursor, every enum byte is validated, and
+   the only way out of a bad payload is the typed [error] — a garbage
+   frame must never raise out of [decode] or [read_frame]. *)
+
+let magic = "CDRN"
+let version = 1
+let header_bytes = 20
+let hard_max_payload = 1 lsl 26 (* 64 MiB *)
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_kind of int
+  | Truncated
+  | Length_overflow of int
+  | Malformed of string
+
+let error_to_string = function
+  | Bad_magic -> "bad magic (not a cedarnet frame)"
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Bad_kind k -> Printf.sprintf "unknown message kind %d" k
+  | Truncated -> "truncated frame"
+  | Length_overflow n ->
+      Printf.sprintf "announced payload of %d bytes exceeds the %d-byte limit"
+        n hard_max_payload
+  | Malformed what -> Printf.sprintf "malformed payload: %s" what
+
+type note = {
+  n_unit : string;
+  n_index : string;
+  n_depth : int;
+  n_decision : string;
+  n_techniques : string list;
+}
+
+type submit = {
+  sub_name : string;
+  sub_source : string;
+  sub_options : Restructurer.Options.t;
+  sub_trace : int;
+}
+
+type reply =
+  | R_done of {
+      r_cached : bool;
+      r_rung : Service.Server.rung;
+      r_text : string;
+      r_cycles : float option;
+      r_global_words : float option;
+      r_notes : note list;
+      r_trace : int;
+    }
+  | R_failed of string
+  | R_timeout
+  | R_cancelled
+  | R_overloaded
+  | R_too_large of { limit : int; got : int }
+  | R_error of string
+
+type message =
+  | Ping
+  | Pong
+  | Submit of submit
+  | Result of reply
+  | Stats_req
+  | Stats_text of string
+  | Metrics_req
+  | Metrics_text of string
+  | Shutdown_req
+  | Shutdown_ack
+
+let kind_code = function
+  | Ping -> 1
+  | Pong -> 2
+  | Submit _ -> 3
+  | Result _ -> 4
+  | Stats_req -> 5
+  | Stats_text _ -> 6
+  | Metrics_req -> 7
+  | Metrics_text _ -> 8
+  | Shutdown_req -> 9
+  | Shutdown_ack -> 10
+
+let message_kind_name = function
+  | Ping -> "ping"
+  | Pong -> "pong"
+  | Submit _ -> "submit"
+  | Result _ -> "result"
+  | Stats_req -> "stats-req"
+  | Stats_text _ -> "stats"
+  | Metrics_req -> "metrics-req"
+  | Metrics_text _ -> "metrics"
+  | Shutdown_req -> "shutdown-req"
+  | Shutdown_ack -> "shutdown-ack"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let put_bool b v = put_u8 b (if v then 1 else 0)
+let put_int b v = Buffer.add_int64_be b (Int64.of_int v)
+let put_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let put_string b s =
+  Buffer.add_int32_be b (Int32.of_int (String.length s));
+  Buffer.add_string b s
+
+let put_opt_f64 b = function
+  | None -> put_u8 b 0
+  | Some v ->
+      put_u8 b 1;
+      put_f64 b v
+
+(* the 18 technique flags, in declaration order of Options.techniques —
+   the wire bit position is the list position *)
+let technique_getters =
+  [
+    (fun (t : Restructurer.Options.techniques) -> t.scalar_privatization);
+    (fun t -> t.scalar_expansion);
+    (fun t -> t.simple_induction);
+    (fun t -> t.simple_reduction);
+    (fun t -> t.doacross);
+    (fun t -> t.stripmining);
+    (fun t -> t.if_to_where);
+    (fun t -> t.inline_expansion);
+    (fun t -> t.loop_interchange);
+    (fun t -> t.recurrence_substitution);
+    (fun t -> t.array_privatization);
+    (fun t -> t.generalized_reduction);
+    (fun t -> t.giv_substitution);
+    (fun t -> t.runtime_dep_test);
+    (fun t -> t.critical_sections);
+    (fun t -> t.interprocedural);
+    (fun t -> t.loop_fusion);
+    (fun t -> t.loop_distribution);
+  ]
+
+let techniques_mask (t : Restructurer.Options.techniques) =
+  List.fold_left
+    (fun (acc, bit) get -> ((acc lor if get t then 1 lsl bit else 0), bit + 1))
+    (0, 0) technique_getters
+  |> fst
+
+let techniques_of_mask m : Restructurer.Options.techniques =
+  let bit i = m land (1 lsl i) <> 0 in
+  {
+    scalar_privatization = bit 0;
+    scalar_expansion = bit 1;
+    simple_induction = bit 2;
+    simple_reduction = bit 3;
+    doacross = bit 4;
+    stripmining = bit 5;
+    if_to_where = bit 6;
+    inline_expansion = bit 7;
+    loop_interchange = bit 8;
+    recurrence_substitution = bit 9;
+    array_privatization = bit 10;
+    generalized_reduction = bit 11;
+    giv_substitution = bit 12;
+    runtime_dep_test = bit 13;
+    critical_sections = bit 14;
+    interprocedural = bit 15;
+    loop_fusion = bit 16;
+    loop_distribution = bit 17;
+  }
+
+let put_machine b (m : Machine.Config.t) =
+  put_string b m.name;
+  put_int b m.clusters;
+  put_int b m.ces_per_cluster;
+  put_f64 b m.cache_hit;
+  put_f64 b m.cluster_scalar;
+  put_f64 b m.global_scalar;
+  put_f64 b m.cluster_vector;
+  put_f64 b m.global_vector;
+  put_f64 b m.global_vector_prefetched;
+  put_f64 b m.vector_startup;
+  put_int b m.prefetch_depth;
+  put_bool b m.prefetch;
+  put_int b m.cache_bytes;
+  put_f64 b m.cdo_startup;
+  put_f64 b m.cdo_dispatch;
+  put_f64 b m.sdo_startup;
+  put_f64 b m.sdo_dispatch;
+  put_f64 b m.await_cost;
+  put_f64 b m.lock_cost;
+  put_f64 b m.task_start_ctsk;
+  put_f64 b m.task_start_mtsk;
+  put_f64 b m.scalar_op;
+  put_f64 b m.vector_op;
+  put_f64 b m.intrinsic_op;
+  put_int b m.cluster_mem_bytes;
+  put_int b m.global_mem_bytes;
+  put_int b m.page_bytes;
+  put_f64 b m.page_fault_cycles;
+  put_f64 b m.global_bw;
+  put_f64 b m.cluster_bw
+
+let put_options b (o : Restructurer.Options.t) =
+  put_int b (techniques_mask o.techniques);
+  put_machine b o.machine;
+  put_int b o.max_versions;
+  put_int b o.strip;
+  put_int b o.inline_limits.Transform.Inline.max_depth;
+  put_int b o.inline_limits.Transform.Inline.max_stmts;
+  put_u8 b
+    (match o.placement_default with
+    | Transform.Globalize.Default_global -> 0
+    | Transform.Globalize.Default_cluster -> 1);
+  put_int b o.assumed_trip;
+  put_bool b o.validate
+
+let rung_code = function
+  | Service.Server.Full -> 0
+  | Service.Server.Conservative -> 1
+  | Service.Server.Passthrough -> 2
+
+let put_note b n =
+  put_string b n.n_unit;
+  put_string b n.n_index;
+  put_int b n.n_depth;
+  put_string b n.n_decision;
+  put_int b (List.length n.n_techniques);
+  List.iter (put_string b) n.n_techniques
+
+let put_reply b = function
+  | R_done d ->
+      put_u8 b 0;
+      put_bool b d.r_cached;
+      put_u8 b (rung_code d.r_rung);
+      put_string b d.r_text;
+      put_opt_f64 b d.r_cycles;
+      put_opt_f64 b d.r_global_words;
+      put_int b (List.length d.r_notes);
+      List.iter (put_note b) d.r_notes;
+      put_int b d.r_trace
+  | R_failed msg ->
+      put_u8 b 1;
+      put_string b msg
+  | R_timeout -> put_u8 b 2
+  | R_cancelled -> put_u8 b 3
+  | R_overloaded -> put_u8 b 4
+  | R_too_large { limit; got } ->
+      put_u8 b 5;
+      put_int b limit;
+      put_int b got
+  | R_error msg ->
+      put_u8 b 6;
+      put_string b msg
+
+let payload_of = function
+  | Ping | Pong | Stats_req | Metrics_req | Shutdown_req | Shutdown_ack -> ""
+  | Stats_text s | Metrics_text s -> s
+  | Submit s ->
+      let b = Buffer.create (String.length s.sub_source + 256) in
+      put_string b s.sub_name;
+      put_string b s.sub_source;
+      put_options b s.sub_options;
+      put_int b s.sub_trace;
+      Buffer.contents b
+  | Result r ->
+      let b = Buffer.create 256 in
+      put_reply b r;
+      Buffer.contents b
+
+let encode ~id msg =
+  let payload = payload_of msg in
+  let b = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_string b magic;
+  put_u8 b version;
+  put_u8 b (kind_code msg);
+  Buffer.add_uint16_be b 0;
+  Buffer.add_int64_be b (Int64.of_int id);
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Err of error
+
+type cursor = { src : string; mutable pos : int; limit : int }
+
+let need c n =
+  if n < 0 || c.pos + n > c.limit then raise (Err Truncated)
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | v -> raise (Err (Malformed (Printf.sprintf "bool byte %d" v)))
+
+let get_int c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_be c.src c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (String.get_int64_be c.src c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_string c =
+  need c 4;
+  let n = Int32.to_int (String.get_int32_be c.src c.pos) in
+  c.pos <- c.pos + 4;
+  if n < 0 then raise (Err (Malformed "negative string length"));
+  need c n;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_opt_f64 c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get_f64 c)
+  | v -> raise (Err (Malformed (Printf.sprintf "option byte %d" v)))
+
+let get_count c what =
+  let n = get_int c in
+  (* each element consumes at least one byte; anything bigger than the
+     remaining payload is a lie, not a huge list *)
+  if n < 0 || n > c.limit - c.pos then
+    raise (Err (Malformed (Printf.sprintf "implausible %s count %d" what n)));
+  n
+
+let get_machine c : Machine.Config.t =
+  let name = get_string c in
+  let clusters = get_int c in
+  let ces_per_cluster = get_int c in
+  let cache_hit = get_f64 c in
+  let cluster_scalar = get_f64 c in
+  let global_scalar = get_f64 c in
+  let cluster_vector = get_f64 c in
+  let global_vector = get_f64 c in
+  let global_vector_prefetched = get_f64 c in
+  let vector_startup = get_f64 c in
+  let prefetch_depth = get_int c in
+  let prefetch = get_bool c in
+  let cache_bytes = get_int c in
+  let cdo_startup = get_f64 c in
+  let cdo_dispatch = get_f64 c in
+  let sdo_startup = get_f64 c in
+  let sdo_dispatch = get_f64 c in
+  let await_cost = get_f64 c in
+  let lock_cost = get_f64 c in
+  let task_start_ctsk = get_f64 c in
+  let task_start_mtsk = get_f64 c in
+  let scalar_op = get_f64 c in
+  let vector_op = get_f64 c in
+  let intrinsic_op = get_f64 c in
+  let cluster_mem_bytes = get_int c in
+  let global_mem_bytes = get_int c in
+  let page_bytes = get_int c in
+  let page_fault_cycles = get_f64 c in
+  let global_bw = get_f64 c in
+  let cluster_bw = get_f64 c in
+  {
+    Machine.Config.name;
+    clusters;
+    ces_per_cluster;
+    cache_hit;
+    cluster_scalar;
+    global_scalar;
+    cluster_vector;
+    global_vector;
+    global_vector_prefetched;
+    vector_startup;
+    prefetch_depth;
+    prefetch;
+    cache_bytes;
+    cdo_startup;
+    cdo_dispatch;
+    sdo_startup;
+    sdo_dispatch;
+    await_cost;
+    lock_cost;
+    task_start_ctsk;
+    task_start_mtsk;
+    scalar_op;
+    vector_op;
+    intrinsic_op;
+    cluster_mem_bytes;
+    global_mem_bytes;
+    page_bytes;
+    page_fault_cycles;
+    global_bw;
+    cluster_bw;
+  }
+
+let get_options c : Restructurer.Options.t =
+  let techniques = techniques_of_mask (get_int c) in
+  let machine = get_machine c in
+  let max_versions = get_int c in
+  let strip = get_int c in
+  let max_depth = get_int c in
+  let max_stmts = get_int c in
+  let placement_default =
+    match get_u8 c with
+    | 0 -> Transform.Globalize.Default_global
+    | 1 -> Transform.Globalize.Default_cluster
+    | v -> raise (Err (Malformed (Printf.sprintf "placement byte %d" v)))
+  in
+  let assumed_trip = get_int c in
+  let validate = get_bool c in
+  {
+    Restructurer.Options.techniques;
+    machine;
+    max_versions;
+    strip;
+    inline_limits = { Transform.Inline.max_depth; max_stmts };
+    placement_default;
+    assumed_trip;
+    validate;
+  }
+
+let get_note c =
+  let n_unit = get_string c in
+  let n_index = get_string c in
+  let n_depth = get_int c in
+  let n_decision = get_string c in
+  let k = get_count c "technique" in
+  let n_techniques = List.init k (fun _ -> get_string c) in
+  { n_unit; n_index; n_depth; n_decision; n_techniques }
+
+let get_reply c =
+  match get_u8 c with
+  | 0 ->
+      let r_cached = get_bool c in
+      let r_rung =
+        match get_u8 c with
+        | 0 -> Service.Server.Full
+        | 1 -> Service.Server.Conservative
+        | 2 -> Service.Server.Passthrough
+        | v -> raise (Err (Malformed (Printf.sprintf "rung byte %d" v)))
+      in
+      let r_text = get_string c in
+      let r_cycles = get_opt_f64 c in
+      let r_global_words = get_opt_f64 c in
+      let k = get_count c "note" in
+      let r_notes = List.init k (fun _ -> get_note c) in
+      let r_trace = get_int c in
+      R_done
+        { r_cached; r_rung; r_text; r_cycles; r_global_words; r_notes; r_trace }
+  | 1 -> R_failed (get_string c)
+  | 2 -> R_timeout
+  | 3 -> R_cancelled
+  | 4 -> R_overloaded
+  | 5 ->
+      let limit = get_int c in
+      let got = get_int c in
+      R_too_large { limit; got }
+  | 6 -> R_error (get_string c)
+  | v -> raise (Err (Malformed (Printf.sprintf "reply tag %d" v)))
+
+let get_submit c =
+  let sub_name = get_string c in
+  let sub_source = get_string c in
+  let sub_options = get_options c in
+  let sub_trace = get_int c in
+  { sub_name; sub_source; sub_options; sub_trace }
+
+let decode_payload kind payload =
+  let c = { src = payload; pos = 0; limit = String.length payload } in
+  let empty msg =
+    if c.limit <> 0 then raise (Err (Malformed "nonempty payload"));
+    msg
+  in
+  let msg =
+    match kind with
+    | 1 -> empty Ping
+    | 2 -> empty Pong
+    | 3 -> Submit (get_submit c)
+    | 4 -> Result (get_reply c)
+    | 5 -> empty Stats_req
+    | 6 ->
+        c.pos <- c.limit;
+        Stats_text payload
+    | 7 -> empty Metrics_req
+    | 8 ->
+        c.pos <- c.limit;
+        Metrics_text payload
+    | 9 -> empty Shutdown_req
+    | 10 -> empty Shutdown_ack
+    | k -> raise (Err (Bad_kind k))
+  in
+  if c.pos <> c.limit then raise (Err (Malformed "trailing payload bytes"));
+  msg
+
+type header = { h_kind : int; h_id : int; h_len : int }
+
+let decode_header s =
+  if String.length s < header_bytes then Error Truncated
+  else if String.sub s 0 4 <> magic then Error Bad_magic
+  else
+    let v = Char.code s.[4] in
+    if v <> version then Error (Bad_version v)
+    else
+      let kind = Char.code s.[5] in
+      let id = Int64.to_int (String.get_int64_be s 8) in
+      let len = Int32.to_int (String.get_int32_be s 16) in
+      if len < 0 || len > hard_max_payload then Error (Length_overflow len)
+      else Ok { h_kind = kind; h_id = id; h_len = len }
+
+let decode s =
+  match decode_header s with
+  | Error e -> Error e
+  | Ok h ->
+      if String.length s < header_bytes + h.h_len then Error Truncated
+      else if String.length s > header_bytes + h.h_len then
+        Error (Malformed "trailing bytes after frame")
+      else begin
+        match decode_payload h.h_kind (String.sub s header_bytes h.h_len) with
+        | msg -> Ok (h.h_id, msg)
+        | exception Err e -> Error e
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Stream IO                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let m_bytes_read =
+  Obs.Metrics.counter Obs.Metrics.global ~help:"cedarnet bytes read"
+    "net_bytes_read_total"
+
+let m_bytes_written =
+  Obs.Metrics.counter Obs.Metrics.global ~help:"cedarnet bytes written"
+    "net_bytes_written_total"
+
+type read_result =
+  | Frame of int * message
+  | Oversized of int * int
+  | Idle
+  | Stalled
+  | Eof
+  | Fail of error
+
+(* [`Ok] when [len] bytes landed in [buf], [`Eof] on a clean close,
+   [`Stalled consumed] when SO_RCVTIMEO expired *)
+let really_read fd buf off len =
+  let rec go off len consumed =
+    if len = 0 then `Ok
+    else
+      match Unix.read fd buf off len with
+      | 0 -> if consumed = 0 then `Eof else `Short
+      | n ->
+          Obs.Metrics.incr ~by:n m_bytes_read;
+          go (off + n) (len - n) (consumed + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len consumed
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Stalled consumed
+      | exception Unix.Unix_error (_, _, _) -> if consumed = 0 then `Eof else `Short
+  in
+  go off len 0
+
+let drain_payload fd len =
+  let chunk = Bytes.create 65536 in
+  let rec go remaining =
+    if remaining <= 0 then true
+    else
+      match Unix.read fd chunk 0 (min remaining (Bytes.length chunk)) with
+      | 0 -> false
+      | n ->
+          Obs.Metrics.incr ~by:n m_bytes_read;
+          go (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go remaining
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go len
+
+let read_frame ?(max_payload = hard_max_payload) fd =
+  let hdr = Bytes.create header_bytes in
+  match really_read fd hdr 0 header_bytes with
+  | `Eof -> Eof
+  | `Short -> Fail Truncated
+  | `Stalled consumed -> if consumed = 0 then Idle else Stalled
+  | `Ok -> (
+      match decode_header (Bytes.to_string hdr) with
+      | Error e -> Fail e
+      | Ok h ->
+          if h.h_len > max_payload then
+            if drain_payload fd h.h_len then Oversized (h.h_id, h.h_len)
+            else Fail Truncated
+          else
+            let payload = Bytes.create h.h_len in
+            (match really_read fd payload 0 h.h_len with
+            | `Eof | `Short -> Fail Truncated
+            | `Stalled _ -> Stalled
+            | `Ok -> (
+                match decode_payload h.h_kind (Bytes.to_string payload) with
+                | msg -> Frame (h.h_id, msg)
+                | exception Err e -> Fail e)))
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      match Unix.write fd b off len with
+      | n ->
+          Obs.Metrics.incr ~by:n m_bytes_written;
+          go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+    end
+  in
+  go 0 (Bytes.length b)
+
+let write_frame fd ~id msg = write_raw fd (encode ~id msg)

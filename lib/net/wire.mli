@@ -1,0 +1,144 @@
+(** cedarnet wire protocol: versioned, length-prefixed binary frames.
+
+    Every frame is a fixed 20-byte header followed by a payload:
+
+    {v
+    offset  size  field
+    0       4     magic "CDRN"
+    4       1     protocol version (currently 1)
+    5       1     message kind
+    6       2     flags (reserved, 0) — big-endian
+    8       8     request id          — big-endian
+    16      4     payload length      — big-endian
+    20      n     payload
+    v}
+
+    Request ids are chosen by the requester and echoed verbatim on the
+    reply, so a pipelined connection can match responses to requests.
+    All multi-byte integers are big-endian; OCaml ints ride as 8-byte
+    two's-complement fields, floats as IEEE-754 bits, strings as a
+    4-byte length followed by the bytes.
+
+    The decoder is total: any byte string either decodes to a frame or
+    to a typed {!error} — it never raises.  A {!Submit} carries the full
+    {!Restructurer.Options.t} (technique set, machine configuration,
+    limits) field by field, so a restructure requested over the wire is
+    byte-identical to one run in process. *)
+
+val magic : string
+(** ["CDRN"], the 4 frame magic bytes. *)
+
+val version : int
+(** Protocol version written into (and required of) every frame. *)
+
+val header_bytes : int
+(** Fixed header size: 20. *)
+
+val hard_max_payload : int
+(** Absolute payload-length ceiling (64 MiB); a header announcing more
+    is a {!Length_overflow} and the stream cannot be resynchronized. *)
+
+type error =
+  | Bad_magic  (** first 4 bytes are not {!magic} *)
+  | Bad_version of int  (** well-formed frame, unknown version *)
+  | Bad_kind of int  (** well-formed frame, unknown message kind *)
+  | Truncated  (** ran out of bytes mid-header or mid-payload *)
+  | Length_overflow of int  (** announced payload exceeds {!hard_max_payload} *)
+  | Malformed of string  (** payload bytes do not decode as the kind *)
+
+val error_to_string : error -> string
+
+(** One restructured loop's verdict, riding the reply so the client
+    sees what the restructurer decided without reparsing anything. *)
+type note = {
+  n_unit : string;  (** program unit name *)
+  n_index : string;  (** loop index variable *)
+  n_depth : int;
+  n_decision : string;  (** e.g. "parallelized", "serial (blocked)" *)
+  n_techniques : string list;  (** techniques that contributed *)
+}
+
+type submit = {
+  sub_name : string;  (** label for reporting *)
+  sub_source : string;  (** fortran77 source text *)
+  sub_options : Restructurer.Options.t;
+  sub_trace : int;  (** caller's {!Obs.Trace} id; 0 = let the server mint *)
+}
+
+(** Reply to a {!Submit} (and the body of every error reply). *)
+type reply =
+  | R_done of {
+      r_cached : bool;
+      r_rung : Service.Server.rung;  (** degradation rung that produced it *)
+      r_text : string;  (** the restructured Cedar Fortran *)
+      r_cycles : float option;
+      r_global_words : float option;
+      r_notes : note list;
+      r_trace : int;  (** the job's end-to-end trace id; 0 = untraced *)
+    }
+  | R_failed of string
+  | R_timeout
+  | R_cancelled
+  | R_overloaded
+      (** shed: the connection or in-flight budget was exhausted; retry
+          later against a less busy server *)
+  | R_too_large of { limit : int; got : int }
+      (** request hygiene: the submitted source exceeded the server's
+          cap and was rejected before parsing *)
+  | R_error of string  (** protocol-level failure (bad frame, bad kind) *)
+
+type message =
+  | Ping
+  | Pong
+  | Submit of submit
+  | Result of reply
+  | Stats_req
+  | Stats_text of string  (** human-readable {!Service.Stats} summary *)
+  | Metrics_req
+  | Metrics_text of string  (** Prometheus text dump *)
+  | Shutdown_req
+  | Shutdown_ack
+
+val message_kind_name : message -> string
+
+val encode : id:int -> message -> string
+(** The complete frame (header + payload) for [message]. *)
+
+val decode : string -> (int * message, error) result
+(** Decode one complete frame; the [int] is the request id.  Total:
+    never raises.  Trailing bytes beyond the announced payload length
+    are a {!Malformed} error. *)
+
+(* ------------------------------------------------------------------ *)
+(* Stream IO                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type read_result =
+  | Frame of int * message
+  | Oversized of int * int
+      (** (request id, announced payload length): the payload exceeded
+          the reader's cap and was drained from the stream in constant
+          memory — the connection stays synchronized and the caller can
+          send a typed rejection *)
+  | Idle
+      (** the read deadline expired with {e zero} bytes consumed: no
+          request is in flight, the connection is merely quiet *)
+  | Stalled
+      (** the read deadline expired {e mid-frame}: the request is
+          abandoned and the connection should be dropped *)
+  | Eof
+  | Fail of error
+
+val read_frame : ?max_payload:int -> Unix.file_descr -> read_result
+(** Read one frame.  [max_payload] (default {!hard_max_payload}) is the
+    reader's soft cap; a larger announced payload is drained and
+    reported {!Oversized}.  Read deadlines are the descriptor's
+    [SO_RCVTIMEO].  Never raises: IO errors map to {!Eof}. *)
+
+val write_frame : Unix.file_descr -> id:int -> message -> unit
+(** Write one frame, looping over partial writes.
+    @raise Unix.Unix_error when the peer is gone. *)
+
+val write_raw : Unix.file_descr -> string -> unit
+(** Write arbitrary bytes (chaos injection: truncated or garbage
+    frames).  @raise Unix.Unix_error *)

@@ -13,12 +13,19 @@ type site =
   | Worker_kill  (** domain death: escapes the job's exception barrier *)
   | Cache_corrupt  (** flip a byte of the payload text stored in the cache *)
   | Validator_reject  (** spurious rejection of a correct result *)
+  | Accept_drop  (** close an accepted connection before reading anything *)
+  | Read_stall  (** stall the server's frame reader (client sees latency) *)
+  | Trunc_write  (** cut a reply frame short and drop the connection *)
+  | Garbage_frame  (** replace a reply frame with bytes that decode to junk *)
 
 exception Injected of site
 (** Raised by the server at a site the injector told to fire. *)
 
 let all_sites =
-  [ Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Validator_reject ]
+  [
+    Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Validator_reject;
+    Accept_drop; Read_stall; Trunc_write; Garbage_frame;
+  ]
 
 let site_index = function
   | Exec_raise -> 0
@@ -26,6 +33,12 @@ let site_index = function
   | Worker_kill -> 2
   | Cache_corrupt -> 3
   | Validator_reject -> 4
+  | Accept_drop -> 5
+  | Read_stall -> 6
+  | Trunc_write -> 7
+  | Garbage_frame -> 8
+
+let n_sites = List.length all_sites
 
 let site_name = function
   | Exec_raise -> "raise"
@@ -33,6 +46,10 @@ let site_name = function
   | Worker_kill -> "kill"
   | Cache_corrupt -> "corrupt"
   | Validator_reject -> "reject"
+  | Accept_drop -> "accept-drop"
+  | Read_stall -> "read-stall"
+  | Trunc_write -> "trunc-write"
+  | Garbage_frame -> "garbage-frame"
 
 let site_of_name = function
   | "raise" -> Some Exec_raise
@@ -40,7 +57,20 @@ let site_of_name = function
   | "kill" -> Some Worker_kill
   | "corrupt" -> Some Cache_corrupt
   | "reject" -> Some Validator_reject
+  | "accept-drop" -> Some Accept_drop
+  | "read-stall" -> Some Read_stall
+  | "trunc-write" -> Some Trunc_write
+  | "garbage-frame" -> Some Garbage_frame
   | _ -> None
+
+(* the in-process job-lifecycle sites, as opposed to the network sites a
+   Net.Server attacks on the wire; "all" in a spec means these, so the
+   historic "--chaos all=0.1" exercises exactly the sites a traffic run
+   can reach, and "net=P" arms the wire sites *)
+let service_sites =
+  [ Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Validator_reject ]
+
+let net_sites = [ Accept_drop; Read_stall; Trunc_write; Garbage_frame ]
 
 type t = {
   seed : int;
@@ -56,13 +86,13 @@ let none =
     seed = 0;
     stealth = false;
     delay_s = 0.0;
-    probs = Array.make 5 0.0;
-    draws = Array.init 5 (fun _ -> Atomic.make 0);
-    fired = Array.init 5 (fun _ -> Atomic.make 0);
+    probs = Array.make n_sites 0.0;
+    draws = Array.init n_sites (fun _ -> Atomic.make 0);
+    fired = Array.init n_sites (fun _ -> Atomic.make 0);
   }
 
 let create ?(seed = 42) ?(stealth = false) ?(delay_ms = 5.0) sites =
-  let probs = Array.make 5 0.0 in
+  let probs = Array.make n_sites 0.0 in
   List.iter
     (fun (s, p) ->
       if p < 0.0 || p > 1.0 then
@@ -74,8 +104,8 @@ let create ?(seed = 42) ?(stealth = false) ?(delay_ms = 5.0) sites =
     stealth;
     delay_s = Float.max 0.0 delay_ms /. 1000.0;
     probs;
-    draws = Array.init 5 (fun _ -> Atomic.make 0);
-    fired = Array.init 5 (fun _ -> Atomic.make 0);
+    draws = Array.init n_sites (fun _ -> Atomic.make 0);
+    fired = Array.init n_sites (fun _ -> Atomic.make 0);
   }
 
 let active t = Array.exists (fun p -> p > 0.0) t.probs
@@ -148,7 +178,7 @@ let log_to_string t =
         if t.probs.(site_index s) <= 0.0 && draws = 0 then None
         else
           Some
-            (Printf.sprintf "  %-8s p=%-5.2f draws %-6d fired %d" (site_name s)
+            (Printf.sprintf "  %-13s p=%-5.2f draws %-6d fired %d" (site_name s)
                t.probs.(site_index s) draws fired))
       (log t)
   in
@@ -160,7 +190,7 @@ let log_to_string t =
         (String.concat "\n" lines)
 
 (* spec grammar: "raise=0.1,delay=0.05,kill=0.01,corrupt=0.1,reject=0.1";
-   "all=P" sets every site at once *)
+   "all=P" sets every in-process site at once, "net=P" every wire site *)
 let parse_spec spec =
   let parts =
     String.split_on_char ',' spec
@@ -180,7 +210,13 @@ let parse_spec spec =
                 match String.trim name with
                 | "all" ->
                     go
-                      (List.rev_append (List.map (fun s -> (s, p)) all_sites)
+                      (List.rev_append
+                         (List.map (fun s -> (s, p)) service_sites)
+                         acc)
+                      rest
+                | "net" ->
+                    go
+                      (List.rev_append (List.map (fun s -> (s, p)) net_sites)
                          acc)
                       rest
                 | name -> (
@@ -190,7 +226,8 @@ let parse_spec spec =
                         Error
                           (Printf.sprintf
                              "unknown fault site %S (want raise, delay, kill, \
-                              corrupt, reject, or all)"
+                              corrupt, reject, accept-drop, read-stall, \
+                              trunc-write, garbage-frame, all, or net)"
                              name))))
         | _ -> Error (Printf.sprintf "bad fault spec part %S (want site=prob)" part)
       )

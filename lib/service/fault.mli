@@ -24,11 +24,22 @@ type site =
   | Worker_kill  (** domain death: escapes the job's exception barrier *)
   | Cache_corrupt  (** flip a byte of the payload text stored in the cache *)
   | Validator_reject  (** spurious rejection of a correct result *)
+  | Accept_drop  (** close an accepted connection before reading anything *)
+  | Read_stall  (** stall the server's frame reader (client sees latency) *)
+  | Trunc_write  (** cut a reply frame short and drop the connection *)
+  | Garbage_frame  (** replace a reply frame with bytes that decode to junk *)
 
 exception Injected of site
 (** Raised by the server at a site the injector told to fire. *)
 
 val all_sites : site list
+
+val service_sites : site list
+(** The in-process job-lifecycle sites ([all] in a [--chaos] spec). *)
+
+val net_sites : site list
+(** The wire sites a {!Net.Server} attacks ([net] in a [--chaos] spec). *)
+
 val site_name : site -> string
 
 type t
@@ -64,5 +75,7 @@ val log_to_string : t -> string
 
 val parse_spec : string -> ((site * float) list, string) result
 (** Parse a [--chaos] spec: comma-separated [site=prob] with sites
-    [raise], [delay], [kill], [corrupt], [reject], or [all] (every
-    site at once), e.g. ["all=0.1"] or ["raise=0.2,kill=0.05"]. *)
+    [raise], [delay], [kill], [corrupt], [reject], [accept-drop],
+    [read-stall], [trunc-write], [garbage-frame], [all] (every
+    in-process site at once) or [net] (every wire site at once),
+    e.g. ["all=0.1"], ["net=0.05"] or ["raise=0.2,kill=0.05"]. *)

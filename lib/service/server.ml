@@ -88,6 +88,7 @@ type t = {
   queue : ticket Bounded_queue.t;
   cache : entry Cache.t;
   fault : Fault.t;
+  max_source_bytes : int;  (** 0 = unlimited *)
   timeout_s : float;  (** infinity = no deadline *)
   retry_base_s : float;
   breaker_threshold : int;
@@ -100,6 +101,7 @@ type t = {
   mutable orphans : (unit Domain.t * wstate) list;
   mutable supervisor : unit Domain.t option;
   mutable stopping : bool;
+  mutable shut : bool;  (* a shutdown drain has started (idempotence) *)
   (* counters, under stat_mutex *)
   mutable submitted : int;
   mutable completed : int;
@@ -121,11 +123,18 @@ type t = {
 }
 
 (* Options.t is closure-free (records, variants, scalars), so Marshal
-   gives a canonical byte string for the digest.  Two equal requests
-   always produce the same key; distinct machine configs or technique
-   sets never collide with each other's results. *)
+   gives a canonical byte string for the digest.  No_sharing matters:
+   default marshalling emits back-references for physically shared
+   blocks (e.g. equal float constants folded together by the compiler
+   in the machine presets), so a structurally equal record rebuilt
+   elsewhere — decoded off the wire, say — would marshal to different
+   bytes and silently miss the cache.  Without sharing the bytes depend
+   only on the structure, so two equal requests always produce the same
+   key; distinct machine configs or technique sets never collide with
+   each other's results. *)
 let cache_key (r : request) =
-  Cache.digest (Marshal.to_string (r.req_source, r.req_options) [])
+  Cache.digest
+    (Marshal.to_string (r.req_source, r.req_options) [ Marshal.No_sharing ])
 
 let now () = Unix.gettimeofday ()
 
@@ -747,7 +756,8 @@ let supervisor_loop t =
 let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
     ?(fault = Fault.none) ?(retry_base_ms = 1.0) ?(breaker_threshold = 5)
     ?(breaker_cooldown_ms = 250.0) ?(wedge_after_ms = 0.0)
-    ?(latency_reservoir = 1024) ~workers ~cache_capacity () =
+    ?(latency_reservoir = 1024) ?(max_source_bytes = 0) ~workers
+    ~cache_capacity () =
   Printexc.record_backtrace true;
   let workers =
     if oversubscribe then max 1 workers
@@ -758,6 +768,7 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
       queue = Bounded_queue.create ~capacity:queue_capacity;
       cache = Cache.create ~capacity:cache_capacity;
       fault;
+      max_source_bytes = max 0 max_source_bytes;
       timeout_s =
         (if timeout_ms > 0.0 then timeout_ms /. 1000.0 else infinity);
       retry_base_s = Float.max 0.0 retry_base_ms /. 1000.0;
@@ -772,6 +783,7 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
       orphans = [];
       supervisor = None;
       stopping = false;
+      shut = false;
       submitted = 0;
       completed = 0;
       failed = 0;
@@ -812,28 +824,65 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
 
 let effective_workers t = Array.length t.slots
 
-let submit t request =
+let source_too_large t request =
+  t.max_source_bytes > 0 && String.length request.req_source > t.max_source_bytes
+
+let oversize_message t request =
+  Printf.sprintf "source too large: %d bytes exceeds the %d-byte limit"
+    (String.length request.req_source)
+    t.max_source_bytes
+
+let make_ticket ?(trace = 0) t request =
   let submitted = now () in
-  let ticket =
-    {
-      tk_request = request;
-      tk_trace =
-        (if Obs.Trace.enabled () then Obs.Trace.fresh_trace_id () else 0);
-      tk_submitted = submitted;
-      tk_deadline = submitted +. t.timeout_s;
-      tk_mutex = Mutex.create ();
-      tk_cond = Condition.create ();
-      tk_outcome = None;
-      tk_tainted = false;
-      tk_requeues = 0;
-    }
-  in
+  {
+    tk_request = request;
+    tk_trace =
+      (if trace <> 0 then trace
+       else if Obs.Trace.enabled () then Obs.Trace.fresh_trace_id ()
+       else 0);
+    tk_submitted = submitted;
+    tk_deadline = submitted +. t.timeout_s;
+    tk_mutex = Mutex.create ();
+    tk_cond = Condition.create ();
+    tk_outcome = None;
+    tk_tainted = false;
+    tk_requeues = 0;
+  }
+
+let submit ?trace t request =
+  let ticket = make_ticket ?trace t request in
   M.incr m_submitted;
   with_lock t.stat_mutex (fun () -> t.submitted <- t.submitted + 1);
-  if not (Bounded_queue.push t.queue ticket) then resolve t ticket Cancelled
+  if source_too_large t request then
+    (* request hygiene: reject before the source ever reaches a parser *)
+    resolve t ticket (Failed (oversize_message t request))
+  else if not (Bounded_queue.push t.queue ticket) then
+    resolve t ticket Cancelled
   else
     M.set_gauge m_queue_depth (float_of_int (Bounded_queue.length t.queue));
   ticket
+
+(* Non-blocking admission for front-ends that must shed load instead of
+   waiting on backpressure: [None] means the queue had no room (or was
+   closed) and nothing was submitted. *)
+let try_submit ?trace t request =
+  if source_too_large t request then begin
+    let ticket = make_ticket ?trace t request in
+    M.incr m_submitted;
+    with_lock t.stat_mutex (fun () -> t.submitted <- t.submitted + 1);
+    resolve t ticket (Failed (oversize_message t request));
+    Some ticket
+  end
+  else begin
+    let ticket = make_ticket ?trace t request in
+    if not (Bounded_queue.try_push t.queue ticket) then None
+    else begin
+      M.incr m_submitted;
+      with_lock t.stat_mutex (fun () -> t.submitted <- t.submitted + 1);
+      M.set_gauge m_queue_depth (float_of_int (Bounded_queue.length t.queue));
+      Some ticket
+    end
+  end
 
 let await ticket =
   Mutex.lock ticket.tk_mutex;
@@ -874,14 +923,38 @@ let stats t =
         ~max_latency_ms:(Reservoir.max_value t.latencies)
         ~wall_s:(now () -. t.started_at))
 
+(* Deterministic drain, reused verbatim by the SIGINT/SIGTERM path of
+   [cedard --serve]:
+
+   1. close the queue — every submit from this instant on resolves
+      [Cancelled], so "did my late submit get served?" has one answer;
+   2. stop and join the supervisor;
+   3. join the workers — they finish their in-flight job and whatever
+      was already queued before the close, then exit on the drained
+      queue;
+   4. salvage anything dead workers left behind;
+   5. flush the final statistics.
+
+   Idempotent: a second caller (e.g. a signal racing the normal exit
+   path) just reads the statistics without re-running the drain. *)
 let shutdown t =
+  let first =
+    with_lock t.pool_mutex (fun () ->
+        if t.shut then false
+        else begin
+          t.shut <- true;
+          true
+        end)
+  in
+  if not first then stats t
+  else begin
+  Bounded_queue.close t.queue;
   with_lock t.pool_mutex (fun () -> t.stopping <- true);
   (match t.supervisor with
   | Some d ->
       Domain.join d;
       t.supervisor <- None
   | None -> ());
-  Bounded_queue.close t.queue;
   Array.iter
     (fun slot ->
       match slot.s_domain with
@@ -911,3 +984,4 @@ let shutdown t =
     t.orphans;
   t.orphans <- [];
   stats t
+  end

@@ -95,6 +95,7 @@ val create :
   ?breaker_cooldown_ms:float ->
   ?wedge_after_ms:float ->
   ?latency_reservoir:int ->
+  ?max_source_bytes:int ->
   workers:int ->
   cache_capacity:int ->
   unit ->
@@ -114,14 +115,25 @@ val create :
     [breaker_cooldown_ms] (default 250) is the open-to-half-open timer.
     [wedge_after_ms <= 0] (the default) disables heartbeat wedge
     detection.  [latency_reservoir] (default 1024) bounds the latency
-    sample size. *)
+    sample size.  [max_source_bytes > 0] rejects any request whose
+    source exceeds the cap — resolved [Failed] with a typed message
+    before the text ever reaches a parser ([0], the default, means
+    unlimited). *)
 
 val effective_workers : t -> int
 (** Worker slots in the pool (after the oversubscription cap). *)
 
-val submit : t -> request -> ticket
+val submit : ?trace:int -> t -> request -> ticket
 (** Enqueue a job; blocks while the queue is full (closed-loop
-    backpressure).  On a closed server the ticket resolves [Cancelled]. *)
+    backpressure).  On a closed server the ticket resolves [Cancelled].
+    [trace] carries a caller-minted {!Obs.Trace} id (e.g. one received
+    over the wire) onto the ticket; when omitted (or [0]) a fresh id is
+    minted iff tracing is enabled. *)
+
+val try_submit : ?trace:int -> t -> request -> ticket option
+(** Non-blocking {!submit} for front-ends that shed load instead of
+    queuing on backpressure: [None] means the queue had no room (or the
+    server was shutting down) and nothing was enqueued. *)
 
 val await : ticket -> outcome
 (** Block until the job resolves.  Every submitted ticket resolves,
@@ -134,7 +146,9 @@ val stats : t -> Stats.t
 (** Snapshot of the counters so far. *)
 
 val shutdown : t -> Stats.t
-(** Stop the supervisor, stop accepting jobs, drain the queue
-    (resolving leftovers [Cancelled]), join every worker and orphan
-    domain, salvage any job a dead worker left behind, and return the
-    final statistics. *)
+(** Deterministic drain: (1) close the queue, so every later submit
+    resolves [Cancelled]; (2) stop and join the supervisor; (3) join the
+    workers — they finish in-flight and already-queued jobs first;
+    (4) salvage anything dead workers or orphans left behind; (5) return
+    the final statistics.  Idempotent — a second (e.g. signal-path)
+    caller just gets the statistics. *)

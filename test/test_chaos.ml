@@ -34,9 +34,16 @@ let direct_serial_text req =
 let test_spec_parsing () =
   (match Fault.parse_spec "all=0.1" with
   | Ok sites ->
-      Alcotest.(check int) "all expands" (List.length Fault.all_sites)
+      Alcotest.(check int) "all expands to the in-process sites"
+        (List.length Fault.service_sites)
         (List.length sites)
   | Error m -> Alcotest.failf "all=0.1 rejected: %s" m);
+  (match Fault.parse_spec "net=0.1" with
+  | Ok sites ->
+      Alcotest.(check int) "net expands to the wire sites"
+        (List.length Fault.net_sites)
+        (List.length sites)
+  | Error m -> Alcotest.failf "net=0.1 rejected: %s" m);
   (match Fault.parse_spec "raise=0.5,kill=0.25" with
   | Ok [ (Fault.Exec_raise, p1); (Fault.Worker_kill, p2) ] ->
       Alcotest.(check (float 1e-9)) "raise prob" 0.5 p1;

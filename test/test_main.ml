@@ -17,4 +17,5 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("obs", Test_obs.tests);
       ("chaos", Test_chaos.tests);
+      ("net", Test_net.tests);
     ]

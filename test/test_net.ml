@@ -1,0 +1,710 @@
+(* cedarnet: wire-codec roundtrip and adversarial-decoder properties,
+   then the TCP front-end end to end over real sockets — byte-identical
+   output vs the in-process driver, trace propagation, request hygiene,
+   admission control under a burst, graceful drain.
+
+   All servers bind 127.0.0.1 port 0 (ephemeral), so tests never collide
+   with each other or anything on the host. *)
+
+module W = Net.Wire
+module G = QCheck.Gen
+
+let cedar = Machine.Config.cedar_config1
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_techniques =
+  (* one bit per field, in declaration order — any mapping works, the
+     property only needs the record to survive the wire *)
+  G.map
+    (fun mask ->
+      let b i = mask land (1 lsl i) <> 0 in
+      {
+        Restructurer.Options.scalar_privatization = b 0;
+        scalar_expansion = b 1;
+        simple_induction = b 2;
+        simple_reduction = b 3;
+        doacross = b 4;
+        stripmining = b 5;
+        if_to_where = b 6;
+        inline_expansion = b 7;
+        loop_interchange = b 8;
+        recurrence_substitution = b 9;
+        array_privatization = b 10;
+        generalized_reduction = b 11;
+        giv_substitution = b 12;
+        runtime_dep_test = b 13;
+        critical_sections = b 14;
+        interprocedural = b 15;
+        loop_fusion = b 16;
+        loop_distribution = b 17;
+      })
+    (G.int_bound ((1 lsl 18) - 1))
+
+let gen_options =
+  let open G in
+  let* techniques = gen_techniques in
+  let* machine =
+    oneofl [ Machine.Config.cedar_config1; Machine.Config.cedar_config2 ]
+  in
+  let* max_versions = int_bound 100 in
+  let* strip = int_range 1 64 in
+  let* max_depth = int_bound 5 in
+  let* max_stmts = int_bound 200 in
+  let* placement_default =
+    oneofl
+      [ Transform.Globalize.Default_global; Transform.Globalize.Default_cluster ]
+  in
+  let* assumed_trip = int_range 1 10_000 in
+  let* validate = bool in
+  return
+    {
+      Restructurer.Options.techniques;
+      machine;
+      max_versions;
+      strip;
+      inline_limits = { Transform.Inline.max_depth; max_stmts };
+      placement_default;
+      assumed_trip;
+      validate;
+    }
+
+let gen_string = G.(string_size ~gen:char (int_bound 200))
+
+let gen_submit =
+  let open G in
+  let* sub_name = gen_string in
+  let* sub_source = string_size ~gen:char (int_bound 5000) in
+  let* sub_options = gen_options in
+  let* sub_trace = int_bound 1_000_000 in
+  return (W.Submit { W.sub_name; sub_source; sub_options; sub_trace })
+
+let gen_note =
+  let open G in
+  let* n_unit = gen_string in
+  let* n_index = gen_string in
+  let* n_depth = int_bound 9 in
+  let* n_decision = gen_string in
+  let* n_techniques = list_size (int_bound 5) gen_string in
+  return { W.n_unit; n_index; n_depth; n_decision; n_techniques }
+
+(* floats minted from ints so structural equality is exact (no NaN) *)
+let gen_opt_float =
+  G.(
+    oneof
+      [ return None; map (fun n -> Some (float_of_int n /. 16.0)) int ])
+
+let gen_reply =
+  let open G in
+  frequency
+    [
+      ( 4,
+        let* r_cached = bool in
+        let* r_rung =
+          oneofl
+            [
+              Service.Server.Full;
+              Service.Server.Conservative;
+              Service.Server.Passthrough;
+            ]
+        in
+        let* r_text = string_size ~gen:char (int_bound 5000) in
+        let* r_cycles = gen_opt_float in
+        let* r_global_words = gen_opt_float in
+        let* r_notes = list_size (int_bound 6) gen_note in
+        let* r_trace = int_bound 1_000_000 in
+        return
+          (W.R_done
+             {
+               r_cached;
+               r_rung;
+               r_text;
+               r_cycles;
+               r_global_words;
+               r_notes;
+               r_trace;
+             }) );
+      (1, map (fun m -> W.R_failed m) gen_string);
+      (1, return W.R_timeout);
+      (1, return W.R_cancelled);
+      (1, return W.R_overloaded);
+      ( 1,
+        let* limit = int_bound 1_000_000 in
+        let* got = int_bound 10_000_000 in
+        return (W.R_too_large { limit; got }) );
+      (1, map (fun m -> W.R_error m) gen_string);
+    ]
+
+let gen_message =
+  let open G in
+  frequency
+    [
+      (1, return W.Ping);
+      (1, return W.Pong);
+      (4, gen_submit);
+      (4, map (fun r -> W.Result r) gen_reply);
+      (1, return W.Stats_req);
+      (1, map (fun s -> W.Stats_text s) gen_string);
+      (1, return W.Metrics_req);
+      (1, map (fun s -> W.Metrics_text s) gen_string);
+      (1, return W.Shutdown_req);
+      (1, return W.Shutdown_ack);
+    ]
+
+let arbitrary_frame =
+  QCheck.make
+    G.(pair (int_bound max_int) gen_message)
+    ~print:(fun (id, m) ->
+      Printf.sprintf "id=%d kind=%s" id (W.message_kind_name m))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire: decode (encode m) = m" ~count:500
+    ~long_factor:20 arbitrary_frame (fun (id, msg) ->
+      match W.decode (W.encode ~id msg) with
+      | Ok (id', msg') -> id' = id && msg' = msg
+      | Error e -> QCheck.Test.fail_reportf "decode: %s" (W.error_to_string e))
+
+let prop_decoder_total =
+  QCheck.Test.make ~name:"wire: decoder never raises on arbitrary bytes"
+    ~count:2000 ~long_factor:20
+    (QCheck.make G.(string_size ~gen:char (int_bound 256)))
+    (fun junk ->
+      match W.decode junk with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "decoder raised %s" (Printexc.to_string e))
+
+let prop_corrupt_payload =
+  (* flip one payload byte of a valid frame: decode must return, not
+     raise — and if it still decodes, the header must be intact *)
+  QCheck.Test.make ~name:"wire: one-byte payload corruption fails typed"
+    ~count:300 ~long_factor:20
+    (QCheck.make
+       G.(triple (int_bound 1000) gen_submit (int_bound 10_000)))
+    (fun (id, msg, at) ->
+      let frame = Bytes.of_string (W.encode ~id msg) in
+      if Bytes.length frame <= W.header_bytes then true
+      else begin
+        let pos =
+          W.header_bytes + (at mod (Bytes.length frame - W.header_bytes))
+        in
+        Bytes.set frame pos
+          (Char.chr (Char.code (Bytes.get frame pos) lxor 0x40));
+        match W.decode (Bytes.to_string frame) with
+        | Ok (id', _) -> id' = id
+        | Error _ -> true
+        | exception e ->
+            QCheck.Test.fail_reportf "decoder raised %s"
+              (Printexc.to_string e)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial decoder unit tests                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_err name expected got =
+  match got with
+  | Error e ->
+      Alcotest.(check string) name expected (W.error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: decoded successfully" name
+
+let test_decoder_adversarial () =
+  let ping = W.encode ~id:7 W.Ping in
+  (* empty and short inputs *)
+  (match W.decode "" with
+  | Error W.Truncated -> ()
+  | _ -> Alcotest.fail "empty: expected Truncated");
+  (match W.decode (String.sub ping 0 (W.header_bytes - 1)) with
+  | Error W.Truncated -> ()
+  | _ -> Alcotest.fail "short header: expected Truncated");
+  (* bad magic *)
+  let bad_magic = "XDRN" ^ String.sub ping 4 (String.length ping - 4) in
+  (match W.decode bad_magic with
+  | Error W.Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic: expected Bad_magic");
+  (* wrong version *)
+  let bad_version = Bytes.of_string ping in
+  Bytes.set bad_version 4 (Char.chr 9);
+  (match W.decode (Bytes.to_string bad_version) with
+  | Error (W.Bad_version 9) -> ()
+  | _ -> Alcotest.fail "version 9: expected Bad_version 9");
+  (* unknown kind *)
+  let bad_kind = Bytes.of_string ping in
+  Bytes.set bad_kind 5 (Char.chr 99);
+  (match W.decode (Bytes.to_string bad_kind) with
+  | Error (W.Bad_kind 99) -> ()
+  | _ -> Alcotest.fail "kind 99: expected Bad_kind 99");
+  (* truncated payload *)
+  let submit =
+    W.encode ~id:1
+      (W.Submit
+         {
+           W.sub_name = "t";
+           sub_source = "      END\n";
+           sub_options = Restructurer.Options.auto_1991 cedar;
+           sub_trace = 0;
+         })
+  in
+  (match W.decode (String.sub submit 0 (String.length submit - 3)) with
+  | Error W.Truncated -> ()
+  | _ -> Alcotest.fail "cut frame: expected Truncated");
+  (* length overflow: announce 0xFFFFFFFF payload bytes *)
+  let overflow = Bytes.of_string ping in
+  for i = 16 to 19 do
+    Bytes.set overflow i '\xff'
+  done;
+  (match W.decode (Bytes.to_string overflow) with
+  | Error (W.Length_overflow _) -> ()
+  | _ -> Alcotest.fail "huge length: expected Length_overflow");
+  (* trailing bytes beyond the announced payload *)
+  check_err "trailing bytes"
+    (match W.decode (ping ^ "x") with
+    | Error e -> W.error_to_string e
+    | Ok _ -> Alcotest.fail "trailing bytes: decoded successfully")
+    (W.decode (ping ^ "x"))
+
+let test_roundtrip_huge_payload () =
+  (* multi-MB frame regression: a 3 MiB source survives the codec *)
+  let source = String.init (3 * 1024 * 1024) (fun i -> Char.chr (i land 0x7f)) in
+  let msg =
+    W.Submit
+      {
+        W.sub_name = "huge";
+        sub_source = source;
+        sub_options = Restructurer.Options.advanced cedar;
+        sub_trace = 0xBEEF;
+      }
+  in
+  match W.decode (W.encode ~id:42 msg) with
+  | Ok (42, W.Submit s) ->
+      Alcotest.(check int) "source length" (String.length source)
+        (String.length s.W.sub_source);
+      Alcotest.(check bool) "source intact" true (s.W.sub_source = source)
+  | Ok _ -> Alcotest.fail "decoded to the wrong frame"
+  | Error e -> Alcotest.failf "decode: %s" (W.error_to_string e)
+
+let test_roundtrip_empty_options () =
+  (* all-false techniques, minimal fields — the all-zeros mask *)
+  let opts =
+    {
+      (Restructurer.Options.auto_1991 cedar) with
+      Restructurer.Options.techniques =
+        {
+          Restructurer.Options.scalar_privatization = false;
+          scalar_expansion = false;
+          simple_induction = false;
+          simple_reduction = false;
+          doacross = false;
+          stripmining = false;
+          if_to_where = false;
+          inline_expansion = false;
+          loop_interchange = false;
+          recurrence_substitution = false;
+          array_privatization = false;
+          generalized_reduction = false;
+          giv_substitution = false;
+          runtime_dep_test = false;
+          critical_sections = false;
+          interprocedural = false;
+          loop_fusion = false;
+          loop_distribution = false;
+        };
+    }
+  in
+  let msg =
+    W.Submit
+      { W.sub_name = ""; sub_source = ""; sub_options = opts; sub_trace = 0 }
+  in
+  match W.decode (W.encode ~id:0 msg) with
+  | Ok (0, msg') -> Alcotest.(check bool) "equal" true (msg = msg')
+  | Ok _ -> Alcotest.fail "wrong id"
+  | Error e -> Alcotest.failf "decode: %s" (W.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Socket helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_net ?(cfg = Net.Server.default_cfg) ?fault ?(workers = 2) f =
+  let svc =
+    Service.Server.create ~workers ~cache_capacity:64 ~oversubscribe:true
+      ~max_source_bytes:cfg.Net.Server.max_source_bytes ()
+  in
+  let net = Net.Server.create ?fault cfg svc in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Server.drain net;
+      ignore (Service.Server.shutdown svc))
+    (fun () -> f svc net (Net.Server.port net))
+
+let connect_raw port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  fd
+
+let saxpy_source =
+  "      SUBROUTINE SAXPY(N, A, X, Y)\n\
+  \      REAL X(N), Y(N), A\n\
+  \      DO 10 I = 1, N\n\
+  \         Y(I) = Y(I) + A * X(I)\n\
+  \   10 CONTINUE\n\
+  \      RETURN\n\
+  \      END\n"
+
+let submit_msg ?(trace = 0) ?(name = "saxpy") ?(source = saxpy_source) () =
+  W.Submit
+    {
+      W.sub_name = name;
+      sub_source = source;
+      sub_options = Restructurer.Options.auto_1991 cedar;
+      sub_trace = trace;
+    }
+
+let read_result fd =
+  match W.read_frame fd with
+  | W.Frame (id, W.Result r) -> (id, r)
+  | W.Frame (_, m) ->
+      Alcotest.failf "expected Result, got %s" (W.message_kind_name m)
+  | other ->
+      Alcotest.failf "expected a frame, got %s"
+        (match other with
+        | W.Idle -> "Idle"
+        | W.Stalled -> "Stalled"
+        | W.Eof -> "Eof"
+        | W.Oversized _ -> "Oversized"
+        | W.Fail e -> W.error_to_string e
+        | W.Frame _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over real sockets                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_e2e_byte_identical () =
+  (* the acceptance bar: restructuring over the wire is byte-identical
+     to calling the driver in process, across the whole corpus *)
+  let opts = Restructurer.Options.auto_1991 cedar in
+  with_net @@ fun _svc _net port ->
+  match Net.Client.connect (Net.Client.default_cfg ~port) with
+  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Ok client ->
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close client)
+        (fun () ->
+          List.iter
+            (fun w ->
+              let n = w.Workloads.Workload.small_size in
+              let source = w.Workloads.Workload.source n in
+              let expected =
+                Fortran.Printer.program_to_string
+                  (Restructurer.Driver.restructure opts
+                     (Fortran.Parser.parse_program source))
+                    .Restructurer.Driver.program
+              in
+              match
+                Net.Client.submit client ~name:w.Workloads.Workload.name
+                  ~options:opts source
+              with
+              | Ok (W.R_done { r_text; _ }) ->
+                  Alcotest.(check bool)
+                    (w.Workloads.Workload.name ^ " byte-identical")
+                    true (r_text = expected)
+              | Ok r ->
+                  Alcotest.failf "%s: unexpected reply %s"
+                    w.Workloads.Workload.name
+                    (match r with
+                    | W.R_failed m -> "Failed: " ^ m
+                    | W.R_timeout -> "Timeout"
+                    | W.R_cancelled -> "Cancelled"
+                    | W.R_overloaded -> "Overloaded"
+                    | W.R_too_large _ -> "TooLarge"
+                    | W.R_error m -> "Error: " ^ m
+                    | W.R_done _ -> assert false)
+              | Error msg ->
+                  Alcotest.failf "%s: %s" w.Workloads.Workload.name msg)
+            (Service.Traffic.corpus ()))
+
+let test_trace_propagation () =
+  with_net @@ fun _svc _net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      W.write_frame fd ~id:5 (submit_msg ~trace:0xC0FFEE ());
+      match read_result fd with
+      | 5, W.R_done { r_trace; _ } ->
+          Alcotest.(check int) "trace id rode end-to-end" 0xC0FFEE r_trace
+      | _, r ->
+          Alcotest.failf "unexpected reply %s"
+            (match r with W.R_failed m -> m | _ -> "(not done)"))
+
+let test_pipelining_ids () =
+  (* several requests in flight on one connection: every reply arrives
+     and echoes its request id *)
+  with_net @@ fun _svc _net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ids = [ 11; 22; 33; 44 ] in
+      List.iter (fun id -> W.write_frame fd ~id (submit_msg ())) ids;
+      let got = List.map (fun _ -> fst (read_result fd)) ids in
+      Alcotest.(check (list int)) "ids echoed in order" ids got)
+
+let test_too_large_keeps_connection () =
+  (* oversized submit: typed rejection, constant-memory drain, and the
+     connection survives to serve the next request *)
+  let cfg =
+    { Net.Server.default_cfg with Net.Server.max_source_bytes = 4096 }
+  in
+  with_net ~cfg @@ fun _svc _net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* frame-level: 2 MiB source blows the reader's frame cap *)
+      let big = String.make (2 * 1024 * 1024) 'x' in
+      W.write_frame fd ~id:1 (submit_msg ~source:big ());
+      (match read_result fd with
+      | 1, W.R_too_large { got; _ } ->
+          Alcotest.(check bool) "got >= announced" true
+            (got > 2 * 1024 * 1024)
+      | _, _ -> Alcotest.fail "expected R_too_large for the huge frame");
+      (* service-level: past the frame cap check but over the source cap *)
+      let medium = String.make 5000 'y' in
+      W.write_frame fd ~id:2 (submit_msg ~source:medium ());
+      (match read_result fd with
+      | 2, W.R_too_large { limit; got } ->
+          Alcotest.(check int) "limit echoed" 4096 limit;
+          Alcotest.(check int) "got echoed" 5000 got
+      | _, _ -> Alcotest.fail "expected R_too_large for the medium source");
+      (* the stream is still synchronized *)
+      W.write_frame fd ~id:3 W.Ping;
+      match W.read_frame fd with
+      | W.Frame (3, W.Pong) -> ()
+      | _ -> Alcotest.fail "connection did not survive the rejections")
+
+let test_overload_burst () =
+  (* 4x the in-flight budget in one pipelined burst: every request gets
+     a reply, the excess is explicitly Overloaded, and the high-water
+     mark proves the budget held (bounded memory) *)
+  let budget = 2 in
+  let cfg =
+    { Net.Server.default_cfg with Net.Server.max_inflight = budget }
+  in
+  with_net ~cfg ~workers:1 @@ fun _svc net port ->
+  (* a heavy job keeps the single worker busy while the burst lands *)
+  let corpus = Service.Traffic.corpus () in
+  let heavy =
+    String.concat "\n"
+      (List.concat_map
+         (fun w ->
+           [ w.Workloads.Workload.source w.Workloads.Workload.small_size ])
+         corpus)
+  in
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = 4 * budget in
+      for id = 1 to n do
+        W.write_frame fd ~id (submit_msg ~name:"burst" ~source:heavy ())
+      done;
+      let done_ = ref 0 and overloaded = ref 0 in
+      for _ = 1 to n do
+        match read_result fd with
+        | _, W.R_done _ -> incr done_
+        | _, W.R_overloaded -> incr overloaded
+        | _, r ->
+            Alcotest.failf "unexpected reply %s"
+              (match r with W.R_failed m -> m | _ -> "(not done)")
+      done;
+      Alcotest.(check int) "every request answered" n (!done_ + !overloaded);
+      Alcotest.(check bool) "excess was shed" true (!overloaded > 0);
+      Alcotest.(check bool) "budget held" true
+        (Net.Server.inflight_high_water net <= budget);
+      Alcotest.(check bool) "shed counted" true
+        (Net.Server.shed_total net >= !overloaded))
+
+let test_conn_budget_shed () =
+  let cfg = { Net.Server.default_cfg with Net.Server.max_conns = 1 } in
+  with_net ~cfg @@ fun _svc _net port ->
+  let fd1 = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd1 with Unix.Unix_error _ -> ())
+    (fun () ->
+      W.write_frame fd1 ~id:1 W.Ping;
+      (match W.read_frame fd1 with
+      | W.Frame (1, W.Pong) -> ()
+      | _ -> Alcotest.fail "first connection should be served");
+      let fd2 = connect_raw port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          match W.read_frame fd2 with
+          | W.Frame (0, W.Result W.R_overloaded) -> ()
+          | W.Eof -> Alcotest.fail "shed without the explicit frame"
+          | _ -> Alcotest.fail "second connection should be shed"))
+
+let test_stalled_sender_dropped () =
+  let cfg =
+    { Net.Server.default_cfg with Net.Server.read_timeout_s = 0.3 }
+  in
+  with_net ~cfg @@ fun _svc _net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* half a header, then silence: the deadline must fire and the
+         server must drop us *)
+      ignore (Unix.write fd (Bytes.of_string "CDRN\001") 0 5);
+      let buf = Bytes.create 64 in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      match Unix.read fd buf 0 64 with
+      | 0 -> ()
+      | n -> Alcotest.failf "expected EOF, read %d bytes" n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Alcotest.fail "server kept a stalled connection open")
+
+let test_garbage_frame_from_client () =
+  with_net @@ fun _svc _net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      W.write_raw fd (String.make 64 'Z');
+      match W.read_frame fd with
+      | W.Frame (0, W.Result (W.R_error _)) -> ()
+      | W.Eof -> Alcotest.fail "dropped without the typed error reply"
+      | _ -> Alcotest.fail "expected a typed protocol error")
+
+let test_graceful_drain_flushes_replies () =
+  (* requests in flight when the drain starts still get their replies *)
+  with_net @@ fun svc net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ids = [ 1; 2; 3 ] in
+      List.iter (fun id -> W.write_frame fd ~id (submit_msg ())) ids;
+      (* a drain rejects requests not yet admitted, so wait until all
+         three are inside the service before starting it *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (Service.Server.stats svc).Service.Stats.submitted < 3
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.yield ()
+      done;
+      Net.Server.drain net;
+      let got =
+        List.map
+          (fun _ ->
+            match read_result fd with
+            | id, W.R_done _ -> id
+            | id, W.R_cancelled -> id (* raced the pool shutdown: still typed *)
+            | _, _ -> Alcotest.fail "unexpected reply during drain")
+          ids
+      in
+      Alcotest.(check (list int)) "all replies flushed" ids got;
+      (match W.read_frame fd with
+      | W.Eof -> ()
+      | _ -> Alcotest.fail "expected EOF after the drain");
+      (* the service pool survives the net drain; its own shutdown is
+         deterministic and idempotent *)
+      ignore (Service.Server.shutdown svc);
+      ignore (Service.Server.shutdown svc))
+
+let test_metrics_http () =
+  let ep =
+    Net.Metrics_http.start ~port:0 (fun () -> "cedar_up 1\n")
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Metrics_http.stop ep)
+    (fun () ->
+      let fd = connect_raw (Net.Metrics_http.port ep) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+          ignore (Unix.write_substring fd req 0 (String.length req));
+          let buf = Buffer.create 256 in
+          let chunk = Bytes.create 256 in
+          let rec slurp () =
+            match Unix.read fd chunk 0 256 with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                slurp ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          slurp ();
+          let response = Buffer.contents buf in
+          Alcotest.(check bool) "200 OK" true
+            (String.length response >= 15
+            && String.sub response 0 15 = "HTTP/1.0 200 OK");
+          let has_body =
+            let needle = "cedar_up 1" in
+            let rec find i =
+              i + String.length needle <= String.length response
+              && (String.sub response i (String.length needle) = needle
+                 || find (i + 1))
+            in
+            find 0
+          in
+          Alcotest.(check bool) "body served" true has_body))
+
+let test_client_connect_fast_fail () =
+  (* a dead port fails within the backoff schedule, not a kernel-default
+     TCP timeout *)
+  let cfg =
+    {
+      (Net.Client.default_cfg ~port:1) with
+      Net.Client.max_attempts = 2;
+      backoff_s = 0.01;
+      connect_timeout_s = 1.0;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  match Net.Client.connect cfg with
+  | Ok _ -> Alcotest.fail "connected to a dead port?"
+  | Error _ ->
+      Alcotest.(check bool) "failed quickly" true
+        (Unix.gettimeofday () -. t0 < 10.0)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decoder_total;
+    QCheck_alcotest.to_alcotest prop_corrupt_payload;
+    Alcotest.test_case "decoder: adversarial inputs fail typed" `Quick
+      test_decoder_adversarial;
+    Alcotest.test_case "codec: multi-MB payload roundtrip" `Quick
+      test_roundtrip_huge_payload;
+    Alcotest.test_case "codec: empty options roundtrip" `Quick
+      test_roundtrip_empty_options;
+    Alcotest.test_case "e2e: socket output byte-identical to in-process"
+      `Slow test_e2e_byte_identical;
+    Alcotest.test_case "e2e: trace id propagates end-to-end" `Quick
+      test_trace_propagation;
+    Alcotest.test_case "e2e: pipelined requests echo their ids" `Quick
+      test_pipelining_ids;
+    Alcotest.test_case "hygiene: too-large rejected, connection survives"
+      `Quick test_too_large_keeps_connection;
+    Alcotest.test_case "overload: 4x burst shed with bounded in-flight"
+      `Slow test_overload_burst;
+    Alcotest.test_case "overload: connection budget sheds explicitly" `Quick
+      test_conn_budget_shed;
+    Alcotest.test_case "deadline: stalled sender is dropped" `Quick
+      test_stalled_sender_dropped;
+    Alcotest.test_case "protocol: garbage frame answered typed" `Quick
+      test_garbage_frame_from_client;
+    Alcotest.test_case "drain: in-flight replies flush" `Quick
+      test_graceful_drain_flushes_replies;
+    Alcotest.test_case "metrics: http endpoint serves the dump" `Quick
+      test_metrics_http;
+    Alcotest.test_case "client: dead port fails fast" `Quick
+      test_client_connect_fast_fail;
+  ]

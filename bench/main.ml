@@ -9,6 +9,8 @@
      bench/main.exe micro       -- bechamel microbenchmarks only
      bench/main.exe service     -- traffic-generator run, writes
                                    BENCH_service.json
+     bench/main.exe cluster     -- cedarproxy scaling pass only (1/2/4
+                                   shards + kill-a-shard), prints JSON
 *)
 
 let micro () =
@@ -209,6 +211,128 @@ let net_pass () =
     (fl inproc) budget osum.Net.Client.d_requests
     osum.Net.Client.d_overloaded shed_rate high_water
 
+(* Cluster pass: the same closed-loop drive through cedarproxy over 1,
+   2, and 4 in-process shards — the scaling table.  Caches are warmed
+   with the identical request sequence first, so the steady-state
+   numbers measure routed serving, not restructuring.  For multi-shard
+   configurations a second drive runs with one shard killed, measuring
+   failover throughput and how much of the victim's warm set the ring
+   successor answers from its replicas. *)
+let cluster_pass () =
+  let base = Service.Traffic.default_cfg in
+  let requests = base.Service.Traffic.requests in
+  let conns = 8 in
+  let run_one n =
+    let handles =
+      List.init n (fun i ->
+          let id = Printf.sprintf "s%d" i in
+          let repl = ref None in
+          let on_cache_fill ~key ~digest payload =
+            match !repl with
+            | Some r -> Cluster.Replicator.push r ~key ~digest payload
+            | None -> ()
+          in
+          let svc =
+            Service.Server.create ~workers:2 ~cache_capacity:256
+              ~timeout_ms:30_000.0 ~oversubscribe:true ~shard_id:id
+              ~on_cache_fill ()
+          in
+          let net = Net.Server.create Net.Server.default_cfg svc in
+          (id, svc, net, repl))
+    in
+    let shards =
+      List.map
+        (fun (id, _, net, _) ->
+          { Cluster.Membership.sh_id = id; sh_host = "127.0.0.1";
+            sh_port = Net.Server.port net })
+        handles
+    in
+    if n > 1 then
+      List.iter
+        (fun (id, _, _, repl) ->
+          repl := Some (Cluster.Replicator.create ~self:id ~peers:shards ()))
+        handles;
+    let proxy = Cluster.Proxy.create ~probe_ms:200.0 shards in
+    let ccfg = Net.Client.default_cfg ~port:(Cluster.Proxy.port proxy) in
+    let dcfg =
+      {
+        Net.Client.requests;
+        conns;
+        seed = base.Service.Traffic.seed;
+        size_jitter = base.Service.Traffic.size_jitter;
+        batch = base.Service.Traffic.batch;
+        validate = false;
+      }
+    in
+    ignore (Net.Client.drive ccfg dcfg) (* warm every shard's cache *);
+    if n > 1 then Thread.delay 0.3 (* let the async replication land *);
+    let s = Net.Client.drive ccfg dcfg in
+    Printf.printf "cluster n=%d %s\n%!" n
+      (Net.Client.drive_summary_to_string s);
+    let tp summary =
+      if summary.Net.Client.d_wall_s > 0.0 then
+        float_of_int summary.Net.Client.d_requests
+        /. summary.Net.Client.d_wall_s
+      else 0.0
+    in
+    let pct p summary =
+      1e3 *. Net.Client.percentile p summary.Net.Client.d_latencies
+    in
+    let kill_json =
+      if n <= 1 then "null"
+      else begin
+        (* kill shard s0 and re-drive the same sequence: the victim's
+           keys fail over to the ring successor's replicas *)
+        let _, _, victim_net, _ = List.hd handles in
+        Net.Server.drain victim_net;
+        let sk = Net.Client.drive ccfg dcfg in
+        Printf.printf "cluster n=%d (s0 killed) %s\n%!" n
+          (Net.Client.drive_summary_to_string sk);
+        let replica_hits =
+          List.fold_left
+            (fun acc (id, svc, _, _) ->
+              if id = "s0" then acc
+              else
+                acc + (Service.Server.stats svc).Service.Stats.replicated_hits)
+            0 handles
+        in
+        Printf.sprintf
+          {|{ "jobs_per_s": %.2f, "rtt_p99_ms": %.2f, "done": %d, "failed": %d, "overloaded": %d, "failovers": %d, "replica_hits": %d, "replica_hit_rate": %.4f }|}
+          (tp sk) (pct 99.0 sk) sk.Net.Client.d_done sk.Net.Client.d_failed
+          sk.Net.Client.d_overloaded
+          (Cluster.Proxy.failover_total proxy)
+          replica_hits
+          (float_of_int replica_hits /. float_of_int requests)
+      end
+    in
+    let json =
+      Printf.sprintf
+        {|{ "shards": %d, "jobs_per_s": %.2f, "rtt_p50_ms": %.2f, "rtt_p99_ms": %.2f, "done": %d, "failed": %d, "after_kill": %s }|}
+        n (tp s) (pct 50.0 s) (pct 99.0 s) s.Net.Client.d_done
+        s.Net.Client.d_failed kill_json
+    in
+    Cluster.Proxy.drain proxy;
+    List.iter
+      (fun (_, svc, net, repl) ->
+        (match !repl with
+        | Some r -> Cluster.Replicator.stop r
+        | None -> ());
+        Net.Server.drain net;
+        ignore (Service.Server.shutdown svc))
+      handles;
+    json
+  in
+  Printf.sprintf
+    {|{
+    "requests_per_pass": %d,
+    "conns": %d,
+    "passes": [
+      %s
+    ]
+  }|}
+    requests conns
+    (String.concat ",\n      " (List.map run_one [ 1; 2; 4 ]))
+
 let service_bench () =
   let workers = 4 in
   let cfg = Service.Traffic.default_cfg in
@@ -294,6 +418,8 @@ let service_bench () =
   print_endline (Service.Stats.to_string chaos_stats);
   print_endline "--- net pass (cedarnet TCP front-end) ---";
   let net_json = net_pass () in
+  print_endline "--- cluster pass (cedarproxy over 1/2/4 shards) ---";
+  let cluster_json = cluster_pass () in
   let json =
     Printf.sprintf
       {|{
@@ -328,7 +454,8 @@ let service_bench () =
   "chaos_degraded": %d,
   "chaos_corrupt_dropped": %d,
   "chaos_faults_injected": %d,
-  "net": %s
+  "net": %s,
+  "cluster": %s
 }
 |}
       cfg.Service.Traffic.requests workers effective
@@ -355,7 +482,7 @@ let service_bench () =
       chaos_stats.Service.Stats.retries chaos_stats.Service.Stats.respawns
       chaos_stats.Service.Stats.degraded
       chaos_stats.Service.Stats.corrupt_dropped
-      chaos_stats.Service.Stats.faults_injected net_json
+      chaos_stats.Service.Stats.faults_injected net_json cluster_json
   in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;
@@ -381,8 +508,9 @@ let () =
   | [ "synthetic" ] -> Experiments.print_synthetic ()
   | [ "micro" ] -> micro ()
   | [ "service" ] -> service_bench ()
+  | [ "cluster" ] -> print_endline (cluster_pass ())
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service]";
+         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service|cluster]";
       exit 2

@@ -232,18 +232,33 @@ let fetch_text what host port timeout_s =
       0
   | Error msg -> transport msg
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "machine-readable JSON instead of the human text (protocol v2; \
+           requires a v2 server)")
+
+let stats host port timeout_s json =
+  fetch_text
+    (if json then Net.Client.stats_json else Net.Client.stats)
+    host port timeout_s
+
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"fetch the service stats summary")
-    Term.(
-      const (fetch_text Net.Client.stats) $ host_arg $ port_arg $ timeout_arg)
+    Term.(const stats $ host_arg $ port_arg $ timeout_arg $ json_arg)
+
+let metrics host port timeout_s json =
+  fetch_text
+    (if json then Net.Client.metrics_json else Net.Client.metrics)
+    host port timeout_s
 
 let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics" ~doc:"fetch the Prometheus metrics dump")
-    Term.(
-      const (fetch_text Net.Client.metrics)
-      $ host_arg $ port_arg $ timeout_arg)
+    Term.(const metrics $ host_arg $ port_arg $ timeout_arg $ json_arg)
 
 let shutdown host port timeout_s =
   with_client (client_cfg host port timeout_s) @@ fun c ->
@@ -318,11 +333,46 @@ let drive_cmd =
       const drive $ host_arg $ port_arg $ timeout_arg $ requests_arg
       $ conns_arg $ seed_arg $ jitter_arg $ batch_arg $ drive_validate_arg)
 
+(* ---- cluster (against a cedarproxy) ---- *)
+
+let cluster_members host port timeout_s =
+  fetch_text Net.Client.members host port timeout_s
+
+let cluster_members_cmd =
+  Cmd.v
+    (Cmd.info "members"
+       ~doc:"fetch ring membership and shard health from a cedarproxy")
+    Term.(const cluster_members $ host_arg $ port_arg $ timeout_arg)
+
+let cluster_stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "fetch the cluster-wide aggregated stats (proxy counters plus \
+          every live shard's snapshot)")
+    Term.(const stats $ host_arg $ port_arg $ timeout_arg $ json_arg)
+
+let cluster_metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"fetch the proxy's metrics registry")
+    Term.(const metrics $ host_arg $ port_arg $ timeout_arg $ json_arg)
+
+let cluster_cmd =
+  Cmd.group
+    (Cmd.info "cluster"
+       ~doc:
+         "cluster-level queries against a cedarproxy (a plain shard \
+          answers stats/metrics but has no membership view)")
+    [ cluster_members_cmd; cluster_stats_cmd; cluster_metrics_cmd ]
+
 (* ---- entry ---- *)
 
 let cmd =
-  let doc = "client for a cedard --serve instance" in
+  let doc = "client for a cedard --serve instance or a cedarproxy" in
   Cmd.group (Cmd.info "cedarctl" ~doc)
-    [ ping_cmd; submit_cmd; stats_cmd; metrics_cmd; shutdown_cmd; drive_cmd ]
+    [
+      ping_cmd; submit_cmd; stats_cmd; metrics_cmd; shutdown_cmd; drive_cmd;
+      cluster_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

@@ -10,6 +10,38 @@
 
 open Cmdliner
 
+(* "--cluster id=host:port,id=host:port,...": the full static shard
+   set, this shard included — every shard and the proxy must be started
+   with the same list (and the same vnode count) so they agree on the
+   ring without coordination. *)
+let parse_cluster_spec spec =
+  let parse_one part =
+    match String.index_opt part '=' with
+    | None -> Error (Printf.sprintf "%S: expected id=host:port" part)
+    | Some eq -> (
+        let id = String.sub part 0 eq in
+        let addr = String.sub part (eq + 1) (String.length part - eq - 1) in
+        match String.rindex_opt addr ':' with
+        | None -> Error (Printf.sprintf "%S: expected id=host:port" part)
+        | Some colon -> (
+            let host = String.sub addr 0 colon in
+            let port_s =
+              String.sub addr (colon + 1) (String.length addr - colon - 1)
+            in
+            match int_of_string_opt port_s with
+            | Some port when id <> "" && host <> "" && port > 0 ->
+                Ok { Cluster.Membership.sh_id = id; sh_host = host; sh_port = port }
+            | _ -> Error (Printf.sprintf "%S: expected id=host:port" part)))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match parse_one (String.trim part) with
+        | Ok shard -> go (shard :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] (String.split_on_char ',' spec)
+
 (* --validate acceptance sweep: restructure the whole corpus under both
    technique sets with the validator on, then hold the shipped output to
    the paper's standard — the independent static checker must accept the
@@ -131,7 +163,8 @@ let serve server fault ~host ~port ~max_conns ~max_inflight
 let run workers cache_size timeout_ms requests clients seed jitter batch
     oversubscribe validate chaos chaos_seed chaos_stealth chaos_delay_ms
     trace_file metrics serve_port host max_conns max_inflight
-    max_source_bytes net_timeout_s metrics_port verbose =
+    max_source_bytes net_timeout_s metrics_port shard_id cluster_spec
+    vnodes verbose =
   let tracer =
     match trace_file with
     | None -> None
@@ -157,16 +190,60 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
       2
   | Ok fault ->
   let chaotic = Service.Fault.active fault in
+  let cluster =
+    match cluster_spec with
+    | None -> Ok None
+    | Some spec -> (
+        match parse_cluster_spec spec with
+        | Ok shards -> Ok (Some shards)
+        | Error _ as e -> e)
+  in
+  match cluster with
+  | Error msg ->
+      Printf.eprintf "cedard: bad --cluster spec: %s\n" msg;
+      2
+  | Ok peers ->
+  (* warm-cache replication: only meaningful with a shard identity and
+     at least one peer to push to *)
+  let replicator =
+    match peers with
+    | Some peers when shard_id <> "" && List.length peers > 1 ->
+        Some (Cluster.Replicator.create ~vnodes ~self:shard_id ~peers ())
+    | _ -> None
+  in
+  let on_cache_fill =
+    Option.map
+      (fun r ~key ~digest payload ->
+        Cluster.Replicator.push r ~key ~digest payload)
+      replicator
+  in
   let server =
     Service.Server.create ~workers ~cache_capacity:cache_size ~timeout_ms
-      ~oversubscribe ~fault ~max_source_bytes ()
+      ~oversubscribe ~fault ~max_source_bytes ~shard_id ?on_cache_fill ()
+  in
+  let stop_replicator () =
+    match replicator with
+    | None -> ()
+    | Some r ->
+        Cluster.Replicator.stop r;
+        let c = Cluster.Replicator.counts r in
+        Printf.printf
+          "cedard: replication pushed %d (admitted %d, rejected %d), \
+           dropped %d, transport errors %d\n"
+          c.Cluster.Replicator.pushed c.Cluster.Replicator.admitted
+          c.Cluster.Replicator.rejected c.Cluster.Replicator.dropped
+          c.Cluster.Replicator.errors
   in
   match serve_port with
   | Some port ->
+      if shard_id <> "" then
+        Printf.printf "cedard: shard %s in a %d-shard cluster\n%!" shard_id
+          (match peers with Some p -> List.length p | None -> 1);
       let code =
         serve server fault ~host ~port ~max_conns ~max_inflight
           ~max_source_bytes ~net_timeout_s ~metrics_port ~metrics
       in
+      stop_replicator ();
       (match (tracer, trace_file) with
       | Some tr, Some path ->
           Obs.Trace.flush tr;
@@ -237,6 +314,7 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
     else true
   in
   let stats = Service.Server.shutdown server in
+  stop_replicator ();
   print_endline "--- service stats ---";
   print_endline (Service.Stats.to_string stats);
   (match tracer with
@@ -457,6 +535,32 @@ let metrics_port_arg =
           "with --serve, also serve the Prometheus text dump over HTTP \
            on $(docv) (0 picks an ephemeral port)")
 
+let shard_id_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "shard-id" ] ~docv:"ID"
+        ~doc:
+          "this server's identity inside a cedar-cluster; shows up in \
+           stats and names this shard on the consistent-hash ring")
+
+let cluster_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cluster" ] ~docv:"SPEC"
+        ~doc:
+          "the full static shard set as id=host:port,id=host:port,... \
+           (this shard included).  With --shard-id, enables warm-cache \
+           replication: every fresh full-rung result is pushed to its \
+           ring successor.  Every shard and the proxy must be given the \
+           same list and --vnodes")
+
+let vnodes_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "vnodes" ] ~docv:"V"
+        ~doc:"virtual nodes per shard on the consistent-hash ring")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print extra detail")
 
@@ -470,6 +574,7 @@ let cmd =
       $ validate_arg $ chaos_arg $ chaos_seed_arg $ chaos_stealth_arg
       $ chaos_delay_arg $ trace_arg $ metrics_arg $ serve_arg $ host_arg
       $ max_conns_arg $ max_inflight_arg $ max_source_arg $ net_timeout_arg
-      $ metrics_port_arg $ verbose_arg)
+      $ metrics_port_arg $ shard_id_arg $ cluster_arg $ vnodes_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,191 @@
+type state = Up | Suspect | Down
+
+let state_name = function Up -> "up" | Suspect -> "suspect" | Down -> "down"
+
+type shard = { sh_id : string; sh_host : string; sh_port : int }
+
+type tracked = {
+  shard : shard;
+  mutable st : state;
+  mutable fails : int;  (* consecutive *)
+}
+
+type t = {
+  vnodes : int;
+  probe_s : float;
+  down_after : int;
+  timeout_s : float;
+  seed : int;
+  mutex : Mutex.t;
+  tracked : tracked array;
+  full_ring : Ring.t;  (* all static members: the all-down fallback *)
+  mutable live_ring : Ring.t;
+  mutable tick : int;  (* jitter draw counter *)
+  mutable stopping : bool;
+  mutable prober : Thread.t option;
+}
+
+module M = Obs.Metrics
+
+let m_transitions =
+  M.counter M.global ~help:"membership state transitions"
+    "cluster_member_transitions_total"
+
+let m_down =
+  M.gauge M.global ~help:"shards currently marked down" "cluster_members_down"
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* splitmix64 finalizer, same family as Service.Fault and Net.Client *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float seed n =
+  let bits = mix64 (Int64.of_int ((seed * 0x3779fb9) lxor n)) in
+  Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.0
+
+(* must hold the lock *)
+let rebuild_ring t =
+  let live =
+    Array.to_list t.tracked
+    |> List.filter_map (fun tr ->
+           if tr.st <> Down then Some tr.shard.sh_id else None)
+  in
+  t.live_ring <-
+    (if live = [] then t.full_ring else Ring.make ~vnodes:t.vnodes live);
+  M.set_gauge m_down
+    (float_of_int
+       (Array.fold_left
+          (fun n tr -> if tr.st = Down then n + 1 else n)
+          0 t.tracked))
+
+let apply_success t tr =
+  with_lock t (fun () ->
+      tr.fails <- 0;
+      if tr.st <> Up then begin
+        tr.st <- Up;
+        M.incr m_transitions;
+        rebuild_ring t
+      end)
+
+let apply_failure t tr =
+  with_lock t (fun () ->
+      tr.fails <- tr.fails + 1;
+      let next = if tr.fails >= t.down_after then Down else Suspect in
+      if tr.st <> next then begin
+        tr.st <- next;
+        M.incr m_transitions;
+        if next = Down then rebuild_ring t
+      end)
+
+let find t id =
+  Array.to_list t.tracked |> List.find_opt (fun tr -> tr.shard.sh_id = id)
+
+let note_failure t id =
+  match find t id with None -> () | Some tr -> apply_failure t tr
+
+let note_success t id =
+  match find t id with None -> () | Some tr -> apply_success t tr
+
+(* One-shot ping: a single connection attempt with tight timeouts — the
+   probe must never hang the loop behind a dead host. *)
+let probe_shard t tr =
+  let cfg =
+    {
+      (Net.Client.default_cfg ~port:tr.shard.sh_port) with
+      Net.Client.host = tr.shard.sh_host;
+      connect_timeout_s = t.timeout_s;
+      request_timeout_s = t.timeout_s;
+      max_attempts = 1;
+    }
+  in
+  match Net.Client.connect cfg with
+  | Error _ -> apply_failure t tr
+  | Ok c ->
+      (match Net.Client.ping c with
+      | Ok _ -> apply_success t tr
+      | Error _ -> apply_failure t tr);
+      Net.Client.close c
+
+let probe_once t = Array.iter (fun tr -> probe_shard t tr) t.tracked
+
+let probe_loop t =
+  while not t.stopping do
+    probe_once t;
+    let n = with_lock t (fun () -> t.tick <- t.tick + 1; t.tick) in
+    (* jitter the period ±50% so a proxy fleet never probes in phase *)
+    let delay = t.probe_s *. (0.5 +. unit_float t.seed n) in
+    (* sleep in small slices so stop is prompt *)
+    let slices = max 1 (int_of_float (delay /. 0.05)) in
+    let slice = delay /. float_of_int slices in
+    let i = ref 0 in
+    while (not t.stopping) && !i < slices do
+      Thread.delay slice;
+      incr i
+    done
+  done
+
+let create ?(vnodes = 64) ?(probe_ms = 500.0) ?(down_after = 2)
+    ?(timeout_s = 1.0) ?(seed = 0x5eed) ?(auto_probe = true) shards =
+  let ids = List.map (fun s -> s.sh_id) shards in
+  let full_ring = Ring.make ~vnodes ids in
+  let t =
+    {
+      vnodes;
+      probe_s = Float.max 0.01 (probe_ms /. 1000.0);
+      down_after = max 1 down_after;
+      timeout_s;
+      seed;
+      mutex = Mutex.create ();
+      tracked =
+        Array.of_list
+          (List.map (fun shard -> { shard; st = Up; fails = 0 }) shards);
+      full_ring;
+      live_ring = full_ring;
+      tick = 0;
+      stopping = false;
+      prober = None;
+    }
+  in
+  if auto_probe then t.prober <- Some (Thread.create probe_loop t);
+  t
+
+let ring t = with_lock t (fun () -> t.live_ring)
+
+let shard_of_id t id =
+  match find t id with None -> None | Some tr -> Some tr.shard
+
+let snapshot t =
+  with_lock t (fun () ->
+      Array.to_list t.tracked
+      |> List.map (fun tr -> (tr.shard, tr.st, tr.fails)))
+
+let members_json t =
+  let shards =
+    snapshot t
+    |> List.map (fun (s, st, fails) ->
+           Printf.sprintf
+             "{\"id\":\"%s\",\"host\":\"%s\",\"port\":%d,\"state\":\"%s\",\"fails\":%d}"
+             s.sh_id s.sh_host s.sh_port (state_name st) fails)
+  in
+  "{\"shards\":[" ^ String.concat "," shards ^ "]}"
+
+let stop t =
+  t.stopping <- true;
+  match t.prober with
+  | None -> ()
+  | Some th ->
+      t.prober <- None;
+      Thread.join th

@@ -1,0 +1,70 @@
+(** Cluster membership and shard health.
+
+    The static shard set is given at creation; what this module tracks
+    is which of them are currently routable.  Health is probed with the
+    protocol's own {!Net.Wire.Ping} on a seeded, jittered loop (so a
+    fleet of proxies does not synchronize its probes), and demotions
+    also arrive from the data path — the proxy reports a transport
+    error on a routed request via {!note_failure}, which is faster than
+    waiting for the next probe tick.
+
+    States: [Up] (routable), [Suspect] (missed probes, still routable —
+    the failover path covers it), [Down] (missed [down_after]
+    consecutive probes, removed from the ring until a probe succeeds
+    again).  Transitions are monotone per observation: one success
+    resets to [Up], failures only ever demote. *)
+
+type state = Up | Suspect | Down
+
+val state_name : state -> string
+
+type shard = { sh_id : string; sh_host : string; sh_port : int }
+
+type t
+
+val create :
+  ?vnodes:int ->
+  ?probe_ms:float ->
+  ?down_after:int ->
+  ?timeout_s:float ->
+  ?seed:int ->
+  ?auto_probe:bool ->
+  shard list ->
+  t
+(** Start tracking the given shards (all initially [Up]).  [vnodes]
+    (default 64) is per-shard ring weight; [probe_ms] (default 500)
+    the mean probe period, jittered ±50% per tick; [down_after]
+    (default 2) consecutive failures demote to [Down]; [timeout_s]
+    (default 1) bounds each probe's connect and round trip; [seed]
+    makes the jitter stream deterministic.  [auto_probe:false]
+    (default [true]) suppresses the background thread — tests then
+    drive probing synchronously with {!probe_once}. *)
+
+val ring : t -> Ring.t
+(** The current routing ring: every shard not [Down].  Falls back to
+    the full static ring when {e every} shard is down — routing into a
+    dead shard yields a typed error, whereas routing into an empty
+    ring could only shed. *)
+
+val shard_of_id : t -> string -> shard option
+
+val snapshot : t -> (shard * state * int) list
+(** Every shard with its state and consecutive-failure count. *)
+
+val note_failure : t -> string -> unit
+(** Data-path demotion: a routed request hit a transport error on this
+    shard id.  Counts like a failed probe. *)
+
+val note_success : t -> string -> unit
+(** Data-path promotion: the shard answered; resets it to [Up]. *)
+
+val probe_once : t -> unit
+(** One synchronous probe pass over every shard (ping, apply
+    transitions).  The background loop calls exactly this. *)
+
+val members_json : t -> string
+(** Membership as JSON:
+    [{"shards":[{"id":...,"host":...,"port":...,"state":...,"fails":...},...]}] *)
+
+val stop : t -> unit
+(** Stop the probe thread (if any) and join it.  Idempotent. *)

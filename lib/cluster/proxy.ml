@@ -1,0 +1,505 @@
+(* Thread structure mirrors Net.Server: one accept thread woken through
+   a self-pipe, one reader thread per client connection.  Where the
+   single-node server hands submits to the in-process service pool, the
+   proxy hands each one to a relay thread that walks the ring
+   candidates through the per-shard pools; replies are written back
+   under the connection's write mutex, so pipelined requests interleave
+   safely. *)
+
+module M = Obs.Metrics
+
+type cfg = {
+  host : string;
+  port : int;
+  max_conns : int;
+  max_inflight : int;
+  failover : int;
+  read_timeout_s : float;
+  shard_timeout_s : float;
+}
+
+let default_cfg =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_conns = 64;
+    max_inflight = 256;
+    failover = 2;
+    read_timeout_s = 30.0;
+    shard_timeout_s = 60.0;
+  }
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_wmutex : Mutex.t;
+  c_alive : int Atomic.t;  (* reader + outstanding relay threads *)
+  mutable c_dead : bool;
+}
+
+type t = {
+  cfg : cfg;
+  members : Membership.t;
+  pools : (string * Pool.t) list;  (* by shard id *)
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  draining : bool Atomic.t;
+  inflight : int Atomic.t;
+  routed : int Atomic.t;
+  failovers : int Atomic.t;
+  shed : int Atomic.t;
+  route_counters : (string * M.counter) list;  (* per shard id *)
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable accept_thread : Thread.t option;
+}
+
+let m_failover =
+  M.counter M.global ~help:"submits served by a ring successor after the owner failed"
+    "cluster_failover_total"
+
+let m_shed =
+  M.counter M.global ~help:"requests shed by the proxy (budget or no live shard)"
+    "cluster_proxy_shed_total"
+
+let m_inflight =
+  M.gauge M.global ~help:"submits in flight through the proxy"
+    "cluster_proxy_inflight"
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let kill_conn conn =
+  conn.c_dead <- true;
+  try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let send conn ~id msg =
+  with_lock conn.c_wmutex (fun () ->
+      if not conn.c_dead then
+        try Net.Wire.write_frame conn.c_fd ~id msg
+        with Unix.Unix_error _ -> kill_conn conn)
+
+(* ------------------------------------------------------------------ *)
+(* Relaying                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pool_of t id = List.assoc_opt id t.pools
+
+let route_counter t id =
+  match List.assoc_opt id t.route_counters with
+  | Some c -> Some c
+  | None -> None
+
+(* Walk the candidates.  A typed reply from a shard — any reply, even
+   Overloaded from its admission control — proves the shard is alive;
+   only R_overloaded among typed replies justifies trying the next
+   candidate (the successor may have room).  A transport error demotes
+   the shard and moves on. *)
+let relay_submit t (s : Net.Wire.submit) =
+  let key =
+    Service.Server.cache_key
+      {
+        Service.Server.req_name = s.Net.Wire.sub_name;
+        req_source = s.Net.Wire.sub_source;
+        req_options = s.Net.Wire.sub_options;
+      }
+  in
+  let candidates =
+    Ring.route (Membership.ring t.members) key ~n:(max 1 t.cfg.failover)
+  in
+  let rec go i = function
+    | [] ->
+        Atomic.incr t.shed;
+        M.incr m_shed;
+        Net.Wire.R_overloaded
+    | shard_id :: rest -> (
+        let try_next () = go (i + 1) rest in
+        match pool_of t shard_id with
+        | None -> try_next ()
+        | Some pool -> (
+            match
+              Pool.with_client pool (fun c ->
+                  Net.Client.submit ~trace:s.Net.Wire.sub_trace c
+                    ~name:s.Net.Wire.sub_name
+                    ~options:s.Net.Wire.sub_options s.Net.Wire.sub_source)
+            with
+            | Ok reply -> (
+                Membership.note_success t.members shard_id;
+                match reply with
+                | Net.Wire.R_overloaded when rest <> [] ->
+                    (* saturated, not dead: spill to the successor *)
+                    try_next ()
+                | reply ->
+                    Atomic.incr t.routed;
+                    (match route_counter t shard_id with
+                    | Some c -> M.incr c
+                    | None -> ());
+                    if i > 0 then begin
+                      Atomic.incr t.failovers;
+                      M.incr m_failover
+                    end;
+                    reply)
+            | Error _ ->
+                Membership.note_failure t.members shard_id;
+                try_next ()))
+  in
+  go 0 candidates
+
+(* Cache pushes addressed to the proxy are forwarded to the key's owner
+   — lets tooling seed the cluster's warm cache through the front door. *)
+let relay_cache_push t (p : Net.Wire.cache_push) =
+  match Ring.lookup (Membership.ring t.members) p.Net.Wire.cp_key with
+  | None -> false
+  | Some shard_id -> (
+      match pool_of t shard_id with
+      | None -> false
+      | Some pool -> (
+          match Pool.with_client pool (fun c -> Net.Client.cache_push c p) with
+          | Ok admitted -> admitted
+          | Error _ ->
+              Membership.note_failure t.members shard_id;
+              false))
+
+(* ------------------------------------------------------------------ *)
+(* Cluster-wide observability                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* per-shard fetch for the aggregated views; Down shards are reported
+   as unreachable without being dialed *)
+let fetch_from_shard t (shard : Membership.shard) st f =
+  if st = Membership.Down then Error "down"
+  else
+    match pool_of t shard.Membership.sh_id with
+    | None -> Error "unknown shard"
+    | Some pool -> Pool.with_client pool f
+
+let aggregated_stats_json t =
+  let shards =
+    Membership.snapshot t.members
+    |> List.map (fun (shard, st, _) ->
+           let body =
+             match fetch_from_shard t shard st Net.Client.stats_json with
+             | Ok json -> json
+             | Error _ -> "null"
+           in
+           Printf.sprintf "\"%s\":%s" shard.Membership.sh_id body)
+  in
+  Printf.sprintf
+    "{\"proxy\":{\"routed\":%d,\"failovers\":%d,\"shed\":%d,\"members\":%s},\"shards\":{%s}}"
+    (Atomic.get t.routed) (Atomic.get t.failovers) (Atomic.get t.shed)
+    (Membership.members_json t.members)
+    (String.concat "," shards)
+
+let aggregated_stats_text t =
+  let header =
+    Printf.sprintf "cluster     routed %d  failovers %d  shed %d"
+      (Atomic.get t.routed) (Atomic.get t.failovers) (Atomic.get t.shed)
+  in
+  let sections =
+    Membership.snapshot t.members
+    |> List.map (fun (shard, st, fails) ->
+           let title =
+             Printf.sprintf "--- shard %s (%s:%d) %s, %d consecutive fails ---"
+               shard.Membership.sh_id shard.Membership.sh_host
+               shard.Membership.sh_port (Membership.state_name st) fails
+           in
+           let body =
+             match fetch_from_shard t shard st Net.Client.stats with
+             | Ok text -> text
+             | Error msg -> "unreachable: " ^ msg
+           in
+           title ^ "\n" ^ body)
+  in
+  String.concat "\n" (header :: sections)
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection reader                                               *)
+(* ------------------------------------------------------------------ *)
+
+let thread_finished t conn =
+  if Atomic.fetch_and_add conn.c_alive (-1) = 1 then begin
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    with_lock t.conns_mutex (fun () ->
+        t.conns <- List.filter (fun c -> not (c == conn)) t.conns)
+  end
+
+let rec try_reserve t =
+  let cur = Atomic.get t.inflight in
+  if cur >= t.cfg.max_inflight then false
+  else if Atomic.compare_and_set t.inflight cur (cur + 1) then begin
+    M.set_gauge m_inflight (float_of_int (cur + 1));
+    true
+  end
+  else try_reserve t
+
+let release t =
+  Atomic.decr t.inflight;
+  M.set_gauge m_inflight (float_of_int (Atomic.get t.inflight))
+
+let spawn_relay t conn ~id work =
+  Atomic.incr conn.c_alive;
+  ignore
+    (Thread.create
+       (fun () ->
+         (try
+            let reply = work () in
+            send conn ~id reply
+          with _ -> ());
+         release t;
+         thread_finished t conn)
+       ())
+
+let dispatch t conn ~id msg =
+  match msg with
+  | Net.Wire.Ping ->
+      send conn ~id Net.Wire.Pong;
+      `Continue
+  | Net.Wire.Submit s ->
+      if not (try_reserve t) then begin
+        Atomic.incr t.shed;
+        M.incr m_shed;
+        send conn ~id (Net.Wire.Result Net.Wire.R_overloaded)
+      end
+      else
+        spawn_relay t conn ~id (fun () ->
+            Net.Wire.Result (relay_submit t s));
+      `Continue
+  | Net.Wire.Cache_push p ->
+      if not (try_reserve t) then begin
+        Atomic.incr t.shed;
+        M.incr m_shed;
+        send conn ~id (Net.Wire.Cache_ack false)
+      end
+      else
+        spawn_relay t conn ~id (fun () ->
+            Net.Wire.Cache_ack (relay_cache_push t p));
+      `Continue
+  | Net.Wire.Stats_req ->
+      send conn ~id (Net.Wire.Stats_text (aggregated_stats_text t));
+      `Continue
+  | Net.Wire.Stats_json_req ->
+      send conn ~id (Net.Wire.Stats_json (aggregated_stats_json t));
+      `Continue
+  | Net.Wire.Metrics_req ->
+      send conn ~id (Net.Wire.Metrics_text (M.dump M.global));
+      `Continue
+  | Net.Wire.Metrics_json_req ->
+      send conn ~id (Net.Wire.Metrics_json (M.to_json M.global));
+      `Continue
+  | Net.Wire.Members_req ->
+      send conn ~id (Net.Wire.Members_text (Membership.members_json t.members));
+      `Continue
+  | Net.Wire.Shutdown_req ->
+      (* stops the proxy only; shards are shut down by their own owners *)
+      send conn ~id Net.Wire.Shutdown_ack;
+      Atomic.set t.stop true;
+      (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+       with Unix.Unix_error _ -> ());
+      `Close
+  | Net.Wire.Pong | Net.Wire.Result _ | Net.Wire.Stats_text _
+  | Net.Wire.Metrics_text _ | Net.Wire.Shutdown_ack | Net.Wire.Cache_ack _
+  | Net.Wire.Stats_json _ | Net.Wire.Metrics_json _ | Net.Wire.Members_text _
+    ->
+      send conn ~id
+        (Net.Wire.Result
+           (Net.Wire.R_error
+              (Printf.sprintf "unexpected %s frame from a client"
+                 (Net.Wire.message_kind_name msg))));
+      `Close
+
+let reader t conn =
+  let rec loop () =
+    if conn.c_dead || Atomic.get t.draining then ()
+    else
+      match Net.Wire.read_frame conn.c_fd with
+      | Net.Wire.Idle -> loop ()
+      | Net.Wire.Frame (id, msg) -> (
+          match dispatch t conn ~id msg with
+          | `Continue -> loop ()
+          | `Close -> ())
+      | Net.Wire.Oversized (id, got) ->
+          send conn ~id
+            (Net.Wire.Result
+               (Net.Wire.R_too_large
+                  { limit = Net.Wire.hard_max_payload; got }));
+          loop ()
+      | Net.Wire.Stalled -> kill_conn conn
+      | Net.Wire.Eof -> ()
+      | Net.Wire.Fail err ->
+          send conn ~id:0
+            (Net.Wire.Result
+               (Net.Wire.R_error (Net.Wire.error_to_string err)))
+  in
+  (try loop () with _ -> ());
+  thread_finished t conn
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop / lifecycle                                             *)
+(* ------------------------------------------------------------------ *)
+
+let handle_accept t fd =
+  let active = with_lock t.conns_mutex (fun () -> List.length t.conns) in
+  if active >= t.cfg.max_conns then begin
+    Atomic.incr t.shed;
+    M.incr m_shed;
+    (try Net.Wire.write_frame fd ~id:0 (Net.Wire.Result Net.Wire.R_overloaded)
+     with Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    if t.cfg.read_timeout_s > 0.0 then
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout_s
+       with Unix.Unix_error _ -> ());
+    let conn =
+      {
+        c_fd = fd;
+        c_wmutex = Mutex.create ();
+        c_alive = Atomic.make 1;
+        c_dead = false;
+      }
+    in
+    with_lock t.conns_mutex (fun () -> t.conns <- conn :: t.conns);
+    ignore (Thread.create (fun () -> reader t conn) ())
+  end
+
+let accept_loop t =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
+    | ready, _, _ ->
+        if List.mem t.wake_r ready then ()
+        else if List.mem t.listen_fd ready then begin
+          match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
+          | fd, _addr -> handle_accept t fd
+        end
+  done
+
+let create ?(cfg = default_cfg) ?(vnodes = 64) ?(probe_ms = 500.0)
+    ?(down_after = 2) ?(seed = 0x5eed) shards =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let members =
+    Membership.create ~vnodes ~probe_ms ~down_after
+      ~timeout_s:(Float.min 1.0 cfg.shard_timeout_s) ~seed shards
+  in
+  let pools =
+    List.map
+      (fun (s : Membership.shard) ->
+        let ccfg =
+          {
+            (Net.Client.default_cfg ~port:s.Membership.sh_port) with
+            Net.Client.host = s.Membership.sh_host;
+            connect_timeout_s = Float.min 5.0 cfg.shard_timeout_s;
+            request_timeout_s = cfg.shard_timeout_s;
+            max_attempts = 2;
+          }
+        in
+        (s.Membership.sh_id, Pool.create ccfg))
+      shards
+  in
+  let route_counters =
+    List.map
+      (fun (s : Membership.shard) ->
+        ( s.Membership.sh_id,
+          M.counter M.global ~help:"submits routed to this shard"
+            (Printf.sprintf "cluster_route_%s_total" s.Membership.sh_id) ))
+      shards
+  in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+  (try Unix.bind listen_fd addr
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Membership.stop members;
+     raise e);
+  Unix.listen listen_fd 64;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      members;
+      pools;
+      listen_fd;
+      bound_port;
+      wake_r;
+      wake_w;
+      stop = Atomic.make false;
+      draining = Atomic.make false;
+      inflight = Atomic.make 0;
+      routed = Atomic.make 0;
+      failovers = Atomic.make 0;
+      shed = Atomic.make 0;
+      route_counters;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+let membership t = t.members
+
+let request_stop t =
+  Atomic.set t.stop true;
+  try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+  with Unix.Unix_error _ -> ()
+
+let wait_stop t =
+  while not (Atomic.get t.stop) do
+    Thread.delay 0.05
+  done
+
+let drain t =
+  if not (Atomic.exchange t.draining true) then begin
+    request_stop t;
+    (match t.accept_thread with
+    | Some th ->
+        Thread.join th;
+        t.accept_thread <- None
+    | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    (* stop the readers; relay threads finish their shard round trips
+       and write their replies before the connection closes *)
+    let conns = with_lock t.conns_mutex (fun () -> t.conns) in
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      conns;
+    (* wait for the per-connection threads to drain *)
+    let rec settle tries =
+      let left = with_lock t.conns_mutex (fun () -> List.length t.conns) in
+      if left > 0 && tries > 0 then begin
+        Thread.delay 0.02;
+        settle (tries - 1)
+      end
+    in
+    settle 500;
+    Membership.stop t.members;
+    List.iter (fun (_, p) -> Pool.close_all p) t.pools
+  end
+
+let routed_total t = Atomic.get t.routed
+let failover_total t = Atomic.get t.failovers
+let shed_total t = Atomic.get t.shed

@@ -1,0 +1,76 @@
+(** The cluster balancer: a cedarnet server whose backend is other
+    cedarnet servers.
+
+    Speaks {!Net.Wire} on both sides.  Clients connect exactly as they
+    would to a single cedard; each [Submit] is content-addressed with
+    the same canonical key the shards use ({!Service.Server.cache_key})
+    and routed to the key's ring owner, so the same program always
+    lands on the same shard — and therefore in the same warm cache.
+    Requests pipeline: each admitted submit is relayed on its own
+    thread through a per-shard connection pool.
+
+    Failure handling, in order of preference: a shard that answers
+    typed (even [R_overloaded]) is believed; a transport failure demotes
+    the shard in {!Membership} and the request retries on the ring
+    successor (safe — submits are idempotent by content-addressed key);
+    when every candidate is unreachable or saturated the proxy sheds
+    with the protocol's existing [R_overloaded].
+
+    The proxy also serves cluster-wide observability: [Stats_req] /
+    [Stats_json_req] aggregate every live shard's snapshot,
+    [Members_req] reports ring membership, [Metrics_req] dumps the
+    proxy's own registry. *)
+
+type cfg = {
+  host : string;
+  port : int;  (** 0 = ephemeral *)
+  max_conns : int;
+  max_inflight : int;  (** across all client connections *)
+  failover : int;  (** ring candidates tried per submit (owner included) *)
+  read_timeout_s : float;  (** client-side quiet timeout *)
+  shard_timeout_s : float;  (** per-shard connect and round-trip bound *)
+}
+
+val default_cfg : cfg
+(** 127.0.0.1, ephemeral port, 64 conns, 256 in flight, failover 2,
+    30 s reads, 60 s shard timeout. *)
+
+type t
+
+val create :
+  ?cfg:cfg ->
+  ?vnodes:int ->
+  ?probe_ms:float ->
+  ?down_after:int ->
+  ?seed:int ->
+  Membership.shard list ->
+  t
+(** Start the proxy over the given shards: builds the membership view
+    (with its jittered probe loop), the per-shard pools, and the
+    accept thread.  Ring parameters must match the shards' replicators
+    ([vnodes], default 64). *)
+
+val port : t -> int
+(** The bound TCP port. *)
+
+val membership : t -> Membership.t
+
+val request_stop : t -> unit
+(** Ask the proxy to stop (signal-handler safe). *)
+
+val wait_stop : t -> unit
+(** Block until {!request_stop} is called. *)
+
+val drain : t -> unit
+(** Stop accepting, finish in-flight relays, stop probing, close the
+    pools.  Idempotent. *)
+
+val routed_total : t -> int
+(** Submits relayed to a shard (first attempt or failover). *)
+
+val failover_total : t -> int
+(** Submits that succeeded only on a non-first candidate. *)
+
+val shed_total : t -> int
+(** Requests answered [R_overloaded] by the proxy itself (budget
+    exhausted or no live candidate). *)

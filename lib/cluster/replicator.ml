@@ -1,0 +1,146 @@
+type item = { it_key : string; it_digest : string; it_payload : Service.Server.payload }
+
+type counts = {
+  pushed : int;
+  admitted : int;
+  rejected : int;
+  dropped : int;
+  errors : int;
+}
+
+type t = {
+  self : string;
+  ring : Ring.t;
+  pools : (string * Pool.t) list;  (* by shard id, self excluded *)
+  queue : item Service.Bounded_queue.t;
+  c_pushed : int Atomic.t;
+  c_admitted : int Atomic.t;
+  c_rejected : int Atomic.t;
+  c_dropped : int Atomic.t;
+  c_errors : int Atomic.t;
+  mutable sender : Thread.t option;
+}
+
+module M = Obs.Metrics
+
+let m_pushed =
+  M.counter M.global ~help:"warm-cache entries pushed to a ring successor"
+    "cluster_replication_pushed_total"
+
+let m_admitted =
+  M.counter M.global ~help:"warm-cache pushes admitted by the peer"
+    "cluster_replication_admitted_total"
+
+let m_dropped =
+  M.counter M.global ~help:"warm-cache pushes dropped on a full queue"
+    "cluster_replication_dropped_total"
+
+let m_errors =
+  M.counter M.global ~help:"warm-cache pushes lost to transport errors"
+    "cluster_replication_errors_total"
+
+let cache_push_of_item it =
+  let p = it.it_payload in
+  {
+    Net.Wire.cp_key = it.it_key;
+    cp_digest = it.it_digest;
+    cp_name = p.Service.Server.p_name;
+    cp_text = p.Service.Server.p_text;
+    cp_cycles = p.Service.Server.p_cycles;
+    cp_global_words = p.Service.Server.p_global_words;
+    cp_notes = List.map Net.Wire.note_of_report p.Service.Server.p_reports;
+  }
+
+let send_one t it =
+  match Ring.successor t.ring t.self ~key:it.it_key with
+  | None -> () (* single-shard cluster: nowhere to replicate *)
+  | Some target -> (
+      match List.assoc_opt target t.pools with
+      | None -> Atomic.incr t.c_errors
+      | Some pool -> (
+          match
+            Pool.with_client pool (fun c ->
+                Net.Client.cache_push c (cache_push_of_item it))
+          with
+          | Ok admitted ->
+              Atomic.incr t.c_pushed;
+              M.incr m_pushed;
+              if admitted then begin
+                Atomic.incr t.c_admitted;
+                M.incr m_admitted
+              end
+              else Atomic.incr t.c_rejected
+          | Error _ ->
+              Atomic.incr t.c_errors;
+              M.incr m_errors))
+
+let sender_loop t =
+  let rec go () =
+    match Service.Bounded_queue.pop t.queue with
+    | None -> () (* closed and drained *)
+    | Some it ->
+        (try send_one t it with _ -> Atomic.incr t.c_errors);
+        go ()
+  in
+  go ()
+
+let create ?(vnodes = 64) ?(queue_capacity = 256) ?(timeout_s = 5.0) ~self
+    ~peers () =
+  let ids = List.map (fun s -> s.Membership.sh_id) peers in
+  let ring = Ring.make ~vnodes ids in
+  let pools =
+    peers
+    |> List.filter (fun s -> s.Membership.sh_id <> self)
+    |> List.map (fun s ->
+           let cfg =
+             {
+               (Net.Client.default_cfg ~port:s.Membership.sh_port) with
+               Net.Client.host = s.Membership.sh_host;
+               connect_timeout_s = timeout_s;
+               request_timeout_s = timeout_s;
+               max_attempts = 2;
+             }
+           in
+           (s.Membership.sh_id, Pool.create ~max_idle:2 cfg))
+  in
+  let t =
+    {
+      self;
+      ring;
+      pools;
+      queue = Service.Bounded_queue.create ~capacity:(max 1 queue_capacity);
+      c_pushed = Atomic.make 0;
+      c_admitted = Atomic.make 0;
+      c_rejected = Atomic.make 0;
+      c_dropped = Atomic.make 0;
+      c_errors = Atomic.make 0;
+      sender = None;
+    }
+  in
+  t.sender <- Some (Thread.create sender_loop t);
+  t
+
+let push t ~key ~digest payload =
+  let it = { it_key = key; it_digest = digest; it_payload = payload } in
+  if not (Service.Bounded_queue.try_push t.queue it) then begin
+    Atomic.incr t.c_dropped;
+    M.incr m_dropped
+  end
+
+let counts t =
+  {
+    pushed = Atomic.get t.c_pushed;
+    admitted = Atomic.get t.c_admitted;
+    rejected = Atomic.get t.c_rejected;
+    dropped = Atomic.get t.c_dropped;
+    errors = Atomic.get t.c_errors;
+  }
+
+let stop t =
+  Service.Bounded_queue.close t.queue;
+  (match t.sender with
+  | None -> ()
+  | Some th ->
+      t.sender <- None;
+      Thread.join th);
+  List.iter (fun (_, p) -> Pool.close_all p) t.pools

@@ -1,0 +1,50 @@
+(** Shard-side warm-cache replication.
+
+    Hangs off {!Service.Server.create}'s [on_cache_fill] hook: every
+    fresh full-rung result is queued here and pushed — asynchronously,
+    off the job's critical path — to the ring successor of its key, so
+    the death of this shard loses at most one replica's worth of warm
+    cache.  The ring is the static cluster ring (same ids, same vnodes
+    as the proxy's), so origin and proxy agree on where a key's replica
+    belongs without coordination.
+
+    Pushes are fire-and-forget with a bounded queue: when the queue is
+    full the entry is dropped and counted, never blocking the worker
+    that computed the result.  The receiving shard re-verifies the
+    checksum before admitting ({!Service.Server.admit_replica}). *)
+
+type t
+
+type counts = {
+  pushed : int;  (** frames sent and acked (admitted or not) *)
+  admitted : int;  (** acks that reported admission *)
+  rejected : int;  (** acks that reported rejection *)
+  dropped : int;  (** queue-full drops (never sent) *)
+  errors : int;  (** transport failures (peer unreachable) *)
+}
+
+val create :
+  ?vnodes:int ->
+  ?queue_capacity:int ->
+  ?timeout_s:float ->
+  self:string ->
+  peers:Membership.shard list ->
+  unit ->
+  t
+(** [peers] is the full static cluster (this shard included; it is
+    skipped as a replica target).  [vnodes] (default 64) must match the
+    proxy's.  [queue_capacity] (default 256) bounds the push backlog;
+    [timeout_s] (default 5) bounds each push round trip. *)
+
+val push :
+  t -> key:string -> digest:string -> Service.Server.payload -> unit
+(** Enqueue one entry for replication (non-blocking; drops + counts on
+    a full queue).  Shaped to partially apply as the server's
+    [on_cache_fill] hook. *)
+
+val counts : t -> counts
+
+val stop : t -> unit
+(** Drain the queue, stop the sender thread, close the connections.
+    Entries still queued are sent before it returns (peers permitting;
+    unreachable peers just count as errors).  Idempotent. *)

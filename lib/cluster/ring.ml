@@ -1,0 +1,75 @@
+(* Consistent hashing with virtual nodes.  See ring.mli for the
+   contract; the implementation is a sorted array of (point, shard)
+   pairs and a binary search — O(V*N log (V*N)) to build, O(log (V*N))
+   per lookup, immutable thereafter. *)
+
+type t = {
+  points : (int * string) array;  (* sorted by point *)
+  members : string list;  (* distinct, sorted *)
+}
+
+(* A point is the first 8 bytes of MD5("id#i"), masked to a nonnegative
+   OCaml int.  MD5 via [Digest] is in the stdlib, plenty uniform for
+   placement, and — crucially — identical on every architecture and in
+   every process, so proxy and shards agree on the ring without
+   coordination. *)
+let point_of id i =
+  let d = Digest.string (id ^ "#" ^ string_of_int i) in
+  let x = String.get_int64_be d 0 in
+  Int64.to_int (Int64.shift_right_logical x 2) land max_int
+
+let make ?(vnodes = 64) ids =
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes < 1";
+  let members = List.sort_uniq compare ids in
+  let points =
+    List.concat_map
+      (fun id -> List.init vnodes (fun i -> (point_of id i, id)))
+      members
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { points; members }
+
+let members t = t.members
+let size t = List.length t.members
+
+(* index of the first point strictly greater than [h], wrapping to 0 —
+   the clockwise walk's starting position for a key hashing to [h] *)
+let start_index t h =
+  let n = Array.length t.points in
+  let rec bsearch lo hi =
+    (* invariant: points.[lo-1] <= h < points.[hi] (with sentinels) *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) <= h then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  let i = bsearch 0 n in
+  if i = n then 0 else i
+
+let key_point key = Int64.to_int (Int64.shift_right_logical (String.get_int64_be (Digest.string key) 0) 2) land max_int
+
+let lookup t key =
+  if Array.length t.points = 0 then None
+  else Some (snd t.points.(start_index t (key_point key)))
+
+let route t key ~n =
+  let np = Array.length t.points in
+  if np = 0 || n <= 0 then []
+  else begin
+    let start = start_index t (key_point key) in
+    let want = min n (size t) in
+    let acc = ref [] in
+    let i = ref 0 in
+    while List.length !acc < want && !i < np do
+      let shard = snd t.points.((start + !i) mod np) in
+      if not (List.mem shard !acc) then acc := !acc @ [ shard ];
+      incr i
+    done;
+    !acc
+  end
+
+let successor t self ~key =
+  (* walk far enough to see every shard at least once *)
+  route t key ~n:(size t) |> List.find_opt (fun id -> id <> self)

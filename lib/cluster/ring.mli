@@ -1,0 +1,46 @@
+(** Consistent-hash ring over cluster shards.
+
+    Each shard id is expanded into [vnodes] virtual points on a 63-bit
+    circle (points are the leading bytes of an MD5 digest of
+    ["id#i"]); a key routes to the owner of the first point clockwise
+    from the key's own hash.  Virtual nodes smooth the load: with V
+    points per shard the expected imbalance shrinks like 1/sqrt(V).
+
+    The structure is immutable and purely functional over its inputs —
+    the same member list (in any order) and the same [vnodes] always
+    produce the same routing, on every process and every run.  That
+    determinism is what makes cluster routing testable and what makes
+    the proxy and the shard-side replicators agree on key placement
+    without talking to each other.
+
+    Consistency property (the point of the exercise): when one of N
+    shards leaves, only the keys it owned move — about K/N of K keys —
+    and every key it did not own keeps its owner.  Tested by qcheck. *)
+
+type t
+
+val make : ?vnodes:int -> string list -> t
+(** Build a ring over the given shard ids.  [vnodes] (default 64) is
+    the number of virtual points per shard.  Duplicate ids collapse to
+    one membership.  An empty list is a valid, empty ring.
+    @raise Invalid_argument when [vnodes < 1] *)
+
+val members : t -> string list
+(** The distinct shard ids on the ring, sorted. *)
+
+val size : t -> int
+(** Number of distinct shards. *)
+
+val lookup : t -> string -> string option
+(** [lookup t key] is the owning shard for [key], or [None] on an
+    empty ring. *)
+
+val route : t -> string -> n:int -> string list
+(** [route t key ~n] is the owner followed by up to [n-1] distinct
+    successor shards, walking clockwise — the failover candidates, in
+    order.  Never longer than [size t]. *)
+
+val successor : t -> string -> key:string -> string option
+(** [successor t self ~key] is the first shard clockwise from [key]'s
+    owner position that is not [self] — where a replica of [key]
+    belongs.  [None] when the ring has no other shard. *)

@@ -5,6 +5,8 @@ type cfg = {
   request_timeout_s : float;
   max_attempts : int;
   backoff_s : float;
+  backoff_jitter : float;
+  backoff_seed : int;
 }
 
 let default_cfg ~port =
@@ -15,13 +17,57 @@ let default_cfg ~port =
     request_timeout_s = 120.0;
     max_attempts = 5;
     backoff_s = 0.1;
+    backoff_jitter = 0.5;
+    backoff_seed = 0x5eed;
   }
 
 type t = {
   cfg : cfg;
+  instance : int;  (* decorrelates jitter streams across clients *)
   mutable fd : Unix.file_descr option;
   mutable next_id : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Jittered backoff                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64 finalizer (same mixer as Service.Fault): one pass is
+   enough to turn (seed, instance, attempt) into decorrelated bits *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Deterministic jittered exponential backoff.  The naive doubling
+   schedule reconnects every waiting client in lockstep after a server
+   restart (thundering herd); spreading each step uniformly over
+   [base*2^k*(1-j), base*2^k*(1+j)) breaks the synchrony while keeping
+   the same expected delay.  Pure so tests can pin the schedule. *)
+let backoff_delay cfg ~instance ~attempt =
+  let base = cfg.backoff_s *. (2.0 ** float_of_int (max 0 (attempt - 1))) in
+  let j = max 0.0 (min 1.0 cfg.backoff_jitter) in
+  if j = 0.0 then base
+  else
+    let bits =
+      mix64
+        (Int64.of_int (cfg.backoff_seed lxor (instance * 0x1000003) lxor attempt))
+    in
+    (* 53 uniform bits -> u in [0, 1) *)
+    let u =
+      Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.0
+    in
+    base *. (1.0 -. j +. (2.0 *. j *. u))
+
+let instance_counter = Atomic.make 0
 
 (* ------------------------------------------------------------------ *)
 (* Connection establishment                                            *)
@@ -86,8 +132,8 @@ let connect_once cfg =
                 end;
                 Ok fd))
 
-let connect_with_backoff cfg =
-  let rec go attempt delay last_err =
+let connect_with_backoff ?(instance = 0) cfg =
+  let rec go attempt last_err =
     if attempt > cfg.max_attempts then
       Error
         (Printf.sprintf "giving up after %d attempts: %s" cfg.max_attempts
@@ -101,15 +147,16 @@ let connect_with_backoff cfg =
               (Printf.sprintf "giving up after %d attempts: %s"
                  cfg.max_attempts msg)
           else begin
-            Thread.delay delay;
-            go (attempt + 1) (delay *. 2.0) msg
+            Thread.delay (backoff_delay cfg ~instance ~attempt);
+            go (attempt + 1) msg
           end
   in
-  go 1 cfg.backoff_s "no attempt made"
+  go 1 "no attempt made"
 
 let connect cfg =
-  match connect_with_backoff cfg with
-  | Ok fd -> Ok { cfg; fd = Some fd; next_id = 1 }
+  let instance = Atomic.fetch_and_add instance_counter 1 in
+  match connect_with_backoff ~instance cfg with
+  | Ok fd -> Ok { cfg; instance; fd = Some fd; next_id = 1 }
   | Error _ as e -> e
 
 let close t =
@@ -132,7 +179,7 @@ let current_fd t =
   match t.fd with
   | Some fd -> Ok fd
   | None -> (
-      match connect_with_backoff t.cfg with
+      match connect_with_backoff ~instance:t.instance t.cfg with
       | Ok fd ->
           t.fd <- Some fd;
           Ok fd
@@ -233,6 +280,34 @@ let metrics t =
   | Ok (Wire.Metrics_text s) -> Ok s
   | Ok (Wire.Result (Wire.R_error m)) -> Error m
   | Ok other -> unexpected "Metrics_text" other
+  | Error _ as e -> e
+
+let stats_json t =
+  match request t Wire.Stats_json_req with
+  | Ok (Wire.Stats_json s) -> Ok s
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Stats_json" other
+  | Error _ as e -> e
+
+let metrics_json t =
+  match request t Wire.Metrics_json_req with
+  | Ok (Wire.Metrics_json s) -> Ok s
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Metrics_json" other
+  | Error _ as e -> e
+
+let members t =
+  match request t Wire.Members_req with
+  | Ok (Wire.Members_text s) -> Ok s
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Members_text" other
+  | Error _ as e -> e
+
+let cache_push t (p : Wire.cache_push) =
+  match request t (Wire.Cache_push p) with
+  | Ok (Wire.Cache_ack admitted) -> Ok admitted
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Cache_ack" other
   | Error _ as e -> e
 
 let shutdown t =

@@ -5,9 +5,9 @@
     bounded by [connect_timeout_s] (non-blocking connect + select) and
     each request by [request_timeout_s] ([SO_RCVTIMEO]/[SO_SNDTIMEO] on
     the socket).  When the connection is found dead — send failure, EOF,
-    a frame that does not decode — the client reconnects with doubling
-    backoff up to [max_attempts] and resends the request once on the
-    fresh connection.  Requests are idempotent at the server (the result
+    a frame that does not decode — the client reconnects with jittered
+    exponential backoff up to [max_attempts] and resends the request
+    once on the fresh connection.  Requests are idempotent at the server (the result
     cache is content-addressed), so a resend after an ambiguous failure
     is safe.
 
@@ -22,11 +22,25 @@ type cfg = {
   connect_timeout_s : float;  (** bound on TCP connection establishment *)
   request_timeout_s : float;  (** bound on each request round trip; 0 = none *)
   max_attempts : int;  (** connection attempts, first one included *)
-  backoff_s : float;  (** first retry delay; doubles per attempt *)
+  backoff_s : float;  (** base retry delay; doubles per attempt *)
+  backoff_jitter : float;
+      (** jitter fraction in [0,1]: attempt [k] sleeps uniformly in
+          [[backoff_s*2^k*(1-j), backoff_s*2^k*(1+j))].  0 restores the
+          old lockstep doubling; the default 0.5 breaks the thundering
+          herd of a client fleet reconnecting after a server restart. *)
+  backoff_seed : int;  (** jitter stream seed (deterministic per seed) *)
 }
 
 val default_cfg : port:int -> cfg
-(** 127.0.0.1, 5 s connect, 120 s request, 5 attempts, 100 ms backoff. *)
+(** 127.0.0.1, 5 s connect, 120 s request, 5 attempts, 100 ms backoff,
+    jitter 0.5. *)
+
+val backoff_delay : cfg -> instance:int -> attempt:int -> float
+(** The exact delay slept before retrying [attempt] (1-based) on client
+    number [instance].  Pure and deterministic — exposed so tests can
+    pin the schedule.  Each connected client draws a fresh [instance]
+    from a process-wide counter, decorrelating the streams even when
+    every client shares one [cfg]. *)
 
 type t
 
@@ -59,6 +73,21 @@ val stats : t -> (string, string) result
 
 val metrics : t -> (string, string) result
 (** Fetch the Prometheus text dump. *)
+
+val stats_json : t -> (string, string) result
+(** Fetch the machine-readable {!Service.Stats} JSON (protocol v2). *)
+
+val metrics_json : t -> (string, string) result
+(** Fetch the metrics registry as JSON (protocol v2). *)
+
+val members : t -> (string, string) result
+(** Fetch cluster membership as JSON.  Only a proxy answers this; a
+    plain shard replies with a typed error. *)
+
+val cache_push : t -> Wire.cache_push -> (bool, string) result
+(** Offer a completed full-rung cache entry to the peer (warm-cache
+    replication).  [Ok true] iff the peer verified the checksum and
+    admitted it. *)
 
 val shutdown : t -> (unit, string) result
 (** Ask the server to shut down; [Ok] once the ack frame arrives. *)

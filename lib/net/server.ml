@@ -149,15 +149,6 @@ let send t conn ~id msg =
 (* Request dispatch                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let note_of_report (r : Restructurer.Driver.loop_report) =
-  {
-    Wire.n_unit = r.Restructurer.Driver.r_unit;
-    n_index = r.Restructurer.Driver.r_index;
-    n_depth = r.Restructurer.Driver.r_depth;
-    n_decision = r.Restructurer.Driver.r_decision;
-    n_techniques = r.Restructurer.Driver.r_techniques;
-  }
-
 let reply_of_outcome trace (outcome : Service.Server.outcome) =
   match outcome with
   | Service.Server.Done { payload; cached } ->
@@ -168,7 +159,7 @@ let reply_of_outcome trace (outcome : Service.Server.outcome) =
           r_text = payload.Service.Server.p_text;
           r_cycles = payload.Service.Server.p_cycles;
           r_global_words = payload.Service.Server.p_global_words;
-          r_notes = List.map note_of_report payload.Service.Server.p_reports;
+          r_notes = List.map Wire.note_of_report payload.Service.Server.p_reports;
           r_trace = trace;
         }
   | Service.Server.Failed msg -> Wire.R_failed msg
@@ -252,6 +243,39 @@ let dispatch t conn ~id msg =
   | Wire.Metrics_req ->
       send t conn ~id (Wire.Metrics_text (M.dump M.global));
       `Continue
+  | Wire.Stats_json_req ->
+      send t conn ~id
+        (Wire.Stats_json (Service.Stats.to_json (Service.Server.stats t.svc)));
+      `Continue
+  | Wire.Metrics_json_req ->
+      send t conn ~id (Wire.Metrics_json (M.to_json M.global));
+      `Continue
+  | Wire.Cache_push p ->
+      (* warm-cache replication from a ring peer: verify + admit, then
+         ack with the verdict.  The payload is rebuilt exactly as the
+         origin's cache held it; fields that never crossed the wire come
+         back empty, same as the reply path. *)
+      let payload =
+        {
+          Service.Server.p_name = p.Wire.cp_name;
+          p_text = p.Wire.cp_text;
+          p_reports = List.map Wire.report_of_note p.Wire.cp_notes;
+          p_cycles = p.Wire.cp_cycles;
+          p_global_words = p.Wire.cp_global_words;
+          p_rung = Service.Server.Full;
+        }
+      in
+      let admitted =
+        Service.Server.admit_replica t.svc ~key:p.Wire.cp_key
+          ~digest:p.Wire.cp_digest payload
+      in
+      send t conn ~id (Wire.Cache_ack admitted);
+      `Continue
+  | Wire.Members_req ->
+      (* membership lives in the proxy; a plain shard has no view *)
+      send t conn ~id
+        (Wire.Result (Wire.R_error "not a cluster proxy: no membership view"));
+      `Continue
   | Wire.Shutdown_req ->
       send t conn ~id Wire.Shutdown_ack;
       Atomic.set t.stop true;
@@ -260,7 +284,8 @@ let dispatch t conn ~id msg =
        with Unix.Unix_error _ -> ());
       `Close
   | Wire.Pong | Wire.Result _ | Wire.Stats_text _ | Wire.Metrics_text _
-  | Wire.Shutdown_ack ->
+  | Wire.Shutdown_ack | Wire.Cache_ack _ | Wire.Stats_json _
+  | Wire.Metrics_json _ | Wire.Members_text _ ->
       send t conn ~id
         (Wire.Result
            (Wire.R_error

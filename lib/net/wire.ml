@@ -6,7 +6,8 @@
    frame must never raise out of [decode] or [read_frame]. *)
 
 let magic = "CDRN"
-let version = 1
+let version = 2
+let min_version = 1
 let header_bytes = 20
 let hard_max_payload = 1 lsl 26 (* 64 MiB *)
 
@@ -43,6 +44,19 @@ type submit = {
   sub_trace : int;
 }
 
+(* Warm-cache replication (protocol v2): a shard pushes a completed
+   full-rung cache entry to its ring successor.  The rung is implicit —
+   only full-rung results are ever cached, so only they replicate. *)
+type cache_push = {
+  cp_key : string;  (* content address minted on the origin shard *)
+  cp_digest : string;  (* digest of [cp_text] at fill time *)
+  cp_name : string;
+  cp_text : string;
+  cp_cycles : float option;
+  cp_global_words : float option;
+  cp_notes : note list;
+}
+
 type reply =
   | R_done of {
       r_cached : bool;
@@ -71,6 +85,15 @@ type message =
   | Metrics_text of string
   | Shutdown_req
   | Shutdown_ack
+  (* protocol v2 *)
+  | Cache_push of cache_push
+  | Cache_ack of bool
+  | Stats_json_req
+  | Stats_json of string
+  | Metrics_json_req
+  | Metrics_json of string
+  | Members_req
+  | Members_text of string
 
 let kind_code = function
   | Ping -> 1
@@ -83,6 +106,20 @@ let kind_code = function
   | Metrics_text _ -> 8
   | Shutdown_req -> 9
   | Shutdown_ack -> 10
+  | Cache_push _ -> 11
+  | Cache_ack _ -> 12
+  | Stats_json_req -> 13
+  | Stats_json _ -> 14
+  | Metrics_json_req -> 15
+  | Metrics_json _ -> 16
+  | Members_req -> 17
+  | Members_text _ -> 18
+
+(* Frames carrying a v1 kind are stamped version 1, so a new peer stays
+   wire-compatible with an old one for the whole original protocol; the
+   v2 kinds are stamped 2, so an old decoder rejects exactly (and only)
+   the messages it cannot understand with a typed [Bad_version]. *)
+let version_for_kind k = if k >= 11 then 2 else 1
 
 let message_kind_name = function
   | Ping -> "ping"
@@ -95,6 +132,40 @@ let message_kind_name = function
   | Metrics_text _ -> "metrics"
   | Shutdown_req -> "shutdown-req"
   | Shutdown_ack -> "shutdown-ack"
+  | Cache_push _ -> "cache-push"
+  | Cache_ack _ -> "cache-ack"
+  | Stats_json_req -> "stats-json-req"
+  | Stats_json _ -> "stats-json"
+  | Metrics_json_req -> "metrics-json-req"
+  | Metrics_json _ -> "metrics-json"
+  | Members_req -> "members-req"
+  | Members_text _ -> "members"
+
+(* conversions between the wire [note] and the driver's loop report,
+   shared by every front-end that carries reports across the wire *)
+let note_of_report (r : Restructurer.Driver.loop_report) =
+  {
+    n_unit = r.Restructurer.Driver.r_unit;
+    n_index = r.Restructurer.Driver.r_index;
+    n_depth = r.Restructurer.Driver.r_depth;
+    n_decision = r.Restructurer.Driver.r_decision;
+    n_techniques = r.Restructurer.Driver.r_techniques;
+  }
+
+(* the note carries the report's wire-visible subset; the fields that
+   never crossed the wire (mode, blockers, version count) come back
+   empty, exactly as the original reply path forgets them *)
+let report_of_note (n : note) : Restructurer.Driver.loop_report =
+  {
+    Restructurer.Driver.r_unit = n.n_unit;
+    r_index = n.n_index;
+    r_depth = n.n_depth;
+    r_decision = n.n_decision;
+    r_mode = None;
+    r_techniques = n.n_techniques;
+    r_blockers = [];
+    r_versions = 0;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -253,8 +324,12 @@ let put_reply b = function
       put_string b msg
 
 let payload_of = function
-  | Ping | Pong | Stats_req | Metrics_req | Shutdown_req | Shutdown_ack -> ""
-  | Stats_text s | Metrics_text s -> s
+  | Ping | Pong | Stats_req | Metrics_req | Shutdown_req | Shutdown_ack
+  | Stats_json_req | Metrics_json_req | Members_req ->
+      ""
+  | Stats_text s | Metrics_text s | Stats_json s | Metrics_json s
+  | Members_text s ->
+      s
   | Submit s ->
       let b = Buffer.create (String.length s.sub_source + 256) in
       put_string b s.sub_name;
@@ -266,12 +341,27 @@ let payload_of = function
       let b = Buffer.create 256 in
       put_reply b r;
       Buffer.contents b
+  | Cache_push p ->
+      let b = Buffer.create (String.length p.cp_text + 256) in
+      put_string b p.cp_key;
+      put_string b p.cp_digest;
+      put_string b p.cp_name;
+      put_string b p.cp_text;
+      put_opt_f64 b p.cp_cycles;
+      put_opt_f64 b p.cp_global_words;
+      put_int b (List.length p.cp_notes);
+      List.iter (put_note b) p.cp_notes;
+      Buffer.contents b
+  | Cache_ack admitted ->
+      let b = Buffer.create 1 in
+      put_bool b admitted;
+      Buffer.contents b
 
 let encode ~id msg =
   let payload = payload_of msg in
   let b = Buffer.create (header_bytes + String.length payload) in
   Buffer.add_string b magic;
-  put_u8 b version;
+  put_u8 b (version_for_kind (kind_code msg));
   put_u8 b (kind_code msg);
   Buffer.add_uint16_be b 0;
   Buffer.add_int64_be b (Int64.of_int id);
@@ -474,6 +564,17 @@ let get_submit c =
   let sub_trace = get_int c in
   { sub_name; sub_source; sub_options; sub_trace }
 
+let get_cache_push c =
+  let cp_key = get_string c in
+  let cp_digest = get_string c in
+  let cp_name = get_string c in
+  let cp_text = get_string c in
+  let cp_cycles = get_opt_f64 c in
+  let cp_global_words = get_opt_f64 c in
+  let k = get_count c "note" in
+  let cp_notes = List.init k (fun _ -> get_note c) in
+  { cp_key; cp_digest; cp_name; cp_text; cp_cycles; cp_global_words; cp_notes }
+
 let decode_payload kind payload =
   let c = { src = payload; pos = 0; limit = String.length payload } in
   let empty msg =
@@ -496,6 +597,20 @@ let decode_payload kind payload =
         Metrics_text payload
     | 9 -> empty Shutdown_req
     | 10 -> empty Shutdown_ack
+    | 11 -> Cache_push (get_cache_push c)
+    | 12 -> Cache_ack (get_bool c)
+    | 13 -> empty Stats_json_req
+    | 14 ->
+        c.pos <- c.limit;
+        Stats_json payload
+    | 15 -> empty Metrics_json_req
+    | 16 ->
+        c.pos <- c.limit;
+        Metrics_json payload
+    | 17 -> empty Members_req
+    | 18 ->
+        c.pos <- c.limit;
+        Members_text payload
     | k -> raise (Err (Bad_kind k))
   in
   if c.pos <> c.limit then raise (Err (Malformed "trailing payload bytes"));
@@ -508,7 +623,7 @@ let decode_header s =
   else if String.sub s 0 4 <> magic then Error Bad_magic
   else
     let v = Char.code s.[4] in
-    if v <> version then Error (Bad_version v)
+    if v < min_version || v > version then Error (Bad_version v)
     else
       let kind = Char.code s.[5] in
       let id = Int64.to_int (String.get_int64_be s 8) in

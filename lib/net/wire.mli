@@ -5,7 +5,7 @@
     {v
     offset  size  field
     0       4     magic "CDRN"
-    4       1     protocol version (currently 1)
+    4       1     protocol version (1 or 2; see {!version_for_kind})
     5       1     message kind
     6       2     flags (reserved, 0) — big-endian
     8       8     request id          — big-endian
@@ -29,7 +29,17 @@ val magic : string
 (** ["CDRN"], the 4 frame magic bytes. *)
 
 val version : int
-(** Protocol version written into (and required of) every frame. *)
+(** Newest protocol version this peer speaks (2). *)
+
+val min_version : int
+(** Oldest protocol version this peer still accepts (1). *)
+
+val version_for_kind : int -> int
+(** The version byte stamped on frames of a given kind.  Kinds from the
+    original protocol keep version 1 — a v2 peer stays fully
+    interoperable with a v1 peer for everything v1 could say — while the
+    cluster kinds (11+) are stamped 2, so a v1 decoder rejects exactly
+    those with a typed {!Bad_version} instead of misparsing them. *)
 
 val header_bytes : int
 (** Fixed header size: 20. *)
@@ -65,6 +75,21 @@ type submit = {
   sub_trace : int;  (** caller's {!Obs.Trace} id; 0 = let the server mint *)
 }
 
+(** Warm-cache replication (protocol v2): a completed full-rung cache
+    entry pushed from the shard that computed it to its ring successor,
+    so a shard death loses at most one replica's worth of warm cache.
+    Only full-rung results are ever cached, so the rung is implicit. *)
+type cache_push = {
+  cp_key : string;  (** content address minted on the origin shard *)
+  cp_digest : string;  (** digest of [cp_text] at fill time; the
+                           receiver re-digests and rejects a mismatch *)
+  cp_name : string;
+  cp_text : string;
+  cp_cycles : float option;
+  cp_global_words : float option;
+  cp_notes : note list;
+}
+
 (** Reply to a {!Submit} (and the body of every error reply). *)
 type reply =
   | R_done of {
@@ -98,8 +123,24 @@ type message =
   | Metrics_text of string  (** Prometheus text dump *)
   | Shutdown_req
   | Shutdown_ack
+  (* protocol v2 (cluster) *)
+  | Cache_push of cache_push
+  | Cache_ack of bool  (** [true] iff the receiver admitted the entry *)
+  | Stats_json_req
+  | Stats_json of string  (** machine-readable {!Service.Stats} *)
+  | Metrics_json_req
+  | Metrics_json of string  (** JSON metrics dump *)
+  | Members_req
+  | Members_text of string  (** cluster membership as JSON (proxy only) *)
 
 val message_kind_name : message -> string
+
+val note_of_report : Restructurer.Driver.loop_report -> note
+(** The wire-visible subset of a driver loop report. *)
+
+val report_of_note : note -> Restructurer.Driver.loop_report
+(** Rebuild a loop report from a wire note; the fields that never
+    crossed the wire (mode, blockers, version count) come back empty. *)
 
 val encode : id:int -> message -> string
 (** The complete frame (header + payload) for [message]. *)

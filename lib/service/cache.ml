@@ -104,6 +104,12 @@ let remove c key =
          deliberately, e.g. on a checksum mismatch) *)
       Hashtbl.remove c.table key)
 
+let export c =
+  with_lock c (fun () ->
+      (* a snapshot, deliberately without touching recency: exporting for
+         replication must not perturb the LRU order *)
+      Hashtbl.fold (fun key e acc -> (key, e.value) :: acc) c.table [])
+
 let stats c =
   with_lock c (fun () ->
       {

@@ -37,6 +37,11 @@ val remove : 'a t -> string -> unit
 (** Drop an entry (no-op when absent).  Used by the server when an
     entry fails its integrity check; not counted as an eviction. *)
 
+val export : 'a t -> (string * 'a) list
+(** Snapshot of every resident [(key, value)] pair, in no particular
+    order.  Does {e not} refresh recency or count hits — exporting the
+    warm set for replication must not perturb the LRU order. *)
+
 val stats : 'a t -> stats
 
 val hit_rate : stats -> float

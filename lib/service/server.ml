@@ -82,12 +82,21 @@ type breaker_state = Br_closed | Br_open | Br_half_open
 (* cache entries are self-checking: [e_digest] is the digest of the
    payload text at insertion; a mismatch on lookup means the bytes rotted
    (or chaos flipped them) and the entry must not be served *)
-type entry = { e_digest : string; e_payload : payload }
+type entry = {
+  e_digest : string;
+  e_payload : payload;
+  e_replica : bool;  (* arrived via warm-cache replication, not computed *)
+}
 
 type t = {
   queue : ticket Bounded_queue.t;
   cache : entry Cache.t;
   fault : Fault.t;
+  shard_id : string;  (** "" when not part of a cluster *)
+  on_cache_fill : (key:string -> digest:string -> payload -> unit) option;
+      (** fired after a fresh full-rung result lands in the cache; the
+          cluster replicator hangs off this.  Never fired for admitted
+          replicas (that would ping-pong entries around the ring). *)
   max_source_bytes : int;  (** 0 = unlimited *)
   timeout_s : float;  (** infinity = no deadline *)
   retry_base_s : float;
@@ -116,6 +125,9 @@ type t = {
   mutable respawns : int;
   mutable corrupt_dropped : int;
   mutable breaker_opened : int;
+  mutable replica_admitted : int;
+  mutable replica_rejected : int;  (* checksum mismatch or rung/capacity *)
+  mutable replicated_hits : int;  (* cache hits served from a replica *)
   mutable br_state : breaker_state;
   mutable br_failures : int;  (* consecutive real restructure failures *)
   mutable br_opened_at : float;
@@ -189,6 +201,19 @@ let m_corrupt_dropped =
 let m_breaker_opened =
   M.counter M.global ~help:"circuit breaker open transitions"
     "service_breaker_opened_total"
+
+let m_replica_admitted =
+  M.counter M.global ~help:"replicated cache entries admitted"
+    "service_replica_admitted_total"
+
+let m_replica_rejected =
+  M.counter M.global
+    ~help:"replicated cache entries rejected (checksum or capacity)"
+    "service_replica_rejected_total"
+
+let m_replicated_hits =
+  M.counter M.global ~help:"cache hits served from a replicated entry"
+    "service_replicated_hits_total"
 
 let m_breaker_state =
   M.gauge M.global ~help:"breaker state (0 closed, 1 half-open, 2 open)"
@@ -321,13 +346,25 @@ let cache_put t key payload =
       { payload with p_text = flip_middle_byte payload.p_text }
     else payload
   in
-  Cache.add t.cache key { e_digest = digest; e_payload = stored }
+  Cache.add t.cache key { e_digest = digest; e_payload = stored; e_replica = false };
+  (* replication rides the clean payload/digest, never the chaos-corrupted
+     bytes — and a hook failure must not fail the job that filled *)
+  match t.on_cache_fill with
+  | None -> ()
+  | Some hook -> ( try hook ~key ~digest payload with _ -> ())
 
 let cache_find t key =
   match Cache.find t.cache key with
   | None -> None
   | Some e ->
-      if Cache.digest e.e_payload.p_text = e.e_digest then Some e.e_payload
+      if Cache.digest e.e_payload.p_text = e.e_digest then begin
+        if e.e_replica then begin
+          M.incr m_replicated_hits;
+          with_lock t.stat_mutex (fun () ->
+              t.replicated_hits <- t.replicated_hits + 1)
+        end;
+        Some e.e_payload
+      end
       else begin
         (* bytes rotted while resident: drop, recompute fresh *)
         Cache.remove t.cache key;
@@ -336,6 +373,29 @@ let cache_find t key =
             t.corrupt_dropped <- t.corrupt_dropped + 1);
         None
       end
+
+(* Admit a replicated entry pushed by a ring peer.  The origin's digest
+   is recomputed here — a push corrupted in flight (or a malicious one)
+   is rejected, never served.  Goes straight to [Cache.add], not
+   [cache_put]: an admitted replica must not re-fire the replication
+   hook, or entries would ping-pong around the ring forever. *)
+let admit_replica t ~key ~digest payload =
+  let ok =
+    payload.p_rung = Full
+    && Cache.digest payload.p_text = digest
+  in
+  if ok then begin
+    Cache.add t.cache key { e_digest = digest; e_payload = payload; e_replica = true };
+    M.incr m_replica_admitted;
+    with_lock t.stat_mutex (fun () ->
+        t.replica_admitted <- t.replica_admitted + 1)
+  end
+  else begin
+    M.incr m_replica_rejected;
+    with_lock t.stat_mutex (fun () ->
+        t.replica_rejected <- t.replica_rejected + 1)
+  end;
+  ok
 
 let backtrace_hint () =
   match String.split_on_char '\n' (Printexc.get_backtrace ()) with
@@ -756,8 +816,8 @@ let supervisor_loop t =
 let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
     ?(fault = Fault.none) ?(retry_base_ms = 1.0) ?(breaker_threshold = 5)
     ?(breaker_cooldown_ms = 250.0) ?(wedge_after_ms = 0.0)
-    ?(latency_reservoir = 1024) ?(max_source_bytes = 0) ~workers
-    ~cache_capacity () =
+    ?(latency_reservoir = 1024) ?(max_source_bytes = 0) ?(shard_id = "")
+    ?on_cache_fill ~workers ~cache_capacity () =
   Printexc.record_backtrace true;
   let workers =
     if oversubscribe then max 1 workers
@@ -768,6 +828,8 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
       queue = Bounded_queue.create ~capacity:queue_capacity;
       cache = Cache.create ~capacity:cache_capacity;
       fault;
+      shard_id;
+      on_cache_fill;
       max_source_bytes = max 0 max_source_bytes;
       timeout_s =
         (if timeout_ms > 0.0 then timeout_ms /. 1000.0 else infinity);
@@ -797,6 +859,9 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
       respawns = 0;
       corrupt_dropped = 0;
       breaker_opened = 0;
+      replica_admitted = 0;
+      replica_rejected = 0;
+      replicated_hits = 0;
       br_state = Br_closed;
       br_failures = 0;
       br_opened_at = 0.0;
@@ -907,13 +972,17 @@ let breaker_state_name t =
 
 let stats t =
   with_lock t.stat_mutex (fun () ->
-      Stats.make ~submitted:t.submitted ~completed:t.completed
+      Stats.make ~shard_id:t.shard_id ~submitted:t.submitted
+        ~completed:t.completed
         ~failed:t.failed ~timed_out:t.timed_out ~cancelled:t.cancelled
         ~retries:t.retries ~rung_full:t.rung_full
         ~rung_conservative:t.rung_conservative
         ~rung_passthrough:t.rung_passthrough ~degraded:t.degraded
         ~respawns:t.respawns ~corrupt_dropped:t.corrupt_dropped
         ~breaker_opened:t.breaker_opened
+        ~replica_admitted:t.replica_admitted
+        ~replica_rejected:t.replica_rejected
+        ~replicated_hits:t.replicated_hits
         ~breaker_state:(breaker_state_name t)
         ~faults_injected:(Fault.total_fired t.fault)
         ~queue_high_water:(Bounded_queue.high_water t.queue)
@@ -921,7 +990,7 @@ let stats t =
         ~latencies_ms:(Reservoir.sample t.latencies)
         ~latency_count:(Reservoir.count t.latencies)
         ~max_latency_ms:(Reservoir.max_value t.latencies)
-        ~wall_s:(now () -. t.started_at))
+        ~wall_s:(now () -. t.started_at) ())
 
 (* Deterministic drain, reused verbatim by the SIGINT/SIGTERM path of
    [cedard --serve]:

@@ -96,6 +96,8 @@ val create :
   ?wedge_after_ms:float ->
   ?latency_reservoir:int ->
   ?max_source_bytes:int ->
+  ?shard_id:string ->
+  ?on_cache_fill:(key:string -> digest:string -> payload -> unit) ->
   workers:int ->
   cache_capacity:int ->
   unit ->
@@ -118,7 +120,24 @@ val create :
     sample size.  [max_source_bytes > 0] rejects any request whose
     source exceeds the cap — resolved [Failed] with a typed message
     before the text ever reaches a parser ([0], the default, means
-    unlimited). *)
+    unlimited).
+
+    [shard_id] names this server inside a cluster (shows up in
+    {!Stats.t}; default [""] = standalone).  [on_cache_fill] fires after
+    each {e fresh} full-rung result is cached, with the content key, the
+    payload-text digest, and the clean payload — the cluster replicator
+    hangs off this.  It never fires for entries admitted via
+    {!admit_replica}, and an exception it raises is swallowed (a
+    replication hiccup must not fail the job that filled the cache). *)
+
+val admit_replica : t -> key:string -> digest:string -> payload -> bool
+(** Admit a warm-cache entry replicated from a ring peer.  The digest
+    is recomputed from the payload text and the push is rejected on
+    mismatch (corrupt in flight), as well as for non-[Full] rungs.
+    Returns whether the entry was admitted; either way the replication
+    counters in {!Stats.t} advance.  Admission inserts with normal LRU
+    semantics — a replica can evict, and be evicted like, any other
+    entry. *)
 
 val effective_workers : t -> int
 (** Worker slots in the pool (after the oversubscription cap). *)

@@ -1,4 +1,5 @@
 type t = {
+  shard_id : string;
   submitted : int;
   completed : int;
   failed : int;
@@ -12,6 +13,9 @@ type t = {
   respawns : int;
   corrupt_dropped : int;
   breaker_opened : int;
+  replica_admitted : int;
+  replica_rejected : int;
+  replicated_hits : int;
   breaker_state : string;
   faults_injected : int;
   queue_high_water : int;
@@ -38,12 +42,15 @@ let percentile p xs =
       in
       a.(max 0 (min (n - 1) (rank - 1)))
 
-let make ~submitted ~completed ~failed ~timed_out ~cancelled ~retries
+let make ?(shard_id = "") ?(replica_admitted = 0) ?(replica_rejected = 0)
+    ?(replicated_hits = 0) ~submitted ~completed ~failed ~timed_out
+    ~cancelled ~retries
     ~rung_full ~rung_conservative ~rung_passthrough ~degraded ~respawns
     ~corrupt_dropped ~breaker_opened ~breaker_state ~faults_injected
     ~queue_high_water ~cache ~latencies_ms ~latency_count ~max_latency_ms
-    ~wall_s =
+    ~wall_s () =
   {
+    shard_id;
     submitted;
     completed;
     failed;
@@ -57,6 +64,9 @@ let make ~submitted ~completed ~failed ~timed_out ~cancelled ~retries
     respawns;
     corrupt_dropped;
     breaker_opened;
+    replica_admitted;
+    replica_rejected;
+    replicated_hits;
     breaker_state;
     faults_injected;
     queue_high_water;
@@ -87,6 +97,21 @@ let to_string s =
       Printf.sprintf "throughput  %.1f jobs/s over %.2f s" s.throughput s.wall_s;
     ]
   in
+  (* cluster lines only appear on clustered shards *)
+  let cluster =
+    (if s.shard_id <> "" then
+       [ Printf.sprintf "shard       %s" s.shard_id ]
+     else [])
+    @
+    if s.replica_admitted > 0 || s.replica_rejected > 0 || s.replicated_hits > 0
+    then
+      [
+        Printf.sprintf
+          "replication admitted %d  rejected %d  hits-from-replica %d"
+          s.replica_admitted s.replica_rejected s.replicated_hits;
+      ]
+    else []
+  in
   (* the survival line only appears when something needed surviving *)
   let survival =
     if
@@ -102,4 +127,67 @@ let to_string s =
       ]
     else []
   in
-  String.concat "\n" (lines @ survival)
+  String.concat "\n" (lines @ cluster @ survival)
+
+(* hand-rolled JSON: the only strings that ride in are shard ids and
+   breaker states, but escape them anyway so the emitter is total *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json s =
+  let i name v = Printf.sprintf "\"%s\":%d" name v in
+  let f name v =
+    (* %.17g would be exact but noisy; 6 significant digits is plenty
+       for rates and millisecond latencies *)
+    Printf.sprintf "\"%s\":%.6g" name v
+  in
+  let str name v = Printf.sprintf "\"%s\":\"%s\"" name (json_escape v) in
+  let fields =
+    [
+      str "shard_id" s.shard_id;
+      i "submitted" s.submitted;
+      i "completed" s.completed;
+      i "failed" s.failed;
+      i "timed_out" s.timed_out;
+      i "cancelled" s.cancelled;
+      i "retries" s.retries;
+      i "rung_full" s.rung_full;
+      i "rung_conservative" s.rung_conservative;
+      i "rung_passthrough" s.rung_passthrough;
+      i "degraded" s.degraded;
+      i "respawns" s.respawns;
+      i "corrupt_dropped" s.corrupt_dropped;
+      i "breaker_opened" s.breaker_opened;
+      i "replica_admitted" s.replica_admitted;
+      i "replica_rejected" s.replica_rejected;
+      i "replicated_hits" s.replicated_hits;
+      str "breaker_state" s.breaker_state;
+      i "faults_injected" s.faults_injected;
+      i "queue_high_water" s.queue_high_water;
+      i "cache_hits" s.cache.Cache.hits;
+      i "cache_misses" s.cache.Cache.misses;
+      i "cache_evictions" s.cache.Cache.evictions;
+      i "cache_entries" s.cache.Cache.entries;
+      f "cache_hit_rate" s.cache_hit_rate;
+      f "p50_latency_ms" s.p50_latency_ms;
+      f "p95_latency_ms" s.p95_latency_ms;
+      f "max_latency_ms" s.max_latency_ms;
+      i "latency_count" s.latency_count;
+      f "wall_s" s.wall_s;
+      f "throughput" s.throughput;
+    ]
+  in
+  "{" ^ String.concat "," fields ^ "}"

@@ -1,6 +1,7 @@
 (** Service-lifetime statistics, assembled at shutdown. *)
 
 type t = {
+  shard_id : string;  (** cluster shard identity; [""] outside a cluster *)
   submitted : int;
   completed : int;  (** finished with a result (fresh or cached) *)
   failed : int;  (** parse/restructure/model errors, after the ladder *)
@@ -14,6 +15,9 @@ type t = {
   respawns : int;  (** worker domains replaced by the supervisor *)
   corrupt_dropped : int;  (** cache entries failing their integrity check *)
   breaker_opened : int;  (** closed/half-open -> open transitions *)
+  replica_admitted : int;  (** warm-cache pushes admitted from ring peers *)
+  replica_rejected : int;  (** pushes rejected (checksum mismatch or rung) *)
+  replicated_hits : int;  (** cache hits served from a replicated entry *)
   breaker_state : string;  (** "closed" / "open" / "half-open" at snapshot *)
   faults_injected : int;  (** total chaos faults fired, all sites *)
   queue_high_water : int;
@@ -34,6 +38,10 @@ val percentile : float -> float list -> float
     nearest-rank; 0 on the empty list. *)
 
 val make :
+  ?shard_id:string ->
+  ?replica_admitted:int ->
+  ?replica_rejected:int ->
+  ?replicated_hits:int ->
   submitted:int ->
   completed:int ->
   failed:int ->
@@ -55,12 +63,20 @@ val make :
   latency_count:int ->
   max_latency_ms:float ->
   wall_s:float ->
+  unit ->
   t
 (** [latencies_ms] is a (possibly sampled) list used for the
     percentiles; [latency_count] and [max_latency_ms] are the exact
-    values tracked alongside the sample. *)
+    values tracked alongside the sample.  The optional cluster fields
+    default to a standalone, non-replicating shard. *)
 
 val to_string : t -> string
 (** Multi-line human-readable summary, printed on shutdown.  A
     "survival" line is appended only when faults were injected or any
-    self-healing machinery engaged. *)
+    self-healing machinery engaged; shard/replication lines only when
+    clustered. *)
+
+val to_json : t -> string
+(** The same snapshot as one flat JSON object, for [cedarctl --json]
+    and the proxy's cluster-wide aggregation.  Self-contained emitter
+    (no JSON library); strings are escaped. *)

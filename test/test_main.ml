@@ -18,4 +18,5 @@ let () =
       ("obs", Test_obs.tests);
       ("chaos", Test_chaos.tests);
       ("net", Test_net.tests);
+      ("cluster", Test_cluster.tests);
     ]

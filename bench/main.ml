@@ -211,6 +211,136 @@ let net_pass () =
     (fl inproc) budget osum.Net.Client.d_requests
     osum.Net.Client.d_overloaded shed_rate high_water
 
+(* Fibers pass: connection-scaling economics of the event-loop server.
+   The threaded core paid one OS thread pair per connection, so its
+   viable regime ended around the conn budget; the fiber core pays
+   three parked fibers and a poll slot.  This pass parks [idle_target]
+   completely idle connections on the server and drives the same
+   16-connection cache-hit load as the net pass through the crowd — the
+   p95 RTT must not degrade, and the RSS growth per idle connection is
+   recorded as the per-conn memory price. *)
+
+let read_rss_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec go () =
+      match input_line ic with
+      | line ->
+          if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then begin
+            close_in ic;
+            String.to_seq line
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq |> int_of_string
+          end
+          else go ()
+      | exception End_of_file ->
+          close_in ic;
+          0
+    in
+    go ()
+  with Sys_error _ | Failure _ -> 0
+
+let fibers_pass () =
+  ignore (Aio.raise_fd_limit ());
+  let idle_target = 5000 in
+  let workers = 4 in
+  let base = Service.Traffic.default_cfg in
+  let server =
+    Service.Server.create ~workers ~cache_capacity:256 ~timeout_ms:30_000.0 ()
+  in
+  ignore (Service.Traffic.run server base) (* warm the cache *);
+  let net =
+    Net.Server.create
+      { Net.Server.default_cfg with Net.Server.max_conns = idle_target + 64 }
+      server
+  in
+  let port = Net.Server.port net in
+  let ccfg = Net.Client.default_cfg ~port in
+  let drive c =
+    let s =
+      Net.Client.drive ccfg
+        {
+          Net.Client.requests = base.Service.Traffic.requests;
+          conns = c;
+          seed = base.Service.Traffic.seed;
+          size_jitter = base.Service.Traffic.size_jitter;
+          batch = base.Service.Traffic.batch;
+          validate = false;
+        }
+    in
+    let tp =
+      if s.Net.Client.d_wall_s > 0.0 then
+        float_of_int s.Net.Client.d_requests /. s.Net.Client.d_wall_s
+      else 0.0
+    in
+    ( tp,
+      1e3 *. Net.Client.percentile 50.0 s.Net.Client.d_latencies,
+      1e3 *. Net.Client.percentile 95.0 s.Net.Client.d_latencies )
+  in
+  let tp0, p50_0, p95_0 = drive 16 in
+  Printf.printf "fibers baseline  c=16: %.0f jobs/s  p50 %.3f ms  p95 %.3f ms\n%!"
+    tp0 p50_0 p95_0;
+  let seen0 = Net.Server.connections_seen net in
+  let rss0 = read_rss_kb () in
+  let idle =
+    Array.init idle_target (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd)
+  in
+  (* wait until the server has accepted the whole crowd *)
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while
+    Net.Server.connections_seen net < seen0 + idle_target
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  let idle_accepted = Net.Server.connections_seen net - seen0 in
+  let rss1 = read_rss_kb () in
+  let tp1, p50_1, p95_1 = drive 16 in
+  Printf.printf
+    "fibers +%d idle c=16: %.0f jobs/s  p50 %.3f ms  p95 %.3f ms\n%!"
+    idle_accepted tp1 p50_1 p95_1;
+  (* a sample of the idle crowd must still be served *)
+  let alive = ref 0 and sampled = ref 0 in
+  Array.iteri
+    (fun i fd ->
+      if i mod 500 = 0 then begin
+        incr sampled;
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+        Net.Wire.write_frame fd ~id:i Net.Wire.Ping;
+        match Net.Wire.read_frame fd with
+        | Net.Wire.Frame (_, Net.Wire.Pong) -> incr alive
+        | _ -> ()
+      end)
+    idle;
+  Array.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    idle;
+  Net.Server.drain net;
+  ignore (Service.Server.shutdown server);
+  let rss_growth_kb = max 0 (rss1 - rss0) in
+  let per_conn_bytes =
+    if idle_accepted > 0 then rss_growth_kb * 1024 / idle_accepted else 0
+  in
+  Printf.printf
+    "fibers idle cost: %d KiB RSS growth over %d conns = %d bytes/conn; \
+     idle sample alive %d/%d\n%!"
+    rss_growth_kb idle_accepted per_conn_bytes !alive !sampled;
+  Printf.sprintf
+    {|{
+    "idle_conns": %d,
+    "baseline_16conn": { "jobs_per_s": %.2f, "rtt_p50_ms": %.3f, "rtt_p95_ms": %.3f },
+    "under_idle_load_16conn": { "jobs_per_s": %.2f, "rtt_p50_ms": %.3f, "rtt_p95_ms": %.3f },
+    "rss_growth_kb": %d,
+    "rss_per_idle_conn_bytes": %d,
+    "idle_sample_alive": %d,
+    "idle_sample_size": %d
+  }|}
+    idle_accepted tp0 p50_0 p95_0 tp1 p50_1 p95_1 rss_growth_kb
+    per_conn_bytes !alive !sampled
+
 (* Cluster pass: the same closed-loop drive through cedarproxy over 1,
    2, and 4 in-process shards — the scaling table.  Caches are warmed
    with the identical request sequence first, so the steady-state
@@ -418,6 +548,8 @@ let service_bench () =
   print_endline (Service.Stats.to_string chaos_stats);
   print_endline "--- net pass (cedarnet TCP front-end) ---";
   let net_json = net_pass () in
+  print_endline "--- fibers pass (idle-connection scaling) ---";
+  let fibers_json = fibers_pass () in
   print_endline "--- cluster pass (cedarproxy over 1/2/4 shards) ---";
   let cluster_json = cluster_pass () in
   let json =
@@ -455,6 +587,7 @@ let service_bench () =
   "chaos_corrupt_dropped": %d,
   "chaos_faults_injected": %d,
   "net": %s,
+  "fibers": %s,
   "cluster": %s
 }
 |}
@@ -482,7 +615,8 @@ let service_bench () =
       chaos_stats.Service.Stats.retries chaos_stats.Service.Stats.respawns
       chaos_stats.Service.Stats.degraded
       chaos_stats.Service.Stats.corrupt_dropped
-      chaos_stats.Service.Stats.faults_injected net_json cluster_json
+      chaos_stats.Service.Stats.faults_injected net_json fibers_json
+      cluster_json
   in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;
@@ -508,9 +642,10 @@ let () =
   | [ "synthetic" ] -> Experiments.print_synthetic ()
   | [ "micro" ] -> micro ()
   | [ "service" ] -> service_bench ()
+  | [ "fibers" ] -> print_endline (fibers_pass ())
   | [ "cluster" ] -> print_endline (cluster_pass ())
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service|cluster]";
+         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service|fibers|cluster]";
       exit 2

@@ -6,6 +6,7 @@
    metrics   fetch the Prometheus text dump
    shutdown  ask the server to drain and exit
    drive     closed-loop socket load generator (Traffic over TCP)
+   flood     park idle connections (the fiber gate's scaling probe)
 
    Exit status: 0 success, 1 the server answered with a failure
    (Failed/Timeout/Overloaded/TooLarge/...), 2 usage, 3 transport
@@ -333,6 +334,78 @@ let drive_cmd =
       const drive $ host_arg $ port_arg $ timeout_arg $ requests_arg
       $ conns_arg $ seed_arg $ jitter_arg $ batch_arg $ drive_validate_arg)
 
+(* ---- flood ---- *)
+
+(* Park [conns] idle TCP connections against the server for [hold_s]
+   seconds, then verify each one is still open (readable-with-data or
+   EOF means the server hung up on us) and close them.  This is the CI
+   lever for the fiber server's idle-connection claim: a harness floods
+   a live cedard, measures its RSS growth from /proc, and drives real
+   traffic through the parked crowd.  Exit 0 iff every connection opened
+   and survived the hold. *)
+let flood host port conns hold_s =
+  ignore (Aio.raise_fd_limit ());
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ ->
+          Printf.eprintf "cedarctl: cannot resolve %s\n" host;
+          exit 3)
+  in
+  let sockaddr = Unix.ADDR_INET (addr, port) in
+  let opened = ref [] in
+  let failed = ref 0 in
+  (for _ = 1 to conns do
+     match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+     | exception Unix.Unix_error _ -> incr failed
+     | fd -> (
+         match Unix.connect fd sockaddr with
+         | () -> opened := fd :: !opened
+         | exception Unix.Unix_error _ ->
+             incr failed;
+             Unix.close fd)
+   done);
+  let n_opened = List.length !opened in
+  Printf.printf "flood: opened %d/%d idle connections, holding %.1fs\n%!"
+    n_opened conns hold_s;
+  Unix.sleepf (Float.max 0.0 hold_s);
+  (* a held connection is healthy iff it is silent: any readability on a
+     connection we never wrote to means the server spoke first — an
+     Overloaded shed frame, a kill, or a plain close (EOF) *)
+  let still_open =
+    List.fold_left
+      (fun acc fd ->
+        let alive = not (Aio.poll_fd fd `Read ~timeout_s:0.0) in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if alive then acc + 1 else acc)
+      0 !opened
+  in
+  Printf.printf
+    "{ \"requested\": %d, \"opened\": %d, \"failed\": %d, \"held_s\": %.1f, \
+     \"still_open\": %d }\n"
+    conns n_opened !failed hold_s still_open;
+  if n_opened = conns && still_open = n_opened then 0 else 1
+
+let flood_conns_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "n"; "conns" ] ~docv:"N" ~doc:"idle connections to park")
+
+let hold_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "hold-s" ] ~docv:"S" ~doc:"seconds to hold the connections open")
+
+let flood_cmd =
+  Cmd.v
+    (Cmd.info "flood"
+       ~doc:
+         "park idle connections against the server (the fiber gate's \
+          connection-scaling probe)")
+    Term.(const flood $ host_arg $ port_arg $ flood_conns_arg $ hold_arg)
+
 (* ---- cluster (against a cedarproxy) ---- *)
 
 let cluster_members host port timeout_s =
@@ -372,7 +445,7 @@ let cmd =
   Cmd.group (Cmd.info "cedarctl" ~doc)
     [
       ping_cmd; submit_cmd; stats_cmd; metrics_cmd; shutdown_cmd; drive_cmd;
-      cluster_cmd;
+      flood_cmd; cluster_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

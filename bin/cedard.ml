@@ -117,6 +117,9 @@ let serve server fault ~host ~port ~max_conns ~max_inflight
       write_timeout_s = net_timeout_s;
     }
   in
+  (* a fiber front-end is only bounded by descriptors; take the hard
+     limit before accepting *)
+  ignore (Aio.raise_fd_limit ());
   let net = Net.Server.create ~fault net_cfg server in
   let scrape =
     match metrics_port with

@@ -58,6 +58,9 @@ let run shards_spec host port max_conns max_inflight failover vnodes
           shard_timeout_s = timeout_s;
         }
       in
+      (* a fiber front-end is only bounded by descriptors; take the
+         hard limit before accepting *)
+      ignore (Aio.raise_fd_limit ());
       let proxy =
         Cluster.Proxy.create ~cfg ~vnodes ~probe_ms ~down_after ~seed shards
       in

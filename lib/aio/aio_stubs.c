@@ -1,0 +1,168 @@
+/* poll(2) binding for the aio readiness loop.
+
+   Unix.select caps at FD_SETSIZE (1024) descriptors, which is far below
+   the 10k-connection target, so the production readiness source goes
+   through poll.  The interface is three parallel int arrays (fd, wanted
+   events, returned events) so the OCaml side allocates nothing per
+   iteration beyond the arrays it reuses.
+
+   Event bits (both directions): 1 = readable, 2 = writable.  Error and
+   hangup conditions are folded into whichever direction was requested,
+   so a waiter always wakes and discovers the error from the next
+   read/write instead of blocking forever on a dead descriptor. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+CAMLprim value cedar_aio_poll(value v_fds, value v_events, value v_revents,
+                              value v_n, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_n, v_timeout_ms);
+  int n = Int_val(v_n);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds;
+  int i, rc, ready = 0;
+
+  if (n < 0 || n > Wosize_val(v_fds) || n > Wosize_val(v_events)
+      || n > Wosize_val(v_revents))
+    caml_invalid_argument("cedar_aio_poll: bad array lengths");
+
+  pfds = malloc(sizeof(struct pollfd) * (size_t)(n > 0 ? n : 1));
+  if (pfds == NULL) caml_failwith("cedar_aio_poll: out of memory");
+
+  for (i = 0; i < n; i++) {
+    int ev = Int_val(Field(v_events, i));
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = (short)(((ev & 1) ? POLLIN : 0) | ((ev & 2) ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  rc = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  for (i = 0; i < n; i++) Field(v_revents, i) = Val_int(0);
+  if (rc > 0) {
+    for (i = 0; i < n; i++) {
+      int re = 0;
+      short got = pfds[i].revents;
+      if (got & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) re |= 1;
+      if (got & (POLLOUT | POLLHUP | POLLERR | POLLNVAL)) re |= 2;
+      re &= Int_val(Field(v_events, i));
+      if (re) {
+        Field(v_revents, i) = Val_int(re);
+        ready++;
+      }
+    }
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ready));
+}
+
+/* epoll(7) binding: the Linux readiness source keeps the interest set
+   kernel-side so a wakeup costs O(ready), not O(registered).  All three
+   stubs degrade to -1 off Linux, and the OCaml side falls back to the
+   poll source above.
+
+   cedar_aio_epoll_ctl ops: 0 = del, 1 = add, 2 = mod; events use the
+   same 1 = readable / 2 = writable bits as the poll stub. */
+
+CAMLprim value cedar_aio_epoll_create(value v_unit)
+{
+  CAMLparam1(v_unit);
+#ifdef __linux__
+  CAMLreturn(Val_int(epoll_create1(0)));
+#else
+  CAMLreturn(Val_int(-1));
+#endif
+}
+
+CAMLprim value cedar_aio_epoll_ctl(value v_ep, value v_op, value v_fd,
+                                   value v_events)
+{
+  CAMLparam4(v_ep, v_op, v_fd, v_events);
+#ifdef __linux__
+  struct epoll_event ev;
+  int ml_op = Int_val(v_op);
+  int op = ml_op == 0 ? EPOLL_CTL_DEL : ml_op == 1 ? EPOLL_CTL_ADD
+                                                   : EPOLL_CTL_MOD;
+  int bits = Int_val(v_events);
+  memset(&ev, 0, sizeof ev);
+  ev.events = ((bits & 1) ? EPOLLIN : 0) | ((bits & 2) ? EPOLLOUT : 0);
+  ev.data.fd = Int_val(v_fd);
+  CAMLreturn(Val_int(epoll_ctl(Int_val(v_ep), op, Int_val(v_fd), &ev)));
+#else
+  CAMLreturn(Val_int(-1));
+#endif
+}
+
+/* Fill v_fds/v_revents with the ready descriptors and their 1/2 event
+   bits (errors and hangups fold into both directions; the scheduler
+   routes them to whichever waiters exist) and return the ready count.
+   EINTR reports as 0 ready — the loop re-evaluates timers and waits
+   again. */
+CAMLprim value cedar_aio_epoll_wait(value v_ep, value v_fds, value v_revents,
+                                    value v_max, value v_timeout_ms)
+{
+  CAMLparam5(v_ep, v_fds, v_revents, v_max, v_timeout_ms);
+#ifdef __linux__
+  int max = Int_val(v_max);
+  struct epoll_event *evs;
+  int i, rc;
+
+  if (max <= 0 || max > Wosize_val(v_fds) || max > Wosize_val(v_revents))
+    caml_invalid_argument("cedar_aio_epoll_wait: bad array lengths");
+
+  evs = malloc(sizeof(struct epoll_event) * (size_t)max);
+  if (evs == NULL) caml_failwith("cedar_aio_epoll_wait: out of memory");
+
+  caml_release_runtime_system();
+  rc = epoll_wait(Int_val(v_ep), evs, max, Int_val(v_timeout_ms));
+  caml_acquire_runtime_system();
+
+  if (rc < 0) rc = 0;
+  for (i = 0; i < rc; i++) {
+    int re = 0;
+    uint32_t got = evs[i].events;
+    if (got & (EPOLLIN | EPOLLHUP | EPOLLERR)) re |= 1;
+    if (got & (EPOLLOUT | EPOLLHUP | EPOLLERR)) re |= 2;
+    Field(v_fds, i) = Val_int(evs[i].data.fd);
+    Field(v_revents, i) = Val_int(re);
+  }
+  free(evs);
+  CAMLreturn(Val_int(rc));
+#else
+  CAMLreturn(Val_int(-1));
+#endif
+}
+
+/* Raise RLIMIT_NOFILE's soft limit to the hard limit, returning the
+   resulting soft limit.  The connection-scaling bench holds both ends
+   of thousands of sockets in one process; environments that default the
+   soft limit to 1024 would otherwise cap it artificially. */
+CAMLprim value cedar_aio_raise_nofile(value v_unit)
+{
+  CAMLparam1(v_unit);
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) CAMLreturn(Val_int(-1));
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    (void)getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  if (rl.rlim_cur > 1u << 30) CAMLreturn(Val_int(1 << 30));
+  CAMLreturn(Val_int((int)rl.rlim_cur));
+}

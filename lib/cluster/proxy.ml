@@ -1,10 +1,15 @@
-(* Thread structure mirrors Net.Server: one accept thread woken through
-   a self-pipe, one reader thread per client connection.  Where the
-   single-node server hands submits to the in-process service pool, the
-   proxy hands each one to a relay thread that walks the ring
-   candidates through the per-shard pools; replies are written back
-   under the connection's write mutex, so pipelined requests interleave
-   safely. *)
+(* The proxy rides the same Aio fiber scheduler as Net.Server: one
+   event-loop thread runs an accept fiber plus, per client connection,
+   a reader fiber (Wire.Stream decode, per-frame deadlines) and a
+   writer fiber (the single producer on the socket, so pipelined
+   replies never interleave — the old per-connection write mutex is now
+   a mailbox).  Each admitted submit gets a relay *fiber*, not a relay
+   thread: the blocking shard round trip (Pool / Net.Client are
+   synchronous) runs on a small fixed executor pool, fulfils a promise,
+   and the relay fiber suspends in [Aio.await] until the reply comes
+   back through the scheduler's completion queue.  A thousand clients
+   cost a thousand fibers and one poll set; the thread count is fixed at
+   the executor width however many requests are in flight. *)
 
 module M = Obs.Metrics
 
@@ -29,11 +34,78 @@ let default_cfg =
     shard_timeout_s = 60.0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Relay executor: the fixed pool of threads that run the blocking
+   shard round trips on behalf of relay fibers.  The queue is
+   unbounded, but the proxy's in-flight budget already caps how many
+   jobs can be outstanding, so it never grows past [max_inflight].     *)
+(* ------------------------------------------------------------------ *)
+
+module Exec = struct
+  type t = {
+    mu : Mutex.t;
+    cv : Condition.t;
+    jobs : (unit -> unit) Queue.t;
+    mutable closed : bool;
+    mutable workers : Thread.t list;
+  }
+
+  let worker e =
+    let rec loop () =
+      Mutex.lock e.mu;
+      while Queue.is_empty e.jobs && not e.closed do
+        Condition.wait e.cv e.mu
+      done;
+      if Queue.is_empty e.jobs then Mutex.unlock e.mu
+      else begin
+        let job = Queue.pop e.jobs in
+        Mutex.unlock e.mu;
+        (try job () with _ -> ());
+        loop ()
+      end
+    in
+    loop ()
+
+  let create n =
+    let e =
+      {
+        mu = Mutex.create ();
+        cv = Condition.create ();
+        jobs = Queue.create ();
+        closed = false;
+        workers = [];
+      }
+    in
+    e.workers <- List.init (max 1 n) (fun _ -> Thread.create worker e);
+    e
+
+  let submit e job =
+    Mutex.lock e.mu;
+    if e.closed then begin
+      Mutex.unlock e.mu;
+      false
+    end
+    else begin
+      Queue.push job e.jobs;
+      Condition.signal e.cv;
+      Mutex.unlock e.mu;
+      true
+    end
+
+  let shutdown e =
+    Mutex.lock e.mu;
+    e.closed <- true;
+    Condition.broadcast e.cv;
+    Mutex.unlock e.mu;
+    List.iter Thread.join e.workers;
+    e.workers <- []
+end
+
 type conn = {
   c_fd : Unix.file_descr;
-  c_wmutex : Mutex.t;
-  c_alive : int Atomic.t;  (* reader + outstanding relay threads *)
+  c_out : string Aio.Mailbox.mb;  (* encoded frames for the writer *)
   mutable c_dead : bool;
+  mutable c_alive : int;  (* reader + outstanding relay fibers *)
 }
 
 type t = {
@@ -42,8 +114,8 @@ type t = {
   pools : (string * Pool.t) list;  (* by shard id *)
   listen_fd : Unix.file_descr;
   bound_port : int;
-  wake_r : Unix.file_descr;
-  wake_w : Unix.file_descr;
+  sched : Aio.t;
+  exec : Exec.t;
   stop : bool Atomic.t;
   draining : bool Atomic.t;
   inflight : int Atomic.t;
@@ -51,9 +123,10 @@ type t = {
   failovers : int Atomic.t;
   shed : int Atomic.t;
   route_counters : (string * M.counter) list;  (* per shard id *)
-  conns_mutex : Mutex.t;
-  mutable conns : conn list;
-  mutable accept_thread : Thread.t option;
+  scratch : Bytes.t;
+  mutable conns : conn list;  (* loop thread only *)
+  mutable accept_fiber : Aio.fiber option;
+  mutable loop_thread : Thread.t option;
 }
 
 let m_failover =
@@ -68,10 +141,6 @@ let m_inflight =
   M.gauge M.global ~help:"submits in flight through the proxy"
     "cluster_proxy_inflight"
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -81,10 +150,36 @@ let kill_conn conn =
   try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
 
 let send conn ~id msg =
-  with_lock conn.c_wmutex (fun () ->
-      if not conn.c_dead then
-        try Net.Wire.write_frame conn.c_fd ~id msg
-        with Unix.Unix_error _ -> kill_conn conn)
+  if not conn.c_dead then
+    ignore (Aio.Mailbox.put conn.c_out (Net.Wire.encode ~id msg))
+
+let writer t conn =
+  let rec loop () =
+    match Aio.Mailbox.take conn.c_out with
+    | None -> ()
+    | Some s ->
+        if not conn.c_dead then begin
+          let b = Bytes.unsafe_of_string s in
+          match
+            Aio.write_all
+              ~deadline:(Aio.now () +. 30.0)
+              conn.c_fd b 0 (Bytes.length b)
+          with
+          | `Ok -> ()
+          | `Deadline | `Closed -> kill_conn conn
+        end;
+        loop ()
+  in
+  loop ();
+  (* the writer is the last fiber out: producers closed the mailbox *)
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> not (c == conn)) t.conns
+
+(* reader and relay fibers are the producers on [c_out]; the last one
+   to finish closes the mailbox, which lets the writer drain and close *)
+let producer_finished conn =
+  conn.c_alive <- conn.c_alive - 1;
+  if conn.c_alive = 0 then Aio.Mailbox.close conn.c_out
 
 (* ------------------------------------------------------------------ *)
 (* Relaying                                                            *)
@@ -220,15 +315,8 @@ let aggregated_stats_text t =
   String.concat "\n" (header :: sections)
 
 (* ------------------------------------------------------------------ *)
-(* Per-connection reader                                               *)
+(* Per-connection fibers                                               *)
 (* ------------------------------------------------------------------ *)
-
-let thread_finished t conn =
-  if Atomic.fetch_and_add conn.c_alive (-1) = 1 then begin
-    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
-    with_lock t.conns_mutex (fun () ->
-        t.conns <- List.filter (fun c -> not (c == conn)) t.conns)
-  end
 
 let rec try_reserve t =
   let cur = Atomic.get t.inflight in
@@ -243,18 +331,33 @@ let release t =
   Atomic.decr t.inflight;
   M.set_gauge m_inflight (float_of_int (Atomic.get t.inflight))
 
+(* the aggregated-stats round trips dial every shard synchronously, so
+   they also belong on the executor, not the event loop *)
 let spawn_relay t conn ~id work =
-  Atomic.incr conn.c_alive;
+  conn.c_alive <- conn.c_alive + 1;
   ignore
-    (Thread.create
-       (fun () ->
-         (try
-            let reply = work () in
-            send conn ~id reply
-          with _ -> ());
+    (Aio.spawn (fun () ->
+         let pr = Aio.promise () in
+         let ran =
+           Exec.submit t.exec (fun () ->
+               let reply =
+                 try work ()
+                 with _ ->
+                   Net.Wire.Result (Net.Wire.R_error "proxy relay failed")
+               in
+               Aio.fulfil pr reply)
+         in
+         if not ran then begin
+           (* executor gone: only possible mid-teardown; shed typed *)
+           Atomic.incr t.shed;
+           M.incr m_shed;
+           Aio.fulfil pr (Net.Wire.Result Net.Wire.R_overloaded)
+         end;
+         (match Aio.await pr with
+         | `Value reply -> send conn ~id reply
+         | `Deadline -> ());
          release t;
-         thread_finished t conn)
-       ())
+         producer_finished conn))
 
 let dispatch t conn ~id msg =
   match msg with
@@ -282,10 +385,16 @@ let dispatch t conn ~id msg =
             Net.Wire.Cache_ack (relay_cache_push t p));
       `Continue
   | Net.Wire.Stats_req ->
-      send conn ~id (Net.Wire.Stats_text (aggregated_stats_text t));
+      if try_reserve t then
+        spawn_relay t conn ~id (fun () ->
+            Net.Wire.Stats_text (aggregated_stats_text t))
+      else send conn ~id (Net.Wire.Result Net.Wire.R_overloaded);
       `Continue
   | Net.Wire.Stats_json_req ->
-      send conn ~id (Net.Wire.Stats_json (aggregated_stats_json t));
+      if try_reserve t then
+        spawn_relay t conn ~id (fun () ->
+            Net.Wire.Stats_json (aggregated_stats_json t))
+      else send conn ~id (Net.Wire.Result Net.Wire.R_overloaded);
       `Continue
   | Net.Wire.Metrics_req ->
       send conn ~id (Net.Wire.Metrics_text (M.dump M.global));
@@ -300,8 +409,7 @@ let dispatch t conn ~id msg =
       (* stops the proxy only; shards are shut down by their own owners *)
       send conn ~id Net.Wire.Shutdown_ack;
       Atomic.set t.stop true;
-      (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
-       with Unix.Unix_error _ -> ());
+      (match t.accept_fiber with Some f -> Aio.cancel f | None -> ());
       `Close
   | Net.Wire.Pong | Net.Wire.Result _ | Net.Wire.Stats_text _
   | Net.Wire.Metrics_text _ | Net.Wire.Shutdown_ack | Net.Wire.Cache_ack _
@@ -315,75 +423,105 @@ let dispatch t conn ~id msg =
       `Close
 
 let reader t conn =
+  let stream = Net.Wire.Stream.create () in
+  (* same deadline discipline as Net.Server: idle connections carry no
+     timer; the first byte of a frame arms one absolute deadline *)
+  let frame_deadline = ref None in
+  let update_deadline () =
+    if Net.Wire.Stream.midframe stream then begin
+      if !frame_deadline = None && t.cfg.read_timeout_s > 0.0 then
+        frame_deadline := Some (Aio.now () +. t.cfg.read_timeout_s)
+    end
+    else frame_deadline := None
+  in
   let rec loop () =
     if conn.c_dead || Atomic.get t.draining then ()
     else
-      match Net.Wire.read_frame conn.c_fd with
-      | Net.Wire.Idle -> loop ()
-      | Net.Wire.Frame (id, msg) -> (
+      match Net.Wire.Stream.next stream with
+      | `Frame (id, msg) -> (
+          update_deadline ();
           match dispatch t conn ~id msg with
           | `Continue -> loop ()
           | `Close -> ())
-      | Net.Wire.Oversized (id, got) ->
+      | `Oversized (id, got) ->
+          update_deadline ();
           send conn ~id
             (Net.Wire.Result
                (Net.Wire.R_too_large
                   { limit = Net.Wire.hard_max_payload; got }));
           loop ()
-      | Net.Wire.Stalled -> kill_conn conn
-      | Net.Wire.Eof -> ()
-      | Net.Wire.Fail err ->
+      | `Fail err ->
           send conn ~id:0
             (Net.Wire.Result
                (Net.Wire.R_error (Net.Wire.error_to_string err)))
+      | `Need_more -> (
+          update_deadline ();
+          match
+            Aio.read ?deadline:!frame_deadline conn.c_fd t.scratch 0
+              (Bytes.length t.scratch)
+          with
+          | `Data n ->
+              Net.Wire.Stream.feed stream t.scratch 0 n;
+              loop ()
+          | `Eof -> ()
+          | `Deadline -> kill_conn conn)
   in
   (try loop () with _ -> ());
-  thread_finished t conn
+  producer_finished conn
 
 (* ------------------------------------------------------------------ *)
-(* Accept loop / lifecycle                                             *)
+(* Accept fiber / lifecycle                                            *)
 (* ------------------------------------------------------------------ *)
 
 let handle_accept t fd =
-  let active = with_lock t.conns_mutex (fun () -> List.length t.conns) in
-  if active >= t.cfg.max_conns then begin
+  if Atomic.get t.stop then (
+    try Unix.close fd with Unix.Unix_error _ -> ())
+  else if List.length t.conns >= t.cfg.max_conns then begin
     Atomic.incr t.shed;
     M.incr m_shed;
-    (try Net.Wire.write_frame fd ~id:0 (Net.Wire.Result Net.Wire.R_overloaded)
-     with Unix.Unix_error _ -> ());
-    try Unix.close fd with Unix.Unix_error _ -> ()
+    Unix.set_nonblock fd;
+    ignore
+      (Aio.spawn (fun () ->
+           let s =
+             Net.Wire.encode ~id:0 (Net.Wire.Result Net.Wire.R_overloaded)
+           in
+           let b = Bytes.unsafe_of_string s in
+           ignore
+             (Aio.write_all
+                ~deadline:(Aio.now () +. 5.0)
+                fd b 0 (Bytes.length b));
+           try Unix.close fd with Unix.Unix_error _ -> ()))
   end
   else begin
+    Unix.set_nonblock fd;
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-    if t.cfg.read_timeout_s > 0.0 then
-      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout_s
-       with Unix.Unix_error _ -> ());
     let conn =
       {
         c_fd = fd;
-        c_wmutex = Mutex.create ();
-        c_alive = Atomic.make 1;
+        c_out = Aio.Mailbox.create ();
         c_dead = false;
+        c_alive = 1;
       }
     in
-    with_lock t.conns_mutex (fun () -> t.conns <- conn :: t.conns);
-    ignore (Thread.create (fun () -> reader t conn) ())
+    t.conns <- conn :: t.conns;
+    ignore (Aio.spawn (fun () -> writer t conn));
+    ignore (Aio.spawn (fun () -> reader t conn))
   end
 
 let accept_loop t =
-  while not (Atomic.get t.stop) do
-    match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
-    | ready, _, _ ->
-        if List.mem t.wake_r ready then ()
-        else if List.mem t.listen_fd ready then begin
-          match Unix.accept t.listen_fd with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
-          | fd, _addr -> handle_accept t fd
-        end
-  done
+  try
+    let rec loop () =
+      if Atomic.get t.stop then ()
+      else
+        match Aio.accept t.listen_fd with
+        | `Conn (fd, _addr) ->
+            handle_accept t fd;
+            loop ()
+        | `Deadline -> loop ()
+        | `Error _ -> Atomic.set t.stop true
+    in
+    loop ()
+  with Aio.Cancelled -> ()
 
 let create ?(cfg = default_cfg) ?(vnodes = 64) ?(probe_ms = 500.0)
     ?(down_after = 2) ?(seed = 0x5eed) shards =
@@ -425,12 +563,12 @@ let create ?(cfg = default_cfg) ?(vnodes = 64) ?(probe_ms = 500.0)
      Membership.stop members;
      raise e);
   Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
   let bound_port =
     match Unix.getsockname listen_fd with
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> cfg.port
   in
-  let wake_r, wake_w = Unix.pipe () in
   let t =
     {
       cfg;
@@ -438,8 +576,8 @@ let create ?(cfg = default_cfg) ?(vnodes = 64) ?(probe_ms = 500.0)
       pools;
       listen_fd;
       bound_port;
-      wake_r;
-      wake_w;
+      sched = Aio.create ();
+      exec = Exec.create 16;
       stop = Atomic.make false;
       draining = Atomic.make false;
       inflight = Atomic.make 0;
@@ -447,12 +585,20 @@ let create ?(cfg = default_cfg) ?(vnodes = 64) ?(probe_ms = 500.0)
       failovers = Atomic.make 0;
       shed = Atomic.make 0;
       route_counters;
-      conns_mutex = Mutex.create ();
+      scratch = Bytes.create 65536;
       conns = [];
-      accept_thread = None;
+      accept_fiber = None;
+      loop_thread = None;
     }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.loop_thread <-
+    Some
+      (Thread.create
+         (fun () ->
+           Aio.run t.sched (fun () ->
+               t.accept_fiber <- Some (Aio.self ());
+               accept_loop t))
+         ());
   t
 
 let port t = t.bound_port
@@ -460,8 +606,10 @@ let membership t = t.members
 
 let request_stop t =
   Atomic.set t.stop true;
-  try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
-  with Unix.Unix_error _ -> ()
+  Aio.post t.sched (fun () ->
+      match t.accept_fiber with
+      | Some f -> Aio.cancel_on t.sched f
+      | None -> ())
 
 let wait_stop t =
   while not (Atomic.get t.stop) do
@@ -471,32 +619,24 @@ let wait_stop t =
 let drain t =
   if not (Atomic.exchange t.draining true) then begin
     request_stop t;
-    (match t.accept_thread with
+    (* on the loop thread: stop the readers — relay fibers still in
+       flight finish their shard round trips and their replies flush
+       through the writer before the loop drains *)
+    Aio.post t.sched (fun () ->
+        List.iter
+          (fun c ->
+            try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          t.conns);
+    (match t.loop_thread with
     | Some th ->
         Thread.join th;
-        t.accept_thread <- None
+        t.loop_thread <- None
     | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
-    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
-    (* stop the readers; relay threads finish their shard round trips
-       and write their replies before the connection closes *)
-    let conns = with_lock t.conns_mutex (fun () -> t.conns) in
-    List.iter
-      (fun c ->
-        try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
-        with Unix.Unix_error _ -> ())
-      conns;
-    (* wait for the per-connection threads to drain *)
-    let rec settle tries =
-      let left = with_lock t.conns_mutex (fun () -> List.length t.conns) in
-      if left > 0 && tries > 0 then begin
-        Thread.delay 0.02;
-        settle (tries - 1)
-      end
-    in
-    settle 500;
     Membership.stop t.members;
+    (* all relay fibers are done, so the executor is idle *)
+    Exec.shutdown t.exec;
     List.iter (fun (_, p) -> Pool.close_all p) t.pools
   end
 

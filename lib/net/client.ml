@@ -101,9 +101,10 @@ let connect_once cfg =
           let ready =
             if not wait then true
             else
-              match Unix.select [] [ fd ] [] cfg.connect_timeout_s with
-              | _, [ _ ], _ -> true
-              | _ -> false
+              (* poll, not select: a client in a process already holding
+                 hundreds of connections has descriptors past FD_SETSIZE *)
+              match Aio.poll_fd fd `Write ~timeout_s:cfg.connect_timeout_s with
+              | ready -> ready
               | exception Unix.Unix_error _ -> false
           in
           if not ready then

@@ -1,25 +1,44 @@
 (* cedarnet TCP front-end.  See server.mli for the contract.
 
-   Thread structure: one accept thread (woken for shutdown through a
-   self-pipe, because closing a listening socket does not reliably wake
-   a blocked accept), and per connection a reader thread plus a
-   responder thread meeting at a bounded pending queue.  The reader
-   decodes frames and admits submits into the service pool without
-   waiting for earlier replies (pipelining); the responder awaits each
-   ticket in order and streams the replies back.  The pending queue's
-   capacity exceeds the in-flight budget, so the reader never blocks on
-   it and the drain path cannot deadlock.
+   Fiber structure (one Aio scheduler on one event-loop thread, replacing
+   the former thread-per-connection design):
 
-   Budget accounting: [inflight] counts submits admitted into the
-   service and not yet replied to, across all connections.  The reader
-   increments it (with a CAS loop against the budget — excess submits
-   are shed with R_overloaded, never queued), the responder decrements
-   it after the reply is on the wire.  The high-water mark proves the
-   bound held. *)
+   - one accept fiber owning the listening socket;
+   - per connection, three fibers replacing the old reader+responder
+     thread pair: a reader (decodes frames off the non-blocking socket
+     through Wire.Stream and admits submits without waiting on earlier
+     replies — pipelining), a responder (awaits each admitted ticket in
+     order and enqueues the replies), and a writer (the single point
+     that touches the socket for output, so partial non-blocking writes
+     from different producers can never interleave).  Control replies
+     (Pong, stats, ...) and shed verdicts go straight from the reader to
+     the writer's queue, exactly as the old reader wrote them directly.
+
+   CPU-bound restructure work still runs on the Service.Server domain
+   pool; the seam is the completion-queue bridge: the reader registers
+   Service.Server.on_resolve -> Aio.fulfil on the ticket, the responder
+   suspends in Aio.await, and the worker domain's resolution posts the
+   wakeup through the scheduler's completion queue.  No OS thread ever
+   parks per request.
+
+   Read deadlines are event-loop timers now, not SO_RCVTIMEO (which is
+   meaningless on a non-blocking descriptor): a connection with no
+   partial frame buffered carries no deadline at all — ten thousand
+   idle connections cost three suspended fibers and a poll slot each —
+   while the moment the first byte of a frame arrives, the reader arms
+   one absolute deadline for the whole frame, which is what finally
+   defeats the 1-byte-per-second slow-loris sender the old per-read
+   socket timeout never caught.
+
+   Budget accounting is unchanged: [inflight] counts submits admitted
+   into the service and not yet replied to, across all connections,
+   CAS-reserved against the budget (excess submits shed with
+   R_overloaded, never queued); the high-water mark proves the bound
+   held.  The counters stay atomics because stats readers live on other
+   threads. *)
 
 module M = Obs.Metrics
 module Fault = Service.Fault
-module Bq = Service.Bounded_queue
 
 type cfg = {
   host : string;
@@ -44,19 +63,24 @@ let default_cfg =
 
 type pending = {
   pd_id : int;  (* request id to echo *)
-  pd_ticket : Service.Server.ticket;
+  pd_outcome : Service.Server.outcome Aio.promise;
   pd_trace : int;
   pd_start : float;
 }
 
+(* what the writer fiber is asked to put on the wire *)
+type out_item =
+  | O_frame of string  (* a complete encoded frame *)
+  | O_kill of string
+      (* chaos: write these raw bytes (possibly a truncated or garbage
+         frame), then drop the connection *)
+
 type conn = {
   c_fd : Unix.file_descr;
-  c_wmutex : Mutex.t;
-  c_pending : pending Bq.t;
-  c_alive : int Atomic.t;  (* reader + responder still running *)
+  c_pending : pending Aio.Mailbox.mb;
+  c_out : out_item Aio.Mailbox.mb;
   mutable c_dead : bool;  (* stop writing: write fault or IO error *)
-  mutable c_rthread : Thread.t option;
-  mutable c_wthread : Thread.t option;
+  mutable c_alive : int;  (* reader + responder + writer still running *)
 }
 
 type t = {
@@ -65,17 +89,20 @@ type t = {
   fault : Fault.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  wake_r : Unix.file_descr;  (* self-pipe: read side, in the accept select *)
-  wake_w : Unix.file_descr;
+  sched : Aio.t;
   stop : bool Atomic.t;
   draining : bool Atomic.t;
   inflight : int Atomic.t;
   inflight_hw : int Atomic.t;
   shed : int Atomic.t;
   conns_seen : int Atomic.t;
-  conns_mutex : Mutex.t;
-  mutable conns : conn list;
-  mutable accept_thread : Thread.t option;
+  scratch : Bytes.t;
+      (* shared read buffer: fibers never suspend between reading into
+         it and feeding the stream, so one buffer serves every
+         connection — per-conn memory stays flat *)
+  mutable conns : conn list;  (* loop thread only *)
+  mutable accept_fiber : Aio.fiber option;
+  mutable loop_thread : Thread.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -111,14 +138,15 @@ let m_request_seconds =
   M.histogram M.global ~help:"wire request latency, admit to reply written"
     "net_request_seconds"
 
+(* get-or-create: shared with the instruments in wire.ml *)
+let m_bytes_read = M.counter M.global "net_bytes_read_total"
+let m_bytes_written = M.counter M.global "net_bytes_written_total"
+
 let now () = Unix.gettimeofday ()
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-
 (* ------------------------------------------------------------------ *)
-(* Writing (single point, so the chaos write faults cover every reply)  *)
+(* Writing (a single writer fiber per connection, so the chaos write
+   faults cover every reply and partial writes never interleave)       *)
 (* ------------------------------------------------------------------ *)
 
 let kill_conn conn =
@@ -126,24 +154,59 @@ let kill_conn conn =
   try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
 
 let send t conn ~id msg =
-  with_lock conn.c_wmutex (fun () ->
-      if not conn.c_dead then
-        if Fault.fire t.fault Fault.Trunc_write then begin
-          (* cut the frame in half and drop the connection: the client
-             must fail typed (Truncated/Eof), never hang or crash *)
-          let s = Wire.encode ~id msg in
-          (try Wire.write_raw conn.c_fd (String.sub s 0 (String.length s / 2))
-           with Unix.Unix_error _ -> ());
-          kill_conn conn
+  if not conn.c_dead then
+    if Fault.fire t.fault Fault.Trunc_write then begin
+      (* cut the frame in half and drop the connection: the client must
+         fail typed (Truncated/Eof), never hang or crash *)
+      let s = Wire.encode ~id msg in
+      ignore
+        (Aio.Mailbox.put conn.c_out
+           (O_kill (String.sub s 0 (String.length s / 2))))
+    end
+    else if Fault.fire t.fault Fault.Garbage_frame then
+      ignore
+        (Aio.Mailbox.put conn.c_out
+           (O_kill (String.make Wire.header_bytes '\xa5')))
+    else ignore (Aio.Mailbox.put conn.c_out (O_frame (Wire.encode ~id msg)))
+
+(* forward-declared so the three connection fibers can share it *)
+let conn_finished t conn =
+  conn.c_alive <- conn.c_alive - 1;
+  if conn.c_alive = 0 then begin
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    M.add_gauge m_conns_active (-1.0);
+    t.conns <- List.filter (fun c -> not (c == conn)) t.conns
+  end
+
+let writer t conn =
+  let rec loop () =
+    match Aio.Mailbox.take conn.c_out with
+    | None -> ()
+    | Some item ->
+        if conn.c_dead then loop ()
+        else begin
+          let deadline =
+            if t.cfg.write_timeout_s > 0.0 then
+              Some (Aio.now () +. t.cfg.write_timeout_s)
+            else None
+          in
+          (match item with
+          | O_frame s -> (
+              let b = Bytes.unsafe_of_string s in
+              match Aio.write_all ?deadline conn.c_fd b 0 (Bytes.length b) with
+              | `Ok -> M.incr ~by:(String.length s) m_bytes_written
+              | `Deadline | `Closed -> kill_conn conn)
+          | O_kill s ->
+              let b = Bytes.unsafe_of_string s in
+              (match Aio.write_all ?deadline conn.c_fd b 0 (Bytes.length b) with
+              | `Ok -> M.incr ~by:(String.length s) m_bytes_written
+              | `Deadline | `Closed -> ());
+              kill_conn conn);
+          loop ()
         end
-        else if Fault.fire t.fault Fault.Garbage_frame then begin
-          (try Wire.write_raw conn.c_fd (String.make Wire.header_bytes '\xa5')
-           with Unix.Unix_error _ -> ());
-          kill_conn conn
-        end
-        else
-          try Wire.write_frame conn.c_fd ~id msg
-          with Unix.Unix_error _ -> kill_conn conn)
+  in
+  loop ();
+  conn_finished t conn
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch                                                    *)
@@ -221,9 +284,14 @@ let admit_submit t conn ~id (s : Wire.submit) =
         release t;
         shed_request t conn ~id
     | Some ticket ->
+        (* the completion-queue bridge: the worker domain that resolves
+           the ticket fulfils the promise, which posts the responder's
+           wakeup into the scheduler *)
+        let outcome = Aio.promise () in
+        Service.Server.on_resolve ticket (Aio.fulfil outcome);
         ignore
-          (Bq.push conn.c_pending
-             { pd_id = id; pd_ticket = ticket; pd_trace = trace;
+          (Aio.Mailbox.put conn.c_pending
+             { pd_id = id; pd_outcome = outcome; pd_trace = trace;
                pd_start = now () })
   end
 
@@ -279,9 +347,8 @@ let dispatch t conn ~id msg =
   | Wire.Shutdown_req ->
       send t conn ~id Wire.Shutdown_ack;
       Atomic.set t.stop true;
-      (* wake the accept select so the stop is noticed immediately *)
-      (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
-       with Unix.Unix_error _ -> ());
+      (* wake the accept fiber so the stop is noticed immediately *)
+      (match t.accept_fiber with Some f -> Aio.cancel f | None -> ());
       `Close
   | Wire.Pong | Wire.Result _ | Wire.Stats_text _ | Wire.Metrics_text _
   | Wire.Shutdown_ack | Wire.Cache_ack _ | Wire.Stats_json _
@@ -294,64 +361,84 @@ let dispatch t conn ~id msg =
       `Close
 
 (* ------------------------------------------------------------------ *)
-(* Connection threads                                                  *)
+(* Connection fibers                                                   *)
 (* ------------------------------------------------------------------ *)
-
-let thread_finished t conn =
-  if Atomic.fetch_and_add conn.c_alive (-1) = 1 then begin
-    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
-    M.add_gauge m_conns_active (-1.0);
-    with_lock t.conns_mutex (fun () ->
-        t.conns <- List.filter (fun c -> not (c == conn)) t.conns)
-  end
 
 let reader t conn =
   let cap =
     if t.cfg.max_source_bytes > 0 then t.cfg.max_source_bytes + 4096
     else Wire.hard_max_payload
   in
+  let stream = Wire.Stream.create ~max_payload:cap () in
+  (* one absolute deadline per frame, armed when its first byte arrives
+     and dropped when the frame completes: idle connections carry no
+     timer at all, and a sender trickling a header one byte a second
+     runs out of road [read_timeout_s] after it started *)
+  let frame_deadline = ref None in
+  let update_deadline () =
+    if Wire.Stream.midframe stream then begin
+      if !frame_deadline = None && t.cfg.read_timeout_s > 0.0 then
+        frame_deadline := Some (Aio.now () +. t.cfg.read_timeout_s)
+    end
+    else frame_deadline := None
+  in
   let rec loop () =
     if conn.c_dead || Atomic.get t.draining then ()
-    else begin
-      if Fault.fire t.fault Fault.Read_stall then
-        Thread.delay (Fault.delay_s t.fault);
-      match Wire.read_frame ~max_payload:cap conn.c_fd with
-      | Wire.Idle -> loop () (* quiet connection; deadlines are per request *)
-      | Wire.Frame (id, msg) -> (
+    else
+      match Wire.Stream.next stream with
+      | `Frame (id, msg) -> (
+          update_deadline ();
           match dispatch t conn ~id msg with
           | `Continue -> loop ()
           | `Close -> ())
-      | Wire.Oversized (id, got) ->
+      | `Oversized (id, got) ->
           (* drained in constant memory: reject typed, keep the stream *)
+          update_deadline ();
           M.incr m_requests;
           M.incr m_too_large;
-          send t conn ~id
-            (Wire.Result (Wire.R_too_large { limit = cap; got }));
+          send t conn ~id (Wire.Result (Wire.R_too_large { limit = cap; got }));
           loop ()
-      | Wire.Stalled ->
-          (* read deadline expired mid-request: drop the sender *)
-          kill_conn conn
-      | Wire.Eof -> ()
-      | Wire.Fail err ->
+      | `Fail err ->
           (* a frame that does not decode leaves the stream position
              unknowable; answer typed and drop the connection *)
           M.incr m_bad_frames;
           send t conn ~id:0
             (Wire.Result (Wire.R_error (Wire.error_to_string err)))
-    end
+      | `Need_more -> (
+          update_deadline ();
+          if Fault.fire t.fault Fault.Read_stall then
+            Aio.sleep (Fault.delay_s t.fault);
+          match
+            Aio.read ?deadline:!frame_deadline conn.c_fd t.scratch 0
+              (Bytes.length t.scratch)
+          with
+          | `Data n ->
+              M.incr ~by:n m_bytes_read;
+              Wire.Stream.feed stream t.scratch 0 n;
+              loop ()
+          | `Eof -> ()
+          | `Deadline ->
+              (* the frame deadline expired mid-request: the old
+                 [Wire.Stalled] verdict, now an event-loop timer *)
+              kill_conn conn)
   in
   (try loop () with _ -> ());
-  (* no more requests will be admitted: let the responder finish the
-     pending replies, then it closes the socket *)
-  Bq.close conn.c_pending;
-  thread_finished t conn
+  (* no more requests will be admitted: the responder finishes the
+     pending replies, then the writer flushes and the last fiber out
+     closes the socket *)
+  Aio.Mailbox.close conn.c_pending;
+  conn_finished t conn
 
 let responder t conn =
   let rec loop () =
-    match Bq.pop conn.c_pending with
+    match Aio.Mailbox.take conn.c_pending with
     | None -> ()
     | Some p ->
-        let outcome = Service.Server.await p.pd_ticket in
+        let outcome =
+          match Aio.await p.pd_outcome with
+          | `Value o -> o
+          | `Deadline -> assert false (* no deadline on ticket waits *)
+        in
         let reply = reply_of_outcome p.pd_trace outcome in
         send t conn ~id:p.pd_id (Wire.Result reply);
         release t;
@@ -364,69 +451,73 @@ let responder t conn =
         loop ()
   in
   (try loop () with _ -> ());
-  thread_finished t conn
+  Aio.Mailbox.close conn.c_out;
+  conn_finished t conn
 
 (* ------------------------------------------------------------------ *)
-(* Accept loop                                                         *)
+(* Accept fiber                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let handle_accept t fd =
-  Atomic.incr t.conns_seen;
-  M.incr m_conns_total;
-  if Fault.fire t.fault Fault.Accept_drop then (
+  if Atomic.get t.stop then (
     try Unix.close fd with Unix.Unix_error _ -> ())
   else begin
-    let active = with_lock t.conns_mutex (fun () -> List.length t.conns) in
-    if active >= t.cfg.max_conns then begin
+    Atomic.incr t.conns_seen;
+    M.incr m_conns_total;
+    if Fault.fire t.fault Fault.Accept_drop then (
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    else if List.length t.conns >= t.cfg.max_conns then begin
       (* connection budget exhausted: one explicit Overloaded frame,
-         then the door closes — nothing queues *)
+         then the door closes — nothing queues.  A small fiber writes
+         the verdict so a slow receiver cannot stall the accept loop. *)
       Atomic.incr t.shed;
       M.incr m_shed;
-      (try Wire.write_frame fd ~id:0 (Wire.Result Wire.R_overloaded)
-       with Unix.Unix_error _ -> ());
-      try Unix.close fd with Unix.Unix_error _ -> ()
+      Unix.set_nonblock fd;
+      ignore
+        (Aio.spawn (fun () ->
+             let s = Wire.encode ~id:0 (Wire.Result Wire.R_overloaded) in
+             let b = Bytes.unsafe_of_string s in
+             ignore
+               (Aio.write_all
+                  ~deadline:(Aio.now () +. 5.0)
+                  fd b 0 (Bytes.length b));
+             try Unix.close fd with Unix.Unix_error _ -> ()))
     end
     else begin
+      Unix.set_nonblock fd;
       (try Unix.setsockopt fd Unix.TCP_NODELAY true
        with Unix.Unix_error _ -> ());
-      if t.cfg.read_timeout_s > 0.0 then
-        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout_s
-         with Unix.Unix_error _ -> ());
-      if t.cfg.write_timeout_s > 0.0 then
-        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout_s
-         with Unix.Unix_error _ -> ());
       let conn =
         {
           c_fd = fd;
-          c_wmutex = Mutex.create ();
-          c_pending = Bq.create ~capacity:(t.cfg.max_inflight + 4);
-          c_alive = Atomic.make 2;
+          c_pending = Aio.Mailbox.create ~capacity:(t.cfg.max_inflight + 4) ();
+          c_out = Aio.Mailbox.create ();
           c_dead = false;
-          c_rthread = None;
-          c_wthread = None;
+          c_alive = 3;
         }
       in
-      with_lock t.conns_mutex (fun () -> t.conns <- conn :: t.conns);
+      t.conns <- conn :: t.conns;
       M.add_gauge m_conns_active 1.0;
-      conn.c_wthread <- Some (Thread.create (fun () -> responder t conn) ());
-      conn.c_rthread <- Some (Thread.create (fun () -> reader t conn) ())
+      ignore (Aio.spawn (fun () -> writer t conn));
+      ignore (Aio.spawn (fun () -> responder t conn));
+      ignore (Aio.spawn (fun () -> reader t conn))
     end
   end
 
 let accept_loop t =
-  while not (Atomic.get t.stop) do
-    match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
-    | ready, _, _ ->
-        if List.mem t.wake_r ready then () (* woken: loop re-checks stop *)
-        else if List.mem t.listen_fd ready then begin
-          match Unix.accept t.listen_fd with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true
-          | fd, _addr -> handle_accept t fd
-        end
-  done
+  try
+    let rec loop () =
+      if Atomic.get t.stop then ()
+      else
+        match Aio.accept t.listen_fd with
+        | `Conn (fd, _addr) ->
+            handle_accept t fd;
+            loop ()
+        | `Deadline -> loop ()
+        | `Error _ -> Atomic.set t.stop true
+    in
+    loop ()
+  with Aio.Cancelled -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -443,13 +534,13 @@ let create ?(fault = Fault.none) cfg svc =
    with e ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise e);
-  Unix.listen listen_fd 64;
+  Unix.listen listen_fd 256;
+  Unix.set_nonblock listen_fd;
   let bound_port =
     match Unix.getsockname listen_fd with
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> cfg.port
   in
-  let wake_r, wake_w = Unix.pipe () in
   let t =
     {
       svc;
@@ -457,30 +548,39 @@ let create ?(fault = Fault.none) cfg svc =
       fault;
       listen_fd;
       bound_port;
-      wake_r;
-      wake_w;
+      sched = Aio.create ();
       stop = Atomic.make false;
       draining = Atomic.make false;
       inflight = Atomic.make 0;
       inflight_hw = Atomic.make 0;
       shed = Atomic.make 0;
       conns_seen = Atomic.make 0;
-      conns_mutex = Mutex.create ();
+      scratch = Bytes.create 65536;
       conns = [];
-      accept_thread = None;
+      accept_fiber = None;
+      loop_thread = None;
     }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.loop_thread <-
+    Some
+      (Thread.create
+         (fun () ->
+           Aio.run t.sched (fun () ->
+               t.accept_fiber <- Some (Aio.self ());
+               accept_loop t))
+         ());
   t
 
 let port t = t.bound_port
 
 let request_stop t =
   Atomic.set t.stop true;
-  (* wake the accept select; a single byte suffices and a full pipe
-     means a wake-up is already pending *)
-  try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
-  with Unix.Unix_error _ -> ()
+  (* wake the accept fiber; posting is safe from any thread and a no-op
+     once the loop has already finished *)
+  Aio.post t.sched (fun () ->
+      match t.accept_fiber with
+      | Some f -> Aio.cancel_on t.sched f
+      | None -> ())
 
 let stop_requested t = Atomic.get t.stop
 
@@ -492,27 +592,21 @@ let wait_stop t =
 let drain t =
   if not (Atomic.exchange t.draining true) then begin
     request_stop t;
-    (match t.accept_thread with
+    (* on the loop thread (so it cannot race handle_accept): stop the
+       readers — no new requests — but keep the writers, so in-flight
+       requests finish and their replies flush before the loop drains *)
+    Aio.post t.sched (fun () ->
+        List.iter
+          (fun c ->
+            try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          t.conns);
+    (match t.loop_thread with
     | Some th ->
         Thread.join th;
-        t.accept_thread <- None
+        t.loop_thread <- None
     | None -> ());
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
-    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
-    (* stop the readers (no new requests), keep the writers: in-flight
-       requests finish and their replies flush before the join *)
-    let conns = with_lock t.conns_mutex (fun () -> t.conns) in
-    List.iter
-      (fun c ->
-        try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
-        with Unix.Unix_error _ -> ())
-      conns;
-    List.iter
-      (fun c ->
-        (match c.c_rthread with Some th -> Thread.join th | None -> ());
-        match c.c_wthread with Some th -> Thread.join th | None -> ())
-      conns
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
   end
 
 let connections_seen t = Atomic.get t.conns_seen

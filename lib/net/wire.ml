@@ -720,6 +720,131 @@ let read_frame ?(max_payload = hard_max_payload) fd =
                 | msg -> Frame (h.h_id, msg)
                 | exception Err e -> Fail e)))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental stream decoder                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A resumable frame decoder for non-blocking readers: bytes go in via
+   [feed] as they arrive, frames come out via [next].  Unlike
+   [read_frame] it never touches a descriptor, so "the sender stalled"
+   is not its concern — the caller observes [midframe] and arms an
+   event-loop deadline, which is the only stall detection that means
+   anything on a non-blocking descriptor (SO_RCVTIMEO does nothing
+   there).  Oversized payloads are consumed into the void in constant
+   memory, exactly like [read_frame]'s drain, so the stream stays
+   synchronized across a typed rejection. *)
+module Stream = struct
+  type state =
+    | S_header
+    | S_payload of header
+    | S_drain of { d_id : int; d_len : int; mutable d_left : int }
+    | S_fail of error  (* sticky: an undecodable stream cannot resync *)
+
+  type t = {
+    st_max : int;
+    mutable st_data : Bytes.t;  (* window [st_pos, st_pos + st_len) *)
+    mutable st_pos : int;
+    mutable st_len : int;
+    mutable st_state : state;
+  }
+
+  let create ?(max_payload = hard_max_payload) () =
+    {
+      st_max = max_payload;
+      st_data = Bytes.create 4096;
+      st_pos = 0;
+      st_len = 0;
+      st_state = S_header;
+    }
+
+  let buffered st = st.st_len
+
+  let feed st src off len =
+    if off < 0 || len < 0 || off + len > Bytes.length src then
+      invalid_arg "Wire.Stream.feed";
+    let cap = Bytes.length st.st_data in
+    if st.st_pos + st.st_len + len > cap then begin
+      (* compact, then grow if the window still does not fit *)
+      if st.st_pos > 0 then begin
+        Bytes.blit st.st_data st.st_pos st.st_data 0 st.st_len;
+        st.st_pos <- 0
+      end;
+      if st.st_len + len > cap then begin
+        let cap' = ref (max 4096 cap) in
+        while st.st_len + len > !cap' do
+          cap' := !cap' * 2
+        done;
+        let data' = Bytes.create !cap' in
+        Bytes.blit st.st_data 0 data' 0 st.st_len;
+        st.st_data <- data'
+      end
+    end;
+    Bytes.blit src off st.st_data (st.st_pos + st.st_len) len;
+    st.st_len <- st.st_len + len
+
+  let consume st n =
+    st.st_pos <- st.st_pos + n;
+    st.st_len <- st.st_len - n;
+    if st.st_len = 0 then st.st_pos <- 0
+
+  let peek st n = Bytes.sub_string st.st_data st.st_pos n
+
+  let rec next st =
+    match st.st_state with
+    | S_fail e -> `Fail e
+    | S_drain d ->
+        let take = min st.st_len d.d_left in
+        consume st take;
+        d.d_left <- d.d_left - take;
+        if d.d_left = 0 then begin
+          st.st_state <- S_header;
+          `Oversized (d.d_id, d.d_len)
+        end
+        else `Need_more
+    | S_header ->
+        if st.st_len < header_bytes then `Need_more
+        else begin
+          match decode_header (peek st header_bytes) with
+          | Error e ->
+              st.st_state <- S_fail e;
+              `Fail e
+          | Ok h ->
+              consume st header_bytes;
+              if h.h_len > st.st_max then begin
+                st.st_state <-
+                  S_drain { d_id = h.h_id; d_len = h.h_len; d_left = h.h_len };
+                next st
+              end
+              else begin
+                st.st_state <- S_payload h;
+                next st
+              end
+        end
+    | S_payload h ->
+        if st.st_len < h.h_len then `Need_more
+        else begin
+          let payload = peek st h.h_len in
+          consume st h.h_len;
+          st.st_state <- S_header;
+          match decode_payload h.h_kind payload with
+          | msg -> `Frame (h.h_id, msg)
+          | exception Err e ->
+              st.st_state <- S_fail e;
+              `Fail e
+        end
+
+  (* at least one byte of an incomplete frame is pending: the peer
+     started a request and has not finished it.  This is the predicate
+     the event loop turns into a per-frame deadline — the successor to
+     read_frame's [Stalled], which depended on SO_RCVTIMEO and so was
+     meaningless on a non-blocking descriptor. *)
+  let midframe st =
+    match st.st_state with
+    | S_payload _ | S_drain _ -> true
+    | S_header -> st.st_len > 0
+    | S_fail _ -> false
+end
+
 let write_raw fd s =
   let b = Bytes.of_string s in
   let rec go off len =

@@ -176,6 +176,49 @@ val read_frame : ?max_payload:int -> Unix.file_descr -> read_result
     reported {!Oversized}.  Read deadlines are the descriptor's
     [SO_RCVTIMEO].  Never raises: IO errors map to {!Eof}. *)
 
+(** Incremental frame decoder for non-blocking readers.
+
+    [read_frame] above owns its descriptor and expresses read deadlines
+    through [SO_RCVTIMEO] — which does nothing on a non-blocking
+    descriptor, so its mid-frame [Stalled] verdict cannot exist in an
+    event-loop server.  [Stream] splits the concern: the event loop
+    reads whatever bytes are ready and [feed]s them in, [next] yields
+    complete frames, and {!Stream.midframe} tells the loop whether the
+    peer is mid-request — the condition under which the loop arms a
+    per-frame deadline (the replacement for [Stalled]).  A quiet
+    connection with no partial frame needs no deadline at all, which is
+    what lets thousands of idle connections cost nothing.
+
+    Decode failures are sticky: once a frame fails to parse the stream
+    position is unknowable and every subsequent [next] returns the same
+    [`Fail]. *)
+module Stream : sig
+  type t
+
+  val create : ?max_payload:int -> unit -> t
+  (** [max_payload] is the soft cap (default {!hard_max_payload}): a
+      larger announced payload is consumed in constant memory and
+      reported [`Oversized] with the stream still synchronized. *)
+
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed t buf off len] appends bytes as they arrive off the wire. *)
+
+  val next :
+    t ->
+    [ `Frame of int * message
+    | `Oversized of int * int
+    | `Need_more
+    | `Fail of error ]
+  (** The next complete frame, if the fed bytes contain one.
+      [`Oversized (id, announced)] mirrors {!read_result.Oversized}. *)
+
+  val midframe : t -> bool
+  (** At least one byte of an incomplete frame is buffered. *)
+
+  val buffered : t -> int
+  (** Bytes fed and not yet consumed. *)
+end
+
 val write_frame : Unix.file_descr -> id:int -> message -> unit
 (** Write one frame, looping over partial writes.
     @raise Unix.Unix_error when the peer is gone. *)

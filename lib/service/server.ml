@@ -61,6 +61,9 @@ type ticket = {
   mutable tk_outcome : outcome option;
   mutable tk_tainted : bool;  (* a visible injected fault touched this job *)
   mutable tk_requeues : int;  (* times requeued after a worker death *)
+  mutable tk_watchers : (outcome -> unit) list;
+      (* completion callbacks (newest first); fired exactly once, on
+         whatever thread wins the resolution *)
 }
 
 (* One spawn of one worker.  Fresh per (re)spawn, so a replaced or
@@ -263,15 +266,21 @@ let timed name hist f =
    abandoned worker later finishes and tries to resolve it too; only the
    first resolution counts and wakes the submitter. *)
 let resolve t ticket outcome =
-  let won =
+  let won, watchers =
     with_lock ticket.tk_mutex (fun () ->
         match ticket.tk_outcome with
-        | Some _ -> false
+        | Some _ -> (false, [])
         | None ->
             ticket.tk_outcome <- Some outcome;
             Condition.broadcast ticket.tk_cond;
-            true)
+            let ws = ticket.tk_watchers in
+            ticket.tk_watchers <- [];
+            (true, ws))
   in
+  (* watchers run outside the ticket mutex: they may take arbitrary
+     locks of their own (the aio completion bridge posts into a
+     scheduler) and must not be able to deadlock against [await] *)
+  List.iter (fun w -> w outcome) (List.rev watchers);
   if won then begin
     let latency_ms = (now () -. ticket.tk_submitted) *. 1000.0 in
     (match outcome with
@@ -912,6 +921,7 @@ let make_ticket ?(trace = 0) t request =
     tk_outcome = None;
     tk_tainted = false;
     tk_requeues = 0;
+    tk_watchers = [];
   }
 
 let submit ?trace t request =
@@ -961,6 +971,21 @@ let await ticket =
   let o = wait () in
   Mutex.unlock ticket.tk_mutex;
   o
+
+(* Non-blocking completion hook: the fiber front-end registers one of
+   these and suspends, instead of parking an OS thread in [await].  If
+   the ticket is already resolved (a cache hit resolves synchronously
+   inside submit) the callback fires immediately on the caller. *)
+let on_resolve ticket f =
+  let immediate =
+    with_lock ticket.tk_mutex (fun () ->
+        match ticket.tk_outcome with
+        | Some o -> Some o
+        | None ->
+            ticket.tk_watchers <- f :: ticket.tk_watchers;
+            None)
+  in
+  match immediate with Some o -> f o | None -> ()
 
 let run t request = await (submit t request)
 

@@ -158,6 +158,15 @@ val await : ticket -> outcome
 (** Block until the job resolves.  Every submitted ticket resolves,
     whatever happens to the worker that picked it up. *)
 
+val on_resolve : ticket -> (outcome -> unit) -> unit
+(** Register a completion callback instead of blocking: fires exactly
+    once, on whatever thread resolves the ticket — or immediately on the
+    caller if the ticket already resolved (cache hits resolve inside
+    submit).  This is the non-blocking half of the fiber front-end's
+    completion-queue bridge: the callback typically posts a wakeup into
+    an [Aio] scheduler.  Callbacks run outside the ticket lock and must
+    not call {!await} on the same ticket. *)
+
 val run : t -> request -> outcome
 (** [submit] then [await]: the synchronous client. *)
 

@@ -16,6 +16,7 @@ let () =
       ("validate", Test_validate.tests);
       ("fuzz", Test_fuzz.tests);
       ("obs", Test_obs.tests);
+      ("aio", Test_aio.tests);
       ("chaos", Test_chaos.tests);
       ("net", Test_net.tests);
       ("cluster", Test_cluster.tests);

@@ -617,6 +617,216 @@ let test_graceful_drain_flushes_replies () =
       ignore (Service.Server.shutdown svc);
       ignore (Service.Server.shutdown svc))
 
+let test_stream_decoder () =
+  (* the incremental decoder behind the fiber reader: the Stalled fix.
+     SO_RCVTIMEO is meaningless on a non-blocking descriptor, so the
+     mid-frame stall verdict moved into Stream.midframe + an event-loop
+     deadline; this pins the state machine the deadline logic reads. *)
+  let feed_str st s =
+    W.Stream.feed st (Bytes.unsafe_of_string s) 0 (String.length s)
+  in
+  (* byte-at-a-time delivery: Need_more at every prefix, one Frame at
+     the end, and midframe flips exactly when the first byte lands *)
+  let ping = W.encode ~id:9 W.Ping in
+  let st = W.Stream.create () in
+  Alcotest.(check bool) "fresh stream not midframe" false (W.Stream.midframe st);
+  String.iteri
+    (fun i c ->
+      (match W.Stream.next st with
+      | `Need_more -> ()
+      | _ -> Alcotest.failf "frame yielded at byte %d" i);
+      feed_str st (String.make 1 c);
+      Alcotest.(check bool)
+        (Printf.sprintf "midframe after byte %d" i)
+        true (W.Stream.midframe st || i = String.length ping - 1))
+    ping;
+  (match W.Stream.next st with
+  | `Frame (9, W.Ping) -> ()
+  | _ -> Alcotest.fail "expected the Ping frame");
+  Alcotest.(check bool) "not midframe after the frame" false
+    (W.Stream.midframe st);
+  (* two pipelined frames in one feed come out in order *)
+  let st = W.Stream.create () in
+  feed_str st (W.encode ~id:1 W.Ping ^ W.encode ~id:2 W.Stats_req);
+  (match W.Stream.next st with
+  | `Frame (1, W.Ping) -> ()
+  | _ -> Alcotest.fail "first pipelined frame");
+  (match W.Stream.next st with
+  | `Frame (2, W.Stats_req) -> ()
+  | _ -> Alcotest.fail "second pipelined frame");
+  (* an over-cap payload drains in constant memory and resynchronizes *)
+  let st = W.Stream.create ~max_payload:64 () in
+  let big = W.encode ~id:3 (submit_msg ~source:(String.make 4096 'x') ()) in
+  feed_str st big;
+  feed_str st (W.encode ~id:4 W.Ping);
+  (match W.Stream.next st with
+  | `Oversized (3, got) ->
+      Alcotest.(check bool) "announced length" true (got > 4096)
+  | _ -> Alcotest.fail "expected Oversized");
+  Alcotest.(check bool) "oversized drain buffers nothing" true
+    (W.Stream.buffered st <= W.header_bytes + 64);
+  (match W.Stream.next st with
+  | `Frame (4, W.Ping) -> ()
+  | _ -> Alcotest.fail "stream did not resynchronize after Oversized");
+  (* decode failures are sticky *)
+  let st = W.Stream.create () in
+  feed_str st (String.make 64 'Z');
+  (match W.Stream.next st with
+  | `Fail W.Bad_magic -> ()
+  | _ -> Alcotest.fail "expected Bad_magic");
+  feed_str st (W.encode ~id:5 W.Ping);
+  (match W.Stream.next st with
+  | `Fail W.Bad_magic -> ()
+  | _ -> Alcotest.fail "failure must be sticky");
+  Alcotest.(check bool) "failed stream not midframe" false
+    (W.Stream.midframe st)
+
+let test_slow_loris_deadlined () =
+  (* a sender trickling one header byte at a time must be cut off by
+     the per-frame deadline — while a well-behaved connection on the
+     same server keeps getting served.  The old SO_RCVTIMEO approach
+     could never catch this: every single read returned within the
+     timeout. *)
+  let cfg =
+    { Net.Server.default_cfg with Net.Server.read_timeout_s = 0.4 }
+  in
+  with_net ~cfg @@ fun _svc _net port ->
+  let loris = connect_raw port in
+  let fast = connect_raw port in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ loris; fast ])
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let header = W.encode ~id:1 W.Ping in
+      let cut = ref None in
+      (* trickle a byte every 100 ms; each arrival resets nothing — the
+         deadline is absolute from the first byte *)
+      (try
+         String.iteri
+           (fun i c ->
+             if !cut = None then begin
+               ignore (Unix.write loris (Bytes.make 1 c) 0 1);
+               (* the fast connection stays live the whole time *)
+               if i land 1 = 0 then begin
+                 W.write_frame fast ~id:(100 + i) W.Ping;
+                 match W.read_frame fast with
+                 | W.Frame (_, W.Pong) -> ()
+                 | _ -> Alcotest.fail "fast connection starved by the loris"
+               end;
+               Thread.delay 0.1
+             end)
+           (header ^ header)
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+         cut := Some (Unix.gettimeofday ()));
+      (* however the trickle ended, the server must have dropped us *)
+      Unix.setsockopt_float loris Unix.SO_RCVTIMEO 5.0;
+      let buf = Bytes.create 64 in
+      (match Unix.read loris buf 0 64 with
+      | 0 -> ()
+      | _ -> Alcotest.fail "loris got a reply it never finished asking for"
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Alcotest.fail "server kept the slow-loris connection open");
+      let cut_at =
+        match !cut with Some t -> t | None -> Unix.gettimeofday ()
+      in
+      Alcotest.(check bool) "deadline fired after read_timeout_s" true
+        (cut_at -. t0 >= 0.35);
+      (* and the polite connection is still fine *)
+      W.write_frame fast ~id:999 W.Ping;
+      match W.read_frame fast with
+      | W.Frame (999, W.Pong) -> ()
+      | _ -> Alcotest.fail "fast connection lost after the loris was cut")
+
+let test_idle_flood_byte_identical () =
+  (* the fiber economics test: 512 connections sit idle (no deadline,
+     no thread, no buffer each) while 16 drivers push the corpus
+     through — output stays byte-identical to the in-process driver,
+     and the idle connections are all still alive afterwards *)
+  let idle_n = 512 and drivers = 16 in
+  let cfg = { Net.Server.default_cfg with Net.Server.max_conns = 600 } in
+  let opts = Restructurer.Options.auto_1991 cedar in
+  with_net ~cfg ~workers:2 @@ fun _svc _net port ->
+  let idle = Array.init idle_n (fun _ -> connect_raw port) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        idle)
+    (fun () ->
+      let corpus = Service.Traffic.corpus () in
+      let expected =
+        List.map
+          (fun w ->
+            let source =
+              w.Workloads.Workload.source w.Workloads.Workload.small_size
+            in
+            ( w.Workloads.Workload.name,
+              source,
+              Fortran.Printer.program_to_string
+                (Restructurer.Driver.restructure opts
+                   (Fortran.Parser.parse_program source))
+                  .Restructurer.Driver.program ))
+          corpus
+      in
+      let fail_mu = Mutex.create () in
+      let failures = ref [] in
+      let note_failure msg =
+        Mutex.lock fail_mu;
+        failures := msg :: !failures;
+        Mutex.unlock fail_mu
+      in
+      let driver i =
+        match Net.Client.connect (Net.Client.default_cfg ~port) with
+        | Error msg -> note_failure (Printf.sprintf "driver %d connect: %s" i msg)
+        | Ok client ->
+            Fun.protect
+              ~finally:(fun () -> Net.Client.close client)
+              (fun () ->
+                List.iter
+                  (fun (name, source, want) ->
+                    match Net.Client.submit client ~name ~options:opts source with
+                    | Ok (W.R_done { r_text; _ }) when r_text = want -> ()
+                    | Ok (W.R_done _) ->
+                        note_failure
+                          (Printf.sprintf "driver %d %s: text differs" i name)
+                    | Ok r ->
+                        note_failure
+                          (Printf.sprintf "driver %d %s: %s" i name
+                             (match r with
+                             | W.R_failed m -> "Failed: " ^ m
+                             | W.R_timeout -> "Timeout"
+                             | W.R_cancelled -> "Cancelled"
+                             | W.R_overloaded -> "Overloaded"
+                             | W.R_too_large _ -> "TooLarge"
+                             | W.R_error m -> "Error: " ^ m
+                             | W.R_done _ -> assert false))
+                    | Error msg ->
+                        note_failure
+                          (Printf.sprintf "driver %d %s: transport %s" i name msg))
+                  expected)
+      in
+      let threads = List.init drivers (fun i -> Thread.create driver i) in
+      List.iter Thread.join threads;
+      (match !failures with
+      | [] -> ()
+      | msgs ->
+          Alcotest.failf "driver outputs not byte-identical:\n%s"
+            (String.concat "\n" msgs));
+      (* every idle connection survived the storm: ping a sample *)
+      Array.iteri
+        (fun i fd ->
+          if i mod 64 = 0 then begin
+            W.write_frame fd ~id:i W.Ping;
+            match W.read_frame fd with
+            | W.Frame (id, W.Pong) when id = i -> ()
+            | _ -> Alcotest.failf "idle connection %d died" i
+          end)
+        idle)
+
 let test_metrics_http () =
   let ep =
     Net.Metrics_http.start ~port:0 (fun () -> "cedar_up 1\n")
@@ -703,6 +913,12 @@ let tests =
       test_garbage_frame_from_client;
     Alcotest.test_case "drain: in-flight replies flush" `Quick
       test_graceful_drain_flushes_replies;
+    Alcotest.test_case "stream: incremental decoder states" `Quick
+      test_stream_decoder;
+    Alcotest.test_case "deadline: slow-loris sender cut, others served"
+      `Slow test_slow_loris_deadlined;
+    Alcotest.test_case "scale: 512 idle conns, 16 drivers byte-identical"
+      `Slow test_idle_flood_byte_identical;
     Alcotest.test_case "metrics: http endpoint serves the dump" `Quick
       test_metrics_http;
     Alcotest.test_case "client: dead port fails fast" `Quick

@@ -457,6 +457,48 @@ let test_histogram_buckets () =
   Alcotest.(check bool) "sum sample" true (has "latency_seconds_sum 5.55");
   Alcotest.(check bool) "count sample" true (has "latency_seconds_count 3")
 
+let test_aio_metrics_in_global_dump () =
+  (* the fiber scheduler instruments itself into the global registry:
+     after any loop runs, the Prometheus dump must carry the live-fiber
+     gauge, the wakeup counter and the ready-queue-depth histogram *)
+  let before =
+    match M.find M.global "aio_wakeups_total" with
+    | `Counter c -> c
+    | _ -> 0
+  in
+  let sched = Aio.create () in
+  Aio.run sched (fun () ->
+      let fibers =
+        List.init 4 (fun _ ->
+            Aio.spawn (fun () ->
+                Aio.yield ();
+                Aio.sleep 0.001))
+      in
+      Aio.yield ();
+      List.iter (fun f -> ignore (Aio.is_done f)) fibers);
+  let dump = M.dump M.global in
+  let has needle =
+    let nl = String.length needle and tl = String.length dump in
+    let rec go i =
+      i + nl <= tl && (String.sub dump i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "live-fiber gauge dumped" true (has "aio_fibers_live");
+  Alcotest.(check bool) "all fibers accounted done" true
+    (has "aio_fibers_live 0");
+  Alcotest.(check bool) "wakeup counter dumped" true (has "aio_wakeups_total");
+  Alcotest.(check bool) "depth histogram dumped" true
+    (has "# TYPE aio_ready_queue_depth histogram");
+  Alcotest.(check bool) "depth histogram has buckets" true
+    (has "aio_ready_queue_depth_bucket{le=\"+Inf\"}");
+  let after =
+    match M.find M.global "aio_wakeups_total" with
+    | `Counter c -> c
+    | _ -> -1
+  in
+  Alcotest.(check bool) "wakeups advanced by the loop" true (after > before)
+
 let test_metrics_merge_across_domains () =
   let r = M.create () in
   let c = M.counter r "hits_total" in
@@ -666,6 +708,8 @@ let tests =
     Alcotest.test_case "metrics: gauge set and add" `Quick test_gauge_ops;
     Alcotest.test_case "metrics: histogram buckets are cumulative" `Quick
       test_histogram_buckets;
+    Alcotest.test_case "metrics: aio scheduler instruments in global dump"
+      `Quick test_aio_metrics_in_global_dump;
     Alcotest.test_case "metrics: increments merge across domains" `Quick
       test_metrics_merge_across_domains;
     Alcotest.test_case "metrics: find and reset" `Quick test_find_and_reset;

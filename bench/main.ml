@@ -9,8 +9,9 @@
      bench/main.exe micro       -- bechamel microbenchmarks only
      bench/main.exe service     -- traffic-generator run, writes
                                    BENCH_service.json
-     bench/main.exe cluster     -- cedarproxy scaling pass only (1/2/4
-                                   shards + kill-a-shard), prints JSON
+     bench/main.exe cluster     -- cedarproxy scaling pass only (1/2/4/8
+                                   shards + kill-a-shard, R=1 vs R=2 at
+                                   two shards), prints JSON
 *)
 
 let micro () =
@@ -342,17 +343,19 @@ let fibers_pass () =
     per_conn_bytes !alive !sampled
 
 (* Cluster pass: the same closed-loop drive through cedarproxy over 1,
-   2, and 4 in-process shards — the scaling table.  Caches are warmed
-   with the identical request sequence first, so the steady-state
-   numbers measure routed serving, not restructuring.  For multi-shard
-   configurations a second drive runs with one shard killed, measuring
-   failover throughput and how much of the victim's warm set the ring
-   successor answers from its replicas. *)
+   2, 4, and 8 in-process shards — the scaling table.  Caches are
+   warmed with the identical request sequence first, so the
+   steady-state numbers measure routed serving, not restructuring.
+   For multi-shard configurations a second drive runs with one shard
+   killed, measuring failover throughput and how much of the victim's
+   warm set the ring successors answer from their replicas; the
+   two-shard row runs at both R=1 and R=2 so the replication factor's
+   effect on the kill-recovery hit rate is a direct A/B. *)
 let cluster_pass () =
   let base = Service.Traffic.default_cfg in
   let requests = base.Service.Traffic.requests in
   let conns = 8 in
-  let run_one n =
+  let run_one ?(replicas = 2) n =
     let handles =
       List.init n (fun i ->
           let id = Printf.sprintf "s%d" i in
@@ -380,7 +383,9 @@ let cluster_pass () =
     if n > 1 then
       List.iter
         (fun (id, _, _, repl) ->
-          repl := Some (Cluster.Replicator.create ~self:id ~peers:shards ()))
+          repl :=
+            Some
+              (Cluster.Replicator.create ~replicas ~self:id ~peers:shards ()))
         handles;
     let proxy = Cluster.Proxy.create ~probe_ms:200.0 shards in
     let ccfg = Net.Client.default_cfg ~port:(Cluster.Proxy.port proxy) in
@@ -397,7 +402,7 @@ let cluster_pass () =
     ignore (Net.Client.drive ccfg dcfg) (* warm every shard's cache *);
     if n > 1 then Thread.delay 0.3 (* let the async replication land *);
     let s = Net.Client.drive ccfg dcfg in
-    Printf.printf "cluster n=%d %s\n%!" n
+    Printf.printf "cluster n=%d R=%d %s\n%!" n replicas
       (Net.Client.drive_summary_to_string s);
     let tp summary =
       if summary.Net.Client.d_wall_s > 0.0 then
@@ -416,7 +421,7 @@ let cluster_pass () =
         let _, _, victim_net, _ = List.hd handles in
         Net.Server.drain victim_net;
         let sk = Net.Client.drive ccfg dcfg in
-        Printf.printf "cluster n=%d (s0 killed) %s\n%!" n
+        Printf.printf "cluster n=%d R=%d (s0 killed) %s\n%!" n replicas
           (Net.Client.drive_summary_to_string sk);
         let replica_hits =
           List.fold_left
@@ -437,8 +442,8 @@ let cluster_pass () =
     in
     let json =
       Printf.sprintf
-        {|{ "shards": %d, "jobs_per_s": %.2f, "rtt_p50_ms": %.2f, "rtt_p99_ms": %.2f, "done": %d, "failed": %d, "after_kill": %s }|}
-        n (tp s) (pct 50.0 s) (pct 99.0 s) s.Net.Client.d_done
+        {|{ "shards": %d, "replicas": %d, "jobs_per_s": %.2f, "rtt_p50_ms": %.2f, "rtt_p99_ms": %.2f, "done": %d, "failed": %d, "after_kill": %s }|}
+        n replicas (tp s) (pct 50.0 s) (pct 99.0 s) s.Net.Client.d_done
         s.Net.Client.d_failed kill_json
     in
     Cluster.Proxy.drain proxy;
@@ -461,7 +466,10 @@ let cluster_pass () =
     ]
   }|}
     requests conns
-    (String.concat ",\n      " (List.map run_one [ 1; 2; 4 ]))
+    (String.concat ",\n      "
+       (List.map
+          (fun (n, replicas) -> run_one ~replicas n)
+          [ (1, 2); (2, 1); (2, 2); (4, 2); (8, 2) ]))
 
 let service_bench () =
   let workers = 4 in
@@ -550,7 +558,7 @@ let service_bench () =
   let net_json = net_pass () in
   print_endline "--- fibers pass (idle-connection scaling) ---";
   let fibers_json = fibers_pass () in
-  print_endline "--- cluster pass (cedarproxy over 1/2/4 shards) ---";
+  print_endline "--- cluster pass (cedarproxy over 1/2/4/8 shards) ---";
   let cluster_json = cluster_pass () in
   let json =
     Printf.sprintf

@@ -408,14 +408,107 @@ let flood_cmd =
 
 (* ---- cluster (against a cedarproxy) ---- *)
 
-let cluster_members host port timeout_s =
-  fetch_text Net.Client.members host port timeout_s
+let cluster_members host port timeout_s json =
+  fetch_text
+    (if json then Net.Client.members_json else Net.Client.members)
+    host port timeout_s
+
+let members_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "the enriched machine-readable view (protocol v3): ring epoch, \
+           vnodes, proxy routing counters, and each live shard's state \
+           and replication counters")
 
 let cluster_members_cmd =
   Cmd.v
     (Cmd.info "members"
        ~doc:"fetch ring membership and shard health from a cedarproxy")
-    Term.(const cluster_members $ host_arg $ port_arg $ timeout_arg)
+    Term.(
+      const cluster_members $ host_arg $ port_arg $ timeout_arg
+      $ members_json_arg)
+
+(* "id=host:port" for cluster add *)
+let parse_shard_spec spec =
+  match String.index_opt spec '=' with
+  | None -> None
+  | Some eq -> (
+      let id = String.sub spec 0 eq in
+      let addr = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      match String.rindex_opt addr ':' with
+      | None -> None
+      | Some colon -> (
+          let host = String.sub addr 0 colon in
+          let port_s =
+            String.sub addr (colon + 1) (String.length addr - colon - 1)
+          in
+          match int_of_string_opt port_s with
+          | Some port when id <> "" && host <> "" && port > 0 ->
+              Some (id, host, port)
+          | _ -> None))
+
+let report_ack (ack : Net.Wire.cluster_ack) =
+  if ack.Net.Wire.ack_ok then begin
+    Printf.printf "%s (epoch %d)\n" ack.Net.Wire.ack_msg ack.Net.Wire.ack_epoch;
+    0
+  end
+  else begin
+    Printf.eprintf "cedarctl: %s\n" ack.Net.Wire.ack_msg;
+    1
+  end
+
+let cluster_add host port timeout_s spec =
+  match parse_shard_spec spec with
+  | None ->
+      Printf.eprintf "cedarctl: %S: expected id=host:port\n" spec;
+      2
+  | Some (id, sh_host, sh_port) -> (
+      with_client (client_cfg host port timeout_s) @@ fun c ->
+      match
+        Net.Client.cluster_add c
+          { Net.Wire.ca_id = id; ca_host = sh_host; ca_port = sh_port }
+      with
+      | Ok ack -> report_ack ack
+      | Error msg -> transport msg)
+
+let shard_spec_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SPEC" ~doc:"the shard to add, as id=host:port")
+
+let cluster_add_cmd =
+  Cmd.v
+    (Cmd.info "add"
+       ~doc:
+         "add a shard to the member set at runtime: the proxy drains \
+          in-flight relays, bumps the ring epoch, routes on the new \
+          ring, and broadcasts the change to the other shards")
+    Term.(
+      const cluster_add $ host_arg $ port_arg $ timeout_arg $ shard_spec_arg)
+
+let cluster_remove host port timeout_s shard_id =
+  with_client (client_cfg host port timeout_s) @@ fun c ->
+  match Net.Client.cluster_remove c shard_id with
+  | Ok ack -> report_ack ack
+  | Error msg -> transport msg
+
+let shard_id_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SHARD" ~doc:"id of the shard to remove")
+
+let cluster_remove_cmd =
+  Cmd.v
+    (Cmd.info "remove"
+       ~doc:
+         "remove a shard from the member set at runtime (refused for \
+          the last member)")
+    Term.(
+      const cluster_remove $ host_arg $ port_arg $ timeout_arg $ shard_id_arg)
 
 let cluster_stats_cmd =
   Cmd.v
@@ -436,7 +529,10 @@ let cluster_cmd =
        ~doc:
          "cluster-level queries against a cedarproxy (a plain shard \
           answers stats/metrics but has no membership view)")
-    [ cluster_members_cmd; cluster_stats_cmd; cluster_metrics_cmd ]
+    [
+      cluster_members_cmd; cluster_add_cmd; cluster_remove_cmd;
+      cluster_stats_cmd; cluster_metrics_cmd;
+    ]
 
 (* ---- entry ---- *)
 

@@ -104,8 +104,9 @@ let sweep_validate verbose =
    Both stop paths converge on the same deterministic drain: stop
    accepting, reject new work, finish in-flight replies, join the
    connection threads, then Service.Server.shutdown flushes stats. *)
-let serve server fault ~host ~port ~max_conns ~max_inflight
-    ~max_source_bytes ~net_timeout_s ~metrics_port ~metrics =
+let serve server fault ?on_cluster_change ~host ~port ~max_conns
+    ~max_inflight ~max_source_bytes ~net_timeout_s ~metrics_port ~metrics ()
+    =
   let net_cfg =
     {
       Net.Server.host;
@@ -120,7 +121,7 @@ let serve server fault ~host ~port ~max_conns ~max_inflight
   (* a fiber front-end is only bounded by descriptors; take the hard
      limit before accepting *)
   ignore (Aio.raise_fd_limit ());
-  let net = Net.Server.create ~fault net_cfg server in
+  let net = Net.Server.create ~fault ?on_cluster_change net_cfg server in
   let scrape =
     match metrics_port with
     | None -> None
@@ -167,7 +168,7 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
     oversubscribe validate chaos chaos_seed chaos_stealth chaos_delay_ms
     trace_file metrics serve_port host max_conns max_inflight
     max_source_bytes net_timeout_s metrics_port shard_id cluster_spec
-    vnodes verbose =
+    vnodes replicas verbose =
   let tracer =
     match trace_file with
     | None -> None
@@ -211,7 +212,9 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
   let replicator =
     match peers with
     | Some peers when shard_id <> "" && List.length peers > 1 ->
-        Some (Cluster.Replicator.create ~vnodes ~self:shard_id ~peers ())
+        Some
+          (Cluster.Replicator.create ~vnodes ~replicas ~self:shard_id ~peers
+             ())
     | _ -> None
   in
   let on_cache_fill =
@@ -224,6 +227,73 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
     Service.Server.create ~workers ~cache_capacity:cache_size ~timeout_ms
       ~oversubscribe ~fault ~max_source_bytes ~shard_id ?on_cache_fill ()
   in
+  (* topology plumbing: re-replication on membership changes pulls the
+     resident cache back through the replicator, and outbound counters
+     land in this shard's stats *)
+  (match replicator with
+  | None -> ()
+  | Some r ->
+      Cluster.Replicator.set_export r (fun () ->
+          Service.Server.export_cache server);
+      Service.Server.set_replication_source server (fun () ->
+          let c = Cluster.Replicator.counts r in
+          (c.Cluster.Replicator.pushed, c.Cluster.Replicator.skipped_down)));
+  (* the shard's own member view, mutated by Cluster_add/Cluster_remove
+     frames the proxy broadcasts after an applied topology change.  The
+     "epoch" a shard acks is its local applied-change count — the
+     cluster's ring epoch lives in the proxy's membership view. *)
+  let on_cluster_change =
+    match (replicator, peers) with
+    | Some r, Some initial ->
+        let mu = Mutex.create () in
+        let members = ref initial in
+        let applied = ref 0 in
+        Some
+          (fun change ->
+            Mutex.lock mu;
+            let result =
+              match change with
+              | `Add (id, host, port) ->
+                  if
+                    List.exists
+                      (fun s -> s.Cluster.Membership.sh_id = id)
+                      !members
+                  then (false, !applied, Printf.sprintf "%s: already a member" id)
+                  else begin
+                    members :=
+                      !members
+                      @ [
+                          {
+                            Cluster.Membership.sh_id = id;
+                            sh_host = host;
+                            sh_port = port;
+                          };
+                        ];
+                    incr applied;
+                    Cluster.Replicator.set_members r !members;
+                    (true, !applied, Printf.sprintf "%s: member added" id)
+                  end
+              | `Remove id ->
+                  if
+                    not
+                      (List.exists
+                         (fun s -> s.Cluster.Membership.sh_id = id)
+                         !members)
+                  then (false, !applied, Printf.sprintf "%s: not a member" id)
+                  else begin
+                    members :=
+                      List.filter
+                        (fun s -> s.Cluster.Membership.sh_id <> id)
+                        !members;
+                    incr applied;
+                    Cluster.Replicator.set_members r !members;
+                    (true, !applied, Printf.sprintf "%s: member removed" id)
+                  end
+            in
+            Mutex.unlock mu;
+            result)
+    | _ -> None
+  in
   let stop_replicator () =
     match replicator with
     | None -> ()
@@ -232,19 +302,24 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
         let c = Cluster.Replicator.counts r in
         Printf.printf
           "cedard: replication pushed %d (admitted %d, rejected %d), \
-           dropped %d, transport errors %d\n"
+           dropped %d, skipped-down %d, transport errors %d\n"
           c.Cluster.Replicator.pushed c.Cluster.Replicator.admitted
           c.Cluster.Replicator.rejected c.Cluster.Replicator.dropped
-          c.Cluster.Replicator.errors
+          c.Cluster.Replicator.skipped_down c.Cluster.Replicator.errors
   in
   match serve_port with
   | Some port ->
       if shard_id <> "" then
-        Printf.printf "cedard: shard %s in a %d-shard cluster\n%!" shard_id
-          (match peers with Some p -> List.length p | None -> 1);
+        Printf.printf
+          "cedard: shard %s in a %d-shard cluster (replicas %d)\n%!" shard_id
+          (match peers with Some p -> List.length p | None -> 1)
+          (match replicator with
+          | Some r -> Cluster.Replicator.replicas r
+          | None -> 1);
       let code =
-        serve server fault ~host ~port ~max_conns ~max_inflight
-          ~max_source_bytes ~net_timeout_s ~metrics_port ~metrics
+        serve server fault ?on_cluster_change ~host ~port ~max_conns
+          ~max_inflight ~max_source_bytes ~net_timeout_s ~metrics_port
+          ~metrics ()
       in
       stop_replicator ();
       (match (tracer, trace_file) with
@@ -564,6 +639,16 @@ let vnodes_arg =
     & info [ "vnodes" ] ~docv:"V"
         ~doc:"virtual nodes per shard on the consistent-hash ring")
 
+let replicas_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "replicas" ] ~docv:"R"
+        ~doc:
+          "total copies of each warm-cache entry across the cluster \
+           (primary included): every fresh full-rung result is pushed to \
+           the key's first R-1 distinct ring successors.  1 disables \
+           replication")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print extra detail")
 
@@ -578,6 +663,6 @@ let cmd =
       $ chaos_delay_arg $ trace_arg $ metrics_arg $ serve_arg $ host_arg
       $ max_conns_arg $ max_inflight_arg $ max_source_arg $ net_timeout_arg
       $ metrics_port_arg $ shard_id_arg $ cluster_arg $ vnodes_arg
-      $ verbose_arg)
+      $ replicas_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -95,10 +95,16 @@ let run shards_spec host port max_conns max_inflight failover vnodes
       Cluster.Proxy.drain proxy;
       (match scrape with Some ep -> Net.Metrics_http.stop ep | None -> ());
       Printf.printf
-        "cedarproxy: routed %d submit(s), %d failover(s), shed %d\n"
+        "cedarproxy: routed %d submit(s), %d failover(s), shed %d, %d \
+         topology change(s) (final epoch %d), %d read-repair(s), %d stale \
+         route(s)\n"
         (Cluster.Proxy.routed_total proxy)
         (Cluster.Proxy.failover_total proxy)
-        (Cluster.Proxy.shed_total proxy);
+        (Cluster.Proxy.shed_total proxy)
+        (Cluster.Proxy.topology_changes_total proxy)
+        (Cluster.Proxy.epoch proxy)
+        (Cluster.Proxy.read_repair_total proxy)
+        (Cluster.Proxy.stale_routes_total proxy);
       0
 
 let shards_arg =

@@ -16,11 +16,14 @@ type t = {
   down_after : int;
   timeout_s : float;
   seed : int;
+  probe_loss : float;  (* injected probe-failure rate (tests) *)
   mutex : Mutex.t;
-  tracked : tracked array;
-  full_ring : Ring.t;  (* all static members: the all-down fallback *)
+  mutable tracked : tracked list;
+  mutable full_ring : Ring.t;  (* all current members: the all-down fallback *)
   mutable live_ring : Ring.t;
+  mutable epoch : int;  (* bumps whenever routable membership changes *)
   mutable tick : int;  (* jitter draw counter *)
+  mutable draws : int;  (* probe-loss draw counter *)
   mutable stopping : bool;
   mutable prober : Thread.t option;
 }
@@ -33,6 +36,9 @@ let m_transitions =
 
 let m_down =
   M.gauge M.global ~help:"shards currently marked down" "cluster_members_down"
+
+let m_epoch =
+  M.gauge M.global ~help:"current ring epoch" "cluster_ring_epoch"
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -56,18 +62,27 @@ let unit_float seed n =
   let bits = mix64 (Int64.of_int ((seed * 0x3779fb9) lxor n)) in
   Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.0
 
-(* must hold the lock *)
+(* must hold the lock.  The epoch advances iff the set of routable
+   shards actually changed — a Suspect⇄Up oscillation leaves the ring
+   alone and must not churn the epoch, while a Down transition, a
+   resurrection, or an add/remove moves ownership and does. *)
 let rebuild_ring t =
   let live =
-    Array.to_list t.tracked
-    |> List.filter_map (fun tr ->
-           if tr.st <> Down then Some tr.shard.sh_id else None)
+    List.filter_map
+      (fun tr -> if tr.st <> Down then Some tr.shard.sh_id else None)
+      t.tracked
   in
-  t.live_ring <-
-    (if live = [] then t.full_ring else Ring.make ~vnodes:t.vnodes live);
+  let next =
+    if live = [] then t.full_ring else Ring.make ~vnodes:t.vnodes live
+  in
+  if Ring.members next <> Ring.members t.live_ring then begin
+    t.epoch <- t.epoch + 1;
+    M.set_gauge m_epoch (float_of_int t.epoch)
+  end;
+  t.live_ring <- next;
   M.set_gauge m_down
     (float_of_int
-       (Array.fold_left
+       (List.fold_left
           (fun n tr -> if tr.st = Down then n + 1 else n)
           0 t.tracked))
 
@@ -91,7 +106,8 @@ let apply_failure t tr =
       end)
 
 let find t id =
-  Array.to_list t.tracked |> List.find_opt (fun tr -> tr.shard.sh_id = id)
+  with_lock t (fun () ->
+      List.find_opt (fun tr -> tr.shard.sh_id = id) t.tracked)
 
 let note_failure t id =
   match find t id with None -> () | Some tr -> apply_failure t tr
@@ -100,26 +116,39 @@ let note_success t id =
   match find t id with None -> () | Some tr -> apply_success t tr
 
 (* One-shot ping: a single connection attempt with tight timeouts — the
-   probe must never hang the loop behind a dead host. *)
+   probe must never hang the loop behind a dead host.  [probe_loss]
+   deterministically swallows a fraction of probes (seeded, distinct
+   stream from the period jitter) so tests can flap a healthy shard
+   without touching the network. *)
 let probe_shard t tr =
-  let cfg =
-    {
-      (Net.Client.default_cfg ~port:tr.shard.sh_port) with
-      Net.Client.host = tr.shard.sh_host;
-      connect_timeout_s = t.timeout_s;
-      request_timeout_s = t.timeout_s;
-      max_attempts = 1;
-    }
+  let lost =
+    t.probe_loss > 0.0
+    &&
+    let n = with_lock t (fun () -> t.draws <- t.draws + 1; t.draws) in
+    unit_float (t.seed lxor 0x10c4e55) n < t.probe_loss
   in
-  match Net.Client.connect cfg with
-  | Error _ -> apply_failure t tr
-  | Ok c ->
-      (match Net.Client.ping c with
-      | Ok _ -> apply_success t tr
-      | Error _ -> apply_failure t tr);
-      Net.Client.close c
+  if lost then apply_failure t tr
+  else
+    let cfg =
+      {
+        (Net.Client.default_cfg ~port:tr.shard.sh_port) with
+        Net.Client.host = tr.shard.sh_host;
+        connect_timeout_s = t.timeout_s;
+        request_timeout_s = t.timeout_s;
+        max_attempts = 1;
+      }
+    in
+    match Net.Client.connect cfg with
+    | Error _ -> apply_failure t tr
+    | Ok c ->
+        (match Net.Client.ping c with
+        | Ok _ -> apply_success t tr
+        | Error _ -> apply_failure t tr);
+        Net.Client.close c
 
-let probe_once t = Array.iter (fun tr -> probe_shard t tr) t.tracked
+let probe_once t =
+  let snapshot = with_lock t (fun () -> t.tracked) in
+  List.iter (fun tr -> probe_shard t tr) snapshot
 
 let probe_loop t =
   while not t.stopping do
@@ -138,7 +167,8 @@ let probe_loop t =
   done
 
 let create ?(vnodes = 64) ?(probe_ms = 500.0) ?(down_after = 2)
-    ?(timeout_s = 1.0) ?(seed = 0x5eed) ?(auto_probe = true) shards =
+    ?(timeout_s = 1.0) ?(seed = 0x5eed) ?(auto_probe = true)
+    ?(probe_loss = 0.0) shards =
   let ids = List.map (fun s -> s.sh_id) shards in
   let full_ring = Ring.make ~vnodes ids in
   let t =
@@ -148,39 +178,82 @@ let create ?(vnodes = 64) ?(probe_ms = 500.0) ?(down_after = 2)
       down_after = max 1 down_after;
       timeout_s;
       seed;
+      probe_loss;
       mutex = Mutex.create ();
-      tracked =
-        Array.of_list
-          (List.map (fun shard -> { shard; st = Up; fails = 0 }) shards);
+      tracked = List.map (fun shard -> { shard; st = Up; fails = 0 }) shards;
       full_ring;
       live_ring = full_ring;
+      epoch = 1;
       tick = 0;
+      draws = 0;
       stopping = false;
       prober = None;
     }
   in
+  M.set_gauge m_epoch 1.0;
   if auto_probe then t.prober <- Some (Thread.create probe_loop t);
   t
 
 let ring t = with_lock t (fun () -> t.live_ring)
+let epoch t = with_lock t (fun () -> t.epoch)
+let ring_epoch t = with_lock t (fun () -> (t.live_ring, t.epoch))
+let vnodes t = t.vnodes
+
+(* Dynamic membership: the member set itself is mutable.  Both the full
+   (fallback) ring and the live ring are rebuilt; a change that alters
+   routable membership bumps the epoch via [rebuild_ring]. *)
+let add_shard t shard =
+  with_lock t (fun () ->
+      if List.exists (fun tr -> tr.shard.sh_id = shard.sh_id) t.tracked then
+        Error (Printf.sprintf "shard %S is already a member" shard.sh_id)
+      else begin
+        t.tracked <- t.tracked @ [ { shard; st = Up; fails = 0 } ];
+        t.full_ring <-
+          Ring.make ~vnodes:t.vnodes
+            (List.map (fun tr -> tr.shard.sh_id) t.tracked);
+        rebuild_ring t;
+        Ok t.epoch
+      end)
+
+let remove_shard t id =
+  with_lock t (fun () ->
+      if not (List.exists (fun tr -> tr.shard.sh_id = id) t.tracked) then
+        Error (Printf.sprintf "shard %S is not a member" id)
+      else if List.length t.tracked <= 1 then
+        Error "refusing to remove the last member"
+      else begin
+        t.tracked <- List.filter (fun tr -> tr.shard.sh_id <> id) t.tracked;
+        t.full_ring <-
+          Ring.make ~vnodes:t.vnodes
+            (List.map (fun tr -> tr.shard.sh_id) t.tracked);
+        rebuild_ring t;
+        Ok t.epoch
+      end)
 
 let shard_of_id t id =
   match find t id with None -> None | Some tr -> Some tr.shard
 
 let snapshot t =
   with_lock t (fun () ->
-      Array.to_list t.tracked
-      |> List.map (fun tr -> (tr.shard, tr.st, tr.fails)))
+      List.map (fun tr -> (tr.shard, tr.st, tr.fails)) t.tracked)
 
 let members_json t =
-  let shards =
-    snapshot t
-    |> List.map (fun (s, st, fails) ->
-           Printf.sprintf
-             "{\"id\":\"%s\",\"host\":\"%s\",\"port\":%d,\"state\":\"%s\",\"fails\":%d}"
-             s.sh_id s.sh_host s.sh_port (state_name st) fails)
+  let epoch, vnodes, rows =
+    with_lock t (fun () ->
+        ( t.epoch,
+          t.vnodes,
+          List.map (fun tr -> (tr.shard, tr.st, tr.fails)) t.tracked ))
   in
-  "{\"shards\":[" ^ String.concat "," shards ^ "]}"
+  let shards =
+    List.map
+      (fun ((s : shard), st, fails) ->
+        Printf.sprintf
+          "{\"id\":\"%s\",\"host\":\"%s\",\"port\":%d,\"state\":\"%s\",\"fails\":%d}"
+          s.sh_id s.sh_host s.sh_port (state_name st) fails)
+      rows
+  in
+  Printf.sprintf "{\"epoch\":%d,\"vnodes\":%d,\"shards\":[%s]}" epoch vnodes
+    (String.concat "," shards)
 
 let stop t =
   t.stopping <- true;

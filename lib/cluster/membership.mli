@@ -1,18 +1,28 @@
-(** Cluster membership and shard health.
+(** Cluster membership, shard health, and the ring epoch.
 
-    The static shard set is given at creation; what this module tracks
-    is which of them are currently routable.  Health is probed with the
-    protocol's own {!Net.Wire.Ping} on a seeded, jittered loop (so a
-    fleet of proxies does not synchronize its probes), and demotions
-    also arrive from the data path — the proxy reports a transport
-    error on a routed request via {!note_failure}, which is faster than
-    waiting for the next probe tick.
+    The shard set is given at creation and is {e mutable} thereafter:
+    {!add_shard} and {!remove_shard} change it at runtime (driven by
+    [cedarctl cluster add/remove] through the proxy).  What this module
+    tracks is which members are currently routable.  Health is probed
+    with the protocol's own {!Net.Wire.Ping} on a seeded, jittered loop
+    (so a fleet of proxies does not synchronize its probes), and
+    demotions also arrive from the data path — the proxy reports a
+    transport error on a routed request via {!note_failure}, which is
+    faster than waiting for the next probe tick.
 
     States: [Up] (routable), [Suspect] (missed probes, still routable —
     the failover path covers it), [Down] (missed [down_after]
     consecutive probes, removed from the ring until a probe succeeds
     again).  Transitions are monotone per observation: one success
-    resets to [Up], failures only ever demote. *)
+    resets to [Up], failures only ever demote.
+
+    {b Ring epoch.}  A monotonically-increasing counter, starting at 1,
+    bumped under the membership lock exactly when the set of routable
+    shards changes (a Down transition, a resurrection, an add, a
+    remove).  A Suspect⇄Up oscillation does not move ownership and does
+    not bump it.  Routing decisions snapshot [(ring, epoch)] together
+    ({!ring_epoch}), so a caller can tell whether a decision was made
+    against topology that has since changed. *)
 
 type state = Up | Suspect | Down
 
@@ -29,6 +39,7 @@ val create :
   ?timeout_s:float ->
   ?seed:int ->
   ?auto_probe:bool ->
+  ?probe_loss:float ->
   shard list ->
   t
 (** Start tracking the given shards (all initially [Up]).  [vnodes]
@@ -38,13 +49,33 @@ val create :
     (default 1) bounds each probe's connect and round trip; [seed]
     makes the jitter stream deterministic.  [auto_probe:false]
     (default [true]) suppresses the background thread — tests then
-    drive probing synchronously with {!probe_once}. *)
+    drive probing synchronously with {!probe_once}.  [probe_loss]
+    (default 0) deterministically fails that fraction of probes before
+    they touch the network — the seeded flapping injector. *)
 
 val ring : t -> Ring.t
 (** The current routing ring: every shard not [Down].  Falls back to
-    the full static ring when {e every} shard is down — routing into a
+    the full member ring when {e every} shard is down — routing into a
     dead shard yields a typed error, whereas routing into an empty
     ring could only shed. *)
+
+val epoch : t -> int
+(** The current ring epoch (≥ 1, monotone). *)
+
+val ring_epoch : t -> Ring.t * int
+(** Ring and epoch in one locked snapshot — the pair a routing decision
+    should be made against. *)
+
+val vnodes : t -> int
+(** Virtual nodes per shard on the ring. *)
+
+val add_shard : t -> shard -> (int, string) result
+(** Add a member at runtime (initially [Up]).  Returns the new epoch,
+    or an error when the id is already a member. *)
+
+val remove_shard : t -> string -> (int, string) result
+(** Remove a member at runtime.  Returns the new epoch, or an error
+    when the id is unknown or is the last member. *)
 
 val shard_of_id : t -> string -> shard option
 
@@ -64,7 +95,8 @@ val probe_once : t -> unit
 
 val members_json : t -> string
 (** Membership as JSON:
-    [{"shards":[{"id":...,"host":...,"port":...,"state":...,"fails":...},...]}] *)
+    [{"epoch":E,"vnodes":V,"shards":[{"id":...,"host":...,"port":...,
+    "state":...,"fails":...},...]}] *)
 
 val stop : t -> unit
 (** Stop the probe thread (if any) and join it.  Idempotent. *)

@@ -18,6 +18,9 @@ val with_client : t -> (Net.Client.t -> ('a, string) result) -> ('a, string) res
     [Error] from [f] closes the connection and is returned verbatim;
     an exception from [f] closes the connection and re-raises. *)
 
+val idle_count : t -> int
+(** Idle connections currently retained (observability). *)
+
 val close_all : t -> unit
 (** Close every idle connection.  In-flight ones are closed by their
     holders on return (the pool is marked closed). *)

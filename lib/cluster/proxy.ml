@@ -111,7 +111,7 @@ type conn = {
 type t = {
   cfg : cfg;
   members : Membership.t;
-  pools : (string * Pool.t) list;  (* by shard id *)
+  mutable pools : (string * Pool.t) list;  (* by shard id; topo_mu *)
   listen_fd : Unix.file_descr;
   bound_port : int;
   sched : Aio.t;
@@ -122,7 +122,19 @@ type t = {
   routed : int Atomic.t;
   failovers : int Atomic.t;
   shed : int Atomic.t;
-  route_counters : (string * M.counter) list;  (* per shard id *)
+  mutable route_counters : (string * M.counter) list;  (* topo_mu *)
+  (* Topology barrier: a membership change drains in-flight relays
+     against the old ring before the new one routes anything.  Relays
+     enter with [relay_begin] (blocking while a change drains) and
+     leave with [relay_end]; [change_topology] flips [topo_draining],
+     waits for [active_relays] to hit zero, mutates, and releases. *)
+  topo_mu : Mutex.t;
+  topo_cv : Condition.t;
+  mutable topo_draining : bool;
+  mutable active_relays : int;
+  topo_gen : int Atomic.t;  (* completed topology changes *)
+  stale_routes : int Atomic.t;
+  read_repairs : int Atomic.t;
   scratch : Bytes.t;
   mutable conns : conn list;  (* loop thread only *)
   mutable accept_fiber : Aio.fiber option;
@@ -140,6 +152,20 @@ let m_shed =
 let m_inflight =
   M.gauge M.global ~help:"submits in flight through the proxy"
     "cluster_proxy_inflight"
+
+let m_stale =
+  M.counter M.global
+    ~help:"relays whose routing decision predates a topology change"
+    "cluster_proxy_stale_routes_total"
+
+let m_read_repair =
+  M.counter M.global
+    ~help:"warm hits pushed back to the key's current ring owner"
+    "cluster_read_repair_total"
+
+let m_topo_changes =
+  M.counter M.global ~help:"membership changes applied through the proxy"
+    "cluster_topology_changes_total"
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -182,15 +208,125 @@ let producer_finished conn =
   if conn.c_alive = 0 then Aio.Mailbox.close conn.c_out
 
 (* ------------------------------------------------------------------ *)
+(* Topology barrier                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let relay_begin t =
+  Mutex.lock t.topo_mu;
+  while t.topo_draining do
+    Condition.wait t.topo_cv t.topo_mu
+  done;
+  t.active_relays <- t.active_relays + 1;
+  Mutex.unlock t.topo_mu
+
+let relay_end t =
+  Mutex.lock t.topo_mu;
+  t.active_relays <- t.active_relays - 1;
+  if t.active_relays = 0 then Condition.broadcast t.topo_cv;
+  Mutex.unlock t.topo_mu
+
+(* every executor job that touches the ring or the pools runs inside
+   the barrier, so [change_topology] swaps both with nothing in flight *)
+let with_relay_barrier t f =
+  relay_begin t;
+  Fun.protect ~finally:(fun () -> relay_end t) f
+
+(* Serialize membership changes and drain relays routed on the old
+   ring: waiters in [relay_begin] do not hold [active_relays], so the
+   drain only waits on relays already past the barrier — bounded by
+   the shard round-trip timeout.  [mutate] runs with the lock held and
+   must touch [t.pools] / [t.route_counters] directly (never through
+   [pool_of], the mutex is not reentrant). *)
+let change_topology t mutate =
+  Mutex.lock t.topo_mu;
+  while t.topo_draining do
+    Condition.wait t.topo_cv t.topo_mu
+  done;
+  t.topo_draining <- true;
+  while t.active_relays > 0 do
+    Condition.wait t.topo_cv t.topo_mu
+  done;
+  let finish () =
+    t.topo_draining <- false;
+    Condition.broadcast t.topo_cv;
+    Mutex.unlock t.topo_mu
+  in
+  match mutate () with
+  | Ok _ as result ->
+      Atomic.incr t.topo_gen;
+      M.incr m_topo_changes;
+      finish ();
+      result
+  | Error _ as result ->
+      finish ();
+      result
+  | exception e ->
+      finish ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
 (* Relaying                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let pool_of t id = List.assoc_opt id t.pools
+let pool_of t id =
+  Mutex.lock t.topo_mu;
+  let p = List.assoc_opt id t.pools in
+  Mutex.unlock t.topo_mu;
+  p
 
 let route_counter t id =
-  match List.assoc_opt id t.route_counters with
-  | Some c -> Some c
-  | None -> None
+  Mutex.lock t.topo_mu;
+  let c = List.assoc_opt id t.route_counters in
+  Mutex.unlock t.topo_mu;
+  c
+
+(* Read-repair: a warm full-rung hit served by a shard that is not the
+   key's current ring owner (failover landed it there, or ownership
+   moved under a topology change) is pushed back to the owner —
+   fire-and-forget on the executor — so the next request for the key
+   routes straight into a warm cache. *)
+let schedule_read_repair t ~name ~key ~served_by (reply : Net.Wire.reply) =
+  match reply with
+  | Net.Wire.R_done
+      {
+        r_cached = true;
+        r_rung = Service.Server.Full;
+        r_text;
+        r_cycles;
+        r_global_words;
+        r_notes;
+        _;
+      } -> (
+      match Ring.lookup (Membership.ring t.members) key with
+      | Some owner when owner <> served_by ->
+          let p =
+            {
+              Net.Wire.cp_key = key;
+              cp_digest = Service.Cache.digest r_text;
+              cp_name = name;
+              cp_text = r_text;
+              cp_cycles = r_cycles;
+              cp_global_words = r_global_words;
+              cp_notes = r_notes;
+            }
+          in
+          ignore
+            (Exec.submit t.exec (fun () ->
+                 with_relay_barrier t (fun () ->
+                     match pool_of t owner with
+                     | None -> ()
+                     | Some pool -> (
+                         match
+                           Pool.with_client pool (fun c ->
+                               Net.Client.cache_push c p)
+                         with
+                         | Ok _ ->
+                             Atomic.incr t.read_repairs;
+                             M.incr m_read_repair
+                         | Error _ ->
+                             Membership.note_failure t.members owner))))
+      | _ -> ())
+  | _ -> ()
 
 (* Walk the candidates.  A typed reply from a shard — any reply, even
    Overloaded from its admission control — proves the shard is alive;
@@ -206,9 +342,9 @@ let relay_submit t (s : Net.Wire.submit) =
         req_options = s.Net.Wire.sub_options;
       }
   in
-  let candidates =
-    Ring.route (Membership.ring t.members) key ~n:(max 1 t.cfg.failover)
-  in
+  let ring, _epoch = Membership.ring_epoch t.members in
+  let gen0 = Atomic.get t.topo_gen in
+  let candidates = Ring.route ring key ~n:(max 1 t.cfg.failover) in
   let rec go i = function
     | [] ->
         Atomic.incr t.shed;
@@ -216,6 +352,12 @@ let relay_submit t (s : Net.Wire.submit) =
         Net.Wire.R_overloaded
     | shard_id :: rest -> (
         let try_next () = go (i + 1) rest in
+        (* the barrier guarantees no membership change lands while this
+           relay is in flight; the counter proves it stays that way *)
+        if Atomic.get t.topo_gen <> gen0 then begin
+          Atomic.incr t.stale_routes;
+          M.incr m_stale
+        end;
         match pool_of t shard_id with
         | None -> try_next ()
         | Some pool -> (
@@ -240,6 +382,8 @@ let relay_submit t (s : Net.Wire.submit) =
                       Atomic.incr t.failovers;
                       M.incr m_failover
                     end;
+                    schedule_read_repair t ~name:s.Net.Wire.sub_name ~key
+                      ~served_by:shard_id reply;
                     reply)
             | Error _ ->
                 Membership.note_failure t.members shard_id;
@@ -292,6 +436,78 @@ let aggregated_stats_json t =
     (Membership.members_json t.members)
     (String.concat "," shards)
 
+(* flat-object integer extraction: enough JSON to lift the replication
+   counters out of a shard's Stats_json without a parser dependency *)
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some (i + nn)
+    else go (i + 1)
+  in
+  go 0
+
+let json_int_field body name =
+  match find_sub body (Printf.sprintf "\"%s\":" name) with
+  | None -> None
+  | Some start ->
+      let n = String.length body in
+      let stop = ref start in
+      if !stop < n && body.[!stop] = '-' then incr stop;
+      while !stop < n && body.[!stop] >= '0' && body.[!stop] <= '9' do
+        incr stop
+      done;
+      if !stop = start then None
+      else int_of_string_opt (String.sub body start (!stop - start))
+
+let replica_counter_keys =
+  [
+    "replica_admitted";
+    "replica_rejected";
+    "replicated_hits";
+    "replica_pushed";
+    "replica_skipped_down";
+  ]
+
+(* the [cedarctl cluster members --json] view: ring epoch, per-shard
+   state, and each live shard's replication counters in one object *)
+let enriched_members_json t =
+  let shards =
+    Membership.snapshot t.members
+    |> List.map (fun ((shard : Membership.shard), st, fails) ->
+           let counters =
+             match fetch_from_shard t shard st Net.Client.stats_json with
+             | Error _ -> ""
+             | Ok body ->
+                 replica_counter_keys
+                 |> List.filter_map (fun k ->
+                        Option.map
+                          (Printf.sprintf ",\"%s\":%d" k)
+                          (json_int_field body k))
+                 |> String.concat ""
+           in
+           let idle =
+             match pool_of t shard.Membership.sh_id with
+             | Some p -> Pool.idle_count p
+             | None -> 0
+           in
+           Printf.sprintf
+             "{\"id\":\"%s\",\"host\":\"%s\",\"port\":%d,\"state\":\"%s\",\"fails\":%d,\"pool_idle\":%d%s}"
+             shard.Membership.sh_id shard.Membership.sh_host
+             shard.Membership.sh_port
+             (Membership.state_name st)
+             fails idle counters)
+  in
+  Printf.sprintf
+    "{\"epoch\":%d,\"vnodes\":%d,\"proxy\":{\"routed\":%d,\"failovers\":%d,\"shed\":%d,\"stale_routes\":%d,\"read_repairs\":%d,\"topology_changes\":%d},\"shards\":[%s]}"
+    (Membership.epoch t.members)
+    (Membership.vnodes t.members)
+    (Atomic.get t.routed) (Atomic.get t.failovers) (Atomic.get t.shed)
+    (Atomic.get t.stale_routes)
+    (Atomic.get t.read_repairs)
+    (Atomic.get t.topo_gen)
+    (String.concat "," shards)
+
 let aggregated_stats_text t =
   let header =
     Printf.sprintf "cluster     routed %d  failovers %d  shed %d"
@@ -313,6 +529,112 @@ let aggregated_stats_text t =
            title ^ "\n" ^ body)
   in
   String.concat "\n" (header :: sections)
+
+(* ------------------------------------------------------------------ *)
+(* Topology changes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let shard_pool cfg (s : Membership.shard) =
+  let ccfg =
+    {
+      (Net.Client.default_cfg ~port:s.Membership.sh_port) with
+      Net.Client.host = s.Membership.sh_host;
+      connect_timeout_s = Float.min 5.0 cfg.shard_timeout_s;
+      request_timeout_s = cfg.shard_timeout_s;
+      max_attempts = 2;
+    }
+  in
+  Pool.create ccfg
+
+let shard_route_counter (s : Membership.shard) =
+  M.counter M.global ~help:"submits routed to this shard"
+    (Printf.sprintf "cluster_route_%s_total" s.Membership.sh_id)
+
+(* Best-effort fan-out of an applied change to the shards themselves:
+   each cedard rewires its replicator's ring on receipt.  A shard that
+   misses the broadcast (down, restarting) is tolerated — its
+   replicas land per the old ring until the next change or restart,
+   and the receiving side re-verifies every push regardless. *)
+let broadcast_change t ?skip msg =
+  Membership.snapshot t.members
+  |> List.iter (fun ((shard : Membership.shard), st, _) ->
+         let id = shard.Membership.sh_id in
+         if st <> Membership.Down && skip <> Some id then
+           match pool_of t id with
+           | None -> ()
+           | Some pool ->
+               ignore
+                 (Pool.with_client pool (fun c ->
+                      match msg with
+                      | `Add a -> Result.map ignore (Net.Client.cluster_add c a)
+                      | `Remove sid ->
+                          Result.map ignore (Net.Client.cluster_remove c sid))))
+
+let handle_cluster_add t (a : Net.Wire.cluster_add) =
+  let shard =
+    {
+      Membership.sh_id = a.Net.Wire.ca_id;
+      sh_host = a.Net.Wire.ca_host;
+      sh_port = a.Net.Wire.ca_port;
+    }
+  in
+  let outcome =
+    change_topology t (fun () ->
+        match Membership.add_shard t.members shard with
+        | Error _ as e -> e
+        | Ok epoch ->
+            if not (List.mem_assoc shard.Membership.sh_id t.pools) then
+              t.pools <-
+                (shard.Membership.sh_id, shard_pool t.cfg shard) :: t.pools;
+            if not (List.mem_assoc shard.Membership.sh_id t.route_counters)
+            then
+              t.route_counters <-
+                (shard.Membership.sh_id, shard_route_counter shard)
+                :: t.route_counters;
+            Ok epoch)
+  in
+  match outcome with
+  | Ok epoch ->
+      broadcast_change t ~skip:shard.Membership.sh_id (`Add a);
+      {
+        Net.Wire.ack_ok = true;
+        ack_epoch = epoch;
+        ack_msg =
+          Printf.sprintf "added %s (%s:%d); ring epoch %d" a.Net.Wire.ca_id
+            a.Net.Wire.ca_host a.Net.Wire.ca_port epoch;
+      }
+  | Error msg ->
+      {
+        Net.Wire.ack_ok = false;
+        ack_epoch = Membership.epoch t.members;
+        ack_msg = msg;
+      }
+
+let handle_cluster_remove t sid =
+  let outcome =
+    change_topology t (fun () ->
+        match Membership.remove_shard t.members sid with
+        | Error _ as e -> e
+        | Ok epoch ->
+            let closing = List.assoc_opt sid t.pools in
+            t.pools <- List.remove_assoc sid t.pools;
+            Ok (epoch, closing))
+  in
+  match outcome with
+  | Ok (epoch, closing) ->
+      (match closing with Some p -> Pool.close_all p | None -> ());
+      broadcast_change t (`Remove sid);
+      {
+        Net.Wire.ack_ok = true;
+        ack_epoch = epoch;
+        ack_msg = Printf.sprintf "removed %s; ring epoch %d" sid epoch;
+      }
+  | Error msg ->
+      {
+        Net.Wire.ack_ok = false;
+        ack_epoch = Membership.epoch t.members;
+        ack_msg = msg;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection fibers                                               *)
@@ -372,7 +694,8 @@ let dispatch t conn ~id msg =
       end
       else
         spawn_relay t conn ~id (fun () ->
-            Net.Wire.Result (relay_submit t s));
+            with_relay_barrier t (fun () ->
+                Net.Wire.Result (relay_submit t s)));
       `Continue
   | Net.Wire.Cache_push p ->
       if not (try_reserve t) then begin
@@ -382,19 +705,57 @@ let dispatch t conn ~id msg =
       end
       else
         spawn_relay t conn ~id (fun () ->
-            Net.Wire.Cache_ack (relay_cache_push t p));
+            with_relay_barrier t (fun () ->
+                Net.Wire.Cache_ack (relay_cache_push t p)));
       `Continue
   | Net.Wire.Stats_req ->
       if try_reserve t then
         spawn_relay t conn ~id (fun () ->
-            Net.Wire.Stats_text (aggregated_stats_text t))
+            with_relay_barrier t (fun () ->
+                Net.Wire.Stats_text (aggregated_stats_text t)))
       else send conn ~id (Net.Wire.Result Net.Wire.R_overloaded);
       `Continue
   | Net.Wire.Stats_json_req ->
       if try_reserve t then
         spawn_relay t conn ~id (fun () ->
-            Net.Wire.Stats_json (aggregated_stats_json t))
+            with_relay_barrier t (fun () ->
+                Net.Wire.Stats_json (aggregated_stats_json t)))
       else send conn ~id (Net.Wire.Result Net.Wire.R_overloaded);
+      `Continue
+  | Net.Wire.Members_json_req ->
+      if try_reserve t then
+        spawn_relay t conn ~id (fun () ->
+            with_relay_barrier t (fun () ->
+                Net.Wire.Members_json (enriched_members_json t)))
+      else send conn ~id (Net.Wire.Result Net.Wire.R_overloaded);
+      `Continue
+  | Net.Wire.Cluster_add a ->
+      (* topology changes take the drain side of the barrier, never the
+         relay side — no [with_relay_barrier] here *)
+      if try_reserve t then
+        spawn_relay t conn ~id (fun () ->
+            Net.Wire.Cluster_ack (handle_cluster_add t a))
+      else
+        send conn ~id
+          (Net.Wire.Cluster_ack
+             {
+               Net.Wire.ack_ok = false;
+               ack_epoch = Membership.epoch t.members;
+               ack_msg = "proxy overloaded; retry the membership change";
+             });
+      `Continue
+  | Net.Wire.Cluster_remove sid ->
+      if try_reserve t then
+        spawn_relay t conn ~id (fun () ->
+            Net.Wire.Cluster_ack (handle_cluster_remove t sid))
+      else
+        send conn ~id
+          (Net.Wire.Cluster_ack
+             {
+               Net.Wire.ack_ok = false;
+               ack_epoch = Membership.epoch t.members;
+               ack_msg = "proxy overloaded; retry the membership change";
+             });
       `Continue
   | Net.Wire.Metrics_req ->
       send conn ~id (Net.Wire.Metrics_text (M.dump M.global));
@@ -414,7 +775,7 @@ let dispatch t conn ~id msg =
   | Net.Wire.Pong | Net.Wire.Result _ | Net.Wire.Stats_text _
   | Net.Wire.Metrics_text _ | Net.Wire.Shutdown_ack | Net.Wire.Cache_ack _
   | Net.Wire.Stats_json _ | Net.Wire.Metrics_json _ | Net.Wire.Members_text _
-    ->
+  | Net.Wire.Cluster_ack _ | Net.Wire.Members_json _ ->
       send conn ~id
         (Net.Wire.Result
            (Net.Wire.R_error
@@ -533,25 +894,13 @@ let create ?(cfg = default_cfg) ?(vnodes = 64) ?(probe_ms = 500.0)
   in
   let pools =
     List.map
-      (fun (s : Membership.shard) ->
-        let ccfg =
-          {
-            (Net.Client.default_cfg ~port:s.Membership.sh_port) with
-            Net.Client.host = s.Membership.sh_host;
-            connect_timeout_s = Float.min 5.0 cfg.shard_timeout_s;
-            request_timeout_s = cfg.shard_timeout_s;
-            max_attempts = 2;
-          }
-        in
-        (s.Membership.sh_id, Pool.create ccfg))
+      (fun (s : Membership.shard) -> (s.Membership.sh_id, shard_pool cfg s))
       shards
   in
   let route_counters =
     List.map
       (fun (s : Membership.shard) ->
-        ( s.Membership.sh_id,
-          M.counter M.global ~help:"submits routed to this shard"
-            (Printf.sprintf "cluster_route_%s_total" s.Membership.sh_id) ))
+        (s.Membership.sh_id, shard_route_counter s))
       shards
   in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -585,6 +934,13 @@ let create ?(cfg = default_cfg) ?(vnodes = 64) ?(probe_ms = 500.0)
       failovers = Atomic.make 0;
       shed = Atomic.make 0;
       route_counters;
+      topo_mu = Mutex.create ();
+      topo_cv = Condition.create ();
+      topo_draining = false;
+      active_relays = 0;
+      topo_gen = Atomic.make 0;
+      stale_routes = Atomic.make 0;
+      read_repairs = Atomic.make 0;
       scratch = Bytes.create 65536;
       conns = [];
       accept_fiber = None;
@@ -637,9 +993,19 @@ let drain t =
     Membership.stop t.members;
     (* all relay fibers are done, so the executor is idle *)
     Exec.shutdown t.exec;
-    List.iter (fun (_, p) -> Pool.close_all p) t.pools
+    let pools =
+      Mutex.lock t.topo_mu;
+      let p = t.pools in
+      Mutex.unlock t.topo_mu;
+      p
+    in
+    List.iter (fun (_, p) -> Pool.close_all p) pools
   end
 
 let routed_total t = Atomic.get t.routed
 let failover_total t = Atomic.get t.failovers
 let shed_total t = Atomic.get t.shed
+let epoch t = Membership.epoch t.members
+let stale_routes_total t = Atomic.get t.stale_routes
+let read_repair_total t = Atomic.get t.read_repairs
+let topology_changes_total t = Atomic.get t.topo_gen

@@ -18,8 +18,25 @@
 
     The proxy also serves cluster-wide observability: [Stats_req] /
     [Stats_json_req] aggregate every live shard's snapshot,
-    [Members_req] reports ring membership, [Metrics_req] dumps the
-    proxy's own registry. *)
+    [Members_req] reports ring membership, [Members_json_req] the
+    enriched view (ring epoch, per-shard state and replication
+    counters), [Metrics_req] dumps the proxy's own registry.
+
+    {b Topology changes.}  [Cluster_add] / [Cluster_remove] frames
+    (from [cedarctl cluster add/remove]) change the member set at
+    runtime behind an epoch barrier: the proxy stops admitting new
+    relays, drains the ones routed on the old ring, applies the
+    membership mutation (bumping the ring epoch), and only then routes
+    on the new ring — no request is ever relayed against a stale
+    epoch ({!stale_routes_total} counts violations; it stays 0).  The
+    applied change is then broadcast best-effort to the live shards so
+    their replicators re-balance onto the new ring.
+
+    {b Read-repair.}  A warm full-rung hit served by a shard that is
+    not the key's current ring owner (failover, or ownership moved
+    under a topology change) is pushed back to the owner off the
+    critical path, so subsequent requests for the key land warm on the
+    first candidate. *)
 
 type cfg = {
   host : string;
@@ -74,3 +91,16 @@ val failover_total : t -> int
 val shed_total : t -> int
 (** Requests answered [R_overloaded] by the proxy itself (budget
     exhausted or no live candidate). *)
+
+val epoch : t -> int
+(** The membership view's current ring epoch. *)
+
+val stale_routes_total : t -> int
+(** Relays whose routing decision predated a topology change — the
+    epoch barrier exists to keep this at 0. *)
+
+val read_repair_total : t -> int
+(** Misplaced warm hits pushed back to their current ring owner. *)
+
+val topology_changes_total : t -> int
+(** Membership changes applied (successful add/remove frames). *)

@@ -6,18 +6,38 @@ type counts = {
   rejected : int;
   dropped : int;
   errors : int;
+  skipped_down : int;
 }
+
+(* Push-path peer health: a peer that keeps eating transport errors is
+   skipped (counted, not retried) until a cooldown expires, so pushes
+   aimed at a dead shard stop burning pool connections.  This is
+   deliberately local to the replicator — a shard has no membership
+   view; the proxy's prober is the authority, this is just the
+   replicator not stepping on the same rake twice per entry. *)
+type peer_health = { mutable ph_fails : int; mutable ph_retry_at : float }
+
+let down_after = 2
+let cooldown_s = 2.0
 
 type t = {
   self : string;
-  ring : Ring.t;
-  pools : (string * Pool.t) list;  (* by shard id, self excluded *)
+  replicas : int;  (* total copies of a key, primary included *)
+  vnodes : int;
+  timeout_s : float;
+  mutex : Mutex.t;
+  mutable ring : Ring.t;
+  mutable pools : (string * Pool.t) list;  (* by shard id, self excluded *)
+  health : (string, peer_health) Hashtbl.t;
+  mutable export :
+    (unit -> (string * string * Service.Server.payload) list) option;
   queue : item Service.Bounded_queue.t;
   c_pushed : int Atomic.t;
   c_admitted : int Atomic.t;
   c_rejected : int Atomic.t;
   c_dropped : int Atomic.t;
   c_errors : int Atomic.t;
+  c_skipped : int Atomic.t;
   mutable sender : Thread.t option;
 }
 
@@ -39,6 +59,15 @@ let m_errors =
   M.counter M.global ~help:"warm-cache pushes lost to transport errors"
     "cluster_replication_errors_total"
 
+let m_skipped =
+  M.counter M.global
+    ~help:"warm-cache pushes skipped because the target was held down"
+    "cluster_replication_skipped_down_total"
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
 let cache_push_of_item it =
   let p = it.it_payload in
   {
@@ -51,28 +80,66 @@ let cache_push_of_item it =
     cp_notes = List.map Net.Wire.note_of_report p.Service.Server.p_reports;
   }
 
+(* health bookkeeping, all under the lock *)
+let target_usable t id now =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.health id with
+      | None -> true
+      | Some ph -> ph.ph_fails < down_after || now >= ph.ph_retry_at)
+
+let note_peer_ok t id =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.health id with
+      | None -> ()
+      | Some ph -> ph.ph_fails <- 0)
+
+let note_peer_error t id now =
+  with_lock t (fun () ->
+      let ph =
+        match Hashtbl.find_opt t.health id with
+        | Some ph -> ph
+        | None ->
+            let ph = { ph_fails = 0; ph_retry_at = 0.0 } in
+            Hashtbl.replace t.health id ph;
+            ph
+      in
+      ph.ph_fails <- ph.ph_fails + 1;
+      if ph.ph_fails >= down_after then ph.ph_retry_at <- now +. cooldown_s)
+
+let send_to t it target =
+  let now = Unix.gettimeofday () in
+  if not (target_usable t target now) then begin
+    Atomic.incr t.c_skipped;
+    M.incr m_skipped
+  end
+  else
+    match with_lock t (fun () -> List.assoc_opt target t.pools) with
+    | None -> Atomic.incr t.c_errors
+    | Some pool -> (
+        match
+          Pool.with_client pool (fun c ->
+              Net.Client.cache_push c (cache_push_of_item it))
+        with
+        | Ok admitted ->
+            note_peer_ok t target;
+            Atomic.incr t.c_pushed;
+            M.incr m_pushed;
+            if admitted then begin
+              Atomic.incr t.c_admitted;
+              M.incr m_admitted
+            end
+            else Atomic.incr t.c_rejected
+        | Error _ ->
+            note_peer_error t target (Unix.gettimeofday ());
+            Atomic.incr t.c_errors;
+            M.incr m_errors)
+
 let send_one t it =
-  match Ring.successor t.ring t.self ~key:it.it_key with
-  | None -> () (* single-shard cluster: nowhere to replicate *)
-  | Some target -> (
-      match List.assoc_opt target t.pools with
-      | None -> Atomic.incr t.c_errors
-      | Some pool -> (
-          match
-            Pool.with_client pool (fun c ->
-                Net.Client.cache_push c (cache_push_of_item it))
-          with
-          | Ok admitted ->
-              Atomic.incr t.c_pushed;
-              M.incr m_pushed;
-              if admitted then begin
-                Atomic.incr t.c_admitted;
-                M.incr m_admitted
-              end
-              else Atomic.incr t.c_rejected
-          | Error _ ->
-              Atomic.incr t.c_errors;
-              M.incr m_errors))
+  let ring, extra = with_lock t (fun () -> (t.ring, t.replicas - 1)) in
+  (* the key's first R-1 distinct ring successors after this shard —
+     under R total copies, where every replica of the key belongs *)
+  let targets = Ring.successors ring t.self ~key:it.it_key ~n:extra in
+  List.iter (fun target -> send_to t it target) targets
 
 let sender_loop t =
   let rec go () =
@@ -84,36 +151,42 @@ let sender_loop t =
   in
   go ()
 
-let create ?(vnodes = 64) ?(queue_capacity = 256) ?(timeout_s = 5.0) ~self
-    ~peers () =
+let make_pools ~timeout_s ~self peers =
+  peers
+  |> List.filter (fun s -> s.Membership.sh_id <> self)
+  |> List.map (fun s ->
+         let cfg =
+           {
+             (Net.Client.default_cfg ~port:s.Membership.sh_port) with
+             Net.Client.host = s.Membership.sh_host;
+             connect_timeout_s = timeout_s;
+             request_timeout_s = timeout_s;
+             max_attempts = 2;
+           }
+         in
+         (s.Membership.sh_id, Pool.create ~max_idle:2 cfg))
+
+let create ?(vnodes = 64) ?(queue_capacity = 256) ?(timeout_s = 5.0)
+    ?(replicas = 2) ~self ~peers () =
   let ids = List.map (fun s -> s.Membership.sh_id) peers in
-  let ring = Ring.make ~vnodes ids in
-  let pools =
-    peers
-    |> List.filter (fun s -> s.Membership.sh_id <> self)
-    |> List.map (fun s ->
-           let cfg =
-             {
-               (Net.Client.default_cfg ~port:s.Membership.sh_port) with
-               Net.Client.host = s.Membership.sh_host;
-               connect_timeout_s = timeout_s;
-               request_timeout_s = timeout_s;
-               max_attempts = 2;
-             }
-           in
-           (s.Membership.sh_id, Pool.create ~max_idle:2 cfg))
-  in
   let t =
     {
       self;
-      ring;
-      pools;
+      replicas = max 1 replicas;
+      vnodes;
+      timeout_s;
+      mutex = Mutex.create ();
+      ring = Ring.make ~vnodes ids;
+      pools = make_pools ~timeout_s ~self peers;
+      health = Hashtbl.create 8;
+      export = None;
       queue = Service.Bounded_queue.create ~capacity:(max 1 queue_capacity);
       c_pushed = Atomic.make 0;
       c_admitted = Atomic.make 0;
       c_rejected = Atomic.make 0;
       c_dropped = Atomic.make 0;
       c_errors = Atomic.make 0;
+      c_skipped = Atomic.make 0;
       sender = None;
     }
   in
@@ -127,6 +200,33 @@ let push t ~key ~digest payload =
     M.incr m_dropped
   end
 
+let set_export t f = with_lock t (fun () -> t.export <- Some f)
+
+let set_members t peers =
+  let old_pools =
+    with_lock t (fun () ->
+        let ids = List.map (fun s -> s.Membership.sh_id) peers in
+        t.ring <- Ring.make ~vnodes:t.vnodes ids;
+        let old = t.pools in
+        t.pools <- make_pools ~timeout_s:t.timeout_s ~self:t.self peers;
+        Hashtbl.reset t.health;
+        old)
+  in
+  List.iter (fun (_, p) -> Pool.close_all p) old_pools;
+  (* re-replication: placement moved under the new ring, so every
+     resident entry is re-queued once.  Receivers re-verify and
+     deduplicate (an entry already resident is just re-admitted), and
+     this is a one-shot pass, not hook-driven — no ping-pong. *)
+  let export = with_lock t (fun () -> t.export) in
+  match export with
+  | None -> ()
+  | Some f ->
+      List.iter
+        (fun (key, digest, payload) -> push t ~key ~digest payload)
+        (f ())
+
+let replicas t = t.replicas
+
 let counts t =
   {
     pushed = Atomic.get t.c_pushed;
@@ -134,6 +234,7 @@ let counts t =
     rejected = Atomic.get t.c_rejected;
     dropped = Atomic.get t.c_dropped;
     errors = Atomic.get t.c_errors;
+    skipped_down = Atomic.get t.c_skipped;
   }
 
 let stop t =

@@ -73,3 +73,10 @@ let route t key ~n =
 let successor t self ~key =
   (* walk far enough to see every shard at least once *)
   route t key ~n:(size t) |> List.find_opt (fun id -> id <> self)
+
+let successors t self ~key ~n =
+  if n <= 0 then []
+  else
+    route t key ~n:(size t)
+    |> List.filter (fun id -> id <> self)
+    |> List.filteri (fun i _ -> i < n)

@@ -44,3 +44,9 @@ val successor : t -> string -> key:string -> string option
 (** [successor t self ~key] is the first shard clockwise from [key]'s
     owner position that is not [self] — where a replica of [key]
     belongs.  [None] when the ring has no other shard. *)
+
+val successors : t -> string -> key:string -> n:int -> string list
+(** [successors t self ~key ~n] is the first [n] distinct shards
+    clockwise from [key]'s owner position that are not [self] — where
+    the [n] replicas of [key] belong under replication factor [n+1].
+    Shorter than [n] when the ring has fewer other shards. *)

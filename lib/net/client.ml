@@ -304,6 +304,27 @@ let members t =
   | Ok other -> unexpected "Members_text" other
   | Error _ as e -> e
 
+let members_json t =
+  match request t Wire.Members_json_req with
+  | Ok (Wire.Members_json s) -> Ok s
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Members_json" other
+  | Error _ as e -> e
+
+let cluster_add t (a : Wire.cluster_add) =
+  match request t (Wire.Cluster_add a) with
+  | Ok (Wire.Cluster_ack ack) -> Ok ack
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Cluster_ack" other
+  | Error _ as e -> e
+
+let cluster_remove t shard_id =
+  match request t (Wire.Cluster_remove shard_id) with
+  | Ok (Wire.Cluster_ack ack) -> Ok ack
+  | Ok (Wire.Result (Wire.R_error m)) -> Error m
+  | Ok other -> unexpected "Cluster_ack" other
+  | Error _ as e -> e
+
 let cache_push t (p : Wire.cache_push) =
   match request t (Wire.Cache_push p) with
   | Ok (Wire.Cache_ack admitted) -> Ok admitted

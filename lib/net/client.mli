@@ -84,6 +84,19 @@ val members : t -> (string, string) result
 (** Fetch cluster membership as JSON.  Only a proxy answers this; a
     plain shard replies with a typed error. *)
 
+val members_json : t -> (string, string) result
+(** Fetch the enriched membership view (protocol v3): ring epoch,
+    vnodes, per-shard state and replication counters.  Only a proxy
+    answers this. *)
+
+val cluster_add : t -> Wire.cluster_add -> (Wire.cluster_ack, string) result
+(** Ask a proxy to add a shard to the member set (protocol v3).  The
+    ack carries the resulting ring epoch; [ack_ok = false] means the
+    set was left unchanged and [ack_msg] says why. *)
+
+val cluster_remove : t -> string -> (Wire.cluster_ack, string) result
+(** Ask a proxy to remove a shard from the member set (protocol v3). *)
+
 val cache_push : t -> Wire.cache_push -> (bool, string) result
 (** Offer a completed full-rung cache entry to the peer (warm-cache
     replication).  [Ok true] iff the peer verified the checksum and

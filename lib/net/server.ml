@@ -61,6 +61,11 @@ let default_cfg =
     write_timeout_s = 30.0;
   }
 
+(* a topology change pushed down from the cluster proxy; the handler
+   (wired by cedard when it runs as a shard) returns the verdict and the
+   epoch-like generation the change produced *)
+type cluster_change = [ `Add of string * string * int | `Remove of string ]
+
 type pending = {
   pd_id : int;  (* request id to echo *)
   pd_outcome : Service.Server.outcome Aio.promise;
@@ -87,6 +92,7 @@ type t = {
   svc : Service.Server.t;
   cfg : cfg;
   fault : Fault.t;
+  on_cluster_change : (cluster_change -> bool * int * string) option;
   listen_fd : Unix.file_descr;
   bound_port : int;
   sched : Aio.t;
@@ -339,11 +345,41 @@ let dispatch t conn ~id msg =
       in
       send t conn ~id (Wire.Cache_ack admitted);
       `Continue
-  | Wire.Members_req ->
+  | Wire.Members_req | Wire.Members_json_req ->
       (* membership lives in the proxy; a plain shard has no view *)
       send t conn ~id
         (Wire.Result (Wire.R_error "not a cluster proxy: no membership view"));
       `Continue
+  | Wire.Cluster_add a -> (
+      (* topology change pushed down from the proxy: a shard that
+         replicates re-aims its successor pushes at the new ring *)
+      match t.on_cluster_change with
+      | Some f ->
+          let ok, epoch, msg =
+            f (`Add (a.Wire.ca_id, a.Wire.ca_host, a.Wire.ca_port))
+          in
+          send t conn ~id
+            (Wire.Cluster_ack { ack_ok = ok; ack_epoch = epoch; ack_msg = msg });
+          `Continue
+      | None ->
+          send t conn ~id
+            (Wire.Cluster_ack
+               { ack_ok = false; ack_epoch = 0;
+                 ack_msg = "shard runs without a cluster view" });
+          `Continue)
+  | Wire.Cluster_remove sid -> (
+      match t.on_cluster_change with
+      | Some f ->
+          let ok, epoch, msg = f (`Remove sid) in
+          send t conn ~id
+            (Wire.Cluster_ack { ack_ok = ok; ack_epoch = epoch; ack_msg = msg });
+          `Continue
+      | None ->
+          send t conn ~id
+            (Wire.Cluster_ack
+               { ack_ok = false; ack_epoch = 0;
+                 ack_msg = "shard runs without a cluster view" });
+          `Continue)
   | Wire.Shutdown_req ->
       send t conn ~id Wire.Shutdown_ack;
       Atomic.set t.stop true;
@@ -352,7 +388,8 @@ let dispatch t conn ~id msg =
       `Close
   | Wire.Pong | Wire.Result _ | Wire.Stats_text _ | Wire.Metrics_text _
   | Wire.Shutdown_ack | Wire.Cache_ack _ | Wire.Stats_json _
-  | Wire.Metrics_json _ | Wire.Members_text _ ->
+  | Wire.Metrics_json _ | Wire.Members_text _ | Wire.Cluster_ack _
+  | Wire.Members_json _ ->
       send t conn ~id
         (Wire.Result
            (Wire.R_error
@@ -523,7 +560,7 @@ let accept_loop t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(fault = Fault.none) cfg svc =
+let create ?(fault = Fault.none) ?on_cluster_change cfg svc =
   (* a peer that disappears mid-write must surface as EPIPE, not kill
      the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -546,6 +583,7 @@ let create ?(fault = Fault.none) cfg svc =
       svc;
       cfg;
       fault;
+      on_cluster_change;
       listen_fd;
       bound_port;
       sched = Aio.create ();

@@ -48,9 +48,24 @@ val default_cfg : cfg
 
 type t
 
-val create : ?fault:Service.Fault.t -> cfg -> Service.Server.t -> t
+(** A topology change pushed down from the cluster proxy over the wire
+    (protocol v3): [`Add (id, host, port)] or [`Remove id]. *)
+type cluster_change = [ `Add of string * string * int | `Remove of string ]
+
+val create :
+  ?fault:Service.Fault.t ->
+  ?on_cluster_change:(cluster_change -> bool * int * string) ->
+  cfg ->
+  Service.Server.t ->
+  t
 (** Bind, listen, and start accepting.  The service pool is {e not}
     owned: shutting it down is the caller's job (after {!drain}).
+
+    [on_cluster_change] handles {!Wire.Cluster_add} / [Cluster_remove]
+    frames (a replicating shard re-aims its successor pushes at the new
+    ring); it returns [(ok, epoch, message)], echoed back as a
+    {!Wire.Cluster_ack}.  Without it those frames are acked
+    [ack_ok = false].
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val port : t -> int

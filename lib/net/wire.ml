@@ -6,7 +6,7 @@
    frame must never raise out of [decode] or [read_frame]. *)
 
 let magic = "CDRN"
-let version = 2
+let version = 3
 let min_version = 1
 let header_bytes = 20
 let hard_max_payload = 1 lsl 26 (* 64 MiB *)
@@ -57,6 +57,12 @@ type cache_push = {
   cp_notes : note list;
 }
 
+(* Dynamic membership (protocol v3): an operator adds or removes a
+   shard from a running proxy's member set.  The ack echoes the ring
+   epoch the change produced, so a caller can assert convergence. *)
+type cluster_add = { ca_id : string; ca_host : string; ca_port : int }
+type cluster_ack = { ack_ok : bool; ack_epoch : int; ack_msg : string }
+
 type reply =
   | R_done of {
       r_cached : bool;
@@ -94,6 +100,12 @@ type message =
   | Metrics_json of string
   | Members_req
   | Members_text of string
+  (* protocol v3 *)
+  | Cluster_add of cluster_add
+  | Cluster_remove of string
+  | Cluster_ack of cluster_ack
+  | Members_json_req
+  | Members_json of string
 
 let kind_code = function
   | Ping -> 1
@@ -114,12 +126,18 @@ let kind_code = function
   | Metrics_json _ -> 16
   | Members_req -> 17
   | Members_text _ -> 18
+  | Cluster_add _ -> 19
+  | Cluster_remove _ -> 20
+  | Cluster_ack _ -> 21
+  | Members_json_req -> 22
+  | Members_json _ -> 23
 
 (* Frames carrying a v1 kind are stamped version 1, so a new peer stays
    wire-compatible with an old one for the whole original protocol; the
-   v2 kinds are stamped 2, so an old decoder rejects exactly (and only)
-   the messages it cannot understand with a typed [Bad_version]. *)
-let version_for_kind k = if k >= 11 then 2 else 1
+   v2 kinds are stamped 2 and the v3 kinds 3, so an old decoder rejects
+   exactly (and only) the messages it cannot understand with a typed
+   [Bad_version]. *)
+let version_for_kind k = if k >= 19 then 3 else if k >= 11 then 2 else 1
 
 let message_kind_name = function
   | Ping -> "ping"
@@ -140,6 +158,11 @@ let message_kind_name = function
   | Metrics_json _ -> "metrics-json"
   | Members_req -> "members-req"
   | Members_text _ -> "members"
+  | Cluster_add _ -> "cluster-add"
+  | Cluster_remove _ -> "cluster-remove"
+  | Cluster_ack _ -> "cluster-ack"
+  | Members_json_req -> "members-json-req"
+  | Members_json _ -> "members-json"
 
 (* conversions between the wire [note] and the driver's loop report,
    shared by every front-end that carries reports across the wire *)
@@ -325,10 +348,10 @@ let put_reply b = function
 
 let payload_of = function
   | Ping | Pong | Stats_req | Metrics_req | Shutdown_req | Shutdown_ack
-  | Stats_json_req | Metrics_json_req | Members_req ->
+  | Stats_json_req | Metrics_json_req | Members_req | Members_json_req ->
       ""
   | Stats_text s | Metrics_text s | Stats_json s | Metrics_json s
-  | Members_text s ->
+  | Members_text s | Members_json s ->
       s
   | Submit s ->
       let b = Buffer.create (String.length s.sub_source + 256) in
@@ -355,6 +378,22 @@ let payload_of = function
   | Cache_ack admitted ->
       let b = Buffer.create 1 in
       put_bool b admitted;
+      Buffer.contents b
+  | Cluster_add a ->
+      let b = Buffer.create 64 in
+      put_string b a.ca_id;
+      put_string b a.ca_host;
+      put_int b a.ca_port;
+      Buffer.contents b
+  | Cluster_remove id ->
+      let b = Buffer.create 32 in
+      put_string b id;
+      Buffer.contents b
+  | Cluster_ack a ->
+      let b = Buffer.create 32 in
+      put_bool b a.ack_ok;
+      put_int b a.ack_epoch;
+      put_string b a.ack_msg;
       Buffer.contents b
 
 let encode ~id msg =
@@ -611,6 +650,21 @@ let decode_payload kind payload =
     | 18 ->
         c.pos <- c.limit;
         Members_text payload
+    | 19 ->
+        let ca_id = get_string c in
+        let ca_host = get_string c in
+        let ca_port = get_int c in
+        Cluster_add { ca_id; ca_host; ca_port }
+    | 20 -> Cluster_remove (get_string c)
+    | 21 ->
+        let ack_ok = get_bool c in
+        let ack_epoch = get_int c in
+        let ack_msg = get_string c in
+        Cluster_ack { ack_ok; ack_epoch; ack_msg }
+    | 22 -> empty Members_json_req
+    | 23 ->
+        c.pos <- c.limit;
+        Members_json payload
     | k -> raise (Err (Bad_kind k))
   in
   if c.pos <> c.limit then raise (Err (Malformed "trailing payload bytes"));

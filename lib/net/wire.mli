@@ -5,7 +5,7 @@
     {v
     offset  size  field
     0       4     magic "CDRN"
-    4       1     protocol version (1 or 2; see {!version_for_kind})
+    4       1     protocol version (1, 2 or 3; see {!version_for_kind})
     5       1     message kind
     6       2     flags (reserved, 0) — big-endian
     8       8     request id          — big-endian
@@ -29,17 +29,18 @@ val magic : string
 (** ["CDRN"], the 4 frame magic bytes. *)
 
 val version : int
-(** Newest protocol version this peer speaks (2). *)
+(** Newest protocol version this peer speaks (3). *)
 
 val min_version : int
 (** Oldest protocol version this peer still accepts (1). *)
 
 val version_for_kind : int -> int
 (** The version byte stamped on frames of a given kind.  Kinds from the
-    original protocol keep version 1 — a v2 peer stays fully
+    original protocol keep version 1 — a v3 peer stays fully
     interoperable with a v1 peer for everything v1 could say — while the
-    cluster kinds (11+) are stamped 2, so a v1 decoder rejects exactly
-    those with a typed {!Bad_version} instead of misparsing them. *)
+    cluster kinds (11–18) are stamped 2 and the dynamic-membership
+    kinds (19+) are stamped 3, so an old decoder rejects exactly those
+    with a typed {!Bad_version} instead of misparsing them. *)
 
 val header_bytes : int
 (** Fixed header size: 20. *)
@@ -90,6 +91,19 @@ type cache_push = {
   cp_notes : note list;
 }
 
+(** Dynamic membership (protocol v3): an operator-initiated change to a
+    running proxy's member set. *)
+type cluster_add = {
+  ca_id : string;  (** shard id to join the ring under *)
+  ca_host : string;
+  ca_port : int;
+}
+
+(** Reply to a {!Cluster_add} / [Cluster_remove]: whether the change
+    was applied, and the ring epoch it produced (the epoch in force at
+    rejection time when [ack_ok] is false). *)
+type cluster_ack = { ack_ok : bool; ack_epoch : int; ack_msg : string }
+
 (** Reply to a {!Submit} (and the body of every error reply). *)
 type reply =
   | R_done of {
@@ -132,6 +146,14 @@ type message =
   | Metrics_json of string  (** JSON metrics dump *)
   | Members_req
   | Members_text of string  (** cluster membership as JSON (proxy only) *)
+  (* protocol v3 (dynamic membership) *)
+  | Cluster_add of cluster_add
+  | Cluster_remove of string  (** shard id to take out of the ring *)
+  | Cluster_ack of cluster_ack
+  | Members_json_req
+  | Members_json of string
+      (** enriched membership view: ring epoch, vnode count, per-shard
+          state and replica admission counters (proxy only) *)
 
 val message_kind_name : message -> string
 

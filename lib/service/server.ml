@@ -131,6 +131,9 @@ type t = {
   mutable replica_admitted : int;
   mutable replica_rejected : int;  (* checksum mismatch or rung/capacity *)
   mutable replicated_hits : int;  (* cache hits served from a replica *)
+  mutable replication_source : (unit -> int * int) option;
+      (* outbound replication counters (pushed, skipped_down), wired by
+         cedard when a replicator is attached — stats-only *)
   mutable br_state : breaker_state;
   mutable br_failures : int;  (* consecutive real restructure failures *)
   mutable br_opened_at : float;
@@ -871,6 +874,7 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
       replica_admitted = 0;
       replica_rejected = 0;
       replicated_hits = 0;
+      replication_source = None;
       br_state = Br_closed;
       br_failures = 0;
       br_opened_at = 0.0;
@@ -995,7 +999,19 @@ let breaker_state_name t =
   | Br_open -> "open"
   | Br_half_open -> "half-open"
 
+let set_replication_source t f = t.replication_source <- Some f
+
+(* every resident cache entry as (key, digest, payload): what the
+   replicator re-pushes when the ring changes.  Rides [Cache.export],
+   so recency is untouched. *)
+let export_cache t =
+  Cache.export t.cache
+  |> List.map (fun (key, e) -> (key, e.e_digest, e.e_payload))
+
 let stats t =
+  let replica_pushed, replica_skipped_down =
+    match t.replication_source with Some f -> f () | None -> (0, 0)
+  in
   with_lock t.stat_mutex (fun () ->
       Stats.make ~shard_id:t.shard_id ~submitted:t.submitted
         ~completed:t.completed
@@ -1007,7 +1023,8 @@ let stats t =
         ~breaker_opened:t.breaker_opened
         ~replica_admitted:t.replica_admitted
         ~replica_rejected:t.replica_rejected
-        ~replicated_hits:t.replicated_hits
+        ~replicated_hits:t.replicated_hits ~replica_pushed
+        ~replica_skipped_down
         ~breaker_state:(breaker_state_name t)
         ~faults_injected:(Fault.total_fired t.fault)
         ~queue_high_water:(Bounded_queue.high_water t.queue)

@@ -139,6 +139,15 @@ val admit_replica : t -> key:string -> digest:string -> payload -> bool
     semantics — a replica can evict, and be evicted like, any other
     entry. *)
 
+val export_cache : t -> (string * string * payload) list
+(** Every resident cache entry as [(key, digest, payload)], recency
+    untouched — what the cluster replicator re-pushes when the ring
+    changes so placement converges without recomputation. *)
+
+val set_replication_source : t -> (unit -> int * int) -> unit
+(** Wire the outbound-replication counters [(pushed, skipped_down)]
+    into {!stats} (cedard calls this when a replicator is attached). *)
+
 val effective_workers : t -> int
 (** Worker slots in the pool (after the oversubscription cap). *)
 

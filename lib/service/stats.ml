@@ -16,6 +16,8 @@ type t = {
   replica_admitted : int;
   replica_rejected : int;
   replicated_hits : int;
+  replica_pushed : int;
+  replica_skipped_down : int;
   breaker_state : string;
   faults_injected : int;
   queue_high_water : int;
@@ -43,7 +45,8 @@ let percentile p xs =
       a.(max 0 (min (n - 1) (rank - 1)))
 
 let make ?(shard_id = "") ?(replica_admitted = 0) ?(replica_rejected = 0)
-    ?(replicated_hits = 0) ~submitted ~completed ~failed ~timed_out
+    ?(replicated_hits = 0) ?(replica_pushed = 0) ?(replica_skipped_down = 0)
+    ~submitted ~completed ~failed ~timed_out
     ~cancelled ~retries
     ~rung_full ~rung_conservative ~rung_passthrough ~degraded ~respawns
     ~corrupt_dropped ~breaker_opened ~breaker_state ~faults_injected
@@ -67,6 +70,8 @@ let make ?(shard_id = "") ?(replica_admitted = 0) ?(replica_rejected = 0)
     replica_admitted;
     replica_rejected;
     replicated_hits;
+    replica_pushed;
+    replica_skipped_down;
     breaker_state;
     faults_injected;
     queue_high_water;
@@ -103,12 +108,17 @@ let to_string s =
        [ Printf.sprintf "shard       %s" s.shard_id ]
      else [])
     @
-    if s.replica_admitted > 0 || s.replica_rejected > 0 || s.replicated_hits > 0
+    if
+      s.replica_admitted > 0 || s.replica_rejected > 0
+      || s.replicated_hits > 0 || s.replica_pushed > 0
+      || s.replica_skipped_down > 0
     then
       [
         Printf.sprintf
-          "replication admitted %d  rejected %d  hits-from-replica %d"
-          s.replica_admitted s.replica_rejected s.replicated_hits;
+          "replication pushed %d  skipped-down %d  admitted %d  rejected %d  \
+           hits-from-replica %d"
+          s.replica_pushed s.replica_skipped_down s.replica_admitted
+          s.replica_rejected s.replicated_hits;
       ]
     else []
   in
@@ -174,6 +184,8 @@ let to_json s =
       i "replica_admitted" s.replica_admitted;
       i "replica_rejected" s.replica_rejected;
       i "replicated_hits" s.replicated_hits;
+      i "replica_pushed" s.replica_pushed;
+      i "replica_skipped_down" s.replica_skipped_down;
       str "breaker_state" s.breaker_state;
       i "faults_injected" s.faults_injected;
       i "queue_high_water" s.queue_high_water;

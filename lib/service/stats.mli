@@ -18,6 +18,9 @@ type t = {
   replica_admitted : int;  (** warm-cache pushes admitted from ring peers *)
   replica_rejected : int;  (** pushes rejected (checksum mismatch or rung) *)
   replicated_hits : int;  (** cache hits served from a replicated entry *)
+  replica_pushed : int;  (** warm-cache entries this shard pushed to peers *)
+  replica_skipped_down : int;
+      (** outbound pushes skipped because the target was held down *)
   breaker_state : string;  (** "closed" / "open" / "half-open" at snapshot *)
   faults_injected : int;  (** total chaos faults fired, all sites *)
   queue_high_water : int;
@@ -42,6 +45,8 @@ val make :
   ?replica_admitted:int ->
   ?replica_rejected:int ->
   ?replicated_hits:int ->
+  ?replica_pushed:int ->
+  ?replica_skipped_down:int ->
   submitted:int ->
   completed:int ->
   failed:int ->

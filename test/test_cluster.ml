@@ -15,6 +15,11 @@ module G = QCheck.Gen
 let cedar = Machine.Config.cedar_config1
 let opts = Restructurer.Options.auto_1991 cedar
 
+let contains hay needle =
+  let n = String.length needle and l = String.length hay in
+  let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Ring                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -68,6 +73,33 @@ let test_ring_route_distinct () =
     (keys_of 200);
   Alcotest.(check int) "route clamps to size" 5
     (List.length (Ring.route r "x" ~n:99))
+
+let test_ring_successors () =
+  (* replica placement: the key's first n distinct shards clockwise,
+     never the primary — exactly the failover candidates after the
+     owner, so the proxy's retry path walks straight into the replicas *)
+  let r = Ring.make ~vnodes:32 [ "a"; "b"; "c"; "d"; "e" ] in
+  List.iter
+    (fun k ->
+      let route = Ring.route r k ~n:5 in
+      let owner = List.hd route in
+      let succs = Ring.successors r owner ~key:k ~n:3 in
+      Alcotest.(check int) "three replica targets" 3 (List.length succs);
+      Alcotest.(check int) "targets distinct" 3
+        (List.length (List.sort_uniq compare succs));
+      Alcotest.(check bool) "never the primary" false (List.mem owner succs);
+      Alcotest.(check (list string))
+        "replica targets are the failover candidates, in order"
+        (List.filteri (fun i _ -> i >= 1 && i <= 3) route)
+        succs;
+      Alcotest.(check bool) "successor is successors ~n:1" true
+        (Ring.successor r owner ~key:k = Some (List.hd succs)))
+    (keys_of 200);
+  Alcotest.(check int) "clamps to the other members" 4
+    (List.length (Ring.successors r "a" ~key:"x" ~n:99));
+  let solo = Ring.make [ "only" ] in
+  Alcotest.(check (list string)) "solo ring has nowhere to replicate" []
+    (Ring.successors solo "only" ~key:"k" ~n:2)
 
 let test_ring_balance () =
   (* deterministic inputs, so this is a regression pin, not a dice
@@ -351,6 +383,15 @@ let test_wire_v2_roundtrip () =
       (7, W.Metrics_json "{}");
       (8, W.Members_req);
       (9, W.Members_text "{\"shards\":[]}");
+      (10, W.Cluster_add
+             { W.ca_id = "s3"; ca_host = "127.0.0.1"; ca_port = 7513 });
+      (11, W.Cluster_remove "s3");
+      (12, W.Cluster_ack
+             { W.ack_ok = true; ack_epoch = 7; ack_msg = "removed s3" });
+      (13, W.Cluster_ack
+             { W.ack_ok = false; ack_epoch = 1; ack_msg = "" });
+      (14, W.Members_json_req);
+      (15, W.Members_json "{\"epoch\":1,\"shards\":[]}");
     ]
 
 let test_wire_version_stamps () =
@@ -359,6 +400,10 @@ let test_wire_version_stamps () =
   let byte4 msg = Char.code (W.encode ~id:1 msg).[4] in
   Alcotest.(check int) "Cache_push is v2" 2 (byte4 (W.Cache_push sample_push));
   Alcotest.(check int) "Stats_json_req is v2" 2 (byte4 W.Stats_json_req);
+  Alcotest.(check int) "Cluster_add is v3" 3
+    (byte4
+       (W.Cluster_add { W.ca_id = "x"; ca_host = "h"; ca_port = 1 }));
+  Alcotest.(check int) "Members_json_req is v3" 3 (byte4 W.Members_json_req);
   Alcotest.(check int) "Ping still v1" 1 (byte4 W.Ping);
   Alcotest.(check int) "Submit still v1" 1
     (byte4
@@ -457,6 +502,135 @@ let test_membership_transitions () =
      in
      has "\"down\"" && has "\"live\"" && has "\"fails\"")
 
+let mk_shard id port =
+  { Cluster.Membership.sh_id = id; sh_host = "127.0.0.1"; sh_port = port }
+
+let test_membership_ring_epoch () =
+  (* the epoch moves exactly when key ownership can move: a Down
+     transition, a resurrection, an add, a remove — never on a
+     Suspect⇄Up flap, never on a refused change *)
+  let m =
+    Cluster.Membership.create ~down_after:2 ~timeout_s:0.5 ~auto_probe:false
+      [ mk_shard "a" (dead_port ()); mk_shard "b" (dead_port ()) ]
+  in
+  Fun.protect ~finally:(fun () -> Cluster.Membership.stop m) @@ fun () ->
+  Alcotest.(check int) "epoch starts at 1" 1 (Cluster.Membership.epoch m);
+  Cluster.Membership.note_failure m "a";
+  Alcotest.(check bool) "one miss suspects" true
+    (state_of m "a" = Cluster.Membership.Suspect);
+  Alcotest.(check int) "suspect does not bump" 1 (Cluster.Membership.epoch m);
+  Cluster.Membership.note_success m "a";
+  Alcotest.(check int) "suspect-up flap does not bump" 1
+    (Cluster.Membership.epoch m);
+  Cluster.Membership.note_failure m "a";
+  Cluster.Membership.note_failure m "a";
+  Alcotest.(check int) "down bumps" 2 (Cluster.Membership.epoch m);
+  Cluster.Membership.note_success m "a";
+  Alcotest.(check int) "resurrection bumps" 3 (Cluster.Membership.epoch m);
+  let ring, epoch = Cluster.Membership.ring_epoch m in
+  Alcotest.(check bool) "ring_epoch is one consistent snapshot" true
+    (epoch = Cluster.Membership.epoch m
+    && Ring.members ring = [ "a"; "b" ]);
+  (match Cluster.Membership.add_shard m (mk_shard "c" (dead_port ())) with
+  | Ok e -> Alcotest.(check int) "add bumps and reports the new epoch" 4 e
+  | Error e -> Alcotest.failf "add_shard: %s" e);
+  Alcotest.(check (list string)) "added shard is routable"
+    [ "a"; "b"; "c" ]
+    (Ring.members (Cluster.Membership.ring m));
+  (match Cluster.Membership.add_shard m (mk_shard "c" (dead_port ())) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate add must refuse");
+  Alcotest.(check int) "refused add does not bump" 4
+    (Cluster.Membership.epoch m);
+  (match Cluster.Membership.remove_shard m "c" with
+  | Ok e -> Alcotest.(check int) "remove bumps" 5 e
+  | Error e -> Alcotest.failf "remove_shard: %s" e);
+  (match Cluster.Membership.remove_shard m "ghost" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown remove must refuse");
+  (match Cluster.Membership.remove_shard m "b" with
+  | Ok e -> Alcotest.(check int) "second remove bumps" 6 e
+  | Error e -> Alcotest.failf "remove_shard b: %s" e);
+  (match Cluster.Membership.remove_shard m "a" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "removing the last member must refuse");
+  Alcotest.(check int) "epoch settles after refusals" 6
+    (Cluster.Membership.epoch m)
+
+let test_membership_flapping_probe_loss () =
+  (* two perfectly healthy shards under a seeded probe-loss injector:
+     Up→Suspect→Up flapping never moves the epoch; only a full Down
+     transition does, and the epoch only ever moves forward.  A control
+     view over the same sockets with loss 0 proves the injector (not
+     the network) caused every demotion. *)
+  with_svc @@ fun svc1 ->
+  with_svc @@ fun svc2 ->
+  let net1 = Net.Server.create Net.Server.default_cfg svc1 in
+  let net2 = Net.Server.create Net.Server.default_cfg svc2 in
+  Fun.protect ~finally:(fun () ->
+      Net.Server.drain net1;
+      Net.Server.drain net2)
+  @@ fun () ->
+  let shards =
+    [
+      mk_shard "l1" (Net.Server.port net1);
+      mk_shard "l2" (Net.Server.port net2);
+    ]
+  in
+  let mk loss =
+    Cluster.Membership.create ~down_after:2 ~timeout_s:1.0 ~seed:0xf1a9
+      ~auto_probe:false ~probe_loss:loss shards
+  in
+  let lossy = mk 1.0 and clean = mk 0.0 in
+  Fun.protect ~finally:(fun () ->
+      Cluster.Membership.stop lossy;
+      Cluster.Membership.stop clean)
+  @@ fun () ->
+  let last = ref (Cluster.Membership.epoch lossy) in
+  let monotone ctx =
+    let e = Cluster.Membership.epoch lossy in
+    Alcotest.(check bool) (ctx ^ ": epoch never rewinds") true (e >= !last);
+    last := e
+  in
+  Alcotest.(check int) "epoch starts at 1" 1 !last;
+  for round = 1 to 3 do
+    Cluster.Membership.probe_once lossy;
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: injected loss suspects both" round)
+      true
+      (state_of lossy "l1" = Cluster.Membership.Suspect
+      && state_of lossy "l2" = Cluster.Membership.Suspect);
+    monotone "after lossy probe";
+    Cluster.Membership.note_success lossy "l1";
+    Cluster.Membership.note_success lossy "l2";
+    monotone "after resurrect";
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: flapping never bumps the epoch" round)
+      1 (Cluster.Membership.epoch lossy)
+  done;
+  (* drive the flap all the way down: now ownership moves, epoch bumps *)
+  Cluster.Membership.probe_once lossy;
+  monotone "suspect pass";
+  Cluster.Membership.probe_once lossy;
+  monotone "down pass";
+  Alcotest.(check bool) "down transitions moved the epoch" true
+    (Cluster.Membership.epoch lossy > 1);
+  Cluster.Membership.note_success lossy "l1";
+  monotone "first resurrection";
+  Cluster.Membership.note_success lossy "l2";
+  monotone "second resurrection";
+  Alcotest.(check bool) "members json reports the epoch" true
+    (contains (Cluster.Membership.members_json lossy) "\"epoch\"");
+  (* control: same servers, no injected loss *)
+  for _ = 1 to 3 do
+    Cluster.Membership.probe_once clean
+  done;
+  Alcotest.(check bool) "clean view keeps both up" true
+    (state_of clean "l1" = Cluster.Membership.Up
+    && state_of clean "l2" = Cluster.Membership.Up);
+  Alcotest.(check int) "clean view never moves the epoch" 1
+    (Cluster.Membership.epoch clean)
+
 (* ------------------------------------------------------------------ *)
 (* Connection pool                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -485,6 +659,109 @@ let test_pool_roundtrips () =
   match Cluster.Pool.with_client pool Net.Client.ping with
   | Ok _ -> ()  (* closed pools still dial one-shot connections *)
   | Error e -> Alcotest.failf "post-close checkout: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Replicator: factor, target health, topology convergence             *)
+(* ------------------------------------------------------------------ *)
+
+let with_live_shard id f =
+  with_svc ~cache_capacity:128 @@ fun svc ->
+  let net = Net.Server.create Net.Server.default_cfg svc in
+  Fun.protect ~finally:(fun () -> Net.Server.drain net) @@ fun () ->
+  f svc (mk_shard id (Net.Server.port net))
+
+let replica_entries prefix n =
+  List.init n (fun i ->
+      let text = Printf.sprintf "      PROGRAM P%d\n      END\n" i in
+      (Printf.sprintf "%s-%d" prefix i, Service.Cache.digest text,
+       replica_payload text))
+
+let test_replicator_fanout () =
+  (* R = 3 over three shards: every fill lands on both non-self peers,
+     so either peer alone can serve the key warm; R = 1 pushes nothing *)
+  with_live_shard "b" @@ fun svc_b shard_b ->
+  with_live_shard "c" @@ fun svc_c shard_c ->
+  let peers = [ mk_shard "a" (dead_port ()); shard_b; shard_c ] in
+  let entries = replica_entries "fan" 6 in
+  let r = Cluster.Replicator.create ~replicas:3 ~self:"a" ~peers () in
+  List.iter
+    (fun (key, digest, payload) ->
+      Cluster.Replicator.push r ~key ~digest payload)
+    entries;
+  Cluster.Replicator.stop r (* stop drains the queue *);
+  let c = Cluster.Replicator.counts r in
+  Alcotest.(check int) "R=3 pushes every entry to both peers" 12
+    c.Cluster.Replicator.pushed;
+  Alcotest.(check int) "every push admitted" 12 c.Cluster.Replicator.admitted;
+  Alcotest.(check int) "nothing dropped or skipped" 0
+    (c.Cluster.Replicator.dropped + c.Cluster.Replicator.errors
+   + c.Cluster.Replicator.skipped_down);
+  Alcotest.(check int) "b holds all six" 6
+    (Service.Server.stats svc_b).Service.Stats.replica_admitted;
+  Alcotest.(check int) "c holds all six" 6
+    (Service.Server.stats svc_c).Service.Stats.replica_admitted;
+  let r1 = Cluster.Replicator.create ~replicas:1 ~self:"a" ~peers () in
+  Alcotest.(check int) "factor accessor" 1 (Cluster.Replicator.replicas r1);
+  List.iter
+    (fun (key, digest, payload) ->
+      Cluster.Replicator.push r1 ~key ~digest payload)
+    entries;
+  Cluster.Replicator.stop r1;
+  let c1 = Cluster.Replicator.counts r1 in
+  Alcotest.(check int) "R=1 disables replication outright" 0
+    (c1.Cluster.Replicator.pushed + c1.Cluster.Replicator.errors
+   + c1.Cluster.Replicator.dropped)
+
+let test_replicator_skips_down_target () =
+  (* a target that keeps eating transport errors is held down after
+     down_after consecutive failures: later pushes are skipped (and
+     counted) instead of burning connections on a dead shard *)
+  let peers = [ mk_shard "a" (dead_port ()); mk_shard "d" (dead_port ()) ] in
+  let r = Cluster.Replicator.create ~timeout_s:0.5 ~self:"a" ~peers () in
+  List.iter
+    (fun (key, digest, payload) ->
+      Cluster.Replicator.push r ~key ~digest payload)
+    (replica_entries "down" 5);
+  Cluster.Replicator.stop r;
+  let c = Cluster.Replicator.counts r in
+  Alcotest.(check int) "nothing ever lands" 0
+    (c.Cluster.Replicator.pushed + c.Cluster.Replicator.admitted);
+  Alcotest.(check bool)
+    (Printf.sprintf "two errors open the breaker (%d errors)"
+       c.Cluster.Replicator.errors)
+    true
+    (c.Cluster.Replicator.errors >= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "later pushes skip the held-down target (%d skipped)"
+       c.Cluster.Replicator.skipped_down)
+    true
+    (c.Cluster.Replicator.skipped_down >= 1);
+  Alcotest.(check int) "every push accounted exactly once" 5
+    (c.Cluster.Replicator.errors + c.Cluster.Replicator.skipped_down)
+
+let test_replicator_reexports_on_set_members () =
+  (* topology convergence: a solo shard holds warm entries; when a peer
+     joins via set_members, the wired exporter re-replicates every
+     resident entry onto the new ring without recomputation *)
+  with_live_shard "b" @@ fun svc_b shard_b ->
+  let self = mk_shard "a" (dead_port ()) in
+  let r = Cluster.Replicator.create ~self:"a" ~peers:[ self ] () in
+  Fun.protect ~finally:(fun () -> Cluster.Replicator.stop r) @@ fun () ->
+  let entries = replica_entries "conv" 4 in
+  Cluster.Replicator.set_export r (fun () -> entries);
+  Cluster.Replicator.set_members r [ self; shard_b ];
+  let admitted () =
+    (Service.Server.stats svc_b).Service.Stats.replica_admitted
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while admitted () < 4 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Alcotest.(check int) "every resident entry re-replicated to the joiner" 4
+    (admitted ());
+  let c = Cluster.Replicator.counts r in
+  Alcotest.(check int) "re-export pushed cleanly" 0
+    (c.Cluster.Replicator.errors + c.Cluster.Replicator.rejected)
 
 (* ------------------------------------------------------------------ *)
 (* Proxy end to end                                                    *)
@@ -683,6 +960,248 @@ let test_proxy_kill_shard_failover () =
     (Cluster.Proxy.failover_total proxy >= 1);
   Alcotest.(check int) "nothing shed" 0 (Cluster.Proxy.shed_total proxy)
 
+(* a standalone shard the topology tests add to (and remove from) a
+   running cluster; same shape as the with_cluster members *)
+let with_extra_shard id f =
+  let h_repl = ref None in
+  let on_cache_fill ~key ~digest payload =
+    match !h_repl with
+    | Some r -> Cluster.Replicator.push r ~key ~digest payload
+    | None -> ()
+  in
+  let h_svc =
+    Service.Server.create ~workers:1 ~cache_capacity:128 ~oversubscribe:true
+      ~shard_id:id ~on_cache_fill ()
+  in
+  let h_net = Net.Server.create Net.Server.default_cfg h_svc in
+  Fun.protect
+    ~finally:(fun () ->
+      (match !h_repl with
+      | Some r -> Cluster.Replicator.stop r
+      | None -> ());
+      Net.Server.drain h_net;
+      ignore (Service.Server.shutdown h_svc))
+    (fun () -> f { h_id = id; h_svc; h_net; h_repl })
+
+let test_proxy_cluster_add_remove () =
+  (* runtime membership through the front door: cedarctl's frames, the
+     ring-epoch contract, the enriched members view, and correct
+     routing on the changed ring *)
+  with_cluster @@ fun proxy _handles ->
+  with_extra_shard "s3" @@ fun extra ->
+  with_proxy_client proxy @@ fun client ->
+  Alcotest.(check int) "epoch starts at 1" 1 (Cluster.Proxy.epoch proxy);
+  let spec =
+    { W.ca_id = "s3"; ca_host = "127.0.0.1";
+      ca_port = Net.Server.port extra.h_net }
+  in
+  (match Net.Client.cluster_add client spec with
+  | Ok ack ->
+      Alcotest.(check bool) "add acked ok" true ack.W.ack_ok;
+      Alcotest.(check int) "add bumped the ring epoch" 2 ack.W.ack_epoch
+  | Error e -> Alcotest.failf "cluster_add: %s" e);
+  (match Net.Client.cluster_add client spec with
+  | Ok ack ->
+      Alcotest.(check bool) "duplicate add refused" false ack.W.ack_ok
+  | Error e -> Alcotest.failf "duplicate cluster_add: %s" e);
+  Alcotest.(check int) "refused change does not bump" 2
+    (Cluster.Proxy.epoch proxy);
+  (match Net.Client.members_json client with
+  | Ok json ->
+      Alcotest.(check bool) "enriched view carries the epoch" true
+        (contains json "\"epoch\":2");
+      Alcotest.(check bool) "enriched view carries the joiner" true
+        (contains json "\"s3\"");
+      Alcotest.(check bool) "enriched view carries replication counters"
+        true
+        (contains json "\"replica_admitted\"");
+      Alcotest.(check bool) "enriched view carries proxy counters" true
+        (contains json "\"proxy\"")
+  | Error e -> Alcotest.failf "members_json: %s" e);
+  (* the cluster answers correctly on the four-shard ring *)
+  List.iteri
+    (fun i source ->
+      match
+        Net.Client.submit client
+          ~name:(Printf.sprintf "add%02d" i)
+          ~options:opts source
+      with
+      | Ok (W.R_done { r_text; _ }) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d byte-identical on the new ring" i)
+            true
+            (r_text = restructured source)
+      | Ok r ->
+          Alcotest.failf "job %d: unexpected reply %s" i
+            (W.message_kind_name (W.Result r))
+      | Error e -> Alcotest.failf "job %d: %s" i e)
+    (List.init 6 (fun i -> synth_source (40 + i)));
+  (match Net.Client.cluster_remove client "s3" with
+  | Ok ack ->
+      Alcotest.(check bool) "remove acked ok" true ack.W.ack_ok;
+      Alcotest.(check int) "remove bumped the ring epoch" 3 ack.W.ack_epoch
+  | Error e -> Alcotest.failf "cluster_remove: %s" e);
+  (match Net.Client.cluster_remove client "ghost" with
+  | Ok ack ->
+      Alcotest.(check bool) "unknown remove refused" false ack.W.ack_ok
+  | Error e -> Alcotest.failf "cluster_remove ghost: %s" e);
+  (match Net.Client.members_json client with
+  | Ok json ->
+      Alcotest.(check bool) "removed shard left the view" false
+        (contains json "\"s3\"")
+  | Error e -> Alcotest.failf "members_json after remove: %s" e);
+  Alcotest.(check int) "exactly the applied changes counted" 2
+    (Cluster.Proxy.topology_changes_total proxy);
+  Alcotest.(check int) "no stale routes" 0
+    (Cluster.Proxy.stale_routes_total proxy)
+
+let test_proxy_churn_no_stale_routes () =
+  (* the epoch-barrier invariant under fire: continuous submits while a
+     shard joins and leaves the ring repeatedly — every job answers
+     byte-identical, and no relay is ever routed against a stale epoch *)
+  with_cluster @@ fun proxy _handles ->
+  with_extra_shard "s3" @@ fun extra ->
+  let spec =
+    { W.ca_id = "s3"; ca_host = "127.0.0.1";
+      ca_port = Net.Server.port extra.h_net }
+  in
+  let failures = ref [] in
+  let fail_mu = Mutex.create () in
+  let note_failure msg =
+    Mutex.lock fail_mu;
+    failures := msg :: !failures;
+    Mutex.unlock fail_mu
+  in
+  let submitter =
+    Thread.create
+      (fun () ->
+        match
+          Net.Client.connect
+            (Net.Client.default_cfg ~port:(Cluster.Proxy.port proxy))
+        with
+        | Error e -> note_failure ("connect: " ^ e)
+        | Ok client ->
+            Fun.protect ~finally:(fun () -> Net.Client.close client)
+            @@ fun () ->
+            List.iter
+              (fun i ->
+                let source = synth_source (60 + i) in
+                match
+                  Net.Client.submit client
+                    ~name:(Printf.sprintf "churn%02d" i)
+                    ~options:opts source
+                with
+                | Ok (W.R_done { r_text; _ })
+                  when r_text = restructured source ->
+                    ()
+                | Ok r ->
+                    note_failure
+                      (Printf.sprintf "job %d: %s" i
+                         (W.message_kind_name (W.Result r)))
+                | Error e ->
+                    note_failure (Printf.sprintf "job %d: %s" i e))
+              (List.init 24 Fun.id))
+      ()
+  in
+  (with_proxy_client proxy @@ fun ctl ->
+   for cycle = 1 to 3 do
+     (match Net.Client.cluster_add ctl spec with
+     | Ok ack ->
+         Alcotest.(check bool)
+           (Printf.sprintf "cycle %d: add applied" cycle)
+           true ack.W.ack_ok
+     | Error e -> Alcotest.failf "cycle %d add: %s" cycle e);
+     Thread.delay 0.05;
+     (match Net.Client.cluster_remove ctl "s3" with
+     | Ok ack ->
+         Alcotest.(check bool)
+           (Printf.sprintf "cycle %d: remove applied" cycle)
+           true ack.W.ack_ok
+     | Error e -> Alcotest.failf "cycle %d remove: %s" cycle e);
+     Thread.delay 0.05
+   done);
+  Thread.join submitter;
+  (match !failures with
+  | [] -> ()
+  | msgs -> Alcotest.failf "lost under churn: %s" (String.concat "; " msgs));
+  Alcotest.(check int) "no relay routed against a stale epoch" 0
+    (Cluster.Proxy.stale_routes_total proxy);
+  Alcotest.(check int) "all six changes applied" 6
+    (Cluster.Proxy.topology_changes_total proxy);
+  Alcotest.(check int) "epoch advanced once per change" 7
+    (Cluster.Proxy.epoch proxy);
+  Alcotest.(check int) "nothing shed" 0 (Cluster.Proxy.shed_total proxy)
+
+let test_proxy_read_repair () =
+  (* a saturated owner answers R_overloaded (typed, so it stays Up) and
+     the submit spills to the successor.  Once the successor answers
+     the key warm, the proxy must notice the hit landed off-owner and
+     push the entry back — the next capacity the owner finds, it finds
+     the key already warm *)
+  with_svc @@ fun svc_a ->
+  with_svc @@ fun svc_b ->
+  let net_a =
+    Net.Server.create
+      { Net.Server.default_cfg with Net.Server.max_inflight = 0 }
+      svc_a
+  in
+  let net_b = Net.Server.create Net.Server.default_cfg svc_b in
+  Fun.protect ~finally:(fun () ->
+      Net.Server.drain net_a;
+      Net.Server.drain net_b)
+  @@ fun () ->
+  let shards =
+    [ mk_shard "a" (Net.Server.port net_a);
+      mk_shard "b" (Net.Server.port net_b) ]
+  in
+  let proxy = Cluster.Proxy.create ~probe_ms:10_000.0 shards in
+  Fun.protect ~finally:(fun () -> Cluster.Proxy.drain proxy) @@ fun () ->
+  (* find a source whose content key the ring hands to the saturated
+     shard *)
+  let ring = Ring.make ~vnodes:64 [ "a"; "b" ] in
+  let source =
+    let rec go i =
+      if i > 999 then Alcotest.fail "no a-owned key in 1000 candidates"
+      else
+        let s = synth_source i in
+        let key =
+          Service.Server.cache_key
+            { Service.Server.req_name = "repair"; req_source = s;
+              req_options = opts }
+        in
+        if Ring.lookup ring key = Some "a" then s else go (i + 1)
+    in
+    go 0
+  in
+  let expect = restructured source in
+  with_proxy_client proxy @@ fun client ->
+  let submit () =
+    match Net.Client.submit client ~name:"repair" ~options:opts source with
+    | Ok (W.R_done { r_text; r_cached; _ }) ->
+        Alcotest.(check bool) "byte-identical" true (r_text = expect);
+        r_cached
+    | Ok r ->
+        Alcotest.failf "unexpected reply %s" (W.message_kind_name (W.Result r))
+    | Error e -> Alcotest.failf "submit: %s" e
+  in
+  Alcotest.(check bool) "first spill computes fresh" false (submit ());
+  Alcotest.(check bool) "second spill answers warm" true (submit ());
+  Alcotest.(check bool) "both requests spilled off the owner" true
+    (Cluster.Proxy.failover_total proxy >= 2);
+  let repaired () =
+    Cluster.Proxy.read_repair_total proxy >= 1
+    && (Service.Server.stats svc_a).Service.Stats.replica_admitted >= 1
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (repaired ())) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Alcotest.(check bool)
+    "read-repair pushed the misplaced warm entry back to its owner" true
+    (repaired ());
+  Alcotest.(check int) "exactly the off-owner hit repaired" 1
+    (Cluster.Proxy.read_repair_total proxy)
+
 let tests =
   [
     Alcotest.test_case "ring: routing is order- and duplicate-independent"
@@ -691,6 +1210,8 @@ let tests =
       test_ring_edges;
     Alcotest.test_case "ring: failover candidates distinct and ordered"
       `Quick test_ring_route_distinct;
+    Alcotest.test_case "ring: replica targets follow the failover walk"
+      `Quick test_ring_successors;
     Alcotest.test_case "ring: vnodes keep shards near the fair share" `Quick
       test_ring_balance;
     Alcotest.test_case "ring: one leaver moves about K/N keys" `Quick
@@ -712,10 +1233,26 @@ let tests =
       test_wire_version_stamps;
     Alcotest.test_case "membership: probe and data-path transitions" `Quick
       test_membership_transitions;
+    Alcotest.test_case "membership: ring epoch moves iff ownership can"
+      `Quick test_membership_ring_epoch;
+    Alcotest.test_case "membership: seeded flapping never rewinds the epoch"
+      `Slow test_membership_flapping_probe_loss;
     Alcotest.test_case "pool: reuse, poison-on-error, close" `Quick
       test_pool_roundtrips;
+    Alcotest.test_case "replicator: R=3 fans out, R=1 disables" `Slow
+      test_replicator_fanout;
+    Alcotest.test_case "replicator: dead target held down and skipped"
+      `Slow test_replicator_skips_down_target;
+    Alcotest.test_case "replicator: set_members re-replicates residents"
+      `Slow test_replicator_reexports_on_set_members;
     Alcotest.test_case "proxy: corpus byte-identical through 3 shards" `Slow
       test_proxy_e2e_corpus_byte_identical;
     Alcotest.test_case "proxy: kill a shard, zero lost, replicas serve" `Slow
       test_proxy_kill_shard_failover;
+    Alcotest.test_case "proxy: cluster add/remove over the wire" `Slow
+      test_proxy_cluster_add_remove;
+    Alcotest.test_case "proxy: topology churn leaves no stale route" `Slow
+      test_proxy_churn_no_stale_routes;
+    Alcotest.test_case "proxy: off-owner warm hit is read-repaired" `Slow
+      test_proxy_read_repair;
   ]

@@ -103,6 +103,215 @@ let phase_line label breakdown =
     (String.concat ""
        (List.map (fun (n, s) -> Printf.sprintf "  %s %.3f" n s) breakdown))
 
+(* Memo pass: the nest-level memoization A/B.  The driver restructures
+   the full corpus [replays] times back to back — the shared-nest
+   workload: from the second replay on, every program shares all its
+   nests with a previously seen one, which is exactly the regime the
+   memo targets.  The driver is called directly, so no result cache is
+   involved.  Two numbers come out: the {e cold} speedup (memo starts
+   empty, so the first replay pays miss-and-store on every nest) and the
+   {e steady-state} speedup of a fully resident table — the long-running
+   service's regime, where the cold first replay has amortized away. *)
+let memo_pass () =
+  let opts = Restructurer.Options.advanced Machine.Config.cedar_config1 in
+  let corpus = Service.Traffic.corpus () in
+  let progs =
+    List.map
+      (fun w ->
+        Fortran.Parser.parse_program
+          (w.Workloads.Workload.source w.Workloads.Workload.small_size))
+      corpus
+  in
+  let replays = 8 in
+  let jobs = replays * List.length progs in
+  let replay ?memo () =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun p -> ignore (Restructurer.Driver.restructure ?memo opts p))
+      progs;
+    Unix.gettimeofday () -. t0
+  in
+  let run ?memo () =
+    let w = ref 0.0 in
+    for _ = 1 to replays do
+      w := !w +. replay ?memo ()
+    done;
+    !w
+  in
+  ignore (run ()) (* warm the allocator so the A/B is steady-state *);
+  let off = ref infinity and cold = ref infinity and hot = ref infinity in
+  let last_memo = ref None in
+  for _ = 1 to 3 do
+    off := Float.min !off (run ());
+    let m = Restructurer.Driver.create_memo ~capacity:4096 () in
+    cold := Float.min !cold (run ~memo:m ());
+    (* the table is now fully resident: replays from here are pure hits *)
+    hot := Float.min !hot (run ~memo:m ());
+    last_memo := Some m
+  done;
+  let st =
+    match !last_memo with
+    | Some m -> Restructurer.Driver.memo_stats m
+    | None -> assert false
+  in
+  let hits = st.Restructurer.Memo.st_hits
+  and misses = st.Restructurer.Memo.st_misses in
+  let cold_speedup = if !cold > 0.0 then !off /. !cold else 0.0 in
+  let hot_speedup = if !hot > 0.0 then !off /. !hot else 0.0 in
+  Printf.printf
+    "memo: corpus x%d (%d jobs)  unmemoized %.3f s (%.0f jobs/s)\n\
+    \      cold  %.3f s (%.0f jobs/s, %.2fx)  steady %.3f s (%.0f jobs/s, \
+     %.2fx)\n\
+    \      hits %d misses %d resident %d\n%!"
+    replays jobs !off
+    (float_of_int jobs /. !off)
+    !cold
+    (float_of_int jobs /. !cold)
+    cold_speedup !hot
+    (float_of_int jobs /. !hot)
+    hot_speedup hits misses st.Restructurer.Memo.st_size;
+  Printf.sprintf
+    {|{
+    "corpus_programs": %d,
+    "replays": %d,
+    "jobs": %d,
+    "unmemoized_s": %.4f,
+    "cold_memoized_s": %.4f,
+    "steady_memoized_s": %.4f,
+    "unmemoized_jobs_per_s": %.2f,
+    "cold_memoized_jobs_per_s": %.2f,
+    "steady_memoized_jobs_per_s": %.2f,
+    "cold_speedup": %.3f,
+    "steady_speedup": %.3f,
+    "memo_hits": %d,
+    "memo_misses": %d,
+    "memo_hit_rate": %.4f,
+    "memo_resident": %d
+  }|}
+    (List.length progs) replays jobs !off !cold !hot
+    (float_of_int jobs /. !off)
+    (float_of_int jobs /. !cold)
+    (float_of_int jobs /. !hot)
+    cold_speedup hot_speedup hits misses
+    (if hits + misses > 0 then
+       float_of_int hits /. float_of_int (hits + misses)
+     else 0.0)
+    st.Restructurer.Memo.st_size
+
+(* Netfast pass: the warm socket path after the in-place frame decoder
+   and the corked writer.  Flush counters give the frames-per-flush
+   batching factor; [Gc.quick_stat] deltas give the allocation price
+   per job.  Client and server share the process (as in every other
+   socket pass), so the GC numbers are the whole round trip. *)
+let netfast_pass () =
+  let workers = 4 in
+  let base = Service.Traffic.default_cfg in
+  let server =
+    Service.Server.create ~workers ~cache_capacity:256 ~timeout_ms:30_000.0 ()
+  in
+  ignore (Service.Traffic.run server base) (* warm the cache *);
+  let net = Net.Server.create Net.Server.default_cfg server in
+  let ccfg = Net.Client.default_cfg ~port:(Net.Server.port net) in
+  let m_fl = Obs.Metrics.counter Obs.Metrics.global "net_flushes_total" in
+  let m_fr = Obs.Metrics.counter Obs.Metrics.global "net_flushed_frames_total" in
+  let drive () =
+    Net.Client.drive ccfg
+      {
+        Net.Client.requests = base.Service.Traffic.requests;
+        conns = 4;
+        seed = base.Service.Traffic.seed;
+        size_jitter = base.Service.Traffic.size_jitter;
+        batch = base.Service.Traffic.batch;
+        validate = false;
+      }
+  in
+  ignore (drive ()) (* reach steady state before measuring *);
+  let fl0 = Obs.Metrics.counter_value m_fl in
+  let fr0 = Obs.Metrics.counter_value m_fr in
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let reqs = ref 0 in
+  let passes = 5 in
+  for _ = 1 to passes do
+    let s = drive () in
+    reqs := !reqs + s.Net.Client.d_requests
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  let flushes = Obs.Metrics.counter_value m_fl - fl0 in
+  let frames = Obs.Metrics.counter_value m_fr - fr0 in
+  (* pipelined ping burst over a raw socket: worker-pool replies above
+     complete one at a time, so they flush one at a time — the corked
+     writer earns its keep on inline replies, where the whole burst is
+     answered in one scheduler pass and leaves in O(1) flushes *)
+  let burst = 64 and rounds = 5 in
+  let bfl0 = Obs.Metrics.counter_value m_fl in
+  let bfr0 = Obs.Metrics.counter_value m_fr in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Net.Server.port net));
+  let burst_req =
+    String.concat ""
+      (List.init burst (fun i -> Net.Wire.encode ~id:i Net.Wire.Ping))
+  in
+  let reply_bytes = burst * String.length (Net.Wire.encode ~id:0 Net.Wire.Pong) in
+  let buf = Bytes.create reply_bytes in
+  for _ = 1 to rounds do
+    ignore (Unix.write_substring fd burst_req 0 (String.length burst_req));
+    let got = ref 0 in
+    while !got < reply_bytes do
+      let n = Unix.read fd buf !got (reply_bytes - !got) in
+      if n = 0 then failwith "netfast: burst connection closed early";
+      got := !got + n
+    done
+  done;
+  Unix.close fd;
+  let bfl = Obs.Metrics.counter_value m_fl - bfl0 in
+  let bfr = Obs.Metrics.counter_value m_fr - bfr0 in
+  Net.Server.drain net;
+  ignore (Service.Server.shutdown server);
+  let jobs = float_of_int !reqs in
+  let tp = if wall > 0.0 then jobs /. wall else 0.0 in
+  let minor_per_job = (gc1.Gc.minor_words -. gc0.Gc.minor_words) /. jobs in
+  let promoted_per_job =
+    (gc1.Gc.promoted_words -. gc0.Gc.promoted_words) /. jobs
+  in
+  let minor_cols_per_1k =
+    float_of_int (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+    /. jobs *. 1000.0
+  in
+  let frames_per_flush =
+    if flushes > 0 then float_of_int frames /. float_of_int flushes else 0.0
+  in
+  let burst_frames_per_flush =
+    if bfl > 0 then float_of_int bfr /. float_of_int bfl else 0.0
+  in
+  Printf.printf
+    "netfast: c=4 warm  %.0f jobs/s  %d flushes / %d frames (%.2f \
+     frames/flush)  minor %.0f w/job  promoted %.0f w/job  %.2f minor \
+     GCs/1k jobs\n\
+    \         ping burst %dx%d: %d flushes / %d frames (%.1f \
+     frames/flush)\n%!"
+    tp flushes frames frames_per_flush minor_per_job promoted_per_job
+    minor_cols_per_1k rounds burst bfl bfr burst_frames_per_flush;
+  Printf.sprintf
+    {|{
+    "conns": 4,
+    "requests": %d,
+    "jobs_per_s": %.2f,
+    "flushes": %d,
+    "frames_flushed": %d,
+    "frames_per_flush": %.3f,
+    "burst_pings": %d,
+    "burst_flushes": %d,
+    "burst_frames_per_flush": %.2f,
+    "minor_words_per_job": %.1f,
+    "promoted_words_per_job": %.1f,
+    "minor_collections_per_1k_jobs": %.2f
+  }|}
+    !reqs tp flushes frames frames_per_flush (rounds * burst) bfl
+    burst_frames_per_flush minor_per_job promoted_per_job minor_cols_per_1k
+
 (* Socket pass: the same closed-loop workload through the cedarnet TCP
    front-end.  The cache is warmed with the identical request sequence
    first, so — like the warm in-process passes — these numbers measure
@@ -554,8 +763,12 @@ let service_bench () =
   print_endline (Service.Stats.to_string stats);
   print_endline "--- chaos pass (service sites at 10%) ---";
   print_endline (Service.Stats.to_string chaos_stats);
+  print_endline "--- memo pass (nest-level memoization A/B) ---";
+  let memo_json = memo_pass () in
   print_endline "--- net pass (cedarnet TCP front-end) ---";
   let net_json = net_pass () in
+  print_endline "--- netfast pass (zero-copy decode + corked writer) ---";
+  let netfast_json = netfast_pass () in
   print_endline "--- fibers pass (idle-connection scaling) ---";
   let fibers_json = fibers_pass () in
   print_endline "--- cluster pass (cedarproxy over 1/2/4/8 shards) ---";
@@ -594,7 +807,9 @@ let service_bench () =
   "chaos_degraded": %d,
   "chaos_corrupt_dropped": %d,
   "chaos_faults_injected": %d,
+  "memo": %s,
   "net": %s,
+  "netfast": %s,
   "fibers": %s,
   "cluster": %s
 }
@@ -623,13 +838,72 @@ let service_bench () =
       chaos_stats.Service.Stats.retries chaos_stats.Service.Stats.respawns
       chaos_stats.Service.Stats.degraded
       chaos_stats.Service.Stats.corrupt_dropped
-      chaos_stats.Service.Stats.faults_injected net_json fibers_json
-      cluster_json
+      chaos_stats.Service.Stats.faults_injected memo_json net_json
+      netfast_json fibers_json cluster_json
   in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;
   close_out oc;
   print_endline "wrote BENCH_service.json"
+
+(* CI perf gate: compare the warm-path throughput recorded in
+   BENCH_service.json against the checked-in floor in
+   bench/perf_floor.json and fail on a >30% regression.  No JSON
+   library in the toolchain, and none is needed: both files are flat
+   enough that scanning for ["key": <number>] is exact. *)
+let json_float_field path key =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let needle = Printf.sprintf "\"%s\"" key in
+  let nl = String.length needle and sl = String.length s in
+  let rec find i =
+    if i + nl > sl then None
+    else if String.sub s i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let i = ref start in
+      while !i < sl && (s.[!i] = ':' || s.[!i] = ' ') do incr i done;
+      let j = ref !i in
+      while
+        !j < sl
+        && match s.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub s !i (!j - !i))
+
+let checkfloor () =
+  let bench_file = "BENCH_service.json" in
+  let floor_file = "bench/perf_floor.json" in
+  let get path key =
+    match json_float_field path key with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "checkfloor: no numeric field %S in %s\n" key path;
+        exit 2
+  in
+  let gate key =
+    let measured = get bench_file key in
+    let floor = get floor_file key in
+    let limit = floor *. 0.7 in
+    let ok = measured >= limit in
+    Printf.printf "perf gate: %-32s measured %10.2f  floor %10.2f  fail \
+                   below %10.2f  -> %s\n"
+      key measured floor limit
+      (if ok then "ok" else "REGRESSION");
+    ok
+  in
+  let ok =
+    List.for_all gate
+      [ "warm_throughput_jobs_per_s"; "cold_throughput_jobs_per_s" ]
+  in
+  if not ok then exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -650,10 +924,13 @@ let () =
   | [ "synthetic" ] -> Experiments.print_synthetic ()
   | [ "micro" ] -> micro ()
   | [ "service" ] -> service_bench ()
+  | [ "memo" ] -> print_endline (memo_pass ())
+  | [ "netfast" ] -> print_endline (netfast_pass ())
   | [ "fibers" ] -> print_endline (fibers_pass ())
   | [ "cluster" ] -> print_endline (cluster_pass ())
+  | [ "checkfloor" ] -> checkfloor ()
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service|fibers|cluster]";
+         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service|memo|netfast|fibers|cluster|checkfloor]";
       exit 2

@@ -164,8 +164,9 @@ let serve server fault ?on_cluster_change ~host ~port ~max_conns
   end;
   0
 
-let run workers cache_size timeout_ms requests clients seed jitter batch
-    oversubscribe validate chaos chaos_seed chaos_stealth chaos_delay_ms
+let run workers cache_size memo_capacity timeout_ms requests clients seed
+    jitter batch oversubscribe validate chaos chaos_seed chaos_stealth
+    chaos_delay_ms
     trace_file metrics serve_port host max_conns max_inflight
     max_source_bytes net_timeout_s metrics_port shard_id cluster_spec
     vnodes replicas verbose =
@@ -224,8 +225,9 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
       replicator
   in
   let server =
-    Service.Server.create ~workers ~cache_capacity:cache_size ~timeout_ms
-      ~oversubscribe ~fault ~max_source_bytes ~shard_id ?on_cache_fill ()
+    Service.Server.create ~workers ~cache_capacity:cache_size ~memo_capacity
+      ~timeout_ms ~oversubscribe ~fault ~max_source_bytes ~shard_id
+      ?on_cache_fill ()
   in
   (* topology plumbing: re-replication on membership changes pulls the
      resident cache back through the replicator, and outbound counters
@@ -235,6 +237,8 @@ let run workers cache_size timeout_ms requests clients seed jitter batch
   | Some r ->
       Cluster.Replicator.set_export r (fun () ->
           Service.Server.export_cache server);
+      Cluster.Replicator.set_gc r (fun ~keep ->
+          Service.Server.gc_replicas server ~keep);
       Service.Server.set_replication_source server (fun () ->
           let c = Cluster.Replicator.counts r in
           (c.Cluster.Replicator.pushed, c.Cluster.Replicator.skipped_down)));
@@ -450,6 +454,15 @@ let cache_arg =
     & info [ "cache-size" ] ~docv:"N"
         ~doc:"result-cache capacity in entries (0 disables caching)")
 
+let memo_capacity_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "memo-capacity" ] ~docv:"N"
+        ~doc:
+          "nest-level restructurer memo capacity in nests, shared across \
+           workers (0 disables memoization; replays stay byte-identical \
+           either way)")
+
 let timeout_arg =
   Arg.(
     value & opt float 0.0
@@ -657,7 +670,8 @@ let cmd =
   Cmd.v
     (Cmd.info "cedard" ~doc)
     Term.(
-      const run $ workers_arg $ cache_arg $ timeout_arg $ requests_arg
+      const run $ workers_arg $ cache_arg $ memo_capacity_arg $ timeout_arg
+      $ requests_arg
       $ clients_arg $ seed_arg $ jitter_arg $ batch_arg $ oversubscribe_arg
       $ validate_arg $ chaos_arg $ chaos_seed_arg $ chaos_stealth_arg
       $ chaos_delay_arg $ trace_arg $ metrics_arg $ serve_arg $ host_arg

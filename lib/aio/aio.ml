@@ -785,6 +785,16 @@ module Mailbox = struct
     in
     go ()
 
+  (* non-suspending take: what lets a consumer drain everything already
+     queued in one scheduler pass (the writer's cork) without risking a
+     park when the mailbox runs dry *)
+  let take_opt mb =
+    match Queue.take_opt mb.q with
+    | Some v ->
+        wake_one (scheduler ()) mb.putters;
+        Some v
+    | None -> None
+
   let close mb =
     let t = scheduler () in
     if not mb.closed then begin

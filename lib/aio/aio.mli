@@ -220,6 +220,14 @@ module Mailbox : sig
   (** Suspend while empty; [None] once closed {e and} drained.
       @raise Cancelled *)
 
+  val take_opt : 'a mb -> 'a option
+  (** Never suspends: [Some v] if an item is immediately available,
+      [None] if the mailbox is currently empty (closed or not).  The
+      batching primitive — after a blocking {!take} yields the first
+      item, a consumer drains the rest of the same scheduler pass with
+      [take_opt] and processes the whole batch at once.  May wake a
+      blocked putter, so it is still fiber-context only. *)
+
   val close : 'a mb -> unit
   (** Idempotent; wakes every waiter.  Queued items stay takeable. *)
 

@@ -31,6 +31,9 @@ type t = {
   health : (string, peer_health) Hashtbl.t;
   mutable export :
     (unit -> (string * string * Service.Server.payload) list) option;
+  mutable gc : (keep:(string -> bool) -> int) option;
+      (* drops replica-flagged cache entries failing [keep]; wired to
+         [Service.Server.gc_replicas] *)
   queue : item Service.Bounded_queue.t;
   c_pushed : int Atomic.t;
   c_admitted : int Atomic.t;
@@ -180,6 +183,7 @@ let create ?(vnodes = 64) ?(queue_capacity = 256) ?(timeout_s = 5.0)
       pools = make_pools ~timeout_s ~self peers;
       health = Hashtbl.create 8;
       export = None;
+      gc = None;
       queue = Service.Bounded_queue.create ~capacity:(max 1 queue_capacity);
       c_pushed = Atomic.make 0;
       c_admitted = Atomic.make 0;
@@ -201,6 +205,14 @@ let push t ~key ~digest payload =
   end
 
 let set_export t f = with_lock t (fun () -> t.export <- Some f)
+let set_gc t f = with_lock t (fun () -> t.gc <- Some f)
+
+(* does [self] still back [key] under [ring]?  A shard backs a key when
+   it is the owner or one of the first [replicas - 1] distinct
+   successors — exactly the set an origin pushes to, so GC and push
+   placement can never disagree. *)
+let backs ring ~self ~replicas key =
+  List.mem self (Ring.route ring key ~n:replicas)
 
 let set_members t peers =
   let old_pools =
@@ -213,6 +225,15 @@ let set_members t peers =
         old)
   in
   List.iter (fun (_, p) -> Pool.close_all p) old_pools;
+  (* replica GC first: entries this shard held as a successor but no
+     longer backs under the new ring are dropped before the re-export
+     below, so an ex-successor neither re-pushes nor keeps serving
+     entries that now belong elsewhere *)
+  let ring, gc = with_lock t (fun () -> (t.ring, t.gc)) in
+  (match gc with
+  | None -> ()
+  | Some f ->
+      ignore (f ~keep:(backs ring ~self:t.self ~replicas:t.replicas)));
   (* re-replication: placement moved under the new ring, so every
      resident entry is re-queued once.  Receivers re-verify and
      deduplicate (an entry already resident is just re-admitted), and

@@ -19,9 +19,11 @@
     connections.
 
     {b Topology changes.}  {!set_members} swaps the ring and the pools
-    for a new member set and — when {!set_export} has wired a cache
-    exporter — re-queues every resident entry once, so replica
-    placement converges to the new ring without recomputation. *)
+    for a new member set; then — when {!set_gc} has wired a collector —
+    drops the replica-flagged entries this shard no longer backs, and —
+    when {!set_export} has wired a cache exporter — re-queues every
+    resident entry once, so replica placement converges to the new ring
+    without recomputation. *)
 
 type t
 
@@ -62,6 +64,14 @@ val set_export :
 (** Wire the cache exporter used for re-replication on topology change:
     it returns every resident entry as [(key, digest, payload)]
     (see {!Service.Server.export_cache}). *)
+
+val set_gc : t -> (keep:(string -> bool) -> int) -> unit
+(** Wire the replica garbage collector (usually
+    [Service.Server.gc_replicas server]): on every {!set_members} it is
+    called with [keep key] true iff this shard still backs [key] —
+    owner or one of the first [replicas - 1] distinct successors —
+    under the {e new} ring, so ex-successors drop the replica entries
+    they no longer own. *)
 
 val set_members : t -> Membership.shard list -> unit
 (** Replace the member set: rebuild the ring, swap the connection

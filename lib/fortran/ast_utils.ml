@@ -313,12 +313,26 @@ let rec index_coeff index (e : Ast.expr) : int option =
 let fresh_counter : int ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref 0)
 
+(* Observers of fresh-name generation, innermost first.  The nest
+   memoizer records the (prefix, name) stream of a transformation so a
+   replayed hit can re-draw the same names from the live counter and stay
+   byte-identical with a direct run. *)
+let fresh_hooks : (string -> string -> unit) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
 let fresh_name prefix =
   let c = Domain.DLS.get fresh_counter in
   incr c;
-  Printf.sprintf "%s%d" prefix !c
+  let n = Printf.sprintf "%s%d" prefix !c in
+  List.iter (fun f -> f prefix n) !(Domain.DLS.get fresh_hooks);
+  n
 
 let reset_fresh () = Domain.DLS.get fresh_counter := 0
+
+let with_fresh_hook (f : string -> string -> unit) (body : unit -> 'a) : 'a =
+  let hooks = Domain.DLS.get fresh_hooks in
+  hooks := f :: !hooks;
+  Fun.protect ~finally:(fun () -> hooks := List.tl !hooks) body
 
 (* ------------------------------------------------------------------ *)
 (* Simple constant folding / simplification                            *)

@@ -148,6 +148,14 @@ let m_request_seconds =
 let m_bytes_read = M.counter M.global "net_bytes_read_total"
 let m_bytes_written = M.counter M.global "net_bytes_written_total"
 
+let m_flushes =
+  M.counter M.global ~help:"batched socket flushes (one write per batch)"
+    "net_flushes_total"
+
+let m_flushed_frames =
+  M.counter M.global ~help:"reply frames coalesced into batched flushes"
+    "net_flushed_frames_total"
+
 let now () = Unix.gettimeofday ()
 
 (* ------------------------------------------------------------------ *)
@@ -184,30 +192,76 @@ let conn_finished t conn =
     t.conns <- List.filter (fun c -> not (c == conn)) t.conns
   end
 
+(* cap on one corked batch: a pipelined burst of multi-MB results still
+   flushes in bounded contiguous memory *)
+let max_batch_bytes = 256 * 1024
+
+(* The writer corks: a blocking take yields the first item, then
+   everything already queued behind it in the same scheduler pass is
+   drained with [take_opt] and the whole batch goes out in ONE write —
+   N pipelined replies cost one syscall, not N.  A chaos [O_kill] ends
+   the batch: the frames queued before it flush (in order, in the same
+   write), its raw bytes go last, and the connection drops. *)
 let writer t conn =
   let rec loop () =
     match Aio.Mailbox.take conn.c_out with
     | None -> ()
-    | Some item ->
+    | Some first ->
         if conn.c_dead then loop ()
         else begin
+          let kill = ref None in
+          let frames = ref [] and bytes = ref 0 in
+          let add s =
+            frames := s :: !frames;
+            bytes := !bytes + String.length s
+          in
+          (match first with O_frame s -> add s | O_kill s -> kill := Some s);
+          let rec drain () =
+            if !kill = None && !bytes < max_batch_bytes then
+              match Aio.Mailbox.take_opt conn.c_out with
+              | None -> ()
+              | Some (O_frame s) ->
+                  add s;
+                  drain ()
+              | Some (O_kill s) -> kill := Some s
+          in
+          drain ();
+          let frames = List.rev !frames in
+          let payload =
+            match (frames, !kill) with
+            | [ s ], None -> Bytes.unsafe_of_string s (* sound: write-only *)
+            | fs, k ->
+                let tail =
+                  match k with Some s -> String.length s | None -> 0
+                in
+                let b = Bytes.create (!bytes + tail) in
+                let off =
+                  List.fold_left
+                    (fun off s ->
+                      Bytes.blit_string s 0 b off (String.length s);
+                      off + String.length s)
+                    0 fs
+                in
+                (match k with
+                | Some s -> Bytes.blit_string s 0 b off (String.length s)
+                | None -> ());
+                b
+          in
           let deadline =
             if t.cfg.write_timeout_s > 0.0 then
               Some (Aio.now () +. t.cfg.write_timeout_s)
             else None
           in
-          (match item with
-          | O_frame s -> (
-              let b = Bytes.unsafe_of_string s in
-              match Aio.write_all ?deadline conn.c_fd b 0 (Bytes.length b) with
-              | `Ok -> M.incr ~by:(String.length s) m_bytes_written
-              | `Deadline | `Closed -> kill_conn conn)
-          | O_kill s ->
-              let b = Bytes.unsafe_of_string s in
-              (match Aio.write_all ?deadline conn.c_fd b 0 (Bytes.length b) with
-              | `Ok -> M.incr ~by:(String.length s) m_bytes_written
-              | `Deadline | `Closed -> ());
-              kill_conn conn);
+          (* counted before the write so a client that has read the
+             whole batch is guaranteed to observe the flush *)
+          M.incr m_flushes;
+          M.incr ~by:(List.length frames) m_flushed_frames;
+          (match
+             Aio.write_all ?deadline conn.c_fd payload 0 (Bytes.length payload)
+           with
+          | `Ok -> M.incr ~by:(Bytes.length payload) m_bytes_written
+          | `Deadline | `Closed -> kill_conn conn);
+          (match !kill with Some _ -> kill_conn conn | None -> ());
           loop ()
         end
   in

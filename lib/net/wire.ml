@@ -414,14 +414,19 @@ let encode ~id msg =
 
 exception Err of error
 
-type cursor = { src : string; mutable pos : int; limit : int }
+(* The cursor reads straight out of a caller-owned byte window, so the
+   incremental decoder parses payloads in place from the connection
+   buffer — the payload as a whole is never copied; only the field
+   strings a message actually carries are extracted.  The cursor never
+   writes to [src]. *)
+type cursor = { src : Bytes.t; mutable pos : int; limit : int }
 
 let need c n =
   if n < 0 || c.pos + n > c.limit then raise (Err Truncated)
 
 let get_u8 c =
   need c 1;
-  let v = Char.code c.src.[c.pos] in
+  let v = Char.code (Bytes.get c.src c.pos) in
   c.pos <- c.pos + 1;
   v
 
@@ -433,23 +438,23 @@ let get_bool c =
 
 let get_int c =
   need c 8;
-  let v = Int64.to_int (String.get_int64_be c.src c.pos) in
+  let v = Int64.to_int (Bytes.get_int64_be c.src c.pos) in
   c.pos <- c.pos + 8;
   v
 
 let get_f64 c =
   need c 8;
-  let v = Int64.float_of_bits (String.get_int64_be c.src c.pos) in
+  let v = Int64.float_of_bits (Bytes.get_int64_be c.src c.pos) in
   c.pos <- c.pos + 8;
   v
 
 let get_string c =
   need c 4;
-  let n = Int32.to_int (String.get_int32_be c.src c.pos) in
+  let n = Int32.to_int (Bytes.get_int32_be c.src c.pos) in
   c.pos <- c.pos + 4;
   if n < 0 then raise (Err (Malformed "negative string length"));
   need c n;
-  let s = String.sub c.src c.pos n in
+  let s = Bytes.sub_string c.src c.pos n in
   c.pos <- c.pos + n;
   s
 
@@ -614,11 +619,21 @@ let get_cache_push c =
   let cp_notes = List.init k (fun _ -> get_note c) in
   { cp_key; cp_digest; cp_name; cp_text; cp_cycles; cp_global_words; cp_notes }
 
-let decode_payload kind payload =
-  let c = { src = payload; pos = 0; limit = String.length payload } in
+(* decode a payload in place from the window [pos, pos + len) of [src]:
+   the zero-copy entry point shared by the incremental stream decoder
+   (which hands its connection buffer straight in), [read_frame] and
+   [decode].  The window is only read, never aliased past the call —
+   every string that survives is a fresh extraction. *)
+let decode_payload_at kind src ~pos ~len =
+  let c = { src; pos; limit = pos + len } in
   let empty msg =
-    if c.limit <> 0 then raise (Err (Malformed "nonempty payload"));
+    if len <> 0 then raise (Err (Malformed "nonempty payload"));
     msg
+  in
+  (* the whole payload is the message text *)
+  let text () =
+    c.pos <- c.limit;
+    Bytes.sub_string src pos len
   in
   let msg =
     match kind with
@@ -627,29 +642,19 @@ let decode_payload kind payload =
     | 3 -> Submit (get_submit c)
     | 4 -> Result (get_reply c)
     | 5 -> empty Stats_req
-    | 6 ->
-        c.pos <- c.limit;
-        Stats_text payload
+    | 6 -> Stats_text (text ())
     | 7 -> empty Metrics_req
-    | 8 ->
-        c.pos <- c.limit;
-        Metrics_text payload
+    | 8 -> Metrics_text (text ())
     | 9 -> empty Shutdown_req
     | 10 -> empty Shutdown_ack
     | 11 -> Cache_push (get_cache_push c)
     | 12 -> Cache_ack (get_bool c)
     | 13 -> empty Stats_json_req
-    | 14 ->
-        c.pos <- c.limit;
-        Stats_json payload
+    | 14 -> Stats_json (text ())
     | 15 -> empty Metrics_json_req
-    | 16 ->
-        c.pos <- c.limit;
-        Metrics_json payload
+    | 16 -> Metrics_json (text ())
     | 17 -> empty Members_req
-    | 18 ->
-        c.pos <- c.limit;
-        Members_text payload
+    | 18 -> Members_text (text ())
     | 19 ->
         let ca_id = get_string c in
         let ca_host = get_string c in
@@ -662,9 +667,7 @@ let decode_payload kind payload =
         let ack_msg = get_string c in
         Cluster_ack { ack_ok; ack_epoch; ack_msg }
     | 22 -> empty Members_json_req
-    | 23 ->
-        c.pos <- c.limit;
-        Members_json payload
+    | 23 -> Members_json (text ())
     | k -> raise (Err (Bad_kind k))
   in
   if c.pos <> c.limit then raise (Err (Malformed "trailing payload bytes"));
@@ -672,18 +675,29 @@ let decode_payload kind payload =
 
 type header = { h_kind : int; h_id : int; h_len : int }
 
-let decode_header s =
-  if String.length s < header_bytes then Error Truncated
-  else if String.sub s 0 4 <> magic then Error Bad_magic
+let magic_at src pos =
+  Bytes.get src pos = magic.[0]
+  && Bytes.get src (pos + 1) = magic.[1]
+  && Bytes.get src (pos + 2) = magic.[2]
+  && Bytes.get src (pos + 3) = magic.[3]
+
+let decode_header_at src ~pos ~len =
+  if len < header_bytes then Error Truncated
+  else if not (magic_at src pos) then Error Bad_magic
   else
-    let v = Char.code s.[4] in
+    let v = Char.code (Bytes.get src (pos + 4)) in
     if v < min_version || v > version then Error (Bad_version v)
     else
-      let kind = Char.code s.[5] in
-      let id = Int64.to_int (String.get_int64_be s 8) in
-      let len = Int32.to_int (String.get_int32_be s 16) in
-      if len < 0 || len > hard_max_payload then Error (Length_overflow len)
-      else Ok { h_kind = kind; h_id = id; h_len = len }
+      let kind = Char.code (Bytes.get src (pos + 5)) in
+      let id = Int64.to_int (Bytes.get_int64_be src (pos + 8)) in
+      let plen = Int32.to_int (Bytes.get_int32_be src (pos + 16)) in
+      if plen < 0 || plen > hard_max_payload then Error (Length_overflow plen)
+      else Ok { h_kind = kind; h_id = id; h_len = plen }
+
+(* [Bytes.unsafe_of_string] below is sound: the cursor and the header
+   reader only ever read from [src] *)
+let decode_header s =
+  decode_header_at (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
 
 let decode s =
   match decode_header s with
@@ -693,7 +707,10 @@ let decode s =
       else if String.length s > header_bytes + h.h_len then
         Error (Malformed "trailing bytes after frame")
       else begin
-        match decode_payload h.h_kind (String.sub s header_bytes h.h_len) with
+        match
+          decode_payload_at h.h_kind (Bytes.unsafe_of_string s)
+            ~pos:header_bytes ~len:h.h_len
+        with
         | msg -> Ok (h.h_id, msg)
         | exception Err e -> Error e
       end
@@ -758,7 +775,7 @@ let read_frame ?(max_payload = hard_max_payload) fd =
   | `Short -> Fail Truncated
   | `Stalled consumed -> if consumed = 0 then Idle else Stalled
   | `Ok -> (
-      match decode_header (Bytes.to_string hdr) with
+      match decode_header_at hdr ~pos:0 ~len:header_bytes with
       | Error e -> Fail e
       | Ok h ->
           if h.h_len > max_payload then
@@ -770,7 +787,7 @@ let read_frame ?(max_payload = hard_max_payload) fd =
             | `Eof | `Short -> Fail Truncated
             | `Stalled _ -> Stalled
             | `Ok -> (
-                match decode_payload h.h_kind (Bytes.to_string payload) with
+                match decode_payload_at h.h_kind payload ~pos:0 ~len:h.h_len with
                 | msg -> Frame (h.h_id, msg)
                 | exception Err e -> Fail e)))
 
@@ -841,8 +858,9 @@ module Stream = struct
     st.st_len <- st.st_len - n;
     if st.st_len = 0 then st.st_pos <- 0
 
-  let peek st n = Bytes.sub_string st.st_data st.st_pos n
-
+  (* headers and payloads decode in place at the window offset — the
+     warm path never materializes a payload-sized copy; only the field
+     strings the message carries are extracted *)
   let rec next st =
     match st.st_state with
     | S_fail e -> `Fail e
@@ -858,7 +876,7 @@ module Stream = struct
     | S_header ->
         if st.st_len < header_bytes then `Need_more
         else begin
-          match decode_header (peek st header_bytes) with
+          match decode_header_at st.st_data ~pos:st.st_pos ~len:st.st_len with
           | Error e ->
               st.st_state <- S_fail e;
               `Fail e
@@ -877,11 +895,13 @@ module Stream = struct
     | S_payload h ->
         if st.st_len < h.h_len then `Need_more
         else begin
-          let payload = peek st h.h_len in
-          consume st h.h_len;
-          st.st_state <- S_header;
-          match decode_payload h.h_kind payload with
-          | msg -> `Frame (h.h_id, msg)
+          match
+            decode_payload_at h.h_kind st.st_data ~pos:st.st_pos ~len:h.h_len
+          with
+          | msg ->
+              consume st h.h_len;
+              st.st_state <- S_header;
+              `Frame (h.h_id, msg)
           | exception Err e ->
               st.st_state <- S_fail e;
               `Fail e
@@ -900,7 +920,8 @@ module Stream = struct
 end
 
 let write_raw fd s =
-  let b = Bytes.of_string s in
+  (* sound: Unix.write only reads the buffer *)
+  let b = Bytes.unsafe_of_string s in
   let rec go off len =
     if len > 0 then begin
       match Unix.write fd b off len with

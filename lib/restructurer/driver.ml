@@ -65,6 +65,7 @@ type ctx = {
   interproc : Interproc.t;
   unit_name : string;
   interrupt : unit -> bool;  (** polled per loop nest; true aborts the job *)
+  memo : loop_report Memo.t option;  (** shared nest-level memo table *)
   mutable reports : loop_report list;
 }
 
@@ -610,7 +611,7 @@ let rec transform_loop (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
     (fun sp ->
       let before = ctx.reports in
       let stmts =
-        transform_loop_raw ctx ~avail ~after_reads ~facts ~depth h blk
+        transform_loop_memo ctx sp ~avail ~after_reads ~facts ~depth h blk
       in
       let result =
         if not ctx.opts.Options.validate then stmts
@@ -635,6 +636,73 @@ let rec transform_loop (ctx : ctx) ~(avail : avail) ~(after_reads : SSet.t)
       in
       annotate_decision sp ~before ctx ~index:h.Ast.index ~depth;
       result)
+
+(* Consult the shared nest memo around [transform_loop_raw].  A hit
+   replays the stored statements and reports with names mapped into this
+   call site (fresh names re-drawn from the live counter, so numbering
+   matches a direct run exactly); a miss runs the transformation with the
+   fresh-name stream logged and stores the result.  The validator wrapper
+   above stays live either way: demotion of THIS nest is never cached,
+   only re-derived. *)
+and transform_loop_memo ctx sp ~avail ~after_reads ~facts ~depth h blk =
+  match ctx.memo with
+  | None -> transform_loop_raw ctx ~avail ~after_reads ~facts ~depth h blk
+  | Some memo -> (
+      match
+        Memo.prepare ~syms:ctx.syms ~interproc:ctx.interproc ~opts:ctx.opts
+          ~avail:(avail.spread, avail.cluster) ~after_reads ~facts ~depth h
+          blk
+      with
+      | None ->
+          Obs.Trace.attr sp "memo" "bypass";
+          transform_loop_raw ctx ~avail ~after_reads ~facts ~depth h blk
+      | Some prep -> (
+          match Memo.find memo prep with
+          | Some entry ->
+              if ctx.interrupt () then raise Interrupted;
+              Obs.Trace.attr sp "memo" "hit";
+              let rp = Memo.replay entry prep ~fresh:Ast_utils.fresh_name in
+              (* oldest first, so ctx.reports ends up in the same order a
+                 direct run would leave it *)
+              List.iter
+                (fun (r : loop_report) ->
+                  record ctx
+                    {
+                      r with
+                      r_unit = ctx.unit_name;
+                      r_index = rp.Memo.rp_rename r.r_index;
+                      r_depth = r.r_depth + depth;
+                      r_blockers = List.map rp.Memo.rp_text r.r_blockers;
+                    })
+                (List.rev entry.Memo.e_reports);
+              rp.Memo.rp_stmts
+          | None ->
+              Obs.Trace.attr sp "memo" "miss";
+              let before = ctx.reports in
+              let log = ref [] in
+              let stmts =
+                Ast_utils.with_fresh_hook
+                  (fun prefix name -> log := (prefix, name) :: !log)
+                  (fun () ->
+                    transform_loop_raw ctx ~avail ~after_reads ~facts ~depth
+                      h blk)
+              in
+              (* reports recorded during this nest's extent, newest first *)
+              let rec added acc l =
+                if l == before then List.rev acc
+                else
+                  match l with
+                  | [] -> List.rev acc (* unreachable: only prepends *)
+                  | r :: tl -> added (r :: acc) tl
+              in
+              let reports =
+                List.map
+                  (fun (r : loop_report) ->
+                    { r with r_unit = ""; r_depth = r.r_depth - depth })
+                  (added [] ctx.reports)
+              in
+              Memo.store memo prep ~stmts ~reports ~fresh:(List.rev !log);
+              stmts))
 
 and validator_issues ctx ~facts stmts =
   Obs.Trace.with_span "validate" (fun sp ->
@@ -1199,7 +1267,7 @@ and fuse_pass stmts =
 (* Unit / program entry points                                         *)
 (* ------------------------------------------------------------------ *)
 
-let restructure_unit ~(interrupt : unit -> bool) (opts : Options.t)
+let restructure_unit ~(interrupt : unit -> bool) ?memo (opts : Options.t)
     (interproc : Interproc.t) (prog : Ast.program) (u : Ast.punit) :
     Ast.punit * loop_report list * Transform.Inline.failure list =
   if interrupt () then raise Interrupted;
@@ -1221,6 +1289,7 @@ let restructure_unit ~(interrupt : unit -> bool) (opts : Options.t)
           interproc;
           unit_name = u.Ast.u_name;
           interrupt;
+          memo;
           reports = [];
         }
       in
@@ -1240,7 +1309,7 @@ let restructure_unit ~(interrupt : unit -> bool) (opts : Options.t)
     [transform_loop_raw], the deadline hook rides the {!Fortran.Fuel}
     counter ticked inside the dependence tester's pair loop, so even one
     pathological nest (quadratic in references) aborts promptly. *)
-let restructure ?(interrupt = fun () -> false) (opts : Options.t)
+let restructure ?(interrupt = fun () -> false) ?memo (opts : Options.t)
     (prog : Ast.program) : result =
   Fuel.with_hook (fun () -> if interrupt () then raise Interrupted)
   @@ fun () ->
@@ -1253,11 +1322,18 @@ let restructure ?(interrupt = fun () -> false) (opts : Options.t)
       (fun (us, rs, fs) u ->
         match u.Ast.u_kind with
         | Ast.Program | Ast.Subroutine _ | Ast.Function _ ->
-            let u', r, f = restructure_unit ~interrupt opts interproc prog u in
+            let u', r, f =
+              restructure_unit ~interrupt ?memo opts interproc prog u
+            in
             (u' :: us, rs @ r, fs @ f))
       ([], [], []) prog
   in
   { program = List.rev units; reports; inline_failures = fails }
+
+type memo = loop_report Memo.t
+
+let create_memo ?capacity ?corrupt () : memo = Memo.create ?capacity ?corrupt ()
+let memo_stats = Memo.stats
 
 (* ------------------------------------------------------------------ *)
 (* Report printing                                                     *)

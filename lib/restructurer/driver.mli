@@ -28,10 +28,27 @@ exception Interrupted
     — the caller (e.g. a service worker enforcing a deadline) abandons
     the job without wedging. *)
 
+type memo = loop_report Memo.t
+(** A shared nest-level memo table (see {!Memo}): per-nest analysis and
+    transformation results keyed by the normalized nest, reusable across
+    programs, jobs and worker domains. *)
+
+val create_memo : ?capacity:int -> ?corrupt:(unit -> bool) -> unit -> memo
+(** [capacity] bounds the LRU (nests, default 512); [corrupt] is the
+    chaos hook fired at store time (see {!Memo.create}). *)
+
+val memo_stats : memo -> Memo.stats
+
 val restructure :
-  ?interrupt:(unit -> bool) -> Options.t -> Fortran.Ast.program -> result
+  ?interrupt:(unit -> bool) ->
+  ?memo:memo ->
+  Options.t ->
+  Fortran.Ast.program ->
+  result
 (** Restructure a whole program under the given technique set/machine.
     [interrupt] is polled at every program unit and loop nest; returning
-    [true] aborts with {!Interrupted}.  Default: never. *)
+    [true] aborts with {!Interrupted}.  Default: never.  [memo], when
+    given, is consulted before each nest's analysis/transformation and
+    filled on misses; output is byte-identical with an unmemoized run. *)
 
 val report_to_string : loop_report -> string

@@ -1,0 +1,853 @@
+(** Nest-level memoization for the restructurer (the ROADMAP's "kill the
+    hot-path tax").
+
+    The driver's per-nest work — dependence analysis, technique
+    recognition, cost-model ranking and the applied transformation — is a
+    function of the nest itself plus a small slice of its context: the
+    symbol-table rows of the names it touches, the interprocedural
+    summaries of the routines it calls, the liveness of its names after
+    the loop, the disequality facts over its names, and the options.  We
+    digest exactly that slice into a key and cache the finished statements
+    together with the decision reports, in a bounded LRU shared across
+    jobs, so a program that shares loop nests with any previously seen
+    program skips straight to the answer instead of missing the
+    whole-program cache.
+
+    Byte-identity with an unmemoized run is the contract (test_memo pins
+    it corpus-wide).  Three mechanisms carry it:
+
+    - the key alpha-renames symbols to their rank in sorted order, so two
+      nests that differ only by an order-preserving renaming share an
+      entry; order preservation matters because name-keyed maps iterate
+      alphabetically and their order shows up in emitted declaration
+      lists;
+    - fresh names ([Ast_utils.fresh_name]) are not stored as text: the
+      entry records the (prefix, name) stream the transformation drew,
+      and a replay re-draws the same stream from the live per-unit
+      counter, then maps stored names to the re-drawn ones;
+    - report strings interpolate symbol names, so a renamed replay
+      rewrites them token-wise; names that collide with the fixed words
+      of the report templates (or with a called routine) make the entry
+      [exact]-only — it is served solely to nests with identical
+      spelling.
+
+    Entries are checksummed like the service result cache: a stored
+    entry whose marshalled digest no longer matches is dropped and
+    counted, never served. *)
+
+open Fortran
+module SSet = Ast_utils.SSet
+module SMap = Ast_utils.SMap
+
+(* ------------------------------------------------------------------ *)
+(* Key normalization                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Words that appear verbatim in driver / analysis / validator report
+   templates ("scalar %s reused", "call %s is not pure", ...).  A data
+   name equal to one of these could not be renamed in a stored report
+   string without ambiguity, so such entries are served exact-only. *)
+let template_words =
+  let words =
+    [
+      (* driver blockers / decisions *)
+      "goto"; "in"; "body"; "i"; "o"; "is"; "equivalenced"; "unsafe";
+      "call"; "scalar"; "conditional"; "last"; "value"; "reused";
+      "reduction"; "not"; "recognized"; "induction"; "read"; "before";
+      "update"; "unrecognized"; "carried"; "array"; "dims"; "unknown";
+      "dep"; "library"; "substitution"; "vector"; "intrinsic"; "two";
+      "version"; "run"; "time"; "test"; "serial"; "cost"; "model";
+      "parallelized"; "doacross"; "unprofitable"; "sync"; "distributed";
+      "loop"; "distribution"; "blocked"; "demoted"; "validator";
+      (* vectorize failures *)
+      "has"; "non"; "unit"; "stride"; "assigned"; "to"; "cannot";
+      "vectorize";
+      (* validator issues *)
+      "no"; "summary"; "pure"; "written"; "the"; "parallel"; "but";
+      "privatized"; "dependences"; "await"; "delay"; "factor";
+      "constant"; "must"; "have"; "arguments"; "sequence"; "placed";
+      "after"; "first"; "dependence"; "sink"; "advance"; "source";
+      "unsynchronized"; "distance"; "on"; "preamble"; "postamble";
+      "flow"; "anti"; "output"; "line";
+    ]
+  in
+  List.fold_left (fun s w -> SSet.add w s) SSet.empty words
+
+(* Fresh-name prefixes that are literals in the transforms rather than
+   derived from a symbol name (stripmine, reduction_par, recurrence_sub). *)
+let literal_prefixes = [ "i3_"; "iup_"; "mx_"; "jr_" ]
+
+type names = { mutable data : SSet.t; mutable calls : SSet.t }
+
+let rec scan_expr ns (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Num _ | Ast.Str _ | Ast.Bool _ -> ()
+  | Ast.Var v -> ns.data <- SSet.add v ns.data
+  | Ast.Idx (a, es) ->
+      ns.data <- SSet.add a ns.data;
+      List.iter (scan_expr ns) es
+  | Ast.Section (a, dims) ->
+      ns.data <- SSet.add a ns.data;
+      List.iter (scan_section ns) dims
+  | Ast.Call (f, es) ->
+      ns.calls <- SSet.add f ns.calls;
+      List.iter (scan_expr ns) es
+  | Ast.Bin (_, a, b) ->
+      scan_expr ns a;
+      scan_expr ns b
+  | Ast.Un (_, a) -> scan_expr ns a
+
+and scan_section ns = function
+  | Ast.Range (a, b, c) ->
+      List.iter (Option.iter (scan_expr ns)) [ a; b; c ]
+  | Ast.Elem e -> scan_expr ns e
+
+let scan_lhs ns (l : Ast.lhs) =
+  match l with
+  | Ast.LVar v -> ns.data <- SSet.add v ns.data
+  | Ast.LIdx (a, es) ->
+      ns.data <- SSet.add a ns.data;
+      List.iter (scan_expr ns) es
+  | Ast.LSection (a, dims) ->
+      ns.data <- SSet.add a ns.data;
+      List.iter (scan_section ns) dims
+
+let scan_decl ns (d : Ast.decl) =
+  ns.data <- SSet.add d.Ast.d_name ns.data;
+  List.iter
+    (fun (lo, hi) ->
+      scan_expr ns lo;
+      scan_expr ns hi)
+    d.Ast.d_dims
+
+let rec scan_stmt ns (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (l, e) ->
+      scan_lhs ns l;
+      scan_expr ns e
+  | Ast.If (c, t, e) ->
+      scan_expr ns c;
+      List.iter (scan_stmt ns) t;
+      List.iter (scan_stmt ns) e
+  | Ast.Do (h, blk) ->
+      scan_header ns h;
+      scan_block ns blk
+  | Ast.Where (c, body) ->
+      scan_expr ns c;
+      List.iter (scan_stmt ns) body
+  | Ast.CallSt (f, es) ->
+      ns.calls <- SSet.add f ns.calls;
+      List.iter (scan_expr ns) es
+  | Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _ -> ()
+  | Ast.Labeled (_, s) -> scan_stmt ns s
+  | Ast.Print es -> List.iter (scan_expr ns) es
+  | Ast.Read ls -> List.iter (scan_lhs ns) ls
+
+and scan_header ns (h : Ast.do_header) =
+  ns.data <- SSet.add h.Ast.index ns.data;
+  scan_expr ns h.Ast.lo;
+  scan_expr ns h.Ast.hi;
+  Option.iter (scan_expr ns) h.Ast.step;
+  List.iter (scan_decl ns) h.Ast.locals
+
+and scan_block ns (blk : Ast.block) =
+  List.iter (scan_stmt ns) blk.Ast.preamble;
+  List.iter (scan_stmt ns) blk.Ast.body;
+  List.iter (scan_stmt ns) blk.Ast.postamble
+
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization (the key text)                              *)
+(* ------------------------------------------------------------------ *)
+
+type ser = { buf : Buffer.t; slot : (string, int) Hashtbl.t }
+
+let put_tag sr c = Buffer.add_char sr.buf c
+
+let put_int sr n =
+  Buffer.add_string sr.buf (string_of_int n);
+  Buffer.add_char sr.buf ';'
+
+let put_raw sr s =
+  (* length-prefixed so "ab"+"c" never equals "a"+"bc" *)
+  put_int sr (String.length s);
+  Buffer.add_string sr.buf s
+
+let put_name sr v =
+  match Hashtbl.find_opt sr.slot v with
+  | Some i ->
+      put_tag sr '#';
+      put_int sr i
+  | None ->
+      (* a name outside the collected closure (impossible by
+         construction); keep the key total anyway *)
+      put_tag sr '!';
+      put_raw sr v
+
+let rec put_expr sr (e : Ast.expr) =
+  match e with
+  | Ast.Int n ->
+      put_tag sr 'i';
+      put_int sr n
+  | Ast.Num f ->
+      put_tag sr 'f';
+      put_raw sr (Printf.sprintf "%h" f)
+  | Ast.Str s ->
+      put_tag sr 's';
+      put_raw sr s
+  | Ast.Bool b -> put_tag sr (if b then 'T' else 'F')
+  | Ast.Var v ->
+      put_tag sr 'v';
+      put_name sr v
+  | Ast.Idx (a, es) ->
+      put_tag sr 'x';
+      put_name sr a;
+      put_int sr (List.length es);
+      List.iter (put_expr sr) es
+  | Ast.Section (a, dims) ->
+      put_tag sr 'S';
+      put_name sr a;
+      put_int sr (List.length dims);
+      List.iter (put_section sr) dims
+  | Ast.Call (f, es) ->
+      put_tag sr 'c';
+      put_raw sr f;
+      put_int sr (List.length es);
+      List.iter (put_expr sr) es
+  | Ast.Bin (op, a, b) ->
+      put_tag sr 'b';
+      put_int sr
+        (match op with
+        | Ast.Add -> 0
+        | Ast.Sub -> 1
+        | Ast.Mul -> 2
+        | Ast.Div -> 3
+        | Ast.Pow -> 4
+        | Ast.Eq -> 5
+        | Ast.Ne -> 6
+        | Ast.Lt -> 7
+        | Ast.Le -> 8
+        | Ast.Gt -> 9
+        | Ast.Ge -> 10
+        | Ast.And -> 11
+        | Ast.Or -> 12);
+      put_expr sr a;
+      put_expr sr b
+  | Ast.Un (op, a) ->
+      put_tag sr 'u';
+      put_int sr (match op with Ast.Neg -> 0 | Ast.Not -> 1);
+      put_expr sr a
+
+and put_section sr = function
+  | Ast.Range (a, b, c) ->
+      put_tag sr 'R';
+      List.iter
+        (fun o ->
+          match o with
+          | None -> put_tag sr '_'
+          | Some e ->
+              put_tag sr 'E';
+              put_expr sr e)
+        [ a; b; c ]
+  | Ast.Elem e ->
+      put_tag sr 'e';
+      put_expr sr e
+
+let put_opt_expr sr = function
+  | None -> put_tag sr '_'
+  | Some e ->
+      put_tag sr 'E';
+      put_expr sr e
+
+let put_lhs sr (l : Ast.lhs) =
+  match l with
+  | Ast.LVar v ->
+      put_tag sr 'V';
+      put_name sr v
+  | Ast.LIdx (a, es) ->
+      put_tag sr 'X';
+      put_name sr a;
+      put_int sr (List.length es);
+      List.iter (put_expr sr) es
+  | Ast.LSection (a, dims) ->
+      put_tag sr 'Z';
+      put_name sr a;
+      put_int sr (List.length dims);
+      List.iter (put_section sr) dims
+
+let put_dtype sr (t : Ast.dtype) =
+  put_tag sr
+    (match t with
+    | Ast.Integer -> 'I'
+    | Ast.Real -> 'R'
+    | Ast.Double -> 'D'
+    | Ast.Logical -> 'L'
+    | Ast.Character -> 'C')
+
+let put_vis sr (v : Ast.visibility) =
+  put_tag sr
+    (match v with Ast.Default -> 'd' | Ast.Global -> 'g' | Ast.Cluster -> 'k')
+
+let put_decl sr (d : Ast.decl) =
+  put_name sr d.Ast.d_name;
+  put_dtype sr d.Ast.d_type;
+  put_vis sr d.Ast.d_vis;
+  put_int sr (List.length d.Ast.d_dims);
+  List.iter
+    (fun (lo, hi) ->
+      put_expr sr lo;
+      put_expr sr hi)
+    d.Ast.d_dims
+
+let rec put_stmt sr (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (l, e) ->
+      put_tag sr 'A';
+      put_lhs sr l;
+      put_expr sr e
+  | Ast.If (c, t, e) ->
+      put_tag sr 'J';
+      put_expr sr c;
+      put_stmts sr t;
+      put_stmts sr e
+  | Ast.Do (h, blk) ->
+      put_tag sr 'O';
+      put_header sr h;
+      put_block sr blk
+  | Ast.Where (c, body) ->
+      put_tag sr 'W';
+      put_expr sr c;
+      put_stmts sr body
+  | Ast.CallSt (f, es) ->
+      put_tag sr 'K';
+      put_raw sr f;
+      put_int sr (List.length es);
+      List.iter (put_expr sr) es
+  | Ast.Return -> put_tag sr 'r'
+  | Ast.Stop -> put_tag sr 'h'
+  | Ast.Continue -> put_tag sr 'n'
+  | Ast.Goto l ->
+      put_tag sr 'G';
+      put_int sr l
+  | Ast.Labeled (l, s) ->
+      put_tag sr 'L';
+      put_int sr l;
+      put_stmt sr s
+  | Ast.Print es ->
+      put_tag sr 'P';
+      put_int sr (List.length es);
+      List.iter (put_expr sr) es
+  | Ast.Read ls ->
+      put_tag sr 'Q';
+      put_int sr (List.length ls);
+      List.iter (put_lhs sr) ls
+
+and put_stmts sr ss =
+  put_int sr (List.length ss);
+  List.iter (put_stmt sr) ss
+
+and put_header sr (h : Ast.do_header) =
+  put_name sr h.Ast.index;
+  put_expr sr h.Ast.lo;
+  put_expr sr h.Ast.hi;
+  put_opt_expr sr h.Ast.step;
+  put_int sr
+    (match h.Ast.cls with
+    | Ast.Seq -> 0
+    | Ast.Cdoall -> 1
+    | Ast.Sdoall -> 2
+    | Ast.Xdoall -> 3
+    | Ast.Cdoacross -> 4
+    | Ast.Sdoacross -> 5
+    | Ast.Xdoacross -> 6);
+  put_int sr (List.length h.Ast.locals);
+  List.iter (put_decl sr) h.Ast.locals
+
+and put_block sr (blk : Ast.block) =
+  put_stmts sr blk.Ast.preamble;
+  put_stmts sr blk.Ast.body;
+  put_stmts sr blk.Ast.postamble
+
+(* ------------------------------------------------------------------ *)
+(* Prepared lookups                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type prep = {
+  p_key : string;  (** digest of the normalized nest + context slice *)
+  p_names : string array;  (** data names, sorted (slot i = rank i) *)
+  p_safe : bool;  (** renamed serving is unambiguous for these names *)
+}
+
+(* Close the data-name set over the symbol metadata the driver consults:
+   array dimension bounds and PARAMETER values mention further names. *)
+let close_names (syms : Symbols.t) (ns : names) =
+  let rec grow pending =
+    match SSet.choose_opt pending with
+    | None -> ()
+    | Some v ->
+        let before = ns.data in
+        (match Symbols.lookup syms v with
+        | Some s ->
+            List.iter
+              (fun (lo, hi) ->
+                scan_expr ns lo;
+                scan_expr ns hi)
+              s.Symbols.s_dims
+        | None -> ());
+        (match List.assoc_opt v syms.Symbols.params with
+        | Some e -> scan_expr ns e
+        | None -> ());
+        let fresh = SSet.diff ns.data before in
+        grow (SSet.union (SSet.remove v pending) fresh)
+  in
+  grow ns.data
+
+(* One digest per distinct options record, not per lookup: the driver
+   hands every nest of a restructure call the same [opts], so a
+   single-slot cache keyed by physical equality absorbs the per-nest
+   marshal + digest (a measurable slice of the memo's lookup cost).
+   The slot holds an immutable pair, so a racing reader sees either the
+   old or the new binding — both correct. *)
+let opts_digest_slot : (Options.t * string) option ref = ref None
+
+let opts_digest (opts : Options.t) =
+  match !opts_digest_slot with
+  | Some (o, d) when o == opts -> d
+  | _ ->
+      (* inlining happens at unit level, before any nest reaches the
+         memo: its limits are the one irrelevant knob *)
+      let keyed =
+        { opts with Options.inline_limits = Transform.Inline.default_limits }
+      in
+      let d = Digest.string (Marshal.to_string keyed [ Marshal.No_sharing ]) in
+      opts_digest_slot := Some (opts, d);
+      d
+
+let size_cap = 1 lsl 16
+
+let bypass_counter =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.global
+       ~help:"nests not memoizable (oversized)" "memo_bypass_total")
+
+(** Build the lookup key for one nest, or [None] (bypass) when the nest
+    is too large to be worth caching. *)
+let prepare ~(syms : Symbols.t) ~(interproc : Analysis.Interproc.t)
+    ~(opts : Options.t) ~(avail : bool * bool) ~(after_reads : SSet.t)
+    ~(facts : (string * string) list) ~(depth : int) (h : Ast.do_header)
+    (blk : Ast.block) : prep option =
+  let ns = { data = SSet.empty; calls = SSet.empty } in
+  scan_header ns h;
+  scan_block ns blk;
+  close_names syms ns;
+  let names = Array.of_list (SSet.elements ns.data) in
+  let slot = Hashtbl.create (Array.length names * 2) in
+  Array.iteri (fun i v -> Hashtbl.replace slot v i) names;
+  let sr = { buf = Buffer.create 1024; slot } in
+  put_header sr h;
+  put_block sr blk;
+  (* context slice: one row per name, in slot order *)
+  Array.iter
+    (fun v ->
+      (match Symbols.lookup syms v with
+      | None -> put_tag sr '?'
+      | Some s ->
+          put_tag sr '=';
+          put_dtype sr s.Symbols.s_type;
+          put_vis sr s.Symbols.s_vis;
+          (match s.Symbols.s_common with
+          | None -> put_tag sr '_'
+          | Some c ->
+              put_tag sr 'C';
+              put_raw sr c);
+          put_tag sr (if s.Symbols.s_process_common then 'p' else '.');
+          put_tag sr (if s.Symbols.s_formal then 'f' else '.');
+          put_tag sr (if s.Symbols.s_equiv then 'q' else '.');
+          put_int sr (List.length s.Symbols.s_dims);
+          List.iter
+            (fun (lo, hi) ->
+              put_expr sr lo;
+              put_expr sr hi)
+            s.Symbols.s_dims);
+      (match List.assoc_opt v syms.Symbols.params with
+      | None -> put_tag sr '_'
+      | Some e ->
+          put_tag sr 'P';
+          put_expr sr e);
+      put_tag sr (if SSet.mem v after_reads then 'a' else '.'))
+    names;
+  (* called routines: their transitively-closed summaries *)
+  SSet.iter
+    (fun f ->
+      put_raw sr f;
+      match Analysis.Interproc.find interproc f with
+      | None -> put_tag sr '?'
+      | Some s ->
+          put_tag sr '=';
+          Array.iter (fun b -> put_tag sr (if b then 'u' else '.')) s.Analysis.Interproc.s_formal_use;
+          put_tag sr '|';
+          Array.iter (fun b -> put_tag sr (if b then 'd' else '.')) s.Analysis.Interproc.s_formal_def;
+          put_tag sr '|';
+          List.iter (put_raw sr) (SSet.elements s.Analysis.Interproc.s_common_use);
+          put_tag sr '|';
+          List.iter (put_raw sr) (SSet.elements s.Analysis.Interproc.s_common_def);
+          put_tag sr (if s.Analysis.Interproc.s_has_io then 'I' else '.');
+          put_tag sr (if s.Analysis.Interproc.s_pure then 'p' else '.'))
+    ns.calls;
+  (* disequality facts over the nest's names, in order *)
+  List.iter
+    (fun (a, b) ->
+      if Hashtbl.mem slot a && Hashtbl.mem slot b then begin
+        put_tag sr 'D';
+        put_name sr a;
+        put_name sr b
+      end)
+    facts;
+  let spread, cluster = avail in
+  put_tag sr (if spread then 'S' else '.');
+  put_tag sr (if cluster then 'K' else '.');
+  put_int sr depth;
+  put_raw sr (opts_digest opts);
+  if Buffer.length sr.buf > size_cap then begin
+    Obs.Metrics.incr (Lazy.force bypass_counter);
+    None
+  end
+  else
+    let safe =
+      Array.for_all (fun v -> not (SSet.mem v template_words)) names
+      && SSet.is_empty (SSet.inter ns.data ns.calls)
+    in
+    Some
+      {
+        p_key = Digest.to_hex (Digest.string (Buffer.contents sr.buf));
+        p_names = names;
+        p_safe = safe;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* The table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'r entry = {
+  e_names : string array;
+  e_stmts : Ast.stmt list;
+  e_reports : 'r list;  (** newest first, as the driver records them *)
+  e_fresh : (string * string) list;  (** (prefix, name) stream, in order *)
+  e_exact : bool;  (** serve only to identically-named nests *)
+  e_sum : string Lazy.t;
+      (** digest of the marshalled value, deferred to first verification
+          (every forcing site holds the table mutex, so the lazy cell is
+          never raced) *)
+}
+
+type 'r t = {
+  capacity : int;
+  mutex : Mutex.t;
+  mutable table : ('r entry * int) SMap.t;  (* key -> entry, last tick *)
+  recency : (string * int) Queue.t;  (* lazy-deletion LRU, as Cache *)
+  mutable tick : int;
+  corrupt : unit -> bool;  (* chaos hook: poison the entry being stored *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable corruptions : int;
+}
+
+let metric name help =
+  Obs.Metrics.counter Obs.Metrics.global ~help name
+
+let create ?(capacity = 512) ?(corrupt = fun () -> false) () =
+  {
+    capacity = max 1 capacity;
+    mutex = Mutex.create ();
+    table = SMap.empty;
+    recency = Queue.create ();
+    tick = 0;
+    corrupt;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    corruptions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let size t = locked t (fun () -> SMap.cardinal t.table)
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_corruptions : int;
+  st_size : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        st_hits = t.hits;
+        st_misses = t.misses;
+        st_evictions = t.evictions;
+        st_corruptions = t.corruptions;
+        st_size = SMap.cardinal t.table;
+      })
+
+let checksum (stmts, reports, fresh) =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (stmts, reports, fresh) [ Marshal.No_sharing ]))
+
+let touch t key =
+  t.tick <- t.tick + 1;
+  Queue.push (key, t.tick) t.recency;
+  t.tick
+
+(* pop queue pairs that no longer name the entry's latest tick *)
+let rec evict_lru t =
+  if SMap.cardinal t.table > t.capacity then
+    match Queue.take_opt t.recency with
+    | None -> ()
+    | Some (key, tk) -> (
+        match SMap.find_opt key t.table with
+        | Some (_, latest) when latest = tk ->
+            t.table <- SMap.remove key t.table;
+            t.evictions <- t.evictions + 1;
+            Obs.Metrics.incr (metric "memo_evictions_total" "memo LRU evictions");
+            evict_lru t
+        | _ -> evict_lru t)
+
+(* Re-checksumming a resident entry on every hit costs a full marshal +
+   digest of the stored result — on small nests that is the same order
+   as the transformation the memo exists to skip.  Bit-rot is rare and
+   persistent, so verification is amortized: every [verify_mask]+1-th
+   hit re-digests (a rotted entry is still dropped within a bounded
+   number of serves), and the hot hit path pays only the map lookup. *)
+let verify_mask = 31
+
+let find (t : 'r t) (prep : prep) : 'r entry option =
+  locked t @@ fun () ->
+  match SMap.find_opt prep.p_key t.table with
+  | Some (e, _)
+    when Array.length e.e_names = Array.length prep.p_names
+         && (e.e_names = prep.p_names || not e.e_exact) ->
+      if
+        t.hits land verify_mask = 0
+        && checksum (e.e_stmts, e.e_reports, e.e_fresh) <> Lazy.force e.e_sum
+      then begin
+        (* bit-rot defense, mirroring the result cache's checksum *)
+        t.table <- SMap.remove prep.p_key t.table;
+        t.corruptions <- t.corruptions + 1;
+        Obs.Metrics.incr
+          (metric "memo_corruptions_total" "memo entries dropped on checksum mismatch");
+        t.misses <- t.misses + 1;
+        Obs.Metrics.incr (metric "memo_misses_total" "memo lookups missed");
+        None
+      end
+      else begin
+        let tk = touch t prep.p_key in
+        t.table <- SMap.add prep.p_key (e, tk) t.table;
+        t.hits <- t.hits + 1;
+        Obs.Metrics.incr (metric "memo_hits_total" "memo lookups served");
+        Some e
+      end
+  | _ ->
+      t.misses <- t.misses + 1;
+      Obs.Metrics.incr (metric "memo_misses_total" "memo lookups missed");
+      None
+
+(* chaos poison: flip the first sequential DO of the stored statements to
+   CDOALL — the unsafe direction, exactly what the validator gate exists
+   to catch downstream *)
+let rec poison_stmts stmts =
+  let changed = ref false in
+  let rec stmt s =
+    if !changed then s
+    else
+      match s with
+      | Ast.Do (h, blk) when h.Ast.cls = Ast.Seq ->
+          changed := true;
+          Ast.Do ({ h with Ast.cls = Ast.Cdoall }, blk)
+      | Ast.Do (h, blk) ->
+          Ast.Do (h, { blk with Ast.body = poison_stmts blk.Ast.body })
+      | Ast.If (c, a, b) -> Ast.If (c, List.map stmt a, List.map stmt b)
+      | Ast.Labeled (l, s) -> Ast.Labeled (l, stmt s)
+      | s -> s
+  in
+  List.map stmt stmts
+
+(* A fresh-name prefix in store-name space, mapped to replay-name space.
+   Prefixes are either a literal (stripmine/recurrence temporaries) or
+   [name ^ suffix] for a two-character suffix. *)
+let rename_prefix rename prefix =
+  if List.mem prefix literal_prefixes then Some prefix
+  else
+    let n = String.length prefix in
+    if n > 2 then
+      let stem = String.sub prefix 0 (n - 2)
+      and suffix = String.sub prefix (n - 2) 2 in
+      if suffix = "_p" || suffix = "_x" || suffix = "_r" then
+        Some (rename stem ^ suffix)
+      else None
+    else None
+
+let store (t : 'r t) (prep : prep) ~(stmts : Ast.stmt list)
+    ~(reports : 'r list) ~(fresh : (string * string) list) : unit =
+  (* a prefix we cannot map to another name space pins the entry to
+     identically-named nests *)
+  let id_ok p = rename_prefix (fun s -> s) p <> None in
+  let exact = (not prep.p_safe) || not (List.for_all (fun (p, _) -> id_ok p) fresh) in
+  let stmts = if t.corrupt () then poison_stmts stmts else stmts in
+  let e =
+    {
+      e_names = prep.p_names;
+      e_stmts = stmts;
+      e_reports = reports;
+      e_fresh = fresh;
+      e_exact = exact;
+      (* deferred: the common case is an entry that is stored once and
+         replayed many times, and the rot window before the first
+         verification is no wider than the verification stride *)
+      e_sum = lazy (checksum (stmts, reports, fresh));
+    }
+  in
+  locked t @@ fun () ->
+  let tk = touch t prep.p_key in
+  t.table <- SMap.add prep.p_key (e, tk) t.table;
+  evict_lru t
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* rewrite the identifier tokens of a report string *)
+let rename_text rename s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_char s.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      Buffer.add_string b (rename (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let rec rename_expr rn (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Int _ | Ast.Num _ | Ast.Str _ | Ast.Bool _ -> e
+  | Ast.Var v -> Ast.Var (rn v)
+  | Ast.Idx (a, es) -> Ast.Idx (rn a, List.map (rename_expr rn) es)
+  | Ast.Section (a, dims) ->
+      Ast.Section (rn a, List.map (rename_section rn) dims)
+  | Ast.Call (f, es) -> Ast.Call (f, List.map (rename_expr rn) es)
+  | Ast.Bin (op, a, b) -> Ast.Bin (op, rename_expr rn a, rename_expr rn b)
+  | Ast.Un (op, a) -> Ast.Un (op, rename_expr rn a)
+
+and rename_section rn = function
+  | Ast.Range (a, b, c) ->
+      Ast.Range
+        ( Option.map (rename_expr rn) a,
+          Option.map (rename_expr rn) b,
+          Option.map (rename_expr rn) c )
+  | Ast.Elem e -> Ast.Elem (rename_expr rn e)
+
+let rename_lhs rn = function
+  | Ast.LVar v -> Ast.LVar (rn v)
+  | Ast.LIdx (a, es) -> Ast.LIdx (rn a, List.map (rename_expr rn) es)
+  | Ast.LSection (a, dims) ->
+      Ast.LSection (rn a, List.map (rename_section rn) dims)
+
+let rename_decl rn (d : Ast.decl) =
+  {
+    d with
+    Ast.d_name = rn d.Ast.d_name;
+    Ast.d_dims =
+      List.map (fun (lo, hi) -> (rename_expr rn lo, rename_expr rn hi)) d.Ast.d_dims;
+  }
+
+let rec rename_stmt rn (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Assign (l, e) -> Ast.Assign (rename_lhs rn l, rename_expr rn e)
+  | Ast.If (c, t, e) ->
+      Ast.If
+        (rename_expr rn c, List.map (rename_stmt rn) t, List.map (rename_stmt rn) e)
+  | Ast.Do (h, blk) -> Ast.Do (rename_header rn h, rename_block rn blk)
+  | Ast.Where (c, body) ->
+      Ast.Where (rename_expr rn c, List.map (rename_stmt rn) body)
+  | Ast.CallSt (f, es) -> Ast.CallSt (f, List.map (rename_expr rn) es)
+  | Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _ -> s
+  | Ast.Labeled (l, s) -> Ast.Labeled (l, rename_stmt rn s)
+  | Ast.Print es -> Ast.Print (List.map (rename_expr rn) es)
+  | Ast.Read ls -> Ast.Read (List.map (rename_lhs rn) ls)
+
+and rename_header rn (h : Ast.do_header) =
+  {
+    h with
+    Ast.index = rn h.Ast.index;
+    Ast.lo = rename_expr rn h.Ast.lo;
+    Ast.hi = rename_expr rn h.Ast.hi;
+    Ast.step = Option.map (rename_expr rn) h.Ast.step;
+    Ast.locals = List.map (rename_decl rn) h.Ast.locals;
+  }
+
+and rename_block rn (blk : Ast.block) =
+  {
+    Ast.preamble = List.map (rename_stmt rn) blk.Ast.preamble;
+    Ast.body = List.map (rename_stmt rn) blk.Ast.body;
+    Ast.postamble = List.map (rename_stmt rn) blk.Ast.postamble;
+  }
+
+type replayed = {
+  rp_stmts : Ast.stmt list;
+  rp_rename : string -> string;  (** identifier map (stored → live) *)
+  rp_text : string -> string;  (** report-string map (token-wise) *)
+}
+
+(** Materialize a stored entry at the current call site: map stored names
+    to the caller's, and re-draw every fresh name from the live counter
+    (through [fresh], normally [Ast_utils.fresh_name]) so the numbering
+    matches what a direct run would have produced. *)
+let replay (entry : 'r entry) (prep : prep) ~(fresh : string -> string) :
+    replayed =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i stored ->
+      let live = prep.p_names.(i) in
+      if not (String.equal stored live) then Hashtbl.replace tbl stored live)
+    entry.e_names;
+  let base_rename v = Option.value (Hashtbl.find_opt tbl v) ~default:v in
+  List.iter
+    (fun (prefix, stored_name) ->
+      let live_prefix =
+        match rename_prefix base_rename prefix with
+        | Some p -> p
+        | None -> prefix (* exact-only entries never reach here renamed *)
+      in
+      let live_name = fresh live_prefix in
+      if not (String.equal stored_name live_name) then
+        Hashtbl.replace tbl stored_name live_name)
+    entry.e_fresh;
+  let rename v = Option.value (Hashtbl.find_opt tbl v) ~default:v in
+  let stmts =
+    if Hashtbl.length tbl = 0 then entry.e_stmts
+    else List.map (rename_stmt rename) entry.e_stmts
+  in
+  {
+    rp_stmts = stmts;
+    rp_rename = rename;
+    rp_text = (fun s -> if Hashtbl.length tbl = 0 then s else rename_text rename s);
+  }

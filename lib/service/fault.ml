@@ -12,6 +12,7 @@ type site =
   | Exec_delay  (** artificial latency before restructuring *)
   | Worker_kill  (** domain death: escapes the job's exception barrier *)
   | Cache_corrupt  (** flip a byte of the payload text stored in the cache *)
+  | Memo_corrupt  (** poison a nest entry as the restructurer memo stores it *)
   | Validator_reject  (** spurious rejection of a correct result *)
   | Accept_drop  (** close an accepted connection before reading anything *)
   | Read_stall  (** stall the server's frame reader (client sees latency) *)
@@ -23,8 +24,8 @@ exception Injected of site
 
 let all_sites =
   [
-    Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Validator_reject;
-    Accept_drop; Read_stall; Trunc_write; Garbage_frame;
+    Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Memo_corrupt;
+    Validator_reject; Accept_drop; Read_stall; Trunc_write; Garbage_frame;
   ]
 
 let site_index = function
@@ -32,11 +33,12 @@ let site_index = function
   | Exec_delay -> 1
   | Worker_kill -> 2
   | Cache_corrupt -> 3
-  | Validator_reject -> 4
-  | Accept_drop -> 5
-  | Read_stall -> 6
-  | Trunc_write -> 7
-  | Garbage_frame -> 8
+  | Memo_corrupt -> 4
+  | Validator_reject -> 5
+  | Accept_drop -> 6
+  | Read_stall -> 7
+  | Trunc_write -> 8
+  | Garbage_frame -> 9
 
 let n_sites = List.length all_sites
 
@@ -45,6 +47,7 @@ let site_name = function
   | Exec_delay -> "delay"
   | Worker_kill -> "kill"
   | Cache_corrupt -> "corrupt"
+  | Memo_corrupt -> "memo-corrupt"
   | Validator_reject -> "reject"
   | Accept_drop -> "accept-drop"
   | Read_stall -> "read-stall"
@@ -56,6 +59,7 @@ let site_of_name = function
   | "delay" -> Some Exec_delay
   | "kill" -> Some Worker_kill
   | "corrupt" -> Some Cache_corrupt
+  | "memo-corrupt" -> Some Memo_corrupt
   | "reject" -> Some Validator_reject
   | "accept-drop" -> Some Accept_drop
   | "read-stall" -> Some Read_stall
@@ -68,7 +72,10 @@ let site_of_name = function
    historic "--chaos all=0.1" exercises exactly the sites a traffic run
    can reach, and "net=P" arms the wire sites *)
 let service_sites =
-  [ Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Validator_reject ]
+  [
+    Exec_raise; Exec_delay; Worker_kill; Cache_corrupt; Memo_corrupt;
+    Validator_reject;
+  ]
 
 let net_sites = [ Accept_drop; Read_stall; Trunc_write; Garbage_frame ]
 
@@ -226,8 +233,9 @@ let parse_spec spec =
                         Error
                           (Printf.sprintf
                              "unknown fault site %S (want raise, delay, kill, \
-                              corrupt, reject, accept-drop, read-stall, \
-                              trunc-write, garbage-frame, all, or net)"
+                              corrupt, memo-corrupt, reject, accept-drop, \
+                              read-stall, trunc-write, garbage-frame, all, or \
+                              net)"
                              name))))
         | _ -> Error (Printf.sprintf "bad fault spec part %S (want site=prob)" part)
       )

@@ -23,6 +23,7 @@ type site =
   | Exec_delay  (** artificial latency before restructuring *)
   | Worker_kill  (** domain death: escapes the job's exception barrier *)
   | Cache_corrupt  (** flip a byte of the payload text stored in the cache *)
+  | Memo_corrupt  (** poison a nest entry as the restructurer memo stores it *)
   | Validator_reject  (** spurious rejection of a correct result *)
   | Accept_drop  (** close an accepted connection before reading anything *)
   | Read_stall  (** stall the server's frame reader (client sees latency) *)
@@ -75,7 +76,8 @@ val log_to_string : t -> string
 
 val parse_spec : string -> ((site * float) list, string) result
 (** Parse a [--chaos] spec: comma-separated [site=prob] with sites
-    [raise], [delay], [kill], [corrupt], [reject], [accept-drop],
+    [raise], [delay], [kill], [corrupt], [memo-corrupt], [reject],
+    [accept-drop],
     [read-stall], [trunc-write], [garbage-frame], [all] (every
     in-process site at once) or [net] (every wire site at once),
     e.g. ["all=0.1"], ["net=0.05"] or ["raise=0.2,kill=0.05"]. *)

@@ -94,6 +94,11 @@ type entry = {
 type t = {
   queue : ticket Bounded_queue.t;
   cache : entry Cache.t;
+  memo : Restructurer.Driver.memo option;
+      (** nest-level memo shared by every worker domain; [None] when
+          disabled.  Entries are reused across jobs — a nest analyzed
+          for one request is replayed for every later request containing
+          an equivalent nest, whatever its symbol names. *)
   fault : Fault.t;
   shard_id : string;  (** "" when not part of a cluster *)
   on_cache_fill : (key:string -> digest:string -> payload -> unit) option;
@@ -131,6 +136,7 @@ type t = {
   mutable replica_admitted : int;
   mutable replica_rejected : int;  (* checksum mismatch or rung/capacity *)
   mutable replicated_hits : int;  (* cache hits served from a replica *)
+  mutable replica_gc : int;  (* replicas dropped because ownership moved *)
   mutable replication_source : (unit -> int * int) option;
       (* outbound replication counters (pushed, skipped_down), wired by
          cedard when a replicator is attached — stats-only *)
@@ -220,6 +226,11 @@ let m_replica_rejected =
 let m_replicated_hits =
   M.counter M.global ~help:"cache hits served from a replicated entry"
     "service_replicated_hits_total"
+
+let m_replica_gc =
+  M.counter M.global
+    ~help:"replicated cache entries dropped because ring ownership moved"
+    "service_replica_gc_total"
 
 let m_breaker_state =
   M.gauge M.global ~help:"breaker state (0 closed, 1 half-open, 2 open)"
@@ -483,7 +494,8 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
            child of this attempt *)
         let t0 = now () in
         let result =
-          Restructurer.Driver.restructure ~interrupt:over_deadline opts prog
+          Restructurer.Driver.restructure ~interrupt:over_deadline
+            ?memo:t.memo opts prog
         in
         M.observe m_phase_restructure (now () -. t0);
         if over_deadline () then A_timeout
@@ -829,7 +841,7 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
     ?(fault = Fault.none) ?(retry_base_ms = 1.0) ?(breaker_threshold = 5)
     ?(breaker_cooldown_ms = 250.0) ?(wedge_after_ms = 0.0)
     ?(latency_reservoir = 1024) ?(max_source_bytes = 0) ?(shard_id = "")
-    ?on_cache_fill ~workers ~cache_capacity () =
+    ?(memo_capacity = 1024) ?on_cache_fill ~workers ~cache_capacity () =
   Printexc.record_backtrace true;
   let workers =
     if oversubscribe then max 1 workers
@@ -839,6 +851,13 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
     {
       queue = Bounded_queue.create ~capacity:queue_capacity;
       cache = Cache.create ~capacity:cache_capacity;
+      memo =
+        (if memo_capacity <= 0 then None
+         else
+           Some
+             (Restructurer.Driver.create_memo ~capacity:memo_capacity
+                ~corrupt:(fun () -> Fault.fire fault Fault.Memo_corrupt)
+                ()));
       fault;
       shard_id;
       on_cache_fill;
@@ -874,6 +893,7 @@ let create ?(queue_capacity = 64) ?(timeout_ms = 0.0) ?(oversubscribe = false)
       replica_admitted = 0;
       replica_rejected = 0;
       replicated_hits = 0;
+      replica_gc = 0;
       replication_source = None;
       br_state = Br_closed;
       br_failures = 0;
@@ -1008,9 +1028,41 @@ let export_cache t =
   Cache.export t.cache
   |> List.map (fun (key, e) -> (key, e.e_digest, e.e_payload))
 
+(* Replica garbage collection, fired by the cluster replicator on a
+   topology change: an entry admitted as a replica whose key this shard
+   no longer backs under the new ring is dead weight — its reads now
+   route elsewhere, and keeping it would let stale bytes shadow a future
+   legitimate re-admission.  Only replica-flagged entries are touched;
+   locally computed results are this shard's own and stay. *)
+let gc_replicas t ~keep =
+  let dropped =
+    List.fold_left
+      (fun n (key, e) ->
+        if e.e_replica && not (keep key) then begin
+          Cache.remove t.cache key;
+          n + 1
+        end
+        else n)
+      0 (Cache.export t.cache)
+  in
+  if dropped > 0 then begin
+    M.incr ~by:dropped m_replica_gc;
+    with_lock t.stat_mutex (fun () -> t.replica_gc <- t.replica_gc + dropped)
+  end;
+  dropped
+
+let memo_stats t = Option.map Restructurer.Driver.memo_stats t.memo
+
 let stats t =
   let replica_pushed, replica_skipped_down =
     match t.replication_source with Some f -> f () | None -> (0, 0)
+  in
+  let memo_hits, memo_misses, memo_entries =
+    match memo_stats t with
+    | None -> (0, 0, 0)
+    | Some m ->
+        (m.Restructurer.Memo.st_hits, m.Restructurer.Memo.st_misses,
+         m.Restructurer.Memo.st_size)
   in
   with_lock t.stat_mutex (fun () ->
       Stats.make ~shard_id:t.shard_id ~submitted:t.submitted
@@ -1024,7 +1076,8 @@ let stats t =
         ~replica_admitted:t.replica_admitted
         ~replica_rejected:t.replica_rejected
         ~replicated_hits:t.replicated_hits ~replica_pushed
-        ~replica_skipped_down
+        ~replica_skipped_down ~replica_gc:t.replica_gc
+        ~memo_hits ~memo_misses ~memo_entries
         ~breaker_state:(breaker_state_name t)
         ~faults_injected:(Fault.total_fired t.fault)
         ~queue_high_water:(Bounded_queue.high_water t.queue)

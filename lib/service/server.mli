@@ -97,6 +97,7 @@ val create :
   ?latency_reservoir:int ->
   ?max_source_bytes:int ->
   ?shard_id:string ->
+  ?memo_capacity:int ->
   ?on_cache_fill:(key:string -> digest:string -> payload -> unit) ->
   workers:int ->
   cache_capacity:int ->
@@ -122,6 +123,14 @@ val create :
     before the text ever reaches a parser ([0], the default, means
     unlimited).
 
+    [memo_capacity] (default 1024) bounds the nest-level restructurer
+    memo shared by every worker: per-loop-nest analysis/transformation
+    results keyed by the normalized nest, replayed byte-identically for
+    every later job containing an equivalent nest ([<= 0] disables it).
+    The chaos injector's [memo-corrupt] site poisons entries as they are
+    stored; poisoned output is caught by the validator gate when
+    [validate] is on and demoted down the ladder, never cached.
+
     [shard_id] names this server inside a cluster (shows up in
     {!Stats.t}; default [""] = standalone).  [on_cache_fill] fires after
     each {e fresh} full-rung result is cached, with the content key, the
@@ -138,6 +147,18 @@ val admit_replica : t -> key:string -> digest:string -> payload -> bool
     counters in {!Stats.t} advance.  Admission inserts with normal LRU
     semantics — a replica can evict, and be evicted like, any other
     entry. *)
+
+val gc_replicas : t -> keep:(string -> bool) -> int
+(** Drop every {e replica-flagged} cache entry whose key fails [keep],
+    returning how many were dropped.  The cluster replicator calls this
+    on a topology change with [keep key = ] "this shard still backs
+    [key] under the new ring", so an ex-successor does not serve (or
+    shadow) entries it no longer owns.  Locally computed entries are
+    never touched.  Counted in {!Stats.t}[.replica_gc]. *)
+
+val memo_stats : t -> Restructurer.Memo.stats option
+(** Counters of the shared nest-level memo; [None] when the memo was
+    disabled at {!create}. *)
 
 val export_cache : t -> (string * string * payload) list
 (** Every resident cache entry as [(key, digest, payload)], recency

@@ -18,6 +18,10 @@ type t = {
   replicated_hits : int;
   replica_pushed : int;
   replica_skipped_down : int;
+  replica_gc : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_entries : int;
   breaker_state : string;
   faults_injected : int;
   queue_high_water : int;
@@ -46,6 +50,7 @@ let percentile p xs =
 
 let make ?(shard_id = "") ?(replica_admitted = 0) ?(replica_rejected = 0)
     ?(replicated_hits = 0) ?(replica_pushed = 0) ?(replica_skipped_down = 0)
+    ?(replica_gc = 0) ?(memo_hits = 0) ?(memo_misses = 0) ?(memo_entries = 0)
     ~submitted ~completed ~failed ~timed_out
     ~cancelled ~retries
     ~rung_full ~rung_conservative ~rung_passthrough ~degraded ~respawns
@@ -72,6 +77,10 @@ let make ?(shard_id = "") ?(replica_admitted = 0) ?(replica_rejected = 0)
     replicated_hits;
     replica_pushed;
     replica_skipped_down;
+    replica_gc;
+    memo_hits;
+    memo_misses;
+    memo_entries;
     breaker_state;
     faults_injected;
     queue_high_water;
@@ -97,6 +106,8 @@ let to_string s =
       Printf.sprintf "cache       %d hits  %d misses  %d evictions  %d resident  (hit rate %.1f%%)"
         s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.evictions
         s.cache.Cache.entries (100.0 *. s.cache_hit_rate);
+      Printf.sprintf "memo        %d hits  %d misses  %d resident nests"
+        s.memo_hits s.memo_misses s.memo_entries;
       Printf.sprintf "latency     p50 %.2f ms  p95 %.2f ms  max %.2f ms  (%d samples)"
         s.p50_latency_ms s.p95_latency_ms s.max_latency_ms s.latency_count;
       Printf.sprintf "throughput  %.1f jobs/s over %.2f s" s.throughput s.wall_s;
@@ -111,14 +122,14 @@ let to_string s =
     if
       s.replica_admitted > 0 || s.replica_rejected > 0
       || s.replicated_hits > 0 || s.replica_pushed > 0
-      || s.replica_skipped_down > 0
+      || s.replica_skipped_down > 0 || s.replica_gc > 0
     then
       [
         Printf.sprintf
           "replication pushed %d  skipped-down %d  admitted %d  rejected %d  \
-           hits-from-replica %d"
+           hits-from-replica %d  gc-dropped %d"
           s.replica_pushed s.replica_skipped_down s.replica_admitted
-          s.replica_rejected s.replicated_hits;
+          s.replica_rejected s.replicated_hits s.replica_gc;
       ]
     else []
   in
@@ -186,6 +197,10 @@ let to_json s =
       i "replicated_hits" s.replicated_hits;
       i "replica_pushed" s.replica_pushed;
       i "replica_skipped_down" s.replica_skipped_down;
+      i "replica_gc" s.replica_gc;
+      i "memo_hits" s.memo_hits;
+      i "memo_misses" s.memo_misses;
+      i "memo_entries" s.memo_entries;
       str "breaker_state" s.breaker_state;
       i "faults_injected" s.faults_injected;
       i "queue_high_water" s.queue_high_water;

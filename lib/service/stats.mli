@@ -21,6 +21,11 @@ type t = {
   replica_pushed : int;  (** warm-cache entries this shard pushed to peers *)
   replica_skipped_down : int;
       (** outbound pushes skipped because the target was held down *)
+  replica_gc : int;
+      (** replicated entries dropped because ring ownership moved away *)
+  memo_hits : int;  (** restructurer nest-memo hits, all jobs *)
+  memo_misses : int;  (** restructurer nest-memo misses, all jobs *)
+  memo_entries : int;  (** nests resident in the memo at snapshot *)
   breaker_state : string;  (** "closed" / "open" / "half-open" at snapshot *)
   faults_injected : int;  (** total chaos faults fired, all sites *)
   queue_high_water : int;
@@ -47,6 +52,10 @@ val make :
   ?replicated_hits:int ->
   ?replica_pushed:int ->
   ?replica_skipped_down:int ->
+  ?replica_gc:int ->
+  ?memo_hits:int ->
+  ?memo_misses:int ->
+  ?memo_entries:int ->
   submitted:int ->
   completed:int ->
   failed:int ->

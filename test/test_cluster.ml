@@ -763,6 +763,97 @@ let test_replicator_reexports_on_set_members () =
   Alcotest.(check int) "re-export pushed cleanly" 0
     (c.Cluster.Replicator.errors + c.Cluster.Replicator.rejected)
 
+let resident_keys svc =
+  List.map (fun (k, _, _) -> k) (Service.Server.export_cache svc)
+
+let test_server_gc_replicas () =
+  (* the primitive: only replica-flagged entries failing [keep] are
+     dropped; locally computed results are untouchable whatever [keep]
+     says *)
+  with_svc ~cache_capacity:64 @@ fun svc ->
+  let entries = replica_entries "gc" 6 in
+  List.iter
+    (fun (key, digest, payload) ->
+      Alcotest.(check bool) "seeded" true
+        (Service.Server.admit_replica svc ~key ~digest payload))
+    entries;
+  (* one computed entry alongside the replicas *)
+  let req =
+    {
+      Service.Server.req_name = "local";
+      req_source = "      PROGRAM LOCAL\n      END\n";
+      req_options = opts;
+    }
+  in
+  (match Service.Server.run svc req with
+  | Service.Server.Done _ -> ()
+  | _ -> Alcotest.fail "local job failed");
+  let local_key = Service.Server.cache_key req in
+  (* keep only the even replicas; condemn everything else, the local
+     computed entry included — it must survive anyway *)
+  let keep key =
+    List.mem key [ "gc-0"; "gc-2"; "gc-4" ]
+  in
+  let dropped = Service.Server.gc_replicas svc ~keep in
+  Alcotest.(check int) "odd replicas dropped" 3 dropped;
+  let keys = resident_keys svc in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " still resident") true (List.mem k keys))
+    [ "gc-0"; "gc-2"; "gc-4"; local_key ];
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " gone") false (List.mem k keys))
+    [ "gc-1"; "gc-3"; "gc-5" ];
+  Alcotest.(check int) "counted in stats" 3
+    (Service.Server.stats svc).Service.Stats.replica_gc;
+  Alcotest.(check int) "idempotent: nothing left to drop" 0
+    (Service.Server.gc_replicas svc ~keep)
+
+let test_replicator_gc_on_topology_change () =
+  (* topology integration: shard "a" holds replicas; when a new member
+     joins, set_members drops exactly the replica entries whose keys
+     "a" no longer backs (owner or first successor, R = 2) under the
+     new ring, and keeps the rest *)
+  let ids3 = [ "a"; "b"; "c" ] and ids4 = [ "a"; "b"; "c"; "d" ] in
+  let ring3 = Ring.make ids3 and ring4 = Ring.make ids4 in
+  let backs ring key = List.mem "a" (Ring.route ring key ~n:2) in
+  (* scan deterministic keys for both fates; MD5 placement is stable
+     across platforms, so this finds the same keys on every run *)
+  let find_key p =
+    let rec go i =
+      if i > 50_000 then Alcotest.fail "no key with the wanted placement"
+      else
+        let k = Printf.sprintf "topo-%05d" i in
+        if p k then k else go (i + 1)
+    in
+    go 0
+  in
+  let lost = find_key (fun k -> backs ring3 k && not (backs ring4 k)) in
+  let kept = find_key (fun k -> backs ring3 k && backs ring4 k) in
+  with_svc ~cache_capacity:64 @@ fun svc ->
+  List.iter
+    (fun key ->
+      let text = Printf.sprintf "      PROGRAM T\n      END\n" in
+      Alcotest.(check bool) (key ^ " seeded") true
+        (Service.Server.admit_replica svc ~key
+           ~digest:(Service.Cache.digest text) (replica_payload text)))
+    [ lost; kept ];
+  let peers3 = List.map (fun id -> mk_shard id (dead_port ())) ids3 in
+  let peers4 = List.map (fun id -> mk_shard id (dead_port ())) ids4 in
+  let r = Cluster.Replicator.create ~replicas:2 ~self:"a" ~peers:peers3 () in
+  Fun.protect ~finally:(fun () -> Cluster.Replicator.stop r) @@ fun () ->
+  Cluster.Replicator.set_gc r (fun ~keep ->
+      Service.Server.gc_replicas svc ~keep);
+  Cluster.Replicator.set_members r peers4;
+  let keys = resident_keys svc in
+  Alcotest.(check bool) "no-longer-backed replica dropped" false
+    (List.mem lost keys);
+  Alcotest.(check bool) "still-backed replica kept" true
+    (List.mem kept keys);
+  Alcotest.(check int) "exactly one entry collected" 1
+    (Service.Server.stats svc).Service.Stats.replica_gc
+
 (* ------------------------------------------------------------------ *)
 (* Proxy end to end                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -1245,6 +1336,10 @@ let tests =
       `Slow test_replicator_skips_down_target;
     Alcotest.test_case "replicator: set_members re-replicates residents"
       `Slow test_replicator_reexports_on_set_members;
+    Alcotest.test_case "server: gc_replicas drops only condemned replicas"
+      `Quick test_server_gc_replicas;
+    Alcotest.test_case "replicator: topology change collects lost replicas"
+      `Quick test_replicator_gc_on_topology_change;
     Alcotest.test_case "proxy: corpus byte-identical through 3 shards" `Slow
       test_proxy_e2e_corpus_byte_identical;
     Alcotest.test_case "proxy: kill a shard, zero lost, replicas serve" `Slow

@@ -15,6 +15,7 @@ let () =
       ("service", Test_service.tests);
       ("validate", Test_validate.tests);
       ("fuzz", Test_fuzz.tests);
+      ("memo", Test_memo.tests);
       ("obs", Test_obs.tests);
       ("aio", Test_aio.tests);
       ("chaos", Test_chaos.tests);

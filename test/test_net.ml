@@ -200,6 +200,48 @@ let prop_corrupt_payload =
               (Printexc.to_string e)
       end)
 
+(* the zero-copy path: frames decoded in place from the stream buffer *)
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"wire: stream decode (encode m) = m (zero-copy)"
+    ~count:500 ~long_factor:20 arbitrary_frame (fun (id, msg) ->
+      let st = W.Stream.create () in
+      let s = W.encode ~id msg in
+      W.Stream.feed st (Bytes.unsafe_of_string s) 0 (String.length s);
+      match W.Stream.next st with
+      | `Frame (id', msg') ->
+          id' = id && msg' = msg && W.Stream.buffered st = 0
+      | `Need_more -> QCheck.Test.fail_report "Need_more on a whole frame"
+      | `Oversized _ -> QCheck.Test.fail_report "Oversized"
+      | `Fail e -> QCheck.Test.fail_reportf "stream: %s" (W.error_to_string e))
+
+let prop_stream_corruption_total =
+  (* flip one byte anywhere in a valid frame — header or payload — and
+     the stream decoder must return a typed verdict, never raise *)
+  QCheck.Test.make ~name:"wire: stream survives one-byte corruption"
+    ~count:500 ~long_factor:20
+    (QCheck.make
+       G.(triple (int_bound 1000) gen_message (int_bound 100_000)))
+    (fun (id, msg, at) ->
+      let frame = Bytes.of_string (W.encode ~id msg) in
+      let pos = at mod Bytes.length frame in
+      Bytes.set frame pos (Char.chr (Char.code (Bytes.get frame pos) lxor 0x40));
+      let st = W.Stream.create () in
+      W.Stream.feed st frame 0 (Bytes.length frame);
+      (* a corrupt length byte can leave the stream mid-frame or mid-
+         drain; pump until it wants more bytes or fails sticky *)
+      let rec pump budget =
+        if budget = 0 then
+          QCheck.Test.fail_report "stream did not quiesce"
+        else
+          match W.Stream.next st with
+          | `Need_more | `Fail _ -> true
+          | `Frame _ | `Oversized _ -> pump (budget - 1)
+          | exception e ->
+              QCheck.Test.fail_reportf "stream raised %s"
+                (Printexc.to_string e)
+      in
+      pump 8)
+
 (* ------------------------------------------------------------------ *)
 (* Adversarial decoder unit tests                                      *)
 (* ------------------------------------------------------------------ *)
@@ -452,6 +494,89 @@ let test_pipelining_ids () =
       List.iter (fun id -> W.write_frame fd ~id (submit_msg ())) ids;
       let got = List.map (fun _ -> fst (read_result fd)) ids in
       Alcotest.(check (list int)) "ids echoed in order" ids got)
+
+let test_split_reads_byte_identical () =
+  (* deliver a submit one byte per write: every byte lands in its own
+     fiber wakeup on the server (TCP_NODELAY, loopback), exercising the
+     resumable in-place decoder across feed boundaries — and the result
+     must still be byte-identical to the in-process driver *)
+  let opts = Restructurer.Options.auto_1991 cedar in
+  let expected =
+    Fortran.Printer.program_to_string
+      (Restructurer.Driver.restructure opts
+         (Fortran.Parser.parse_program saxpy_source))
+        .Restructurer.Driver.program
+  in
+  with_net @@ fun _svc _net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let frame = W.encode ~id:77 (submit_msg ()) in
+      String.iter
+        (fun c -> ignore (Unix.write fd (Bytes.make 1 c) 0 1))
+        frame;
+      (match read_result fd with
+      | 77, W.R_done { r_text; _ } ->
+          Alcotest.(check bool) "byte-identical over 1-byte reads" true
+            (r_text = expected)
+      | _, _ -> Alcotest.fail "expected R_done");
+      (* two more frames split at a deliberately awkward boundary: the
+         cut lands mid-header of the second frame *)
+      let two = W.encode ~id:1 (submit_msg ()) ^ W.encode ~id:2 W.Ping in
+      let cut = String.length two - (W.header_bytes / 2) in
+      ignore (Unix.write_substring fd two 0 cut);
+      Thread.delay 0.02;
+      ignore (Unix.write_substring fd two cut (String.length two - cut));
+      (match read_result fd with
+      | 1, W.R_done { r_text; _ } ->
+          Alcotest.(check bool) "first of split pair" true (r_text = expected)
+      | _, _ -> Alcotest.fail "expected R_done for id 1");
+      match W.read_frame fd with
+      | W.Frame (2, W.Pong) -> ()
+      | _ -> Alcotest.fail "expected Pong for id 2")
+
+let test_reply_batching () =
+  (* N pipelined requests arriving in one TCP segment are answered in a
+     handful of corked flushes, not N writes — and the reply bytes are
+     identical to N individually encoded frames *)
+  let flushes = Obs.Metrics.counter Obs.Metrics.global "net_flushes_total" in
+  let n = 32 in
+  with_net @@ fun _svc _net port ->
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* warm the connection so accept-path writes don't skew the count *)
+      W.write_frame fd ~id:0 W.Ping;
+      (match W.read_frame fd with
+      | W.Frame (0, W.Pong) -> ()
+      | _ -> Alcotest.fail "warmup ping");
+      let before = Obs.Metrics.counter_value flushes in
+      let burst =
+        String.concat ""
+          (List.init n (fun i -> W.encode ~id:(i + 1) W.Ping))
+      in
+      ignore (Unix.write_substring fd burst 0 (String.length burst));
+      let expected =
+        String.concat ""
+          (List.init n (fun i -> W.encode ~id:(i + 1) W.Pong))
+      in
+      let got = Bytes.create (String.length expected) in
+      let rec fill off =
+        if off < Bytes.length got then
+          match Unix.read fd got off (Bytes.length got - off) with
+          | 0 -> Alcotest.fail "connection closed mid-burst"
+          | k -> fill (off + k)
+      in
+      fill 0;
+      Alcotest.(check bool) "replies byte-identical to unbatched encodings"
+        true (Bytes.to_string got = expected);
+      let used = Obs.Metrics.counter_value flushes - before in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d pings answered in %d flushes (want < %d)" n used n)
+        true
+        (used >= 1 && used < n))
 
 let test_too_large_keeps_connection () =
   (* oversized submit: typed rejection, constant-memory drain, and the
@@ -889,6 +1014,8 @@ let tests =
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_decoder_total;
     QCheck_alcotest.to_alcotest prop_corrupt_payload;
+    QCheck_alcotest.to_alcotest prop_stream_roundtrip;
+    QCheck_alcotest.to_alcotest prop_stream_corruption_total;
     Alcotest.test_case "decoder: adversarial inputs fail typed" `Quick
       test_decoder_adversarial;
     Alcotest.test_case "codec: multi-MB payload roundtrip" `Quick
@@ -901,6 +1028,10 @@ let tests =
       test_trace_propagation;
     Alcotest.test_case "e2e: pipelined requests echo their ids" `Quick
       test_pipelining_ids;
+    Alcotest.test_case "stream: 1-byte split reads stay byte-identical" `Quick
+      test_split_reads_byte_identical;
+    Alcotest.test_case "writer: pipelined replies cork into few flushes"
+      `Quick test_reply_batching;
     Alcotest.test_case "hygiene: too-large rejected, connection survives"
       `Quick test_too_large_keeps_connection;
     Alcotest.test_case "overload: 4x burst shed with bounded in-flight"

@@ -325,6 +325,107 @@ let test_driver_interrupt () =
   | _ -> Alcotest.fail "expected Interrupted"
   | exception Restructurer.Driver.Interrupted -> ()
 
+let test_memo_poison_caught_by_validator () =
+  (* Cross-job memo poisoning, the memo mirror of the cache-checksum
+     chaos tests.  The [memo-corrupt] site poisons nest entries as they
+     are stored (self-consistently: the checksum is computed after the
+     flip, so the memo's own integrity check cannot see it).  The
+     defense is the validator gate that stays live on every memo hit: a
+     later job served the poisoned nest has it re-verified, caught, and
+     demoted back to serial — the unsafe statements never reach the
+     emitted text, and the demotion is re-derived on every hit, never
+     cached into the memo. *)
+  let carried_src ~index ~a ~b =
+    (* a(i) = a(i-1) + ... carries a distance-1 flow dependence: the
+       nest must stay a sequential DO, which is exactly what the poison
+       flips to a CDOALL *)
+    Printf.sprintf
+      {|      program p
+      real %s(100), %s(100)
+      do 10 %s = 2, 100
+        %s(%s) = %s(%s-1) + %s(%s) * %s(%s)
+        %s(%s) = %s(%s) + %s(%s)
+ 10   continue
+      end
+|}
+      a b index a index a index b index b index b index b index a index
+  in
+  let mk_opts validate =
+    let advanced = Restructurer.Options.advanced Machine.Config.cedar_config1 in
+    {
+      advanced with
+      Restructurer.Options.validate;
+      (* no doacross: the carried dependence pins the nest to a plain
+         DO, the shape the poison corrupts *)
+      techniques =
+        {
+          advanced.Restructurer.Options.techniques with
+          Restructurer.Options.doacross = false;
+        };
+    }
+  in
+  let run_pair validate =
+    (* fresh server (fresh memo) per scenario: job 1 stores the
+       poisoned nest, job 2 — an alpha-renamed twin, so the result
+       cache misses but the memo hits — is served the poison *)
+    let opts = mk_opts validate in
+    let req name src =
+      { Server.req_name = name; req_source = src; req_options = opts }
+    in
+    let fault = Fault.create [ (Fault.Memo_corrupt, 1.0) ] in
+    let server = Server.create ~workers:1 ~cache_capacity:16 ~fault () in
+    let p1, _ =
+      payload_exn "storer"
+        (Server.run server
+           (req "storer" (carried_src ~index:"i1" ~a:"aa" ~b:"bb")))
+    in
+    Alcotest.(check bool) "storing job unharmed: full rung" true
+      (p1.Server.p_rung = Server.Full);
+    let renamed = carried_src ~index:"j1" ~a:"cc" ~b:"dd" in
+    let p2, cached2 =
+      payload_exn "victim" (Server.run server (req "victim" renamed))
+    in
+    Alcotest.(check bool) "victim not served from the result cache" false
+      cached2;
+    let direct =
+      let prog = Fortran.Parser.parse_program renamed in
+      let r = Restructurer.Driver.restructure opts prog in
+      Fortran.Printer.program_to_string r.Restructurer.Driver.program
+    in
+    let stats = Server.shutdown server in
+    Alcotest.(check bool) "memo was actually consulted" true
+      (stats.Stats.memo_hits >= 1);
+    Alcotest.(check bool) "chaos site actually fired" true
+      (stats.Stats.faults_injected >= 1);
+    (p2, direct)
+  in
+  (* validator on: the poisoned replay is caught nest-side — the victim
+     's text is byte-identical to an unpoisoned direct run, and the
+     demotion shows up in its decision notes *)
+  let p2, direct = run_pair true in
+  Alcotest.(check string) "validator gate heals the victim's text" direct
+    p2.Server.p_text;
+  Alcotest.(check bool) "the gate records the demotion" true
+    (List.exists
+       (fun (r : Restructurer.Driver.loop_report) ->
+         r.Restructurer.Driver.r_decision = "demoted (validator)")
+       p2.Server.p_reports);
+  Alcotest.(check bool) "victim still served at full rung (healed)" true
+    (p2.Server.p_rung = Server.Full);
+  (* validator off: nothing stands between the poisoned nest and the
+     emitted text — the victim's output silently diverges.  This is the
+     negative control proving the gate above is the defense, not an
+     accidental memo miss. *)
+  let p2_off, direct_off = run_pair false in
+  Alcotest.(check bool) "without the gate the poison reaches the output"
+    true
+    (p2_off.Server.p_text <> direct_off);
+  Alcotest.(check bool) "no demotion note without the gate" false
+    (List.exists
+       (fun (r : Restructurer.Driver.loop_report) ->
+         r.Restructurer.Driver.r_decision = "demoted (validator)")
+       p2_off.Server.p_reports)
+
 let test_traffic_deterministic () =
   let a = Traffic.nth_request ~seed:11 ~size_jitter:4 ~batch:3 5 in
   let b = Traffic.nth_request ~seed:11 ~size_jitter:4 ~batch:3 5 in
@@ -504,6 +605,8 @@ let tests =
       test_server_expired_job_cancelled;
     Alcotest.test_case "driver: interrupt hook aborts" `Quick
       test_driver_interrupt;
+    Alcotest.test_case "server: memo poison caught by the validator gate"
+      `Quick test_memo_poison_caught_by_validator;
     Alcotest.test_case "traffic: deterministic request sequence" `Quick
       test_traffic_deterministic;
     Alcotest.test_case "traffic: closed loop drains cleanly" `Quick

@@ -198,6 +198,63 @@ let memo_pass () =
      else 0.0)
     st.Restructurer.Memo.st_size
 
+(* Codegen pass: Cedar-vs-OpenMP emission A/B.  The corpus is parsed
+   and restructured once (advanced set); what is timed is only the
+   backend — repeated program_to_string calls per target — so the row
+   isolates the price of directive lowering (reduction recognition,
+   preamble/postamble clause splitting) over the plain printer. *)
+let codegen_pass () =
+  let opts = Restructurer.Options.advanced Machine.Config.cedar_config1 in
+  let progs =
+    List.map
+      (fun w ->
+        (Restructurer.Driver.restructure opts
+           (Fortran.Parser.parse_program
+              (w.Workloads.Workload.source w.Workloads.Workload.small_size)))
+          .Restructurer.Driver.program)
+      (Service.Traffic.corpus ())
+  in
+  let emit target p = Codegen.Emit.program_to_string ~target p in
+  let bytes_per_pass target =
+    List.fold_left (fun n p -> n + String.length (emit target p)) 0 progs
+  in
+  let time target =
+    let reps = 40 in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        List.iter (fun p -> ignore (emit target p)) progs
+      done;
+      best := Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int reps)
+    done;
+    !best
+  in
+  ignore (bytes_per_pass Codegen.Target.Cedar) (* warm allocator *);
+  let n = List.length progs in
+  let ced_s = time Codegen.Target.Cedar
+  and omp_s = time Codegen.Target.Openmp in
+  let ced_bytes = bytes_per_pass Codegen.Target.Cedar
+  and omp_bytes = bytes_per_pass Codegen.Target.Openmp in
+  let per_s t = if t > 0.0 then float_of_int n /. t else 0.0 in
+  Printf.printf
+    "codegen: corpus of %d programs per pass\n\
+    \         cedar  %.2f ms/pass (%.0f emits/s, %d bytes)\n\
+    \         openmp %.2f ms/pass (%.0f emits/s, %d bytes)\n%!"
+    n (1e3 *. ced_s) (per_s ced_s) ced_bytes (1e3 *. omp_s) (per_s omp_s)
+    omp_bytes;
+  Printf.sprintf
+    {|{
+    "corpus_programs": %d,
+    "codegen_cedar_pass_s": %.5f,
+    "codegen_openmp_pass_s": %.5f,
+    "codegen_cedar_emits_per_s": %.1f,
+    "codegen_openmp_emits_per_s": %.1f,
+    "codegen_cedar_bytes_per_pass": %d,
+    "codegen_openmp_bytes_per_pass": %d
+  }|}
+    n ced_s omp_s (per_s ced_s) (per_s omp_s) ced_bytes omp_bytes
+
 (* Netfast pass: the warm socket path after the in-place frame decoder
    and the corked writer.  Flush counters give the frames-per-flush
    batching factor; [Gc.quick_stat] deltas give the allocation price
@@ -223,6 +280,7 @@ let netfast_pass () =
         size_jitter = base.Service.Traffic.size_jitter;
         batch = base.Service.Traffic.batch;
         validate = false;
+        target = Codegen.Target.Cedar;
       }
   in
   ignore (drive ()) (* reach steady state before measuring *);
@@ -343,6 +401,7 @@ let net_pass () =
           size_jitter = base.Service.Traffic.size_jitter;
           batch = base.Service.Traffic.batch;
           validate = false;
+          target = Codegen.Target.Cedar;
         }
     in
     Printf.printf "net c=%-2d %s\n%!" c (Net.Client.drive_summary_to_string s);
@@ -382,6 +441,7 @@ let net_pass () =
         size_jitter = base.Service.Traffic.size_jitter;
         batch = base.Service.Traffic.batch;
         validate = false;
+        target = Codegen.Target.Cedar;
       }
   in
   let shed_rate =
@@ -476,6 +536,7 @@ let fibers_pass () =
           size_jitter = base.Service.Traffic.size_jitter;
           batch = base.Service.Traffic.batch;
           validate = false;
+          target = Codegen.Target.Cedar;
         }
     in
     let tp =
@@ -606,6 +667,7 @@ let cluster_pass () =
         size_jitter = base.Service.Traffic.size_jitter;
         batch = base.Service.Traffic.batch;
         validate = false;
+        target = Codegen.Target.Cedar;
       }
     in
     ignore (Net.Client.drive ccfg dcfg) (* warm every shard's cache *);
@@ -765,6 +827,8 @@ let service_bench () =
   print_endline (Service.Stats.to_string chaos_stats);
   print_endline "--- memo pass (nest-level memoization A/B) ---";
   let memo_json = memo_pass () in
+  print_endline "--- codegen pass (cedar vs openmp emission A/B) ---";
+  let codegen_json = codegen_pass () in
   print_endline "--- net pass (cedarnet TCP front-end) ---";
   let net_json = net_pass () in
   print_endline "--- netfast pass (zero-copy decode + corked writer) ---";
@@ -808,6 +872,7 @@ let service_bench () =
   "chaos_corrupt_dropped": %d,
   "chaos_faults_injected": %d,
   "memo": %s,
+  "codegen": %s,
   "net": %s,
   "netfast": %s,
   "fibers": %s,
@@ -838,8 +903,8 @@ let service_bench () =
       chaos_stats.Service.Stats.retries chaos_stats.Service.Stats.respawns
       chaos_stats.Service.Stats.degraded
       chaos_stats.Service.Stats.corrupt_dropped
-      chaos_stats.Service.Stats.faults_injected memo_json net_json
-      netfast_json fibers_json cluster_json
+      chaos_stats.Service.Stats.faults_injected memo_json codegen_json
+      net_json netfast_json fibers_json cluster_json
   in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;
@@ -901,7 +966,12 @@ let checkfloor () =
   in
   let ok =
     List.for_all gate
-      [ "warm_throughput_jobs_per_s"; "cold_throughput_jobs_per_s" ]
+      [
+        "warm_throughput_jobs_per_s";
+        "cold_throughput_jobs_per_s";
+        "codegen_cedar_emits_per_s";
+        "codegen_openmp_emits_per_s";
+      ]
   in
   if not ok then exit 1
 
@@ -925,6 +995,7 @@ let () =
   | [ "micro" ] -> micro ()
   | [ "service" ] -> service_bench ()
   | [ "memo" ] -> print_endline (memo_pass ())
+  | [ "codegen" ] -> print_endline (codegen_pass ())
   | [ "netfast" ] -> print_endline (netfast_pass ())
   | [ "fibers" ] -> print_endline (fibers_pass ())
   | [ "cluster" ] -> print_endline (cluster_pass ())
@@ -932,5 +1003,5 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service|memo|netfast|fibers|cluster|checkfloor]";
+         [all|table1|table2|fig6|fig7|fig8|fig9|qcd|ablation|synthetic|micro|service|memo|codegen|netfast|fibers|cluster|checkfloor]";
       exit 2

@@ -89,8 +89,8 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let submit host port timeout_s file name advanced validate trace_id output
-    quiet =
+let submit host port timeout_s file name advanced validate target trace_id
+    output quiet =
   match read_file file with
   | exception Sys_error msg ->
       Printf.eprintf "cedarctl: %s\n" msg;
@@ -102,7 +102,7 @@ let submit host port timeout_s file name advanced validate trace_id output
             Restructurer.Options.advanced Machine.Config.cedar_config1
           else Restructurer.Options.auto_1991 Machine.Config.cedar_config1
         in
-        { base with Restructurer.Options.validate }
+        { base with Restructurer.Options.validate; target }
       in
       let name =
         match name with Some n -> n | None -> Filename.basename file
@@ -198,6 +198,25 @@ let validate_arg =
     value & flag
     & info [ "validate" ] ~doc:"ask the server to verify the output")
 
+let target_conv =
+  let parse s =
+    match Codegen.Target.of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown target %S (cedar|openmp)" s))
+  in
+  let print ppf t = Format.pp_print_string ppf (Codegen.Target.to_string t) in
+  Arg.conv (parse, print)
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv Codegen.Target.Cedar
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          "codegen target: $(b,cedar) (default) or $(b,openmp); OpenMP \
+           submits ride protocol-v4 frames, Cedar submits stay \
+           byte-compatible with v1 servers")
+
 let trace_id_arg =
   Arg.(
     value & opt int 0
@@ -219,7 +238,8 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"restructure a fortran77 file over the wire")
     Term.(
       const submit $ host_arg $ port_arg $ timeout_arg $ file_arg $ name_arg
-      $ advanced_arg $ validate_arg $ trace_id_arg $ output_arg $ quiet_arg)
+      $ advanced_arg $ validate_arg $ target_arg $ trace_id_arg $ output_arg
+      $ quiet_arg)
 
 (* ---- stats / metrics / shutdown ---- *)
 
@@ -276,7 +296,8 @@ let shutdown_cmd =
 
 (* ---- drive ---- *)
 
-let drive host port timeout_s requests conns seed jitter batch validate =
+let drive host port timeout_s requests conns seed jitter batch validate
+    target =
   let cfg = client_cfg host port timeout_s in
   let dcfg =
     {
@@ -286,6 +307,7 @@ let drive host port timeout_s requests conns seed jitter batch validate =
       size_jitter = max 0 jitter;
       batch = max 1 batch;
       validate;
+      target;
     }
   in
   let s = Net.Client.drive cfg dcfg in
@@ -332,7 +354,8 @@ let drive_cmd =
        ~doc:"closed-loop socket load generator over the workloads corpus")
     Term.(
       const drive $ host_arg $ port_arg $ timeout_arg $ requests_arg
-      $ conns_arg $ seed_arg $ jitter_arg $ batch_arg $ drive_validate_arg)
+      $ conns_arg $ seed_arg $ jitter_arg $ batch_arg $ drive_validate_arg
+      $ target_arg)
 
 (* ---- flood ---- *)
 

@@ -45,9 +45,12 @@ let parse_cluster_spec spec =
 (* --validate acceptance sweep: restructure the whole corpus under both
    technique sets with the validator on, then hold the shipped output to
    the paper's standard — the independent static checker must accept the
-   printed text, and an instrumented interpreter run must observe zero
-   data races. *)
-let sweep_validate verbose =
+   emitted text for the requested target (OpenMP output is lifted back
+   to Cedar dialect first, so the same parser and race checks apply to
+   the directives actually shipped), and an instrumented interpreter run
+   must observe zero data races.  The dynamic check runs on the
+   restructured AST, which is target-neutral. *)
+let sweep_validate verbose target =
   let corpus = Service.Traffic.corpus () in
   let static_rej = ref 0 and dynamic_races = ref 0 and runs = ref 0 in
   List.iter
@@ -58,13 +61,18 @@ let sweep_validate verbose =
       in
       List.iter
         (fun (tlabel, opts) ->
-          let opts = { opts with Restructurer.Options.validate = true } in
+          let opts =
+            { opts with Restructurer.Options.validate = true; target }
+          in
           let result = Restructurer.Driver.restructure opts prog in
           incr runs;
           let tag =
             Printf.sprintf "%s/n%d/%s" w.Workloads.Workload.name n tlabel
           in
-          (match Validate.reverify result.Restructurer.Driver.program with
+          (match
+             Validate.reverify_target ~target
+               result.Restructurer.Driver.program
+           with
           | Ok [] ->
               if verbose then Printf.printf "  %-28s static ok\n" tag
           | Ok issues ->
@@ -95,7 +103,8 @@ let sweep_validate verbose =
         ])
     corpus;
   Printf.printf
-    "validate sweep: %d restructured programs, %d static rejections, %d dynamic races\n%!"
+    "validate sweep (%s): %d restructured programs, %d static rejections, %d dynamic races\n%!"
+    (Codegen.Target.to_string target)
     !runs !static_rej !dynamic_races;
   !static_rej = 0 && !dynamic_races = 0
 
@@ -165,7 +174,7 @@ let serve server fault ?on_cluster_change ~host ~port ~max_conns
   0
 
 let run workers cache_size memo_capacity timeout_ms requests clients seed
-    jitter batch oversubscribe validate chaos chaos_seed chaos_stealth
+    jitter batch oversubscribe validate target chaos chaos_seed chaos_stealth
     chaos_delay_ms
     trace_file metrics serve_port host max_conns max_inflight
     max_source_bytes net_timeout_s metrics_port shard_id cluster_spec
@@ -341,6 +350,7 @@ let run workers cache_size memo_capacity timeout_ms requests clients seed
       size_jitter = max 0 jitter;
       batch = max 1 batch;
       validate;
+      target;
     }
   in
   Printf.printf
@@ -349,6 +359,9 @@ let run workers cache_size memo_capacity timeout_ms requests clients seed
     (if timeout_ms > 0.0 then Printf.sprintf "%.0f ms" timeout_ms else "none")
     requests cfg.Service.Traffic.clients seed cfg.Service.Traffic.batch
     ((if validate then ", validated" else "")
+    ^ (if target <> Codegen.Target.Cedar then
+         Printf.sprintf ", target %s" (Codegen.Target.to_string target)
+       else "")
     ^
     if chaotic then
       Printf.sprintf ", chaos seed %d%s" chaos_seed
@@ -369,7 +382,7 @@ let run workers cache_size memo_capacity timeout_ms requests clients seed
   let replay_ok =
     if requests > 0 && cache_size > 0 then begin
       let req =
-        Service.Traffic.nth_request ~validate ~seed
+        Service.Traffic.nth_request ~validate ~target ~seed
           ~size_jitter:cfg.Service.Traffic.size_jitter
           ~batch:cfg.Service.Traffic.batch 0
       in
@@ -421,7 +434,7 @@ let run workers cache_size memo_capacity timeout_ms requests clients seed
     if not validate then true
     else begin
       print_endline "--- validate sweep (full corpus, both technique sets) ---";
-      sweep_validate verbose
+      sweep_validate verbose target
     end
   in
   (* under chaos, individual failures and timeouts are the point; the
@@ -511,6 +524,27 @@ let validate_arg =
            sweep the whole corpus under both technique sets and fail unless \
            the shipped output has zero static rejections and zero dynamic \
            races")
+
+let target_conv =
+  let parse s =
+    match Codegen.Target.of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown target %S (cedar|openmp)" s))
+  in
+  let print ppf t = Format.pp_print_string ppf (Codegen.Target.to_string t) in
+  Arg.conv (parse, print)
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv Codegen.Target.Cedar
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          "codegen target for every generated job: $(b,cedar) emits the \
+           classic Cedar Fortran dialect, $(b,openmp) lowers the same \
+           loop annotations to standard Fortran with OpenMP directives; \
+           with --validate, the sweep re-checks the emitted text for \
+           this target")
 
 let chaos_arg =
   Arg.(
@@ -673,7 +707,7 @@ let cmd =
       const run $ workers_arg $ cache_arg $ memo_capacity_arg $ timeout_arg
       $ requests_arg
       $ clients_arg $ seed_arg $ jitter_arg $ batch_arg $ oversubscribe_arg
-      $ validate_arg $ chaos_arg $ chaos_seed_arg $ chaos_stealth_arg
+      $ validate_arg $ target_arg $ chaos_arg $ chaos_seed_arg $ chaos_stealth_arg
       $ chaos_delay_arg $ trace_arg $ metrics_arg $ serve_arg $ host_arg
       $ max_conns_arg $ max_inflight_arg $ max_source_arg $ net_timeout_arg
       $ metrics_port_arg $ shard_id_arg $ cluster_arg $ vnodes_arg

@@ -1,0 +1,15 @@
+(** Target dispatch for code emission.
+
+    The Cedar target delegates to {!Fortran.Printer} unchanged, so the
+    default target's output is byte-identical to the historical printer
+    (the golden snapshots pin this down). *)
+
+let program_to_string ~(target : Target.t) (p : Fortran.Ast.program) : string =
+  match target with
+  | Target.Cedar -> Fortran.Printer.program_to_string p
+  | Target.Openmp -> Openmp.program_to_string p
+
+let unit_to_string ~(target : Target.t) (u : Fortran.Ast.punit) : string =
+  match target with
+  | Target.Cedar -> Fortran.Printer.unit_to_string u
+  | Target.Openmp -> Openmp.unit_to_string u

@@ -1,0 +1,5 @@
+(** Target dispatch for code emission.  [~target:Cedar] delegates to
+    {!Fortran.Printer} unchanged (byte-identical output). *)
+
+val program_to_string : target:Target.t -> Fortran.Ast.program -> string
+val unit_to_string : target:Target.t -> Fortran.Ast.punit -> string

@@ -1,0 +1,131 @@
+(** Line- and expression-level emission core shared by every code
+    generation backend.
+
+    {!Printer} (Cedar Fortran) and the OpenMP backend both print
+    expressions, declarations and fixed-form source lines identically;
+    only statement- and unit-level structure differs between targets.
+    That shared layer lives here so a backend cannot drift on expression
+    syntax: the precedence/parenthesization logic has exactly one home. *)
+
+open Ast
+
+let buf_add = Buffer.add_string
+
+let prec_of = function
+  | Bin (Or, _, _) -> 1
+  | Bin (And, _, _) -> 2
+  | Un (Not, _) -> 3
+  | Bin ((Eq | Ne | Lt | Le | Gt | Ge), _, _) -> 4
+  | Bin ((Add | Sub), _, _) -> 5
+  | Un (Neg, _) -> 5
+  | Bin ((Mul | Div), _, _) -> 6
+  | Bin (Pow, _, _) -> 7
+  | Int _ | Num _ | Str _ | Bool _ | Var _ | Idx _ | Section _ | Call _ -> 9
+
+and binop_str = function
+  | Add -> " + "
+  | Sub -> " - "
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Eq -> " .eq. "
+  | Ne -> " .ne. "
+  | Lt -> " .lt. "
+  | Le -> " .le. "
+  | Gt -> " .gt. "
+  | Ge -> " .ge. "
+  | And -> " .and. "
+  | Or -> " .or. "
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.10g" f
+
+let rec expr_str e =
+  let paren child =
+    let s = expr_str child in
+    if prec_of child < prec_of e then "(" ^ s ^ ")" else s
+  in
+  match e with
+  | Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Num f -> if f < 0.0 then "(" ^ float_lit f ^ ")" else float_lit f
+  | Str s -> "'" ^ s ^ "'"
+  | Bool true -> ".true."
+  | Bool false -> ".false."
+  | Var v -> v
+  | Idx (a, args) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map expr_str args))
+  | Section (a, dims) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map section_dim_str dims))
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+  | Bin (op, a, b) ->
+      let sa = expr_str a and sb = expr_str b in
+      (* ** is right-associative: a left operand of equal precedence needs
+         parentheses ((x**y)**z prints as (x**y)**z, not x**y**z) *)
+      let need_lparen =
+        match op with
+        | Pow -> prec_of a <= prec_of e && prec_of a < 9
+        | _ -> prec_of a < prec_of e
+      in
+      let pa = if need_lparen then "(" ^ sa ^ ")" else sa in
+      (* right operand of a left-assoc op at equal precedence needs parens
+         for - and / ; Pow is right-assoc *)
+      let need_rparen =
+        match op with
+        | Pow -> prec_of b < prec_of e
+        | Sub | Div | Add | Mul -> prec_of b <= prec_of e && prec_of b < 9
+        | _ -> prec_of b < prec_of e
+      in
+      let pb = if need_rparen then "(" ^ sb ^ ")" else sb in
+      pa ^ binop_str op ^ pb
+  | Un (Neg, a) ->
+      (* a nested unary minus or additive child must be parenthesized:
+         "--c*a" would reparse with the inner minus binding tighter *)
+      let s = expr_str a in
+      if prec_of a <= prec_of e then "-(" ^ s ^ ")" else "-" ^ s
+  | Un (Not, a) -> ".not. " ^ paren a
+
+and section_dim_str = function
+  | Elem e -> expr_str e
+  | Range (lo, hi, step) ->
+      let s o = match o with None -> "" | Some e -> expr_str e in
+      let base = s lo ^ ":" ^ s hi in
+      (match step with None -> base | Some st -> base ^ ":" ^ expr_str st)
+
+let lhs_str = function
+  | LVar v -> v
+  | LIdx (a, args) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map expr_str args))
+  | LSection (a, dims) ->
+      Printf.sprintf "%s(%s)" a (String.concat ", " (List.map section_dim_str dims))
+
+let dtype_str = function
+  | Integer -> "integer"
+  | Real -> "real"
+  | Double -> "double precision"
+  | Logical -> "logical"
+  | Character -> "character"
+
+let dims_str dims =
+  if dims = [] then ""
+  else
+    "("
+    ^ String.concat ", "
+        (List.map
+           (fun (lo, hi) ->
+             match lo with
+             | Int 1 -> (match hi with Int -1 -> "*" | _ -> expr_str hi)
+             | _ -> expr_str lo ^ ":" ^ expr_str hi)
+           dims)
+    ^ ")"
+
+let decl_line d = dtype_str d.d_type ^ " " ^ d.d_name ^ dims_str d.d_dims
+
+let emit_line buf ?(label = 0) indent text =
+  if label <> 0 then buf_add buf (Printf.sprintf "%4d  " label)
+  else buf_add buf "      ";
+  buf_add buf (String.make (2 * indent) ' ');
+  buf_add buf text;
+  Buffer.add_char buf '\n'

@@ -1,0 +1,24 @@
+(** Line- and expression-level emission core shared by every codegen
+    backend ({!Printer} for Cedar Fortran, the OpenMP backend in
+    [lib/codegen]).  Precedence-aware expression printing lives only
+    here, so backends cannot drift on expression syntax. *)
+
+val prec_of : Ast.expr -> int
+(** Precedence rank used for minimal parenthesization (9 = atom). *)
+
+val binop_str : Ast.binop -> string
+
+val float_lit : float -> string
+(** A float literal that reparses to the same value. *)
+
+val expr_str : Ast.expr -> string
+val section_dim_str : Ast.expr Ast.section_dim -> string
+val lhs_str : Ast.lhs -> string
+val dtype_str : Ast.dtype -> string
+val dims_str : (Ast.expr * Ast.expr) list -> string
+val decl_line : Ast.decl -> string
+
+val emit_line : Buffer.t -> ?label:int -> int -> string -> unit
+(** [emit_line buf ~label indent text] appends one fixed-form-ish source
+    line: a 4-digit label field (or six blanks), two spaces per indent
+    level, the text, a newline. *)

@@ -350,11 +350,12 @@ type drive_cfg = {
   size_jitter : int;
   batch : int;
   validate : bool;
+  target : Codegen.Target.t;
 }
 
 let default_drive_cfg =
   { requests = 200; conns = 4; seed = 42; size_jitter = 4; batch = 4;
-    validate = false }
+    validate = false; target = Codegen.Target.Cedar }
 
 type drive_summary = {
   d_requests : int;
@@ -422,6 +423,7 @@ let drive cfg dcfg =
           if i < dcfg.requests then begin
             let req =
               Service.Traffic.nth_request ~validate:dcfg.validate
+                ~target:dcfg.target
                 ~seed:dcfg.seed ~size_jitter:dcfg.size_jitter
                 ~batch:dcfg.batch i
             in

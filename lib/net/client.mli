@@ -116,10 +116,11 @@ type drive_cfg = {
   size_jitter : int;
   batch : int;
   validate : bool;
+  target : Codegen.Target.t;  (** codegen target on every request *)
 }
 
 val default_drive_cfg : drive_cfg
-(** 200 requests, 4 connections, seed 42, jitter 4, batch 4. *)
+(** 200 requests, 4 connections, seed 42, jitter 4, batch 4, Cedar. *)
 
 type drive_summary = {
   d_requests : int;

@@ -6,7 +6,7 @@
    frame must never raise out of [decode] or [read_frame]. *)
 
 let magic = "CDRN"
-let version = 3
+let version = 4
 let min_version = 1
 let header_bytes = 20
 let hard_max_payload = 1 lsl 26 (* 64 MiB *)
@@ -110,7 +110,13 @@ type message =
 let kind_code = function
   | Ping -> 1
   | Pong -> 2
-  | Submit _ -> 3
+  (* a Submit for the default Cedar target keeps its original v1 kind
+     (and byte layout), so new clients stay wire-compatible with old
+     servers for everything old servers can do; only a non-default
+     target needs the v4 kind *)
+  | Submit s when s.sub_options.Restructurer.Options.target = Codegen.Target.Cedar
+    -> 3
+  | Submit _ -> 24
   | Result _ -> 4
   | Stats_req -> 5
   | Stats_text _ -> 6
@@ -134,10 +140,11 @@ let kind_code = function
 
 (* Frames carrying a v1 kind are stamped version 1, so a new peer stays
    wire-compatible with an old one for the whole original protocol; the
-   v2 kinds are stamped 2 and the v3 kinds 3, so an old decoder rejects
-   exactly (and only) the messages it cannot understand with a typed
-   [Bad_version]. *)
-let version_for_kind k = if k >= 19 then 3 else if k >= 11 then 2 else 1
+   v2 kinds are stamped 2, the v3 kinds 3 and the v4 kinds 4, so an old
+   decoder rejects exactly (and only) the messages it cannot understand
+   with a typed [Bad_version]. *)
+let version_for_kind k =
+  if k >= 24 then 4 else if k >= 19 then 3 else if k >= 11 then 2 else 1
 
 let message_kind_name = function
   | Ping -> "ping"
@@ -359,6 +366,11 @@ let payload_of = function
       put_string b s.sub_source;
       put_options b s.sub_options;
       put_int b s.sub_trace;
+      (* the v4 Submit (kind 24) appends the target byte; a Cedar-target
+         Submit travels as the byte-identical v1 kind 3 frame *)
+      (match s.sub_options.Restructurer.Options.target with
+      | Codegen.Target.Cedar -> ()
+      | t -> put_u8 b (Codegen.Target.code t));
       Buffer.contents b
   | Result r ->
       let b = Buffer.create 256 in
@@ -560,6 +572,8 @@ let get_options c : Restructurer.Options.t =
     placement_default;
     assumed_trip;
     validate;
+    (* the v1 options block has no target field; kind 24 overrides *)
+    target = Codegen.Target.Cedar;
   }
 
 let get_note c =
@@ -668,6 +682,18 @@ let decode_payload_at kind src ~pos ~len =
         Cluster_ack { ack_ok; ack_epoch; ack_msg }
     | 22 -> empty Members_json_req
     | 23 -> Members_json (text ())
+    | 24 ->
+        let s = get_submit c in
+        let target =
+          match Codegen.Target.of_code (get_u8 c) with
+          | Some t -> t
+          | None -> raise (Err (Malformed "unknown codegen target"))
+        in
+        Submit
+          {
+            s with
+            sub_options = { s.sub_options with Restructurer.Options.target };
+          }
     | k -> raise (Err (Bad_kind k))
   in
   if c.pos <> c.limit then raise (Err (Malformed "trailing payload bytes"));

@@ -5,7 +5,7 @@
     {v
     offset  size  field
     0       4     magic "CDRN"
-    4       1     protocol version (1, 2 or 3; see {!version_for_kind})
+    4       1     protocol version (1–4; see {!version_for_kind})
     5       1     message kind
     6       2     flags (reserved, 0) — big-endian
     8       8     request id          — big-endian
@@ -23,24 +23,28 @@
     to a typed {!error} — it never raises.  A {!Submit} carries the full
     {!Restructurer.Options.t} (technique set, machine configuration,
     limits) field by field, so a restructure requested over the wire is
-    byte-identical to one run in process. *)
+    byte-identical to one run in process.  A Submit for the default
+    Cedar codegen target travels as the original v1 kind-3 frame; a
+    Submit for any other target uses the v4 kind 24, which appends a
+    target byte ({!Codegen.Target.code}) after the v1 fields. *)
 
 val magic : string
 (** ["CDRN"], the 4 frame magic bytes. *)
 
 val version : int
-(** Newest protocol version this peer speaks (3). *)
+(** Newest protocol version this peer speaks (4). *)
 
 val min_version : int
 (** Oldest protocol version this peer still accepts (1). *)
 
 val version_for_kind : int -> int
 (** The version byte stamped on frames of a given kind.  Kinds from the
-    original protocol keep version 1 — a v3 peer stays fully
+    original protocol keep version 1 — a v4 peer stays fully
     interoperable with a v1 peer for everything v1 could say — while the
-    cluster kinds (11–18) are stamped 2 and the dynamic-membership
-    kinds (19+) are stamped 3, so an old decoder rejects exactly those
-    with a typed {!Bad_version} instead of misparsing them. *)
+    cluster kinds (11–18) are stamped 2, the dynamic-membership kinds
+    (19–23) are stamped 3 and the targeted-submit kind (24) is stamped
+    4, so an old decoder rejects exactly those with a typed
+    {!Bad_version} instead of misparsing them. *)
 
 val header_bytes : int
 (** Fixed header size: 20. *)

@@ -44,6 +44,11 @@ type t = {
   validate : bool;
       (** re-verify every emitted parallel loop with the independent
           static checker; loops that fail are demoted to serial *)
+  target : Codegen.Target.t;
+      (** which surface syntax the service emits; the restructured AST is
+          target-neutral, so this only selects the printer — but it is
+          part of the cache/memo identity because the emitted (and
+          validated) text differs per target *)
 }
 
 let base_techniques =
@@ -91,6 +96,7 @@ let make ~techniques machine =
     placement_default = Transform.Globalize.Default_cluster;
     assumed_trip = 100;
     validate = false;
+    target = Codegen.Target.Cedar;
   }
 
 let auto_1991 machine = make ~techniques:base_techniques machine

@@ -37,6 +37,9 @@ type t = {
   validate : bool;
       (** re-verify every emitted parallel loop with the independent
           static checker; loops that fail are demoted to serial *)
+  target : Codegen.Target.t;
+      (** which surface syntax the service emits (default {!Codegen.Target.Cedar});
+          part of the cache/memo identity *)
 }
 
 val base_techniques : techniques

@@ -463,7 +463,10 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
     | Passthrough ->
         (* parse-and-print identity: serial semantics by construction,
            so it needs no validation — the reliable floor of the ladder *)
-        let text = Fortran.Printer.program_to_string prog in
+        let text =
+          Codegen.Emit.program_to_string
+            ~target:r.req_options.Restructurer.Options.target prog
+        in
         let cycles, words =
           timed "perfmodel" m_phase_perfmodel (fun () ->
               match
@@ -501,17 +504,21 @@ let execute_attempt t (ws : wstate) ticket rung : attempt =
         if over_deadline () then A_timeout
         else
           let text =
-            Fortran.Printer.program_to_string
+            Codegen.Emit.program_to_string
+              ~target:opts.Restructurer.Options.target
               result.Restructurer.Driver.program
           in
           (* under --validate, re-verify the emitted text (print ->
-             reparse -> independent dependence re-analysis); unverified
-             output is neither cached nor returned *)
+             (lift ->) reparse -> independent dependence re-analysis);
+             unverified output is neither cached nor returned *)
           let rejected =
             if not opts.Restructurer.Options.validate then None
             else
               timed "validate" m_phase_validate (fun () ->
-                  match Validate.check_source text with
+                  match
+                    Validate.check_output
+                      ~target:opts.Restructurer.Options.target text
+                  with
                   | Ok [] -> None
                   | Ok issues ->
                       Some

@@ -5,6 +5,7 @@ type cfg = {
   size_jitter : int;
   batch : int;
   validate : bool;
+  target : Codegen.Target.t;
 }
 
 type summary = {
@@ -29,6 +30,7 @@ let default_cfg =
     size_jitter = 4;
     batch = 4;
     validate = false;
+    target = Codegen.Target.Cedar;
   }
 
 let corpus () = Workloads.Linalg.all @ Workloads.Perfect.all
@@ -36,7 +38,8 @@ let corpus () = Workloads.Linalg.all @ Workloads.Perfect.all
 (* Each request index gets its own RNG state seeded by (seed, i): the
    sequence is deterministic and any single index can be replayed in
    isolation, hitting the cache entry of the original. *)
-let nth_request ?(validate = false) ~seed ~size_jitter ~batch i =
+let nth_request ?(validate = false) ?(target = Codegen.Target.Cedar) ~seed
+    ~size_jitter ~batch i =
   let rng = Random.State.make [| seed; i |] in
   let corpus = Array.of_list (corpus ()) in
   (* draw [batch] distinct workloads: partial Fisher-Yates over a copy
@@ -66,7 +69,7 @@ let nth_request ?(validate = false) ~seed ~size_jitter ~batch i =
     if Random.State.bool rng then (Restructurer.Options.advanced machine, "adv")
     else (Restructurer.Options.auto_1991 machine, "auto")
   in
-  let options = { options with Restructurer.Options.validate } in
+  let options = { options with Restructurer.Options.validate; target } in
   let head_w, head_n = List.hd sized in
   let name =
     if k = 1 then
@@ -118,7 +121,7 @@ let run server (cfg : cfg) =
   let next = ref 0 in
   let submit_one () =
     let req =
-      nth_request ~validate:cfg.validate ~seed:cfg.seed
+      nth_request ~validate:cfg.validate ~target:cfg.target ~seed:cfg.seed
         ~size_jitter:cfg.size_jitter ~batch:cfg.batch !next
     in
     incr next;

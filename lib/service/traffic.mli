@@ -22,6 +22,8 @@ type cfg = {
       (** request [Options.validate] on every job: the driver demotes
           loops the independent checker rejects and the server refuses
           to cache or return unverified output *)
+  target : Codegen.Target.t;
+      (** codegen target requested on every job (default Cedar) *)
 }
 
 type summary = {
@@ -46,7 +48,12 @@ val corpus : unit -> Workloads.Workload.t list
     [Workloads.Perfect]. *)
 
 val nth_request :
-  ?validate:bool -> seed:int -> size_jitter:int -> batch:int -> int ->
+  ?validate:bool ->
+  ?target:Codegen.Target.t ->
+  seed:int ->
+  size_jitter:int ->
+  batch:int ->
+  int ->
   Server.request
 (** The [i]-th request of the sequence for [seed] — deterministic, so a
     replayed index collides with the original in the cache. *)

@@ -206,3 +206,214 @@ let apply ~(scalars : scalar_red list) ~(arrays : array_red list)
         body;
         postamble;
       } )
+
+(* ------------------------------------------------------------------ *)
+(* Annotation surface for codegen backends (lib/codegen).              *)
+(*                                                                     *)
+(* [apply] lowers a recognized reduction to Cedar's partial-accumulator *)
+(* shape; a backend with a native reduction construct (OpenMP's         *)
+(* [reduction(op:var)] clause) wants the annotation back.  [recognize]  *)
+(* inverts exactly the scalar pattern [apply] emits — partial local,    *)
+(* identity init in the preamble, lock-bracketed [s = s op s_r] merge   *)
+(* in the postamble — and returns the loop with that machinery stripped *)
+(* and the body accumulating into the shared name again.  Array         *)
+(* partials are left in place: they have no clean clause mapping.       *)
+(* ------------------------------------------------------------------ *)
+
+type recognized_red = {
+  rr_shared : string;  (** the shared accumulation target *)
+  rr_partial : string;  (** the per-processor partial local *)
+  rr_op : Scalars.red_op;
+  rr_type : Ast.dtype;
+}
+
+(** The operator's spelling in an OpenMP [reduction(op:var)] clause. *)
+let op_clause = function
+  | Scalars.Rsum -> "+"
+  | Scalars.Rprod -> "*"
+  | Scalars.Rmin -> "min"
+  | Scalars.Rmax -> "max"
+
+let op_of_clause = function
+  | "+" -> Some Scalars.Rsum
+  | "*" -> Some Scalars.Rprod
+  | "min" -> Some Scalars.Rmin
+  | "max" -> Some Scalars.Rmax
+  | _ -> None
+
+(* [s = s op p] in the shape [combine_expr] builds *)
+let merge_shape = function
+  | Ast.Assign (Ast.LVar s, Ast.Bin (Ast.Add, Ast.Var s', Ast.Var p))
+    when s = s' ->
+      Some (s, p, Scalars.Rsum)
+  | Ast.Assign (Ast.LVar s, Ast.Bin (Ast.Mul, Ast.Var s', Ast.Var p))
+    when s = s' ->
+      Some (s, p, Scalars.Rprod)
+  | Ast.Assign (Ast.LVar s, Ast.Call ("min", [ Ast.Var s'; Ast.Var p ]))
+    when s = s' ->
+      Some (s, p, Scalars.Rmin)
+  | Ast.Assign (Ast.LVar s, Ast.Call ("max", [ Ast.Var s'; Ast.Var p ]))
+    when s = s' ->
+      Some (s, p, Scalars.Rmax)
+  | _ -> None
+
+(* rename every use of [p] (scalar reads and assignment targets) to [s] *)
+let rename_scalar_uses p s stmts =
+  let re =
+    Ast_utils.map_expr (function
+      | Ast.Var v when v = p -> Ast.Var s
+      | e -> e)
+  in
+  let rl = function
+    | Ast.LVar v when v = p -> Ast.LVar s
+    | Ast.LVar v -> Ast.LVar v
+    | Ast.LIdx (a, subs) -> Ast.LIdx (a, List.map re subs)
+    | Ast.LSection (a, dims) ->
+        Ast.LSection
+          ( a,
+            List.map
+              (function
+                | Ast.Elem e -> Ast.Elem (re e)
+                | Ast.Range (x, y, z) ->
+                    Ast.Range (Option.map re x, Option.map re y, Option.map re z))
+              dims )
+  in
+  let rec go = function
+    | Ast.Assign (l, e) -> Ast.Assign (rl l, re e)
+    | Ast.If (c, t, f) -> Ast.If (re c, List.map go t, List.map go f)
+    | Ast.Do (hd, b) ->
+        Ast.Do
+          ( { hd with Ast.lo = re hd.Ast.lo; hi = re hd.Ast.hi;
+              step = Option.map re hd.Ast.step },
+            {
+              Ast.preamble = List.map go b.Ast.preamble;
+              body = List.map go b.Ast.body;
+              postamble = List.map go b.Ast.postamble;
+            } )
+    | Ast.Where (m, b) -> Ast.Where (re m, List.map go b)
+    | Ast.CallSt (n, args) -> Ast.CallSt (n, List.map re args)
+    | Ast.Print args -> Ast.Print (List.map re args)
+    | Ast.Read ls -> Ast.Read (List.map rl ls)
+    | Ast.Labeled (l, st) -> Ast.Labeled (l, go st)
+    | (Ast.Return | Ast.Stop | Ast.Continue | Ast.Goto _) as st -> st
+  in
+  List.map go stmts
+
+let is_lock = function
+  | Ast.CallSt ("lock", _) -> true
+  | _ -> false
+
+let is_unlock = function
+  | Ast.CallSt ("unlock", _) -> true
+  | _ -> false
+
+(** Recognize the scalar-reduction machinery [apply] put into a
+    concurrent loop and strip it back out.  Returns [None] when no
+    scalar partial is recognized; otherwise the reductions, the header
+    without the partial locals, and the block with the identity inits
+    and lock-bracketed merges removed and the body renamed to accumulate
+    into the shared names.  If stripping empties the critical section,
+    the [lock]/[unlock] pair goes too. *)
+let recognize (h : Ast.do_header) (blk : Ast.block) :
+    (recognized_red list * Ast.do_header * Ast.block) option =
+  (* the lock-bracketed tail region of the postamble *)
+  let post = Array.of_list blk.Ast.postamble in
+  let lock_at = ref (-1) and unlock_at = ref (-1) in
+  Array.iteri
+    (fun i st ->
+      if is_lock st && !lock_at < 0 then lock_at := i;
+      if is_unlock st then unlock_at := i)
+    post;
+  if !lock_at < 0 || !unlock_at <= !lock_at then None
+  else
+    let scalar_locals =
+      List.filter (fun d -> d.Ast.d_dims = []) h.Ast.locals
+    in
+    let in_bracket i = i > !lock_at && i < !unlock_at in
+    (* a partial qualifies when its identity init sits in the preamble
+       and its merge sits inside the bracket *)
+    let recognized =
+      List.filter_map
+        (fun d ->
+          let p = d.Ast.d_name in
+          let merge =
+            Array.to_list (Array.mapi (fun i st -> (i, st)) post)
+            |> List.filter_map (fun (i, st) ->
+                   if not (in_bracket i) then None
+                   else
+                     match merge_shape st with
+                     | Some (s, p', op) when p' = p -> Some (i, s, op)
+                     | _ -> None)
+          in
+          match merge with
+          | [ (mi, s, op) ] ->
+              let init = Ast.Assign (Ast.LVar p, identity_of op ~ty:d.Ast.d_type) in
+              let init_ok = List.mem init blk.Ast.preamble in
+              let touches st =
+                let module U = Ast_utils in
+                U.SSet.mem p (U.stmt_reads U.SSet.empty st)
+                || U.SSet.mem p (U.stmt_writes U.SSet.empty st)
+              in
+              (* the partial must not leak into statements we keep *)
+              let leaks =
+                List.exists
+                  (fun st -> st <> init && touches st)
+                  blk.Ast.preamble
+                || Array.exists Fun.id
+                     (Array.mapi
+                        (fun i st -> i <> mi && touches st)
+                        post)
+              in
+              if init_ok && (not leaks) && s <> p then
+                Some ({ rr_shared = s; rr_partial = p; rr_op = op;
+                        rr_type = d.Ast.d_type }, mi)
+              else None
+          | _ -> None)
+        scalar_locals
+    in
+    if recognized = [] then None
+    else
+      let merge_idxs = List.map snd recognized in
+      let reds = List.map fst recognized in
+      let partials = List.map (fun r -> r.rr_partial) reds in
+      let locals =
+        List.filter
+          (fun d -> not (List.mem d.Ast.d_name partials))
+          h.Ast.locals
+      in
+      let preamble =
+        List.filter
+          (fun st ->
+            not
+              (List.exists
+                 (fun r ->
+                   st
+                   = Ast.Assign
+                       ( Ast.LVar r.rr_partial,
+                         identity_of r.rr_op ~ty:r.rr_type ))
+                 reds))
+          blk.Ast.preamble
+      in
+      let kept =
+        Array.to_list (Array.mapi (fun i st -> (i, st)) post)
+        |> List.filter (fun (i, _) -> not (List.mem i merge_idxs))
+      in
+      (* drop the lock/unlock pair when the bracket emptied *)
+      let bracket_empty =
+        not (List.exists (fun (i, _) -> in_bracket i) kept)
+      in
+      let postamble =
+        kept
+        |> List.filter (fun (i, _) ->
+               not (bracket_empty && (i = !lock_at || i = !unlock_at)))
+        |> List.map snd
+      in
+      let body =
+        List.fold_left
+          (fun b r -> rename_scalar_uses r.rr_partial r.rr_shared b)
+          blk.Ast.body reds
+      in
+      Some
+        ( reds,
+          { h with Ast.locals },
+          { Ast.preamble; body; postamble } )

@@ -32,3 +32,31 @@ val apply :
   Fortran.Ast.do_header ->
   Fortran.Ast.block ->
   Fortran.Ast.stmt
+
+(** {2 Annotation surface for codegen backends} *)
+
+type recognized_red = {
+  rr_shared : string;  (** the shared accumulation target *)
+  rr_partial : string;  (** the per-processor partial local *)
+  rr_op : Analysis.Scalars.red_op;
+  rr_type : Fortran.Ast.dtype;
+}
+
+val op_clause : Analysis.Scalars.red_op -> string
+(** The operator's spelling in an OpenMP [reduction(op:var)] clause:
+    ["+"], ["*"], ["min"] or ["max"]. *)
+
+val op_of_clause : string -> Analysis.Scalars.red_op option
+(** Inverse of {!op_clause}. *)
+
+val recognize :
+  Fortran.Ast.do_header ->
+  Fortran.Ast.block ->
+  (recognized_red list * Fortran.Ast.do_header * Fortran.Ast.block) option
+(** Recognize the scalar-reduction machinery {!apply} put into a
+    concurrent loop and strip it back out: the partial locals leave the
+    header, the identity inits leave the preamble, the lock-bracketed
+    merges leave the postamble (the [lock]/[unlock] pair too when the
+    critical section empties), and the body accumulates into the shared
+    names again.  [None] when no scalar partial matches the pattern.
+    Array partials are left in place — they have no clause mapping. *)

@@ -44,6 +44,18 @@ val reverify : Fortran.Ast.program -> (issue list, string) result
     actually shipped, not the in-memory tree.  [Error] means the emitted
     text does not even reparse. *)
 
+val check_output :
+  target:Codegen.Target.t -> string -> (issue list, string) result
+(** Target-aware {!check_source}: Cedar text parses directly; OpenMP
+    text first re-reads through {!Codegen.Openmp.lift_source}, so the
+    same parser and race checks apply to the emitted directives. *)
+
+val reverify_target :
+  target:Codegen.Target.t ->
+  Fortran.Ast.program ->
+  (issue list, string) result
+(** Emit for [target] → (lift →) reparse → check. *)
+
 val check_dynamic :
   ?input:float list ->
   cfg:Machine.Config.t ->

@@ -11,7 +11,8 @@
 
 let cedar = Machine.Config.cedar_config1
 
-let print_corpus opts =
+let print_corpus ?(target = Codegen.Target.Cedar) opts =
+  let opts = { opts with Restructurer.Options.target } in
   let corpus = Workloads.Linalg.all @ Workloads.Perfect.all in
   List.iter
     (fun w ->
@@ -22,7 +23,8 @@ let print_corpus opts =
       let result = Restructurer.Driver.restructure opts prog in
       Printf.printf "===== %s (n = %d) =====\n" w.Workloads.Workload.name n;
       print_string
-        (Fortran.Printer.program_to_string result.Restructurer.Driver.program);
+        (Codegen.Emit.program_to_string ~target
+           result.Restructurer.Driver.program);
       print_newline ())
     corpus
 
@@ -63,7 +65,14 @@ let () =
   match Sys.argv with
   | [| _; "auto" |] -> print_corpus (Restructurer.Options.auto_1991 cedar)
   | [| _; "advanced" |] -> print_corpus (Restructurer.Options.advanced cedar)
+  | [| _; "omp-auto" |] ->
+      print_corpus ~target:Codegen.Target.Openmp
+        (Restructurer.Options.auto_1991 cedar)
+  | [| _; "omp-advanced" |] ->
+      print_corpus ~target:Codegen.Target.Openmp
+        (Restructurer.Options.advanced cedar)
   | [| _; "trace" |] -> print_trace ()
   | _ ->
-      prerr_endline "usage: golden_gen (auto|advanced|trace)";
+      prerr_endline
+        "usage: golden_gen (auto|advanced|omp-auto|omp-advanced|trace)";
       exit 2

@@ -112,6 +112,7 @@ let test_traffic_replay_deterministic () =
       size_jitter = 0;
       batch = 1;
       validate = false;
+      target = Codegen.Target.Cedar;
     }
   in
   let run_pass () =

@@ -12,6 +12,7 @@ let () =
       ("perfect", Test_perfect.tests);
       ("synthetic", Test_synthetic.tests);
       ("tasking", Test_tasking.tests);
+      ("codegen", Test_codegen.tests);
       ("service", Test_service.tests);
       ("validate", Test_validate.tests);
       ("fuzz", Test_fuzz.tests);

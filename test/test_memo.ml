@@ -157,7 +157,41 @@ let key_sensitivity () =
   in
   Alcotest.(check bool)
     "validate flag is part of the key" true
-    (base.R.Memo.p_key <> validated_opts.R.Memo.p_key)
+    (base.R.Memo.p_key <> validated_opts.R.Memo.p_key);
+  let omp_opts =
+    prep_of
+      ~opts:{ advanced with R.Options.target = Codegen.Target.Openmp }
+      (saxpy_src ~index:"i1" ~arr1:"aa" ~arr2:"bb" ~scal:"ss" ~stride:1)
+  in
+  Alcotest.(check bool)
+    "codegen target is part of the key" true
+    (base.R.Memo.p_key <> omp_opts.R.Memo.p_key)
+
+(* one shared memo, two codegen targets: the second target must not be
+   served the first target's nests — each fills its own entry *)
+let target_isolation () =
+  let prog =
+    Parser.parse_program
+      (saxpy_src ~index:"i1" ~arr1:"aa" ~arr2:"bb" ~scal:"ss" ~stride:1)
+  in
+  let omp = { advanced with R.Options.target = Codegen.Target.Openmp } in
+  let memo = R.Driver.create_memo () in
+  ignore (R.Driver.restructure ~memo advanced prog);
+  let st1 = R.Driver.memo_stats memo in
+  ignore (R.Driver.restructure ~memo omp prog);
+  let st2 = R.Driver.memo_stats memo in
+  Alcotest.(check int)
+    "no cross-target hits" st1.R.Memo.st_hits st2.R.Memo.st_hits;
+  Alcotest.(check bool)
+    "second target fills its own entries" true
+    (st2.R.Memo.st_size > st1.R.Memo.st_size);
+  (* replaying each target now hits its own entry *)
+  ignore (R.Driver.restructure ~memo advanced prog);
+  ignore (R.Driver.restructure ~memo omp prog);
+  let st3 = R.Driver.memo_stats memo in
+  Alcotest.(check bool)
+    "both targets replay as hits" true
+    (st3.R.Memo.st_hits >= st2.R.Memo.st_hits + 2)
 
 (* a renamed hit must be byte-identical with a direct run of the renamed
    program AND must actually be served from the table *)
@@ -256,6 +290,8 @@ let tests =
       key_sensitivity;
     Alcotest.test_case "renamed replay is byte-identical and hits" `Quick
       renamed_replay;
+    Alcotest.test_case "codegen targets fill separate memo entries" `Quick
+      target_isolation;
     Alcotest.test_case "LRU capacity and eviction counters" `Quick lru_eviction;
     Alcotest.test_case "chaos corrupt hook poisons the stored nest" `Quick
       checksum_drop;

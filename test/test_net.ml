@@ -59,6 +59,7 @@ let gen_options =
   in
   let* assumed_trip = int_range 1 10_000 in
   let* validate = bool in
+  let* target = oneofl Codegen.Target.all in
   return
     {
       Restructurer.Options.techniques;
@@ -69,6 +70,7 @@ let gen_options =
       placement_default;
       assumed_trip;
       validate;
+      target;
     }
 
 let gen_string = G.(string_size ~gen:char (int_bound 200))
@@ -306,6 +308,60 @@ let test_decoder_adversarial () =
     | Error e -> W.error_to_string e
     | Ok _ -> Alcotest.fail "trailing bytes: decoded successfully")
     (W.decode (ping ^ "x"))
+
+let test_submit_target_bytes () =
+  (* Cedar submits must stay byte-compatible with v1 peers: same kind,
+     same version, no trailing target byte.  OpenMP submits ride the v4
+     frame (kind 24) that a v<=3 decoder rejects with Bad_version. *)
+  let mk target =
+    W.Submit
+      {
+        W.sub_name = "t";
+        sub_source = "      end\n";
+        sub_options =
+          { (Restructurer.Options.auto_1991 cedar) with
+            Restructurer.Options.target };
+        sub_trace = 0;
+      }
+  in
+  let ced = W.encode ~id:7 (mk Codegen.Target.Cedar) in
+  let omp = W.encode ~id:7 (mk Codegen.Target.Openmp) in
+  Alcotest.(check int) "cedar submit is version 1" 1 (Char.code ced.[4]);
+  Alcotest.(check int) "cedar submit is kind 3" 3 (Char.code ced.[5]);
+  Alcotest.(check int) "openmp submit is version 4" 4 (Char.code omp.[4]);
+  Alcotest.(check int) "openmp submit is kind 24" 24 (Char.code omp.[5]);
+  Alcotest.(check int) "version_for_kind pins 24 to v4" 4
+    (W.version_for_kind 24);
+  (* the v4 payload is the v1 payload plus exactly one target byte *)
+  Alcotest.(check int) "one trailing target byte"
+    (String.length ced + 1) (String.length omp);
+  (match W.decode omp with
+  | Ok (7, W.Submit s) ->
+      Alcotest.(check bool) "target survives the roundtrip" true
+        (s.W.sub_options.Restructurer.Options.target = Codegen.Target.Openmp)
+  | Ok _ -> Alcotest.fail "openmp submit decoded to the wrong frame"
+  | Error e -> Alcotest.failf "openmp submit: %s" (W.error_to_string e));
+  (match W.decode ced with
+  | Ok (7, W.Submit s) ->
+      Alcotest.(check bool) "cedar default decodes from the v1 frame" true
+        (s.W.sub_options.Restructurer.Options.target = Codegen.Target.Cedar)
+  | Ok _ -> Alcotest.fail "cedar submit decoded to the wrong frame"
+  | Error e -> Alcotest.failf "cedar submit: %s" (W.error_to_string e));
+  (* an unknown target byte is a typed decode error, not a crash *)
+  let bad = Bytes.of_string omp in
+  Bytes.set bad (Bytes.length bad - 1) (Char.chr 9);
+  (match W.decode (Bytes.to_string bad) with
+  | Error (W.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "target byte 9 decoded"
+  | Error e -> Alcotest.failf "target byte 9: %s" (W.error_to_string e));
+  (* what an old peer sees: its decoder caps at its own version, so the
+     frame dies in the header with Bad_version before payload parsing —
+     the same path our decoder takes for versions above 4 *)
+  let future = Bytes.of_string omp in
+  Bytes.set future 4 (Char.chr 5);
+  match W.decode (Bytes.to_string future) with
+  | Error (W.Bad_version 5) -> ()
+  | _ -> Alcotest.fail "version 5: expected Bad_version 5"
 
 let test_roundtrip_huge_payload () =
   (* multi-MB frame regression: a 3 MiB source survives the codec *)
@@ -1018,6 +1074,8 @@ let tests =
     QCheck_alcotest.to_alcotest prop_stream_corruption_total;
     Alcotest.test_case "decoder: adversarial inputs fail typed" `Quick
       test_decoder_adversarial;
+    Alcotest.test_case "codec: submit target byte (v4) and v1 compat"
+      `Quick test_submit_target_bytes;
     Alcotest.test_case "codec: multi-MB payload roundtrip" `Quick
       test_roundtrip_huge_payload;
     Alcotest.test_case "codec: empty options roundtrip" `Quick

@@ -441,6 +441,42 @@ let test_traffic_deterministic () =
   Alcotest.(check bool) "different seed, different key" true
     (Server.cache_key a <> Server.cache_key c)
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_target_cache_isolation () =
+  (* the same source under both codegen targets must produce two cache
+     entries and target-correct text — the target is part of the key *)
+  let server = Server.create ~workers:2 ~cache_capacity:16 () in
+  let base = Traffic.nth_request ~seed:3 ~size_jitter:0 ~batch:1 0 in
+  let with_target t =
+    {
+      base with
+      Server.req_options =
+        { base.Server.req_options with Restructurer.Options.target = t };
+    }
+  in
+  let ced = with_target Codegen.Target.Cedar
+  and omp = with_target Codegen.Target.Openmp in
+  Alcotest.(check bool) "distinct cache keys" true
+    (Server.cache_key ced <> Server.cache_key omp);
+  let p_ced, c1 = payload_exn "cedar" (Server.run server ced) in
+  let p_omp, c2 = payload_exn "openmp" (Server.run server omp) in
+  Alcotest.(check bool) "cedar fresh" false c1;
+  Alcotest.(check bool) "openmp fresh despite identical source" false c2;
+  Alcotest.(check bool) "cedar text has no directives" false
+    (contains ~sub:"!$omp" p_ced.Server.p_text);
+  Alcotest.(check bool) "openmp text has directives" true
+    (contains ~sub:"!$omp parallel do" p_omp.Server.p_text);
+  (* replays of both targets now hit their own entries *)
+  let _, hit1 = payload_exn "cedar again" (Server.run server ced) in
+  let _, hit2 = payload_exn "openmp again" (Server.run server omp) in
+  Alcotest.(check bool) "cedar replay cached" true hit1;
+  Alcotest.(check bool) "openmp replay cached" true hit2;
+  ignore (Server.shutdown server)
+
 let test_traffic_closed_loop () =
   let server =
     Server.create ~workers:3 ~oversubscribe:true ~cache_capacity:32 ()
@@ -453,6 +489,7 @@ let test_traffic_closed_loop () =
       size_jitter = 2;
       batch = 1;
       validate = false;
+      target = Codegen.Target.Cedar;
     }
   in
   let s = Traffic.run server cfg in
@@ -609,6 +646,8 @@ let tests =
       `Quick test_memo_poison_caught_by_validator;
     Alcotest.test_case "traffic: deterministic request sequence" `Quick
       test_traffic_deterministic;
+    Alcotest.test_case "server: codegen targets get separate cache entries"
+      `Quick test_target_cache_isolation;
     Alcotest.test_case "traffic: closed loop drains cleanly" `Quick
       test_traffic_closed_loop;
     Alcotest.test_case "cold: submit after shutdown -> Cancelled" `Quick
